@@ -1,0 +1,310 @@
+//! Operation counting and the symbolic cost formulas of Table III.
+//!
+//! The paper prices protocols in basic operations: `M1/M2/M3` (24, 1024,
+//! 2048-bit modular multiplication), `E2/E3` (1024/2048-bit modular
+//! exponentiation) for the asymmetric schemes; `H` (SHA-256), `M` (hash
+//! mod small prime), `E`/`D` (AES-256) for Sealed Bottle.
+
+use std::ops::AddAssign;
+
+/// Basic-operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// 1024-bit modular exponentiations.
+    pub e2: u64,
+    /// 2048-bit modular exponentiations.
+    pub e3: u64,
+    /// 1024-bit modular multiplications.
+    pub m2: u64,
+    /// 2048-bit modular multiplications.
+    pub m3: u64,
+    /// SHA-256 invocations.
+    pub h: u64,
+    /// Hash-mod-small-prime operations.
+    pub modp: u64,
+    /// AES-256 encryptions (per message).
+    pub aes_enc: u64,
+    /// AES-256 decryptions (per message).
+    pub aes_dec: u64,
+    /// 256-bit multiplications (hint-matrix algebra).
+    pub mul256: u64,
+    /// 256-bit comparisons.
+    pub cmp256: u64,
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        self.e2 += rhs.e2;
+        self.e3 += rhs.e3;
+        self.m2 += rhs.m2;
+        self.m3 += rhs.m3;
+        self.h += rhs.h;
+        self.modp += rhs.modp;
+        self.aes_enc += rhs.aes_enc;
+        self.aes_dec += rhs.aes_dec;
+        self.mul256 += rhs.mul256;
+        self.cmp256 += rhs.cmp256;
+    }
+}
+
+impl OpCounts {
+    /// Estimated wall time in milliseconds under a per-op cost table.
+    pub fn estimate_ms(&self, costs: &OpCostTable) -> f64 {
+        self.e2 as f64 * costs.e2_ms
+            + self.e3 as f64 * costs.e3_ms
+            + self.m2 as f64 * costs.m2_ms
+            + self.m3 as f64 * costs.m3_ms
+            + self.h as f64 * costs.h_ms
+            + self.modp as f64 * costs.modp_ms
+            + self.aes_enc as f64 * costs.aes_enc_ms
+            + self.aes_dec as f64 * costs.aes_dec_ms
+            + self.mul256 as f64 * costs.mul256_ms
+            + self.cmp256 as f64 * costs.cmp256_ms
+    }
+}
+
+/// Per-operation costs in milliseconds. Fill from measurements (the
+/// Table IV/V benches) or from the paper's published numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCostTable {
+    /// 1024-bit exponentiation.
+    pub e2_ms: f64,
+    /// 2048-bit exponentiation.
+    pub e3_ms: f64,
+    /// 1024-bit multiplication.
+    pub m2_ms: f64,
+    /// 2048-bit multiplication.
+    pub m3_ms: f64,
+    /// SHA-256.
+    pub h_ms: f64,
+    /// Hash mod p.
+    pub modp_ms: f64,
+    /// AES-256 encryption.
+    pub aes_enc_ms: f64,
+    /// AES-256 decryption.
+    pub aes_dec_ms: f64,
+    /// 256-bit multiply.
+    pub mul256_ms: f64,
+    /// 256-bit compare.
+    pub cmp256_ms: f64,
+}
+
+impl OpCostTable {
+    /// The paper's laptop numbers (Tables IV–V).
+    pub fn paper_laptop() -> Self {
+        OpCostTable {
+            e2_ms: 17.0,
+            e3_ms: 120.0,
+            m2_ms: 2.3e-2,
+            m3_ms: 1e-1,
+            h_ms: 1.2e-3,
+            modp_ms: 3.1e-4,
+            aes_enc_ms: 8.7e-4,
+            aes_dec_ms: 9.6e-4,
+            mul256_ms: 1.4e-4,
+            cmp256_ms: 1.0e-5,
+        }
+    }
+
+    /// The paper's phone (HTC G17) numbers.
+    pub fn paper_phone() -> Self {
+        OpCostTable {
+            e2_ms: 34.0,
+            e3_ms: 197.0,
+            m2_ms: 1.5e-1,
+            m3_ms: 2.4e-1,
+            h_ms: 4.8e-2,
+            modp_ms: 5.7e-2,
+            aes_enc_ms: 2.1e-2,
+            aes_dec_ms: 2.5e-2,
+            mul256_ms: 3.2e-2,
+            cmp256_ms: 1.0e-3,
+        }
+    }
+}
+
+/// Symbolic Table III cost formulas, evaluated for concrete parameters.
+/// `mt`/`mk` are request/user attribute counts, `n` the network size,
+/// `theta` the similarity threshold, `p` the remainder modulus,
+/// `t` the FindU secret-sharing parameter.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioParams {
+    /// Request attribute count m_t.
+    pub mt: u64,
+    /// Participant attribute count m_k.
+    pub mk: u64,
+    /// Number of participants n.
+    pub n: u64,
+    /// Similarity threshold θ.
+    pub theta: f64,
+    /// Remainder modulus p.
+    pub p: u64,
+    /// FindU parameter t.
+    pub t: u64,
+}
+
+impl ScenarioParams {
+    /// The paper's Table VII scenario: mt = mk = 6, γ = β = 3, p = 11,
+    /// n = 100, t = 4.
+    pub fn table7() -> Self {
+        ScenarioParams { mt: 6, mk: 6, n: 100, theta: 0.5, p: 11, t: 4 }
+    }
+}
+
+/// Table III row: FNP'04.
+pub fn fnp_formula(s: &ScenarioParams) -> (OpCounts, OpCounts, u64) {
+    let initiator = OpCounts {
+        e3: (2 * s.mt + s.mk * s.n),
+        ..OpCounts::default()
+    };
+    // The paper evaluates "m_k log m_t" with a base-10 logarithm
+    // (Table VII prints 5 E3 for m_t = m_k = 6).
+    let participant = OpCounts {
+        e3: (s.mk as f64 * (s.mt as f64).log10()).round() as u64,
+        ..OpCounts::default()
+    };
+    let q = 256u64;
+    let comm_bits = 8 * q * (s.mt + s.mk * s.n);
+    (initiator, participant, comm_bits)
+}
+
+/// Table III row: FC'10.
+pub fn fc10_formula(s: &ScenarioParams) -> (OpCounts, OpCounts, u64) {
+    let initiator = OpCounts { m2: 5 * s.mt * s.n / 2, ..OpCounts::default() };
+    let participant = OpCounts { e2: s.mt + s.mk, ..OpCounts::default() };
+    let q = 256u64;
+    let comm_bits = 4 * q * s.n * (3 * s.mt + s.mk);
+    (initiator, participant, comm_bits)
+}
+
+/// Table III row: FindU-style "Advanced".
+pub fn findu_formula(s: &ScenarioParams) -> (OpCounts, OpCounts, u64) {
+    let initiator = OpCounts { e3: 3 * s.mt * s.n, ..OpCounts::default() };
+    let participant = OpCounts { e3: 2 * s.mt, ..OpCounts::default() };
+    let comm_bits = 24
+        * (s.mt * s.mk * s.n + s.t * s.n * (8 * s.mt + 2 * s.mk + 12 * s.mt * s.t))
+        + 16 * 256 * s.mt * s.n;
+    (initiator, participant, comm_bits)
+}
+
+/// Table III row: Sealed Bottle Protocol 1. `kappa` is the expected
+/// candidate-key count for a candidate user.
+pub fn protocol1_formula(s: &ScenarioParams, kappa: u64) -> (OpCounts, OpCounts, u64) {
+    let gamma = ((1.0 - s.theta) * s.mt as f64).round() as u64;
+    let beta = s.mt - gamma; // alpha folded into beta for the formula
+    let initiator = OpCounts {
+        h: s.mt + 1,
+        modp: s.mt,
+        aes_enc: 1,
+        ..OpCounts::default()
+    };
+    // Non-candidate: mk hashes (amortized) + mk mod p.
+    // Candidate adds kappa solves + hashes + decryptions.
+    let participant = OpCounts {
+        h: s.mk + kappa,
+        modp: s.mk,
+        mul256: kappa * gamma * gamma * (gamma + beta),
+        aes_dec: kappa,
+        ..OpCounts::default()
+    };
+    let q = 256u64;
+    let comm_bits = ((1.0 - s.theta) * 32.0 * (s.mt * s.mt) as f64
+        + (288.0 - s.theta * q as f64) * s.mt as f64
+        + q as f64) as u64;
+    (initiator, participant, comm_bits)
+}
+
+/// Expected candidate fraction under the remainder vector:
+/// `(1/p)^(mt·θ)` scaled to the population (paper §IV-B2).
+pub fn expected_candidate_fraction(s: &ScenarioParams) -> f64 {
+    (1.0 / s.p as f64).powf(s.mt as f64 * s.theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_scenario_formulas() {
+        let s = ScenarioParams::table7();
+        let (fnp_i, fnp_p, fnp_bits) = fnp_formula(&s);
+        assert_eq!(fnp_i.e3, 612); // paper Table VII: 612 E3
+        assert_eq!(fnp_p.e3, 5); // paper Table VII: 5 E3
+        assert_eq!(fnp_bits / 8 / 1024, 151); // paper: 151 KB
+
+        let (_, fc10_p, fc10_bits) = fc10_formula(&s);
+        assert_eq!(fc10_p.e2, 12); // paper: 12 E2
+        assert_eq!(fc10_bits / 8 / 1024, 300); // paper: 300 KB
+
+        let (findu_i, findu_p, _) = findu_formula(&s);
+        assert_eq!(findu_i.e3, 1800); // paper: 1800 E3
+        assert_eq!(findu_p.e3, 12); // paper: 12 E3
+    }
+
+    #[test]
+    fn sealed_bottle_orders_of_magnitude_cheaper() {
+        let s = ScenarioParams::table7();
+        let costs = OpCostTable::paper_laptop();
+        let (fnp_i, _, _) = fnp_formula(&s);
+        let (p1_i, p1_p, _) = protocol1_formula(&s, 1);
+        let fnp_ms = fnp_i.estimate_ms(&costs);
+        let p1_ms = p1_i.estimate_ms(&costs) + p1_p.estimate_ms(&costs);
+        assert!(
+            fnp_ms / p1_ms > 1000.0,
+            "paper claims >10^3× advantage, got {}×",
+            fnp_ms / p1_ms
+        );
+    }
+
+    #[test]
+    fn communication_under_a_kilobyte() {
+        let s = ScenarioParams::table7();
+        let (_, _, bits) = protocol1_formula(&s, 1);
+        assert!(bits / 8 < 1024, "paper: ~0.22 KB, got {} B", bits / 8);
+    }
+
+    #[test]
+    fn candidate_fraction_tiny() {
+        let s = ScenarioParams::table7();
+        let f = expected_candidate_fraction(&s);
+        assert!(f < 0.002, "about 1/1331 for p=11, mtθ=3: {f}");
+    }
+
+    #[test]
+    fn op_counts_add() {
+        let mut a = OpCounts { e2: 1, h: 2, ..OpCounts::default() };
+        a += OpCounts { e2: 3, aes_dec: 1, ..OpCounts::default() };
+        assert_eq!(a.e2, 4);
+        assert_eq!(a.h, 2);
+        assert_eq!(a.aes_dec, 1);
+    }
+
+    #[test]
+    fn estimate_uses_all_fields() {
+        let costs = OpCostTable::paper_laptop();
+        let one_of_each = OpCounts {
+            e2: 1,
+            e3: 1,
+            m2: 1,
+            m3: 1,
+            h: 1,
+            modp: 1,
+            aes_enc: 1,
+            aes_dec: 1,
+            mul256: 1,
+            cmp256: 1,
+        };
+        let total = one_of_each.estimate_ms(&costs);
+        let expected = costs.e2_ms
+            + costs.e3_ms
+            + costs.m2_ms
+            + costs.m3_ms
+            + costs.h_ms
+            + costs.modp_ms
+            + costs.aes_enc_ms
+            + costs.aes_dec_ms
+            + costs.mul256_ms
+            + costs.cmp256_ms;
+        assert!((total - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,157 @@
+//! A FindU-style private set-intersection *cardinality* protocol
+//! (the paper's "Advanced" comparator, reference 14 — Li et al., INFOCOM'11).
+//!
+//! FindU lets two users learn only `|A ∩ B|` (PSI-CA), not the elements.
+//! We realise PSI-CA on Paillier: the client sends encrypted polynomial
+//! coefficients as in FNP, the server returns shuffled `Enc(r·P(y))`
+//! values — zero exactly when `y` matches — and the client counts zero
+//! decryptions. Neither side learns *which* elements matched.
+
+use crate::cost::OpCounts;
+use crate::paillier::{Ciphertext, PaillierKeyPair};
+use msb_bignum::prime::random_below;
+use msb_bignum::BigUint;
+use rand::Rng;
+
+/// Result of one PSI-CA run.
+#[derive(Debug)]
+pub struct FinduRun {
+    /// The private cardinality `|X ∩ Y|`.
+    pub cardinality: usize,
+    /// Client-side operation counts.
+    pub client_ops: OpCounts,
+    /// Server-side operation counts.
+    pub server_ops: OpCounts,
+    /// Bytes transferred.
+    pub bytes_transferred: usize,
+}
+
+/// The FindU-style PSI-CA protocol.
+#[derive(Debug)]
+pub struct Findu;
+
+impl Findu {
+    /// Runs PSI-CA on `u64` sets.
+    pub fn run_u64<R: Rng + ?Sized>(
+        keys: &PaillierKeyPair,
+        client_set: &[u64],
+        server_set: &[u64],
+        rng: &mut R,
+    ) -> FinduRun {
+        let client: Vec<BigUint> = client_set.iter().map(|&v| BigUint::from(v)).collect();
+
+        keys.reset_counts();
+        let coeffs = polynomial_from_roots(&client, &keys.n);
+        let enc_coeffs: Vec<Ciphertext> =
+            coeffs.iter().map(|c| keys.encrypt(c, rng)).collect();
+        let client_ops_down = keys.counts();
+
+        keys.reset_counts();
+        let mut evaluations = Vec::with_capacity(server_set.len());
+        for &y in server_set {
+            let y_big = BigUint::from(y);
+            let mut acc = enc_coeffs.last().expect("nonempty polynomial").clone();
+            for c in enc_coeffs.iter().rev().skip(1) {
+                acc = keys.scalar_mul(&acc, &y_big);
+                acc = keys.add(&acc, c);
+            }
+            let r = loop {
+                let r = random_below(rng, &keys.n);
+                if !r.is_zero() {
+                    break r;
+                }
+            };
+            // Enc(r·P(y)): zero iff y ∈ X; nonzero values are uniform.
+            evaluations.push(keys.scalar_mul(&acc, &r));
+        }
+        for i in (1..evaluations.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            evaluations.swap(i, j);
+        }
+        let server_ops = keys.counts();
+
+        keys.reset_counts();
+        let cardinality = evaluations
+            .iter()
+            .filter(|ev| keys.decrypt(ev).is_zero())
+            .count();
+        let mut client_ops = client_ops_down;
+        client_ops += keys.counts();
+
+        let ct_bytes = keys.n_squared().bit_len().div_ceil(8);
+        FinduRun {
+            cardinality,
+            client_ops,
+            server_ops,
+            bytes_transferred: ct_bytes * (enc_coeffs.len() + evaluations.len()),
+        }
+    }
+}
+
+fn polynomial_from_roots(roots: &[BigUint], n: &BigUint) -> Vec<BigUint> {
+    let mut coeffs = vec![BigUint::one()];
+    for root in roots {
+        let neg_root = BigUint::zero().sub_mod(&root.rem(n), n);
+        let mut next = vec![BigUint::zero(); coeffs.len() + 1];
+        for (i, c) in coeffs.iter().enumerate() {
+            next[i + 1] = next[i + 1].add_mod(c, n);
+            next[i] = next[i].add_mod(&c.mul_mod(&neg_root, n), n);
+        }
+        coeffs = next;
+    }
+    coeffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys() -> PaillierKeyPair {
+        let mut rng = StdRng::seed_from_u64(31);
+        PaillierKeyPair::generate(256, &mut rng)
+    }
+
+    #[test]
+    fn cardinality_correct() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(32);
+        let run = Findu::run_u64(&k, &[1, 2, 3, 4], &[3, 4, 5, 6], &mut rng);
+        assert_eq!(run.cardinality, 2);
+    }
+
+    #[test]
+    fn disjoint_zero() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(33);
+        let run = Findu::run_u64(&k, &[1, 2], &[3, 4], &mut rng);
+        assert_eq!(run.cardinality, 0);
+    }
+
+    #[test]
+    fn subset_full() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(34);
+        let run = Findu::run_u64(&k, &[10, 20, 30], &[10, 20, 30], &mut rng);
+        assert_eq!(run.cardinality, 3);
+    }
+
+    #[test]
+    fn asymmetric_sizes() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(35);
+        let run = Findu::run_u64(&k, &[5], &[1, 2, 3, 4, 5, 6, 7, 8], &mut rng);
+        assert_eq!(run.cardinality, 1);
+    }
+
+    #[test]
+    fn ops_recorded_both_sides() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(36);
+        let run = Findu::run_u64(&k, &[1, 2, 3], &[2, 3, 4], &mut rng);
+        assert!(run.client_ops.e3 > 0);
+        assert!(run.server_ops.e3 > 0);
+        assert!(run.bytes_transferred > 0);
+    }
+}

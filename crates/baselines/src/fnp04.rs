@@ -1,0 +1,198 @@
+//! Freedman–Nissim–Pinkas private set intersection (EUROCRYPT'04) —
+//! oblivious polynomial evaluation over Paillier.
+//!
+//! The client encodes their set `X` as the coefficients of
+//! `P(x) = Π (x − xᵢ)` and sends the Paillier-encrypted coefficients.
+//! The server evaluates `Enc(r·P(y) + y)` homomorphically for each of
+//! their elements `y` (Horner's rule) and returns the shuffled
+//! ciphertexts. Decrypting, the client sees `y` exactly when `P(y) = 0`,
+//! i.e. `y ∈ X`, and uniform garbage otherwise.
+
+use crate::cost::OpCounts;
+use crate::paillier::{Ciphertext, PaillierKeyPair};
+use msb_bignum::prime::random_below;
+use msb_bignum::BigUint;
+use rand::Rng;
+
+/// Result of one FNP'04 run.
+#[derive(Debug)]
+pub struct FnpRun {
+    /// Elements of the client set found in the server set.
+    pub intersection: Vec<u64>,
+    /// Client-side operation counts.
+    pub client_ops: OpCounts,
+    /// Server-side operation counts.
+    pub server_ops: OpCounts,
+    /// Bytes transferred (coefficients down, evaluations up).
+    pub bytes_transferred: usize,
+}
+
+/// The FNP'04 protocol.
+#[derive(Debug)]
+pub struct Fnp04;
+
+impl Fnp04 {
+    /// Runs the protocol on `u64` sets (hashed into the plaintext space
+    /// in a deployment; small integers suffice for evaluation).
+    pub fn run_u64<R: Rng + ?Sized>(
+        keys: &PaillierKeyPair,
+        client_set: &[u64],
+        server_set: &[u64],
+        rng: &mut R,
+    ) -> FnpRun {
+        let client: Vec<BigUint> = client_set.iter().map(|&v| BigUint::from(v)).collect();
+        let server: Vec<BigUint> = server_set.iter().map(|&v| BigUint::from(v)).collect();
+
+        // --- Client: polynomial coefficients, encrypted. ---
+        keys.reset_counts();
+        let coeffs = polynomial_from_roots(&client, &keys.n);
+        let enc_coeffs: Vec<Ciphertext> =
+            coeffs.iter().map(|c| keys.encrypt(c, rng)).collect();
+        let client_ops = keys.counts();
+
+        // --- Server: oblivious evaluation per element. ---
+        keys.reset_counts();
+        let mut evaluations = Vec::with_capacity(server.len());
+        for y in &server {
+            // Horner: acc = Enc(P(y)) built from the top coefficient.
+            let mut acc = enc_coeffs.last().expect("nonempty polynomial").clone();
+            for c in enc_coeffs.iter().rev().skip(1) {
+                acc = keys.scalar_mul(&acc, y);
+                acc = keys.add(&acc, c);
+            }
+            // r·P(y) + y
+            let r = loop {
+                let r = random_below(rng, &keys.n);
+                if !r.is_zero() {
+                    break r;
+                }
+            };
+            let blinded = keys.scalar_mul(&acc, &r);
+            let y_enc = keys.encrypt(y, rng);
+            evaluations.push(keys.add(&blinded, &y_enc));
+        }
+        // Shuffle so positions leak nothing.
+        for i in (1..evaluations.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            evaluations.swap(i, j);
+        }
+        let server_ops = keys.counts();
+
+        // --- Client: decrypt, recognize own elements. ---
+        keys.reset_counts();
+        let mut intersection: Vec<u64> = Vec::new();
+        for ev in &evaluations {
+            let m = keys.decrypt(ev);
+            if let Ok(small) = u64::try_from(&m) {
+                if client_set.contains(&small) {
+                    intersection.push(small);
+                }
+            }
+        }
+        intersection.sort_unstable();
+        intersection.dedup();
+        let mut client_total = client_ops;
+        client_total += keys.counts();
+
+        let ct_bytes = keys.n_squared().bit_len().div_ceil(8);
+        let bytes_transferred = ct_bytes * (enc_coeffs.len() + evaluations.len());
+
+        FnpRun {
+            intersection,
+            client_ops: client_total,
+            server_ops,
+            bytes_transferred,
+        }
+    }
+}
+
+/// Monic polynomial with the given roots, coefficients mod `n`
+/// (constant term first).
+fn polynomial_from_roots(roots: &[BigUint], n: &BigUint) -> Vec<BigUint> {
+    let mut coeffs = vec![BigUint::one()];
+    for root in roots {
+        // Multiply by (x - root): new[i] = old[i-1] - root·old[i].
+        let neg_root = BigUint::zero().sub_mod(&root.rem(n), n);
+        let mut next = vec![BigUint::zero(); coeffs.len() + 1];
+        for (i, c) in coeffs.iter().enumerate() {
+            next[i + 1] = next[i + 1].add_mod(c, n);
+            next[i] = next[i].add_mod(&c.mul_mod(&neg_root, n), n);
+        }
+        coeffs = next;
+    }
+    coeffs // constant term first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys() -> PaillierKeyPair {
+        let mut rng = StdRng::seed_from_u64(10);
+        PaillierKeyPair::generate(256, &mut rng)
+    }
+
+    #[test]
+    fn polynomial_vanishes_on_roots() {
+        let n = BigUint::from(1_000_003u64);
+        let roots = vec![BigUint::from(3u64), BigUint::from(7u64), BigUint::from(11u64)];
+        let coeffs = polynomial_from_roots(&roots, &n);
+        assert_eq!(coeffs.len(), 4);
+        for root in &roots {
+            let mut acc = BigUint::zero();
+            let mut pow = BigUint::one();
+            for c in &coeffs {
+                acc = acc.add_mod(&c.mul_mod(&pow, &n), &n);
+                pow = pow.mul_mod(root, &n);
+            }
+            assert!(acc.is_zero(), "P({root}) != 0");
+        }
+        // And does not vanish off-root.
+        let x = BigUint::from(5u64);
+        let mut acc = BigUint::zero();
+        let mut pow = BigUint::one();
+        for c in &coeffs {
+            acc = acc.add_mod(&c.mul_mod(&pow, &n), &n);
+            pow = pow.mul_mod(&x, &n);
+        }
+        assert!(!acc.is_zero());
+    }
+
+    #[test]
+    fn intersection_correct() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(11);
+        let run = Fnp04::run_u64(&k, &[10, 20, 30, 40], &[20, 40, 50], &mut rng);
+        assert_eq!(run.intersection, vec![20, 40]);
+    }
+
+    #[test]
+    fn disjoint_sets_empty_intersection() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(12);
+        let run = Fnp04::run_u64(&k, &[1, 2, 3], &[4, 5, 6], &mut rng);
+        assert!(run.intersection.is_empty());
+    }
+
+    #[test]
+    fn identical_sets_full_intersection() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(13);
+        let run = Fnp04::run_u64(&k, &[7, 8, 9], &[7, 8, 9], &mut rng);
+        assert_eq!(run.intersection, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn op_counts_scale_with_sets() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(14);
+        let small = Fnp04::run_u64(&k, &[1, 2], &[1, 2], &mut rng);
+        let large = Fnp04::run_u64(&k, &[1, 2, 3, 4, 5, 6], &[1, 2, 3, 4, 5, 6], &mut rng);
+        assert!(large.server_ops.e3 > small.server_ops.e3);
+        assert!(large.bytes_transferred > small.bytes_transferred);
+        // Server does ~mt scalar-muls per element: mt·mk exps at least.
+        assert!(large.server_ops.e3 >= 36);
+    }
+}

@@ -1,0 +1,45 @@
+//! Asymmetric-cryptosystem baselines the paper compares against
+//! (Table III / Table VII), implemented for real on [`msb_bignum`]:
+//!
+//! * [`paillier`] — the additively homomorphic Paillier cryptosystem
+//!   (substrate for FNP'04 and the PSI-CA/dot-product protocols).
+//! * [`fnp04`] — Freedman–Nissim–Pinkas private set intersection via
+//!   oblivious polynomial evaluation.
+//! * [`fc10`] — De Cristofaro–Tsudik linear-complexity PSI from blind
+//!   RSA signatures.
+//! * [`findu`] — a FindU-style private set-intersection cardinality
+//!   protocol (the paper's "Advanced" comparator, its reference 14).
+//! * [`dotproduct`] — the Dong et al. private dot-product proximity
+//!   metric.
+//! * [`cost`] — operation counters and the symbolic cost formulas of
+//!   Table III.
+//!
+//! Every protocol instruments its own [`cost::OpCounts`], so Table VII's
+//! comparison columns come from *executed* protocols, not transcribed
+//! formulas.
+//!
+//! # Example
+//!
+//! ```
+//! use msb_baselines::fnp04::Fnp04;
+//! use msb_baselines::paillier::PaillierKeyPair;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // Small key for the doctest; the benches use 1024-bit keys.
+//! let keys = PaillierKeyPair::generate(256, &mut rng);
+//! let client: Vec<u64> = vec![1, 2, 3, 4];
+//! let server: Vec<u64> = vec![3, 4, 5];
+//! let run = Fnp04::run_u64(&keys, &client, &server, &mut rng);
+//! assert_eq!(run.intersection, vec![3, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod dotproduct;
+pub mod fc10;
+pub mod findu;
+pub mod fnp04;
+pub mod paillier;

@@ -1,0 +1,232 @@
+//! The Paillier additively homomorphic cryptosystem.
+//!
+//! The FNP'04 PSI, the FindU-style PSI-CA and the private dot product all
+//! run on Paillier. We use the standard `g = n + 1` simplification:
+//! `Enc(m; r) = (1 + m·n) · rⁿ mod n²`, `Dec(c) = L(c^λ mod n²) · λ⁻¹
+//! mod n` with `L(u) = (u − 1)/n`.
+//!
+//! Every operation updates a [`crate::cost::OpCounts`]: an
+//! exponentiation mod `n²` of a 1024-bit `n` is the paper's `E3`
+//! (2048-bit exponentiation), a multiplication mod `n²` its `M3`.
+
+use crate::cost::OpCounts;
+use msb_bignum::modexp::Montgomery;
+use msb_bignum::prime::{gen_prime, random_below};
+use msb_bignum::BigUint;
+use rand::Rng;
+use std::cell::RefCell;
+
+/// A Paillier key pair with instrumented operations.
+#[derive(Debug)]
+pub struct PaillierKeyPair {
+    /// Modulus `n = p·q`.
+    pub n: BigUint,
+    n_squared: BigUint,
+    mont_n2: Montgomery,
+    /// `λ = lcm(p−1, q−1)`.
+    lambda: BigUint,
+    /// `λ⁻¹ mod n`.
+    mu: BigUint,
+    counts: RefCell<OpCounts>,
+}
+
+/// A Paillier ciphertext.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext(pub BigUint);
+
+impl PaillierKeyPair {
+    /// Generates a key with an `n` of roughly `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 16`.
+    pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        assert!(bits >= 16, "modulus too small to be meaningful");
+        let (p, q) = loop {
+            let p = gen_prime(rng, bits / 2);
+            let q = gen_prime(rng, bits / 2);
+            if p != q {
+                break (p, q);
+            }
+        };
+        let n = &p * &q;
+        let n_squared = &n * &n;
+        let one = BigUint::one();
+        let pm1 = p.checked_sub(&one).expect("p > 1");
+        let qm1 = q.checked_sub(&one).expect("q > 1");
+        let gcd = pm1.gcd(&qm1);
+        let lambda = (&pm1 * &qm1).div_rem(&gcd).0;
+        let mu = lambda
+            .mod_inverse(&n)
+            .expect("λ is invertible mod n for distinct primes");
+        let mont_n2 = Montgomery::new(&n_squared);
+        PaillierKeyPair {
+            n,
+            n_squared,
+            mont_n2,
+            lambda,
+            mu,
+            counts: RefCell::new(OpCounts::default()),
+        }
+    }
+
+    /// The modulus squared (ciphertext space).
+    pub fn n_squared(&self) -> &BigUint {
+        &self.n_squared
+    }
+
+    /// Accumulated operation counts (shared across users of this key —
+    /// protocols snapshot and diff).
+    pub fn counts(&self) -> OpCounts {
+        *self.counts.borrow()
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_counts(&self) {
+        *self.counts.borrow_mut() = OpCounts::default();
+    }
+
+    /// Encrypts `m < n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= n`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Ciphertext {
+        assert!(m < &self.n, "plaintext out of range");
+        let r = loop {
+            let r = random_below(rng, &self.n);
+            if !r.is_zero() && r.gcd(&self.n).is_one() {
+                break r;
+            }
+        };
+        // (1 + m·n) · r^n mod n²
+        let gm = BigUint::one().add_mod(&(m * &self.n).rem(&self.n_squared), &self.n_squared);
+        let rn = self.mont_n2.pow_mod(&r, &self.n);
+        self.counts.borrow_mut().e3 += 1;
+        self.counts.borrow_mut().m3 += 1;
+        Ciphertext(gm.mul_mod(&rn, &self.n_squared))
+    }
+
+    /// Decrypts a ciphertext.
+    pub fn decrypt(&self, c: &Ciphertext) -> BigUint {
+        let u = self.mont_n2.pow_mod(&c.0, &self.lambda);
+        self.counts.borrow_mut().e3 += 1;
+        let l = u
+            .checked_sub(&BigUint::one())
+            .expect("u >= 1 in the Paillier group")
+            .div_rem(&self.n)
+            .0;
+        self.counts.borrow_mut().m2 += 1;
+        l.mul_mod(&self.mu, &self.n)
+    }
+
+    /// Homomorphic addition: `Enc(a) ⊕ Enc(b) = Enc(a + b)`.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.counts.borrow_mut().m3 += 1;
+        Ciphertext(a.0.mul_mod(&b.0, &self.n_squared))
+    }
+
+    /// Homomorphic scalar multiplication: `Enc(a)^k = Enc(k·a)`.
+    pub fn scalar_mul(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
+        self.counts.borrow_mut().e3 += 1;
+        Ciphertext(self.mont_n2.pow_mod(&a.0, k))
+    }
+
+    /// Encryption of zero with fresh randomness (re-randomization).
+    pub fn rerandomize<R: Rng + ?Sized>(&self, c: &Ciphertext, rng: &mut R) -> Ciphertext {
+        let zero = self.encrypt(&BigUint::zero(), rng);
+        self.add(c, &zero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keys() -> PaillierKeyPair {
+        let mut rng = StdRng::seed_from_u64(1);
+        PaillierKeyPair::generate(256, &mut rng)
+    }
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(2);
+        for m in [0u64, 1, 42, 123456789] {
+            let c = k.encrypt(&big(m), &mut rng);
+            assert_eq!(k.decrypt(&c), big(m), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn ciphertexts_randomized() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(3);
+        let c1 = k.encrypt(&big(7), &mut rng);
+        let c2 = k.encrypt(&big(7), &mut rng);
+        assert_ne!(c1, c2, "semantic security needs fresh randomness");
+        assert_eq!(k.decrypt(&c1), k.decrypt(&c2));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = k.encrypt(&big(1000), &mut rng);
+        let b = k.encrypt(&big(234), &mut rng);
+        assert_eq!(k.decrypt(&k.add(&a, &b)), big(1234));
+    }
+
+    #[test]
+    fn homomorphic_scalar_mul() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = k.encrypt(&big(21), &mut rng);
+        assert_eq!(k.decrypt(&k.scalar_mul(&a, &big(2))), big(42));
+    }
+
+    #[test]
+    fn additive_wraparound_mod_n() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(6);
+        let n_minus_1 = k.n.checked_sub(&BigUint::one()).unwrap();
+        let a = k.encrypt(&n_minus_1, &mut rng);
+        let b = k.encrypt(&big(2), &mut rng);
+        assert_eq!(k.decrypt(&k.add(&a, &b)), BigUint::one());
+    }
+
+    #[test]
+    fn rerandomize_preserves_plaintext() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = k.encrypt(&big(99), &mut rng);
+        let c2 = k.rerandomize(&c, &mut rng);
+        assert_ne!(c, c2);
+        assert_eq!(k.decrypt(&c2), big(99));
+    }
+
+    #[test]
+    fn op_counts_accumulate() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(8);
+        k.reset_counts();
+        let c = k.encrypt(&big(5), &mut rng);
+        let _ = k.decrypt(&c);
+        let counts = k.counts();
+        assert_eq!(counts.e3, 2, "one exp to encrypt, one to decrypt");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_plaintext_rejected() {
+        let k = keys();
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = k.encrypt(&k.n.clone(), &mut rng);
+    }
+}

@@ -1,0 +1,48 @@
+//! Criterion version of Table IV: basic symmetric operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msb_bignum::{BigUint, PrimeField};
+use msb_crypto::aes::{Aes256, BlockCipher};
+use msb_crypto::sha256::Sha256;
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    let attr = b"interest:basketball";
+    group.bench_function("sha256_attribute", |b| {
+        b.iter(|| black_box(Sha256::digest(black_box(attr))))
+    });
+
+    let h = BigUint::from_be_bytes(&Sha256::digest(attr));
+    group.bench_function("mod_p_11", |b| b.iter(|| black_box(h.rem_u64(black_box(11)))));
+
+    let cipher = Aes256::new(&Sha256::digest(attr));
+    group.bench_function("aes256_encrypt_block", |b| {
+        b.iter(|| {
+            let mut block = [7u8; 16];
+            cipher.encrypt_block(&mut block);
+            black_box(block)
+        })
+    });
+    group.bench_function("aes256_decrypt_block", |b| {
+        b.iter(|| {
+            let mut block = [7u8; 16];
+            cipher.decrypt_block(&mut block);
+            black_box(block)
+        })
+    });
+
+    let field = PrimeField::goldilocks448();
+    let a = field.element(BigUint::from_be_bytes(&[0x5a; 32]));
+    let bb = field.element(BigUint::from_be_bytes(&[0xc3; 32]));
+    group.bench_function("multiply_256_field", |b| {
+        b.iter(|| black_box(field.mul(black_box(&a), black_box(&bb))))
+    });
+    group.bench_function("compare_256", |b| {
+        b.iter(|| black_box(black_box(&a).cmp(black_box(&bb))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion version of Table V: 1024/2048-bit modular exponentiation
+//! and multiplication.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msb_bignum::modexp::Montgomery;
+use msb_bignum::prime::random_bits;
+use msb_bignum::BigUint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_width(c: &mut Criterion, bits: usize, label: &str) {
+    let mut rng = StdRng::seed_from_u64(bits as u64);
+    let mut modulus = random_bits(&mut rng, bits);
+    if modulus.is_even() {
+        modulus = &modulus + &BigUint::one();
+    }
+    let base = random_bits(&mut rng, bits - 1);
+    let exp = random_bits(&mut rng, bits - 1);
+    let mont = Montgomery::new(&modulus);
+
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function(format!("{label}_exp"), |b| {
+        b.iter(|| black_box(mont.pow_mod(black_box(&base), black_box(&exp))))
+    });
+    group.bench_function(format!("{label}_mul"), |b| {
+        b.iter(|| black_box(base.mul_mod(black_box(&exp), &modulus)))
+    });
+    group.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    bench_width(c, 1024, "1024");
+    bench_width(c, 2048, "2048");
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion version of Table VI: MatrixGen / KeyGen / RemainderGen /
+//! HintGen / HintSolve on a typical 6-attribute profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msb_profile::hint::{HintConstruction, HintMatrix};
+use msb_profile::profile::{ProfileKey, ProfileVector};
+use msb_profile::Attribute;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_table6(c: &mut Criterion) {
+    let attrs: Vec<Attribute> = (0..6)
+        .map(|i| Attribute::new("tag", format!("t{i}")))
+        .collect();
+    let vector = ProfileVector::from_hashes(attrs.iter().map(|a| a.hash()));
+    let optional = vector.hashes().to_vec();
+    let mut rng = StdRng::seed_from_u64(6);
+    let hint = HintMatrix::generate(&optional, 3, HintConstruction::Cauchy, &mut rng);
+    let assignment: Vec<Option<_>> = optional
+        .iter()
+        .enumerate()
+        .map(|(i, h)| if i < 3 { Some(*h) } else { None })
+        .collect();
+
+    let mut group = c.benchmark_group("table6");
+    group.bench_function("matrix_gen", |b| {
+        b.iter(|| black_box(ProfileVector::from_hashes(attrs.iter().map(|a| a.hash()))))
+    });
+    group.bench_function("key_gen", |b| {
+        b.iter(|| black_box(ProfileKey::from_hashes(vector.hashes())))
+    });
+    group.bench_function("remainder_gen", |b| {
+        b.iter(|| black_box(vector.remainders(black_box(11))))
+    });
+    group.bench_function("hint_gen", |b| {
+        b.iter(|| {
+            let mut r = StdRng::seed_from_u64(6);
+            black_box(HintMatrix::generate(&optional, 3, HintConstruction::Cauchy, &mut r))
+        })
+    });
+    group.bench_function("hint_solve_3_unknowns", |b| {
+        b.iter(|| black_box(hint.solve(black_box(&assignment))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation: the remainder modulus `p` as a privacy/efficiency dial
+//! (paper §IV-B1 argues even small p slashes candidate counts while
+//! keeping dictionary profiling expensive — `(m/p)^mt` guesses).
+//!
+//! Run with `cargo run -p msb-bench --bin ablation_p_sweep --release`.
+
+use msb_bench::print_table;
+use msb_dataset::{WeiboConfig, WeiboDataset};
+use msb_profile::profile::ProfileVector;
+use msb_profile::request::RequestVector;
+
+fn main() {
+    let data = WeiboDataset::generate(
+        &WeiboConfig { users: 10_000, ..WeiboConfig::default() },
+        12,
+    );
+    let six = data.users_with_tag_count(6);
+    let initiators: Vec<_> = six.iter().take(15).collect();
+    let vectors: Vec<ProfileVector> =
+        six.iter().map(|u| u.profile().vector().clone()).collect();
+    let beta = 3usize; // θ = 0.5 as in Table VII
+
+    let mut rows = Vec::new();
+    for p in [7u64, 11, 23, 47, 97] {
+        let mut candidates = 0usize;
+        let mut total = 0usize;
+        let mut wire_bits = 0usize;
+        for initiator in &initiators {
+            let hashes = initiator.profile().vector().hashes().to_vec();
+            let request = RequestVector::from_hashes(Vec::new(), hashes, beta);
+            let rv = request.remainder_vector(p);
+            wire_bits = rv.wire_size_bits();
+            for (user, vector) in six.iter().zip(&vectors) {
+                if user.id == initiator.id {
+                    continue;
+                }
+                total += 1;
+                if rv.fast_check(vector) {
+                    candidates += 1;
+                }
+            }
+        }
+        let fraction = candidates as f64 / total.max(1) as f64;
+        // Dictionary-profiling hardness for a vocabulary of 560 419 tags:
+        // (m/p)^mt guesses (paper §IV-A1).
+        let guesses_log2 = 6.0 * (560_419f64 / p as f64).log2();
+        rows.push(vec![
+            p.to_string(),
+            format!("{fraction:.4}"),
+            format!("{wire_bits} bits"),
+            format!("2^{guesses_log2:.0}"),
+        ]);
+    }
+    print_table(
+        "Ablation — remainder modulus sweep (6-attr requests, β = 3)",
+        &["p", "Candidate fraction", "Remainder vector size", "Dictionary guesses"],
+        &rows,
+    );
+    println!(
+        "\nReading: larger p shrinks the candidate set superlinearly (less\n\
+         wasted work for non-matching users) but also shrinks the attacker's\n\
+         search space. The paper picks p = 11: candidates are already a\n\
+         ~5x minority while brute force stays ≈ 2^94; p = 23 (the paper's\n\
+         other operating point) drops candidates another 4x."
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 4 — profile uniqueness and collisions: the fraction of users
+//! whose exact profile is shared by at most `x` users, with and without
+//! keywords.
+//!
+//! Regenerate with `cargo run -p msb-bench --bin fig4_collisions --release`.
+
+use msb_bench::print_table;
+use msb_dataset::stats::{collision_cdf, unique_fraction};
+use msb_dataset::{WeiboConfig, WeiboDataset};
+
+fn main() {
+    let data = WeiboDataset::generate(&WeiboConfig::evaluation(), 4);
+    let with_kw = collision_cdf(&data, true, 10);
+    let without_kw = collision_cdf(&data, false, 10);
+
+    let rows: Vec<Vec<String>> = (0..10)
+        .map(|i| {
+            vec![
+                format!("{}", i + 1),
+                format!("{:.4}", with_kw[i].1),
+                format!("{:.4}", without_kw[i].1),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 4 — cumulative user fraction vs profile-collision class size",
+        &["Collisions ≤ x", "Profile with keywords", "Profile without keywords"],
+        &rows,
+    );
+
+    let u_with = unique_fraction(&data, true);
+    let u_without = unique_fraction(&data, false);
+    println!(
+        "\nUnique profiles: {:.1}% with keywords, {:.1}% without.\n\
+         Paper headline: 'more than 90% users have unique profiles' — \
+         {}",
+        u_with * 100.0,
+        u_without * 100.0,
+        if u_with > 0.9 { "reproduced" } else { "NOT reproduced" }
+    );
+}

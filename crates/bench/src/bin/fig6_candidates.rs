@@ -1,0 +1,120 @@
+//! Figure 6 — candidate-user proportion vs similarity threshold and
+//! prime `p`: how closely the remainder fast check approximates the true
+//! similar-user set, for p = 11 and p = 23.
+//!
+//! Case (a): all users with exactly 6 attributes.
+//! Case (b): a diverse 1000-user sample.
+//!
+//! Regenerate with `cargo run -p msb-bench --bin fig6_candidates --release`.
+
+use msb_bench::print_table;
+use msb_dataset::stats::shared_tags;
+use msb_dataset::{WeiboConfig, WeiboDataset, WeiboUser};
+use msb_profile::profile::ProfileVector;
+use msb_profile::request::RequestVector;
+
+fn run_case(
+    title: &str,
+    initiators: &[&WeiboUser],
+    population: &[&WeiboUser],
+    max_s: usize,
+    primes: &[u64],
+) {
+    // Pre-hash the population once.
+    let vectors: Vec<ProfileVector> =
+        population.iter().map(|u| u.profile().vector().clone()).collect();
+
+    let mut rows = Vec::new();
+    for s in 1..=max_s {
+        let mut truth_acc = 0.0;
+        let mut cand_acc = vec![0.0; primes.len()];
+        let mut denom = 0usize;
+        for initiator in initiators {
+            if initiator.tags.len() < s {
+                continue;
+            }
+            denom += 1;
+            let hashes: Vec<_> = initiator
+                .profile()
+                .vector()
+                .hashes()
+                .to_vec();
+            let request = RequestVector::from_hashes(Vec::new(), hashes, s);
+            let mut truth = 0usize;
+            let mut cand = vec![0usize; primes.len()];
+            for (other, vector) in population.iter().zip(&vectors) {
+                if other.id == initiator.id {
+                    continue;
+                }
+                if shared_tags(initiator, other) >= s {
+                    truth += 1;
+                }
+                for (pi, &p) in primes.iter().enumerate() {
+                    let rv = request.remainder_vector(p);
+                    if rv.fast_check(vector) {
+                        cand[pi] += 1;
+                    }
+                }
+            }
+            let pop = (population.len() - 1) as f64;
+            truth_acc += truth as f64 / pop;
+            for (pi, c) in cand.iter().enumerate() {
+                cand_acc[pi] += *c as f64 / pop;
+            }
+        }
+        let denom = denom.max(1) as f64;
+        let mut row = vec![s.to_string(), format!("{:.4}", truth_acc / denom)];
+        for c in &cand_acc {
+            row.push(format!("{:.4}", c / denom));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = ["Shared attrs (similarity)", "Truth proportion"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(primes.iter().map(|p| format!("Candidates (p={p})")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(title, &header_refs, &rows);
+}
+
+fn main() {
+    let data = WeiboDataset::generate(
+        &WeiboConfig { users: 20_000, ..WeiboConfig::default() },
+        6,
+    );
+    let primes = [11u64, 23];
+
+    // Case (a): users with exactly 6 attributes.
+    let six: Vec<&WeiboUser> = data.users_with_tag_count(6);
+    let initiators_a: Vec<&WeiboUser> = six.iter().copied().take(25).collect();
+    run_case(
+        "Figure 6a — candidate proportion, users with 6 attributes",
+        &initiators_a,
+        &six,
+        6,
+        &primes,
+    );
+
+    // Case (b): a diverse 1000-user sample.
+    let diverse = data.sample_users(1_000, 9);
+    let initiators_b: Vec<&WeiboUser> = diverse
+        .iter()
+        .copied()
+        .filter(|u| u.tags.len() >= 4)
+        .take(25)
+        .collect();
+    run_case(
+        "Figure 6b — candidate proportion, diverse attribute counts",
+        &initiators_b,
+        &diverse,
+        9,
+        &primes,
+    );
+
+    println!(
+        "\nShape checks (paper Fig. 6): the candidate proportion upper-bounds\n\
+         the truth at every similarity level (Theorem 1: no false negatives),\n\
+         and p = 23 hugs the truth tighter than p = 11."
+    );
+}

@@ -1,0 +1,120 @@
+//! Figure 7 — candidate profile-key-set size (mean and max) vs
+//! similarity threshold, for p = 11 and p = 23: the cost a *candidate*
+//! pays before the decisive decryption.
+//!
+//! Regenerate with `cargo run -p msb-bench --bin fig7_keyset --release`.
+
+use msb_bench::print_table;
+use msb_dataset::{WeiboConfig, WeiboDataset, WeiboUser};
+use msb_profile::hint::HintConstruction;
+use msb_profile::matching::{
+    enumerate_candidate_keys_with_stats, EnumerationMode, MatchConfig,
+};
+use msb_profile::profile::ProfileVector;
+use msb_profile::request::RequestVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_case(
+    title: &str,
+    initiators: &[&WeiboUser],
+    population: &[&WeiboUser],
+    max_s: usize,
+    primes: &[u64],
+) {
+    let vectors: Vec<ProfileVector> =
+        population.iter().map(|u| u.profile().vector().clone()).collect();
+    // The paper's literal enumeration rule, to reproduce its counts.
+    let config = MatchConfig { mode: EnumerationMode::Strict, max_assignments: 10_000 };
+    let mut rng = StdRng::seed_from_u64(70);
+
+    let mut rows = Vec::new();
+    for s in 1..=max_s {
+        let mut row = vec![s.to_string()];
+        for &p in primes {
+            let mut total_keys = 0usize;
+            let mut max_keys = 0usize;
+            let mut candidates = 0usize;
+            for initiator in initiators {
+                if initiator.tags.len() < s {
+                    continue;
+                }
+                let hashes = initiator.profile().vector().hashes().to_vec();
+                let request = RequestVector::from_hashes(Vec::new(), hashes, s);
+                let rv = request.remainder_vector(p);
+                let hint = request.hint_matrix(HintConstruction::Cauchy, &mut rng);
+                for vector in &vectors {
+                    if !rv.fast_check(vector) {
+                        continue;
+                    }
+                    let (_, stats) = enumerate_candidate_keys_with_stats(
+                        vector,
+                        &rv,
+                        hint.as_ref(),
+                        &config,
+                    );
+                    if stats.assignments == 0 {
+                        continue;
+                    }
+                    // The paper counts the raw candidate keys a user must
+                    // try-decrypt (one per structurally valid assignment),
+                    // before any deduplication.
+                    candidates += 1;
+                    total_keys += stats.assignments;
+                    max_keys = max_keys.max(stats.assignments);
+                }
+            }
+            let mean = total_keys as f64 / candidates.max(1) as f64;
+            row.push(format!("{mean:.2}"));
+            row.push(max_keys.to_string());
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("Similarity".to_string())
+        .chain(primes.iter().flat_map(|p| {
+            [format!("Mean keys (p={p})"), format!("Max keys (p={p})")]
+        }))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(title, &header_refs, &rows);
+}
+
+fn main() {
+    let data = WeiboDataset::generate(
+        &WeiboConfig { users: 8_000, ..WeiboConfig::default() },
+        7,
+    );
+    let primes = [11u64, 23];
+
+    let six = data.users_with_tag_count(6);
+    let initiators_a: Vec<&WeiboUser> = six.iter().copied().take(10).collect();
+    run_case(
+        "Figure 7a — candidate key-set size, users with 6 attributes",
+        &initiators_a,
+        &six,
+        6,
+        &primes,
+    );
+
+    let diverse = data.sample_users(1_000, 11);
+    let initiators_b: Vec<&WeiboUser> = diverse
+        .iter()
+        .copied()
+        .filter(|u| u.tags.len() >= 4)
+        .take(10)
+        .collect();
+    run_case(
+        "Figure 7b — candidate key-set size, diverse attribute counts",
+        &initiators_b,
+        &diverse,
+        9,
+        &primes,
+    );
+
+    println!(
+        "\nShape checks (paper Fig. 7): mean key-set sizes stay in the low\n\
+         single digits at every similarity level, maxima stay bounded\n\
+         (paper: ≤ 7 for 6-attribute users, ≤ 12 for diverse users), and\n\
+         p = 23 produces smaller sets than p = 11."
+    );
+}

@@ -1,0 +1,97 @@
+//! Table III — symbolic computation/communication comparison with
+//! FNP'04, FC'10 and the FindU-style "Advanced" scheme, evaluated for the
+//! paper's typical parameters and cross-checked against the *executed*
+//! baselines.
+//!
+//! Regenerate with `cargo run -p msb-bench --bin table3_costs --release`.
+
+use msb_baselines::cost::{
+    expected_candidate_fraction, fc10_formula, findu_formula, fnp_formula, protocol1_formula,
+    ScenarioParams,
+};
+use msb_baselines::fc10::{Fc10, RsaKey};
+use msb_baselines::fnp04::Fnp04;
+use msb_baselines::paillier::PaillierKeyPair;
+use msb_bench::print_table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let s = ScenarioParams::table7();
+    let (fnp_i, fnp_p, fnp_bits) = fnp_formula(&s);
+    let (fc_i, fc_p, fc_bits) = fc10_formula(&s);
+    let (fu_i, fu_p, fu_bits) = findu_formula(&s);
+    let (p1_i, p1_p, p1_bits) = protocol1_formula(&s, 1);
+
+    let rows = vec![
+        vec![
+            "FNP [10]".into(),
+            format!("(2mt + mk·n) E3 = {} E3", fnp_i.e3),
+            format!("mk·log(mt) E3 = {} E3", fnp_p.e3),
+            format!("8q(mt + mk·n) = {} KB", fnp_bits / 8 / 1024),
+            "1 broadcast + n unicasts".into(),
+        ],
+        vec![
+            "FC10 [7]".into(),
+            format!("2.5·mt·n M2 = {} M2", fc_i.m2),
+            format!("(mt + mk) E2 = {} E2", fc_p.e2),
+            format!("4qn(3mt + mk) = {} KB", fc_bits / 8 / 1024),
+            "2n unicasts".into(),
+        ],
+        vec![
+            "Advanced [14]".into(),
+            format!("3mt·n E3 = {} E3", fu_i.e3),
+            format!("2mt E3 = {} E3", fu_p.e3),
+            format!("{} KB", fu_bits / 8 / 1024),
+            "5n unicasts".into(),
+        ],
+        vec![
+            "Protocol 1".into(),
+            format!("(mt+1)H + mt·M + E = {}H+{}M+{}E", p1_i.h, p1_i.modp, p1_i.aes_enc),
+            format!(
+                "{}H + {}M (+{} mul256, {}D if candidate)",
+                p1_p.h, p1_p.modp, p1_p.mul256, p1_p.aes_dec
+            ),
+            format!("{} B", p1_bits / 8),
+            format!(
+                "1 broadcast + n·(1/p)^(mt·θ) ≈ {:.2} unicasts",
+                s.n as f64 * expected_candidate_fraction(&s)
+            ),
+        ],
+    ];
+    print_table(
+        "Table III — cost comparison (mt=mk=6, n=100, q=256, p=11, θ=0.5, t=4)",
+        &["Scheme", "Computation P1", "Computation Pk", "Communication", "Transmissions"],
+        &rows,
+    );
+
+    // Cross-check the symbolic rows against the executed baselines on a
+    // single pair (op counts are parameter-exact, keys scaled down for
+    // speed; op *counts* are key-size independent).
+    println!("\nCross-check against executed protocols (one pair, mt = mk = 6):");
+    let mut rng = StdRng::seed_from_u64(7);
+    let keys = PaillierKeyPair::generate(256, &mut rng);
+    let x: Vec<u64> = (0..6).collect();
+    let y: Vec<u64> = (3..9).collect();
+    let fnp = Fnp04::run_u64(&keys, &x, &y, &mut rng);
+    println!(
+        "  FNP'04   executed: client {} E3, server {} E3 (formula/pair: {} + {})",
+        fnp.client_ops.e3,
+        fnp.server_ops.e3,
+        2 * s.mt,
+        s.mk * s.mt
+    );
+    let rsa = RsaKey::generate(256, &mut rng);
+    let fc = Fc10::run_u64(&rsa, &x, &y, &mut rng);
+    println!(
+        "  FC'10    executed: client {} E2, server {} E2 (formula/pair: {} + {})",
+        fc.client_ops.e2,
+        fc.server_ops.e2,
+        s.mt,
+        s.mt + s.mk
+    );
+    println!(
+        "  Sealed Bottle needs no asymmetric operations at all — see table4_ops\n\
+         and table7_scenario for the measured symmetric costs."
+    );
+}

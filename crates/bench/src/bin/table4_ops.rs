@@ -1,0 +1,38 @@
+//! Table IV — mean computation time of the basic symmetric operations,
+//! measured on this machine and printed next to the paper's laptop and
+//! phone numbers.
+//!
+//! Regenerate with `cargo run -p msb-bench --bin table4_ops --release`
+//! (or `cargo bench -p msb-bench --bench table4_ops` for the Criterion
+//! version with confidence intervals).
+
+use msb_baselines::cost::OpCostTable;
+use msb_bench::{fmt_ms, measured_cost_table, print_table};
+
+fn main() {
+    let measured = measured_cost_table();
+    let laptop = OpCostTable::paper_laptop();
+    let phone = OpCostTable::paper_phone();
+
+    let rows = vec![
+        row("SHA-256", measured.h_ms, laptop.h_ms, phone.h_ms),
+        row("Mod p", measured.modp_ms, laptop.modp_ms, phone.modp_ms),
+        row("AES Enc", measured.aes_enc_ms, laptop.aes_enc_ms, phone.aes_enc_ms),
+        row("AES Dec", measured.aes_dec_ms, laptop.aes_dec_ms, phone.aes_dec_ms),
+        row("Multiply-256", measured.mul256_ms, laptop.mul256_ms, phone.mul256_ms),
+        row("Compare-256", measured.cmp256_ms, laptop.cmp256_ms, phone.cmp256_ms),
+    ];
+    print_table(
+        "Table IV — mean time of basic operations (ms)",
+        &["Operation", "Measured (this machine)", "Paper laptop", "Paper phone"],
+        &rows,
+    );
+    println!(
+        "\nShape check: every symmetric operation is microseconds or less —\n\
+         3–6 orders of magnitude below the asymmetric operations of Table V."
+    );
+}
+
+fn row(name: &str, measured: f64, laptop: f64, phone: f64) -> Vec<String> {
+    vec![name.to_string(), fmt_ms(measured), fmt_ms(laptop), fmt_ms(phone)]
+}

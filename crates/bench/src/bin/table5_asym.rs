@@ -1,0 +1,52 @@
+//! Table V — mean computation time of the asymmetric-cryptosystem basic
+//! operations (1024/2048-bit modular exponentiation and multiplication)
+//! on our bignum substrate, printed next to the paper's numbers.
+//!
+//! Regenerate with `cargo run -p msb-bench --bin table5_asym --release`
+//! (or `cargo bench -p msb-bench --bench table5_asym`).
+
+use msb_baselines::cost::OpCostTable;
+use msb_bench::{fmt_ms, measured_cost_table, print_table};
+
+fn main() {
+    let measured = measured_cost_table();
+    let laptop = OpCostTable::paper_laptop();
+    let phone = OpCostTable::paper_phone();
+
+    let rows = vec![
+        vec![
+            "1024-exp (E2)".to_string(),
+            fmt_ms(measured.e2_ms),
+            fmt_ms(laptop.e2_ms),
+            fmt_ms(phone.e2_ms),
+        ],
+        vec![
+            "2048-exp (E3)".to_string(),
+            fmt_ms(measured.e3_ms),
+            fmt_ms(laptop.e3_ms),
+            fmt_ms(phone.e3_ms),
+        ],
+        vec![
+            "1024-mul (M2)".to_string(),
+            fmt_ms(measured.m2_ms),
+            fmt_ms(laptop.m2_ms),
+            fmt_ms(phone.m2_ms),
+        ],
+        vec![
+            "2048-mul (M3)".to_string(),
+            fmt_ms(measured.m3_ms),
+            fmt_ms(laptop.m3_ms),
+            fmt_ms(phone.m3_ms),
+        ],
+    ];
+    print_table(
+        "Table V — asymmetric basic operations (ms)",
+        &["Operation", "Measured (this machine)", "Paper laptop", "Paper phone"],
+        &rows,
+    );
+    let ratio = measured.e3_ms / measured.h_ms.max(1e-9);
+    println!(
+        "\nShape check: one 2048-bit exponentiation costs as much as ≈ {ratio:.0}\n\
+         SHA-256 hashes on this machine (the paper's core efficiency argument)."
+    );
+}

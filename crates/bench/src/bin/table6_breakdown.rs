@@ -1,0 +1,107 @@
+//! Table VI — decomposed computation time of the Sealed Bottle
+//! operations over Weibo-calibrated profiles: MatrixGen (attribute
+//! hashing into the profile vector), KeyGen (profile key), RemainderGen,
+//! HintGen and HintSolve, reported as mean/min/max like the paper.
+//!
+//! Regenerate with
+//! `cargo run -p msb-bench --bin table6_breakdown --release`
+//! (or `cargo bench -p msb-bench --bench table6_breakdown`).
+
+use msb_bench::{fmt_ms, print_table, time_once};
+use msb_dataset::{WeiboConfig, WeiboDataset};
+use msb_profile::hint::{HintConstruction, HintMatrix};
+use msb_profile::profile::{ProfileKey, ProfileVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Default)]
+struct Agg {
+    samples: Vec<f64>,
+}
+
+impl Agg {
+    fn push(&mut self, ms: f64) {
+        self.samples.push(ms);
+    }
+    fn row(&self, name: &str) -> Vec<String> {
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len().max(1) as f64;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().cloned().fold(0.0, f64::max);
+        vec![name.to_string(), fmt_ms(mean), fmt_ms(min), fmt_ms(max)]
+    }
+}
+
+fn main() {
+    let data = WeiboDataset::generate(&WeiboConfig { users: 3_000, ..WeiboConfig::default() }, 6);
+    let mut rng = StdRng::seed_from_u64(66);
+    let p = 11u64;
+
+    let mut matrix_gen = Agg::default();
+    let mut key_gen = Agg::default();
+    let mut remainder_gen = Agg::default();
+    let mut hint_gen = Agg::default();
+    let mut hint_solve = Agg::default();
+
+    for user in data.sample_users(500, 1) {
+        let attrs = user.tag_attributes();
+
+        // MatrixGen: hash every attribute into the sorted profile vector.
+        let (vector, ms) = time_once(|| {
+            ProfileVector::from_hashes(attrs.iter().map(|a| a.hash()))
+        });
+        matrix_gen.push(ms);
+
+        // KeyGen: K = H(H_k).
+        let (_key, ms) = time_once(|| ProfileKey::from_hashes(vector.hashes()));
+        key_gen.push(ms);
+
+        // RemainderGen: every hash mod p.
+        let (_rems, ms) = time_once(|| vector.remainders(p));
+        remainder_gen.push(ms);
+
+        // HintGen / HintSolve need a fuzzy request: use the user's tags
+        // as the optional block with β = ⌈len/2⌉ (θ ≈ 0.5, like Table VII).
+        let optional = vector.hashes().to_vec();
+        if optional.len() < 2 {
+            continue;
+        }
+        let beta = optional.len().div_ceil(2);
+        let gamma = optional.len() - beta;
+        if gamma == 0 {
+            continue;
+        }
+        let (hint, ms) = time_once(|| {
+            HintMatrix::generate(&optional, beta, HintConstruction::Cauchy, &mut rng)
+        });
+        hint_gen.push(ms);
+
+        // Solve with the worst case: γ unknowns at the tail.
+        let assignment: Vec<Option<_>> = optional
+            .iter()
+            .enumerate()
+            .map(|(i, h)| if i < beta { Some(*h) } else { None })
+            .collect();
+        let (solved, ms) = time_once(|| hint.solve(&assignment));
+        hint_solve.push(ms);
+        assert_eq!(solved.as_deref(), Some(&optional[..]), "solver must recover the truth");
+    }
+
+    let rows = vec![
+        matrix_gen.row("MatrixGen"),
+        key_gen.row("KeyGen"),
+        remainder_gen.row("RemainderGen"),
+        hint_gen.row("HintGen"),
+        hint_solve.row("HintSolve"),
+    ];
+    print_table(
+        "Table VI — decomposed computation time over Weibo-calibrated profiles (ms)",
+        &["Operation", "Mean", "Min", "Max"],
+        &rows,
+    );
+    println!(
+        "\nPaper laptop reference (ms): MatrixGen 7.2e-3, KeyGen 8.1e-3,\n\
+         RemainderGen 1.9e-3, HintGen 4.7e-3, HintSolve 3e-2.\n\
+         Shape check: HintSolve dominates; everything stays well under 1 ms\n\
+         for ordinary profiles."
+    );
+}

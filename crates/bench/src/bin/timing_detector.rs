@@ -1,0 +1,87 @@
+//! Protocol 2 step 3 calibration: distinguishing honest candidates from
+//! dictionary attackers by response time and reply-set cardinality.
+//!
+//! "An ordinary user with about dozens of attributes can make a quick
+//! reaction and reply a small size acknowledge set, while it takes much
+//! longer for a malicious user due to a large number of candidate
+//! attribute combinations" (§III-E-2). This binary measures both
+//! populations on real enumeration workloads and reports the separation,
+//! justifying the default `reply_window_us` / `max_reply_set` choices.
+//!
+//! Run with `cargo run -p msb-bench --bin timing_detector --release`.
+
+use msb_bench::{fmt_ms, print_table, time_once};
+use msb_profile::attribute::Attribute;
+use msb_profile::matching::{
+    enumerate_candidate_keys_with_stats, EnumerationMode, MatchConfig,
+};
+use msb_profile::profile::Profile;
+use msb_profile::request::RequestProfile;
+use msb_profile::hint::HintConstruction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let vocabulary: Vec<Attribute> = (0..300)
+        .map(|i| Attribute::new("interest", format!("w{i}")))
+        .collect();
+    let request = RequestProfile::new(
+        vec![vocabulary[0].clone()],
+        vec![vocabulary[1].clone(), vocabulary[2].clone(), vocabulary[3].clone()],
+        2,
+    )
+    .unwrap();
+    let sealed = request.try_seal(11, HintConstruction::Cauchy, &mut rng).unwrap();
+    let config = MatchConfig { mode: EnumerationMode::Exhaustive, max_assignments: 500_000 };
+
+    let mut rows = Vec::new();
+    // Honest users: 6, 12, 20 attributes from the vocabulary.
+    for n in [6usize, 12, 20] {
+        let profile = Profile::from_attributes(vocabulary.iter().take(n).cloned());
+        let ((_, stats), ms) = time_once(|| {
+            enumerate_candidate_keys_with_stats(
+                profile.vector(),
+                &sealed.remainder,
+                sealed.hint.as_ref(),
+                &config,
+            )
+        });
+        rows.push(vec![
+            format!("honest, {n} attrs"),
+            stats.assignments.to_string(),
+            stats.distinct_keys.to_string(),
+            fmt_ms(ms),
+        ]);
+    }
+    // Dictionary attackers: growing vocabularies as "profiles".
+    for n in [100usize, 200, 300] {
+        let profile = Profile::from_attributes(vocabulary.iter().take(n).cloned());
+        let ((_, stats), ms) = time_once(|| {
+            enumerate_candidate_keys_with_stats(
+                profile.vector(),
+                &sealed.remainder,
+                sealed.hint.as_ref(),
+                &config,
+            )
+        });
+        rows.push(vec![
+            format!("attacker, {n}-word dictionary"),
+            stats.assignments.to_string(),
+            stats.distinct_keys.to_string(),
+            fmt_ms(ms),
+        ]);
+    }
+    print_table(
+        "Protocol 2 detector calibration — enumeration load per responder",
+        &["Responder", "Assignments", "Candidate keys", "Enumeration (ms)"],
+        &rows,
+    );
+    println!(
+        "\nReading: honest reply sets stay in the single digits and compute in\n\
+         well under a millisecond; a dictionary responder's combinations (and\n\
+         acknowledgement set, if they gamble them all) grow combinatorially.\n\
+         Defaults of max_reply_set = 8 and a 10 s reply window sit several\n\
+         orders of magnitude above honest behaviour and below attackers'."
+    );
+}

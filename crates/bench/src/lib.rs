@@ -1,0 +1,210 @@
+//! Shared harness utilities for the table/figure binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it (see DESIGN.md §4 for the index); the
+//! microbenchmark tables additionally have Criterion benches under
+//! `benches/`. This library holds the common pieces: wall-clock
+//! measurement, table rendering, and a measured per-operation cost table
+//! that mirrors the paper's Tables IV–V.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use msb_baselines::cost::OpCostTable;
+use std::time::Instant;
+
+/// Mean/min/max of a timed operation, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeStats {
+    /// Mean per-iteration time.
+    pub mean_ms: f64,
+    /// Fastest iteration.
+    pub min_ms: f64,
+    /// Slowest iteration.
+    pub max_ms: f64,
+}
+
+/// Times `f` over `iters` iterations after `warmup` unmeasured ones.
+pub fn time_stats<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> TimeStats {
+    assert!(iters > 0, "need at least one iteration");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut min = f64::INFINITY;
+    let mut max: f64 = 0.0;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        min = min.min(ms);
+        max = max.max(ms);
+        total += ms;
+    }
+    TimeStats { mean_ms: total / iters as f64, min_ms: min, max_ms: max }
+}
+
+/// Times one execution of `f` and returns (result, elapsed ms).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Formats a millisecond value the way the paper prints it
+/// (scientific for small values).
+pub fn fmt_ms(ms: f64) -> String {
+    if ms == 0.0 {
+        "0".to_string()
+    } else if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 0.1 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.1e}")
+    }
+}
+
+/// Renders an aligned ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::from("| ");
+        for (i, c) in cells.iter().enumerate() {
+            let pad = widths.get(i).copied().unwrap_or(c.len());
+            s.push_str(&format!("{:<w$} | ", c, w = pad));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Measures this machine's per-operation costs (the "measured" columns of
+/// Tables IV/V). Asymmetric measurements use a few iterations only — they
+/// are milliseconds each.
+pub fn measured_cost_table() -> OpCostTable {
+    use msb_bignum::modexp::Montgomery;
+    use msb_bignum::prime::random_bits;
+    use msb_bignum::{BigUint, PrimeField};
+    use msb_crypto::aes::{Aes256, BlockCipher};
+    use msb_crypto::sha256::Sha256;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(0xbe9c);
+    let attr = b"interest:basketball";
+    let h = Sha256::digest(attr);
+    let h_big = BigUint::from_be_bytes(&h);
+    let field = PrimeField::goldilocks448();
+    let a = field.element(BigUint::from_be_bytes(&[0x5au8; 32]));
+    let b = field.element(BigUint::from_be_bytes(&[0xc3u8; 32]));
+
+    let h_ms = time_stats(100, 2_000, || {
+        std::hint::black_box(Sha256::digest(attr));
+    })
+    .mean_ms;
+    let modp_ms = time_stats(100, 2_000, || {
+        std::hint::black_box(h_big.rem_u64(11));
+    })
+    .mean_ms;
+    let cipher = Aes256::new(&h);
+    let mut block = [0u8; 16];
+    let aes_enc_ms = time_stats(100, 2_000, || {
+        cipher.encrypt_block(&mut block);
+        std::hint::black_box(&block);
+    })
+    .mean_ms;
+    let aes_dec_ms = time_stats(100, 2_000, || {
+        cipher.decrypt_block(&mut block);
+        std::hint::black_box(&block);
+    })
+    .mean_ms;
+    let mul256_ms = time_stats(100, 2_000, || {
+        std::hint::black_box(field.mul(&a, &b));
+    })
+    .mean_ms;
+    let cmp256_ms = time_stats(100, 2_000, || {
+        std::hint::black_box(a.cmp(&b));
+    })
+    .mean_ms;
+
+    // Asymmetric ops on random odd moduli of the right widths.
+    let mut asym = |bits: usize| -> (f64, f64) {
+        let modulus = {
+            let mut m = random_bits(&mut rng, bits);
+            if m.is_even() {
+                m = &m + &BigUint::one();
+            }
+            m
+        };
+        let base = random_bits(&mut rng, bits - 1);
+        let exp = random_bits(&mut rng, bits - 1);
+        let mont = Montgomery::new(&modulus);
+        let exp_ms = time_stats(1, 5, || {
+            std::hint::black_box(mont.pow_mod(&base, &exp));
+        })
+        .mean_ms;
+        let mul_ms = time_stats(5, 50, || {
+            std::hint::black_box(base.mul_mod(&exp, &modulus));
+        })
+        .mean_ms;
+        (exp_ms, mul_ms)
+    };
+    let (e2_ms, m2_ms) = asym(1024);
+    let (e3_ms, m3_ms) = asym(2048);
+
+    OpCostTable {
+        e2_ms,
+        e3_ms,
+        m2_ms,
+        m3_ms,
+        h_ms,
+        modp_ms,
+        aes_enc_ms,
+        aes_dec_ms,
+        mul256_ms,
+        cmp256_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_stats_ordering() {
+        let s = time_stats(0, 10, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(s.min_ms <= s.mean_ms && s.mean_ms <= s.max_ms);
+        assert!(s.min_ms >= 0.0);
+    }
+
+    #[test]
+    fn fmt_ms_ranges() {
+        assert_eq!(fmt_ms(0.0), "0");
+        assert_eq!(fmt_ms(150.0), "150");
+        assert_eq!(fmt_ms(0.5), "0.50");
+        assert!(fmt_ms(0.00039).contains('e'));
+    }
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, ms) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+}

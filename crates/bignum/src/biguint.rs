@@ -1,0 +1,815 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Little-endian `u64` limbs, always normalized (no trailing zero limbs;
+//! zero is the empty limb vector). School-book multiplication and Knuth
+//! Algorithm-D division — ample for the 2048-bit moduli the baselines use.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Example
+///
+/// ```
+/// use msb_bignum::biguint::BigUint;
+///
+/// let a = BigUint::from_be_bytes(&[0x01, 0x00]); // 256
+/// let b = BigUint::from(4u64);
+/// assert_eq!((&a * &b).to_string(), "1024");
+/// let (q, r) = a.div_rem(&BigUint::from(10u64));
+/// assert_eq!(q, BigUint::from(25u64));
+/// assert_eq!(r, BigUint::from(6u64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Whether this is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether this is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Whether the low bit is set.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Whether the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        !self.is_odd()
+    }
+
+    /// Constructs from little-endian limbs (normalizes).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Borrow the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Constructs from big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros (empty for 0).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.drain(..skip);
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes, left-padded with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
+        let bytes = self.to_be_bytes();
+        assert!(bytes.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - bytes.len()];
+        out.extend_from_slice(&bytes);
+        out
+    }
+
+    /// Parses a hexadecimal string (no prefix, case-insensitive).
+    ///
+    /// Returns `None` on any non-hex character or empty input.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut value = BigUint::zero();
+        for c in s.bytes() {
+            let d = match c {
+                b'0'..=b'9' => c - b'0',
+                b'a'..=b'f' => c - b'a' + 10,
+                b'A'..=b'F' => c - b'A' + 10,
+                _ => return None,
+            };
+            value = value.shl_bits(4);
+            value = &value + &BigUint::from(d as u64);
+        }
+        Some(value)
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Returns bit `i` (LSB is bit 0).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        let off = i % 64;
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> Self {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr_bits(&self, bits: usize) -> Self {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let mut l = src[i] >> bit_shift;
+                if i + 1 < src.len() {
+                    l |= src[i + 1] << (64 - bit_shift);
+                }
+                limbs.push(l);
+            }
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// `self - other`, or `None` if the result would be negative.
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            limbs.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        Some(Self::from_limbs(limbs))
+    }
+
+    /// Quotient and remainder of `self / divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (Self::zero(), self.clone()),
+            Ordering::Equal => return (Self::one(), Self::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, Self::from(r));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Division by a single limb.
+    pub fn div_rem_u64(&self, divisor: u64) -> (Self, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut q = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            q[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (Self::from_limbs(q), rem as u64)
+    }
+
+    /// Remainder modulo a small `u64` divisor — the paper's "mod p" basic
+    /// operation (remainder-vector entries, §III-C-1).
+    pub fn rem_u64(&self, divisor: u64) -> u64 {
+        assert!(divisor != 0, "division by zero");
+        let mut rem = 0u128;
+        for &l in self.limbs.iter().rev() {
+            rem = ((rem << 64) | l as u128) % divisor as u128;
+        }
+        rem as u64
+    }
+
+    /// Knuth Algorithm D (TAOCP vol. 2, 4.3.1) for multi-limb divisors.
+    fn div_rem_knuth(&self, divisor: &Self) -> (Self, Self) {
+        let shift = divisor.limbs.last().expect("nonzero").leading_zeros() as usize;
+        let b = divisor.shl_bits(shift);
+        let mut a = self.shl_bits(shift).limbs;
+        let n = b.limbs.len();
+        let m = a.len() - n;
+        a.push(0); // a has m + n + 1 limbs
+        let mut q = vec![0u64; m + 1];
+        let btop = b.limbs[n - 1] as u128;
+        let bsecond = b.limbs[n - 2] as u128;
+
+        for j in (0..=m).rev() {
+            let top2 = ((a[j + n] as u128) << 64) | a[j + n - 1] as u128;
+            let mut qhat = top2 / btop;
+            let mut rhat = top2 % btop;
+            while qhat >> 64 != 0 || qhat * bsecond > ((rhat << 64) | a[j + n - 2] as u128) {
+                qhat -= 1;
+                rhat += btop;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract qhat * b from a[j .. j+n+1].
+            let mut borrow: i128 = 0;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let product = qhat * b.limbs[i] as u128 + carry;
+                carry = product >> 64;
+                let sub = (a[j + i] as i128) - (product as u64 as i128) + borrow;
+                a[j + i] = sub as u64;
+                borrow = sub >> 64; // arithmetic shift: 0 or -1
+            }
+            let sub = (a[j + n] as i128) - (carry as i128) + borrow;
+            a[j + n] = sub as u64;
+            borrow = sub >> 64;
+
+            if borrow != 0 {
+                // qhat was one too large; add b back.
+                qhat -= 1;
+                let mut carry2 = 0u128;
+                for i in 0..n {
+                    let sum = a[j + i] as u128 + b.limbs[i] as u128 + carry2;
+                    a[j + i] = sum as u64;
+                    carry2 = sum >> 64;
+                }
+                a[j + n] = a[j + n].wrapping_add(carry2 as u64);
+            }
+            q[j] = qhat as u64;
+        }
+        let rem = Self::from_limbs(a[..n].to_vec()).shr_bits(shift);
+        (Self::from_limbs(q), rem)
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &Self) -> Self {
+        self.div_rem(modulus).1
+    }
+
+    /// `(self + other) mod modulus`. Inputs must already be reduced.
+    pub fn add_mod(&self, other: &Self, modulus: &Self) -> Self {
+        let sum = self + other;
+        if &sum >= modulus {
+            sum.checked_sub(modulus).expect("sum >= modulus")
+        } else {
+            sum
+        }
+    }
+
+    /// `(self - other) mod modulus`. Inputs must already be reduced.
+    pub fn sub_mod(&self, other: &Self, modulus: &Self) -> Self {
+        if self >= other {
+            self.checked_sub(other).expect("checked above")
+        } else {
+            let diff = other.checked_sub(self).expect("other > self");
+            modulus.checked_sub(&diff).expect("inputs reduced")
+        }
+    }
+
+    /// `(self * other) mod modulus` via full multiply then Algorithm-D
+    /// reduction. This is the "M2/M3 modular multiplication" basic operation
+    /// of the paper's Table V.
+    pub fn mul_mod(&self, other: &Self, modulus: &Self) -> Self {
+        (self * other).rem(modulus)
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0usize;
+        while a.is_even() && b.is_even() {
+            a = a.shr_bits(1);
+            b = b.shr_bits(1);
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a.shr_bits(1);
+        }
+        loop {
+            while b.is_even() {
+                b = b.shr_bits(1);
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.checked_sub(&a).expect("b >= a after swap");
+            if b.is_zero() {
+                return a.shl_bits(shift);
+            }
+        }
+    }
+
+    /// Modular inverse of `self` modulo `modulus`, if
+    /// `gcd(self, modulus) == 1`.
+    ///
+    /// Extended Euclid over signed cofactors, tracked as (sign, magnitude).
+    pub fn mod_inverse(&self, modulus: &Self) -> Option<Self> {
+        if modulus.is_zero() || self.is_zero() {
+            return None;
+        }
+        // Invariants: old_r = old_s * self (mod modulus), r = s * self.
+        let mut old_r = self.rem(modulus);
+        let mut r = modulus.clone();
+        // (sign, magnitude) pairs.
+        let mut old_s: (bool, BigUint) = (false, BigUint::one());
+        let mut s: (bool, BigUint) = (false, BigUint::zero());
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            // new_s = old_s - q * s
+            let qs = &q * &s.1;
+            let new_s = signed_sub(&old_s, &(s.0, qs));
+            old_s = std::mem::replace(&mut s, new_s);
+        }
+        if !old_r.is_one() {
+            return None;
+        }
+        let inv = if old_s.0 {
+            modulus.checked_sub(&old_s.1.rem(modulus)).map(|v| v.rem(modulus))?
+        } else {
+            old_s.1.rem(modulus)
+        };
+        Some(inv)
+    }
+}
+
+/// `(a_sign, a) - (b_sign, b)` over sign-magnitude integers.
+fn signed_sub(a: &(bool, BigUint), b: &(bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        (false, true) => (false, &a.1 + &b.1),  // a - (-b) = a + b
+        (true, false) => (true, &a.1 + &b.1),   // -a - b = -(a + b)
+        (false, false) => {
+            if a.1 >= b.1 {
+                (false, a.1.checked_sub(&b.1).expect("a >= b"))
+            } else {
+                (true, b.1.checked_sub(&a.1).expect("b > a"))
+            }
+        }
+        (true, true) => {
+            // -a - (-b) = b - a
+            if b.1 >= a.1 {
+                (false, b.1.checked_sub(&a.1).expect("b >= a"))
+            } else {
+                (true, a.1.checked_sub(&b.1).expect("a > b"))
+            }
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        Self::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl TryFrom<&BigUint> for u64 {
+    type Error = ();
+    fn try_from(v: &BigUint) -> Result<u64, ()> {
+        match v.limbs.len() {
+            0 => Ok(0),
+            1 => Ok(v.limbs[0]),
+            _ => Err(()),
+        }
+    }
+}
+
+impl TryFrom<&BigUint> for u128 {
+    type Error = ();
+    fn try_from(v: &BigUint) -> Result<u128, ()> {
+        match v.limbs.len() {
+            0 => Ok(0),
+            1 => Ok(v.limbs[0] as u128),
+            2 => Ok((v.limbs[1] as u128) << 64 | v.limbs[0] as u128),
+            _ => Err(()),
+        }
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.limbs
+            .len()
+            .cmp(&other.limbs.len())
+            .then_with(|| self.limbs.iter().rev().cmp(other.limbs.iter().rev()))
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::ops::Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut limbs = Vec::with_capacity(long.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.limbs.len() {
+            let rhs_l = short.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long.limbs[i].overflowing_add(rhs_l);
+            let (s2, c2) = s1.overflowing_add(carry);
+            limbs.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            limbs.push(carry);
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl std::ops::Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut acc = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let t = a as u128 * b as u128 + acc[i + j] as u128 + carry;
+                acc[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let t = acc[k] as u128 + carry;
+                acc[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(acc)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{:x})", self)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut v = self.clone();
+        while !v.is_zero() {
+            let (q, r) = v.div_rem_u64(10);
+            digits.push(b'0' + r as u8);
+            v = q;
+        }
+        digits.reverse();
+        write!(f, "{}", std::str::from_utf8(&digits).expect("ascii digits"))
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for limb in self.limbs.iter().rev() {
+            if first {
+                write!(f, "{limb:x}")?;
+                first = false;
+            } else {
+                write!(f, "{limb:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::UpperHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lower = format!("{:x}", self);
+        write!(f, "{}", lower.to_uppercase())
+    }
+}
+
+impl fmt::Binary for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        for i in (0..self.bit_len()).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let cases: [&[u8]; 4] = [&[], &[1], &[0xde, 0xad, 0xbe, 0xef], &[1; 33]];
+        for c in cases {
+            let v = BigUint::from_be_bytes(c);
+            let back = v.to_be_bytes();
+            let trimmed: Vec<u8> = c.iter().copied().skip_while(|&b| b == 0).collect();
+            assert_eq!(back, trimmed);
+        }
+    }
+
+    #[test]
+    fn leading_zero_bytes_ignored() {
+        assert_eq!(BigUint::from_be_bytes(&[0, 0, 5]), big(5));
+    }
+
+    #[test]
+    fn padded_bytes() {
+        assert_eq!(big(5).to_be_bytes_padded(4), vec![0, 0, 0, 5]);
+        assert_eq!(BigUint::zero().to_be_bytes_padded(2), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_bytes_too_small_panics() {
+        let _ = big(0x1_0000).to_be_bytes_padded(2);
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
+        let b = big(1);
+        let sum = &a + &b;
+        assert_eq!(sum, BigUint::from_limbs(vec![0, 0, 1]));
+    }
+
+    #[test]
+    fn sub_borrow_chain() {
+        let a = BigUint::from_limbs(vec![0, 0, 1]);
+        let b = big(1);
+        assert_eq!(
+            a.checked_sub(&b).unwrap(),
+            BigUint::from_limbs(vec![u64::MAX, u64::MAX])
+        );
+        assert_eq!(b.checked_sub(&a), None);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        for a in [0u128, 1, 7, 0xffff_ffff, 1 << 63, (1 << 64) - 1] {
+            for b in [0u128, 1, 3, 0x1234_5678, (1 << 64) - 1] {
+                assert_eq!(&big(a) * &big(b), big(a * b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        let pairs = [
+            (0u128, 1u128),
+            (100, 7),
+            (u128::MAX, 3),
+            (u128::MAX, u64::MAX as u128),
+            (1 << 100, (1 << 64) + 5),
+            ((1 << 90) + 12345, (1 << 65) + 1),
+        ];
+        for (a, b) in pairs {
+            let (q, r) = big(a).div_rem(&big(b));
+            assert_eq!(q, big(a / b), "{a} / {b}");
+            assert_eq!(r, big(a % b), "{a} % {b}");
+        }
+    }
+
+    #[test]
+    fn div_rem_identity_large() {
+        // (q*b + r) == a for multi-limb values exercising Algorithm D.
+        let a = BigUint::from_be_bytes(&[0xab; 64]);
+        let b = BigUint::from_be_bytes(&[0x13; 24]);
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn div_rem_needs_addback() {
+        // A case engineered to trigger the Algorithm-D "add back" branch:
+        // divisor with top limb just above 2^63 and dividend crafted so
+        // qhat overshoots. We verify the invariant holds regardless.
+        let b = BigUint::from_limbs(vec![0, u64::MAX, 1u64 << 63]);
+        let a = &b.shl_bits(130) + &BigUint::from_limbs(vec![5, 5, 5]);
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn rem_u64_small_prime() {
+        // Matches the remainder-vector operation: 256-bit value mod 11.
+        let h = BigUint::from_be_bytes(&[0x5a; 32]);
+        let direct = h.rem(&big(11));
+        assert_eq!(u64::try_from(&direct).unwrap(), h.rem_u64(11));
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let v = BigUint::from_be_bytes(&[0x99; 20]);
+        for bits in [0usize, 1, 63, 64, 65, 127, 128, 200] {
+            assert_eq!(v.shl_bits(bits).shr_bits(bits), v, "shift {bits}");
+        }
+    }
+
+    #[test]
+    fn shr_below_zero() {
+        assert_eq!(big(5).shr_bits(3), BigUint::zero());
+    }
+
+    #[test]
+    fn bit_len_and_bit() {
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(big(1).bit_len(), 1);
+        assert_eq!(big(0xff).bit_len(), 8);
+        let v = big(1 << 70);
+        assert_eq!(v.bit_len(), 71);
+        assert!(v.bit(70));
+        assert!(!v.bit(69));
+        assert!(!v.bit(1000));
+    }
+
+    #[test]
+    fn cmp_ordering() {
+        assert!(big(3) < big(5));
+        assert!(BigUint::from_limbs(vec![0, 1]) > big(u64::MAX as u128));
+        assert_eq!(big(7).cmp(&big(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(13)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&big(0)), big(5));
+        assert_eq!(big(48).gcd(&big(64)), big(16));
+    }
+
+    #[test]
+    fn mod_inverse_cases() {
+        let p = big(1_000_000_007);
+        for a in [1u128, 2, 3, 999_999_999, 12345] {
+            let inv = big(a).mod_inverse(&p).unwrap();
+            assert_eq!(big(a).mul_mod(&inv, &p), big(1), "a = {a}");
+        }
+        // Non-invertible.
+        assert_eq!(big(6).mod_inverse(&big(9)), None);
+        assert_eq!(BigUint::zero().mod_inverse(&p), None);
+    }
+
+    #[test]
+    fn mod_inverse_large() {
+        // Goldilocks-448: 2^448 - 2^224 - 1.
+        let p = BigUint::one()
+            .shl_bits(448)
+            .checked_sub(&BigUint::one().shl_bits(224))
+            .unwrap()
+            .checked_sub(&BigUint::one())
+            .unwrap();
+        let a = BigUint::from_be_bytes(&[0xc3; 32]);
+        let inv = a.mod_inverse(&p).unwrap();
+        assert_eq!(a.mul_mod(&inv, &p), BigUint::one());
+    }
+
+    #[test]
+    fn add_sub_mod() {
+        let m = big(97);
+        assert_eq!(big(50).add_mod(&big(60), &m), big(13));
+        assert_eq!(big(10).sub_mod(&big(20), &m), big(87));
+        assert_eq!(big(20).sub_mod(&big(10), &m), big(10));
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(big(12345678901234567890).to_string(), "12345678901234567890");
+        let v = &big(u128::MAX) + &big(1);
+        assert_eq!(v.to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn hex_formats() {
+        let v = big(0xdead_beef);
+        assert_eq!(format!("{v:x}"), "deadbeef");
+        assert_eq!(format!("{v:X}"), "DEADBEEF");
+        assert_eq!(format!("{:b}", big(5)), "101");
+        assert_eq!(format!("{:x}", BigUint::zero()), "0");
+    }
+
+    #[test]
+    fn from_hex_roundtrip() {
+        let v = BigUint::from_hex("deadbeef0123456789abcdef").unwrap();
+        assert_eq!(format!("{v:x}"), "deadbeef0123456789abcdef");
+        assert_eq!(BigUint::from_hex(""), None);
+        assert_eq!(BigUint::from_hex("xyz"), None);
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        let v = big(u128::MAX - 5);
+        assert_eq!(u128::try_from(&v).unwrap(), u128::MAX - 5);
+        let too_big = BigUint::from_limbs(vec![1, 1, 1]);
+        assert!(u128::try_from(&too_big).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Prime-field arithmetic.
+//!
+//! The hint matrix (paper §III-C-2) performs its linear algebra over the
+//! Ed448 "Goldilocks" prime field, whose modulus 2⁴⁴⁸ − 2²²⁴ − 1 exceeds
+//! 2²⁵⁶ so that every SHA-256 attribute hash is a canonical field element —
+//! the solved unknowns are therefore bit-exact recoveries of the original
+//! hashes.
+
+use crate::biguint::BigUint;
+
+/// A prime field 𝔽ₚ. Elements are reduced [`BigUint`] values.
+///
+/// The struct validates *oddness* and `> 2`, not primality (verifying a
+/// 448-bit prime on every construction would be wasteful); use
+/// [`PrimeField::new_checked`] when the modulus comes from untrusted input.
+///
+/// # Example
+///
+/// ```
+/// use msb_bignum::{BigUint, PrimeField};
+///
+/// let f = PrimeField::goldilocks448();
+/// let a = f.element(BigUint::from(7u64));
+/// let inv = f.inv(&a).unwrap();
+/// assert_eq!(f.mul(&a, &inv), BigUint::from(1u64));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimeField {
+    modulus: BigUint,
+}
+
+impl PrimeField {
+    /// Creates a field with the given odd modulus `> 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is even or `<= 2`.
+    pub fn new(modulus: BigUint) -> Self {
+        assert!(modulus.is_odd(), "field modulus must be odd");
+        assert!(modulus > BigUint::from(2u64), "field modulus must exceed 2");
+        PrimeField { modulus }
+    }
+
+    /// Creates a field, verifying primality with Miller–Rabin.
+    ///
+    /// Returns `None` when the candidate fails the primality test.
+    pub fn new_checked<R: rand::Rng + ?Sized>(modulus: BigUint, rng: &mut R) -> Option<Self> {
+        if !crate::prime::is_probable_prime(&modulus, 32, rng) {
+            return None;
+        }
+        Some(Self::new(modulus))
+    }
+
+    /// The Ed448 "Goldilocks" field: p = 2⁴⁴⁸ − 2²²⁴ − 1.
+    pub fn goldilocks448() -> Self {
+        let p = BigUint::one()
+            .shl_bits(448)
+            .checked_sub(&BigUint::one().shl_bits(224))
+            .expect("2^448 > 2^224")
+            .checked_sub(&BigUint::one())
+            .expect("nonzero");
+        PrimeField { modulus: p }
+    }
+
+    /// The field modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Canonicalizes an arbitrary integer into the field.
+    pub fn element(&self, v: BigUint) -> BigUint {
+        v.rem(&self.modulus)
+    }
+
+    /// The additive identity.
+    pub fn zero(&self) -> BigUint {
+        BigUint::zero()
+    }
+
+    /// The multiplicative identity.
+    pub fn one(&self) -> BigUint {
+        BigUint::one()
+    }
+
+    /// Field addition. Operands must be reduced.
+    pub fn add(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.add_mod(b, &self.modulus)
+    }
+
+    /// Field subtraction. Operands must be reduced.
+    pub fn sub(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.sub_mod(b, &self.modulus)
+    }
+
+    /// Field multiplication. Operands must be reduced.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.mul_mod(b, &self.modulus)
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self, a: &BigUint) -> BigUint {
+        if a.is_zero() {
+            BigUint::zero()
+        } else {
+            self.modulus.checked_sub(a).expect("reduced operand")
+        }
+    }
+
+    /// Multiplicative inverse, `None` for zero.
+    pub fn inv(&self, a: &BigUint) -> Option<BigUint> {
+        a.mod_inverse(&self.modulus)
+    }
+
+    /// Field exponentiation.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        crate::modexp::mod_pow(base, exp, &self.modulus)
+    }
+
+    /// Uniformly random field element.
+    pub fn random<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        crate::prime::random_below(rng, &self.modulus)
+    }
+
+    /// Uniformly random *nonzero* field element — the paper's "random
+    /// nonzero integer" entries for the hint-matrix block `R`.
+    pub fn random_nonzero<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        loop {
+            let v = self.random(rng);
+            if !v.is_zero() {
+                return v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn f97() -> PrimeField {
+        PrimeField::new(BigUint::from(97u64))
+    }
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn goldilocks_modulus_is_prime() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = PrimeField::goldilocks448();
+        assert_eq!(f.modulus().bit_len(), 448);
+        assert!(crate::prime::is_probable_prime(f.modulus(), 16, &mut rng));
+    }
+
+    #[test]
+    fn goldilocks_exceeds_sha256_range() {
+        let f = PrimeField::goldilocks448();
+        let max_hash = BigUint::from_be_bytes(&[0xff; 32]);
+        assert!(&max_hash < f.modulus());
+    }
+
+    #[test]
+    fn axioms_small_field() {
+        let f = f97();
+        for a in 0..97u64 {
+            let ea = big(a);
+            assert_eq!(f.add(&ea, &f.neg(&ea)), f.zero(), "a + (-a) = 0");
+            if a != 0 {
+                let inv = f.inv(&ea).unwrap();
+                assert_eq!(f.mul(&ea, &inv), f.one(), "a * a^-1 = 1");
+            }
+        }
+        assert_eq!(f.inv(&f.zero()), None);
+    }
+
+    #[test]
+    fn distributivity_samples() {
+        let f = f97();
+        for (a, b, c) in [(3u64, 5, 7), (96, 96, 96), (0, 50, 13)] {
+            let lhs = f.mul(&big(a), &f.add(&big(b), &big(c)));
+            let rhs = f.add(&f.mul(&big(a), &big(b)), &f.mul(&big(a), &big(c)));
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn element_reduces() {
+        let f = f97();
+        assert_eq!(f.element(big(100)), big(3));
+        assert_eq!(f.element(big(97)), f.zero());
+    }
+
+    #[test]
+    fn fermat_in_goldilocks() {
+        let f = PrimeField::goldilocks448();
+        let a = f.element(BigUint::from_be_bytes(&[0x5c; 32]));
+        let pm1 = f.modulus().checked_sub(&BigUint::one()).unwrap();
+        assert_eq!(f.pow(&a, &pm1), f.one());
+    }
+
+    #[test]
+    fn random_nonzero_is_nonzero_and_reduced() {
+        let f = f97();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let v = f.random_nonzero(&mut rng);
+            assert!(!v.is_zero());
+            assert!(&v < f.modulus());
+        }
+    }
+
+    #[test]
+    fn new_checked_accepts_prime_rejects_composite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(PrimeField::new_checked(big(101), &mut rng).is_some());
+        assert!(PrimeField::new_checked(big(91), &mut rng).is_none()); // 7*13
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_rejected() {
+        let _ = PrimeField::new(big(10));
+    }
+}

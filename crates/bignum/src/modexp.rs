@@ -1,0 +1,323 @@
+//! Modular exponentiation.
+//!
+//! Odd moduli (the only kind RSA/Paillier produce) go through Montgomery
+//! multiplication in CIOS form with a fixed 4-bit window; other moduli fall
+//! back to square-and-multiply with Algorithm-D reductions. These are the
+//! `E2`/`E3` (1024/2048-bit exponentiation) basic operations of the paper's
+//! cost model (Table III and Table V).
+
+#![allow(clippy::needless_range_loop)] // explicit indices read better in CIOS kernels
+#![allow(clippy::wrong_self_convention)] // from_mont converts *out of* Montgomery form
+use crate::biguint::BigUint;
+
+/// Reusable Montgomery context for a fixed odd modulus.
+///
+/// Converting into Montgomery form costs one division; every subsequent
+/// multiplication is division-free. RSA/Paillier baselines create one
+/// context per modulus and reuse it across the whole protocol run.
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    modulus: BigUint,
+    n: Vec<u64>,
+    /// `-modulus^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod modulus` where `R = 2^(64 * limbs)`.
+    r2: BigUint,
+}
+
+impl Montgomery {
+    /// Creates a context for an odd modulus `> 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is even or `<= 1`.
+    pub fn new(modulus: &BigUint) -> Self {
+        assert!(modulus.is_odd(), "Montgomery requires an odd modulus");
+        assert!(!modulus.is_one(), "modulus must exceed 1");
+        let n = modulus.limbs().to_vec();
+        let n0 = n[0];
+        // Newton iteration for the inverse of n0 mod 2^64.
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+        let r2 = BigUint::one().shl_bits(128 * n.len()).rem(modulus);
+        Montgomery { modulus: modulus.clone(), n, n0_inv, r2 }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    fn limb_count(&self) -> usize {
+        self.n.len()
+    }
+
+    /// Montgomery product of two Montgomery-form numbers (CIOS).
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let len = self.limb_count();
+        let mut t = vec![0u64; len + 2];
+        for i in 0..len {
+            let ai = a.get(i).copied().unwrap_or(0);
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..len {
+                let bj = b.get(j).copied().unwrap_or(0);
+                let sum = ai as u128 * bj as u128 + t[j] as u128 + carry;
+                t[j] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[len] as u128 + carry;
+            t[len] = sum as u64;
+            t[len + 1] = (sum >> 64) as u64;
+
+            // Reduce: add m * n where m makes the low limb vanish.
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry = (m as u128 * self.n[0] as u128 + t[0] as u128) >> 64;
+            for j in 1..len {
+                let sum = m as u128 * self.n[j] as u128 + t[j] as u128 + carry;
+                t[j - 1] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[len] as u128 + carry;
+            t[len - 1] = sum as u64;
+            t[len] = t[len + 1].wrapping_add((sum >> 64) as u64);
+            t[len + 1] = 0;
+        }
+        // Conditional subtraction to bring the result below the modulus.
+        let mut result = t[..=len].to_vec();
+        if result[len] != 0 || ge(&result[..len], &self.n) {
+            sub_in_place(&mut result, &self.n);
+        }
+        result.truncate(len);
+        result
+    }
+
+    /// Converts into Montgomery form.
+    fn to_mont(&self, v: &BigUint) -> Vec<u64> {
+        let reduced = v.rem(&self.modulus);
+        self.mont_mul(reduced.limbs(), self.r2.limbs())
+    }
+
+    /// Converts out of Montgomery form.
+    fn from_mont(&self, v: &[u64]) -> BigUint {
+        let one = [1u64];
+        BigUint::from_limbs(self.mont_mul(v, &one))
+    }
+
+    /// `(a * b) mod modulus` through a Montgomery round-trip.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// `base^exp mod modulus` with a fixed 4-bit window.
+    pub fn pow_mod(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.modulus);
+        }
+        let one_m = self.to_mont(&BigUint::one());
+        let base_m = self.to_mont(base);
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(16);
+        table.push(one_m.clone());
+        table.push(base_m.clone());
+        for i in 2..16 {
+            let prev = table[i - 1].clone();
+            table.push(self.mont_mul(&prev, &base_m));
+        }
+
+        let bits = exp.bit_len();
+        // Process exponent in 4-bit windows from the most significant end.
+        let windows = bits.div_ceil(4);
+        let mut acc = one_m;
+        for w in (0..windows).rev() {
+            if w + 1 != windows {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut idx = 0usize;
+            for b in 0..4 {
+                let bit_pos = w * 4 + (3 - b);
+                idx <<= 1;
+                if bit_pos < bits && exp.bit(bit_pos) {
+                    idx |= 1;
+                }
+            }
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table[idx]);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Limb-slice comparison `a >= b` (equal lengths assumed, zero-extended).
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    let n = a.len().max(b.len());
+    for i in (0..n).rev() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        if x != y {
+            return x > y;
+        }
+    }
+    true
+}
+
+/// `a -= b` in place (assumes `a >= b`).
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let rhs = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = a[i].overflowing_sub(rhs);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0, "sub_in_place underflow");
+}
+
+/// `base^exp mod modulus` for any modulus `> 1`.
+///
+/// Dispatches to Montgomery for odd moduli, otherwise plain
+/// square-and-multiply with trial division each step.
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero or one.
+pub fn mod_pow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
+    assert!(!modulus.is_zero() && !modulus.is_one(), "modulus must exceed 1");
+    if modulus.is_odd() {
+        return Montgomery::new(modulus).pow_mod(base, exp);
+    }
+    // Generic fallback.
+    let mut result = BigUint::one();
+    let mut b = base.rem(modulus);
+    for i in 0..exp.bit_len() {
+        if exp.bit(i) {
+            result = result.mul_mod(&b, modulus);
+        }
+        b = b.mul_mod(&b, modulus);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn small_cases_match_u128() {
+        let cases = [
+            (2u128, 10u128, 1000u128),
+            (3, 0, 7),
+            (0, 5, 13),
+            (7, 13, 11),
+            (5, 117, 19),
+            (123456789, 987654321, 1000000007),
+        ];
+        for (b, e, m) in cases {
+            let expect = u128_pow_mod(b, e, m);
+            assert_eq!(
+                mod_pow(&big(b), &big(e), &big(m)),
+                big(expect),
+                "{b}^{e} mod {m}"
+            );
+        }
+    }
+
+    fn u128_pow_mod(mut b: u128, mut e: u128, m: u128) -> u128 {
+        let mut r = 1u128 % m;
+        b %= m;
+        while e > 0 {
+            if e & 1 == 1 {
+                r = r * b % m;
+            }
+            b = b * b % m;
+            e >>= 1;
+        }
+        r
+    }
+
+    #[test]
+    fn even_modulus_fallback() {
+        assert_eq!(mod_pow(&big(3), &big(4), &big(16)), big(81 % 16));
+        assert_eq!(mod_pow(&big(7), &big(2), &big(100)), big(49));
+    }
+
+    #[test]
+    fn fermat_little_theorem_large_prime() {
+        // p = 2^127 - 1 (Mersenne prime): a^(p-1) ≡ 1 (mod p).
+        let p = big((1u128 << 127) - 1);
+        let pm1 = p.checked_sub(&BigUint::one()).unwrap();
+        for a in [2u128, 3, 65537, 1 << 80] {
+            assert_eq!(mod_pow(&big(a), &pm1, &p), BigUint::one(), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn mont_mul_mod_matches_plain() {
+        let m = big(0xffff_ffff_ffff_ffc5); // large odd
+        let mont = Montgomery::new(&m);
+        for (a, b) in [(3u128, 5u128), (u64::MAX as u128, 2), (12345678901234567, 98765432109876543)]
+        {
+            assert_eq!(mont.mul_mod(&big(a), &big(b)), big(a).mul_mod(&big(b), &m));
+        }
+    }
+
+    #[test]
+    fn rsa_style_roundtrip_512_bit() {
+        // Fixed 512-bit RSA modulus built from two known 256-bit primes
+        // would be slow to verify here; instead check the group law
+        // x^(e1) * x^(e2) == x^(e1+e2) mod an odd modulus.
+        let m = BigUint::from_be_bytes(&[0xf1; 64]); // odd (0xf1 ends in 1)
+        let x = BigUint::from_be_bytes(&[0x42; 63]);
+        let e1 = big(65537);
+        let e2 = big(99991);
+        let lhs = mod_pow(&x, &e1, &m).mul_mod(&mod_pow(&x, &e2, &m), &m);
+        let rhs = mod_pow(&x, &(&e1 + &e2), &m);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn exponent_zero_and_one() {
+        let m = big(1019);
+        assert_eq!(mod_pow(&big(55), &BigUint::zero(), &m), BigUint::one());
+        assert_eq!(mod_pow(&big(55), &BigUint::one(), &m), big(55));
+    }
+
+    #[test]
+    fn base_larger_than_modulus() {
+        let m = big(97);
+        assert_eq!(mod_pow(&big(1000), &big(3), &m), big(u128_pow_mod(1000, 3, 97)));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn montgomery_rejects_even() {
+        let _ = Montgomery::new(&big(100));
+    }
+
+    #[test]
+    fn window_boundary_exponents() {
+        // Exponents around multiples of the 4-bit window size.
+        let m = big(1_000_003);
+        for e in [15u128, 16, 17, 255, 256, 257, 65535, 65536] {
+            assert_eq!(
+                mod_pow(&big(3), &big(e), &m),
+                big(u128_pow_mod(3, e, 1_000_003)),
+                "e = {e}"
+            );
+        }
+    }
+}

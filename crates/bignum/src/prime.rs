@@ -1,0 +1,226 @@
+//! Primality testing and random prime generation.
+//!
+//! The asymmetric baselines (Paillier for FNP'04, RSA for FC'10) need random
+//! primes of 512–1024 bits. Miller–Rabin with 40 random rounds gives an error
+//! probability below 2⁻⁸⁰, standard for evaluation work.
+
+use crate::biguint::BigUint;
+use crate::modexp::mod_pow;
+use rand::Rng;
+
+/// Small primes used for fast trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// Deterministic `false` for even numbers and numbers with small factors;
+/// the error is one-sided (may call a composite "prime" with probability
+/// ≤ 4^-rounds).
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from(p);
+        if n == &pb {
+            return true;
+        }
+        if n.rem_u64(p) == 0 {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n.checked_sub(&one).expect("n > 1");
+    let s = trailing_zeros(&n_minus_1);
+    let d = n_minus_1.shr_bits(s);
+
+    'witness: for _ in 0..rounds {
+        let a = random_below(rng, &n_minus_1);
+        if a < BigUint::from(2u64) {
+            continue;
+        }
+        let mut x = mod_pow(&a, &d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Number of trailing zero bits.
+fn trailing_zeros(v: &BigUint) -> usize {
+    if v.is_zero() {
+        return 0;
+    }
+    let mut count = 0;
+    for (i, &limb) in v.limbs().iter().enumerate() {
+        if limb == 0 {
+            count = (i + 1) * 64;
+        } else {
+            return i * 64 + limb.trailing_zeros() as usize;
+        }
+    }
+    count
+}
+
+/// Uniformly random value in `[0, bound)`.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bit_len();
+    let bytes = bits.div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill(&mut buf[..]);
+        // Mask excess top bits so the rejection rate stays below 1/2.
+        let excess = bytes * 8 - bits;
+        buf[0] &= 0xffu8 >> excess;
+        let candidate = BigUint::from_be_bytes(&buf);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Uniformly random value with exactly `bits` bits (top bit set).
+pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits > 0, "need at least one bit");
+    let bytes = bits.div_ceil(8);
+    let mut buf = vec![0u8; bytes];
+    rng.fill(&mut buf[..]);
+    let excess = bytes * 8 - bits;
+    buf[0] &= 0xffu8 >> excess;
+    buf[0] |= 0x80u8 >> excess;
+    BigUint::from_be_bytes(&buf)
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = random_bits(rng, bits);
+        // Force odd.
+        if candidate.is_even() {
+            candidate = &candidate + &BigUint::one();
+            if candidate.bit_len() != bits {
+                continue;
+            }
+        }
+        if is_probable_prime(&candidate, 24, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xdecaf)
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 11, 13, 101, 997, 65537] {
+            assert!(is_probable_prime(&BigUint::from(p), 16, &mut r), "{p}");
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 6, 9, 15, 100, 561, 1105, 6601, 8911, 62745] {
+            // includes Carmichael numbers
+            assert!(!is_probable_prime(&BigUint::from(c), 16, &mut r), "{c}");
+        }
+    }
+
+    #[test]
+    fn mersenne_127_is_prime() {
+        let p = BigUint::from((1u128 << 127) - 1);
+        assert!(is_probable_prime(&p, 16, &mut rng()));
+    }
+
+    #[test]
+    fn big_composite_rejected() {
+        // (2^127 - 1) * 3
+        let p = BigUint::from((1u128 << 127) - 1);
+        let c = &p + &(&p + &p);
+        assert!(!is_probable_prime(&c, 16, &mut rng()));
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits() {
+        let mut r = rng();
+        for bits in [8usize, 16, 64, 128, 256] {
+            let p = gen_prime(&mut r, bits);
+            assert_eq!(p.bit_len(), bits, "requested {bits} bits");
+            assert!(is_probable_prime(&p, 16, &mut r));
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut r = rng();
+        let bound = BigUint::from(1000u64);
+        for _ in 0..200 {
+            let v = random_below(&mut r, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_covers_small_range() {
+        // With bound 2, both values must appear.
+        let mut r = rng();
+        let bound = BigUint::from(2u64);
+        let mut saw = [false; 2];
+        for _ in 0..64 {
+            let v = random_below(&mut r, &bound);
+            saw[u64::try_from(&v).unwrap() as usize] = true;
+        }
+        assert!(saw[0] && saw[1]);
+    }
+
+    #[test]
+    fn trailing_zeros_cases() {
+        assert_eq!(trailing_zeros(&BigUint::from(1u64)), 0);
+        assert_eq!(trailing_zeros(&BigUint::from(8u64)), 3);
+        assert_eq!(trailing_zeros(&BigUint::one().shl_bits(100)), 100);
+    }
+
+    #[test]
+    fn two_generated_primes_multiply_to_semiprime() {
+        // Sanity flow used by the Paillier baseline.
+        let mut r = rng();
+        let p = gen_prime(&mut r, 96);
+        let q = gen_prime(&mut r, 96);
+        assert_ne!(p, q);
+        let n = &p * &q;
+        assert!(!is_probable_prime(&n, 8, &mut r));
+        assert_eq!(n.bit_len(), 191 + (n.bit(191) as usize));
+    }
+}

@@ -1,0 +1,280 @@
+//! Secure channels from the exchanged secrets (paper §III-F).
+//!
+//! After a successful match, the initiator holds `x` and the matching
+//! user holds `y`; both know the other's secret. The paper keys the
+//! pairwise channel with "x + y" — here realised as HKDF over `x ‖ y`
+//! with direction-separated encryption and MAC keys — and the group
+//! channel with `x` alone. Construction is encrypt-then-MAC
+//! (AES-256-CTR + HMAC-SHA256) with strictly increasing sequence numbers
+//! for replay protection. Because key material only ever travelled inside
+//! the sealed bottle, a man in the middle never sees it — the MITM
+//! resistance claim of §IV-A2.
+
+use msb_crypto::aes::Aes256;
+use msb_crypto::hmac::HmacSha256;
+use msb_crypto::kdf;
+use msb_crypto::modes::Ctr;
+use msb_crypto::CryptoError;
+use rand::Rng;
+
+const SALT: &[u8] = b"msb-channel-v1";
+
+/// Which side of the pairwise channel this endpoint is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The request initiator (holds `x`, learned `y`).
+    Initiator,
+    /// The matching responder (holds `y`, learned `x`).
+    Responder,
+}
+
+/// An authenticated pairwise channel.
+///
+/// Frames are `seq(8) ‖ ciphertext ‖ tag(32)`. Each direction has its own
+/// encryption and MAC keys; sequence numbers must arrive strictly in
+/// order (a replayed or reordered frame fails).
+#[derive(Debug)]
+pub struct SecureChannel {
+    send_enc: Aes256,
+    send_mac: [u8; 32],
+    recv_enc: Aes256,
+    recv_mac: [u8; 32],
+    send_seq: u64,
+    recv_seq: u64,
+}
+
+impl SecureChannel {
+    /// Derives the channel from the exchanged secrets.
+    pub fn pairwise(x: &[u8; 32], y: &[u8; 32], role: Role) -> Self {
+        let mut ikm = [0u8; 64];
+        ikm[..32].copy_from_slice(x);
+        ikm[32..].copy_from_slice(y);
+        let enc_i2r = kdf::derive_key32(SALT, &ikm, b"enc:i2r");
+        let mac_i2r = kdf::derive_key32(SALT, &ikm, b"mac:i2r");
+        let enc_r2i = kdf::derive_key32(SALT, &ikm, b"enc:r2i");
+        let mac_r2i = kdf::derive_key32(SALT, &ikm, b"mac:r2i");
+        let (se, sm, re, rm) = match role {
+            Role::Initiator => (enc_i2r, mac_i2r, enc_r2i, mac_r2i),
+            Role::Responder => (enc_r2i, mac_r2i, enc_i2r, mac_i2r),
+        };
+        SecureChannel {
+            send_enc: Aes256::new(&se),
+            send_mac: sm,
+            recv_enc: Aes256::new(&re),
+            recv_mac: rm,
+            send_seq: 0,
+            recv_seq: 0,
+        }
+    }
+
+    /// Encrypts and authenticates a message.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        let mut nonce = [0u8; 16];
+        nonce[..8].copy_from_slice(&seq.to_be_bytes());
+        let mut ct = plaintext.to_vec();
+        Ctr::new(&self.send_enc, nonce).apply_keystream(&mut ct);
+        let mut frame = Vec::with_capacity(8 + ct.len() + 32);
+        frame.extend_from_slice(&seq.to_be_bytes());
+        frame.extend_from_slice(&ct);
+        let tag = HmacSha256::mac(&self.send_mac, &frame);
+        frame.extend_from_slice(&tag);
+        frame
+    }
+
+    /// Verifies and decrypts a frame.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::CiphertextTooShort`] — malformed frame.
+    /// * [`CryptoError::BadTag`] — authentication failure, wrong peer,
+    ///   out-of-order or replayed sequence number.
+    pub fn open(&mut self, frame: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if frame.len() < 8 + 32 {
+            return Err(CryptoError::CiphertextTooShort);
+        }
+        let (body, tag) = frame.split_at(frame.len() - 32);
+        if !HmacSha256::verify(&self.recv_mac, body, tag) {
+            return Err(CryptoError::BadTag);
+        }
+        let seq = u64::from_be_bytes(body[..8].try_into().expect("length checked"));
+        if seq != self.recv_seq {
+            return Err(CryptoError::BadTag);
+        }
+        self.recv_seq += 1;
+        let mut nonce = [0u8; 16];
+        nonce[..8].copy_from_slice(&seq.to_be_bytes());
+        let mut pt = body[8..].to_vec();
+        Ctr::new(&self.recv_enc, nonce).apply_keystream(&mut pt);
+        Ok(pt)
+    }
+}
+
+/// A group channel keyed by the initiator's `x` — every matching user of
+/// one request shares it (community discovery, §III-F).
+///
+/// Frames are `nonce(16) ‖ ciphertext ‖ tag(32)`; nonces are random, so
+/// group members can all send without coordination (no replay protection
+/// — layer sequence numbers on top if the application needs them).
+#[derive(Debug)]
+pub struct GroupChannel {
+    enc: Aes256,
+    mac: [u8; 32],
+}
+
+impl GroupChannel {
+    /// Derives the group channel from `x`.
+    pub fn from_x(x: &[u8; 32]) -> Self {
+        let enc = kdf::derive_key32(SALT, x, b"group:enc");
+        let mac = kdf::derive_key32(SALT, x, b"group:mac");
+        GroupChannel { enc: Aes256::new(&enc), mac }
+    }
+
+    /// Encrypts and authenticates a group message.
+    pub fn seal<R: Rng + ?Sized>(&self, plaintext: &[u8], rng: &mut R) -> Vec<u8> {
+        let mut nonce = [0u8; 16];
+        rng.fill(&mut nonce);
+        let mut ct = plaintext.to_vec();
+        Ctr::new(&self.enc, nonce).apply_keystream(&mut ct);
+        let mut frame = Vec::with_capacity(16 + ct.len() + 32);
+        frame.extend_from_slice(&nonce);
+        frame.extend_from_slice(&ct);
+        let tag = HmacSha256::mac(&self.mac, &frame);
+        frame.extend_from_slice(&tag);
+        frame
+    }
+
+    /// Verifies and decrypts a group message.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::CiphertextTooShort`] — malformed frame.
+    /// * [`CryptoError::BadTag`] — authentication failure.
+    pub fn open(&self, frame: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if frame.len() < 16 + 32 {
+            return Err(CryptoError::CiphertextTooShort);
+        }
+        let (body, tag) = frame.split_at(frame.len() - 32);
+        if !HmacSha256::verify(&self.mac, body, tag) {
+            return Err(CryptoError::BadTag);
+        }
+        let nonce: [u8; 16] = body[..16].try_into().expect("length checked");
+        let mut pt = body[16..].to_vec();
+        Ctr::new(&self.enc, nonce).apply_keystream(&mut pt);
+        Ok(pt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pair() -> (SecureChannel, SecureChannel) {
+        let x = [1u8; 32];
+        let y = [2u8; 32];
+        (
+            SecureChannel::pairwise(&x, &y, Role::Initiator),
+            SecureChannel::pairwise(&x, &y, Role::Responder),
+        )
+    }
+
+    #[test]
+    fn bidirectional_roundtrip() {
+        let (mut a, mut b) = pair();
+        for i in 0..5 {
+            let msg = format!("message {i}");
+            let ct = a.seal(msg.as_bytes());
+            assert_eq!(b.open(&ct).unwrap(), msg.as_bytes());
+            let ct2 = b.seal(msg.as_bytes());
+            assert_eq!(a.open(&ct2).unwrap(), msg.as_bytes());
+        }
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let (mut a, mut b) = pair();
+        let mut ct = a.seal(b"important");
+        let mid = ct.len() / 2;
+        ct[mid] ^= 1;
+        assert_eq!(b.open(&ct), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut a, mut b) = pair();
+        let ct = a.seal(b"once");
+        assert!(b.open(&ct).is_ok());
+        assert_eq!(b.open(&ct), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn reorder_rejected() {
+        let (mut a, mut b) = pair();
+        let c1 = a.seal(b"first");
+        let c2 = a.seal(b"second");
+        assert_eq!(b.open(&c2), Err(CryptoError::BadTag));
+        assert!(b.open(&c1).is_ok());
+        assert!(b.open(&c2).is_ok(), "in-order after catching up");
+    }
+
+    #[test]
+    fn directions_are_independent_keys() {
+        let (mut a, _) = pair();
+        let ct = a.seal(b"to responder");
+        // The initiator must not accept its own outbound frame (an
+        // attacker reflecting traffic).
+        let mut a2 = SecureChannel::pairwise(&[1u8; 32], &[2u8; 32], Role::Initiator);
+        assert_eq!(a2.open(&ct), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn wrong_secret_fails() {
+        let x = [1u8; 32];
+        let y = [2u8; 32];
+        let z = [3u8; 32];
+        let mut a = SecureChannel::pairwise(&x, &y, Role::Initiator);
+        let mut eavesdropper = SecureChannel::pairwise(&x, &z, Role::Responder);
+        let ct = a.seal(b"secret");
+        assert_eq!(eavesdropper.open(&ct), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        let (_, mut b) = pair();
+        assert_eq!(b.open(&[0u8; 10]), Err(CryptoError::CiphertextTooShort));
+    }
+
+    #[test]
+    fn group_channel_shared_by_members() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = [9u8; 32];
+        let g1 = GroupChannel::from_x(&x);
+        let g2 = GroupChannel::from_x(&x);
+        let ct = g1.seal(b"community update", &mut rng);
+        assert_eq!(g2.open(&ct).unwrap(), b"community update");
+    }
+
+    #[test]
+    fn group_channel_rejects_outsiders_and_tampering() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = GroupChannel::from_x(&[9u8; 32]);
+        let outsider = GroupChannel::from_x(&[8u8; 32]);
+        let mut ct = g.seal(b"community update", &mut rng);
+        assert_eq!(outsider.open(&ct), Err(CryptoError::BadTag));
+        let last = ct.len() - 1;
+        ct[last] ^= 1;
+        assert_eq!(g.open(&ct), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn group_nonces_differ() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = GroupChannel::from_x(&[9u8; 32]);
+        let c1 = g.seal(b"same", &mut rng);
+        let c2 = g.seal(b"same", &mut rng);
+        assert_ne!(c1, c2, "random nonces must differ");
+    }
+}

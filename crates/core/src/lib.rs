@@ -1,0 +1,85 @@
+//! Message in a Sealed Bottle: one-round privacy-preserving profile
+//! matching and secure channel establishment for decentralized mobile
+//! social networks (Zhang & Li, ICDCS 2013).
+//!
+//! The mechanism encrypts a secret under the *request profile key* — a
+//! hash of the attributes the initiator is looking for — and floods the
+//! resulting package through the ad hoc network. Only a user whose
+//! profile satisfies the request can regenerate the key, open the bottle,
+//! and answer; matching and authenticated key exchange complete in a
+//! single round with symmetric cryptography only: no PKI, no trusted
+//! third party, no presetting.
+//!
+//! # Modules
+//!
+//! * [`package`] — the request package wire format (encrypted message,
+//!   remainder vector, hint matrix) and the reply format.
+//! * [`protocol`] — Protocols 1, 2 and 3 (§III-E): initiator and
+//!   responder state machines, reply validation (time window and
+//!   reply-set cardinality), ϕ-entropy candidate selection.
+//! * [`channel`] — pairwise (`x`,`y`) and group (`x`) secure channels
+//!   (§III-F): HKDF-derived directional keys, AES-256-CTR,
+//!   encrypt-then-MAC, replay protection.
+//! * [`vicinity`] — location-private vicinity search (§III-D) built on
+//!   [`msb_lattice`].
+//! * [`app`] — a [`msb_net`] application that runs the full friending
+//!   flow over a simulated multi-hop MANET: flooding, relaying, rate
+//!   limiting, reply routing.
+//! * [`adversary`] — instrumented attackers (HBC observer, dictionary
+//!   profiler, cheating responder, MITM) used by the security evaluation.
+//! * [`ppl`] — the privacy-protection-level probes that regenerate
+//!   Tables I and II.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use msb_core::protocol::{Initiator, ProtocolConfig, ProtocolKind, Responder, ResponderOutcome};
+//! use msb_profile::{Attribute, Profile, RequestProfile};
+//!
+//! let mut rng = rand::thread_rng();
+//! let config = ProtocolConfig::new(ProtocolKind::P1, 11);
+//!
+//! // Initiator seeks an engineer who likes 2 of 3 interests.
+//! let request = RequestProfile::new(
+//!     vec![Attribute::new("profession", "engineer")],
+//!     vec![
+//!         Attribute::new("interest", "basketball"),
+//!         Attribute::new("interest", "jazz"),
+//!         Attribute::new("interest", "hiking"),
+//!     ],
+//!     2,
+//! )?;
+//! let (mut initiator, package) = Initiator::create(&request, 0, &config, 0, &mut rng);
+//!
+//! // A matching participant opens the bottle and replies.
+//! let profile = Profile::from_attributes(vec![
+//!     Attribute::new("profession", "engineer"),
+//!     Attribute::new("interest", "basketball"),
+//!     Attribute::new("interest", "jazz"),
+//! ]);
+//! let responder = Responder::new(1, profile, &config);
+//! let outcome = responder.handle(&package, 50_000, &mut rng);
+//! let msb_core::protocol::ResponderOutcome::Reply { reply, .. } = outcome else {
+//!     panic!("should match")
+//! };
+//!
+//! // The initiator validates the reply and both sides share (x, y).
+//! let confirmed = initiator.process_reply(&reply, 100_000);
+//! assert_eq!(confirmed.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod app;
+pub mod channel;
+pub mod package;
+pub mod ppl;
+pub mod protocol;
+pub mod vicinity;
+
+pub use channel::{GroupChannel, SecureChannel};
+pub use package::{Reply, RequestPackage};
+pub use protocol::{Initiator, ProtocolConfig, ProtocolKind, Responder, ResponderOutcome};

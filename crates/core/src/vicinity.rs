@@ -1,0 +1,179 @@
+//! Location-privacy-preserving vicinity search (paper §III-D-2/3).
+//!
+//! A vicinity search is a fuzzy profile match whose "attributes" are the
+//! hashes of vicinity lattice points: the initiator builds a request from
+//! their own region with threshold Θ, and only users whose region shares
+//! at least ⌈Θ·|V|⌉ lattice points can recover the dynamic profile key.
+//! No coordinates are transmitted — only remainders and the hint matrix.
+
+use crate::protocol::{Initiator, ProtocolConfig, Responder};
+use crate::RequestPackage;
+use msb_lattice::{DynamicKey, LatticeConfig, VicinityRegion};
+use msb_profile::profile::{Profile, ProfileVector};
+use msb_profile::request::RequestVector;
+use rand::Rng;
+
+/// Builds a vicinity-search request from the initiator's location.
+///
+/// `theta` is the intersection threshold Θ of Eq. 16. The returned
+/// initiator/package pair works with the ordinary protocol machinery.
+///
+/// # Panics
+///
+/// Panics if `theta` is outside `(0, 1]` or if `config.p` is not larger
+/// than the region size (pick a larger prime for wide regions).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list (O, d, D, Θ, …)
+pub fn create_vicinity_request<R: Rng + ?Sized>(
+    lattice: &LatticeConfig,
+    location: (f64, f64),
+    range: f64,
+    theta: f64,
+    initiator_id: u32,
+    config: &ProtocolConfig,
+    now_us: u64,
+    rng: &mut R,
+) -> (Initiator, RequestPackage, VicinityRegion) {
+    let region = VicinityRegion::around(lattice, location, range);
+    let beta = region.required_shared(theta);
+    let vector = RequestVector::from_hashes(Vec::new(), region.hashes().to_vec(), beta);
+    let (initiator, package) =
+        Initiator::create_from_vector(&vector, initiator_id, config, now_us, rng);
+    (initiator, package, region)
+}
+
+/// Builds the responder for a participant at `location`: their "profile"
+/// is their own vicinity region's lattice-point hashes.
+pub fn vicinity_responder(
+    lattice: &LatticeConfig,
+    location: (f64, f64),
+    range: f64,
+    responder_id: u32,
+    config: &ProtocolConfig,
+) -> (Responder, VicinityRegion) {
+    let region = VicinityRegion::around(lattice, location, range);
+    let vector = ProfileVector::from_hashes(region.hashes().iter().copied());
+    (Responder::from_vector(responder_id, vector, config), region)
+}
+
+/// The cell-level dynamic key for location-bound static attributes
+/// (§III-D-3): users snapped to the same lattice cell derive the same
+/// key, so their bound attribute hashes agree while users elsewhere
+/// produce unrelated hashes.
+pub fn cell_key(lattice: &LatticeConfig, location: (f64, f64)) -> DynamicKey {
+    let cell_only = VicinityRegion::around(lattice, location, 0.0);
+    DynamicKey::from_region(&cell_only)
+}
+
+/// Binds a profile's static attributes to the local cell, yielding the
+/// vector to hand to [`Responder::from_vector`]. Both parties must be in
+/// the same cell (and use the same lattice) for their hashes to align.
+pub fn location_bound_vector(
+    lattice: &LatticeConfig,
+    location: (f64, f64),
+    profile: &Profile,
+) -> ProfileVector {
+    cell_key(lattice, location).bind_profile(profile.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ProtocolKind, ResponderOutcome};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn lattice() -> LatticeConfig {
+        LatticeConfig::new((0.0, 0.0), 10.0)
+    }
+
+    fn config() -> ProtocolConfig {
+        // Region sizes reach dozens of points: use a larger prime.
+        ProtocolConfig::new(ProtocolKind::P2, 37)
+    }
+
+    #[test]
+    fn nearby_user_matches() {
+        let mut r = rng();
+        let lat = lattice();
+        let cfg = config();
+        let (mut initiator, pkg, _region) =
+            create_vicinity_request(&lat, (0.0, 0.0), 20.0, 9.0 / 19.0, 0, &cfg, 0, &mut r);
+        // A user one cell away shares most of the 19-point region.
+        let (responder, their_region) = vicinity_responder(&lat, (10.0, 0.0), 20.0, 1, &cfg);
+        assert!(their_region.shared_points(&VicinityRegion::around(&lat, (0.0, 0.0), 20.0)) >= 9);
+        let ResponderOutcome::Reply { reply, .. } = responder.handle(&pkg, 100, &mut r) else {
+            panic!("nearby user must be able to answer");
+        };
+        assert_eq!(initiator.process_reply(&reply, 200).len(), 1);
+    }
+
+    #[test]
+    fn far_user_cannot_match() {
+        let mut r = rng();
+        let lat = lattice();
+        let cfg = config();
+        let (mut initiator, pkg, _) =
+            create_vicinity_request(&lat, (0.0, 0.0), 20.0, 9.0 / 19.0, 0, &cfg, 0, &mut r);
+        let (responder, _) = vicinity_responder(&lat, (500.0, 500.0), 20.0, 2, &cfg);
+        match responder.handle(&pkg, 100, &mut r) {
+            ResponderOutcome::NotCandidate => {}
+            ResponderOutcome::Reply { reply, .. } => {
+                // Collisions may produce gambles, but none can decrypt.
+                assert!(initiator.process_reply(&reply, 200).is_empty());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_location_perfect_overlap() {
+        let mut r = rng();
+        let lat = lattice();
+        let cfg = config();
+        let (mut initiator, pkg, _) =
+            create_vicinity_request(&lat, (3.0, 3.0), 20.0, 1.0, 0, &cfg, 0, &mut r);
+        let (responder, _) = vicinity_responder(&lat, (2.0, 4.0), 20.0, 1, &cfg);
+        let ResponderOutcome::Reply { reply, .. } = responder.handle(&pkg, 100, &mut r) else {
+            panic!("co-located user must match at theta = 1");
+        };
+        assert_eq!(initiator.process_reply(&reply, 200).len(), 1);
+    }
+
+    #[test]
+    fn no_coordinates_on_the_wire() {
+        let mut r = rng();
+        let lat = lattice();
+        let cfg = config();
+        let location = (1234.5, 6789.0);
+        let (_, pkg, _) =
+            create_vicinity_request(&lat, location, 20.0, 0.5, 0, &cfg, 0, &mut r);
+        let bytes = pkg.encode();
+        // The raw coordinates must not appear anywhere in the package.
+        for needle in [location.0.to_be_bytes(), location.1.to_be_bytes()] {
+            assert!(
+                !bytes.windows(8).any(|w| w == needle),
+                "coordinate bytes leaked into the package"
+            );
+        }
+    }
+
+    #[test]
+    fn location_bound_vectors_agree_within_cell() {
+        let lat = lattice();
+        let profile = Profile::from_attributes(vec![
+            msb_profile::Attribute::new("interest", "jazz"),
+            msb_profile::Attribute::new("interest", "go"),
+        ]);
+        let v1 = location_bound_vector(&lat, (1.0, 1.0), &profile);
+        let v2 = location_bound_vector(&lat, (0.5, 1.5), &profile); // same cell
+        let v3 = location_bound_vector(&lat, (300.0, 0.0), &profile);
+        assert_eq!(v1, v2);
+        assert_ne!(v1, v3);
+        // And bound hashes differ from plain ones (dictionary defence).
+        assert_ne!(v1, profile.vector().clone());
+    }
+}

@@ -1,0 +1,381 @@
+//! AES block cipher as specified in FIPS 197.
+//!
+//! The paper encrypts the sealed-bottle payload with AES under the 256-bit
+//! profile key, so [`Aes256`] is the workhorse; [`Aes128`] is provided for
+//! completeness and for the microbenchmarks of Table IV.
+//!
+//! This is a straightforward table-free implementation (S-box lookups only),
+//! prioritising auditability over raw throughput. Throughput is still in the
+//! hundreds of MB/s range in release builds, far more than the protocol
+//! needs (payloads are a few dozen bytes).
+
+/// AES block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+/// One AES block.
+pub type Block = [u8; BLOCK_LEN];
+
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+const RCON: [u8; 15] = [
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
+];
+
+/// Multiplication in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// A key-scheduled AES cipher (generic over the number of rounds).
+///
+/// Use [`Aes128::new`] or [`Aes256::new`] to construct one.
+#[derive(Debug, Clone)]
+pub struct AesCipher {
+    round_keys: Vec<[u8; 16]>,
+}
+
+/// AES-128: 10 rounds, 16-byte key.
+#[derive(Debug, Clone)]
+pub struct Aes128(AesCipher);
+
+/// AES-256: 14 rounds, 32-byte key. The profile key of the Sealed Bottle
+/// mechanism is used directly as an AES-256 key.
+#[derive(Debug, Clone)]
+pub struct Aes256(AesCipher);
+
+impl Aes128 {
+    /// Expands a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        Aes128(AesCipher::expand(key, 4, 10))
+    }
+}
+
+impl Aes256 {
+    /// Expands a 256-bit key.
+    pub fn new(key: &[u8; 32]) -> Self {
+        Aes256(AesCipher::expand(key, 8, 14))
+    }
+}
+
+/// A block cipher with a 16-byte block: the common interface used by
+/// [`crate::modes`].
+pub trait BlockCipher {
+    /// Encrypts one 16-byte block in place.
+    fn encrypt_block(&self, block: &mut Block);
+    /// Decrypts one 16-byte block in place.
+    fn decrypt_block(&self, block: &mut Block);
+}
+
+impl BlockCipher for Aes128 {
+    fn encrypt_block(&self, block: &mut Block) {
+        self.0.encrypt_block(block)
+    }
+    fn decrypt_block(&self, block: &mut Block) {
+        self.0.decrypt_block(block)
+    }
+}
+
+impl BlockCipher for Aes256 {
+    fn encrypt_block(&self, block: &mut Block) {
+        self.0.encrypt_block(block)
+    }
+    fn decrypt_block(&self, block: &mut Block) {
+        self.0.decrypt_block(block)
+    }
+}
+
+impl AesCipher {
+    /// FIPS 197 key expansion. `nk` is the key length in 32-bit words,
+    /// `rounds` the number of rounds (10 for AES-128, 14 for AES-256).
+    fn expand(key: &[u8], nk: usize, rounds: usize) -> Self {
+        let total_words = 4 * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (i, word) in c.iter().enumerate() {
+                    rk[4 * i..4 * i + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        AesCipher { round_keys }
+    }
+
+    fn rounds(&self) -> usize {
+        self.round_keys.len() - 1
+    }
+
+    fn encrypt_block(&self, state: &mut Block) {
+        add_round_key(state, &self.round_keys[0]);
+        let nr = self.rounds();
+        for round in 1..nr {
+            sub_bytes(state);
+            shift_rows(state);
+            mix_columns(state);
+            add_round_key(state, &self.round_keys[round]);
+        }
+        sub_bytes(state);
+        shift_rows(state);
+        add_round_key(state, &self.round_keys[nr]);
+    }
+
+    fn decrypt_block(&self, state: &mut Block) {
+        let nr = self.rounds();
+        add_round_key(state, &self.round_keys[nr]);
+        for round in (1..nr).rev() {
+            inv_shift_rows(state);
+            inv_sub_bytes(state);
+            add_round_key(state, &self.round_keys[round]);
+            inv_mix_columns(state);
+        }
+        inv_shift_rows(state);
+        inv_sub_bytes(state);
+        add_round_key(state, &self.round_keys[0]);
+    }
+}
+
+// The state is stored column-major as in FIPS 197: byte index = 4*col + row.
+
+fn add_round_key(state: &mut Block, rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut Block) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut Block) {
+    // Row r is shifted left by r positions.
+    let s = *state;
+    for row in 1..4 {
+        for col in 0..4 {
+            state[4 * col + row] = s[4 * ((col + row) % 4) + row];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut Block) {
+    let s = *state;
+    for row in 1..4 {
+        for col in 0..4 {
+            state[4 * ((col + row) % 4) + row] = s[4 * col + row];
+        }
+    }
+}
+
+fn mix_columns(state: &mut Block) {
+    for col in 0..4 {
+        let c = [
+            state[4 * col],
+            state[4 * col + 1],
+            state[4 * col + 2],
+            state[4 * col + 3],
+        ];
+        state[4 * col] = gmul(c[0], 2) ^ gmul(c[1], 3) ^ c[2] ^ c[3];
+        state[4 * col + 1] = c[0] ^ gmul(c[1], 2) ^ gmul(c[2], 3) ^ c[3];
+        state[4 * col + 2] = c[0] ^ c[1] ^ gmul(c[2], 2) ^ gmul(c[3], 3);
+        state[4 * col + 3] = gmul(c[0], 3) ^ c[1] ^ c[2] ^ gmul(c[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut Block) {
+    for col in 0..4 {
+        let c = [
+            state[4 * col],
+            state[4 * col + 1],
+            state[4 * col + 2],
+            state[4 * col + 3],
+        ];
+        state[4 * col] = gmul(c[0], 14) ^ gmul(c[1], 11) ^ gmul(c[2], 13) ^ gmul(c[3], 9);
+        state[4 * col + 1] = gmul(c[0], 9) ^ gmul(c[1], 14) ^ gmul(c[2], 11) ^ gmul(c[3], 13);
+        state[4 * col + 2] = gmul(c[0], 13) ^ gmul(c[1], 9) ^ gmul(c[2], 14) ^ gmul(c[3], 11);
+        state[4 * col + 3] = gmul(c[0], 11) ^ gmul(c[1], 13) ^ gmul(c[2], 9) ^ gmul(c[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(hex: &str) -> Vec<u8> {
+        (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips197_appendix_c1_aes128() {
+        let key: [u8; 16] = parse("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut block: Block = parse("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let cipher = Aes128::new(&key);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), parse("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), parse("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips197_appendix_c3_aes256() {
+        let key: [u8; 32] =
+            parse("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let mut block: Block = parse("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let cipher = Aes256::new(&key);
+        cipher.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), parse("8ea2b7ca516745bfeafc49904b496089"));
+        cipher.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), parse("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn nist_sp800_38a_ecb_aes256_first_block() {
+        // SP 800-38A F.1.5 ECB-AES256.Encrypt, block #1.
+        let key: [u8; 32] =
+            parse("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+                .try_into()
+                .unwrap();
+        let mut block: Block = parse("6bc1bee22e409f96e93d7e117393172a").try_into().unwrap();
+        Aes256::new(&key).encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), parse("f3eed1bdb5d2a03c064b5a7e3db181f8"));
+    }
+
+    #[test]
+    fn roundtrip_many_random_blocks() {
+        // Deterministic pseudo-random coverage of the round-trip property.
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut key = [0u8; 32];
+        for b in key.iter_mut() {
+            *b = next() as u8;
+        }
+        let cipher = Aes256::new(&key);
+        for _ in 0..200 {
+            let mut block = [0u8; 16];
+            for b in block.iter_mut() {
+                *b = next() as u8;
+            }
+            let orig = block;
+            cipher.encrypt_block(&mut block);
+            assert_ne!(block, orig);
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block, orig);
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let mut b1: Block = *b"0123456789abcdef";
+        let mut b2: Block = *b"0123456789abcdef";
+        Aes256::new(&[1u8; 32]).encrypt_block(&mut b1);
+        Aes256::new(&[2u8; 32]).encrypt_block(&mut b2);
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn gmul_known_values() {
+        assert_eq!(gmul(0x57, 0x83), 0xc1); // FIPS 197 §4.2 example
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(gmul(0x01, 0xab), 0xab);
+        assert_eq!(gmul(0x00, 0xff), 0x00);
+    }
+
+    #[test]
+    fn shift_rows_inverse() {
+        let mut s: Block = core::array::from_fn(|i| i as u8);
+        let orig = s;
+        shift_rows(&mut s);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn mix_columns_inverse() {
+        let mut s: Block = core::array::from_fn(|i| (i * 17 + 3) as u8);
+        let orig = s;
+        mix_columns(&mut s);
+        inv_mix_columns(&mut s);
+        assert_eq!(s, orig);
+    }
+}

@@ -1,0 +1,61 @@
+//! Constant-time comparison.
+//!
+//! Tag and confirmation checks in the protocols must not leak, through
+//! timing, how many prefix bytes matched — an adversary probing candidate
+//! keys (paper §IV-A, dictionary profiling) would otherwise gain an oracle.
+
+/// Compares two byte strings in time dependent only on their lengths.
+///
+/// Returns `false` immediately when the lengths differ (lengths are public
+/// in every use in this workspace).
+///
+/// # Example
+///
+/// ```
+/// assert!(msb_crypto::ct::eq(b"tag", b"tag"));
+/// assert!(!msb_crypto::ct::eq(b"tag", b"tbg"));
+/// assert!(!msb_crypto::ct::eq(b"tag", b"tagg"));
+/// ```
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    // Collapse without branching on the value.
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(eq(&[], &[]));
+        assert!(eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn unequal_content() {
+        assert!(!eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!eq(&[0], &[255]));
+    }
+
+    #[test]
+    fn unequal_length() {
+        assert!(!eq(&[1, 2], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn difference_in_any_position_detected() {
+        let a = [7u8; 64];
+        for i in 0..64 {
+            let mut b = a;
+            b[i] ^= 0x80;
+            assert!(!eq(&a, &b), "difference at byte {i} missed");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used by the secure channel (paper §III-F) in an encrypt-then-MAC
+//! construction, and as the PRF inside [`crate::kdf`].
+
+use crate::sha256::{Digest, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// HMAC-SHA256 keyed hasher.
+///
+/// # Example
+///
+/// ```
+/// use msb_crypto::hmac::HmacSha256;
+///
+/// let tag = HmacSha256::mac(b"key", b"message");
+/// assert!(HmacSha256::verify(b"key", b"message", &tag));
+/// assert!(!HmacSha256::verify(b"key", b"tampered", &tag));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance for `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = Sha256::digest(key);
+            block_key[..DIGEST_LEN].copy_from_slice(&d);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = block_key[i] ^ 0x36;
+            opad[i] = block_key[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 { inner, opad_key: opad }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the 32-byte tag.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC.
+    pub fn mac(key: &[u8], message: &[u8]) -> Digest {
+        let mut h = Self::new(key);
+        h.update(message);
+        h.finalize()
+    }
+
+    /// Constant-time verification of `tag` against `message` under `key`.
+    pub fn verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+        let expected = Self::mac(key, message);
+        crate::ct::eq(&expected, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let tag = HmacSha256::mac(&[0x0b; 20], b"Hi There");
+        assert_eq!(
+            to_hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            to_hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_long_data() {
+        let tag = HmacSha256::mac(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            to_hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_key_longer_than_block() {
+        let key = [0xaa; 131];
+        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            to_hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = HmacSha256::new(b"k");
+        h.update(b"ab");
+        h.update(b"cd");
+        assert_eq!(h.finalize(), HmacSha256::mac(b"k", b"abcd"));
+    }
+
+    #[test]
+    fn verify_rejects_truncated_tag() {
+        let tag = HmacSha256::mac(b"k", b"m");
+        assert!(!HmacSha256::verify(b"k", b"m", &tag[..31]));
+        assert!(!HmacSha256::verify(b"k", b"m", &[]));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(HmacSha256::mac(b"k1", b"m"), HmacSha256::mac(b"k2", b"m"));
+    }
+}

@@ -1,0 +1,120 @@
+//! HKDF-SHA256 (RFC 5869): extract-and-expand key derivation.
+//!
+//! The secure channel of the Sealed Bottle protocol derives its session keys
+//! from the exchanged secrets `x` (initiator) and `y` (responder): the paper
+//! writes the pairwise key informally as "x + y"; we realise it as
+//! `HKDF(salt = "msb", ikm = x ‖ y)` so the two directions and the MAC key
+//! are domain-separated.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: produces a pseudorandom key from input keying material.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    HmacSha256::mac(salt, ikm)
+}
+
+/// HKDF-Expand: stretches `prk` to `len` bytes bound to `info`.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32` (the RFC 5869 limit).
+pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "HKDF output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut h = HmacSha256::new(prk);
+        h.update(&t);
+        h.update(info);
+        h.update(&[counter]);
+        t = h.finalize().to_vec();
+        let take = (len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&t[..take]);
+        counter += 1;
+    }
+    out
+}
+
+/// Full HKDF: extract then expand.
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, len)
+}
+
+/// Derives a fixed 32-byte key — the common case for AES-256 / HMAC keys.
+pub fn derive_key32(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 32] {
+    let v = hkdf(salt, ikm, info, 32);
+    v.try_into().expect("requested exactly 32 bytes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    fn parse(hex: &str) -> Vec<u8> {
+        (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt = parse("000102030405060708090a0b0c");
+        let info = parse("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            to_hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            to_hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case2_long() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let okm = hkdf(&salt, &ikm, &info, 82);
+        assert_eq!(
+            to_hex(&okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f1d87"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case3_empty_salt_info() {
+        let ikm = [0x0b; 22];
+        let okm = hkdf(&[], &ikm, &[], 42);
+        assert_eq!(
+            to_hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn derive_key32_deterministic_and_info_separated() {
+        let k1 = derive_key32(b"salt", b"ikm", b"enc");
+        let k2 = derive_key32(b"salt", b"ikm", b"enc");
+        let k3 = derive_key32(b"salt", b"ikm", b"mac");
+        assert_eq!(k1, k2);
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    #[should_panic(expected = "HKDF output too long")]
+    fn expand_rejects_oversize() {
+        let prk = [0u8; 32];
+        let _ = expand(&prk, b"", 255 * 32 + 1);
+    }
+}

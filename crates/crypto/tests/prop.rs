@@ -1,0 +1,117 @@
+//! Property-based tests for the crypto substrate.
+
+use msb_crypto::aes::{Aes128, Aes256, BlockCipher};
+use msb_crypto::kdf;
+use msb_crypto::modes::{cbc_decrypt, cbc_encrypt, Ctr};
+use msb_crypto::sha256::Sha256;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn aes256_block_roundtrip(key in any::<[u8; 32]>(), block in any::<[u8; 16]>()) {
+        let cipher = Aes256::new(&key);
+        let mut b = block;
+        cipher.encrypt_block(&mut b);
+        cipher.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn aes128_block_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let cipher = Aes128::new(&key);
+        let mut b = block;
+        cipher.encrypt_block(&mut b);
+        cipher.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn aes_keys_differ_blocks_differ(k1 in any::<[u8; 32]>(), k2 in any::<[u8; 32]>(), block in any::<[u8; 16]>()) {
+        prop_assume!(k1 != k2);
+        let mut b1 = block;
+        let mut b2 = block;
+        Aes256::new(&k1).encrypt_block(&mut b1);
+        Aes256::new(&k2).encrypt_block(&mut b2);
+        prop_assert_ne!(b1, b2); // equal only with probability 2^-128
+    }
+
+    #[test]
+    fn ctr_streaming_chunks_match_oneshot(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 16]>(),
+        data in proptest::collection::vec(any::<u8>(), 1..300),
+        cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..4),
+    ) {
+        let cipher = Aes256::new(&key);
+        let mut oneshot = data.clone();
+        Ctr::new(&cipher, nonce).apply_keystream(&mut oneshot);
+
+        let mut cut_points: Vec<usize> = cuts.iter().map(|c| c.index(data.len())).collect();
+        cut_points.sort_unstable();
+        cut_points.dedup();
+        let mut chunked = data.clone();
+        let mut ctr = Ctr::new(&cipher, nonce);
+        let mut prev = 0;
+        for &cut in &cut_points {
+            ctr.apply_keystream(&mut chunked[prev..cut]);
+            prev = cut;
+        }
+        ctr.apply_keystream(&mut chunked[prev..]);
+        prop_assert_eq!(chunked, oneshot);
+    }
+
+    #[test]
+    fn cbc_ciphertext_longer_and_block_aligned(
+        key in any::<[u8; 32]>(),
+        iv in any::<[u8; 16]>(),
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let cipher = Aes256::new(&key);
+        let ct = cbc_encrypt(&cipher, iv, &data);
+        prop_assert_eq!(ct.len() % 16, 0);
+        prop_assert!(ct.len() > data.len());
+        prop_assert_eq!(cbc_decrypt(&cipher, iv, &ct).unwrap(), data);
+    }
+
+    #[test]
+    fn cbc_iv_matters(
+        key in any::<[u8; 32]>(),
+        iv1 in any::<[u8; 16]>(),
+        iv2 in any::<[u8; 16]>(),
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        prop_assume!(iv1 != iv2);
+        let cipher = Aes256::new(&key);
+        prop_assert_ne!(cbc_encrypt(&cipher, iv1, &data), cbc_encrypt(&cipher, iv2, &data));
+    }
+
+    #[test]
+    fn sha256_deterministic_and_sensitive(data in proptest::collection::vec(any::<u8>(), 0..256), flip in any::<prop::sample::Index>()) {
+        let d1 = Sha256::digest(&data);
+        prop_assert_eq!(d1, Sha256::digest(&data));
+        if !data.is_empty() {
+            let mut tampered = data.clone();
+            let i = flip.index(tampered.len());
+            tampered[i] ^= 1;
+            prop_assert_ne!(d1, Sha256::digest(&tampered));
+        }
+    }
+
+    #[test]
+    fn hkdf_lengths_and_prefix_property(
+        ikm in proptest::collection::vec(any::<u8>(), 1..64),
+        len1 in 1usize..64,
+        len2 in 1usize..64,
+    ) {
+        // HKDF output for the same inputs is prefix-consistent.
+        let long = kdf::hkdf(b"salt", &ikm, b"info", len1.max(len2));
+        let short = kdf::hkdf(b"salt", &ikm, b"info", len1.min(len2));
+        prop_assert_eq!(&long[..short.len()], &short[..]);
+        prop_assert_eq!(long.len(), len1.max(len2));
+    }
+
+    #[test]
+    fn ct_eq_agrees_with_eq(a in proptest::collection::vec(any::<u8>(), 0..64), b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(msb_crypto::ct::eq(&a, &b), a == b);
+    }
+}

@@ -1,0 +1,189 @@
+//! Population statistics behind Figures 4–5 and the ground truth behind
+//! Figures 6–7.
+
+use crate::weibo::{WeiboDataset, WeiboUser};
+use std::collections::HashMap;
+
+/// Profile-collision statistics (paper Fig. 4): for each collision class
+/// size `c`, the fraction of users whose exact profile is shared by `c`
+/// users in total (1 = unique).
+pub fn collision_distribution(data: &WeiboDataset, with_keywords: bool) -> Vec<(usize, f64)> {
+    let mut classes: HashMap<Vec<u64>, usize> = HashMap::new();
+    for u in data.users() {
+        *classes.entry(u.signature(with_keywords)).or_insert(0) += 1;
+    }
+    let total = data.users().len() as f64;
+    let mut by_size: HashMap<usize, usize> = HashMap::new();
+    for (_, size) in classes {
+        *by_size.entry(size).or_insert(0) += size; // users, not classes
+    }
+    let mut out: Vec<(usize, f64)> = by_size
+        .into_iter()
+        .map(|(size, users)| (size, users as f64 / total))
+        .collect();
+    out.sort_unstable_by_key(|&(size, _)| size);
+    out
+}
+
+/// Cumulative form of [`collision_distribution`]: fraction of users in
+/// classes of size ≤ `x` for `x = 1..=cap` — the curve Fig. 4 plots.
+pub fn collision_cdf(data: &WeiboDataset, with_keywords: bool, cap: usize) -> Vec<(usize, f64)> {
+    let dist = collision_distribution(data, with_keywords);
+    let mut out = Vec::with_capacity(cap);
+    let mut acc = 0.0;
+    let mut iter = dist.into_iter().peekable();
+    for x in 1..=cap {
+        while let Some(&(size, frac)) = iter.peek() {
+            if size <= x {
+                acc += frac;
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        out.push((x, acc));
+    }
+    out
+}
+
+/// Fraction of users whose profile is unique.
+pub fn unique_fraction(data: &WeiboDataset, with_keywords: bool) -> f64 {
+    collision_distribution(data, with_keywords)
+        .first()
+        .filter(|&&(size, _)| size == 1)
+        .map(|&(_, frac)| frac)
+        .unwrap_or(0.0)
+}
+
+/// Users per tag count (paper Fig. 5, log-scale y).
+pub fn tag_count_histogram(data: &WeiboDataset) -> Vec<(usize, usize)> {
+    let max = data
+        .users()
+        .iter()
+        .map(|u| u.tags.len())
+        .max()
+        .unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for u in data.users() {
+        hist[u.tags.len()] += 1;
+    }
+    hist.into_iter()
+        .enumerate()
+        .filter(|&(_, n)| n > 0)
+        .collect()
+}
+
+/// Shared-tag count between two users (the evaluation's similarity
+/// ground truth).
+pub fn shared_tags(a: &WeiboUser, b: &WeiboUser) -> usize {
+    // Both sorted: linear merge.
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.tags.len() && j < b.tags.len() {
+        match a.tags[i].cmp(&b.tags[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// For one requester, the fraction of `population` sharing at least `s`
+/// tags, for every `s in 1..=max_s` — the "Similar User Proportion
+/// (Truth)" series of Fig. 6.
+pub fn similar_user_proportions(
+    requester: &WeiboUser,
+    population: &[&WeiboUser],
+    max_s: usize,
+) -> Vec<f64> {
+    let mut counts = vec![0usize; max_s + 1];
+    for other in population {
+        if other.id == requester.id {
+            continue;
+        }
+        let shared = shared_tags(requester, other).min(max_s);
+        for c in counts.iter_mut().take(shared + 1).skip(1) {
+            *c += 1;
+        }
+    }
+    let denom = (population.len().saturating_sub(1)).max(1) as f64;
+    counts[1..].iter().map(|&c| c as f64 / denom).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weibo::WeiboConfig;
+
+    fn data() -> WeiboDataset {
+        WeiboDataset::generate(&WeiboConfig::small(), 77)
+    }
+
+    #[test]
+    fn collision_fractions_sum_to_one() {
+        let d = data();
+        for wk in [false, true] {
+            let total: f64 = collision_distribution(&d, wk).iter().map(|&(_, f)| f).sum();
+            assert!((total - 1.0).abs() < 1e-9, "with_keywords={wk}: {total}");
+        }
+    }
+
+    #[test]
+    fn keywords_increase_uniqueness() {
+        let d = data();
+        assert!(unique_fraction(&d, true) >= unique_fraction(&d, false));
+    }
+
+    #[test]
+    fn cdf_monotone_and_capped() {
+        let d = data();
+        let cdf = collision_cdf(&d, false, 10);
+        assert_eq!(cdf.len(), 10);
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(cdf.last().unwrap().1 <= 1.0 + 1e-9);
+        assert!(cdf[0].1 > 0.5, "most users unique: {}", cdf[0].1);
+    }
+
+    #[test]
+    fn histogram_covers_population() {
+        let d = data();
+        let total: usize = tag_count_histogram(&d).iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, d.users().len());
+    }
+
+    #[test]
+    fn shared_tags_matches_naive() {
+        let d = data();
+        let users = d.users();
+        for i in 0..20 {
+            for j in 0..20 {
+                let naive = users[i]
+                    .tags
+                    .iter()
+                    .filter(|t| users[j].tags.contains(t))
+                    .count();
+                assert_eq!(shared_tags(&users[i], &users[j]), naive);
+            }
+        }
+    }
+
+    #[test]
+    fn self_similarity_full() {
+        let d = data();
+        let u = &d.users()[0];
+        assert_eq!(shared_tags(u, u), u.tags.len());
+    }
+
+    #[test]
+    fn proportions_decrease_with_threshold() {
+        let d = data();
+        let pop: Vec<&WeiboUser> = d.users().iter().collect();
+        let props = similar_user_proportions(&d.users()[0], &pop, 6);
+        assert_eq!(props.len(), 6);
+        assert!(props.windows(2).all(|w| w[0] >= w[1]), "{props:?}");
+    }
+}

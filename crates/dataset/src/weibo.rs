@@ -1,0 +1,401 @@
+//! The synthetic Weibo population generator.
+
+use crate::zipf::Zipf;
+use msb_profile::attribute::Attribute;
+use msb_profile::entropy::EntropyModel;
+use msb_profile::profile::Profile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Generation parameters, defaulting to the published Tencent Weibo
+/// marginals (scaled population).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeiboConfig {
+    /// Number of users to generate (the paper's dump has 2.32 M; the
+    /// evaluation subsets are tens of thousands).
+    pub users: usize,
+    /// Tag vocabulary size (paper: 560 419).
+    pub tag_vocabulary: u64,
+    /// Keyword vocabulary size (paper: 713 747).
+    pub keyword_vocabulary: u64,
+    /// Zipf exponent for tag/keyword popularity.
+    pub zipf_exponent: f64,
+    /// Minimum tags per user (the paper's Fig. 5 support starts at 2).
+    pub min_tags: usize,
+    /// Mean tags per user (paper: 6) — calibrates the count distribution.
+    pub mean_tags: f64,
+    /// Maximum tags per user (paper: 20).
+    pub max_tags: usize,
+    /// Mean keywords per user (paper: 7).
+    pub mean_keywords: f64,
+    /// Maximum keywords per user (paper: 129).
+    pub max_keywords: usize,
+}
+
+impl Default for WeiboConfig {
+    fn default() -> Self {
+        WeiboConfig {
+            users: 50_000,
+            tag_vocabulary: 560_419,
+            keyword_vocabulary: 713_747,
+            zipf_exponent: 1.08,
+            min_tags: 2,
+            mean_tags: 6.0,
+            max_tags: 20,
+            mean_keywords: 7.0,
+            max_keywords: 129,
+        }
+    }
+}
+
+impl WeiboConfig {
+    /// A small population for unit tests and doc examples.
+    pub fn small() -> Self {
+        WeiboConfig { users: 2_000, ..Self::default() }
+    }
+
+    /// The evaluation-scale population used by the figure harnesses.
+    pub fn evaluation() -> Self {
+        WeiboConfig { users: 100_000, ..Self::default() }
+    }
+}
+
+/// One synthetic user.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeiboUser {
+    /// Stable user id.
+    pub id: u32,
+    /// Birth year.
+    pub birth_year: u16,
+    /// Gender flag (the dump has a binary field).
+    pub female: bool,
+    /// Tag ids (sorted, unique).
+    pub tags: Vec<u64>,
+    /// Keyword ids (sorted, unique).
+    pub keywords: Vec<u64>,
+}
+
+impl WeiboUser {
+    /// The user's tag attributes.
+    pub fn tag_attributes(&self) -> Vec<Attribute> {
+        self.tags
+            .iter()
+            .map(|t| Attribute::new("tag", format!("t{t}")))
+            .collect()
+    }
+
+    /// The user's tag+keyword attributes.
+    pub fn full_attributes(&self) -> Vec<Attribute> {
+        let mut attrs = self.tag_attributes();
+        attrs.extend(
+            self.keywords
+                .iter()
+                .map(|k| Attribute::new("kw", format!("k{k}"))),
+        );
+        attrs
+    }
+
+    /// The user's tag-only profile (the evaluation's default granularity).
+    pub fn profile(&self) -> Profile {
+        Profile::from_attributes(self.tag_attributes())
+    }
+
+    /// Profile including keywords.
+    pub fn full_profile(&self) -> Profile {
+        Profile::from_attributes(self.full_attributes())
+    }
+
+    /// Signature for collision counting: the sorted tag ids
+    /// (plus keyword ids when `with_keywords`).
+    pub fn signature(&self, with_keywords: bool) -> Vec<u64> {
+        let mut sig = self.tags.clone();
+        if with_keywords {
+            sig.push(u64::MAX); // separator
+            sig.extend(&self.keywords);
+        }
+        sig
+    }
+}
+
+/// A generated population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeiboDataset {
+    config: WeiboConfig,
+    users: Vec<WeiboUser>,
+}
+
+impl WeiboDataset {
+    /// Generates a deterministic population from a seed.
+    pub fn generate(config: &WeiboConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tag_zipf = Zipf::new(config.tag_vocabulary, config.zipf_exponent);
+        let kw_zipf = Zipf::new(config.keyword_vocabulary, config.zipf_exponent);
+        let tag_counts =
+            CountDistribution::calibrated(config.min_tags.max(1), config.mean_tags, config.max_tags);
+        let kw_counts = CountDistribution::calibrated(1, config.mean_keywords, config.max_keywords);
+
+        let users = (0..config.users)
+            .map(|id| {
+                let n_tags = tag_counts.sample(&mut rng);
+                let n_kws = kw_counts.sample(&mut rng);
+                let tags = draw_distinct(&tag_zipf, n_tags, &mut rng);
+                let keywords = draw_distinct(&kw_zipf, n_kws, &mut rng);
+                WeiboUser {
+                    id: id as u32,
+                    birth_year: rng.gen_range(1950..=2005),
+                    female: rng.gen_bool(0.5),
+                    tags,
+                    keywords,
+                }
+            })
+            .collect();
+        WeiboDataset { config: config.clone(), users }
+    }
+
+    /// The generated users.
+    pub fn users(&self) -> &[WeiboUser] {
+        &self.users
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &WeiboConfig {
+        &self.config
+    }
+
+    /// Mean tag count across the population.
+    pub fn mean_tag_count(&self) -> f64 {
+        self.users.iter().map(|u| u.tags.len()).sum::<usize>() as f64
+            / self.users.len().max(1) as f64
+    }
+
+    /// Users with exactly `k` tags (the paper's "52 248 users with 6
+    /// attributes" slice for Fig. 6a).
+    pub fn users_with_tag_count(&self, k: usize) -> Vec<&WeiboUser> {
+        self.users.iter().filter(|u| u.tags.len() == k).collect()
+    }
+
+    /// A deterministic random sample of `n` users (Fig. 6b's "1000
+    /// random users").
+    pub fn sample_users(&self, n: usize, seed: u64) -> Vec<&WeiboUser> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.users.len()).collect();
+        // Partial Fisher–Yates.
+        let n = n.min(idx.len());
+        for i in 0..n {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..n].iter().map(|&i| &self.users[i]).collect()
+    }
+
+    /// Empirical entropy model over tag values (drives Protocol 3's ϕ).
+    pub fn entropy_model(&self) -> EntropyModel {
+        let mut model = EntropyModel::new();
+        for u in &self.users {
+            for t in &u.tags {
+                model.observe("tag", &format!("t{t}"));
+            }
+            for k in &u.keywords {
+                model.observe("kw", &format!("k{k}"));
+            }
+        }
+        model
+    }
+}
+
+/// Truncated-geometric attribute-count distribution `P(k) ∝ q^k`,
+/// `k ∈ min..=max`, with `q` calibrated so the mean matches the target.
+#[derive(Debug, Clone)]
+struct CountDistribution {
+    min: usize,
+    cumulative: Vec<f64>,
+}
+
+impl CountDistribution {
+    fn calibrated(min: usize, target_mean: f64, max: usize) -> Self {
+        assert!(min >= 1 && max >= min);
+        assert!(target_mean >= min as f64 && target_mean <= max as f64);
+        // Bisection on q: mean is monotone increasing in q.
+        let mean_for = |q: f64| -> f64 {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for k in min..=max {
+                let w = q.powi(k as i32);
+                num += k as f64 * w;
+                den += w;
+            }
+            num / den
+        };
+        let (mut lo, mut hi) = (1e-6, 4.0);
+        for _ in 0..80 {
+            let mid = (lo + hi) / 2.0;
+            if mean_for(mid) < target_mean {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let q = (lo + hi) / 2.0;
+        let mut cumulative = Vec::with_capacity(max - min + 1);
+        let mut acc = 0.0;
+        for k in min..=max {
+            acc += q.powi(k as i32);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        CountDistribution { min, cumulative }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        };
+        self.min + idx
+    }
+}
+
+/// Draws `n` distinct Zipf ranks.
+fn draw_distinct<R: Rng + ?Sized>(zipf: &Zipf, n: usize, rng: &mut R) -> Vec<u64> {
+    let mut set = BTreeSet::new();
+    let mut guard = 0usize;
+    while set.len() < n && guard < n * 1000 {
+        set.insert(zipf.sample(rng));
+        guard += 1;
+    }
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> WeiboDataset {
+        WeiboDataset::generate(&WeiboConfig::small(), 42)
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let d1 = WeiboDataset::generate(&WeiboConfig::small(), 9);
+        let d2 = WeiboDataset::generate(&WeiboConfig::small(), 9);
+        assert_eq!(d1.users(), d2.users());
+        let d3 = WeiboDataset::generate(&WeiboConfig::small(), 10);
+        assert_ne!(d1.users(), d3.users());
+    }
+
+    #[test]
+    fn marginals_match_paper() {
+        let d = dataset();
+        let mean_tags = d.mean_tag_count();
+        assert!(
+            (mean_tags - 6.0).abs() < 0.8,
+            "mean tags should be ≈ 6, got {mean_tags}"
+        );
+        let max_tags = d.users().iter().map(|u| u.tags.len()).max().unwrap();
+        assert!(max_tags <= 20);
+        let mean_kw: f64 = d.users().iter().map(|u| u.keywords.len()).sum::<usize>() as f64
+            / d.users().len() as f64;
+        assert!((mean_kw - 7.0).abs() < 1.0, "mean keywords ≈ 7, got {mean_kw}");
+        let max_kw = d.users().iter().map(|u| u.keywords.len()).max().unwrap();
+        assert!(max_kw <= 129);
+    }
+
+    #[test]
+    fn tags_sorted_unique_nonempty() {
+        for u in dataset().users() {
+            assert!(!u.tags.is_empty());
+            assert!(u.tags.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn majority_unique_profiles() {
+        // The paper's headline: > 90 % unique profiles (Fig. 4).
+        let d = dataset();
+        let mut sigs: Vec<Vec<u64>> = d.users().iter().map(|u| u.signature(false)).collect();
+        sigs.sort_unstable();
+        let total = sigs.len();
+        let mut unique = 0usize;
+        let mut i = 0;
+        while i < total {
+            let mut j = i;
+            while j < total && sigs[j] == sigs[i] {
+                j += 1;
+            }
+            if j - i == 1 {
+                unique += 1;
+            }
+            i = j;
+        }
+        let frac = unique as f64 / total as f64;
+        assert!(frac > 0.85, "unique fraction {frac}");
+    }
+
+    #[test]
+    fn profile_roundtrip() {
+        let d = dataset();
+        let u = &d.users()[0];
+        let p = u.profile();
+        assert_eq!(p.len(), u.tags.len());
+        let fp = u.full_profile();
+        assert_eq!(fp.len(), u.tags.len() + u.keywords.len());
+    }
+
+    #[test]
+    fn users_with_tag_count_filter() {
+        let d = dataset();
+        for u in d.users_with_tag_count(6) {
+            assert_eq!(u.tags.len(), 6);
+        }
+    }
+
+    #[test]
+    fn sample_users_distinct_and_sized() {
+        let d = dataset();
+        let s = d.sample_users(100, 5);
+        assert_eq!(s.len(), 100);
+        let ids: BTreeSet<u32> = s.iter().map(|u| u.id).collect();
+        assert_eq!(ids.len(), 100, "sampling without replacement");
+    }
+
+    #[test]
+    fn entropy_model_has_tag_entropy() {
+        let d = dataset();
+        let m = d.entropy_model();
+        let s = m.attribute_entropy("tag");
+        assert!(s > 1.0, "tag entropy should be substantial, got {s}");
+    }
+
+    #[test]
+    fn count_distribution_mean_calibration() {
+        let cd = CountDistribution::calibrated(1, 6.0, 20);
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| cd.sample(&mut rng)).sum::<usize>() as f64 / n as f64;
+        assert!((mean - 6.0).abs() < 0.3, "calibrated mean {mean}");
+    }
+
+    #[test]
+    fn count_distribution_decreasing_tail() {
+        // Fig. 5's shape: fewer users at higher attribute counts (beyond
+        // the mode).
+        let d = WeiboDataset::generate(&WeiboConfig { users: 20_000, ..WeiboConfig::default() }, 3);
+        let hist = {
+            let mut h = vec![0usize; 21];
+            for u in d.users() {
+                h[u.tags.len()] += 1;
+            }
+            h
+        };
+        assert!(hist[19] + hist[20] < hist[2] + hist[3], "{hist:?}");
+    }
+}

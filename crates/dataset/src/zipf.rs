@@ -1,0 +1,125 @@
+//! Zipf-distributed sampling (Devroye's rejection method).
+//!
+//! Tag and keyword popularity in microblogging systems is famously
+//! heavy-tailed; we model it as Zipf with exponent `s > 1` over a finite
+//! vocabulary. The rejection sampler is O(1) per draw independent of the
+//! vocabulary size, which matters with half-million-entry vocabularies.
+
+use rand::Rng;
+
+/// A Zipf(s) sampler over ranks `1..=n`.
+///
+/// # Example
+///
+/// ```
+/// use msb_dataset::zipf::Zipf;
+/// use rand::SeedableRng;
+///
+/// let z = Zipf::new(1000, 1.2);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = z.sample(&mut rng);
+/// assert!((1..=1000).contains(&r));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// Precomputed `2^(s-1)`.
+    b: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 1` and `s > 1` (the rejection method requires
+    /// a strictly super-harmonic tail).
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "vocabulary must be nonempty");
+        assert!(s > 1.0, "exponent must exceed 1");
+        Zipf { n, s, b: 2f64.powf(s - 1.0) }
+    }
+
+    /// Draws one rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let x = u1.powf(-1.0 / (self.s - 1.0)).floor();
+            if !(x >= 1.0 && x <= self.n as f64) {
+                continue;
+            }
+            let t = (1.0 + 1.0 / x).powf(self.s - 1.0);
+            if u2 * x * (t - 1.0) / (self.b - 1.0) <= t / self.b {
+                return x as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = Zipf::new(10_000, 1.3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 4]; // rank 1, 2, 3, rest
+        for _ in 0..20_000 {
+            match z.sample(&mut rng) {
+                1 => counts[0] += 1,
+                2 => counts[1] += 1,
+                3 => counts[2] += 1,
+                _ => counts[3] += 1,
+            }
+        }
+        assert!(counts[0] > counts[1], "{counts:?}");
+        assert!(counts[1] > counts[2], "{counts:?}");
+        // Rank 1 of Zipf(1.3) holds a sizeable share.
+        assert!(counts[0] > 2_000, "{counts:?}");
+    }
+
+    #[test]
+    fn ratio_approximates_power_law() {
+        let z = Zipf::new(1_000_000, 2.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut c1, mut c2) = (0f64, 0f64);
+        for _ in 0..200_000 {
+            match z.sample(&mut rng) {
+                1 => c1 += 1.0,
+                2 => c2 += 1.0,
+                _ => {}
+            }
+        }
+        // P(1)/P(2) = 2^s = 4 for s = 2.
+        let ratio = c1 / c2;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tiny_vocabulary_works() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(z.sample(&mut rng), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn rejects_s_one() {
+        let _ = Zipf::new(10, 1.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Dynamic (location-derived) keys and location-bound static attributes
+//! (paper §III-D-3).
+//!
+//! The hash of a user's sorted vicinity lattice points is their *dynamic
+//! profile key*: it changes as they move. Hashing each static attribute
+//! together with the current dynamic key makes the resulting attribute
+//! hashes location-specific, which defeats global dictionary
+//! pre-computation: an adversary's dictionary built at one location is
+//! useless at another.
+
+use crate::vicinity::VicinityRegion;
+use msb_crypto::sha256::Sha256;
+use msb_profile::attribute::{Attribute, AttributeHash};
+use msb_profile::profile::{ProfileKey, ProfileVector};
+
+/// A dynamic key derived from a vicinity region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicKey(ProfileKey);
+
+impl DynamicKey {
+    /// Derives the dynamic key: the profile key of the region's sorted
+    /// lattice-point hashes.
+    pub fn from_region(region: &VicinityRegion) -> Self {
+        let vector = ProfileVector::from_hashes(region.hashes().iter().copied());
+        DynamicKey(vector.profile_key())
+    }
+
+    /// The underlying 256-bit key.
+    pub fn as_profile_key(&self) -> &ProfileKey {
+        &self.0
+    }
+
+    /// Binds a static attribute to this dynamic key:
+    /// `H(attribute ‖ K_dyn)`. Users at different locations produce
+    /// completely different hashes for the same static attribute.
+    pub fn bind_attribute(&self, attr: &Attribute) -> AttributeHash {
+        attr.hash_bound(self.0.as_bytes())
+    }
+
+    /// Binds a whole profile, returning the sorted bound-hash vector.
+    pub fn bind_profile<'a>(
+        &self,
+        attrs: impl IntoIterator<Item = &'a Attribute>,
+    ) -> ProfileVector {
+        ProfileVector::from_hashes(attrs.into_iter().map(|a| self.bind_attribute(a)))
+    }
+
+    /// A per-epoch variant: mixes a coarse time epoch into the key so
+    /// bound hashes also rotate with time (an extension the paper's
+    /// "temporal privacy" discussion motivates).
+    pub fn with_epoch(&self, epoch: u64) -> DynamicKey {
+        let digest = Sha256::digest_parts(&[self.0.as_bytes(), &epoch.to_be_bytes()]);
+        DynamicKey(ProfileKey::from_hashes(&[AttributeHash::from_bytes(digest)]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::LatticeConfig;
+
+    fn cfg() -> LatticeConfig {
+        LatticeConfig::new((0.0, 0.0), 10.0)
+    }
+
+    #[test]
+    fn same_region_same_key() {
+        let c = cfg();
+        let r1 = VicinityRegion::around(&c, (0.0, 0.0), 20.0);
+        let r2 = VicinityRegion::around(&c, (1.0, 1.0), 20.0); // same cell
+        assert_eq!(DynamicKey::from_region(&r1), DynamicKey::from_region(&r2));
+    }
+
+    #[test]
+    fn different_location_different_key() {
+        let c = cfg();
+        let r1 = VicinityRegion::around(&c, (0.0, 0.0), 20.0);
+        let r2 = VicinityRegion::around(&c, (100.0, 0.0), 20.0);
+        assert_ne!(DynamicKey::from_region(&r1), DynamicKey::from_region(&r2));
+    }
+
+    #[test]
+    fn bound_attributes_location_specific() {
+        let c = cfg();
+        let here = DynamicKey::from_region(&VicinityRegion::around(&c, (0.0, 0.0), 20.0));
+        let there = DynamicKey::from_region(&VicinityRegion::around(&c, (500.0, 0.0), 20.0));
+        let attr = Attribute::new("interest", "jazz");
+        assert_ne!(here.bind_attribute(&attr), there.bind_attribute(&attr));
+        // And differs from the unbound hash.
+        assert_ne!(here.bind_attribute(&attr), attr.hash());
+    }
+
+    #[test]
+    fn two_users_same_cell_agree_on_bound_hashes() {
+        // The property matching relies on: co-located users derive equal
+        // bound hashes for equal attributes.
+        let c = cfg();
+        let alice = DynamicKey::from_region(&VicinityRegion::around(&c, (2.0, 1.0), 20.0));
+        let bob = DynamicKey::from_region(&VicinityRegion::around(&c, (-1.0, 2.0), 20.0));
+        let attr = Attribute::new("interest", "go");
+        assert_eq!(alice.bind_attribute(&attr), bob.bind_attribute(&attr));
+    }
+
+    #[test]
+    fn bind_profile_sorted() {
+        let c = cfg();
+        let key = DynamicKey::from_region(&VicinityRegion::around(&c, (0.0, 0.0), 20.0));
+        let attrs = [Attribute::new("a", "1"),
+            Attribute::new("b", "2"),
+            Attribute::new("c", "3")];
+        let v = key.bind_profile(attrs.iter());
+        assert_eq!(v.len(), 3);
+        assert!(v.hashes().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn epoch_rotation() {
+        let c = cfg();
+        let key = DynamicKey::from_region(&VicinityRegion::around(&c, (0.0, 0.0), 20.0));
+        assert_ne!(key.with_epoch(1), key.with_epoch(2));
+        assert_eq!(key.with_epoch(7), key.with_epoch(7));
+    }
+}

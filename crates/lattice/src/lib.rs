@@ -1,0 +1,34 @@
+//! Hexagonal-lattice location hashing and privacy-preserving vicinity
+//! regions (paper §III-D).
+//!
+//! Locations are snapped to the nearest point of a hexagonal lattice
+//! spanned by `a₁ = (d, 0)` and `a₂ = (d/2, √3·d/2)` (paper Eq. 14–15).
+//! A user's *vicinity region* is the set of lattice points within range
+//! `D` of their snapped location; two users are "in vicinity" when the
+//! intersection of their regions is a large enough fraction Θ of the
+//! region (Eq. 16). Because lattice points hash like any other attribute,
+//! a vicinity search is just a fuzzy profile match over lattice-point
+//! attributes — no coordinates ever leave the device.
+//!
+//! # Example
+//!
+//! ```
+//! use msb_lattice::{LatticeConfig, VicinityRegion};
+//!
+//! let cfg = LatticeConfig::new((0.0, 0.0), 10.0);
+//! let alice = VicinityRegion::around(&cfg, (3.0, 4.0), 30.0);
+//! let bob = VicinityRegion::around(&cfg, (8.0, 1.0), 30.0);
+//! // Same cell: identical regions.
+//! assert!(alice.shared_points(&bob) > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod hex;
+pub mod vicinity;
+
+pub use dynamic::DynamicKey;
+pub use hex::{LatticeConfig, LatticePoint};
+pub use vicinity::VicinityRegion;

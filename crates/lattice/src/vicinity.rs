@@ -1,0 +1,184 @@
+//! Vicinity regions and the intersection threshold Θ
+//! (paper §III-D-2, Eq. 16).
+
+use crate::hex::{LatticeConfig, LatticePoint};
+use msb_profile::attribute::AttributeHash;
+
+/// A user's vicinity region: the lattice points within range `D` of their
+/// snapped location, with pre-computed hashes.
+///
+/// # Example
+///
+/// ```
+/// use msb_lattice::{LatticeConfig, VicinityRegion};
+///
+/// let cfg = LatticeConfig::new((0.0, 0.0), 10.0);
+/// let region = VicinityRegion::around(&cfg, (12.0, 7.0), 30.0);
+/// assert!(region.len() > 1);
+/// // Θ = 9/19-style threshold from the paper's example:
+/// let beta = region.required_shared(9.0 / 19.0);
+/// assert!(beta >= 1 && beta <= region.len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VicinityRegion {
+    center: LatticePoint,
+    points: Vec<LatticePoint>,
+    hashes: Vec<AttributeHash>,
+    range: f64,
+}
+
+impl VicinityRegion {
+    /// Builds the region around a raw location with search range `D`.
+    pub fn around(cfg: &LatticeConfig, location: (f64, f64), range: f64) -> Self {
+        let center = cfg.snap(location);
+        Self::around_point(cfg, center, range)
+    }
+
+    /// Builds the region around an already-snapped lattice point.
+    pub fn around_point(cfg: &LatticeConfig, center: LatticePoint, range: f64) -> Self {
+        let points = cfg.points_within(center, range);
+        let mut hashes: Vec<AttributeHash> = points.iter().map(|&p| cfg.point_hash(p)).collect();
+        hashes.sort_unstable();
+        VicinityRegion { center, points, hashes, range }
+    }
+
+    /// The snapped center point.
+    pub fn center(&self) -> LatticePoint {
+        self.center
+    }
+
+    /// The region's lattice points, sorted by `(u1, u2)`.
+    pub fn points(&self) -> &[LatticePoint] {
+        &self.points
+    }
+
+    /// The region's point hashes, sorted — ready to use as the optional
+    /// block of a fuzzy request.
+    pub fn hashes(&self) -> &[AttributeHash] {
+        &self.hashes
+    }
+
+    /// The search range `D`.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Number of lattice points in the region.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the region is empty (never: it always contains its center).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of shared lattice points with another region —
+    /// `|V_i ∩ V_k|`.
+    pub fn shared_points(&self, other: &VicinityRegion) -> usize {
+        let mine = &self.points;
+        other
+            .points
+            .iter()
+            .filter(|p| mine.binary_search(p).is_ok())
+            .count()
+    }
+
+    /// The achieved ratio θ_k = |V_i ∩ V_k| / |V_k| from Eq. 16, taking
+    /// `self` as the *candidate's* region `V_k`.
+    pub fn intersection_ratio(&self, initiator: &VicinityRegion) -> f64 {
+        self.shared_points(initiator) as f64 / self.len() as f64
+    }
+
+    /// Converts a threshold Θ into the minimum shared-point count β for a
+    /// fuzzy request over this region's points: β = ⌈Θ·|V|⌉ (at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < theta <= 1`.
+    pub fn required_shared(&self, theta: f64) -> usize {
+        assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+        ((theta * self.len() as f64).ceil() as usize).max(1)
+    }
+
+    /// Whether this region (as candidate `V_k`) satisfies Eq. 16 against
+    /// the initiator's region at threshold Θ.
+    pub fn in_vicinity_of(&self, initiator: &VicinityRegion, theta: f64) -> bool {
+        self.intersection_ratio(initiator) >= theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LatticeConfig {
+        LatticeConfig::new((0.0, 0.0), 10.0)
+    }
+
+    #[test]
+    fn identical_locations_full_overlap() {
+        let c = cfg();
+        let a = VicinityRegion::around(&c, (0.0, 0.0), 30.0);
+        let b = VicinityRegion::around(&c, (1.0, -1.0), 30.0); // same cell
+        assert_eq!(a.shared_points(&b), a.len());
+        assert!((b.intersection_ratio(&a) - 1.0).abs() < 1e-12);
+        assert!(b.in_vicinity_of(&a, 1.0));
+    }
+
+    #[test]
+    fn overlap_decreases_with_distance() {
+        let c = cfg();
+        let a = VicinityRegion::around(&c, (0.0, 0.0), 30.0);
+        let near = VicinityRegion::around(&c, (10.0, 0.0), 30.0);
+        let far = VicinityRegion::around(&c, (50.0, 0.0), 30.0);
+        let very_far = VicinityRegion::around(&c, (200.0, 0.0), 30.0);
+        assert!(a.shared_points(&near) > a.shared_points(&far));
+        assert_eq!(a.shared_points(&very_far), 0);
+    }
+
+    #[test]
+    fn paper_example_19_points() {
+        // D = 3d in the paper's Fig. 3 walk-through... our shells give 19
+        // points at 2d; the paper's red region uses a different D/d ratio
+        // but the same Θ logic. Verify the Θ = 9/19 arithmetic on a
+        // 19-point region.
+        let c = cfg();
+        let region = VicinityRegion::around(&c, (0.0, 0.0), 20.0);
+        assert_eq!(region.len(), 19);
+        assert_eq!(region.required_shared(9.0 / 19.0), 9);
+    }
+
+    #[test]
+    fn symmetric_equal_ranges() {
+        // Equal-range regions share symmetrically.
+        let c = cfg();
+        let a = VicinityRegion::around(&c, (0.0, 0.0), 25.0);
+        let b = VicinityRegion::around(&c, (20.0, 10.0), 25.0);
+        assert_eq!(a.shared_points(&b), b.shared_points(&a));
+    }
+
+    #[test]
+    fn hashes_sorted_and_unique() {
+        let c = cfg();
+        let r = VicinityRegion::around(&c, (5.0, 5.0), 40.0);
+        assert!(r.hashes().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(r.hashes().len(), r.len());
+    }
+
+    #[test]
+    fn required_shared_bounds() {
+        let c = cfg();
+        let r = VicinityRegion::around(&c, (0.0, 0.0), 10.0); // 7 points
+        assert_eq!(r.required_shared(1.0), 7);
+        assert_eq!(r.required_shared(0.001), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn theta_zero_rejected() {
+        let c = cfg();
+        let r = VicinityRegion::around(&c, (0.0, 0.0), 10.0);
+        let _ = r.required_shared(0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! TTL-bounded flooding with duplicate suppression.
+//!
+//! In the paper's decentralized model, "a request will be spread by relays
+//! until hitting a matching user or meeting a stop condition, e.g.
+//! expiration time". [`FloodState`] tracks seen request ids and TTL/expiry
+//! so applications can implement that relay rule in a few lines.
+
+use std::collections::HashMap;
+
+/// Identifier of a flooded item (in the protocols: the hash of the request
+/// package).
+pub type FloodId = [u8; 32];
+
+/// Per-node flooding state.
+#[derive(Debug, Clone, Default)]
+pub struct FloodState {
+    seen: HashMap<FloodId, u64>,
+}
+
+/// Decision for an incoming flooded item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloodDecision {
+    /// First sighting and TTL/expiry allow relaying onward.
+    Relay,
+    /// First sighting, but the item must not be forwarded further
+    /// (TTL exhausted or expired) — still process locally.
+    Absorb,
+    /// Already seen; drop silently.
+    Duplicate,
+    /// Expired; drop silently without processing.
+    Expired,
+}
+
+impl FloodState {
+    /// Creates an empty flood table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies an incoming item.
+    ///
+    /// * `id` — the flood id.
+    /// * `ttl` — remaining hops *after* this node (0 = do not forward).
+    /// * `now_us` / `expires_us` — expiry handling; an item with
+    ///   `expires_us <= now_us` is [`FloodDecision::Expired`].
+    pub fn classify(
+        &mut self,
+        id: FloodId,
+        ttl: u8,
+        now_us: u64,
+        expires_us: u64,
+    ) -> FloodDecision {
+        if expires_us <= now_us {
+            return FloodDecision::Expired;
+        }
+        if self.seen.contains_key(&id) {
+            return FloodDecision::Duplicate;
+        }
+        self.seen.insert(id, now_us);
+        if ttl == 0 {
+            FloodDecision::Absorb
+        } else {
+            FloodDecision::Relay
+        }
+    }
+
+    /// Whether this node has already processed the item.
+    pub fn has_seen(&self, id: &FloodId) -> bool {
+        self.seen.contains_key(id)
+    }
+
+    /// Drops table entries first seen before `cutoff_us` (bounding the
+    /// table size in long-running nodes).
+    pub fn evict_older_than(&mut self, cutoff_us: u64) {
+        self.seen.retain(|_, &mut t| t >= cutoff_us);
+    }
+
+    /// Number of remembered ids.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u8) -> FloodId {
+        [v; 32]
+    }
+
+    #[test]
+    fn first_sighting_relays() {
+        let mut f = FloodState::new();
+        assert_eq!(f.classify(id(1), 3, 0, 100), FloodDecision::Relay);
+    }
+
+    #[test]
+    fn duplicate_dropped() {
+        let mut f = FloodState::new();
+        let _ = f.classify(id(1), 3, 0, 100);
+        assert_eq!(f.classify(id(1), 3, 1, 100), FloodDecision::Duplicate);
+    }
+
+    #[test]
+    fn ttl_zero_absorbs() {
+        let mut f = FloodState::new();
+        assert_eq!(f.classify(id(2), 0, 0, 100), FloodDecision::Absorb);
+    }
+
+    #[test]
+    fn expired_dropped_and_not_recorded() {
+        let mut f = FloodState::new();
+        assert_eq!(f.classify(id(3), 3, 100, 100), FloodDecision::Expired);
+        assert!(!f.has_seen(&id(3)));
+    }
+
+    #[test]
+    fn eviction_bounds_table() {
+        let mut f = FloodState::new();
+        for v in 0..10 {
+            let _ = f.classify(id(v), 1, v as u64, 1000);
+        }
+        assert_eq!(f.len(), 10);
+        f.evict_older_than(5);
+        assert_eq!(f.len(), 5);
+        // Evicted ids are relayable again (duplicate window passed).
+        assert_eq!(f.classify(id(0), 1, 20, 1000), FloodDecision::Relay);
+    }
+}

@@ -1,0 +1,137 @@
+//! Per-sender rate limiting — the paper's DoS defence.
+//!
+//! "The DoS attack can be prevented by restricting the frequency of relay
+//! and reply requests from the same user" (§II-B), and "all participants
+//! won't reply the request from the same user within a short time
+//! interval" (§III-E). [`RateGuard`] implements exactly that sliding
+//! window.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A sliding-window rate limiter keyed by sender.
+///
+/// # Example
+///
+/// ```
+/// use msb_net::guard::RateGuard;
+///
+/// let mut g: RateGuard<u32> = RateGuard::new(1_000_000, 2); // 2 per second
+/// assert!(g.allow(7, 0));
+/// assert!(g.allow(7, 1000));
+/// assert!(!g.allow(7, 2000));      // third within the window
+/// assert!(g.allow(7, 1_000_001));  // window slid
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateGuard<K: Eq + Hash + Clone> {
+    window_us: u64,
+    max_in_window: usize,
+    history: HashMap<K, Vec<u64>>,
+}
+
+impl<K: Eq + Hash + Clone> RateGuard<K> {
+    /// Creates a guard allowing `max_in_window` events per `window_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_in_window` is zero.
+    pub fn new(window_us: u64, max_in_window: usize) -> Self {
+        assert!(max_in_window > 0, "window must allow at least one event");
+        RateGuard { window_us, max_in_window, history: HashMap::new() }
+    }
+
+    /// Records an event from `sender` at `now_us`; returns whether it is
+    /// within policy. Rejected events are *not* recorded (an attacker
+    /// cannot extend their own penalty).
+    pub fn allow(&mut self, sender: K, now_us: u64) -> bool {
+        let window = self.window_us;
+        let entry = self.history.entry(sender).or_default();
+        entry.retain(|&t| t + window > now_us);
+        if entry.len() >= self.max_in_window {
+            return false;
+        }
+        entry.push(now_us);
+        true
+    }
+
+    /// Current in-window count for `sender`.
+    pub fn pressure(&self, sender: &K, now_us: u64) -> usize {
+        self.history
+            .get(sender)
+            .map(|v| v.iter().filter(|&&t| t + self.window_us > now_us).count())
+            .unwrap_or(0)
+    }
+
+    /// Drops senders with no in-window events.
+    pub fn compact(&mut self, now_us: u64) {
+        let window = self.window_us;
+        self.history.retain(|_, v| {
+            v.retain(|&t| t + window > now_us);
+            !v.is_empty()
+        });
+    }
+
+    /// Number of tracked senders.
+    pub fn tracked_senders(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_senders() {
+        let mut g: RateGuard<u32> = RateGuard::new(1000, 1);
+        assert!(g.allow(1, 0));
+        assert!(g.allow(2, 0));
+        assert!(!g.allow(1, 10));
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut g: RateGuard<u32> = RateGuard::new(1000, 1);
+        assert!(g.allow(1, 0));
+        assert!(!g.allow(1, 999)); // still inside the window
+        // At now = 1000 the cutoff is 0 and the t = 0 event has aged out.
+        assert!(g.allow(1, 1000));
+    }
+
+    #[test]
+    fn rejections_not_recorded() {
+        let mut g: RateGuard<u32> = RateGuard::new(1000, 1);
+        assert!(g.allow(1, 500));
+        for t in 600..610 {
+            assert!(!g.allow(1, t));
+        }
+        // First event expires at 1501.
+        assert!(g.allow(1, 1501));
+    }
+
+    #[test]
+    fn pressure_reports_live_count() {
+        let mut g: RateGuard<u32> = RateGuard::new(1000, 3);
+        for t in [100u64, 200, 300] {
+            assert!(g.allow(9, t));
+        }
+        assert_eq!(g.pressure(&9, 300), 3);
+        assert_eq!(g.pressure(&9, 1500), 0);
+        assert_eq!(g.pressure(&42, 0), 0);
+    }
+
+    #[test]
+    fn compact_drops_idle_senders() {
+        let mut g: RateGuard<u32> = RateGuard::new(100, 1);
+        let _ = g.allow(1, 0);
+        let _ = g.allow(2, 500);
+        g.compact(550); // sender 1's event has aged out, sender 2's lives
+        assert_eq!(g.tracked_senders(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_budget_rejected() {
+        let _: RateGuard<u32> = RateGuard::new(100, 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Random-waypoint mobility.
+//!
+//! Nodes pick a random destination inside a rectangle, move toward it at a
+//! random speed, pause, and repeat — the standard MANET mobility model.
+//! The model is advanced explicitly (`advance`) between simulation phases
+//! so event processing stays deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rectangle the nodes roam in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Width in meters.
+    pub width: f64,
+    /// Height in meters.
+    pub height: f64,
+}
+
+/// Random-waypoint state for a set of nodes.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    bounds: Bounds,
+    min_speed: f64,
+    max_speed: f64,
+    pause_s: f64,
+    rng: StdRng,
+    nodes: Vec<WaypointNode>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WaypointNode {
+    position: (f64, f64),
+    target: (f64, f64),
+    speed: f64,
+    pause_left: f64,
+}
+
+impl RandomWaypoint {
+    /// Creates a model for `n` nodes with uniformly random initial
+    /// positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if speeds are not `0 < min <= max` or bounds are not
+    /// positive.
+    pub fn new(
+        n: usize,
+        bounds: Bounds,
+        min_speed: f64,
+        max_speed: f64,
+        pause_s: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(bounds.width > 0.0 && bounds.height > 0.0, "bounds must be positive");
+        assert!(
+            min_speed > 0.0 && min_speed <= max_speed,
+            "need 0 < min_speed <= max_speed"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes = (0..n)
+            .map(|_| {
+                let position = (
+                    rng.gen_range(0.0..bounds.width),
+                    rng.gen_range(0.0..bounds.height),
+                );
+                let target = (
+                    rng.gen_range(0.0..bounds.width),
+                    rng.gen_range(0.0..bounds.height),
+                );
+                let speed = rng.gen_range(min_speed..=max_speed);
+                WaypointNode { position, target, speed, pause_left: 0.0 }
+            })
+            .collect();
+        RandomWaypoint { bounds, min_speed, max_speed, pause_s, rng, nodes }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the model tracks no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current position of node `i`.
+    pub fn position(&self, i: usize) -> (f64, f64) {
+        self.nodes[i].position
+    }
+
+    /// All positions (index-aligned with node ids).
+    pub fn positions(&self) -> Vec<(f64, f64)> {
+        self.nodes.iter().map(|n| n.position).collect()
+    }
+
+    /// Advances every node by `dt_s` seconds.
+    pub fn advance(&mut self, dt_s: f64) {
+        for i in 0..self.nodes.len() {
+            let mut remaining = dt_s;
+            while remaining > 0.0 {
+                let node = &mut self.nodes[i];
+                if node.pause_left > 0.0 {
+                    let pause = node.pause_left.min(remaining);
+                    node.pause_left -= pause;
+                    remaining -= pause;
+                    continue;
+                }
+                let dx = node.target.0 - node.position.0;
+                let dy = node.target.1 - node.position.1;
+                let dist = (dx * dx + dy * dy).sqrt();
+                let reach_time = dist / node.speed;
+                if reach_time <= remaining {
+                    node.position = node.target;
+                    remaining -= reach_time;
+                    node.pause_left = self.pause_s;
+                    // New leg.
+                    let target = (
+                        self.rng.gen_range(0.0..self.bounds.width),
+                        self.rng.gen_range(0.0..self.bounds.height),
+                    );
+                    let speed = self.rng.gen_range(self.min_speed..=self.max_speed);
+                    let node = &mut self.nodes[i];
+                    node.target = target;
+                    node.speed = speed;
+                } else {
+                    let frac = remaining * node.speed / dist;
+                    node.position.0 += dx * frac;
+                    node.position.1 += dy * frac;
+                    remaining = 0.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(n: usize) -> RandomWaypoint {
+        RandomWaypoint::new(n, Bounds { width: 100.0, height: 100.0 }, 1.0, 3.0, 0.5, 42)
+    }
+
+    #[test]
+    fn positions_stay_in_bounds() {
+        let mut m = model(20);
+        for _ in 0..100 {
+            m.advance(1.0);
+            for i in 0..m.len() {
+                let (x, y) = m.position(i);
+                assert!((0.0..=100.0).contains(&x), "x = {x}");
+                assert!((0.0..=100.0).contains(&y), "y = {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_actually_move() {
+        let mut m = model(5);
+        let before = m.positions();
+        m.advance(10.0);
+        let after = m.positions();
+        let moved = before
+            .iter()
+            .zip(&after)
+            .filter(|(b, a)| (b.0 - a.0).abs() + (b.1 - a.1).abs() > 1e-9)
+            .count();
+        assert!(moved >= 4, "most nodes should have moved, got {moved}");
+    }
+
+    #[test]
+    fn speed_bounds_respected() {
+        let mut m = model(10);
+        let before = m.positions();
+        m.advance(1.0);
+        let after = m.positions();
+        for (b, a) in before.iter().zip(&after) {
+            let d = ((b.0 - a.0).powi(2) + (b.1 - a.1).powi(2)).sqrt();
+            // Max distance in 1s is max_speed (pauses only shorten it).
+            assert!(d <= 3.0 + 1e-9, "moved {d} m in 1 s");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut m1 = model(8);
+        let mut m2 = model(8);
+        m1.advance(7.3);
+        m2.advance(7.3);
+        assert_eq!(m1.positions(), m2.positions());
+    }
+
+    #[test]
+    fn zero_dt_is_identity() {
+        let mut m = model(3);
+        let before = m.positions();
+        m.advance(0.0);
+        assert_eq!(before, m.positions());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_speed")]
+    fn bad_speeds_rejected() {
+        let _ = RandomWaypoint::new(1, Bounds { width: 10.0, height: 10.0 }, 0.0, 1.0, 0.0, 1);
+    }
+}

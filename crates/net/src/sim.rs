@@ -1,0 +1,692 @@
+//! The discrete-event simulation engine.
+//!
+//! Time is measured in integer microseconds. All randomness (latency
+//! jitter, loss) flows from one seeded RNG, making runs reproducible
+//! bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifier of a node in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates an id from a raw index.
+    pub fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index (also the insertion order of `add_node`).
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Radio and timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Radio range in meters: broadcasts reach nodes within this distance.
+    pub radio_range: f64,
+    /// Fixed per-transmission latency in microseconds.
+    pub base_latency_us: u64,
+    /// Additional latency per meter of distance, in microseconds.
+    pub per_meter_latency_us: f64,
+    /// Uniform jitter added to each transmission, in microseconds.
+    pub jitter_us: u64,
+    /// Probability that any single transmission is lost.
+    pub loss_rate: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            radio_range: 50.0, // the paper's "within 50 meters" example
+            base_latency_us: 500,
+            per_meter_latency_us: 3.3e-3, // ~speed of light, negligible
+            jitter_us: 200,
+            loss_rate: 0.0,
+        }
+    }
+}
+
+/// Application logic attached to each node.
+pub trait NodeApp {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
+    /// Called for every delivered message.
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, payload: &[u8]);
+    /// Called for timers set through [`NodeCtx::set_timer`].
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
+}
+
+/// What a node may do while handling an event.
+#[derive(Debug)]
+enum Action {
+    Broadcast(Vec<u8>),
+    Unicast(NodeId, Vec<u8>),
+    Timer(u64, u64), // delay_us, token
+}
+
+/// Handle given to application callbacks.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    id: NodeId,
+    now_us: u64,
+    position: (f64, f64),
+    rng: &'a mut StdRng,
+    actions: Vec<Action>,
+}
+
+impl NodeCtx<'_> {
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current simulation time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// This node's current position.
+    pub fn position(&self) -> (f64, f64) {
+        self.position
+    }
+
+    /// Shared deterministic randomness.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queues a broadcast to every node in radio range.
+    pub fn broadcast(&mut self, payload: Vec<u8>) {
+        self.actions.push(Action::Broadcast(payload));
+    }
+
+    /// Queues a unicast. Delivered directly when in range, otherwise
+    /// relayed along the shortest connectivity path (modelling the
+    /// reverse route a reply follows); each hop counts as a transmission.
+    pub fn unicast(&mut self, to: NodeId, payload: Vec<u8>) {
+        self.actions.push(Action::Unicast(to, payload));
+    }
+
+    /// Schedules [`NodeApp::on_timer`] after `delay_us`.
+    pub fn set_timer(&mut self, delay_us: u64, token: u64) {
+        self.actions.push(Action::Timer(delay_us, token));
+    }
+}
+
+/// Aggregate transmission statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Broadcast transmissions performed.
+    pub broadcasts: u64,
+    /// Unicast messages initiated.
+    pub unicasts: u64,
+    /// Individual hop transmissions for unicasts.
+    pub unicast_hops: u64,
+    /// Messages delivered to applications.
+    pub delivered: u64,
+    /// Transmissions lost to the configured loss rate.
+    pub lost: u64,
+    /// Unicasts abandoned because no route existed.
+    pub unroutable: u64,
+    /// Total payload bytes put on the air (once per transmission).
+    pub payload_bytes: u64,
+}
+
+#[derive(Debug)]
+struct Event {
+    at_us: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver { to: NodeId, from: NodeId, payload: Vec<u8> },
+    Timer { node: NodeId, token: u64 },
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+struct NodeEntry<A> {
+    position: (f64, f64),
+    app: A,
+}
+
+/// The simulator: owns nodes, the event queue, and the clock.
+pub struct Simulator<A: NodeApp> {
+    nodes: Vec<NodeEntry<A>>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now_us: u64,
+    seq: u64,
+    config: SimConfig,
+    rng: StdRng,
+    metrics: Metrics,
+}
+
+impl<A: NodeApp> Simulator<A> {
+    /// Creates a simulator with the given config and RNG seed.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            queue: BinaryHeap::new(),
+            now_us: 0,
+            seq: 0,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Adds a node at `position`, returning its id.
+    pub fn add_node(&mut self, position: (f64, f64), app: A) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeEntry { position, app });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulation time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Borrow a node's application state (e.g. to inspect results).
+    pub fn app(&self, id: NodeId) -> &A {
+        &self.nodes[id.index()].app
+    }
+
+    /// Mutably borrow a node's application state.
+    pub fn app_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.nodes[id.index()].app
+    }
+
+    /// A node's position.
+    pub fn position(&self, id: NodeId) -> (f64, f64) {
+        self.nodes[id.index()].position
+    }
+
+    /// Moves a node (mobility models drive this).
+    pub fn set_position(&mut self, id: NodeId, position: (f64, f64)) {
+        self.nodes[id.index()].position = position;
+    }
+
+    /// Calls `on_start` on every node (in id order).
+    pub fn start(&mut self) {
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            self.with_ctx(id, |app, ctx| app.on_start(ctx));
+        }
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue drains or the clock passes `deadline_us`.
+    pub fn run_until(&mut self, deadline_us: u64) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at_us > deadline_us {
+                break;
+            }
+            self.step();
+        }
+        self.now_us = self.now_us.max(deadline_us);
+    }
+
+    /// Processes one event; returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        self.now_us = ev.at_us;
+        match ev.kind {
+            EventKind::Deliver { to, from, payload } => {
+                self.metrics.delivered += 1;
+                self.with_ctx(to, |app, ctx| app.on_message(ctx, from, &payload));
+            }
+            EventKind::Timer { node, token } => {
+                self.with_ctx(node, |app, ctx| app.on_timer(ctx, token));
+            }
+        }
+        true
+    }
+
+    /// Injects a message from "outside" the network (tests, harnesses).
+    pub fn inject(&mut self, to: NodeId, from: NodeId, payload: Vec<u8>) {
+        let at = self.now_us;
+        self.push_event(at, EventKind::Deliver { to, from, payload });
+    }
+
+    fn with_ctx(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut NodeCtx<'_>)) {
+        let position = self.nodes[id.index()].position;
+        let mut ctx = NodeCtx {
+            id,
+            now_us: self.now_us,
+            position,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
+        // Split borrow: the app lives in self.nodes, ctx borrows self.rng.
+        let entry = &mut self.nodes[id.index()];
+        f(&mut entry.app, &mut ctx);
+        let actions = ctx.actions;
+        for action in actions {
+            match action {
+                Action::Broadcast(payload) => self.do_broadcast(id, payload),
+                Action::Unicast(to, payload) => self.do_unicast(id, to, payload),
+                Action::Timer(delay, token) => {
+                    let at = self.now_us + delay;
+                    self.push_event(at, EventKind::Timer { node: id, token });
+                }
+            }
+        }
+    }
+
+    fn do_broadcast(&mut self, from: NodeId, payload: Vec<u8>) {
+        self.metrics.broadcasts += 1;
+        self.metrics.payload_bytes += payload.len() as u64;
+        let src = self.nodes[from.index()].position;
+        let range = self.config.radio_range;
+        let targets: Vec<(NodeId, f64)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != from.index())
+            .map(|(i, n)| (NodeId(i as u32), distance(src, n.position)))
+            .filter(|&(_, d)| d <= range)
+            .collect();
+        for (to, dist) in targets {
+            if self.roll_loss() {
+                self.metrics.lost += 1;
+                continue;
+            }
+            let at = self.now_us + self.latency(dist);
+            self.push_event(at, EventKind::Deliver { to, from, payload: payload.clone() });
+        }
+    }
+
+    fn do_unicast(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
+        self.metrics.unicasts += 1;
+        if from == to {
+            let at = self.now_us;
+            self.push_event(at, EventKind::Deliver { to, from, payload });
+            return;
+        }
+        let Some(path) = self.shortest_path(from, to) else {
+            self.metrics.unroutable += 1;
+            return;
+        };
+        // Each hop is a transmission; loss anywhere kills the message.
+        let mut at = self.now_us;
+        for hop in path.windows(2) {
+            let d = distance(
+                self.nodes[hop[0].index()].position,
+                self.nodes[hop[1].index()].position,
+            );
+            self.metrics.unicast_hops += 1;
+            self.metrics.payload_bytes += payload.len() as u64;
+            if self.roll_loss() {
+                self.metrics.lost += 1;
+                return;
+            }
+            at += self.latency(d);
+        }
+        self.push_event(at, EventKind::Deliver { to, from, payload });
+    }
+
+    fn latency(&mut self, dist: f64) -> u64 {
+        let jitter = if self.config.jitter_us > 0 {
+            self.rng.gen_range(0..=self.config.jitter_us)
+        } else {
+            0
+        };
+        self.config.base_latency_us
+            + (dist * self.config.per_meter_latency_us) as u64
+            + jitter
+    }
+
+    fn roll_loss(&mut self) -> bool {
+        self.config.loss_rate > 0.0 && self.rng.gen_bool(self.config.loss_rate.min(1.0))
+    }
+
+    fn push_event(&mut self, at_us: u64, kind: EventKind) {
+        let ev = Event { at_us, seq: self.seq, kind };
+        self.seq += 1;
+        self.queue.push(Reverse(ev));
+    }
+
+    /// BFS shortest path over the current connectivity graph.
+    fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let range = self.config.radio_range;
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[from.index()] = true;
+        queue.push_back(from.index());
+        while let Some(cur) = queue.pop_front() {
+            if cur == to.index() {
+                let mut path = vec![to];
+                let mut node = to.index();
+                while let Some(p) = prev[node] {
+                    path.push(NodeId(p as u32));
+                    node = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            let cur_pos = self.nodes[cur].position;
+            for (i, other) in self.nodes.iter().enumerate() {
+                if !visited[i] && distance(cur_pos, other.position) <= range {
+                    visited[i] = true;
+                    prev[i] = Some(cur);
+                    queue.push_back(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// Connected components of the current connectivity graph (diagnostic
+    /// for partitioned topologies).
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let range = self.config.radio_range;
+        let mut visited = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = std::collections::VecDeque::new();
+            visited[start] = true;
+            queue.push_back(start);
+            while let Some(cur) = queue.pop_front() {
+                comp.push(NodeId(cur as u32));
+                let cur_pos = self.nodes[cur].position;
+                for (i, other) in self.nodes.iter().enumerate() {
+                    if !visited[i] && distance(cur_pos, other.position) <= range {
+                        visited[i] = true;
+                        queue.push_back(i);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
+    }
+}
+
+impl<A: NodeApp> std::fmt::Debug for Simulator<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("nodes", &self.nodes.len())
+            .field("now_us", &self.now_us)
+            .field("pending_events", &self.queue.len())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+fn distance(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records everything it hears.
+    struct Recorder {
+        heard: Vec<(NodeId, Vec<u8>)>,
+        timers: Vec<u64>,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder { heard: Vec::new(), timers: Vec::new() }
+        }
+    }
+
+    impl NodeApp for Recorder {
+        fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, from: NodeId, payload: &[u8]) {
+            self.heard.push((from, payload.to_vec()));
+        }
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, token: u64) {
+            self.timers.push(token);
+        }
+    }
+
+    fn line_topology(n: usize, spacing: f64) -> Simulator<Recorder> {
+        let mut sim = Simulator::new(SimConfig::default(), 1);
+        for i in 0..n {
+            sim.add_node((i as f64 * spacing, 0.0), Recorder::new());
+        }
+        sim
+    }
+
+    #[test]
+    fn broadcast_reaches_only_in_range() {
+        struct Caster;
+        impl NodeApp for Caster {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                if ctx.node_id().index() == 0 {
+                    ctx.broadcast(b"hello".to_vec());
+                }
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+        }
+        let mut sim = Simulator::new(SimConfig::default(), 1);
+        sim.add_node((0.0, 0.0), Caster);
+        sim.add_node((40.0, 0.0), Caster);
+        sim.add_node((80.0, 0.0), Caster); // out of 50m range of node 0
+        sim.start();
+        sim.run();
+        assert_eq!(sim.metrics().broadcasts, 1);
+        assert_eq!(sim.metrics().delivered, 1, "only the neighbour hears it");
+    }
+
+    #[test]
+    fn unicast_routes_across_hops() {
+        struct Fire(NodeId);
+        impl NodeApp for Fire {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                if ctx.node_id().index() == 0 {
+                    ctx.unicast(self.0, b"reply".to_vec());
+                }
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+        }
+        let dst = NodeId::new(3);
+        let mut sim = Simulator::new(SimConfig::default(), 1);
+        for i in 0..4 {
+            sim.add_node((i as f64 * 40.0, 0.0), Fire(dst));
+        }
+        sim.start();
+        sim.run();
+        assert_eq!(sim.metrics().unicasts, 1);
+        assert_eq!(sim.metrics().unicast_hops, 3);
+        assert_eq!(sim.metrics().delivered, 1);
+    }
+
+    #[test]
+    fn unroutable_unicast_counted() {
+        struct Fire;
+        impl NodeApp for Fire {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                if ctx.node_id().index() == 0 {
+                    ctx.unicast(NodeId::new(1), b"x".to_vec());
+                }
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+        }
+        let mut sim = Simulator::new(SimConfig::default(), 1);
+        sim.add_node((0.0, 0.0), Fire);
+        sim.add_node((1000.0, 0.0), Fire); // unreachable
+        sim.start();
+        sim.run();
+        assert_eq!(sim.metrics().unroutable, 1);
+        assert_eq!(sim.metrics().delivered, 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Timed;
+        impl NodeApp for Timed {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(2000, 2);
+                ctx.set_timer(1000, 1);
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+                // Record ordering through time.
+                assert!(ctx.now_us() >= 1000);
+                let _ = token;
+            }
+        }
+        let mut sim = Simulator::new(SimConfig::default(), 1);
+        sim.add_node((0.0, 0.0), Timed);
+        sim.start();
+        sim.run();
+        assert_eq!(sim.now_us(), 2000);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        fn run_once() -> (u64, Metrics) {
+            let mut sim = Simulator::new(
+                SimConfig { loss_rate: 0.3, ..SimConfig::default() },
+                1234,
+            );
+            struct Chatty;
+            impl NodeApp for Chatty {
+                fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                    ctx.broadcast(vec![ctx.node_id().index() as u8]);
+                }
+                fn on_message(&mut self, ctx: &mut NodeCtx<'_>, _: NodeId, payload: &[u8]) {
+                    if payload.len() < 3 {
+                        let mut p = payload.to_vec();
+                        p.push(ctx.node_id().index() as u8);
+                        ctx.broadcast(p);
+                    }
+                }
+            }
+            for i in 0..10 {
+                sim.add_node(((i % 5) as f64 * 30.0, (i / 5) as f64 * 30.0), Chatty);
+            }
+            sim.start();
+            sim.run();
+            (sim.now_us(), *sim.metrics())
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn loss_rate_one_drops_everything() {
+        struct Caster;
+        impl NodeApp for Caster {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.broadcast(b"gone".to_vec());
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {
+                panic!("nothing should arrive");
+            }
+        }
+        let mut sim = Simulator::new(SimConfig { loss_rate: 1.0, ..SimConfig::default() }, 1);
+        sim.add_node((0.0, 0.0), Caster);
+        sim.add_node((10.0, 0.0), Caster);
+        sim.start();
+        sim.run();
+        assert_eq!(sim.metrics().delivered, 0);
+        assert_eq!(sim.metrics().lost, 2);
+    }
+
+    #[test]
+    fn connected_components_split() {
+        let mut sim = line_topology(2, 40.0);
+        sim.add_node((500.0, 0.0), Recorder::new());
+        let comps = sim.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 2);
+        assert_eq!(comps[1].len(), 1);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        struct Timed;
+        impl NodeApp for Timed {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(10_000, 1);
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+            fn on_timer(&mut self, _: &mut NodeCtx<'_>, _: u64) {
+                panic!("timer beyond deadline must not fire");
+            }
+        }
+        let mut sim = Simulator::new(SimConfig::default(), 1);
+        sim.add_node((0.0, 0.0), Timed);
+        sim.start();
+        sim.run_until(5_000);
+        assert_eq!(sim.now_us(), 5_000);
+    }
+
+    #[test]
+    fn payload_bytes_counted_per_transmission() {
+        struct Caster;
+        impl NodeApp for Caster {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                if ctx.node_id().index() == 0 {
+                    ctx.broadcast(vec![0u8; 100]);
+                }
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+        }
+        let mut sim = Simulator::new(SimConfig::default(), 1);
+        sim.add_node((0.0, 0.0), Caster);
+        sim.add_node((10.0, 0.0), Caster);
+        sim.add_node((20.0, 0.0), Caster);
+        sim.start();
+        sim.run();
+        // One broadcast transmission of 100 bytes (not per receiver).
+        assert_eq!(sim.metrics().payload_bytes, 100);
+    }
+}

@@ -1,0 +1,309 @@
+//! Attribute and profile entropy (paper Defs. 4–6) and the ϕ-entropy
+//! privacy policies of Protocol 3.
+//!
+//! The entropy model holds, per attribute category, the empirical value
+//! distribution (in deployment: published aggregate statistics; in this
+//! repo: the synthetic Weibo dataset's tag frequencies). A participant
+//! caps the entropy of the attribute set they are willing to gamble in a
+//! Protocol-3 reply at a personal budget ϕ, chosen by k-anonymity or by
+//! sensitive-attribute rules.
+
+use crate::attribute::Attribute;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Empirical value distributions per attribute category.
+///
+/// # Example
+///
+/// ```
+/// use msb_profile::entropy::EntropyModel;
+///
+/// let model = EntropyModel::from_counts([
+///     ("sex", "male", 50u64),
+///     ("sex", "female", 50),
+///     ("interest", "jazz", 1),
+///     ("interest", "go", 99),
+/// ]);
+/// let s_sex = model.attribute_entropy("sex");
+/// assert!((s_sex - 1.0).abs() < 1e-9); // uniform binary = 1 bit
+/// assert!(model.attribute_entropy("interest") < 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EntropyModel {
+    categories: BTreeMap<String, BTreeMap<String, u64>>,
+    totals: BTreeMap<String, u64>,
+}
+
+impl EntropyModel {
+    /// An empty model (every category has zero entropy).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from `(category, value, count)` observations. Categories and
+    /// values are taken verbatim (callers should pass normalized forms if
+    /// they want normalized statistics).
+    pub fn from_counts<C, V>(counts: impl IntoIterator<Item = (C, V, u64)>) -> Self
+    where
+        C: Into<String>,
+        V: Into<String>,
+    {
+        let mut model = Self::new();
+        for (c, v, n) in counts {
+            model.observe_n(&c.into(), &v.into(), n);
+        }
+        model
+    }
+
+    /// Records `n` occurrences of `value` under `category`.
+    pub fn observe_n(&mut self, category: &str, value: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self
+            .categories
+            .entry(category.to_string())
+            .or_default()
+            .entry(value.to_string())
+            .or_insert(0) += n;
+        *self.totals.entry(category.to_string()).or_insert(0) += n;
+    }
+
+    /// Records a single occurrence.
+    pub fn observe(&mut self, category: &str, value: &str) {
+        self.observe_n(category, value, 1);
+    }
+
+    /// `P(category = value)`; 0 for unseen pairs.
+    pub fn probability(&self, category: &str, value: &str) -> f64 {
+        let total = match self.totals.get(category) {
+            Some(&t) if t > 0 => t as f64,
+            _ => return 0.0,
+        };
+        let count = self
+            .categories
+            .get(category)
+            .and_then(|m| m.get(value))
+            .copied()
+            .unwrap_or(0);
+        count as f64 / total
+    }
+
+    /// Shannon entropy of a category's value distribution in bits —
+    /// `S(aᵢ)` of Def. 4. Unknown categories have zero entropy.
+    pub fn attribute_entropy(&self, category: &str) -> f64 {
+        let Some(values) = self.categories.get(category) else {
+            return 0.0;
+        };
+        let total = self.totals[category] as f64;
+        values
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// `S(A) = Σ S(aᵢ)` over the profile's attributes — Def. 5. Duplicate
+    /// categories contribute once per attribute, exactly as the paper's
+    /// sum over the attribute list does.
+    pub fn profile_entropy<'a>(&self, attrs: impl IntoIterator<Item = &'a Attribute>) -> f64 {
+        attrs
+            .into_iter()
+            .map(|a| self.attribute_entropy(a.category()))
+            .sum()
+    }
+
+    /// Entropy of the *union* of several attribute sets (de-duplicated by
+    /// attribute hash) — the `S(⋃ Aᵢ_c)` bound of Protocol 3 step 2.
+    pub fn union_entropy<'a>(
+        &self,
+        sets: impl IntoIterator<Item = &'a [Attribute]>,
+    ) -> f64 {
+        let mut seen = BTreeSet::new();
+        let mut unioned: Vec<&Attribute> = Vec::new();
+        for set in sets {
+            for a in set {
+                if seen.insert(a.hash()) {
+                    unioned.push(a);
+                }
+            }
+        }
+        self.profile_entropy(unioned)
+    }
+
+    /// Self-information (surprisal) of one attribute value in bits:
+    /// `-log₂ P(value | category)`. Unseen values get `f64::INFINITY` —
+    /// maximally identifying, never worth gambling.
+    pub fn surprisal(&self, attr: &Attribute) -> f64 {
+        let p = self.probability(attr.category(), attr.value());
+        if p <= 0.0 {
+            f64::INFINITY
+        } else {
+            -p.log2()
+        }
+    }
+}
+
+/// ϕ from the k-anonymity rule (paper §III-E option 1): a user willing to
+/// be hidden among at least `k` of `n` users may leak at most
+/// `log₂(n / k)` bits.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn phi_k_anonymity(n: usize, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n, "k cannot exceed the population");
+    (n as f64 / k as f64).log2()
+}
+
+/// ϕ from the sensitive-attributes rule (paper §III-E option 2): the
+/// budget is the minimum entropy over the user's sensitive attributes, so
+/// no single sensitive attribute can be fully disclosed.
+///
+/// Returns `f64::INFINITY` when `sensitive` is empty (no restriction).
+pub fn phi_sensitive(model: &EntropyModel, sensitive: &[Attribute]) -> f64 {
+    sensitive
+        .iter()
+        .map(|a| model.attribute_entropy(a.category()))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Greedily selects a prefix of `candidate_sets` whose union entropy stays
+/// within `phi` (Protocol 3 step 2: the responder gambles only
+/// low-entropy candidate profiles). Returns the selected indices.
+pub fn select_within_budget(
+    model: &EntropyModel,
+    candidate_sets: &[Vec<Attribute>],
+    phi: f64,
+) -> Vec<usize> {
+    let mut selected: Vec<usize> = Vec::new();
+    let mut union: Vec<Attribute> = Vec::new();
+    let mut seen = BTreeSet::new();
+    for (i, set) in candidate_sets.iter().enumerate() {
+        let mut trial = union.clone();
+        let mut trial_seen = seen.clone();
+        for a in set {
+            if trial_seen.insert(a.hash()) {
+                trial.push(a.clone());
+            }
+        }
+        if model.profile_entropy(trial.iter()) <= phi {
+            union = trial;
+            seen = trial_seen;
+            selected.push(i);
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(c: &str, v: &str) -> Attribute {
+        Attribute::new(c, v)
+    }
+
+    fn model() -> EntropyModel {
+        EntropyModel::from_counts([
+            ("sex", "male", 50u64),
+            ("sex", "female", 50),
+            ("city", "a", 25),
+            ("city", "b", 25),
+            ("city", "c", 25),
+            ("city", "d", 25),
+            ("rare", "unique", 1),
+            ("rare", "common", 1023),
+        ])
+    }
+
+    #[test]
+    fn uniform_entropy() {
+        let m = model();
+        assert!((m.attribute_entropy("sex") - 1.0).abs() < 1e-9);
+        assert!((m.attribute_entropy("city") - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_entropy_below_uniform() {
+        let m = model();
+        let s = m.attribute_entropy("rare");
+        assert!(s > 0.0 && s < 1.0, "skewed binary entropy: {s}");
+    }
+
+    #[test]
+    fn unknown_category_zero() {
+        assert_eq!(model().attribute_entropy("nope"), 0.0);
+    }
+
+    #[test]
+    fn profile_entropy_sums() {
+        let m = model();
+        let attrs = [attr("sex", "male"), attr("city", "a")];
+        assert!((m.profile_entropy(attrs.iter()) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_entropy_deduplicates() {
+        let m = model();
+        let s1 = vec![attr("sex", "male"), attr("city", "a")];
+        let s2 = vec![attr("sex", "male"), attr("city", "b")];
+        // union = {sex:male, city:a, city:b} -> 1 + 2 + 2 bits
+        let u = m.union_entropy([s1.as_slice(), s2.as_slice()]);
+        assert!((u - 5.0).abs() < 1e-9, "{u}");
+    }
+
+    #[test]
+    fn surprisal_values() {
+        let m = model();
+        assert!((m.surprisal(&attr("rare", "unique")) - 10.0).abs() < 1e-9); // 1/1024
+        assert!(m.surprisal(&attr("rare", "never-seen")).is_infinite());
+    }
+
+    #[test]
+    fn phi_k_anonymity_values() {
+        assert!((phi_k_anonymity(1024, 2) - 9.0).abs() < 1e-9);
+        assert_eq!(phi_k_anonymity(16, 16), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn phi_k_zero_panics() {
+        let _ = phi_k_anonymity(10, 0);
+    }
+
+    #[test]
+    fn phi_sensitive_is_min() {
+        let m = model();
+        let phi = phi_sensitive(&m, &[attr("sex", "male"), attr("city", "a")]);
+        assert!((phi - 1.0).abs() < 1e-9);
+        assert!(phi_sensitive(&m, &[]).is_infinite());
+    }
+
+    #[test]
+    fn select_within_budget_respects_phi() {
+        let m = model();
+        let sets = vec![
+            vec![attr("sex", "male")],                    // 1 bit
+            vec![attr("city", "a")],                      // +2 bits = 3
+            vec![attr("city", "b"), attr("sex", "male")], // +2 bits = 5 (sex deduped)
+        ];
+        let sel = select_within_budget(&m, &sets, 3.0);
+        assert_eq!(sel, vec![0, 1]);
+        let sel_all = select_within_budget(&m, &sets, 10.0);
+        assert_eq!(sel_all, vec![0, 1, 2]);
+        let sel_none = select_within_budget(&m, &sets, 0.5);
+        assert!(sel_none.is_empty());
+    }
+
+    #[test]
+    fn probability_basics() {
+        let m = model();
+        assert!((m.probability("sex", "male") - 0.5).abs() < 1e-12);
+        assert_eq!(m.probability("sex", "robot"), 0.0);
+        assert_eq!(m.probability("ghost", "x"), 0.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! The hint matrix (paper §III-C-2, Eqs. 9–13).
+//!
+//! For a fuzzy request with γ tolerated misses among β + γ optional
+//! attributes, the initiator publishes `M = [C, B]` where
+//! `C = [I_γ | R_{γ×β}]` and `B = C · h_opt`. A candidate who knows at
+//! least β of the optional attribute hashes solves the restricted linear
+//! system for the ≤ γ unknowns and recovers the *exact* missing hashes,
+//! hence the full request vector and the profile key.
+//!
+//! ## Field choice and the uniqueness claim
+//!
+//! The paper uses "random nonzero integers" for `R` and asserts unique
+//! solvability. We work over the Goldilocks-448 prime field (every SHA-256
+//! output is a canonical element) and default to a **Cauchy** block for
+//! `R`: every square submatrix of a Cauchy matrix is nonsingular, so the
+//! restricted system is provably uniquely solvable for *every* pattern of
+//! up to γ unknowns — the paper's claim, made unconditional. A
+//! uniformly-random construction is retained for ablations.
+//!
+//! Because the Cauchy block is a public deterministic function of (γ, β),
+//! it need not be transmitted: the wire format is just `B` (γ elements),
+//! *smaller* than the paper's `32γ(γ+β) + 256γ`-bit estimate.
+
+use crate::attribute::AttributeHash;
+use msb_bignum::linalg::{cauchy_matrix, Matrix, SolveError};
+use msb_bignum::{BigUint, PrimeField};
+use rand::Rng;
+
+/// How the random block `R` of `C = [I | R]` is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HintConstruction {
+    /// Deterministic Cauchy block: unconditionally solvable, not
+    /// transmitted. The default.
+    #[default]
+    Cauchy,
+    /// Uniformly random nonzero field elements — the paper's literal
+    /// construction; solvability holds with overwhelming probability.
+    Random,
+}
+
+/// The hint matrix `M = [C, B]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HintMatrix {
+    gamma: usize,
+    beta: usize,
+    construction: HintConstruction,
+    /// The full constraint matrix `C = [I | R]`, γ × (γ+β).
+    c: Matrix,
+    /// `B = C · h_opt`, γ field elements.
+    b: Vec<BigUint>,
+}
+
+impl HintMatrix {
+    /// Builds the hint matrix from the *sorted optional block* of the
+    /// request vector (length β + γ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta > optional.len()` or `optional.is_empty()`, or if
+    /// γ = 0 (a perfect-match request needs no hint matrix — the caller
+    /// should skip construction, as the paper does).
+    pub fn generate<R: Rng + ?Sized>(
+        optional: &[AttributeHash],
+        beta: usize,
+        construction: HintConstruction,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!optional.is_empty(), "optional block must be nonempty");
+        assert!(beta <= optional.len(), "beta exceeds optional count");
+        let gamma = optional.len() - beta;
+        assert!(gamma > 0, "perfect-match requests need no hint matrix");
+        let field = PrimeField::goldilocks448();
+        let r_block = match construction {
+            HintConstruction::Cauchy => cauchy_matrix(&field, gamma, beta),
+            HintConstruction::Random => {
+                let mut m = Matrix::zeros(gamma, beta);
+                for i in 0..gamma {
+                    for j in 0..beta {
+                        *m.at_mut(i, j) = field.random_nonzero(rng);
+                    }
+                }
+                m
+            }
+        };
+        let c = Matrix::identity(gamma).hconcat(&r_block);
+        let h_opt: Vec<BigUint> = optional.iter().map(|h| h.to_biguint()).collect();
+        let b = c.mul_vec(&field, &h_opt);
+        HintMatrix { gamma, beta, construction, c, b }
+    }
+
+    /// Reassembles a hint matrix from wire parts.
+    ///
+    /// For [`HintConstruction::Cauchy`] the `r_block` must be `None` (it
+    /// is reconstructed deterministically); for
+    /// [`HintConstruction::Random`] it must be the transmitted γ×β block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches or a missing/superfluous `r_block`.
+    pub fn from_parts(
+        beta: usize,
+        construction: HintConstruction,
+        r_block: Option<Matrix>,
+        b: Vec<BigUint>,
+    ) -> Self {
+        let gamma = b.len();
+        assert!(gamma > 0, "hint matrix requires gamma > 0");
+        let field = PrimeField::goldilocks448();
+        let r = match construction {
+            HintConstruction::Cauchy => {
+                assert!(r_block.is_none(), "Cauchy block is never transmitted");
+                cauchy_matrix(&field, gamma, beta)
+            }
+            HintConstruction::Random => {
+                let r = r_block.expect("random construction requires the R block");
+                assert_eq!(r.rows(), gamma, "R row count mismatch");
+                assert_eq!(r.cols(), beta, "R column count mismatch");
+                r
+            }
+        };
+        let c = Matrix::identity(gamma).hconcat(&r);
+        HintMatrix { gamma, beta, construction, c, b }
+    }
+
+    /// Number of tolerated unknowns γ.
+    pub fn gamma(&self) -> usize {
+        self.gamma
+    }
+
+    /// Number of required known optional attributes β.
+    pub fn beta(&self) -> usize {
+        self.beta
+    }
+
+    /// The construction used for the `R` block.
+    pub fn construction(&self) -> HintConstruction {
+        self.construction
+    }
+
+    /// The published vector `B`.
+    pub fn b(&self) -> &[BigUint] {
+        &self.b
+    }
+
+    /// The constraint matrix `C` (public; reconstructible from (γ, β) for
+    /// the Cauchy construction).
+    pub fn constraint_matrix(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// Completes a partial optional-block assignment.
+    ///
+    /// `assignment[j]` is `Some(h)` when the candidate matched position
+    /// `j` with one of their own attribute hashes, `None` when unknown.
+    /// Returns the fully recovered optional block, or `None` when:
+    ///
+    /// * more than γ positions are unknown,
+    /// * the restricted system is inconsistent (proves a wrong candidate
+    ///   before any decryption is attempted),
+    /// * a solved value does not fit in 256 bits (same implication).
+    ///
+    /// A fully-known assignment is *verified* against `B` instead of
+    /// solved, which rejects collision-induced wrong assignments early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != gamma + beta`.
+    pub fn solve(&self, assignment: &[Option<AttributeHash>]) -> Option<Vec<AttributeHash>> {
+        let n = self.gamma + self.beta;
+        assert_eq!(assignment.len(), n, "assignment length mismatch");
+        let field = PrimeField::goldilocks448();
+
+        let unknowns: Vec<usize> = (0..n).filter(|&j| assignment[j].is_none()).collect();
+        if unknowns.len() > self.gamma {
+            return None;
+        }
+
+        // rhs = B - C_K · x_K
+        let mut rhs = self.b.clone();
+        for (j, slot) in assignment.iter().enumerate() {
+            if let Some(h) = slot {
+                let hv = field.element(h.to_biguint());
+                for (i, r) in rhs.iter_mut().enumerate() {
+                    let delta = field.mul(self.c.at(i, j), &hv);
+                    *r = field.sub(r, &delta);
+                }
+            }
+        }
+
+        if unknowns.is_empty() {
+            // Fully known: consistency check doubles as verification.
+            if rhs.iter().all(BigUint::is_zero) {
+                return Some(assignment.iter().map(|s| s.expect("all known")).collect());
+            }
+            return None;
+        }
+
+        let c_u = self.c.select_columns(&unknowns);
+        let solved = match c_u.solve(&field, &rhs) {
+            Ok(x) => x,
+            Err(SolveError::Inconsistent) | Err(SolveError::Underdetermined) => return None,
+        };
+
+        let mut full: Vec<AttributeHash> = Vec::with_capacity(n);
+        let mut it = solved.iter();
+        for slot in assignment {
+            match slot {
+                Some(h) => full.push(*h),
+                None => {
+                    let v = it.next().expect("one solution per unknown");
+                    full.push(AttributeHash::from_biguint(v)?);
+                }
+            }
+        }
+        Some(full)
+    }
+
+    /// Serialized size in bits of what actually crosses the wire: `B`
+    /// (γ × 448 bits) plus the `R` block for the random construction
+    /// (γ·β × 448 bits); the Cauchy block is reconstructed locally.
+    pub fn wire_size_bits(&self) -> usize {
+        let b_bits = self.gamma * 448;
+        match self.construction {
+            HintConstruction::Cauchy => b_bits + 16, // (γ, β) as u8 each
+            HintConstruction::Random => b_bits + self.gamma * self.beta * 448 + 16,
+        }
+    }
+
+    /// The paper's accounting of the hint-matrix size
+    /// (`32γ(γ+β) + 256γ` bits), reported for Table III comparability.
+    pub fn paper_size_bits(&self) -> usize {
+        32 * self.gamma * (self.gamma + self.beta) + 256 * self.gamma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hashes(n: usize) -> Vec<AttributeHash> {
+        let mut hs: Vec<AttributeHash> = (0..n)
+            .map(|i| Attribute::new("interest", format!("topic-{i}")).hash())
+            .collect();
+        hs.sort_unstable();
+        hs
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn recovers_single_unknown() {
+        let opt = hashes(4); // beta=3, gamma=1
+        let hint = HintMatrix::generate(&opt, 3, HintConstruction::Cauchy, &mut rng());
+        for missing in 0..4 {
+            let mut assignment: Vec<Option<AttributeHash>> = opt.iter().copied().map(Some).collect();
+            assignment[missing] = None;
+            let full = hint.solve(&assignment).expect("solvable");
+            assert_eq!(full, opt, "missing position {missing}");
+        }
+    }
+
+    #[test]
+    fn recovers_every_unknown_pattern_up_to_gamma() {
+        let opt = hashes(6); // beta=3, gamma=3
+        for construction in [HintConstruction::Cauchy, HintConstruction::Random] {
+            let hint = HintMatrix::generate(&opt, 3, construction, &mut rng());
+            for mask in 0u32..(1 << 6) {
+                let unknown_count = mask.count_ones() as usize;
+                if unknown_count > 3 {
+                    continue;
+                }
+                let assignment: Vec<Option<AttributeHash>> = (0..6)
+                    .map(|j| if mask >> j & 1 == 1 { None } else { Some(opt[j]) })
+                    .collect();
+                let full = hint
+                    .solve(&assignment)
+                    .unwrap_or_else(|| panic!("{construction:?} mask {mask:06b}"));
+                assert_eq!(full, opt);
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_unknowns_rejected() {
+        let opt = hashes(4);
+        let hint = HintMatrix::generate(&opt, 3, HintConstruction::Cauchy, &mut rng());
+        let assignment = vec![None, None, Some(opt[2]), Some(opt[3])];
+        assert_eq!(hint.solve(&assignment), None);
+    }
+
+    #[test]
+    fn wrong_known_value_detected_when_fully_assigned() {
+        let opt = hashes(4);
+        let hint = HintMatrix::generate(&opt, 3, HintConstruction::Cauchy, &mut rng());
+        let wrong = Attribute::new("interest", "imposter").hash();
+        let mut assignment: Vec<Option<AttributeHash>> = opt.iter().copied().map(Some).collect();
+        assignment[1] = Some(wrong);
+        assert_eq!(hint.solve(&assignment), None, "verification must fail");
+    }
+
+    #[test]
+    fn wrong_known_value_with_unknowns_yields_wrong_hash_or_none() {
+        let opt = hashes(6); // beta=3, gamma=3
+        let hint = HintMatrix::generate(&opt, 3, HintConstruction::Cauchy, &mut rng());
+        let wrong = Attribute::new("interest", "imposter").hash();
+        let mut assignment: Vec<Option<AttributeHash>> = opt.iter().copied().map(Some).collect();
+        assignment[0] = Some(wrong);
+        assignment[5] = None;
+        match hint.solve(&assignment) {
+            None => {} // solved value exceeded 256 bits — fine
+            Some(full) => assert_ne!(full, opt, "must not silently recover the truth"),
+        }
+    }
+
+    #[test]
+    fn overdetermined_consistency_rejects_wrong_candidates() {
+        // gamma=2 but only one unknown: the extra equation must act as a
+        // verifier for the known values.
+        let opt = hashes(5); // beta=3, gamma=2
+        let hint = HintMatrix::generate(&opt, 3, HintConstruction::Cauchy, &mut rng());
+        let wrong = Attribute::new("interest", "imposter").hash();
+        let mut assignment: Vec<Option<AttributeHash>> = opt.iter().copied().map(Some).collect();
+        assignment[2] = None; // one unknown, two equations
+        assignment[3] = Some(wrong);
+        assert_eq!(hint.solve(&assignment), None);
+    }
+
+    #[test]
+    fn cauchy_needs_no_r_on_the_wire() {
+        let opt = hashes(6);
+        let cauchy = HintMatrix::generate(&opt, 3, HintConstruction::Cauchy, &mut rng());
+        let random = HintMatrix::generate(&opt, 3, HintConstruction::Random, &mut rng());
+        assert!(cauchy.wire_size_bits() < random.wire_size_bits());
+        assert_eq!(cauchy.paper_size_bits(), 32 * 3 * 6 + 256 * 3);
+    }
+
+    #[test]
+    fn deterministic_cauchy_reconstructible() {
+        // Two independently generated Cauchy hints over the same optional
+        // block are identical — the receiver can rebuild C from (γ, β).
+        let opt = hashes(5);
+        let h1 = HintMatrix::generate(&opt, 2, HintConstruction::Cauchy, &mut rng());
+        let h2 = HintMatrix::generate(&opt, 2, HintConstruction::Cauchy, &mut StdRng::seed_from_u64(7));
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect-match")]
+    fn gamma_zero_panics() {
+        let opt = hashes(3);
+        let _ = HintMatrix::generate(&opt, 3, HintConstruction::Cauchy, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment length")]
+    fn wrong_assignment_length_panics() {
+        let opt = hashes(4);
+        let hint = HintMatrix::generate(&opt, 3, HintConstruction::Cauchy, &mut rng());
+        let _ = hint.solve(&[None]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Profile normalization (paper §III-B).
+//!
+//! A cryptographic hash is the attribute-equivalence criterion, so two
+//! spellings a human would consider equal must normalize to the same byte
+//! string before hashing. The paper lists the pipeline: remove whitespace,
+//! punctuation, accent marks and diacritics; lowercase; convert numbers to
+//! words; canonicalize text; expand abbreviations; singularize plurals.
+//! Semantic equivalence between different words is explicitly out of scope.
+//!
+//! Stages run in this order (each is individually testable):
+//!
+//! 1. lowercase + Unicode accent folding,
+//! 2. token split on whitespace/punctuation,
+//! 3. abbreviation expansion (built-in table, extensible),
+//! 4. integer-to-English-words conversion,
+//! 5. plural-to-singular reduction,
+//! 6. concatenation with all separators removed.
+
+use std::collections::BTreeMap;
+
+/// Built-in abbreviation table. Keys must already be lowercase.
+const ABBREVIATIONS: [(&str, &str); 16] = [
+    ("cs", "computer science"),
+    ("ai", "artificial intelligence"),
+    ("ml", "machine learning"),
+    ("prof", "professor"),
+    ("dept", "department"),
+    ("univ", "university"),
+    ("eng", "engineering"),
+    ("mgr", "manager"),
+    ("dev", "developer"),
+    ("sw", "software"),
+    ("hw", "hardware"),
+    ("bball", "basketball"),
+    ("mgmt", "management"),
+    ("intl", "international"),
+    ("natl", "national"),
+    ("assn", "association"),
+];
+
+/// Irregular plural forms the suffix rules cannot reach.
+const IRREGULAR_PLURALS: [(&str, &str); 8] = [
+    ("children", "child"),
+    ("people", "person"),
+    ("men", "man"),
+    ("women", "woman"),
+    ("feet", "foot"),
+    ("teeth", "tooth"),
+    ("mice", "mouse"),
+    ("geese", "goose"),
+];
+
+/// Configurable normalizer. [`Normalizer::default`] uses the built-in
+/// abbreviation table; deployments can extend it so both sides of a match
+/// agree on the mapping.
+///
+/// # Example
+///
+/// ```
+/// use msb_profile::normalize::Normalizer;
+///
+/// let n = Normalizer::default();
+/// assert_eq!(n.normalize("Computer  Games"), n.normalize("computergame"));
+/// assert_eq!(n.normalize("Café"), "cafe");
+/// assert_eq!(n.normalize("42 dogs"), "fortytwodog");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    abbreviations: BTreeMap<String, String>,
+}
+
+impl Default for Normalizer {
+    fn default() -> Self {
+        let abbreviations = ABBREVIATIONS
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        Normalizer { abbreviations }
+    }
+}
+
+impl Normalizer {
+    /// A normalizer with no abbreviation table (pure textual pipeline).
+    pub fn bare() -> Self {
+        Normalizer { abbreviations: BTreeMap::new() }
+    }
+
+    /// Adds or overrides an abbreviation. `short` is lowercased.
+    pub fn with_abbreviation(mut self, short: &str, long: &str) -> Self {
+        self.abbreviations.insert(short.to_lowercase(), long.to_lowercase());
+        self
+    }
+
+    /// Runs the full pipeline and returns the canonical byte string.
+    pub fn normalize(&self, input: &str) -> String {
+        let folded = fold_accents(&input.to_lowercase());
+        let tokens = tokenize(&folded);
+        let mut out = String::with_capacity(input.len());
+        for token in tokens {
+            let expanded = match self.abbreviations.get(&token) {
+                Some(long) => long.clone(),
+                None => token,
+            };
+            // Expansion may itself contain several words.
+            for word in expanded.split_whitespace() {
+                let word = if let Ok(n) = word.parse::<u64>() {
+                    number_to_words(n)
+                } else {
+                    singularize(word)
+                };
+                out.push_str(&word);
+            }
+        }
+        out
+    }
+}
+
+/// Splits on anything that is not alphanumeric.
+fn tokenize(s: &str) -> Vec<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_string())
+        .collect()
+}
+
+/// Folds Latin accents and diacritics onto their ASCII base letters.
+/// Characters outside the mapping pass through unchanged (CJK attributes,
+/// e.g. Tencent Weibo tags, are preserved verbatim).
+fn fold_accents(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' | 'ą' => 'a',
+            'ç' | 'ć' | 'č' => 'c',
+            'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' | 'ę' | 'ě' => 'e',
+            'ì' | 'í' | 'î' | 'ï' | 'ĩ' | 'ī' | 'ĭ' | 'į' => 'i',
+            'ñ' | 'ń' | 'ň' => 'n',
+            'ŕ' | 'ř' => 'r',
+            'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ō' | 'ŏ' | 'ő' => 'o',
+            'ù' | 'ú' | 'û' | 'ü' | 'ũ' | 'ū' | 'ŭ' | 'ů' => 'u',
+            'ý' | 'ÿ' => 'y',
+            'š' | 'ś' => 's',
+            'ž' | 'ź' | 'ż' => 'z',
+            'ß' => 's', // folded, not expanded, to stay 1:1
+            other => other,
+        })
+        .collect()
+}
+
+/// Converts an integer to concatenation-ready English words
+/// (no spaces or hyphens): `42` → `fortytwo`.
+pub fn number_to_words(n: u64) -> String {
+    const ONES: [&str; 20] = [
+        "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
+        "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen", "seventeen", "eighteen",
+        "nineteen",
+    ];
+    const TENS: [&str; 10] = [
+        "", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety",
+    ];
+    const SCALES: [(u64, &str); 5] = [
+        (1_000_000_000_000, "trillion"),
+        (1_000_000_000, "billion"),
+        (1_000_000, "million"),
+        (1_000, "thousand"),
+        (100, "hundred"),
+    ];
+
+    if n < 20 {
+        return ONES[n as usize].to_string();
+    }
+    if n < 100 {
+        let mut s = TENS[(n / 10) as usize].to_string();
+        if !n.is_multiple_of(10) {
+            s.push_str(ONES[(n % 10) as usize]);
+        }
+        return s;
+    }
+    for (scale, name) in SCALES {
+        if n >= scale {
+            let mut s = number_to_words(n / scale);
+            s.push_str(name);
+            if !n.is_multiple_of(scale) {
+                s.push_str(&number_to_words(n % scale));
+            }
+            return s;
+        }
+    }
+    unreachable!("all u64 values are covered by the scales above")
+}
+
+/// Naive English singularization. Handles irregulars, `-ies`, `-ves`,
+/// `-xes`/`-ches`/`-shes`/`-sses`, and the trailing `-s` default. Words
+/// that look singular already (`-ss`, `-us`, `-is`) are left alone.
+pub fn singularize(word: &str) -> String {
+    for (plural, singular) in IRREGULAR_PLURALS {
+        if word == plural {
+            return singular.to_string();
+        }
+    }
+    let n = word.len();
+    if n > 3 && word.ends_with("ies") {
+        return format!("{}y", &word[..n - 3]);
+    }
+    if n > 3 && (word.ends_with("ves")) {
+        // knives -> knife is ambiguous with -ve words; use the common rule.
+        return format!("{}f", &word[..n - 3]);
+    }
+    if n > 4 && (word.ends_with("xes") || word.ends_with("sses") || word.ends_with("ches") || word.ends_with("shes"))
+    {
+        return word[..n - 2].to_string();
+    }
+    if n > 3 && word.ends_with("oes") {
+        return word[..n - 2].to_string();
+    }
+    if n > 2
+        && word.ends_with('s')
+        && !word.ends_with("ss")
+        && !word.ends_with("us")
+        && !word.ends_with("is")
+    {
+        return word[..n - 1].to_string();
+    }
+    word.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norm(s: &str) -> String {
+        Normalizer::default().normalize(s)
+    }
+
+    #[test]
+    fn lowercase_and_whitespace() {
+        assert_eq!(norm("Computer Science"), "computerscience");
+        assert_eq!(norm("  computer   science  "), "computerscience");
+    }
+
+    #[test]
+    fn punctuation_removed() {
+        assert_eq!(norm("rock-n-roll!"), norm("rock n roll"));
+        assert_eq!(norm("new_york.city"), "newyorkcity");
+    }
+
+    #[test]
+    fn accents_folded() {
+        assert_eq!(norm("Café"), "cafe");
+        assert_eq!(norm("Beyoncé"), "beyonce");
+        assert_eq!(norm("Dvořák"), "dvorak");
+    }
+
+    #[test]
+    fn numbers_to_words() {
+        assert_eq!(norm("7"), "seven");
+        assert_eq!(norm("42"), "fortytwo");
+        assert_eq!(norm("100"), "onehundred");
+        assert_eq!(norm("1984"), "onethousandninehundredeightyfour");
+        assert_eq!(norm("level 3 engineer"), norm("level three engineer"));
+    }
+
+    #[test]
+    fn number_to_words_edge_values() {
+        assert_eq!(number_to_words(0), "zero");
+        assert_eq!(number_to_words(19), "nineteen");
+        assert_eq!(number_to_words(20), "twenty");
+        assert_eq!(number_to_words(21), "twentyone");
+        assert_eq!(number_to_words(1_000_000), "onemillion");
+        assert_eq!(
+            number_to_words(1_000_001),
+            "onemillionone"
+        );
+    }
+
+    #[test]
+    fn plurals_singularized() {
+        assert_eq!(norm("dogs"), "dog");
+        assert_eq!(norm("parties"), "party");
+        assert_eq!(norm("boxes"), "box");
+        assert_eq!(norm("churches"), "church");
+        assert_eq!(norm("glasses"), "glass");
+        assert_eq!(norm("children"), "child");
+        assert_eq!(norm("heroes"), "hero");
+    }
+
+    #[test]
+    fn singular_forms_untouched() {
+        assert_eq!(singularize("glass"), "glass");
+        assert_eq!(singularize("bus"), "bus");
+        assert_eq!(singularize("tennis"), "tennis");
+        assert_eq!(singularize("go"), "go");
+    }
+
+    #[test]
+    fn abbreviations_expanded() {
+        assert_eq!(norm("CS"), "computerscience");
+        assert_eq!(norm("Univ of Illinois"), norm("university of illinois"));
+        // expansion runs through the rest of the pipeline
+        assert_eq!(norm("prof"), "professor");
+    }
+
+    #[test]
+    fn custom_abbreviation() {
+        let n = Normalizer::default().with_abbreviation("iit", "illinois institute of technology");
+        assert_eq!(
+            n.normalize("IIT"),
+            "illinoisinstituteoftechnology"
+        );
+    }
+
+    #[test]
+    fn pipeline_idempotent() {
+        // Normalizing a normalized string must be a fixed point for
+        // strings without abbreviations (expansion is one-way by design).
+        for s in ["computerscience", "basketball", "fortytwo", "cafe"] {
+            assert_eq!(norm(s), s);
+            assert_eq!(norm(&norm(s)), norm(s));
+        }
+    }
+
+    #[test]
+    fn paper_example_equivalences() {
+        // The paper's motivating examples: spelling and typing variants
+        // should collide; distinct words should not.
+        assert_eq!(norm("Computer Game"), norm("computer games"));
+        assert_ne!(norm("basketball"), norm("baseball"));
+    }
+
+    #[test]
+    fn cjk_passthrough() {
+        assert_eq!(norm("篮球"), "篮球");
+    }
+
+    #[test]
+    fn bare_normalizer_skips_abbreviations() {
+        // Two-letter words are never singularized, so "cs" passes through.
+        assert_eq!(Normalizer::bare().normalize("CS"), "cs");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(norm(""), "");
+        assert_eq!(norm("  ...  "), "");
+    }
+}

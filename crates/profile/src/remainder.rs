@@ -1,0 +1,251 @@
+//! The remainder vector and the candidate fast check
+//! (paper §III-C-1, Eq. 4, Theorem 1).
+//!
+//! Every request carries, per attribute, the remainder of its 256-bit hash
+//! modulo a small prime `p > m_t`. Theorem 1 — different remainders imply
+//! different hashes — lets a relay discard a request after `m_k` modulo
+//! operations and a cheap combinatorial check, with **no false
+//! negatives**: a truly matching user always passes.
+
+use crate::attribute::AttributeHash;
+use crate::profile::ProfileVector;
+
+/// The remainder vector of a request: the necessary block (all α required)
+/// followed by the optional block (at least β of β + γ required).
+///
+/// Blocks are kept separate because the order-consistency rule (paper
+/// Eq. 8) applies within each sorted block; the concatenated vector is not
+/// globally sorted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemainderVector {
+    p: u64,
+    necessary: Vec<u64>,
+    optional: Vec<u64>,
+    beta: usize,
+}
+
+impl RemainderVector {
+    /// Builds the remainder vector from the sorted request blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2`, if `beta > optional.len()`, or if the request is
+    /// empty.
+    pub fn new(
+        p: u64,
+        necessary: &[AttributeHash],
+        optional: &[AttributeHash],
+        beta: usize,
+    ) -> Self {
+        assert!(p >= 2, "modulus must be at least 2");
+        assert!(beta <= optional.len(), "beta exceeds optional count");
+        assert!(
+            !necessary.is_empty() || !optional.is_empty(),
+            "request must contain at least one attribute"
+        );
+        RemainderVector {
+            p,
+            necessary: necessary.iter().map(|h| h.remainder(p)).collect(),
+            optional: optional.iter().map(|h| h.remainder(p)).collect(),
+            beta,
+        }
+    }
+
+    /// Reassembles a remainder vector from raw wire values.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`RemainderVector::new`], plus
+    /// when any remainder is `>= p`.
+    pub fn from_remainders(
+        p: u64,
+        necessary: Vec<u64>,
+        optional: Vec<u64>,
+        beta: usize,
+    ) -> Self {
+        assert!(p >= 2, "modulus must be at least 2");
+        assert!(beta <= optional.len(), "beta exceeds optional count");
+        assert!(
+            !necessary.is_empty() || !optional.is_empty(),
+            "request must contain at least one attribute"
+        );
+        assert!(
+            necessary.iter().chain(optional.iter()).all(|&r| r < p),
+            "remainder out of range"
+        );
+        RemainderVector { p, necessary, optional, beta }
+    }
+
+    /// The small prime modulus `p`.
+    pub fn p(&self) -> u64 {
+        self.p
+    }
+
+    /// α — number of necessary attributes.
+    pub fn alpha(&self) -> usize {
+        self.necessary.len()
+    }
+
+    /// β — minimum optional attributes a match must own.
+    pub fn beta(&self) -> usize {
+        self.beta
+    }
+
+    /// γ — tolerated unknown optional attributes.
+    pub fn gamma(&self) -> usize {
+        self.optional.len() - self.beta
+    }
+
+    /// m_t — total request size.
+    pub fn len(&self) -> usize {
+        self.necessary.len() + self.optional.len()
+    }
+
+    /// Whether the vector is empty (never true for a validly built one).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The similarity threshold θ = (α + β) / m_t.
+    pub fn theta(&self) -> f64 {
+        (self.alpha() + self.beta) as f64 / self.len() as f64
+    }
+
+    /// Necessary-block remainders.
+    pub fn necessary(&self) -> &[u64] {
+        &self.necessary
+    }
+
+    /// Optional-block remainders.
+    pub fn optional(&self) -> &[u64] {
+        &self.optional
+    }
+
+    /// Wire size in bits under the paper's accounting (32 bits per entry).
+    pub fn wire_size_bits(&self) -> usize {
+        32 * self.len()
+    }
+
+    /// The fast check (paper §III-A "Fast Check"): does at least one
+    /// structurally valid candidate assignment exist? Runs the same
+    /// backtracking as full enumeration but stops at the first witness.
+    ///
+    /// Guaranteed free of false negatives (Theorem 1); false positives are
+    /// the `1/p`-probability remainder collisions the candidate-key stage
+    /// weeds out.
+    pub fn fast_check(&self, user: &ProfileVector) -> bool {
+        crate::matching::has_candidate_assignment(user, self)
+    }
+}
+
+/// Theorem 1 as a standalone predicate: can `h` possibly equal a hash with
+/// remainder `r` mod `p`? (Used in tests and in the paper's cost
+/// accounting — one `Mod` plus one compare per entry.)
+pub fn remainder_compatible(h: &AttributeHash, r: u64, p: u64) -> bool {
+    h.remainder(p) == r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use crate::profile::Profile;
+
+    fn attr(c: &str, v: &str) -> Attribute {
+        Attribute::new(c, v)
+    }
+
+    fn sorted_hashes(attrs: &[Attribute]) -> Vec<AttributeHash> {
+        let mut hs: Vec<AttributeHash> = attrs.iter().map(Attribute::hash).collect();
+        hs.sort_unstable();
+        hs
+    }
+
+    #[test]
+    fn theorem_1_no_false_negatives() {
+        // If hashes are equal, remainders are equal — for many moduli.
+        for i in 0..50 {
+            let h = attr("t", &format!("v{i}")).hash();
+            for p in [2u64, 3, 11, 23, 97] {
+                assert!(remainder_compatible(&h, h.remainder(p), p));
+            }
+        }
+    }
+
+    #[test]
+    fn counts_and_theta() {
+        let nec = sorted_hashes(&[attr("a", "1"), attr("b", "2")]);
+        let opt = sorted_hashes(&[attr("c", "3"), attr("d", "4"), attr("e", "5")]);
+        let rv = RemainderVector::new(11, &nec, &opt, 2);
+        assert_eq!(rv.alpha(), 2);
+        assert_eq!(rv.beta(), 2);
+        assert_eq!(rv.gamma(), 1);
+        assert_eq!(rv.len(), 5);
+        assert!((rv.theta() - 0.8).abs() < 1e-12);
+        assert_eq!(rv.wire_size_bits(), 160);
+    }
+
+    #[test]
+    fn remainders_below_p() {
+        let opt = sorted_hashes(&(0..20).map(|i| attr("t", &i.to_string())).collect::<Vec<_>>());
+        let rv = RemainderVector::new(23, &[], &opt, 20);
+        assert!(rv.optional().iter().all(|&r| r < 23));
+    }
+
+    #[test]
+    fn matching_user_always_passes_fast_check() {
+        // Exhaustive spot-check of the no-false-negative guarantee.
+        let attrs: Vec<Attribute> = (0..6).map(|i| attr("interest", &format!("x{i}"))).collect();
+        let nec = sorted_hashes(&attrs[..2]);
+        let opt = sorted_hashes(&attrs[2..]);
+        for p in [3u64, 11, 23] {
+            let rv = RemainderVector::new(p, &nec, &opt, 2); // beta=2, gamma=2
+            // A user owning everything.
+            let full = Profile::from_attributes(attrs.clone());
+            assert!(rv.fast_check(full.vector()), "full owner, p={p}");
+            // A user owning the necessary ones and exactly beta optional.
+            let partial = Profile::from_attributes(vec![
+                attrs[0].clone(),
+                attrs[1].clone(),
+                attrs[2].clone(),
+                attrs[3].clone(),
+            ]);
+            assert!(rv.fast_check(partial.vector()), "β-owner, p={p}");
+        }
+    }
+
+    #[test]
+    fn missing_necessary_usually_fails_fast_check() {
+        // A user without the necessary attribute fails unless a remainder
+        // collision occurs; pick p large enough that these attrs don't
+        // collide (verified below).
+        let needed = attr("profession", "surgeon");
+        let others: Vec<Attribute> = (0..5).map(|i| attr("interest", &format!("y{i}"))).collect();
+        let nec = sorted_hashes(std::slice::from_ref(&needed));
+        let opt = sorted_hashes(&others);
+        let user = Profile::from_attributes(others.clone());
+        let p = 97;
+        let collide = user
+            .vector()
+            .hashes()
+            .iter()
+            .any(|h| h.remainder(p) == needed.hash().remainder(p));
+        let rv = RemainderVector::new(p, &nec, &opt, 3);
+        if !collide {
+            assert!(!rv.fast_check(user.vector()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_request_panics() {
+        let _ = RemainderVector::new(11, &[], &[], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta exceeds")]
+    fn beta_too_large_panics() {
+        let opt = sorted_hashes(&[attr("a", "1")]);
+        let _ = RemainderVector::new(11, &[], &opt, 2);
+    }
+}

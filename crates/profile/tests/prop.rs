@@ -1,0 +1,148 @@
+//! Property-based tests for the profile machinery: enumeration-mode
+//! containment, remainder soundness, entropy monotonicity.
+
+use msb_profile::attribute::Attribute;
+use msb_profile::entropy::EntropyModel;
+use msb_profile::hint::HintConstruction;
+use msb_profile::matching::{
+    enumerate_candidate_keys, has_candidate_assignment, EnumerationMode, MatchConfig,
+};
+use msb_profile::profile::Profile;
+use msb_profile::request::RequestProfile;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn attrs(prefix: &str, n: usize) -> Vec<Attribute> {
+    (0..n).map(|i| Attribute::new(prefix, format!("v{i}"))).collect()
+}
+
+proptest! {
+    /// Strict-mode candidate keys are a subset of exhaustive-mode keys.
+    #[test]
+    fn strict_subset_of_exhaustive(
+        opt_count in 1usize..5,
+        beta_idx in 0usize..4,
+        owned_mask in 0u32..64,
+        noise in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let optional = attrs("o", opt_count);
+        let beta = (beta_idx % opt_count) + 1;
+        prop_assume!(beta <= opt_count);
+        let request = RequestProfile::new(Vec::new(), optional.clone(), beta).unwrap();
+
+        let mut owned: Vec<Attribute> = optional
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| owned_mask >> i & 1 == 1)
+            .map(|(_, a)| a.clone())
+            .collect();
+        owned.extend(attrs("noise", noise));
+        let user = Profile::from_attributes(owned);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sealed = request.try_seal(11, HintConstruction::Cauchy, &mut rng).unwrap();
+
+        let strict = enumerate_candidate_keys(
+            user.vector(),
+            &sealed.remainder,
+            sealed.hint.as_ref(),
+            &MatchConfig { mode: EnumerationMode::Strict, max_assignments: 50_000 },
+        );
+        let exhaustive = enumerate_candidate_keys(
+            user.vector(),
+            &sealed.remainder,
+            sealed.hint.as_ref(),
+            &MatchConfig { mode: EnumerationMode::Exhaustive, max_assignments: 50_000 },
+        );
+        for k in &strict {
+            prop_assert!(
+                exhaustive.iter().any(|e| e.key == k.key),
+                "strict key missing from exhaustive set"
+            );
+        }
+    }
+
+    /// fast_check never returns false when a key derivation would
+    /// succeed, and always agrees with assignment existence.
+    #[test]
+    fn fast_check_agrees_with_enumeration(
+        opt_count in 1usize..5,
+        beta_idx in 0usize..4,
+        owned_mask in 0u32..64,
+        seed in any::<u64>(),
+    ) {
+        let optional = attrs("o", opt_count);
+        let beta = (beta_idx % opt_count) + 1;
+        let request = RequestProfile::new(Vec::new(), optional.clone(), beta).unwrap();
+        let owned: Vec<Attribute> = optional
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| owned_mask >> i & 1 == 1)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let user = Profile::from_attributes(owned);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sealed = request.try_seal(11, HintConstruction::Cauchy, &mut rng).unwrap();
+        prop_assert_eq!(
+            sealed.remainder.fast_check(user.vector()),
+            has_candidate_assignment(user.vector(), &sealed.remainder)
+        );
+    }
+
+    /// Entropy: observing more values never decreases category entropy
+    /// below zero, and uniform distributions maximize it.
+    #[test]
+    fn entropy_bounds(counts in proptest::collection::vec(1u64..100, 1..10)) {
+        let mut model = EntropyModel::new();
+        for (i, &c) in counts.iter().enumerate() {
+            model.observe_n("cat", &format!("v{i}"), c);
+        }
+        let s = model.attribute_entropy("cat");
+        let max = (counts.len() as f64).log2();
+        prop_assert!(s >= -1e-12, "entropy must be non-negative: {s}");
+        prop_assert!(s <= max + 1e-9, "entropy exceeds log2(n): {s} > {max}");
+    }
+
+    /// Profile keys are injective over distinct attribute sets (up to
+    /// SHA-256 collisions): different sets give different keys.
+    #[test]
+    fn distinct_sets_distinct_keys(mask1 in 1u32..256, mask2 in 1u32..256) {
+        prop_assume!(mask1 != mask2);
+        let pool = attrs("t", 8);
+        let pick = |mask: u32| -> Profile {
+            Profile::from_attributes(
+                pool.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, a)| a.clone()),
+            )
+        };
+        let p1 = pick(mask1);
+        let p2 = pick(mask2);
+        prop_assert_ne!(
+            p1.vector().profile_key(),
+            p2.vector().profile_key()
+        );
+    }
+
+    /// Sealing is deterministic in the key but randomized in the hint
+    /// randomness: the profile key never depends on the RNG.
+    #[test]
+    fn sealing_key_rng_independent(seed1 in any::<u64>(), seed2 in any::<u64>()) {
+        let request = RequestProfile::new(
+            attrs("n", 1),
+            attrs("o", 3),
+            2,
+        ).unwrap();
+        let s1 = request
+            .try_seal(11, HintConstruction::Random, &mut StdRng::seed_from_u64(seed1))
+            .unwrap();
+        let s2 = request
+            .try_seal(11, HintConstruction::Random, &mut StdRng::seed_from_u64(seed2))
+            .unwrap();
+        prop_assert_eq!(s1.key, s2.key);
+        prop_assert_eq!(s1.remainder, s2.remainder);
+    }
+}

@@ -1,0 +1,77 @@
+//! Community discovery with a shared group key (paper §III-F): one
+//! request finds every user above the similarity threshold, and the
+//! bottle secret `x` doubles as the community's group key — intra-group
+//! broadcast encryption with zero extra key exchange.
+//!
+//! Run with `cargo run --example community_discovery`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sealed_bottle::prelude::*;
+
+fn tag(name: &str) -> Attribute {
+    Attribute::new("tag", name)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(5);
+    let config = ProtocolConfig::new(ProtocolKind::P2, 11);
+
+    // Find the local Rust hiking club: rust AND 1 of 2 outdoor tags.
+    let request = RequestProfile::new(
+        vec![tag("rust")],
+        vec![tag("hiking"), tag("climbing")],
+        1,
+    )?;
+    let (mut organizer, package) = Initiator::create(&request, 0, &config, 0, &mut rng);
+
+    let members = [
+        Profile::from_attributes(vec![tag("rust"), tag("hiking")]),
+        Profile::from_attributes(vec![tag("rust"), tag("climbing"), tag("coffee")]),
+        Profile::from_attributes(vec![tag("rust"), tag("hiking"), tag("climbing")]),
+    ];
+    let outsiders = [
+        Profile::from_attributes(vec![tag("rust"), tag("opera")]), // no outdoor tag
+        Profile::from_attributes(vec![tag("go"), tag("hiking")]),  // wrong language
+    ];
+
+    let mut member_sessions = Vec::new();
+    for (i, profile) in members.iter().enumerate() {
+        let responder = Responder::new(i as u32 + 1, profile.clone(), &config);
+        if let sealed_bottle::core::protocol::ResponderOutcome::Reply { reply, sessions, .. } =
+            responder.handle(&package, 1_000, &mut rng)
+        {
+            let confirmed = organizer.process_reply(&reply, 2_000);
+            assert_eq!(confirmed.len(), 1);
+            member_sessions.push(sessions);
+        }
+    }
+    for (i, profile) in outsiders.iter().enumerate() {
+        let responder = Responder::new(i as u32 + 10, profile.clone(), &config);
+        if let sealed_bottle::core::protocol::ResponderOutcome::Reply { reply, .. } = responder.handle(&package, 1_000, &mut rng) {
+            assert!(organizer.process_reply(&reply, 2_000).is_empty());
+        }
+    }
+    println!("Organizer confirmed {} community members", organizer.matches().len());
+    assert_eq!(organizer.matches().len(), 3);
+
+    // The group channel: everyone who truly opened the bottle derives it
+    // from x; outsiders cannot.
+    let group = organizer.group_channel();
+    let announcement = group.seal(b"Trailhead, Saturday 08:00. Bring crampons.", &mut rng);
+    for (i, sessions) in member_sessions.iter().enumerate() {
+        // A member may hold several candidate sessions (P2!) — the group
+        // frame authenticates only under the right one.
+        let read = sessions.iter().find_map(|s| {
+            s.group_channel().open(&announcement).ok()
+        });
+        let text = read.expect("every true member can read the announcement");
+        println!("member {}: {:?}", i + 1, String::from_utf8_lossy(&text));
+    }
+
+    // An outsider with a made-up x gets rejected by the MAC.
+    let outsider_group = GroupChannel::from_x(&[0u8; 32]);
+    assert!(outsider_group.open(&announcement).is_err());
+    println!("outsider: authentication failure (as it should be)");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: seal a request, match a profile, talk over the resulting
+//! secure channel — all in memory.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use sealed_bottle::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::thread_rng();
+
+    // Protocol 1, remainder modulus 11 (a prime larger than the request).
+    let config = ProtocolConfig::new(ProtocolKind::P1, 11);
+
+    // Alice is looking for an engineer who shares at least 2 of her 3
+    // listed interests (fuzzy search: θ = (1 + 2) / 4 = 0.75).
+    let request = RequestProfile::new(
+        vec![Attribute::new("profession", "engineer")],
+        vec![
+            Attribute::new("interest", "basketball"),
+            Attribute::new("interest", "jazz"),
+            Attribute::new("interest", "rock climbing"),
+        ],
+        2,
+    )?;
+    println!(
+        "Alice's request: {} necessary + {} optional attributes, θ = {:.2}",
+        request.alpha(),
+        request.optional().len(),
+        request.theta()
+    );
+
+    let (mut alice, package) = Initiator::create(&request, 0, &config, 0, &mut rng);
+    println!(
+        "Request package: {} bytes on the wire (remainders + sealed message + hint)",
+        package.wire_size()
+    );
+
+    // Bob matches: engineer, basketball + jazz (note the spelling
+    // differences — normalization absorbs them).
+    let bob_profile = Profile::from_attributes(vec![
+        Attribute::new("Profession", "Engineers"),
+        Attribute::new("Interest", "Basket-Ball"),
+        Attribute::new("interest", "JAZZ"),
+        Attribute::new("hometown", "springfield"),
+    ]);
+    let bob = Responder::new(1, bob_profile, &config);
+
+    // Carol does not match (not an engineer).
+    let carol_profile = Profile::from_attributes(vec![
+        Attribute::new("profession", "chef"),
+        Attribute::new("interest", "jazz"),
+    ]);
+    let carol = Responder::new(2, carol_profile, &config);
+
+    match carol.handle(&package, 500, &mut rng) {
+        ResponderOutcome::NotCandidate | ResponderOutcome::NoVerifiedMatch => {
+            println!("Carol: cannot open the bottle, forwards the request, learns nothing")
+        }
+        other => println!("Carol: unexpected outcome {other:?}"),
+    }
+
+    let ResponderOutcome::Reply { reply, sessions, verified, .. } =
+        bob.handle(&package, 1_000, &mut rng)
+    else {
+        panic!("Bob satisfies the request and must be able to reply");
+    };
+    println!("Bob: opened the bottle (verified = {verified}), sends an acknowledgement");
+
+    let matches = alice.process_reply(&reply, 2_000);
+    println!("Alice: confirmed {} match(es), responder id {}", matches.len(), matches[0].responder);
+
+    // The exchanged (x, y) now key an authenticated channel.
+    let mut alice_channel = alice.pair_channel(&matches[0]);
+    let mut bob_channel = sessions[0].channel();
+    let frame = alice_channel.seal(b"Hi Bob! Pick-up game on Saturday?");
+    let received = bob_channel.open(&frame)?;
+    println!("Bob decrypted: {:?}", String::from_utf8_lossy(&received));
+    let frame = bob_channel.seal(b"I'm in. Bring the jazz playlist.");
+    println!(
+        "Alice decrypted: {:?}",
+        String::from_utf8_lossy(&alice_channel.open(&frame)?)
+    );
+    Ok(())
+}

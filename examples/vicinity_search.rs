@@ -1,0 +1,71 @@
+//! Location-private vicinity search (paper §III-D): find people within
+//! ~30 m without anyone — including the matcher — ever seeing raw
+//! coordinates. Locations are snapped to a hexagonal lattice; vicinity
+//! regions become attribute sets; proximity becomes a fuzzy match with
+//! threshold Θ.
+//!
+//! Run with `cargo run --example vicinity_search`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sealed_bottle::core::protocol::ResponderOutcome;
+use sealed_bottle::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // Shared lattice parameters: 10 m cells anchored at a public origin.
+    let lattice = LatticeConfig::new((0.0, 0.0), 10.0);
+    // Vicinity range D = 2·d → a 19-point region; the paper's example
+    // threshold Θ = 9/19.
+    let range = 20.0;
+    let theta = 9.0 / 19.0;
+    let config = ProtocolConfig::new(ProtocolKind::P2, 37);
+
+    // The searcher stands at (12, 7).
+    let (mut searcher, package, region) = create_vicinity_request(
+        &lattice,
+        (12.0, 7.0),
+        range,
+        theta,
+        0,
+        &config,
+        0,
+        &mut rng,
+    );
+    println!(
+        "Searcher region: {} lattice points, β = {} shared points required",
+        region.len(),
+        region.required_shared(theta)
+    );
+    println!("Package: {} bytes — and provably no coordinates inside", package.wire_size());
+
+    // Three peers: next cell, a block away, another city.
+    let peers = [
+        ("neighbour (15 m away)", (25.0, 12.0)),
+        ("down the street (80 m)", (90.0, 20.0)),
+        ("another city", (5_000.0, 5_000.0)),
+    ];
+    for (i, (label, pos)) in peers.into_iter().enumerate() {
+        let (responder, peer_region) =
+            vicinity_responder(&lattice, pos, range, i as u32 + 1, &config);
+        let shared = peer_region.shared_points(&region);
+        match responder.handle(&package, 1_000, &mut rng) {
+            ResponderOutcome::Reply { reply, .. } => {
+                let confirmed = searcher.process_reply(&reply, 2_000);
+                println!(
+                    "{label}: shares {shared} lattice points -> {}",
+                    if confirmed.is_empty() {
+                        "replied but could not prove vicinity"
+                    } else {
+                        "CONFIRMED in vicinity (secure channel ready)"
+                    }
+                );
+            }
+            _ => println!("{label}: shares {shared} lattice points -> not a candidate"),
+        }
+    }
+
+    assert_eq!(searcher.matches().len(), 1, "exactly the neighbour matches");
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! Cross-crate security integration tests: the paper's §IV threat
+//! analysis exercised end to end.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sealed_bottle::core::adversary::{
+    CheatingResponder, DictionaryAttackOutcome, DictionaryAttacker, Eavesdropper, MitmAttacker,
+};
+use sealed_bottle::core::protocol::ResponderOutcome;
+use sealed_bottle::prelude::*;
+use sealed_bottle::profile::entropy::{phi_k_anonymity, EntropyModel};
+
+fn vocab(n: usize) -> Vec<Attribute> {
+    (0..n).map(|i| Attribute::new("interest", format!("w{i}"))).collect()
+}
+
+fn request_from(vocab: &[Attribute]) -> RequestProfile {
+    RequestProfile::new(
+        vec![vocab[0].clone()],
+        vec![vocab[1].clone(), vocab[2].clone(), vocab[3].clone()],
+        2,
+    )
+    .unwrap()
+}
+
+fn matching_profile(vocab: &[Attribute]) -> Profile {
+    Profile::from_attributes(vec![vocab[0].clone(), vocab[1].clone(), vocab[2].clone()])
+}
+
+/// Large attribute space: dictionary profiling is infeasible even for P1
+/// when the vocabulary does not cover the request.
+#[test]
+fn p1_safe_outside_attacker_vocabulary() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let words = vocab(50);
+    let secret: Vec<Attribute> = (0..4)
+        .map(|i| Attribute::new("secret", format!("s{i}")))
+        .collect();
+    let request = RequestProfile::new(
+        vec![secret[0].clone()],
+        vec![secret[1].clone(), secret[2].clone(), secret[3].clone()],
+        2,
+    )
+    .unwrap();
+    let config = ProtocolConfig::new(ProtocolKind::P1, 11);
+    let (_, pkg) = Initiator::create(&request, 0, &config, 0, &mut rng);
+    let attacker = DictionaryAttacker::new(words);
+    assert!(!matches!(
+        attacker.attack_package(&pkg),
+        DictionaryAttackOutcome::RecoveredRequest { .. }
+    ));
+}
+
+/// Cheating (Definition 2): forged replies never confirm; the reject log
+/// attributes them correctly.
+#[test]
+fn cheating_detected_across_many_forgeries() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let words = vocab(10);
+    let config = ProtocolConfig::new(ProtocolKind::P2, 11);
+    let (mut initiator, _) = Initiator::create(&request_from(&words), 0, &config, 0, &mut rng);
+    let cheater = CheatingResponder { id: 13 };
+    for _ in 0..50 {
+        let forged = cheater.forge_reply(initiator.request_id(), 4, &mut rng);
+        assert!(initiator.process_reply(&forged, 1_000).is_empty());
+    }
+    assert_eq!(initiator.reject_log().no_valid_ack, 50);
+    assert!(initiator.matches().is_empty());
+}
+
+/// MITM (§IV-A2): substituting the sealed message denies service but
+/// never yields the attacker a usable channel secret.
+#[test]
+fn mitm_cannot_hijack_the_channel() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let words = vocab(10);
+    let config = ProtocolConfig::new(ProtocolKind::P2, 11);
+    let (mut initiator, pkg) = Initiator::create(&request_from(&words), 0, &config, 0, &mut rng);
+    let forged = MitmAttacker.substitute_message(&pkg, &mut rng);
+    let responder = Responder::new(1, matching_profile(&words), &config);
+    if let ResponderOutcome::Reply { reply, sessions, .. } = responder.handle(&forged, 100, &mut rng)
+    {
+        // Initiator rejects.
+        assert!(initiator.process_reply(&reply, 1_000).is_empty());
+        // And a channel built from the responder's garbled x with any
+        // attacker guess fails to interoperate.
+        let mut responder_channel = sessions[0].channel();
+        let mut guess = [0u8; 32];
+        rng.fill(&mut guess);
+        let mut attacker_channel = SecureChannel::pairwise(&guess, &sessions[0].y, Role::Initiator);
+        let frame = attacker_channel.seal(b"hijack");
+        assert!(responder_channel.open(&frame).is_err());
+    }
+}
+
+/// Eavesdropping the whole exchange yields no plaintext: the observer
+/// sees remainders (quantifiably few bits) and ciphertexts only.
+#[test]
+fn eavesdropper_sees_only_bounded_leakage() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let words = vocab(10);
+    let config = ProtocolConfig::new(ProtocolKind::P2, 11);
+    let (mut initiator, pkg) = Initiator::create(&request_from(&words), 0, &config, 0, &mut rng);
+    let mut eve = Eavesdropper::new();
+    eve.observe_package(&pkg);
+
+    let responder = Responder::new(1, matching_profile(&words), &config);
+    let ResponderOutcome::Reply { reply, .. } = responder.handle(&pkg, 100, &mut rng) else {
+        panic!("matching user replies");
+    };
+    eve.observe_reply(&reply);
+    assert_eq!(initiator.process_reply(&reply, 1_000).len(), 1);
+
+    // The remainder vector leaks mt·log2(p) bits about 256-bit hashes.
+    let leak = Eavesdropper::remainder_leak_bits(&pkg);
+    assert!(leak < 32.0, "4 attributes × log2(11) ≈ 13.8 bits, got {leak}");
+    // No attribute hash bytes appear anywhere in the observed traffic.
+    let wire = [pkg.encode(), reply.encode()].concat();
+    for attr in &words {
+        let h = attr.hash();
+        assert!(
+            !wire.windows(8).any(|w| w == &h.as_bytes()[..8]),
+            "attribute hash material leaked on the wire"
+        );
+    }
+}
+
+/// Protocol 3's ϕ budget holds across random candidate populations.
+#[test]
+fn phi_budget_never_exceeded() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let words = vocab(12);
+    let model = EntropyModel::from_counts(
+        words.iter().map(|a| (a.category().to_string(), a.value().to_string(), 10u64)),
+    );
+    let phi = phi_k_anonymity(4096, 256); // 4 bits
+    let attacker = DictionaryAttacker::new(words.clone());
+
+    for trial in 0..10 {
+        let config = ProtocolConfig::new(ProtocolKind::P3, 11);
+        let (_, pkg) = Initiator::create(&request_from(&words), 0, &config, trial, &mut rng);
+        // Random candidate profiles drawn from the vocabulary.
+        let mut attrs = Vec::new();
+        for w in &words {
+            if rng.gen_bool(0.4) {
+                attrs.push(w.clone());
+            }
+        }
+        let responder = Responder::new(1, Profile::from_attributes(attrs), &config)
+            .with_entropy_budget(model.clone(), phi);
+        if let ResponderOutcome::Reply { reply, .. } = responder.handle(&pkg, 100, &mut rng) {
+            for gamble in attacker.attack_reply(&pkg, &reply) {
+                let leaked = model.profile_entropy(gamble.iter());
+                assert!(leaked <= phi + 1e-9, "trial {trial}: leaked {leaked} > ϕ {phi}");
+            }
+        }
+    }
+}
+
+/// Replay of a whole reply at a later request: the request id binds
+/// replies to requests, so cross-request replay fails.
+#[test]
+fn reply_replay_across_requests_fails() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let words = vocab(10);
+    let config = ProtocolConfig::new(ProtocolKind::P1, 11);
+    let (mut first, pkg1) = Initiator::create(&request_from(&words), 0, &config, 0, &mut rng);
+    let responder = Responder::new(1, matching_profile(&words), &config);
+    let ResponderOutcome::Reply { reply, .. } = responder.handle(&pkg1, 100, &mut rng) else {
+        panic!("matching user replies");
+    };
+    assert_eq!(first.process_reply(&reply, 1_000).len(), 1);
+
+    // Same request profile, new round: fresh x, fresh request id.
+    let (mut second, _pkg2) = Initiator::create(&request_from(&words), 0, &config, 10_000, &mut rng);
+    assert!(second.process_reply(&reply, 11_000).is_empty());
+    assert_eq!(second.reject_log().wrong_request, 1);
+}
+
+/// DoS via request floods is contained by the per-sender rate guard
+/// (paper §II-B), while legitimate traffic flows.
+#[test]
+fn request_flood_rate_limited() {
+    use sealed_bottle::net::guard::RateGuard;
+    let mut guard: RateGuard<u32> = RateGuard::new(1_000_000, 3);
+    let attacker = 666u32;
+    let honest = 7u32;
+    let mut allowed = 0;
+    for t in 0..100u64 {
+        if guard.allow(attacker, t * 1_000) {
+            allowed += 1;
+        }
+    }
+    assert_eq!(allowed, 3, "attacker capped at the window budget");
+    assert!(guard.allow(honest, 50_000), "honest senders unaffected");
+}
