@@ -153,10 +153,7 @@ impl ScenarioParams {
 
 /// Table III row: FNP'04.
 pub fn fnp_formula(s: &ScenarioParams) -> (OpCounts, OpCounts, u64) {
-    let initiator = OpCounts {
-        e3: (2 * s.mt + s.mk * s.n),
-        ..OpCounts::default()
-    };
+    let initiator = OpCounts { e3: (2 * s.mt + s.mk * s.n), ..OpCounts::default() };
     // The paper evaluates "m_k log m_t" with a base-10 logarithm
     // (Table VII prints 5 E3 for m_t = m_k = 6).
     let participant = OpCounts {
@@ -181,8 +178,7 @@ pub fn fc10_formula(s: &ScenarioParams) -> (OpCounts, OpCounts, u64) {
 pub fn findu_formula(s: &ScenarioParams) -> (OpCounts, OpCounts, u64) {
     let initiator = OpCounts { e3: 3 * s.mt * s.n, ..OpCounts::default() };
     let participant = OpCounts { e3: 2 * s.mt, ..OpCounts::default() };
-    let comm_bits = 24
-        * (s.mt * s.mk * s.n + s.t * s.n * (8 * s.mt + 2 * s.mk + 12 * s.mt * s.t))
+    let comm_bits = 24 * (s.mt * s.mk * s.n + s.t * s.n * (8 * s.mt + 2 * s.mk + 12 * s.mt * s.t))
         + 16 * 256 * s.mt * s.n;
     (initiator, participant, comm_bits)
 }
@@ -192,12 +188,7 @@ pub fn findu_formula(s: &ScenarioParams) -> (OpCounts, OpCounts, u64) {
 pub fn protocol1_formula(s: &ScenarioParams, kappa: u64) -> (OpCounts, OpCounts, u64) {
     let gamma = ((1.0 - s.theta) * s.mt as f64).round() as u64;
     let beta = s.mt - gamma; // alpha folded into beta for the formula
-    let initiator = OpCounts {
-        h: s.mt + 1,
-        modp: s.mt,
-        aes_enc: 1,
-        ..OpCounts::default()
-    };
+    let initiator = OpCounts { h: s.mt + 1, modp: s.mt, aes_enc: 1, ..OpCounts::default() };
     // Non-candidate: mk hashes (amortized) + mk mod p.
     // Candidate adds kappa solves + hashes + decryptions.
     let participant = OpCounts {
@@ -249,11 +240,7 @@ mod tests {
         let (p1_i, p1_p, _) = protocol1_formula(&s, 1);
         let fnp_ms = fnp_i.estimate_ms(&costs);
         let p1_ms = p1_i.estimate_ms(&costs) + p1_p.estimate_ms(&costs);
-        assert!(
-            fnp_ms / p1_ms > 1000.0,
-            "paper claims >10^3× advantage, got {}×",
-            fnp_ms / p1_ms
-        );
+        assert!(fnp_ms / p1_ms > 1000.0, "paper claims >10^3× advantage, got {}×", fnp_ms / p1_ms);
     }
 
     #[test]

@@ -47,10 +47,8 @@ impl DotProduct {
         assert!(!alice.is_empty(), "vectors must be nonempty");
 
         keys.reset_counts();
-        let enc_alice: Vec<_> = alice
-            .iter()
-            .map(|&a| keys.encrypt(&BigUint::from(a), rng))
-            .collect();
+        let enc_alice: Vec<_> =
+            alice.iter().map(|&a| keys.encrypt(&BigUint::from(a), rng)).collect();
         let alice_ops_send = keys.counts();
 
         keys.reset_counts();

@@ -42,8 +42,7 @@ impl Findu {
 
         keys.reset_counts();
         let coeffs = polynomial_from_roots(&client, &keys.n);
-        let enc_coeffs: Vec<Ciphertext> =
-            coeffs.iter().map(|c| keys.encrypt(c, rng)).collect();
+        let enc_coeffs: Vec<Ciphertext> = coeffs.iter().map(|c| keys.encrypt(c, rng)).collect();
         let client_ops_down = keys.counts();
 
         keys.reset_counts();
@@ -71,10 +70,7 @@ impl Findu {
         let server_ops = keys.counts();
 
         keys.reset_counts();
-        let cardinality = evaluations
-            .iter()
-            .filter(|ev| keys.decrypt(ev).is_zero())
-            .count();
+        let cardinality = evaluations.iter().filter(|ev| keys.decrypt(ev).is_zero()).count();
         let mut client_ops = client_ops_down;
         client_ops += keys.counts();
 

@@ -46,8 +46,7 @@ impl Fnp04 {
         // --- Client: polynomial coefficients, encrypted. ---
         keys.reset_counts();
         let coeffs = polynomial_from_roots(&client, &keys.n);
-        let enc_coeffs: Vec<Ciphertext> =
-            coeffs.iter().map(|c| keys.encrypt(c, rng)).collect();
+        let enc_coeffs: Vec<Ciphertext> = coeffs.iter().map(|c| keys.encrypt(c, rng)).collect();
         let client_ops = keys.counts();
 
         // --- Server: oblivious evaluation per element. ---
@@ -97,12 +96,7 @@ impl Fnp04 {
         let ct_bytes = keys.n_squared().bit_len().div_ceil(8);
         let bytes_transferred = ct_bytes * (enc_coeffs.len() + evaluations.len());
 
-        FnpRun {
-            intersection,
-            client_ops: client_total,
-            server_ops,
-            bytes_transferred,
-        }
+        FnpRun { intersection, client_ops: client_total, server_ops, bytes_transferred }
     }
 }
 

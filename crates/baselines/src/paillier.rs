@@ -56,9 +56,7 @@ impl PaillierKeyPair {
         let qm1 = q.checked_sub(&one).expect("q > 1");
         let gcd = pm1.gcd(&qm1);
         let lambda = (&pm1 * &qm1).div_rem(&gcd).0;
-        let mu = lambda
-            .mod_inverse(&n)
-            .expect("λ is invertible mod n for distinct primes");
+        let mu = lambda.mod_inverse(&n).expect("λ is invertible mod n for distinct primes");
         let mont_n2 = Montgomery::new(&n_squared);
         PaillierKeyPair {
             n,

@@ -38,9 +38,8 @@ fn bench_table4(c: &mut Criterion) {
     group.bench_function("multiply_256_field", |b| {
         b.iter(|| black_box(field.mul(black_box(&a), black_box(&bb))))
     });
-    group.bench_function("compare_256", |b| {
-        b.iter(|| black_box(black_box(&a).cmp(black_box(&bb))))
-    });
+    group
+        .bench_function("compare_256", |b| b.iter(|| black_box(black_box(&a).cmp(black_box(&bb)))));
     group.finish();
 }
 

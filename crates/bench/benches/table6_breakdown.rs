@@ -10,18 +10,13 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_table6(c: &mut Criterion) {
-    let attrs: Vec<Attribute> = (0..6)
-        .map(|i| Attribute::new("tag", format!("t{i}")))
-        .collect();
+    let attrs: Vec<Attribute> = (0..6).map(|i| Attribute::new("tag", format!("t{i}"))).collect();
     let vector = ProfileVector::from_hashes(attrs.iter().map(|a| a.hash()));
     let optional = vector.hashes().to_vec();
     let mut rng = StdRng::seed_from_u64(6);
     let hint = HintMatrix::generate(&optional, 3, HintConstruction::Cauchy, &mut rng);
-    let assignment: Vec<Option<_>> = optional
-        .iter()
-        .enumerate()
-        .map(|(i, h)| if i < 3 { Some(*h) } else { None })
-        .collect();
+    let assignment: Vec<Option<_>> =
+        optional.iter().enumerate().map(|(i, h)| if i < 3 { Some(*h) } else { None }).collect();
 
     let mut group = c.benchmark_group("table6");
     group.bench_function("matrix_gen", |b| {

@@ -17,17 +17,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let data = WeiboDataset::generate(
-        &WeiboConfig { users: 2_000, ..WeiboConfig::default() },
-        13,
-    );
+    let data = WeiboDataset::generate(&WeiboConfig { users: 2_000, ..WeiboConfig::default() }, 13);
     let mut rng = StdRng::seed_from_u64(1);
 
     // A request nobody in the sampled crowd satisfies (fresh tags).
     let request = RequestProfile::threshold(
-        (0..6)
-            .map(|i| msb_profile::Attribute::new("fresh", format!("f{i}")))
-            .collect(),
+        (0..6).map(|i| msb_profile::Attribute::new("fresh", format!("f{i}"))).collect(),
         3,
     )
     .unwrap();
@@ -70,11 +65,7 @@ fn main() {
         "Ablation — remainder-vector fast check (200 non-matching users)",
         &["Variant", "Total (ms)", "Per user (ms)"],
         &[
-            vec![
-                "fast check enabled".into(),
-                fmt_ms(with_check.mean_ms),
-                fmt_ms(per_user_with),
-            ],
+            vec!["fast check enabled".into(), fmt_ms(with_check.mean_ms), fmt_ms(per_user_with)],
             vec![
                 "fast check disabled (naive)".into(),
                 fmt_ms(without_check.mean_ms),

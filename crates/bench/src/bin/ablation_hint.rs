@@ -14,20 +14,14 @@ fn main() {
     let mut rows = Vec::new();
     for (beta, gamma) in [(3usize, 3usize), (6, 2), (4, 4), (10, 10)] {
         let n = beta + gamma;
-        let mut hashes: Vec<_> = (0..n)
-            .map(|i| Attribute::new("tag", format!("t{i}")).hash())
-            .collect();
+        let mut hashes: Vec<_> =
+            (0..n).map(|i| Attribute::new("tag", format!("t{i}")).hash()).collect();
         hashes.sort_unstable();
 
         for construction in [HintConstruction::Cauchy, HintConstruction::Random] {
             let mut rng = StdRng::seed_from_u64(9);
             let gen = time_stats(3, 30, || {
-                std::hint::black_box(HintMatrix::generate(
-                    &hashes,
-                    beta,
-                    construction,
-                    &mut rng,
-                ));
+                std::hint::black_box(HintMatrix::generate(&hashes, beta, construction, &mut rng));
             });
             let hint = HintMatrix::generate(&hashes, beta, construction, &mut rng);
             // Worst-case solve: γ unknowns.

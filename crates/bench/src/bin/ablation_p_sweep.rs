@@ -10,14 +10,10 @@ use msb_profile::profile::ProfileVector;
 use msb_profile::request::RequestVector;
 
 fn main() {
-    let data = WeiboDataset::generate(
-        &WeiboConfig { users: 10_000, ..WeiboConfig::default() },
-        12,
-    );
+    let data = WeiboDataset::generate(&WeiboConfig { users: 10_000, ..WeiboConfig::default() }, 12);
     let six = data.users_with_tag_count(6);
     let initiators: Vec<_> = six.iter().take(15).collect();
-    let vectors: Vec<ProfileVector> =
-        six.iter().map(|u| u.profile().vector().clone()).collect();
+    let vectors: Vec<ProfileVector> = six.iter().map(|u| u.profile().vector().clone()).collect();
     let beta = 3usize; // θ = 0.5 as in Table VII
 
     let mut rows = Vec::new();

@@ -34,11 +34,7 @@ fn run_case(
                 continue;
             }
             denom += 1;
-            let hashes: Vec<_> = initiator
-                .profile()
-                .vector()
-                .hashes()
-                .to_vec();
+            let hashes: Vec<_> = initiator.profile().vector().hashes().to_vec();
             let request = RequestVector::from_hashes(Vec::new(), hashes, s);
             let mut truth = 0usize;
             let mut cand = vec![0usize; primes.len()];
@@ -79,10 +75,7 @@ fn run_case(
 }
 
 fn main() {
-    let data = WeiboDataset::generate(
-        &WeiboConfig { users: 20_000, ..WeiboConfig::default() },
-        6,
-    );
+    let data = WeiboDataset::generate(&WeiboConfig { users: 20_000, ..WeiboConfig::default() }, 6);
     let primes = [11u64, 23];
 
     // Case (a): users with exactly 6 attributes.
@@ -98,12 +91,8 @@ fn main() {
 
     // Case (b): a diverse 1000-user sample.
     let diverse = data.sample_users(1_000, 9);
-    let initiators_b: Vec<&WeiboUser> = diverse
-        .iter()
-        .copied()
-        .filter(|u| u.tags.len() >= 4)
-        .take(25)
-        .collect();
+    let initiators_b: Vec<&WeiboUser> =
+        diverse.iter().copied().filter(|u| u.tags.len() >= 4).take(25).collect();
     run_case(
         "Figure 6b — candidate proportion, diverse attribute counts",
         &initiators_b,

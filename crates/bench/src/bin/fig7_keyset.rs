@@ -7,9 +7,7 @@
 use msb_bench::print_table;
 use msb_dataset::{WeiboConfig, WeiboDataset, WeiboUser};
 use msb_profile::hint::HintConstruction;
-use msb_profile::matching::{
-    enumerate_candidate_keys_with_stats, EnumerationMode, MatchConfig,
-};
+use msb_profile::matching::{enumerate_candidate_keys_with_stats, EnumerationMode, MatchConfig};
 use msb_profile::profile::ProfileVector;
 use msb_profile::request::RequestVector;
 use rand::rngs::StdRng;
@@ -47,12 +45,8 @@ fn run_case(
                     if !rv.fast_check(vector) {
                         continue;
                     }
-                    let (_, stats) = enumerate_candidate_keys_with_stats(
-                        vector,
-                        &rv,
-                        hint.as_ref(),
-                        &config,
-                    );
+                    let (_, stats) =
+                        enumerate_candidate_keys_with_stats(vector, &rv, hint.as_ref(), &config);
                     if stats.assignments == 0 {
                         continue;
                     }
@@ -71,19 +65,16 @@ fn run_case(
         rows.push(row);
     }
     let headers: Vec<String> = std::iter::once("Similarity".to_string())
-        .chain(primes.iter().flat_map(|p| {
-            [format!("Mean keys (p={p})"), format!("Max keys (p={p})")]
-        }))
+        .chain(
+            primes.iter().flat_map(|p| [format!("Mean keys (p={p})"), format!("Max keys (p={p})")]),
+        )
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     print_table(title, &header_refs, &rows);
 }
 
 fn main() {
-    let data = WeiboDataset::generate(
-        &WeiboConfig { users: 8_000, ..WeiboConfig::default() },
-        7,
-    );
+    let data = WeiboDataset::generate(&WeiboConfig { users: 8_000, ..WeiboConfig::default() }, 7);
     let primes = [11u64, 23];
 
     let six = data.users_with_tag_count(6);
@@ -97,12 +88,8 @@ fn main() {
     );
 
     let diverse = data.sample_users(1_000, 11);
-    let initiators_b: Vec<&WeiboUser> = diverse
-        .iter()
-        .copied()
-        .filter(|u| u.tags.len() >= 4)
-        .take(10)
-        .collect();
+    let initiators_b: Vec<&WeiboUser> =
+        diverse.iter().copied().filter(|u| u.tags.len() >= 4).take(10).collect();
     run_case(
         "Figure 7b — candidate key-set size, diverse attribute counts",
         &initiators_b,

@@ -46,9 +46,7 @@ fn main() {
         let attrs = user.tag_attributes();
 
         // MatrixGen: hash every attribute into the sorted profile vector.
-        let (vector, ms) = time_once(|| {
-            ProfileVector::from_hashes(attrs.iter().map(|a| a.hash()))
-        });
+        let (vector, ms) = time_once(|| ProfileVector::from_hashes(attrs.iter().map(|a| a.hash())));
         matrix_gen.push(ms);
 
         // KeyGen: K = H(H_k).
@@ -70,9 +68,8 @@ fn main() {
         if gamma == 0 {
             continue;
         }
-        let (hint, ms) = time_once(|| {
-            HintMatrix::generate(&optional, beta, HintConstruction::Cauchy, &mut rng)
-        });
+        let (hint, ms) =
+            time_once(|| HintMatrix::generate(&optional, beta, HintConstruction::Cauchy, &mut rng));
         hint_gen.push(ms);
 
         // Solve with the worst case: γ unknowns at the tail.

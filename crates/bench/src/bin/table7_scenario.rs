@@ -11,8 +11,8 @@
 
 use msb_baselines::cost::{fc10_formula, findu_formula, fnp_formula, ScenarioParams};
 use msb_baselines::fc10::{Fc10, RsaKey};
-use msb_baselines::fnp04::Fnp04;
 use msb_baselines::findu::Findu;
+use msb_baselines::fnp04::Fnp04;
 use msb_baselines::paillier::PaillierKeyPair;
 use msb_bench::{fmt_ms, print_table, time_once, time_stats};
 use msb_core::protocol::{Initiator, ProtocolConfig, ProtocolKind, Responder, ResponderOutcome};
@@ -31,8 +31,7 @@ fn main() {
 
     // ---- Sealed Bottle Protocol 1, executed end to end. ----
     // Request: 6 optional tags, β = 3 (γ = 3, θ = 0.5, α = 0).
-    let request =
-        RequestProfile::threshold((0..6).map(attr).collect(), 3).expect("valid request");
+    let request = RequestProfile::threshold((0..6).map(attr).collect(), 3).expect("valid request");
     let config = ProtocolConfig::new(ProtocolKind::P1, s.p);
 
     let create = time_stats(3, 20, || {
@@ -132,7 +131,13 @@ fn main() {
     ];
     print_table(
         "Table VII — typical scenario (mt=mk=6, γ=β=3, p=11, n=100, t=4)",
-        &["Scheme", "Computation (measured, ms)", "Computation (symbolic)", "Comm.", "Transmissions"],
+        &[
+            "Scheme",
+            "Computation (measured, ms)",
+            "Computation (symbolic)",
+            "Comm.",
+            "Transmissions",
+        ],
         &rows,
     );
 

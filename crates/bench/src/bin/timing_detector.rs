@@ -12,20 +12,17 @@
 
 use msb_bench::{fmt_ms, print_table, time_once};
 use msb_profile::attribute::Attribute;
-use msb_profile::matching::{
-    enumerate_candidate_keys_with_stats, EnumerationMode, MatchConfig,
-};
+use msb_profile::hint::HintConstruction;
+use msb_profile::matching::{enumerate_candidate_keys_with_stats, EnumerationMode, MatchConfig};
 use msb_profile::profile::Profile;
 use msb_profile::request::RequestProfile;
-use msb_profile::hint::HintConstruction;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(10);
-    let vocabulary: Vec<Attribute> = (0..300)
-        .map(|i| Attribute::new("interest", format!("w{i}")))
-        .collect();
+    let vocabulary: Vec<Attribute> =
+        (0..300).map(|i| Attribute::new("interest", format!("w{i}"))).collect();
     let request = RequestProfile::new(
         vec![vocabulary[0].clone()],
         vec![vocabulary[1].clone(), vocabulary[2].clone(), vocabulary[3].clone()],

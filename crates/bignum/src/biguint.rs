@@ -410,8 +410,8 @@ impl BigUint {
 /// `(a_sign, a) - (b_sign, b)` over sign-magnitude integers.
 fn signed_sub(a: &(bool, BigUint), b: &(bool, BigUint)) -> (bool, BigUint) {
     match (a.0, b.0) {
-        (false, true) => (false, &a.1 + &b.1),  // a - (-b) = a + b
-        (true, false) => (true, &a.1 + &b.1),   // -a - b = -(a + b)
+        (false, true) => (false, &a.1 + &b.1), // a - (-b) = a + b
+        (true, false) => (true, &a.1 + &b.1),  // -a - b = -(a + b)
         (false, false) => {
             if a.1 >= b.1 {
                 (false, a.1.checked_sub(&b.1).expect("a >= b"))
@@ -487,11 +487,8 @@ impl PartialOrd for BigUint {
 impl std::ops::Add for &BigUint {
     type Output = BigUint;
     fn add(self, rhs: &BigUint) -> BigUint {
-        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
-            (self, rhs)
-        } else {
-            (rhs, self)
-        };
+        let (long, short) =
+            if self.limbs.len() >= rhs.limbs.len() { (self, rhs) } else { (rhs, self) };
         let mut limbs = Vec::with_capacity(long.limbs.len() + 1);
         let mut carry = 0u64;
         for i in 0..long.limbs.len() {
@@ -642,10 +639,7 @@ mod tests {
     fn sub_borrow_chain() {
         let a = BigUint::from_limbs(vec![0, 0, 1]);
         let b = big(1);
-        assert_eq!(
-            a.checked_sub(&b).unwrap(),
-            BigUint::from_limbs(vec![u64::MAX, u64::MAX])
-        );
+        assert_eq!(a.checked_sub(&b).unwrap(), BigUint::from_limbs(vec![u64::MAX, u64::MAX]));
         assert_eq!(b.checked_sub(&a), None);
     }
 

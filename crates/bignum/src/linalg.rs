@@ -205,9 +205,7 @@ impl Matrix {
                 rhs.swap(p, pivot_row);
             }
             // Normalize the pivot row.
-            let inv = field
-                .inv(a.at(pivot_row, col))
-                .expect("pivot is nonzero in a prime field");
+            let inv = field.inv(a.at(pivot_row, col)).expect("pivot is nonzero in a prime field");
             for c in col..self.cols {
                 *a.at_mut(pivot_row, c) = field.mul(a.at(pivot_row, c), &inv);
             }
@@ -293,11 +291,7 @@ mod tests {
     }
 
     fn mat(rows: &[&[u64]]) -> Matrix {
-        Matrix::from_rows(
-            rows.iter()
-                .map(|r| r.iter().map(|&v| big(v)).collect())
-                .collect(),
-        )
+        Matrix::from_rows(rows.iter().map(|r| r.iter().map(|&v| big(v)).collect()).collect())
     }
 
     #[test]
@@ -406,9 +400,8 @@ mod tests {
         let beta = 4;
         let c = Matrix::identity(gamma).hconcat(&cauchy_matrix(&f, gamma, beta));
         // True secret vector.
-        let secret: Vec<BigUint> = (0..gamma + beta)
-            .map(|i| f.element(BigUint::from((1000 + i * 37) as u64)))
-            .collect();
+        let secret: Vec<BigUint> =
+            (0..gamma + beta).map(|i| f.element(BigUint::from((1000 + i * 37) as u64))).collect();
         let b = c.mul_vec(&f, &secret);
         // Try every pattern of up to gamma unknowns.
         let n = gamma + beta;

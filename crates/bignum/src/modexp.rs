@@ -228,11 +228,7 @@ mod tests {
         ];
         for (b, e, m) in cases {
             let expect = u128_pow_mod(b, e, m);
-            assert_eq!(
-                mod_pow(&big(b), &big(e), &big(m)),
-                big(expect),
-                "{b}^{e} mod {m}"
-            );
+            assert_eq!(mod_pow(&big(b), &big(e), &big(m)), big(expect), "{b}^{e} mod {m}");
         }
     }
 
@@ -269,7 +265,8 @@ mod tests {
     fn mont_mul_mod_matches_plain() {
         let m = big(0xffff_ffff_ffff_ffc5); // large odd
         let mont = Montgomery::new(&m);
-        for (a, b) in [(3u128, 5u128), (u64::MAX as u128, 2), (12345678901234567, 98765432109876543)]
+        for (a, b) in
+            [(3u128, 5u128), (u64::MAX as u128, 2), (12345678901234567, 98765432109876543)]
         {
             assert_eq!(mont.mul_mod(&big(a), &big(b)), big(a).mul_mod(&big(b), &m));
         }

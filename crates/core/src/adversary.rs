@@ -14,7 +14,7 @@
 //! of Tables I and II rather than merely restating them.
 
 use crate::package::{Reply, RequestPackage};
-use crate::protocol::{open_ack, open_message, make_ack, ProtocolKind};
+use crate::protocol::{make_ack, open_ack, open_message, ProtocolKind};
 use msb_profile::attribute::{Attribute, AttributeHash};
 use msb_profile::matching::{enumerate_candidate_keys, EnumerationMode, MatchConfig};
 use msb_profile::profile::ProfileVector;
@@ -96,10 +96,7 @@ impl DictionaryAttacker {
         DictionaryAttacker {
             vector,
             by_hash,
-            config: MatchConfig {
-                mode: EnumerationMode::Exhaustive,
-                max_assignments: 200_000,
-            },
+            config: MatchConfig { mode: EnumerationMode::Exhaustive, max_assignments: 200_000 },
         }
     }
 
@@ -114,12 +111,8 @@ impl DictionaryAttacker {
         let Some(kind) = ProtocolKind::from_wire(pkg.kind) else {
             return DictionaryAttackOutcome::NotCovered;
         };
-        let keys = enumerate_candidate_keys(
-            &self.vector,
-            &pkg.remainder,
-            pkg.hint.as_ref(),
-            &self.config,
-        );
+        let keys =
+            enumerate_candidate_keys(&self.vector, &pkg.remainder, pkg.hint.as_ref(), &self.config);
         if keys.is_empty() {
             return DictionaryAttackOutcome::NotCovered;
         }
@@ -153,20 +146,12 @@ impl DictionaryAttacker {
     ///
     /// Returns, per verified acknowledgement, the dictionary attributes
     /// whose assignment produced the confirming key.
-    pub fn attack_reply(
-        &self,
-        pkg: &RequestPackage,
-        reply: &Reply,
-    ) -> Vec<Vec<Attribute>> {
+    pub fn attack_reply(&self, pkg: &RequestPackage, reply: &Reply) -> Vec<Vec<Attribute>> {
         let Some(kind) = ProtocolKind::from_wire(pkg.kind) else {
             return Vec::new();
         };
-        let keys = enumerate_candidate_keys(
-            &self.vector,
-            &pkg.remainder,
-            pkg.hint.as_ref(),
-            &self.config,
-        );
+        let keys =
+            enumerate_candidate_keys(&self.vector, &pkg.remainder, pkg.hint.as_ref(), &self.config);
         let mut unmasked = Vec::new();
         for key in &keys {
             let Some(x) = open_message(&key.key, kind, &pkg.nonce, &pkg.ciphertext) else {
@@ -178,10 +163,7 @@ impl DictionaryAttacker {
                         .used_indices
                         .iter()
                         .filter_map(|&i| {
-                            self.vector
-                                .hashes()
-                                .get(i)
-                                .and_then(|h| self.by_hash.get(h).cloned())
+                            self.vector.hashes().get(i).and_then(|h| self.by_hash.get(h).cloned())
                         })
                         .collect();
                     unmasked.push(attrs);
@@ -339,10 +321,7 @@ mod tests {
         };
         let attacker = DictionaryAttacker::new(vocabulary());
         let unmasked = attacker.attack_reply(&pkg, &reply);
-        assert!(
-            !unmasked.is_empty(),
-            "the ack oracle must confirm at least one candidate"
-        );
+        assert!(!unmasked.is_empty(), "the ack oracle must confirm at least one candidate");
     }
 
     #[test]
@@ -351,16 +330,13 @@ mod tests {
         // attacker cannot verify P1 packages.
         let mut r = rng();
         let config = ProtocolConfig::new(ProtocolKind::P1, 11);
-        let secret_request = RequestProfile::exact(vec![
-            attr("secret", "handshake"),
-            attr("secret", "password"),
-        ])
-        .unwrap();
+        let secret_request =
+            RequestProfile::exact(vec![attr("secret", "handshake"), attr("secret", "password")])
+                .unwrap();
         let (_, pkg) = Initiator::create(&secret_request, 0, &config, 0, &mut r);
         let attacker = DictionaryAttacker::new(vocabulary());
         match attacker.attack_package(&pkg) {
-            DictionaryAttackOutcome::NotCovered
-            | DictionaryAttackOutcome::Inconclusive { .. } => {}
+            DictionaryAttackOutcome::NotCovered | DictionaryAttackOutcome::Inconclusive { .. } => {}
             DictionaryAttackOutcome::RecoveredRequest { .. } => {
                 panic!("cannot recover attributes outside the vocabulary")
             }

@@ -9,7 +9,9 @@
 //! reply by (reverse-path) unicast.
 
 use crate::package::{DecodeError, Reply, RequestPackage};
-use crate::protocol::{ConfirmedMatch, Initiator, ProtocolConfig, Responder, ResponderOutcome, SessionSecret};
+use crate::protocol::{
+    ConfirmedMatch, Initiator, ProtocolConfig, Responder, ResponderOutcome, SessionSecret,
+};
 use msb_net::flood::{FloodDecision, FloodState};
 use msb_net::guard::RateGuard;
 use msb_net::sim::{NodeApp, NodeCtx, NodeId};
@@ -159,12 +161,8 @@ impl FriendingApp {
             return; // own flood echo
         }
         let request_id = package.request_id();
-        let decision = self.flood.classify(
-            request_id,
-            package.ttl,
-            ctx.now_us(),
-            package.expires_us,
-        );
+        let decision =
+            self.flood.classify(request_id, package.ttl, ctx.now_us(), package.expires_us);
         match decision {
             FloodDecision::Duplicate | FloodDecision::Expired => return,
             FloodDecision::Relay | FloodDecision::Absorb => {}
@@ -183,10 +181,7 @@ impl FriendingApp {
         let outcome = responder.handle(&package, ctx.now_us(), ctx.rng());
         let mut verified_match = false;
         if let ResponderOutcome::Reply { reply, sessions, verified, stats } = outcome {
-            self.events.push(AppEvent::BecameCandidate {
-                request_id,
-                keys: stats.distinct_keys,
-            });
+            self.events.push(AppEvent::BecameCandidate { request_id, keys: stats.distinct_keys });
             verified_match = verified;
             // Model the candidate-key computation time before replying.
             let delay = self.per_key_cost_us * sessions.len().max(1) as u64;
@@ -225,10 +220,8 @@ impl FriendingApp {
             self.events.push(AppEvent::ReplyRejected { responder: reply.responder });
         }
         for m in confirmed {
-            self.events.push(AppEvent::MatchConfirmed {
-                responder: m.responder,
-                at_us: m.received_at_us,
-            });
+            self.events
+                .push(AppEvent::MatchConfirmed { responder: m.responder, at_us: m.received_at_us });
         }
     }
 }
@@ -294,11 +287,7 @@ mod tests {
     }
 
     fn matching_profile() -> Profile {
-        Profile::from_attributes(vec![
-            attr("team", "search"),
-            attr("i", "jazz"),
-            attr("i", "go"),
-        ])
+        Profile::from_attributes(vec![attr("team", "search"), attr("i", "jazz"), attr("i", "go")])
     }
 
     fn noise_profile(i: usize) -> Profile {
@@ -385,10 +374,7 @@ mod tests {
         let mut cfg = config(ProtocolKind::P1);
         cfg.ttl = 1;
         let mut sim = Simulator::new(SimConfig::default(), 5);
-        sim.add_node(
-            (0.0, 0.0),
-            FriendingApp::initiator(noise_profile(0), request(), cfg.clone()),
-        );
+        sim.add_node((0.0, 0.0), FriendingApp::initiator(noise_profile(0), request(), cfg.clone()));
         for i in 1..5 {
             sim.add_node(
                 (i as f64 * 40.0, 0.0),
@@ -407,10 +393,7 @@ mod tests {
         let mut cfg = config(ProtocolKind::P1);
         cfg.validity_us = 1; // expires immediately
         let mut sim = Simulator::new(SimConfig::default(), 5);
-        sim.add_node(
-            (0.0, 0.0),
-            FriendingApp::initiator(noise_profile(0), request(), cfg.clone()),
-        );
+        sim.add_node((0.0, 0.0), FriendingApp::initiator(noise_profile(0), request(), cfg.clone()));
         sim.add_node((40.0, 0.0), FriendingApp::participant(matching_profile(), cfg));
         sim.start();
         sim.run();
@@ -445,10 +428,7 @@ mod tests {
         // Can't mix app types in one simulator; spam through injection
         // instead: node 1 is a FriendingApp, node 0 injects packages.
         let _ = Spammer { config: cfg.clone() };
-        sim.add_node(
-            (0.0, 0.0),
-            FriendingApp::participant(noise_profile(0), cfg.clone()),
-        );
+        sim.add_node((0.0, 0.0), FriendingApp::participant(noise_profile(0), cfg.clone()));
         let victim = msb_net::sim::NodeId::new(0);
         let mut r = rand::rngs::StdRng::seed_from_u64(1);
         use rand::SeedableRng;
@@ -460,11 +440,8 @@ mod tests {
         }
         sim.run();
         let app = sim.app(victim);
-        let limited = app
-            .events
-            .iter()
-            .filter(|e| matches!(e, AppEvent::RateLimited { from: 42 }))
-            .count();
+        let limited =
+            app.events.iter().filter(|e| matches!(e, AppEvent::RateLimited { from: 42 })).count();
         assert_eq!(limited, 7, "3 allowed, 7 rate-limited: {:?}", app.events);
     }
 
@@ -474,11 +451,8 @@ mod tests {
         sim.start();
         sim.run();
         let m = sim.app(msb_net::sim::NodeId::new(0)).matches()[0];
-        let mut ich = sim
-            .app(msb_net::sim::NodeId::new(0))
-            .initiator_state()
-            .unwrap()
-            .pair_channel(&m);
+        let mut ich =
+            sim.app(msb_net::sim::NodeId::new(0)).initiator_state().unwrap().pair_channel(&m);
         let responder_app = sim.app(msb_net::sim::NodeId::new(2));
         let mut rch = responder_app.sessions()[0].channel();
         let frame = ich.seal(b"nice to meet you");
@@ -492,9 +466,6 @@ mod tests {
         let id = sim.add_node((0.0, 0.0), FriendingApp::participant(noise_profile(0), cfg));
         sim.inject(id, msb_net::sim::NodeId::new(0), vec![TAG_REQUEST, 1, 2, 3]);
         sim.run();
-        assert!(matches!(
-            sim.app(id).events[0],
-            AppEvent::DecodeFailed { .. }
-        ));
+        assert!(matches!(sim.app(id).events[0], AppEvent::DecodeFailed { .. }));
     }
 }

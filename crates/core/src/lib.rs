@@ -35,8 +35,10 @@
 //! ```
 //! use msb_core::protocol::{Initiator, ProtocolConfig, ProtocolKind, Responder, ResponderOutcome};
 //! use msb_profile::{Attribute, Profile, RequestProfile};
+//! use rand::{rngs::StdRng, SeedableRng};
 //!
-//! let mut rng = rand::thread_rng();
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(7);
 //! let config = ProtocolConfig::new(ProtocolKind::P1, 11);
 //!
 //! // Initiator seeks an engineer who likes 2 of 3 interests.
@@ -66,7 +68,8 @@
 //! // The initiator validates the reply and both sides share (x, y).
 //! let confirmed = initiator.process_reply(&reply, 100_000);
 //! assert_eq!(confirmed.len(), 1);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]

@@ -199,11 +199,8 @@ impl RequestPackage {
                 for _ in 0..gamma {
                     b.push(BigUint::from_be_bytes(&take(FIELD_BYTES)?));
                 }
-                let construction = if hint_tag == 1 {
-                    HintConstruction::Cauchy
-                } else {
-                    HintConstruction::Random
-                };
+                let construction =
+                    if hint_tag == 1 { HintConstruction::Cauchy } else { HintConstruction::Random };
                 let r_block = if hint_tag == 2 {
                     let mut m = Matrix::zeros(gamma, beta);
                     for i in 0..gamma {
@@ -222,16 +219,7 @@ impl RequestPackage {
         if buf.has_remaining() {
             return Err(DecodeError::Invalid("trailing bytes"));
         }
-        Ok(RequestPackage {
-            kind,
-            initiator,
-            ttl,
-            expires_us,
-            remainder,
-            hint,
-            nonce,
-            ciphertext,
-        })
+        Ok(RequestPackage { kind, initiator, ttl, expires_us, remainder, hint, nonce, ciphertext })
     }
 
     /// Total serialized size in bytes.
@@ -316,17 +304,12 @@ mod tests {
         let request = if fuzzy {
             RequestProfile::new(
                 vec![Attribute::new("a", "1")],
-                vec![
-                    Attribute::new("b", "2"),
-                    Attribute::new("c", "3"),
-                    Attribute::new("d", "4"),
-                ],
+                vec![Attribute::new("b", "2"), Attribute::new("c", "3"), Attribute::new("d", "4")],
                 2,
             )
             .unwrap()
         } else {
-            RequestProfile::exact(vec![Attribute::new("a", "1"), Attribute::new("b", "2")])
-                .unwrap()
+            RequestProfile::exact(vec![Attribute::new("a", "1"), Attribute::new("b", "2")]).unwrap()
         };
         let sealed = request.seal(11, &mut rng);
         RequestPackage {
@@ -370,10 +353,7 @@ mod tests {
     fn decode_rejects_garbage() {
         assert_eq!(RequestPackage::decode(b"nope"), Err(DecodeError::BadMagic));
         assert_eq!(RequestPackage::decode(b"no"), Err(DecodeError::Truncated));
-        assert_eq!(
-            RequestPackage::decode(b"XXXX_________________"),
-            Err(DecodeError::BadMagic)
-        );
+        assert_eq!(RequestPackage::decode(b"XXXX_________________"), Err(DecodeError::BadMagic));
         let pkg = sample_package(KIND_P1, true);
         let mut bytes = pkg.encode();
         bytes.truncate(bytes.len() - 3);
@@ -385,10 +365,7 @@ mod tests {
         let pkg = sample_package(KIND_P1, false);
         let mut bytes = pkg.encode();
         bytes.push(0);
-        assert_eq!(
-            RequestPackage::decode(&bytes),
-            Err(DecodeError::Invalid("trailing bytes"))
-        );
+        assert_eq!(RequestPackage::decode(&bytes), Err(DecodeError::Invalid("trailing bytes")));
     }
 
     #[test]
@@ -414,11 +391,8 @@ mod tests {
 
     #[test]
     fn reply_roundtrip() {
-        let reply = Reply {
-            request_id: [3u8; 32],
-            responder: 42,
-            acks: vec![vec![1, 2, 3], vec![4; 56]],
-        };
+        let reply =
+            Reply { request_id: [3u8; 32], responder: 42, acks: vec![vec![1, 2, 3], vec![4; 56]] };
         let decoded = Reply::decode(&reply.encode()).unwrap();
         assert_eq!(decoded, reply);
     }
@@ -435,9 +409,8 @@ mod tests {
         // Our package adds framing, a nonce and 448-bit hint entries; it
         // must stay within the same order of magnitude (< 1 KB).
         let mut rng = StdRng::seed_from_u64(1);
-        let attrs: Vec<Attribute> = (0..6)
-            .map(|i| Attribute::new("tag", format!("t{i}")))
-            .collect();
+        let attrs: Vec<Attribute> =
+            (0..6).map(|i| Attribute::new("tag", format!("t{i}"))).collect();
         let request = RequestProfile::new(vec![], attrs, 4).unwrap(); // θ ≈ 0.67
         let sealed = request.seal(11, &mut rng);
         let pkg = RequestPackage {

@@ -12,7 +12,7 @@
 //! verified tables; any deviation found by the probes (there is one — see
 //! [`measured_deviations`]) is reported alongside.
 
-use crate::adversary::{DictionaryAttacker, DictionaryAttackOutcome};
+use crate::adversary::{DictionaryAttackOutcome, DictionaryAttacker};
 use crate::protocol::{Initiator, ProtocolConfig, ProtocolKind, Responder, ResponderOutcome};
 use msb_profile::entropy::EntropyModel;
 use msb_profile::{Attribute, Profile, RequestProfile};
@@ -82,11 +82,7 @@ fn closed_world() -> Vec<Attribute> {
 fn probe_request() -> RequestProfile {
     RequestProfile::new(
         vec![attr("profession", "engineer")],
-        vec![
-            attr("interest", "topic-0"),
-            attr("interest", "topic-1"),
-            attr("interest", "topic-2"),
-        ],
+        vec![attr("interest", "topic-0"), attr("interest", "topic-1"), attr("interest", "topic-2")],
         2,
     )
     .unwrap()
@@ -223,12 +219,7 @@ pub fn table1() -> PplTable {
     });
     rows.push(PplRow {
         scheme: "PCSI".to_string(),
-        cells: vec![
-            "3".into(),
-            "3".into(),
-            "|A_I ∩ A_U|".into(),
-            "|A_I ∩ A_U|".into(),
-        ],
+        cells: vec!["3".into(), "3".into(), "|A_I ∩ A_U|".into(), "|A_I ∩ A_U|".into()],
     });
     PplTable {
         caption: "Table I — privacy protection levels, HBC model (probe-verified)",
@@ -282,10 +273,7 @@ pub fn probe_dictionary_initiator_vs_matcher(kind: ProtocolKind, phi: f64) -> Pp
                 // Every unmasked gamble stays within the entropy budget.
                 for attrs in &unmasked {
                     let leak = model.profile_entropy(attrs.iter());
-                    assert!(
-                        leak <= phi + 1e-9,
-                        "P3 leak {leak} bits exceeds ϕ = {phi}"
-                    );
+                    assert!(leak <= phi + 1e-9, "P3 leak {leak} bits exceeds ϕ = {phi}");
                 }
                 PplLevel::PhiEntropy
             } else {
@@ -337,13 +325,7 @@ pub fn table2() -> PplTable {
     ];
     PplTable {
         caption: "Table II — privacy protection levels, malicious model with small dictionary",
-        headers: vec![
-            "(A_I, v'_P)",
-            "(A_M, v'_I)",
-            "(A_M, v'_P)",
-            "(A_U, v'_I)",
-            "(A_U, v'_P)",
-        ],
+        headers: vec!["(A_I, v'_P)", "(A_M, v'_I)", "(A_M, v'_P)", "(A_U, v'_I)", "(A_U, v'_P)"],
         rows,
     }
 }

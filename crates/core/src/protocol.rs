@@ -23,9 +23,7 @@ use msb_crypto::modes::Ctr;
 use msb_profile::attribute::{Attribute, AttributeHash};
 use msb_profile::entropy::{select_within_budget, EntropyModel};
 use msb_profile::hint::HintConstruction;
-use msb_profile::matching::{
-    enumerate_candidate_keys_with_stats, MatchConfig, MatchStats,
-};
+use msb_profile::matching::{enumerate_candidate_keys_with_stats, MatchConfig, MatchStats};
 use msb_profile::profile::{Profile, ProfileKey, ProfileVector};
 use msb_profile::request::{RequestProfile, RequestVector};
 use rand::Rng;
@@ -153,9 +151,7 @@ pub(crate) fn open_message(
             }
             Some(pt[16..48].try_into().expect("length checked"))
         }
-        ProtocolKind::P2 | ProtocolKind::P3 => {
-            Some(pt[..32].try_into().expect("length checked"))
-        }
+        ProtocolKind::P2 | ProtocolKind::P3 => Some(pt[..32].try_into().expect("length checked")),
     }
 }
 
@@ -260,10 +256,7 @@ impl Initiator {
         now_us: u64,
         rng: &mut R,
     ) -> (Self, RequestPackage) {
-        assert!(
-            config.p > vector.len() as u64,
-            "remainder modulus must exceed the request size"
-        );
+        assert!(config.p > vector.len() as u64, "remainder modulus must exceed the request size");
         let key = vector.profile_key();
         let mut x = [0u8; 32];
         rng.fill(&mut x);
@@ -499,17 +492,9 @@ impl Responder {
                             responder: self.id,
                             acks: vec![ack],
                         };
-                        let sessions = vec![SessionSecret {
-                            x,
-                            y,
-                            recovered: key.recovered.clone(),
-                        }];
-                        return ResponderOutcome::Reply {
-                            reply,
-                            sessions,
-                            verified: true,
-                            stats,
-                        };
+                        let sessions =
+                            vec![SessionSecret { x, y, recovered: key.recovered.clone() }];
+                        return ResponderOutcome::Reply { reply, sessions, verified: true, stats };
                     }
                 }
                 ResponderOutcome::NoVerifiedMatch
@@ -520,10 +505,8 @@ impl Responder {
                 let selected: Vec<&msb_profile::matching::CandidateKey> =
                     if kind == ProtocolKind::P3 {
                         if let Some((model, phi)) = &self.entropy {
-                            let sets: Vec<Vec<Attribute>> = keys
-                                .iter()
-                                .map(|k| self.gambled_attributes(k))
-                                .collect();
+                            let sets: Vec<Vec<Attribute>> =
+                                keys.iter().map(|k| self.gambled_attributes(k)).collect();
                             let chosen = select_within_budget(model, &sets, *phi);
                             chosen.into_iter().map(|i| &keys[i]).collect()
                         } else {
@@ -543,11 +526,7 @@ impl Responder {
                     acks.push(make_ack(&x, &y, rng));
                     sessions.push(SessionSecret { x, y, recovered: key.recovered.clone() });
                 }
-                let reply = Reply {
-                    request_id: package.request_id(),
-                    responder: self.id,
-                    acks,
-                };
+                let reply = Reply { request_id: package.request_id(), responder: self.id, acks };
                 ResponderOutcome::Reply { reply, sessions, verified: false, stats }
             }
         }
@@ -683,10 +662,7 @@ mod tests {
     fn unmatching_user_is_not_candidate_or_fails() {
         let (_, outcome) = run(ProtocolKind::P1, unmatching_profile());
         assert!(
-            matches!(
-                outcome,
-                ResponderOutcome::NotCandidate | ResponderOutcome::NoVerifiedMatch
-            ),
+            matches!(outcome, ResponderOutcome::NotCandidate | ResponderOutcome::NoVerifiedMatch),
             "{outcome:?}"
         );
     }
@@ -699,10 +675,8 @@ mod tests {
         let mut r = rng();
         let config = ProtocolConfig::new(ProtocolKind::P2, 11);
         let (mut initiator, pkg) = Initiator::create(&request(), 0, &config, 0, &mut r);
-        let weak = Profile::from_attributes(vec![
-            attr("profession", "engineer"),
-            attr("i", "jazz"),
-        ]);
+        let weak =
+            Profile::from_attributes(vec![attr("profession", "engineer"), attr("i", "jazz")]);
         let responder = Responder::new(2, weak, &config);
         match responder.handle(&pkg, 1_000, &mut r) {
             ResponderOutcome::NotCandidate | ResponderOutcome::NoVerifiedMatch => {}

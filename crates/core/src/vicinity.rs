@@ -149,8 +149,7 @@ mod tests {
         let lat = lattice();
         let cfg = config();
         let location = (1234.5, 6789.0);
-        let (_, pkg, _) =
-            create_vicinity_request(&lat, location, 20.0, 0.5, 0, &cfg, 0, &mut r);
+        let (_, pkg, _) = create_vicinity_request(&lat, location, 20.0, 0.5, 0, &cfg, 0, &mut r);
         let bytes = pkg.encode();
         // The raw coordinates must not appear anywhere in the package.
         for needle in [location.0.to_be_bytes(), location.1.to_be_bytes()] {

@@ -44,9 +44,8 @@ const INV_SBOX: [u8; 256] = {
     inv
 };
 
-const RCON: [u8; 15] = [
-    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a,
-];
+const RCON: [u8; 15] =
+    [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a];
 
 /// Multiplication in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
 fn gmul(mut a: u8, mut b: u8) -> u8 {
@@ -146,12 +145,7 @@ impl AesCipher {
                 }
             }
             let prev = w[i - nk];
-            w.push([
-                prev[0] ^ temp[0],
-                prev[1] ^ temp[1],
-                prev[2] ^ temp[2],
-                prev[3] ^ temp[3],
-            ]);
+            w.push([prev[0] ^ temp[0], prev[1] ^ temp[1], prev[2] ^ temp[2], prev[3] ^ temp[3]]);
         }
         let round_keys = w
             .chunks_exact(4)
@@ -240,12 +234,7 @@ fn inv_shift_rows(state: &mut Block) {
 
 fn mix_columns(state: &mut Block) {
     for col in 0..4 {
-        let c = [
-            state[4 * col],
-            state[4 * col + 1],
-            state[4 * col + 2],
-            state[4 * col + 3],
-        ];
+        let c = [state[4 * col], state[4 * col + 1], state[4 * col + 2], state[4 * col + 3]];
         state[4 * col] = gmul(c[0], 2) ^ gmul(c[1], 3) ^ c[2] ^ c[3];
         state[4 * col + 1] = c[0] ^ gmul(c[1], 2) ^ gmul(c[2], 3) ^ c[3];
         state[4 * col + 2] = c[0] ^ c[1] ^ gmul(c[2], 2) ^ gmul(c[3], 3);
@@ -255,12 +244,7 @@ fn mix_columns(state: &mut Block) {
 
 fn inv_mix_columns(state: &mut Block) {
     for col in 0..4 {
-        let c = [
-            state[4 * col],
-            state[4 * col + 1],
-            state[4 * col + 2],
-            state[4 * col + 3],
-        ];
+        let c = [state[4 * col], state[4 * col + 1], state[4 * col + 2], state[4 * col + 3]];
         state[4 * col] = gmul(c[0], 14) ^ gmul(c[1], 11) ^ gmul(c[2], 13) ^ gmul(c[3], 9);
         state[4 * col + 1] = gmul(c[0], 9) ^ gmul(c[1], 14) ^ gmul(c[2], 11) ^ gmul(c[3], 13);
         state[4 * col + 2] = gmul(c[0], 13) ^ gmul(c[1], 9) ^ gmul(c[2], 14) ^ gmul(c[3], 11);
@@ -273,10 +257,7 @@ mod tests {
     use super::*;
 
     fn parse(hex: &str) -> Vec<u8> {
-        (0..hex.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap())
-            .collect()
+        (0..hex.len()).step_by(2).map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap()).collect()
     }
 
     #[test]

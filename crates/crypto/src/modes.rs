@@ -139,10 +139,7 @@ mod tests {
     use crate::aes::{Aes128, Aes256};
 
     fn parse(hex: &str) -> Vec<u8> {
-        (0..hex.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap())
-            .collect()
+        (0..hex.len()).step_by(2).map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap()).collect()
     }
 
     #[test]
@@ -238,14 +235,8 @@ mod tests {
     #[test]
     fn cbc_rejects_unaligned() {
         let cipher = Aes256::new(&[5u8; 32]);
-        assert_eq!(
-            cbc_decrypt(&cipher, [0u8; 16], &[1, 2, 3]),
-            Err(CryptoError::NotBlockAligned)
-        );
-        assert_eq!(
-            cbc_decrypt(&cipher, [0u8; 16], &[]),
-            Err(CryptoError::NotBlockAligned)
-        );
+        assert_eq!(cbc_decrypt(&cipher, [0u8; 16], &[1, 2, 3]), Err(CryptoError::NotBlockAligned));
+        assert_eq!(cbc_decrypt(&cipher, [0u8; 16], &[]), Err(CryptoError::NotBlockAligned));
     }
 
     #[test]

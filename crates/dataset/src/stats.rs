@@ -17,10 +17,8 @@ pub fn collision_distribution(data: &WeiboDataset, with_keywords: bool) -> Vec<(
     for (_, size) in classes {
         *by_size.entry(size).or_insert(0) += size; // users, not classes
     }
-    let mut out: Vec<(usize, f64)> = by_size
-        .into_iter()
-        .map(|(size, users)| (size, users as f64 / total))
-        .collect();
+    let mut out: Vec<(usize, f64)> =
+        by_size.into_iter().map(|(size, users)| (size, users as f64 / total)).collect();
     out.sort_unstable_by_key(|&(size, _)| size);
     out
 }
@@ -57,20 +55,12 @@ pub fn unique_fraction(data: &WeiboDataset, with_keywords: bool) -> f64 {
 
 /// Users per tag count (paper Fig. 5, log-scale y).
 pub fn tag_count_histogram(data: &WeiboDataset) -> Vec<(usize, usize)> {
-    let max = data
-        .users()
-        .iter()
-        .map(|u| u.tags.len())
-        .max()
-        .unwrap_or(0);
+    let max = data.users().iter().map(|u| u.tags.len()).max().unwrap_or(0);
     let mut hist = vec![0usize; max + 1];
     for u in data.users() {
         hist[u.tags.len()] += 1;
     }
-    hist.into_iter()
-        .enumerate()
-        .filter(|&(_, n)| n > 0)
-        .collect()
+    hist.into_iter().enumerate().filter(|&(_, n)| n > 0).collect()
 }
 
 /// Shared-tag count between two users (the evaluation's similarity
@@ -161,11 +151,7 @@ mod tests {
         let users = d.users();
         for i in 0..20 {
             for j in 0..20 {
-                let naive = users[i]
-                    .tags
-                    .iter()
-                    .filter(|t| users[j].tags.contains(t))
-                    .count();
+                let naive = users[i].tags.iter().filter(|t| users[j].tags.contains(t)).count();
                 assert_eq!(shared_tags(&users[i], &users[j]), naive);
             }
         }

@@ -80,20 +80,13 @@ pub struct WeiboUser {
 impl WeiboUser {
     /// The user's tag attributes.
     pub fn tag_attributes(&self) -> Vec<Attribute> {
-        self.tags
-            .iter()
-            .map(|t| Attribute::new("tag", format!("t{t}")))
-            .collect()
+        self.tags.iter().map(|t| Attribute::new("tag", format!("t{t}"))).collect()
     }
 
     /// The user's tag+keyword attributes.
     pub fn full_attributes(&self) -> Vec<Attribute> {
         let mut attrs = self.tag_attributes();
-        attrs.extend(
-            self.keywords
-                .iter()
-                .map(|k| Attribute::new("kw", format!("k{k}"))),
-        );
+        attrs.extend(self.keywords.iter().map(|k| Attribute::new("kw", format!("k{k}"))));
         attrs
     }
 
@@ -132,8 +125,11 @@ impl WeiboDataset {
         let mut rng = StdRng::seed_from_u64(seed);
         let tag_zipf = Zipf::new(config.tag_vocabulary, config.zipf_exponent);
         let kw_zipf = Zipf::new(config.keyword_vocabulary, config.zipf_exponent);
-        let tag_counts =
-            CountDistribution::calibrated(config.min_tags.max(1), config.mean_tags, config.max_tags);
+        let tag_counts = CountDistribution::calibrated(
+            config.min_tags.max(1),
+            config.mean_tags,
+            config.max_tags,
+        );
         let kw_counts = CountDistribution::calibrated(1, config.mean_keywords, config.max_keywords);
 
         let users = (0..config.users)
@@ -253,10 +249,7 @@ impl CountDistribution {
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        let idx = match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
-        {
+        let idx = match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
             Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
         };
         self.min + idx
@@ -295,10 +288,7 @@ mod tests {
     fn marginals_match_paper() {
         let d = dataset();
         let mean_tags = d.mean_tag_count();
-        assert!(
-            (mean_tags - 6.0).abs() < 0.8,
-            "mean tags should be ≈ 6, got {mean_tags}"
-        );
+        assert!((mean_tags - 6.0).abs() < 0.8, "mean tags should be ≈ 6, got {mean_tags}");
         let max_tags = d.users().iter().map(|u| u.tags.len()).max().unwrap();
         assert!(max_tags <= 20);
         let mean_kw: f64 = d.users().iter().map(|u| u.keywords.len()).sum::<usize>() as f64
@@ -379,8 +369,7 @@ mod tests {
         let cd = CountDistribution::calibrated(1, 6.0, 20);
         let mut rng = StdRng::seed_from_u64(8);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| cd.sample(&mut rng)).sum::<usize>() as f64 / n as f64;
+        let mean: f64 = (0..n).map(|_| cd.sample(&mut rng)).sum::<usize>() as f64 / n as f64;
         assert!((mean - 6.0).abs() < 0.3, "calibrated mean {mean}");
     }
 

@@ -105,9 +105,7 @@ mod tests {
     fn bind_profile_sorted() {
         let c = cfg();
         let key = DynamicKey::from_region(&VicinityRegion::around(&c, (0.0, 0.0), 20.0));
-        let attrs = [Attribute::new("a", "1"),
-            Attribute::new("b", "2"),
-            Attribute::new("c", "3")];
+        let attrs = [Attribute::new("a", "1"), Attribute::new("b", "2"), Attribute::new("c", "3")];
         let v = key.bind_profile(attrs.iter());
         assert_eq!(v.len(), 3);
         assert!(v.hashes().windows(2).all(|w| w[0] < w[1]));

@@ -21,10 +21,7 @@ impl LatticeConfig {
     /// Panics if `d` is not strictly positive and finite.
     pub fn new(origin: (f64, f64), d: f64) -> Self {
         assert!(d.is_finite() && d > 0.0, "lattice scale must be positive");
-        assert!(
-            origin.0.is_finite() && origin.1.is_finite(),
-            "origin must be finite"
-        );
+        assert!(origin.0.is_finite() && origin.1.is_finite(), "origin must be finite");
         LatticeConfig { origin, d }
     }
 
@@ -81,10 +78,7 @@ impl LatticeConfig {
 
     fn point_xy_rel(&self, p: LatticePoint) -> (f64, f64) {
         let sqrt3 = 3f64.sqrt();
-        (
-            p.u1 as f64 * self.d + p.u2 as f64 * self.d / 2.0,
-            p.u2 as f64 * sqrt3 / 2.0 * self.d,
-        )
+        (p.u1 as f64 * self.d + p.u2 as f64 * self.d / 2.0, p.u2 as f64 * sqrt3 / 2.0 * self.d)
     }
 
     /// Euclidean distance between two lattice points.
@@ -209,14 +203,7 @@ mod tests {
         let c = cfg();
         let origin = LatticePoint { u1: 0, u2: 0 };
         // The six nearest neighbours of a hex lattice sit at distance d.
-        let neighbours = [
-            (1i64, 0i64),
-            (-1, 0),
-            (0, 1),
-            (0, -1),
-            (1, -1),
-            (-1, 1),
-        ];
+        let neighbours = [(1i64, 0i64), (-1, 0), (0, 1), (0, -1), (1, -1), (-1, 1)];
         for (u1, u2) in neighbours {
             let d = c.point_distance(origin, LatticePoint { u1, u2 });
             assert!((d - 10.0).abs() < 1e-9, "({u1},{u2}) at {d}");

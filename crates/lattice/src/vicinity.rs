@@ -77,11 +77,7 @@ impl VicinityRegion {
     /// `|V_i ∩ V_k|`.
     pub fn shared_points(&self, other: &VicinityRegion) -> usize {
         let mine = &self.points;
-        other
-            .points
-            .iter()
-            .filter(|p| mine.binary_search(p).is_ok())
-            .count()
+        other.points.iter().filter(|p| mine.binary_search(p).is_ok()).count()
     }
 
     /// The achieved ratio θ_k = |V_i ∩ V_k| / |V_k| from Eq. 16, taking

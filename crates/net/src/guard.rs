@@ -94,6 +94,7 @@ mod tests {
         let mut g: RateGuard<u32> = RateGuard::new(1000, 1);
         assert!(g.allow(1, 0));
         assert!(!g.allow(1, 999)); // still inside the window
+
         // At now = 1000 the cutoff is 0 and the t = 0 event has aged out.
         assert!(g.allow(1, 1000));
     }

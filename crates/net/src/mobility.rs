@@ -53,21 +53,13 @@ impl RandomWaypoint {
         seed: u64,
     ) -> Self {
         assert!(bounds.width > 0.0 && bounds.height > 0.0, "bounds must be positive");
-        assert!(
-            min_speed > 0.0 && min_speed <= max_speed,
-            "need 0 < min_speed <= max_speed"
-        );
+        assert!(min_speed > 0.0 && min_speed <= max_speed, "need 0 < min_speed <= max_speed");
         let mut rng = StdRng::seed_from_u64(seed);
         let nodes = (0..n)
             .map(|_| {
-                let position = (
-                    rng.gen_range(0.0..bounds.width),
-                    rng.gen_range(0.0..bounds.height),
-                );
-                let target = (
-                    rng.gen_range(0.0..bounds.width),
-                    rng.gen_range(0.0..bounds.height),
-                );
+                let position =
+                    (rng.gen_range(0.0..bounds.width), rng.gen_range(0.0..bounds.height));
+                let target = (rng.gen_range(0.0..bounds.width), rng.gen_range(0.0..bounds.height));
                 let speed = rng.gen_range(min_speed..=max_speed);
                 WaypointNode { position, target, speed, pause_left: 0.0 }
             })

@@ -296,13 +296,8 @@ impl<A: NodeApp> Simulator<A> {
 
     fn with_ctx(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut NodeCtx<'_>)) {
         let position = self.nodes[id.index()].position;
-        let mut ctx = NodeCtx {
-            id,
-            now_us: self.now_us,
-            position,
-            rng: &mut self.rng,
-            actions: Vec::new(),
-        };
+        let mut ctx =
+            NodeCtx { id, now_us: self.now_us, position, rng: &mut self.rng, actions: Vec::new() };
         // Split borrow: the app lives in self.nodes, ctx borrows self.rng.
         let entry = &mut self.nodes[id.index()];
         f(&mut entry.app, &mut ctx);
@@ -356,10 +351,8 @@ impl<A: NodeApp> Simulator<A> {
         // Each hop is a transmission; loss anywhere kills the message.
         let mut at = self.now_us;
         for hop in path.windows(2) {
-            let d = distance(
-                self.nodes[hop[0].index()].position,
-                self.nodes[hop[1].index()].position,
-            );
+            let d =
+                distance(self.nodes[hop[0].index()].position, self.nodes[hop[1].index()].position);
             self.metrics.unicast_hops += 1;
             self.metrics.payload_bytes += payload.len() as u64;
             if self.roll_loss() {
@@ -377,9 +370,7 @@ impl<A: NodeApp> Simulator<A> {
         } else {
             0
         };
-        self.config.base_latency_us
-            + (dist * self.config.per_meter_latency_us) as u64
-            + jitter
+        self.config.base_latency_us + (dist * self.config.per_meter_latency_us) as u64 + jitter
     }
 
     fn roll_loss(&mut self) -> bool {
@@ -593,10 +584,8 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         fn run_once() -> (u64, Metrics) {
-            let mut sim = Simulator::new(
-                SimConfig { loss_rate: 0.3, ..SimConfig::default() },
-                1234,
-            );
+            let mut sim =
+                Simulator::new(SimConfig { loss_rate: 0.3, ..SimConfig::default() }, 1234);
             struct Chatty;
             impl NodeApp for Chatty {
                 fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {

@@ -51,11 +51,7 @@ impl Attribute {
     /// Canonical normalized form with a caller-supplied normalizer (both
     /// parties in a match must use the same one).
     pub fn canonical_with(&self, normalizer: &Normalizer) -> String {
-        format!(
-            "{}:{}",
-            normalizer.normalize(&self.category),
-            normalizer.normalize(&self.value)
-        )
+        format!("{}:{}", normalizer.normalize(&self.category), normalizer.normalize(&self.value))
     }
 
     /// SHA-256 hash of the canonical form — the `h = H(a)` of Eq. 2.
@@ -67,11 +63,7 @@ impl Attribute {
     /// the location-bound static attributes of §III-D-3:
     /// `H(attribute ‖ dynamic key)`.
     pub fn hash_bound(&self, context: &[u8]) -> AttributeHash {
-        AttributeHash(Sha256::digest_parts(&[
-            self.canonical().as_bytes(),
-            b"|",
-            context,
-        ]))
+        AttributeHash(Sha256::digest_parts(&[self.canonical().as_bytes(), b"|", context]))
     }
 }
 

@@ -80,12 +80,7 @@ impl EntropyModel {
             Some(&t) if t > 0 => t as f64,
             _ => return 0.0,
         };
-        let count = self
-            .categories
-            .get(category)
-            .and_then(|m| m.get(value))
-            .copied()
-            .unwrap_or(0);
+        let count = self.categories.get(category).and_then(|m| m.get(value)).copied().unwrap_or(0);
         count as f64 / total
     }
 
@@ -109,18 +104,12 @@ impl EntropyModel {
     /// categories contribute once per attribute, exactly as the paper's
     /// sum over the attribute list does.
     pub fn profile_entropy<'a>(&self, attrs: impl IntoIterator<Item = &'a Attribute>) -> f64 {
-        attrs
-            .into_iter()
-            .map(|a| self.attribute_entropy(a.category()))
-            .sum()
+        attrs.into_iter().map(|a| self.attribute_entropy(a.category())).sum()
     }
 
     /// Entropy of the *union* of several attribute sets (de-duplicated by
     /// attribute hash) — the `S(⋃ Aᵢ_c)` bound of Protocol 3 step 2.
-    pub fn union_entropy<'a>(
-        &self,
-        sets: impl IntoIterator<Item = &'a [Attribute]>,
-    ) -> f64 {
+    pub fn union_entropy<'a>(&self, sets: impl IntoIterator<Item = &'a [Attribute]>) -> f64 {
         let mut seen = BTreeSet::new();
         let mut unioned: Vec<&Attribute> = Vec::new();
         for set in sets {
@@ -165,10 +154,7 @@ pub fn phi_k_anonymity(n: usize, k: usize) -> f64 {
 ///
 /// Returns `f64::INFINITY` when `sensitive` is empty (no restriction).
 pub fn phi_sensitive(model: &EntropyModel, sensitive: &[Attribute]) -> f64 {
-    sensitive
-        .iter()
-        .map(|a| model.attribute_entropy(a.category()))
-        .fold(f64::INFINITY, f64::min)
+    sensitive.iter().map(|a| model.attribute_entropy(a.category())).fold(f64::INFINITY, f64::min)
 }
 
 /// Greedily selects a prefix of `candidate_sets` whose union entropy stays

@@ -241,9 +241,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn hashes(n: usize) -> Vec<AttributeHash> {
-        let mut hs: Vec<AttributeHash> = (0..n)
-            .map(|i| Attribute::new("interest", format!("topic-{i}")).hash())
-            .collect();
+        let mut hs: Vec<AttributeHash> =
+            (0..n).map(|i| Attribute::new("interest", format!("topic-{i}")).hash()).collect();
         hs.sort_unstable();
         hs
     }
@@ -257,7 +256,8 @@ mod tests {
         let opt = hashes(4); // beta=3, gamma=1
         let hint = HintMatrix::generate(&opt, 3, HintConstruction::Cauchy, &mut rng());
         for missing in 0..4 {
-            let mut assignment: Vec<Option<AttributeHash>> = opt.iter().copied().map(Some).collect();
+            let mut assignment: Vec<Option<AttributeHash>> =
+                opt.iter().copied().map(Some).collect();
             assignment[missing] = None;
             let full = hint.solve(&assignment).expect("solvable");
             assert_eq!(full, opt, "missing position {missing}");
@@ -274,9 +274,8 @@ mod tests {
                 if unknown_count > 3 {
                     continue;
                 }
-                let assignment: Vec<Option<AttributeHash>> = (0..6)
-                    .map(|j| if mask >> j & 1 == 1 { None } else { Some(opt[j]) })
-                    .collect();
+                let assignment: Vec<Option<AttributeHash>> =
+                    (0..6).map(|j| if mask >> j & 1 == 1 { None } else { Some(opt[j]) }).collect();
                 let full = hint
                     .solve(&assignment)
                     .unwrap_or_else(|| panic!("{construction:?} mask {mask:06b}"));
@@ -345,7 +344,8 @@ mod tests {
         // block are identical — the receiver can rebuild C from (γ, β).
         let opt = hashes(5);
         let h1 = HintMatrix::generate(&opt, 2, HintConstruction::Cauchy, &mut rng());
-        let h2 = HintMatrix::generate(&opt, 2, HintConstruction::Cauchy, &mut StdRng::seed_from_u64(7));
+        let h2 =
+            HintMatrix::generate(&opt, 2, HintConstruction::Cauchy, &mut StdRng::seed_from_u64(7));
         assert_eq!(h1, h2);
     }
 

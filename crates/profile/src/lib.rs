@@ -42,7 +42,8 @@
 //!          attr("interest", "go")],
 //!     2,
 //! ).unwrap();
-//! let bundle = request.seal(11, &mut rand::thread_rng());
+//! use rand::{rngs::StdRng, SeedableRng};
+//! let bundle = request.seal(11, &mut StdRng::seed_from_u64(7));
 //!
 //! // A user owning the necessary attribute and 2 of the 3 optional ones
 //! // recovers the request's profile key.

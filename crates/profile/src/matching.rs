@@ -75,12 +75,8 @@ pub struct CandidateAssignment {
 impl CandidateAssignment {
     /// Indices of the user's own attributes consumed by this assignment.
     pub fn used_indices(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self
-            .necessary
-            .iter()
-            .copied()
-            .chain(self.optional.iter().flatten().copied())
-            .collect();
+        let mut v: Vec<usize> =
+            self.necessary.iter().copied().chain(self.optional.iter().flatten().copied()).collect();
         v.sort_unstable();
         v
     }
@@ -173,11 +169,8 @@ pub fn enumerate_candidate_keys_with_stats(
     visit_assignments(user, rv, config.mode, config.max_assignments, &mut |a| {
         stats.assignments += 1;
         // Build the optional-block partial assignment.
-        let optional_partial: Vec<Option<AttributeHash>> = a
-            .optional
-            .iter()
-            .map(|slot| slot.map(|idx| user_hashes[idx]))
-            .collect();
+        let optional_partial: Vec<Option<AttributeHash>> =
+            a.optional.iter().map(|slot| slot.map(|idx| user_hashes[idx])).collect();
 
         let optional_full: Option<Vec<AttributeHash>> = match hint {
             Some(h) => {
@@ -224,11 +217,7 @@ fn visit_assignments(
     let gamma = rv.gamma();
 
     // Strict mode: unknown allowed only where H_k(r) = ∅ globally.
-    let subset_empty: Vec<bool> = rv
-        .optional()
-        .iter()
-        .map(|&r| !user_rems.contains(&r))
-        .collect();
+    let subset_empty: Vec<bool> = rv.optional().iter().map(|&r| !user_rems.contains(&r)).collect();
 
     struct State<'a> {
         user_rems: &'a [u64],
@@ -406,6 +395,7 @@ mod tests {
     #[test]
     fn fuzzy_match_with_missing_optional() {
         let (attrs, fx) = fixture(1, 4, 2, 11); // gamma = 2
+
         // User owns the necessary one + 2 of 4 optional + noise.
         let user = Profile::from_attributes(vec![
             attrs[0].clone(),
@@ -415,17 +405,14 @@ mod tests {
         ]);
         for mode in [EnumerationMode::Strict, EnumerationMode::Exhaustive] {
             let keys = keys_for(&user, &fx, mode);
-            assert!(
-                keys.iter().any(|k| k.key == fx.key),
-                "true key missing in {mode:?}"
-            );
+            assert!(keys.iter().any(|k| k.key == fx.key), "true key missing in {mode:?}");
         }
     }
 
     #[test]
     fn below_threshold_user_never_gets_true_key() {
         let (attrs, fx) = fixture(1, 4, 3, 97); // needs 3 of 4 optional
-        // Owns necessary + only 1 optional.
+                                                // Owns necessary + only 1 optional.
         let user = Profile::from_attributes(vec![attrs[0].clone(), attrs[1].clone()]);
         for mode in [EnumerationMode::Strict, EnumerationMode::Exhaustive] {
             let keys = keys_for(&user, &fx, mode);
@@ -473,6 +460,7 @@ mod tests {
         // exhaustive mode must always find it.
         let p = 3u64; // tiny modulus makes collisions easy to find
         let (attrs, fx) = fixture(0, 4, 2, p); // gamma = 2
+
         // Owns optional[0], optional[1] (by hash order of the fixture's
         // optional block) plus colliding noise attributes.
         let optional = sorted_hashes(&attrs);

@@ -71,10 +71,8 @@ pub struct Normalizer {
 
 impl Default for Normalizer {
     fn default() -> Self {
-        let abbreviations = ABBREVIATIONS
-            .iter()
-            .map(|&(k, v)| (k.to_string(), v.to_string()))
-            .collect();
+        let abbreviations =
+            ABBREVIATIONS.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
         Normalizer { abbreviations }
     }
 }
@@ -150,13 +148,29 @@ fn fold_accents(s: &str) -> String {
 /// (no spaces or hyphens): `42` → `fortytwo`.
 pub fn number_to_words(n: u64) -> String {
     const ONES: [&str; 20] = [
-        "zero", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
-        "eleven", "twelve", "thirteen", "fourteen", "fifteen", "sixteen", "seventeen", "eighteen",
+        "zero",
+        "one",
+        "two",
+        "three",
+        "four",
+        "five",
+        "six",
+        "seven",
+        "eight",
+        "nine",
+        "ten",
+        "eleven",
+        "twelve",
+        "thirteen",
+        "fourteen",
+        "fifteen",
+        "sixteen",
+        "seventeen",
+        "eighteen",
         "nineteen",
     ];
-    const TENS: [&str; 10] = [
-        "", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety",
-    ];
+    const TENS: [&str; 10] =
+        ["", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety"];
     const SCALES: [(u64, &str); 5] = [
         (1_000_000_000_000, "trillion"),
         (1_000_000_000, "billion"),
@@ -205,7 +219,11 @@ pub fn singularize(word: &str) -> String {
         // knives -> knife is ambiguous with -ve words; use the common rule.
         return format!("{}f", &word[..n - 3]);
     }
-    if n > 4 && (word.ends_with("xes") || word.ends_with("sses") || word.ends_with("ches") || word.ends_with("shes"))
+    if n > 4
+        && (word.ends_with("xes")
+            || word.ends_with("sses")
+            || word.ends_with("ches")
+            || word.ends_with("shes"))
     {
         return word[..n - 2].to_string();
     }
@@ -266,10 +284,7 @@ mod tests {
         assert_eq!(number_to_words(20), "twenty");
         assert_eq!(number_to_words(21), "twentyone");
         assert_eq!(number_to_words(1_000_000), "onemillion");
-        assert_eq!(
-            number_to_words(1_000_001),
-            "onemillionone"
-        );
+        assert_eq!(number_to_words(1_000_001), "onemillionone");
     }
 
     #[test]
@@ -302,10 +317,7 @@ mod tests {
     #[test]
     fn custom_abbreviation() {
         let n = Normalizer::default().with_abbreviation("iit", "illinois institute of technology");
-        assert_eq!(
-            n.normalize("IIT"),
-            "illinoisinstituteoftechnology"
-        );
+        assert_eq!(n.normalize("IIT"), "illinoisinstituteoftechnology");
     }
 
     #[test]

@@ -97,12 +97,7 @@ impl Profile {
     /// "similarity" ground truth (Fig. 6).
     pub fn shared_attributes(&self, other: &Profile) -> usize {
         let mine = self.vector.hashes();
-        other
-            .vector
-            .hashes()
-            .iter()
-            .filter(|h| mine.binary_search(h).is_ok())
-            .count()
+        other.vector.hashes().iter().filter(|h| mine.binary_search(h).is_ok()).count()
     }
 }
 
@@ -189,11 +184,7 @@ impl ProfileKey {
 impl fmt::Debug for ProfileKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Never print key material in full.
-        write!(
-            f,
-            "ProfileKey({:02x}{:02x}…)",
-            self.0[0], self.0[1]
-        )
+        write!(f, "ProfileKey({:02x}{:02x}…)", self.0[0], self.0[1])
     }
 }
 
@@ -237,10 +228,7 @@ mod tests {
         // — requests require at least one attribute).
         let p = Profile::new();
         assert!(p.is_empty());
-        assert_eq!(
-            p.vector().profile_key().as_bytes(),
-            &Sha256::digest(b"")
-        );
+        assert_eq!(p.vector().profile_key().as_bytes(), &Sha256::digest(b""));
     }
 
     #[test]
@@ -288,9 +276,7 @@ mod tests {
 
     #[test]
     fn debug_does_not_leak_key() {
-        let k = Profile::from_attributes(vec![attr("a", "1")])
-            .vector()
-            .profile_key();
+        let k = Profile::from_attributes(vec![attr("a", "1")]).vector().profile_key();
         let s = format!("{k:?}");
         assert!(s.len() < 24, "debug form must be truncated: {s}");
     }

@@ -57,22 +57,14 @@ impl RemainderVector {
     ///
     /// Panics under the same conditions as [`RemainderVector::new`], plus
     /// when any remainder is `>= p`.
-    pub fn from_remainders(
-        p: u64,
-        necessary: Vec<u64>,
-        optional: Vec<u64>,
-        beta: usize,
-    ) -> Self {
+    pub fn from_remainders(p: u64, necessary: Vec<u64>, optional: Vec<u64>, beta: usize) -> Self {
         assert!(p >= 2, "modulus must be at least 2");
         assert!(beta <= optional.len(), "beta exceeds optional count");
         assert!(
             !necessary.is_empty() || !optional.is_empty(),
             "request must contain at least one attribute"
         );
-        assert!(
-            necessary.iter().chain(optional.iter()).all(|&r| r < p),
-            "remainder out of range"
-        );
+        assert!(necessary.iter().chain(optional.iter()).all(|&r| r < p), "remainder out of range");
         RemainderVector { p, necessary, optional, beta }
     }
 
@@ -200,6 +192,7 @@ mod tests {
         let opt = sorted_hashes(&attrs[2..]);
         for p in [3u64, 11, 23] {
             let rv = RemainderVector::new(p, &nec, &opt, 2); // beta=2, gamma=2
+
             // A user owning everything.
             let full = Profile::from_attributes(attrs.clone());
             assert!(rv.fast_check(full.vector()), "full owner, p={p}");
@@ -225,11 +218,8 @@ mod tests {
         let opt = sorted_hashes(&others);
         let user = Profile::from_attributes(others.clone());
         let p = 97;
-        let collide = user
-            .vector()
-            .hashes()
-            .iter()
-            .any(|h| h.remainder(p) == needed.hash().remainder(p));
+        let collide =
+            user.vector().hashes().iter().any(|h| h.remainder(p) == needed.hash().remainder(p));
         let rv = RemainderVector::new(p, &nec, &opt, 3);
         if !collide {
             assert!(!rv.fast_check(user.vector()));

@@ -181,8 +181,7 @@ impl RequestProfile {
     /// Panics if `p <= m_t` (the paper requires a prime `p > m_t`); use
     /// [`RequestProfile::try_seal`] for a fallible version.
     pub fn seal<R: Rng + ?Sized>(&self, p: u64, rng: &mut R) -> SealedRequest {
-        self.try_seal(p, HintConstruction::Cauchy, rng)
-            .expect("modulus must exceed request size")
+        self.try_seal(p, HintConstruction::Cauchy, rng).expect("modulus must exceed request size")
     }
 
     /// Fallible, construction-selectable version of
@@ -210,10 +209,7 @@ impl RequestProfile {
 
 fn dedup(attrs: Vec<Attribute>) -> Vec<Attribute> {
     let mut seen: BTreeSet<AttributeHash> = BTreeSet::new();
-    attrs
-        .into_iter()
-        .filter(|a| seen.insert(a.hash()))
-        .collect()
+    attrs.into_iter().filter(|a| seen.insert(a.hash())).collect()
 }
 
 /// The hashed form of a request: sorted necessary block ‖ sorted optional
@@ -228,8 +224,7 @@ pub struct RequestVector {
 
 impl RequestVector {
     fn from_request(req: &RequestProfile) -> Self {
-        let mut necessary: Vec<AttributeHash> =
-            req.necessary.iter().map(Attribute::hash).collect();
+        let mut necessary: Vec<AttributeHash> = req.necessary.iter().map(Attribute::hash).collect();
         necessary.sort_unstable();
         let mut optional: Vec<AttributeHash> = req.optional.iter().map(Attribute::hash).collect();
         optional.sort_unstable();
@@ -341,10 +336,7 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert_eq!(
-            RequestProfile::new(vec![], vec![], 0),
-            Err(RequestError::Empty)
-        );
+        assert_eq!(RequestProfile::new(vec![], vec![], 0), Err(RequestError::Empty));
         assert!(matches!(
             RequestProfile::new(vec![], vec![attr("a", "1")], 2),
             Err(RequestError::BetaTooLarge { .. })
@@ -378,11 +370,8 @@ mod tests {
 
     #[test]
     fn threshold_request() {
-        let r = RequestProfile::threshold(
-            vec![attr("a", "1"), attr("b", "2"), attr("c", "3")],
-            2,
-        )
-        .unwrap();
+        let r = RequestProfile::threshold(vec![attr("a", "1"), attr("b", "2"), attr("c", "3")], 2)
+            .unwrap();
         assert_eq!(r.alpha(), 0);
         assert_eq!(r.beta(), 2);
         assert_eq!(r.gamma(), 1);
@@ -410,11 +399,8 @@ mod tests {
             attr("i", "jazz"),
             attr("i", "go"),
         ]);
-        let missing_necessary = Profile::from_attributes(vec![
-            attr("i", "jazz"),
-            attr("i", "go"),
-            attr("i", "tea"),
-        ]);
+        let missing_necessary =
+            Profile::from_attributes(vec![attr("i", "jazz"), attr("i", "go"), attr("i", "tea")]);
         let too_few_optional =
             Profile::from_attributes(vec![attr("prof", "engineer"), attr("i", "jazz")]);
         assert!(r.is_satisfied_by(&yes));
@@ -438,12 +424,8 @@ mod tests {
 
     #[test]
     fn key_stable_across_seals() {
-        let r = RequestProfile::new(
-            vec![attr("a", "1")],
-            vec![attr("b", "2"), attr("c", "3")],
-            1,
-        )
-        .unwrap();
+        let r = RequestProfile::new(vec![attr("a", "1")], vec![attr("b", "2"), attr("c", "3")], 1)
+            .unwrap();
         let s1 = r.seal(11, &mut rng());
         let s2 = r.seal(11, &mut StdRng::seed_from_u64(99));
         assert_eq!(s1.key, s2.key, "profile key depends only on attributes");
@@ -457,10 +439,7 @@ mod tests {
         let attrs = vec![attr("a", "1"), attr("b", "2"), attr("c", "3")];
         let r = RequestProfile::exact(attrs.clone()).unwrap();
         let p = Profile::from_attributes(attrs);
-        assert_eq!(
-            r.vector().profile_key(),
-            p.vector().profile_key()
-        );
+        assert_eq!(r.vector().profile_key(), p.vector().profile_key());
     }
 
     #[test]

@@ -18,11 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ProtocolConfig::new(ProtocolKind::P2, 11);
 
     // Find the local Rust hiking club: rust AND 1 of 2 outdoor tags.
-    let request = RequestProfile::new(
-        vec![tag("rust")],
-        vec![tag("hiking"), tag("climbing")],
-        1,
-    )?;
+    let request = RequestProfile::new(vec![tag("rust")], vec![tag("hiking"), tag("climbing")], 1)?;
     let (mut organizer, package) = Initiator::create(&request, 0, &config, 0, &mut rng);
 
     let members = [
@@ -48,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     for (i, profile) in outsiders.iter().enumerate() {
         let responder = Responder::new(i as u32 + 10, profile.clone(), &config);
-        if let sealed_bottle::core::protocol::ResponderOutcome::Reply { reply, .. } = responder.handle(&package, 1_000, &mut rng) {
+        if let sealed_bottle::core::protocol::ResponderOutcome::Reply { reply, .. } =
+            responder.handle(&package, 1_000, &mut rng)
+        {
             assert!(organizer.process_reply(&reply, 2_000).is_empty());
         }
     }
@@ -62,9 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, sessions) in member_sessions.iter().enumerate() {
         // A member may hold several candidate sessions (P2!) — the group
         // frame authenticates only under the right one.
-        let read = sessions.iter().find_map(|s| {
-            s.group_channel().open(&announcement).ok()
-        });
+        let read = sessions.iter().find_map(|s| s.group_channel().open(&announcement).ok());
         let text = read.expect("every true member can read the announcement");
         println!("member {}: {:?}", i + 1, String::from_utf8_lossy(&text));
     }

@@ -18,9 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A *small* closed world: 20 possible attributes. This is the
     // paper's worst case — in the real dataset the space is ~10^30.
-    let vocabulary: Vec<Attribute> = (0..20)
-        .map(|i| Attribute::new("interest", format!("topic-{i}")))
-        .collect();
+    let vocabulary: Vec<Attribute> =
+        (0..20).map(|i| Attribute::new("interest", format!("topic-{i}"))).collect();
     let attacker = DictionaryAttacker::new(vocabulary.clone());
 
     let request = RequestProfile::new(

@@ -16,8 +16,18 @@ fn interest(name: &str) -> Attribute {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2013);
     const INTERESTS: [&str; 12] = [
-        "salsa", "jazz", "hiking", "sushi", "cinema", "chess", "running", "poetry", "photography",
-        "surfing", "baking", "astronomy",
+        "salsa",
+        "jazz",
+        "hiking",
+        "sushi",
+        "cinema",
+        "chess",
+        "running",
+        "poetry",
+        "photography",
+        "surfing",
+        "baking",
+        "astronomy",
     ];
 
     // The request: someone who likes salsa AND at least 2 of 3 further
@@ -33,10 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulator::new(SimConfig::default(), 42);
     let initiator_profile =
         Profile::from_attributes(vec![interest("salsa"), interest("jazz"), interest("cinema")]);
-    sim.add_node(
-        (0.0, 0.0),
-        FriendingApp::initiator(initiator_profile, request, config.clone()),
-    );
+    sim.add_node((0.0, 0.0), FriendingApp::initiator(initiator_profile, request, config.clone()));
 
     // Two guaranteed matches placed several hops away.
     for (i, pos) in [(160.0, 160.0), (40.0, 180.0)].into_iter().enumerate() {
@@ -57,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             attrs.push(interest(INTERESTS[rng.gen_range(0..INTERESTS.len())]));
         }
         let pos = (rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0));
-        sim.add_node(pos, FriendingApp::participant(Profile::from_attributes(attrs), config.clone()));
+        sim.add_node(
+            pos,
+            FriendingApp::participant(Profile::from_attributes(attrs), config.clone()),
+        );
     }
 
     sim.start();

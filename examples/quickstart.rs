@@ -3,10 +3,16 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sealed_bottle::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = rand::thread_rng();
+    // A fixed seed keeps the walkthrough reproducible. Real deployments
+    // must draw session secrets from an OS CSPRNG instead — the vendored
+    // rand shim's `thread_rng()` is time-seeded and NOT cryptographically
+    // secure (see vendor/rand).
+    let mut rng = StdRng::seed_from_u64(0x5EA1ED);
 
     // Protocol 1, remainder modulus 11 (a prime larger than the request).
     let config = ProtocolConfig::new(ProtocolKind::P1, 11);
@@ -76,9 +82,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let received = bob_channel.open(&frame)?;
     println!("Bob decrypted: {:?}", String::from_utf8_lossy(&received));
     let frame = bob_channel.seal(b"I'm in. Bring the jazz playlist.");
-    println!(
-        "Alice decrypted: {:?}",
-        String::from_utf8_lossy(&alice_channel.open(&frame)?)
-    );
+    println!("Alice decrypted: {:?}", String::from_utf8_lossy(&alice_channel.open(&frame)?));
     Ok(())
 }

@@ -23,16 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ProtocolConfig::new(ProtocolKind::P2, 37);
 
     // The searcher stands at (12, 7).
-    let (mut searcher, package, region) = create_vicinity_request(
-        &lattice,
-        (12.0, 7.0),
-        range,
-        theta,
-        0,
-        &config,
-        0,
-        &mut rng,
-    );
+    let (mut searcher, package, region) =
+        create_vicinity_request(&lattice, (12.0, 7.0), range, theta, 0, &config, 0, &mut rng);
     println!(
         "Searcher region: {} lattice points, β = {} shared points required",
         region.len(),

@@ -23,9 +23,12 @@
 //! # Quickstart
 //!
 //! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
 //! use sealed_bottle::prelude::*;
 //!
-//! let mut rng = rand::thread_rng();
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(7);
 //! let config = ProtocolConfig::new(ProtocolKind::P1, 11);
 //!
 //! // Looking for a jazz-loving engineer.
@@ -54,7 +57,8 @@
 //!     let frame = a.seal(b"hello!");
 //!     assert_eq!(b.open(&frame).unwrap(), b"hello!");
 //! }
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]

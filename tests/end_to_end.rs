@@ -40,9 +40,15 @@ fn five_hop_friending_all_protocols() {
         let mut sim = Simulator::new(SimConfig::default(), 7);
         sim.add_node((0.0, 0.0), FriendingApp::initiator(noise(0), request(), config.clone()));
         for i in 1..5 {
-            sim.add_node((i as f64 * 45.0, 0.0), FriendingApp::participant(noise(i), config.clone()));
+            sim.add_node(
+                (i as f64 * 45.0, 0.0),
+                FriendingApp::participant(noise(i), config.clone()),
+            );
         }
-        sim.add_node((5.0 * 45.0, 0.0), FriendingApp::participant(matching_profile(), config.clone()));
+        sim.add_node(
+            (5.0 * 45.0, 0.0),
+            FriendingApp::participant(matching_profile(), config.clone()),
+        );
         sim.start();
         sim.run();
         let app = sim.app(NodeId::new(0));
@@ -117,7 +123,8 @@ fn mobility_changes_reachability() {
     // the second round.)
     sim.set_position(target, (40.0, 0.0));
     let mut rng = StdRng::seed_from_u64(1);
-    let (mut initiator2, package) = Initiator::create(&request(), 0, &config, sim.now_us(), &mut rng);
+    let (mut initiator2, package) =
+        Initiator::create(&request(), 0, &config, sim.now_us(), &mut rng);
     let responder = Responder::new(1, matching_profile(), &config);
     let outcome = responder.handle(&package, sim.now_us() + 1_000, &mut rng);
     let ResponderOutcome::Reply { reply, .. } = outcome else {
@@ -130,14 +137,8 @@ fn mobility_changes_reachability() {
 /// friending to succeed from a random snapshot.
 #[test]
 fn random_waypoint_snapshot_friending() {
-    let mut mobility = RandomWaypoint::new(
-        30,
-        Bounds { width: 150.0, height: 150.0 },
-        1.0,
-        2.0,
-        1.0,
-        8,
-    );
+    let mut mobility =
+        RandomWaypoint::new(30, Bounds { width: 150.0, height: 150.0 }, 1.0, 2.0, 1.0, 8);
     mobility.advance(60.0); // let the swarm mix
 
     let config = ProtocolConfig::new(ProtocolKind::P2, 11);
@@ -154,9 +155,8 @@ fn random_waypoint_snapshot_friending() {
     // a match is confirmed iff initiator and target are in the same
     // component.
     let components = sim.connected_components();
-    let same_component = components.iter().any(|c| {
-        c.contains(&NodeId::new(0)) && c.contains(&NodeId::new(29))
-    });
+    let same_component =
+        components.iter().any(|c| c.contains(&NodeId::new(0)) && c.contains(&NodeId::new(29)));
     let matched = !sim.app(NodeId::new(0)).matches().is_empty();
     assert_eq!(matched, same_component, "match iff reachable");
 }
@@ -168,16 +168,8 @@ fn vicinity_search_over_network() {
     let lattice = LatticeConfig::new((0.0, 0.0), 10.0);
     let config = ProtocolConfig::new(ProtocolKind::P2, 37);
     let mut rng = StdRng::seed_from_u64(21);
-    let (mut searcher, package, _region) = create_vicinity_request(
-        &lattice,
-        (0.0, 0.0),
-        20.0,
-        9.0 / 19.0,
-        0,
-        &config,
-        0,
-        &mut rng,
-    );
+    let (mut searcher, package, _region) =
+        create_vicinity_request(&lattice, (0.0, 0.0), 20.0, 9.0 / 19.0, 0, &config, 0, &mut rng);
 
     // Peer A is physically near (10 m), peer B far (300 m) — but note
     // both *hear* the request (radio reaches further than vicinity).

@@ -4,12 +4,12 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sealed_bottle::bignum::BigUint;
 use sealed_bottle::core::protocol::ResponderOutcome;
 use sealed_bottle::crypto::aes::Aes256;
 use sealed_bottle::crypto::hmac::HmacSha256;
 use sealed_bottle::crypto::modes::{cbc_decrypt, cbc_encrypt, Ctr};
 use sealed_bottle::crypto::sha256::Sha256;
-use sealed_bottle::bignum::BigUint;
 use sealed_bottle::prelude::*;
 use sealed_bottle::profile::hint::{HintConstruction, HintMatrix};
 use sealed_bottle::profile::matching::{enumerate_candidate_keys, EnumerationMode, MatchConfig};

@@ -33,9 +33,8 @@ fn matching_profile(vocab: &[Attribute]) -> Profile {
 fn p1_safe_outside_attacker_vocabulary() {
     let mut rng = StdRng::seed_from_u64(1);
     let words = vocab(50);
-    let secret: Vec<Attribute> = (0..4)
-        .map(|i| Attribute::new("secret", format!("s{i}")))
-        .collect();
+    let secret: Vec<Attribute> =
+        (0..4).map(|i| Attribute::new("secret", format!("s{i}"))).collect();
     let request = RequestProfile::new(
         vec![secret[0].clone()],
         vec![secret[1].clone(), secret[2].clone(), secret[3].clone()],
@@ -78,7 +77,8 @@ fn mitm_cannot_hijack_the_channel() {
     let (mut initiator, pkg) = Initiator::create(&request_from(&words), 0, &config, 0, &mut rng);
     let forged = MitmAttacker.substitute_message(&pkg, &mut rng);
     let responder = Responder::new(1, matching_profile(&words), &config);
-    if let ResponderOutcome::Reply { reply, sessions, .. } = responder.handle(&forged, 100, &mut rng)
+    if let ResponderOutcome::Reply { reply, sessions, .. } =
+        responder.handle(&forged, 100, &mut rng)
     {
         // Initiator rejects.
         assert!(initiator.process_reply(&reply, 1_000).is_empty());
@@ -172,7 +172,8 @@ fn reply_replay_across_requests_fails() {
     assert_eq!(first.process_reply(&reply, 1_000).len(), 1);
 
     // Same request profile, new round: fresh x, fresh request id.
-    let (mut second, _pkg2) = Initiator::create(&request_from(&words), 0, &config, 10_000, &mut rng);
+    let (mut second, _pkg2) =
+        Initiator::create(&request_from(&words), 0, &config, 10_000, &mut rng);
     assert!(second.process_reply(&reply, 11_000).is_empty());
     assert_eq!(second.reject_log().wrong_request, 1);
 }

@@ -1,0 +1,534 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! reimplements the `proptest` surface the workspace's property tests
+//! use: the `proptest!` macro grammar (`ident in strategy` parameters),
+//! `prop_assert*` / `prop_assume!`, `any::<T>()`, integer/float range
+//! strategies, a character-class string strategy, `collection::{vec,
+//! btree_set}`, and `sample::Index`.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case reports the generated inputs and
+//!   the seed, but is not minimized.
+//! - **Deterministic seeding.** Each test derives its seed from its
+//!   full path (override with `PROPTEST_SEED`), so CI runs reproduce.
+//! - `PROPTEST_CASES` controls the case count (default 64).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Why a single generated test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; it does not count.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject => write!(f, "rejected by prop_assume!"),
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test driver: seeding, the case loop, and failure reports.
+
+    use super::TestCaseError;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Carries the RNG through one test's generation calls.
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner from an explicit seed.
+        pub fn new(seed: u64) -> Self {
+            TestRunner { rng: StdRng::seed_from_u64(seed) }
+        }
+
+        /// The generator strategies draw from.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+
+    fn env_u64(name: &str) -> Option<u64> {
+        std::env::var(name).ok()?.trim().parse().ok()
+    }
+
+    /// FNV-1a, so every test gets its own deterministic stream.
+    fn hash_name(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `f` until `PROPTEST_CASES` cases pass, panicking on the
+    /// first failure with the generated inputs and the seed.
+    pub fn run<F>(name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRunner) -> (String, Result<(), TestCaseError>),
+    {
+        let cases = env_u64("PROPTEST_CASES").unwrap_or(64).max(1);
+        let seed = env_u64("PROPTEST_SEED").unwrap_or_else(|| hash_name(name));
+        let mut runner = TestRunner::new(seed);
+        let max_attempts = cases.saturating_mul(20).saturating_add(100);
+        let mut accepted = 0u64;
+        let mut attempts = 0u64;
+        while accepted < cases {
+            attempts += 1;
+            if attempts > max_attempts {
+                panic!(
+                    "{name}: too many prop_assume! rejections \
+                     ({accepted}/{cases} cases after {attempts} attempts, seed {seed})"
+                );
+            }
+            let (inputs, outcome) = f(&mut runner);
+            match outcome {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => continue,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "{name}: property failed at case {accepted} (seed {seed}, \
+                     rerun with PROPTEST_SEED={seed}):\n  {msg}\n  inputs: {inputs}"
+                ),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the range implementations.
+
+    use super::test_runner::TestRunner;
+    use rand::{Rng, SampleUniform};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike upstream proptest there is no value tree: strategies
+    /// produce final values directly and nothing shrinks.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            (**self).new_value(runner)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            runner.rng().gen_range(self.clone())
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            runner.rng().gen_range(self.clone())
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the [`Arbitrary`] trait behind it.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use rand::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one unconstrained value.
+        fn arbitrary<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_via_standard!(
+        u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f64, f32
+    );
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.gen()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn new_value(&self, runner: &mut TestRunner) -> A {
+            A::arbitrary(runner.rng())
+        }
+    }
+
+    /// The whole-domain strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod sample {
+    //! Proportional indices into runtime-sized collections.
+
+    use super::arbitrary::Arbitrary;
+    use rand::RngCore;
+
+    /// A position drawn independently of any collection, resolved
+    /// against a length at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// Maps this draw onto `0..len` proportionally.
+        ///
+        /// Panics if `len` is zero, like upstream.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            ((self.raw as u128 * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            Index { raw: rng.next_u64() }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies sized by a `Range<usize>`.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = runner.rng().gen_range(self.size.clone());
+            (0..n).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with size drawn from a range.
+    #[derive(Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates ordered sets whose size lies in `size`.
+    ///
+    /// If the element domain is too small to reach the drawn size, the
+    /// set saturates at whatever distinct values were found (upstream
+    /// rejects instead; no workspace test depends on the difference).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = runner.rng().gen_range(self.size.clone());
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n.saturating_mul(10) + 16 {
+                out.insert(self.element.new_value(runner));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+mod string {
+    //! `&str` patterns as string strategies, for the character-class
+    //! subset the workspace uses: `[class]{m,n}`, `[class]{n}`,
+    //! `[class]*`, `[class]+`, where `class` mixes literals and `a-z`
+    //! ranges.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use rand::Rng;
+
+    struct Pattern {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Pattern {
+        let mut chars = pattern.chars().peekable();
+        assert_eq!(
+            chars.next(),
+            Some('['),
+            "proptest shim supports only `[class]{{m,n}}` string patterns, got {pattern:?}"
+        );
+        let mut alphabet = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        alphabet.push(p);
+                    }
+                    break;
+                }
+                // `a-z` range, unless `-` is the last class member
+                // (then it is a literal, as in `[.,-]`).
+                '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                    let lo = pending.take().unwrap();
+                    let hi =
+                        chars.next().unwrap_or_else(|| panic!("dangling range in {pattern:?}"));
+                    assert!(lo <= hi, "descending range {lo}-{hi} in {pattern:?}");
+                    alphabet.extend(lo..=hi);
+                }
+                '\\' => {
+                    let escaped =
+                        chars.next().unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                    if let Some(p) = pending.replace(escaped) {
+                        alphabet.push(p);
+                    }
+                }
+                _ => {
+                    if let Some(p) = pending.replace(c) {
+                        alphabet.push(p);
+                    }
+                }
+            }
+        }
+        assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+        let (min, max) = match chars.next() {
+            Some('{') => {
+                let rest: String = chars.collect();
+                let body = rest
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"));
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition lower bound"),
+                        hi.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => (0, 32),
+            Some('+') => (1, 32),
+            None => (1, 1),
+            Some(other) => panic!("unsupported pattern suffix {other:?} in {pattern:?}"),
+        };
+        assert!(min <= max, "descending repetition in {pattern:?}");
+        Pattern { alphabet, min, max }
+    }
+
+    impl Strategy for str {
+        type Value = String;
+        fn new_value(&self, runner: &mut TestRunner) -> String {
+            let p = parse(self);
+            let n = runner.rng().gen_range(p.min..=p.max);
+            (0..n).map(|_| p.alphabet[runner.rng().gen_range(0..p.alphabet.len())]).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test module conventionally glob-imports.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from
+/// strategies, `proptest` style: `fn name(x in strategy, ...)`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__pt_runner| {
+                        $(
+                            let $arg = $crate::strategy::Strategy::new_value(
+                                &($strat),
+                                __pt_runner,
+                            );
+                        )*
+                        let mut __pt_inputs = ::std::string::String::new();
+                        $(
+                            __pt_inputs.push_str(&::std::format!(
+                                "{} = {:?}; ",
+                                stringify!($arg),
+                                &$arg
+                            ));
+                        )*
+                        let __pt_outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                            (move || {
+                                $body
+                                ::std::result::Result::Ok(())
+                            })();
+                        (__pt_inputs, __pt_outcome)
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not the
+/// process) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right` ({})\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right` ({})\n  both: {:?}",
+            ::std::format!($($fmt)+),
+            left
+        );
+    }};
+}
+
+/// Discards the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,84 @@
+//! Self-tests for the proptest shim: the macro grammar compiles, cases
+//! actually run, assumptions reject, and failures really fail.
+
+use proptest::prelude::*;
+
+fn even() -> impl Strategy<Value = u64> {
+    0u64..1000
+}
+
+proptest! {
+    /// Doc comments and multiple parameters parse.
+    #[test]
+    fn addition_commutes(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+    }
+
+    #[test]
+    fn ranges_respect_bounds(x in 3usize..17, y in 5u64..=9, f in 0.25f64..0.75) {
+        prop_assert!((3..17).contains(&x));
+        prop_assert!((5..=9).contains(&y));
+        prop_assert!((0.25..0.75).contains(&f), "f out of range: {}", f);
+    }
+
+    #[test]
+    fn helper_strategies_work(v in even(), bytes in proptest::collection::vec(any::<u8>(), 2..5)) {
+        prop_assert!(v < 1000);
+        prop_assert!((2..5).contains(&bytes.len()));
+    }
+
+    #[test]
+    fn assume_rejects_without_failing(a in any::<u8>()) {
+        prop_assume!(a % 2 == 0);
+        prop_assert_eq!(a % 2, 0);
+    }
+
+    #[test]
+    fn string_patterns_match_class(s in "[a-z]{1,8}", t in "[a-zA-Z0-9 .,-]{0,40}") {
+        prop_assert!((1..=8).contains(&s.len()));
+        prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        prop_assert!(t.len() <= 40);
+        prop_assert!(t.chars().all(|c| {
+            c.is_ascii_alphanumeric() || c == ' ' || c == '.' || c == ',' || c == '-'
+        }));
+    }
+
+    #[test]
+    fn sample_index_stays_in_bounds(idx in any::<prop::sample::Index>(), len in 1usize..50) {
+        prop_assert!(idx.index(len) < len);
+    }
+
+    #[test]
+    fn arrays_are_generated(k32 in any::<[u8; 32]>(), k16 in any::<[u8; 16]>()) {
+        prop_assert_eq!(k32.len(), 32);
+        prop_assert_eq!(k16.len(), 16);
+    }
+
+    #[test]
+    fn btree_sets_are_sized(set in proptest::collection::btree_set("[a-z]{1,8}", 1..8)) {
+        prop_assert!(!set.is_empty() && set.len() < 8);
+    }
+
+    /// A falsifiable property must actually fail.
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_are_detected(a in any::<u64>()) {
+        prop_assert!(a % 2 == 0, "odd values must fail this test");
+    }
+
+    /// prop_assert_ne works and reports.
+    #[test]
+    fn ne_assertion(a in 0u32..10) {
+        prop_assert_ne!(a, 10);
+    }
+}
+
+#[test]
+fn values_vary_across_cases() {
+    use proptest::arbitrary::Arbitrary;
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::new(1);
+    let draws: Vec<u64> = (0..16).map(|_| u64::arbitrary(runner.rng())).collect();
+    let distinct: std::collections::BTreeSet<_> = draws.iter().collect();
+    assert!(distinct.len() > 8, "RNG must not be constant: {draws:?}");
+}

@@ -1,0 +1,20 @@
+//! Guards against a silently constant `thread_rng()`: protocol nonces
+//! and channel keys draw from it, so two generators created back to
+//! back must not replay one stream.
+
+use rand::{thread_rng, Rng};
+
+#[test]
+fn successive_thread_rngs_differ() {
+    let a: [u8; 32] = thread_rng().gen();
+    let b: [u8; 32] = thread_rng().gen();
+    assert_ne!(a, b, "two thread_rng() instances produced identical output");
+}
+
+#[test]
+fn one_thread_rng_is_not_constant() {
+    let mut rng = thread_rng();
+    let draws: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+    let distinct: std::collections::BTreeSet<_> = draws.iter().collect();
+    assert!(distinct.len() > 1, "thread_rng stream is constant: {draws:?}");
+}

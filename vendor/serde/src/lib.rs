@@ -1,0 +1,22 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment cannot reach crates.io. The workspace only
+//! *derives* `Serialize`/`Deserialize` today (no serializer backend is
+//! wired up), so this shim keeps the trait names and derive macros
+//! compiling while carrying no serialization machinery. When a real
+//! wire format lands (see ROADMAP "serde wire format"), this crate is
+//! the seam to replace with upstream `serde` or a hand-rolled codec.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialized.
+///
+/// Carries no methods in this shim; the derive emits an empty impl.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+///
+/// Carries no methods in this shim; the derive emits an empty impl.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,149 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored `serde`
+//! shim. The shim traits have no required methods, so the derives only
+//! need the type's name (plus any generics) to emit an empty impl.
+//!
+//! Written against `proc_macro` directly — no `syn`/`quote`, since the
+//! build environment has no crates.io access.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The name, generics, and where-clause of the item being derived for.
+struct Target {
+    name: String,
+    /// Generic parameter list including angle brackets, e.g. `<T, 'a>`,
+    /// or empty.
+    generics: String,
+    /// Bare parameter names for the use-site, e.g. `<T, 'a>`, or empty.
+    generic_args: String,
+    where_clause: String,
+}
+
+/// Extracts the derive target from the token stream of a
+/// `struct`/`enum`/`union` definition.
+fn parse_target(input: TokenStream) -> Target {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility to the item keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    // Collect `<...>` generics if present, tracking bracket depth since
+    // `<` / `>` arrive as individual punctuation tokens.
+    let mut generics = String::new();
+    let mut generic_args = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0usize;
+            let mut params: Vec<String> = Vec::new();
+            let mut current = String::new();
+            let mut in_bound = false;
+            loop {
+                let Some(tok) = tokens.get(i) else {
+                    panic!("serde_derive shim: unterminated generics")
+                };
+                generics.push_str(&tok.to_string());
+                generics.push(' ');
+                match tok {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            if !current.is_empty() {
+                                params.push(current.clone());
+                            }
+                            i += 1;
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        if !current.is_empty() {
+                            params.push(current.clone());
+                        }
+                        current.clear();
+                        in_bound = false;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => in_bound = true,
+                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && !in_bound => {
+                        current.push('\'');
+                    }
+                    TokenTree::Ident(id) if depth == 1 && !in_bound => {
+                        if id.to_string() != "const" {
+                            current.push_str(&id.to_string());
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            generic_args = format!("<{}>", params.join(", "));
+        }
+    }
+
+    // A trailing where-clause (before the body braces / semicolon).
+    let mut where_clause = String::new();
+    let mut in_where = false;
+    for tok in &tokens[i..] {
+        match tok {
+            TokenTree::Ident(id) if id.to_string() == "where" => {
+                in_where = true;
+                where_clause.push_str("where ");
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            t if in_where => {
+                where_clause.push_str(&t.to_string());
+                where_clause.push(' ');
+            }
+            _ => {}
+        }
+    }
+
+    Target { name, generics, generic_args, where_clause }
+}
+
+/// Derives the shim `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let t = parse_target(input);
+    format!(
+        "#[automatically_derived] impl {} ::serde::Serialize for {} {} {} {{}}",
+        t.generics, t.name, t.generic_args, t.where_clause
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl must parse")
+}
+
+/// Derives the shim `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let t = parse_target(input);
+    // Splice the 'de lifetime into the impl generics.
+    let impl_generics = if t.generics.is_empty() {
+        "<'de>".to_string()
+    } else {
+        // `t.generics` starts with `< `; insert after the opening bracket.
+        format!("<'de, {}", &t.generics.trim_start()[1..])
+    };
+    format!(
+        "#[automatically_derived] impl {} ::serde::Deserialize<'de> for {} {} {} {{}}",
+        impl_generics, t.name, t.generic_args, t.where_clause
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl must parse")
+}
