@@ -83,6 +83,10 @@ pub struct FriendingApp {
     config: ProtocolConfig,
     pending_request: Option<RequestProfile>,
     initiator: Option<Initiator>,
+    /// Responder state, built lazily on the first incoming request (the
+    /// node id is only known then) and reused for every request after —
+    /// including whole batches under [`msb_net::sim::SimConfig::batch_delivery`].
+    responder: Option<Responder>,
     sessions: Vec<SessionSecret>,
     flood: FloodState,
     guard: RateGuard<u32>,
@@ -102,6 +106,7 @@ impl FriendingApp {
             config,
             pending_request: None,
             initiator: None,
+            responder: None,
             sessions: Vec::new(),
             flood: FloodState::new(),
             // Default: at most 3 requests per initiator per 10 s.
@@ -124,6 +129,7 @@ impl FriendingApp {
     /// Attaches a Protocol-3 entropy budget.
     pub fn with_entropy_budget(mut self, model: EntropyModel, phi: f64) -> Self {
         self.entropy = Some((model, phi));
+        self.responder = None; // rebuild with the new budget
         self
     }
 
@@ -148,37 +154,64 @@ impl FriendingApp {
         &self.sessions
     }
 
-    fn handle_request(&mut self, ctx: &mut NodeCtx<'_>, bytes: &[u8]) {
+    /// The cached responder for this node, built on first use.
+    fn responder(&mut self, my_id: u32) -> &Responder {
+        if self.responder.is_none() {
+            let mut responder = Responder::new(my_id, self.profile.clone(), &self.config);
+            if let Some((model, phi)) = &self.entropy {
+                responder = responder.with_entropy_budget(model.clone(), *phi);
+            }
+            self.responder = Some(responder);
+        }
+        self.responder.as_ref().expect("just built")
+    }
+
+    /// Admission control for one incoming request: decode, own-echo drop,
+    /// flood classification, per-initiator rate guard. Draws no
+    /// randomness, so running it for a whole chunk before any responder
+    /// work (the batched path) leaves the RNG stream identical to the
+    /// one-at-a-time path.
+    fn admit_request(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        bytes: &[u8],
+    ) -> Option<(RequestPackage, FloodDecision)> {
         let package = match RequestPackage::decode(bytes) {
             Ok(p) => p,
             Err(error) => {
                 self.events.push(AppEvent::DecodeFailed { error });
-                return;
+                return None;
             }
         };
         let my_id = ctx.node_id().index() as u32;
         if package.initiator == my_id {
-            return; // own flood echo
+            return None; // own flood echo
         }
         let request_id = package.request_id();
         let decision =
             self.flood.classify(request_id, package.ttl, ctx.now_us(), package.expires_us);
         match decision {
-            FloodDecision::Duplicate | FloodDecision::Expired => return,
+            FloodDecision::Duplicate | FloodDecision::Expired => return None,
             FloodDecision::Relay | FloodDecision::Absorb => {}
         }
         // DoS guard: drop over-chatty initiators before any crypto work.
         if !self.guard.allow(package.initiator, ctx.now_us()) {
             self.events.push(AppEvent::RateLimited { from: package.initiator });
-            return;
+            return None;
         }
+        Some((package, decision))
+    }
 
-        // Act as responder.
-        let mut responder = Responder::new(my_id, self.profile.clone(), &self.config);
-        if let Some((model, phi)) = &self.entropy {
-            responder = responder.with_entropy_budget(model.clone(), *phi);
-        }
-        let outcome = responder.handle(&package, ctx.now_us(), ctx.rng());
+    /// Post-responder bookkeeping for one request: candidate events, the
+    /// modelled computation delay before the reply, and the flood relay.
+    fn complete_request(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        package: &RequestPackage,
+        decision: FloodDecision,
+        outcome: ResponderOutcome,
+    ) {
+        let request_id = package.request_id();
         let mut verified_match = false;
         if let ResponderOutcome::Reply { reply, sessions, verified, stats } = outcome {
             self.events.push(AppEvent::BecameCandidate { request_id, keys: stats.distinct_keys });
@@ -196,11 +229,58 @@ impl FriendingApp {
         if decision == FloodDecision::Relay && !verified_match {
             let mut fwd = package.clone();
             fwd.ttl -= 1;
-            let mut payload = Vec::with_capacity(1 + bytes.len());
+            let encoded = fwd.encode();
+            let mut payload = Vec::with_capacity(1 + encoded.len());
             payload.push(TAG_REQUEST);
-            payload.extend_from_slice(&fwd.encode());
+            payload.extend_from_slice(&encoded);
             ctx.broadcast(payload);
             self.events.push(AppEvent::Relayed { request_id });
+        }
+    }
+
+    fn handle_request(&mut self, ctx: &mut NodeCtx<'_>, bytes: &[u8]) {
+        let Some((package, decision)) = self.admit_request(ctx, bytes) else {
+            return;
+        };
+        let my_id = ctx.node_id().index() as u32;
+        let now = ctx.now_us();
+        let outcome = self.responder(my_id).handle(&package, now, ctx.rng());
+        self.complete_request(ctx, &package, decision, outcome);
+    }
+
+    /// Batched request handling: admit the whole chunk, run the cached
+    /// responder over it in one [`Responder::handle_batch`] call, then
+    /// complete each request in order.
+    ///
+    /// Within the responder pass, randomness is drawn in package order,
+    /// exactly like consecutive [`Responder::handle`] calls (that
+    /// equivalence is `handle_batch`'s contract and is what the
+    /// differential e2e test pins down). At the *simulator* level,
+    /// though, batched delivery defers every queued action — and its
+    /// jitter/loss draws from the shared sim RNG — until after the whole
+    /// chunk, where unbatched delivery interleaves them between
+    /// messages. A run with `batch_delivery` on is therefore
+    /// deterministic and self-consistent, but not byte-identical to the
+    /// unbatched run of the same seed when a chunk mixes relays with
+    /// later responder draws; `tests/determinism.rs` compares like with
+    /// like and checks decisions, not bytes, across the flag.
+    fn handle_request_run(&mut self, ctx: &mut NodeCtx<'_>, msgs: &[(NodeId, Vec<u8>)]) {
+        let mut packages = Vec::with_capacity(msgs.len());
+        let mut decisions = Vec::with_capacity(msgs.len());
+        for (_, payload) in msgs {
+            if let Some((package, decision)) = self.admit_request(ctx, &payload[1..]) {
+                packages.push(package);
+                decisions.push(decision);
+            }
+        }
+        if packages.is_empty() {
+            return;
+        }
+        let my_id = ctx.node_id().index() as u32;
+        let now = ctx.now_us();
+        let outcomes = self.responder(my_id).handle_batch(&packages, now, ctx.rng());
+        for ((package, decision), outcome) in packages.iter().zip(decisions).zip(outcomes) {
+            self.complete_request(ctx, package, decision, outcome);
         }
     }
 
@@ -250,6 +330,32 @@ impl NodeApp for FriendingApp {
             TAG_REQUEST => self.handle_request(ctx, rest),
             TAG_REPLY => self.handle_reply(ctx, rest),
             _ => {}
+        }
+    }
+
+    /// Batch hook ([`msb_net::sim::SimConfig::batch_delivery`]): runs of
+    /// same-instant requests go through the batched responder path in one
+    /// [`Responder::handle_batch`] call; everything else falls back to
+    /// per-message handling in arrival order.
+    fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, batch: &[(NodeId, Vec<u8>)]) {
+        let mut i = 0;
+        while i < batch.len() {
+            let (from, payload) = &batch[i];
+            if payload.first() == Some(&TAG_REQUEST) {
+                let mut j = i + 1;
+                while j < batch.len() && batch[j].1.first() == Some(&TAG_REQUEST) {
+                    j += 1;
+                }
+                if j - i == 1 {
+                    self.handle_request(ctx, &payload[1..]);
+                } else {
+                    self.handle_request_run(ctx, &batch[i..j]);
+                }
+                i = j;
+            } else {
+                self.on_message(ctx, *from, payload);
+                i += 1;
+            }
         }
     }
 

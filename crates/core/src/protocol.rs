@@ -23,11 +23,14 @@ use msb_crypto::modes::Ctr;
 use msb_profile::attribute::{Attribute, AttributeHash};
 use msb_profile::entropy::{select_within_budget, EntropyModel};
 use msb_profile::hint::HintConstruction;
-use msb_profile::matching::{enumerate_candidate_keys_with_stats, MatchConfig, MatchStats};
+use msb_profile::matching::parallel::enumerate_candidate_keys_with_stats_par;
+use msb_profile::matching::{MatchConfig, MatchStats};
 use msb_profile::profile::{Profile, ProfileKey, ProfileVector};
 use msb_profile::request::{RequestProfile, RequestVector};
 use rand::Rng;
 use std::collections::HashMap;
+
+pub use msb_profile::matching::parallel::Parallelism;
 
 /// Public confirmation tag sealed into Protocol-1 bottles.
 pub const CONFIRMATION: [u8; 16] = *b"MSB/CONFIRM/v1.0";
@@ -85,6 +88,10 @@ pub struct ProtocolConfig {
     pub match_config: MatchConfig,
     /// Hint-matrix construction.
     pub hint_construction: HintConstruction,
+    /// Worker threads for the responder's candidate enumeration and
+    /// (Protocol 1) key trials. The parallel path is bit-identical to the
+    /// sequential one; the default honours `MSB_THREADS`.
+    pub parallelism: Parallelism,
 }
 
 impl ProtocolConfig {
@@ -100,6 +107,7 @@ impl ProtocolConfig {
             max_reply_set: 8,
             match_config: MatchConfig::default(),
             hint_construction: HintConstruction::Cauchy,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -467,11 +475,12 @@ impl Responder {
         if !package.remainder.fast_check(&self.vector) {
             return ResponderOutcome::NotCandidate;
         }
-        let (keys, stats) = enumerate_candidate_keys_with_stats(
+        let (keys, stats) = enumerate_candidate_keys_with_stats_par(
             &self.vector,
             &package.remainder,
             package.hint.as_ref(),
             &self.config.match_config,
+            self.config.parallelism,
         );
         if keys.is_empty() {
             return ResponderOutcome::NotCandidate;
@@ -482,20 +491,68 @@ impl Responder {
 
         match kind {
             ProtocolKind::P1 => {
-                for key in &keys {
-                    if let Some(x) =
+                // Try each candidate key against the bottle; across worker
+                // threads for large key sets (dictionary-size responders),
+                // always keeping the sequential result: the first
+                // verifying key in canonical key order.
+                let threads = self.config.parallelism.threads();
+                let hit: Option<(usize, [u8; 32])> = if threads == 1 || keys.len() < 2 * threads {
+                    keys.iter().enumerate().find_map(|(i, key)| {
                         open_message(&key.key, kind, &package.nonce, &package.ciphertext)
-                    {
-                        let ack = make_ack(&x, &y, rng);
-                        let reply = Reply {
-                            request_id: package.request_id(),
-                            responder: self.id,
-                            acks: vec![ack],
-                        };
-                        let sessions =
-                            vec![SessionSecret { x, y, recovered: key.recovered.clone() }];
-                        return ResponderOutcome::Reply { reply, sessions, verified: true, stats };
-                    }
+                            .map(|x| (i, x))
+                    })
+                } else {
+                    // One thread scope over the whole key range. Workers
+                    // scan round-robin in increasing index order and
+                    // publish the smallest verifying index found; peers
+                    // stop once their next index can no longer beat it.
+                    // The global minimum hit index is the sequential
+                    // loop's early exit, so the result is deterministic
+                    // — first verifying key in canonical order — while a
+                    // no-match dictionary responder pays exactly one
+                    // spawn per worker.
+                    use std::sync::atomic::{AtomicUsize, Ordering};
+                    let best = AtomicUsize::new(usize::MAX);
+                    let keys_ref = &keys;
+                    let best_ref = &best;
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = (0..threads)
+                            .map(|w| {
+                                s.spawn(move || {
+                                    let mut i = w;
+                                    while i < keys_ref.len() && i < best_ref.load(Ordering::Relaxed)
+                                    {
+                                        if let Some(x) = open_message(
+                                            &keys_ref[i].key,
+                                            kind,
+                                            &package.nonce,
+                                            &package.ciphertext,
+                                        ) {
+                                            best_ref.fetch_min(i, Ordering::Relaxed);
+                                            return Some((i, x));
+                                        }
+                                        i += threads;
+                                    }
+                                    None
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .filter_map(|h| h.join().expect("P1 trial worker panicked"))
+                            .min_by_key(|&(i, _)| i)
+                    })
+                };
+                if let Some((i, x)) = hit {
+                    let ack = make_ack(&x, &y, rng);
+                    let reply = Reply {
+                        request_id: package.request_id(),
+                        responder: self.id,
+                        acks: vec![ack],
+                    };
+                    let sessions =
+                        vec![SessionSecret { x, y, recovered: keys[i].recovered.clone() }];
+                    return ResponderOutcome::Reply { reply, sessions, verified: true, stats };
                 }
                 ResponderOutcome::NoVerifiedMatch
             }
@@ -530,6 +587,23 @@ impl Responder {
                 ResponderOutcome::Reply { reply, sessions, verified: false, stats }
             }
         }
+    }
+
+    /// Processes a chunk of request packages in arrival order.
+    ///
+    /// Semantically identical to calling [`Responder::handle`] once per
+    /// package with the same `rng` — randomness is drawn in package
+    /// order — so batched and one-at-a-time pipelines produce the same
+    /// wire bytes. Batching amortises the responder's fixed per-request
+    /// setup in the application layer (one responder serves the whole
+    /// chunk) and is the unit the parallel enumeration path works on.
+    pub fn handle_batch<R: Rng + ?Sized>(
+        &self,
+        packages: &[RequestPackage],
+        now_us: u64,
+        rng: &mut R,
+    ) -> Vec<ResponderOutcome> {
+        packages.iter().map(|package| self.handle(package, now_us, rng)).collect()
     }
 
     /// The attributes a candidate key would gamble: the user's own

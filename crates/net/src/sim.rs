@@ -44,6 +44,12 @@ pub struct SimConfig {
     pub jitter_us: u64,
     /// Probability that any single transmission is lost.
     pub loss_rate: f64,
+    /// Coalesce same-instant deliveries to one node into a single
+    /// [`NodeApp::on_batch`] call, letting applications process message
+    /// chunks (e.g. batched responder handling) instead of one at a
+    /// time. Off by default: the unbatched event loop is the historical
+    /// reference behaviour, bit-for-bit.
+    pub batch_delivery: bool,
 }
 
 impl Default for SimConfig {
@@ -54,6 +60,7 @@ impl Default for SimConfig {
             per_meter_latency_us: 3.3e-3, // ~speed of light, negligible
             jitter_us: 200,
             loss_rate: 0.0,
+            batch_delivery: false,
         }
     }
 }
@@ -66,6 +73,16 @@ pub trait NodeApp {
     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, payload: &[u8]);
     /// Called for timers set through [`NodeCtx::set_timer`].
     fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
+    /// Called instead of [`NodeApp::on_message`] when
+    /// [`SimConfig::batch_delivery`] is on and several messages reach
+    /// this node at the same instant. The default forwards each message
+    /// in arrival order, so enabling batching changes nothing for apps
+    /// that don't override this.
+    fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, batch: &[(NodeId, Vec<u8>)]) {
+        for (from, payload) in batch {
+            self.on_message(ctx, *from, payload);
+        }
+    }
 }
 
 /// What a node may do while handling an event.
@@ -278,14 +295,46 @@ impl<A: NodeApp> Simulator<A> {
         self.now_us = ev.at_us;
         match ev.kind {
             EventKind::Deliver { to, from, payload } => {
-                self.metrics.delivered += 1;
-                self.with_ctx(to, |app, ctx| app.on_message(ctx, from, &payload));
+                if self.config.batch_delivery {
+                    let batch = self.drain_batch(to, from, payload);
+                    self.metrics.delivered += batch.len() as u64;
+                    self.with_ctx(to, |app, ctx| app.on_batch(ctx, &batch));
+                } else {
+                    self.metrics.delivered += 1;
+                    self.with_ctx(to, |app, ctx| app.on_message(ctx, from, &payload));
+                }
             }
             EventKind::Timer { node, token } => {
                 self.with_ctx(node, |app, ctx| app.on_timer(ctx, token));
             }
         }
         true
+    }
+
+    /// Pops the run of queued deliveries that share this event's instant
+    /// and destination. Only *consecutive* queue entries are coalesced,
+    /// preserving the global (time, sequence) processing order exactly.
+    fn drain_batch(
+        &mut self,
+        to: NodeId,
+        from: NodeId,
+        payload: Vec<u8>,
+    ) -> Vec<(NodeId, Vec<u8>)> {
+        let mut batch = vec![(from, payload)];
+        while let Some(Reverse(next)) = self.queue.peek() {
+            let same = next.at_us == self.now_us
+                && matches!(&next.kind, EventKind::Deliver { to: t, .. } if *t == to);
+            if !same {
+                break;
+            }
+            let Some(Reverse(Event { kind: EventKind::Deliver { from, payload, .. }, .. })) =
+                self.queue.pop()
+            else {
+                unreachable!("peeked a same-instant delivery");
+            };
+            batch.push((from, payload));
+        }
+        batch
     }
 
     /// Injects a message from "outside" the network (tests, harnesses).
@@ -656,6 +705,47 @@ mod tests {
         sim.start();
         sim.run_until(5_000);
         assert_eq!(sim.now_us(), 5_000);
+    }
+
+    #[test]
+    fn batch_delivery_coalesces_same_instant_messages() {
+        struct BatchRecorder {
+            batches: Vec<usize>,
+        }
+        impl NodeApp for BatchRecorder {
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {
+                panic!("batch mode must route through on_batch");
+            }
+            fn on_batch(&mut self, _: &mut NodeCtx<'_>, batch: &[(NodeId, Vec<u8>)]) {
+                self.batches.push(batch.len());
+            }
+        }
+        let config = SimConfig { batch_delivery: true, ..SimConfig::default() };
+        let mut sim = Simulator::new(config, 1);
+        let id = sim.add_node((0.0, 0.0), BatchRecorder { batches: Vec::new() });
+        for i in 0..3u8 {
+            sim.inject(id, NodeId::new(9), vec![i]);
+        }
+        sim.run();
+        assert_eq!(sim.app(id).batches, vec![3]);
+        assert_eq!(sim.metrics().delivered, 3);
+    }
+
+    #[test]
+    fn default_on_batch_preserves_message_order() {
+        // An app that does not override on_batch sees the same per-message
+        // callbacks, in the same order, whether batching is on or off.
+        let run = |batch_delivery: bool| -> Vec<(NodeId, Vec<u8>)> {
+            let config = SimConfig { batch_delivery, ..SimConfig::default() };
+            let mut sim = Simulator::new(config, 1);
+            let id = sim.add_node((0.0, 0.0), Recorder::new());
+            for i in 0..4u8 {
+                sim.inject(id, NodeId::new(7), vec![i, i + 1]);
+            }
+            sim.run();
+            sim.app(id).heard.clone()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

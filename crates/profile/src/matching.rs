@@ -27,6 +27,33 @@
 //! [`EnumerationMode::Strict`] reproduces the paper's behaviour exactly
 //! and is used by the evaluation harness where the paper's counts are
 //! being reproduced.
+//!
+//! ## Work splitting and deterministic parallelism
+//!
+//! The backtracking search is expressed as a [`SearchSpace`] (the
+//! read-only problem description) walked by a [`Cursor`] (one partial
+//! assignment). Every enumeration — sequential or parallel — visits
+//! completed assignments in one *canonical order*: positions are filled
+//! left to right (necessary block, then optional block), candidate user
+//! attributes are tried in ascending index order, and the `unknown`
+//! branch of an optional position is tried last. The sequential API
+//! walks the whole space from the root cursor.
+//!
+//! The [`parallel`] submodule splits the same space statically: it
+//! collects, in canonical order, every cursor at some shallow depth `d`
+//! (a *prefix* of the first `d` positions), and hands prefixes to
+//! `std::thread::scope` workers round-robin. Because the subtrees below
+//! two distinct prefixes are disjoint, and the concatenation of their
+//! assignment streams *in prefix order* is exactly the canonical order,
+//! merging per-prefix results by prefix index reproduces the sequential
+//! output bit for bit — same candidate keys, same order, same
+//! deduplication, same [`MatchStats`] counters, same `max_assignments`
+//! truncation point — independent of thread count or scheduling. The
+//! `max_assignments` cap is replayed exactly via a cheap counting pass
+//! (structural enumeration only, no hint solves) that fixes each
+//! prefix's budget before any expensive per-assignment work happens.
+
+pub mod parallel;
 
 use crate::attribute::AttributeHash;
 use crate::hint::HintMatrix;
@@ -89,7 +116,7 @@ impl CandidateAssignment {
 
 /// A derived candidate profile key together with the evidence that
 /// produced it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CandidateKey {
     /// The candidate profile key `K_c = H(H'_c)`.
     pub key: ProfileKey,
@@ -168,28 +195,12 @@ pub fn enumerate_candidate_keys_with_stats(
 
     visit_assignments(user, rv, config.mode, config.max_assignments, &mut |a| {
         stats.assignments += 1;
-        // Build the optional-block partial assignment.
-        let optional_partial: Vec<Option<AttributeHash>> =
-            a.optional.iter().map(|slot| slot.map(|idx| user_hashes[idx])).collect();
-
-        let optional_full: Option<Vec<AttributeHash>> = match hint {
-            Some(h) => {
-                stats.solves += 1;
-                h.solve(&optional_partial)
-            }
-            None => {
-                // No hint: only fully-known assignments can be completed.
-                optional_partial.into_iter().collect()
-            }
-        };
-
-        if let Some(optional_full) = optional_full {
-            let mut recovered: Vec<AttributeHash> =
-                a.necessary.iter().map(|&idx| user_hashes[idx]).collect();
-            recovered.extend(optional_full);
-            let key = ProfileKey::from_hashes(&recovered);
-            if !keys.iter().any(|k| k.key == key) {
-                keys.push(CandidateKey { key, recovered, used_indices: a.used_indices() });
+        if hint.is_some() {
+            stats.solves += 1;
+        }
+        if let Some(ck) = complete_assignment(user_hashes, a, hint) {
+            if !keys.iter().any(|k| k.key == ck.key) {
+                keys.push(ck);
             }
         }
         true
@@ -198,6 +209,34 @@ pub fn enumerate_candidate_keys_with_stats(
     stats.distinct_keys = keys.len();
     stats.truncated = stats.assignments >= config.max_assignments;
     (keys, stats)
+}
+
+/// Completes one structurally valid assignment into a candidate key:
+/// fills the optional block through the hint matrix (or requires it fully
+/// known when there is none) and hashes the recovered vector.
+///
+/// Shared by the sequential and parallel paths so both derive keys
+/// through the same code.
+pub(crate) fn complete_assignment(
+    user_hashes: &[AttributeHash],
+    a: &CandidateAssignment,
+    hint: Option<&HintMatrix>,
+) -> Option<CandidateKey> {
+    // Build the optional-block partial assignment.
+    let optional_partial: Vec<Option<AttributeHash>> =
+        a.optional.iter().map(|slot| slot.map(|idx| user_hashes[idx])).collect();
+
+    let optional_full: Vec<AttributeHash> = match hint {
+        Some(h) => h.solve(&optional_partial),
+        // No hint: only fully-known assignments can be completed.
+        None => optional_partial.into_iter().collect(),
+    }?;
+
+    let mut recovered: Vec<AttributeHash> =
+        a.necessary.iter().map(|&idx| user_hashes[idx]).collect();
+    recovered.extend(optional_full);
+    let key = ProfileKey::from_hashes(&recovered);
+    Some(CandidateKey { key, recovered, used_indices: a.used_indices() })
 }
 
 /// Core backtracking enumerator. Calls `visit` for each completed
@@ -210,124 +249,207 @@ fn visit_assignments(
     max_assignments: usize,
     visit: &mut dyn FnMut(&CandidateAssignment) -> bool,
 ) {
-    let user_rems: Vec<u64> = user.remainders(rv.p());
-    let mk = user_rems.len();
-    let alpha = rv.alpha();
-    let opt_len = rv.optional().len();
-    let gamma = rv.gamma();
+    let space = SearchSpace::new(user, rv, mode);
+    let mut remaining = max_assignments;
+    let mut cur = space.root();
+    space.visit_from(&mut cur, &mut remaining, &mut |c| visit(&c.assignment()));
+}
 
-    // Strict mode: unknown allowed only where H_k(r) = ∅ globally.
-    let subset_empty: Vec<bool> = rv.optional().iter().map(|&r| !user_rems.contains(&r)).collect();
+/// Read-only description of one enumeration problem: the user's
+/// remainders against a request's remainder vector, plus the mode limits.
+/// All walks over the space — from the root or from a mid-depth prefix —
+/// produce assignments in the same canonical order (see the module docs).
+pub(crate) struct SearchSpace<'a> {
+    user_rems: Vec<u64>,
+    nec_rems: &'a [u64],
+    opt_rems: &'a [u64],
+    /// Strict mode: unknown allowed only where H_k(r) = ∅ globally.
+    subset_empty: Vec<bool>,
+    mode: EnumerationMode,
+    gamma: usize,
+    mk: usize,
+}
 
-    struct State<'a> {
-        user_rems: &'a [u64],
-        nec_rems: &'a [u64],
-        opt_rems: &'a [u64],
-        subset_empty: &'a [bool],
+/// One partial assignment: the first `filled()` positions of the search
+/// space are decided. Cloneable so a shallow prefix can be handed to a
+/// worker thread, which resumes the walk exactly where the prefix stops.
+#[derive(Debug, Clone)]
+pub(crate) struct Cursor {
+    used: Vec<bool>,
+    necessary: Vec<usize>,
+    optional: Vec<Option<usize>>,
+    /// Scan start for the next position (order consistency, Eq. 8).
+    start: usize,
+    unknowns: usize,
+}
+
+impl Cursor {
+    fn filled(&self) -> usize {
+        self.necessary.len() + self.optional.len()
+    }
+
+    /// Snapshot of the cursor as a completed/partial assignment.
+    pub(crate) fn assignment(&self) -> CandidateAssignment {
+        CandidateAssignment { necessary: self.necessary.clone(), optional: self.optional.clone() }
+    }
+}
+
+impl<'a> SearchSpace<'a> {
+    pub(crate) fn new(
+        user: &ProfileVector,
+        rv: &'a RemainderVector,
         mode: EnumerationMode,
-        gamma: usize,
-        mk: usize,
-        used: Vec<bool>,
-        necessary: Vec<usize>,
-        optional: Vec<Option<usize>>,
-        visited: usize,
-        max: usize,
-        stopped: bool,
-    }
-
-    let mut st = State {
-        user_rems: &user_rems,
-        nec_rems: rv.necessary(),
-        opt_rems: rv.optional(),
-        subset_empty: &subset_empty,
-        mode,
-        gamma,
-        mk,
-        used: vec![false; mk],
-        necessary: Vec::with_capacity(alpha),
-        optional: Vec::with_capacity(opt_len),
-        visited: 0,
-        max: max_assignments,
-        stopped: false,
-    };
-
-    fn rec_optional(
-        st: &mut State<'_>,
-        pos: usize,
-        start: usize,
-        unknowns: usize,
-        visit: &mut dyn FnMut(&CandidateAssignment) -> bool,
-    ) {
-        if st.stopped {
-            return;
-        }
-        if pos == st.opt_rems.len() {
-            st.visited += 1;
-            let a = CandidateAssignment {
-                necessary: st.necessary.clone(),
-                optional: st.optional.clone(),
-            };
-            if !visit(&a) || st.visited >= st.max {
-                st.stopped = true;
-            }
-            return;
-        }
-        // Known options.
-        for x in start..st.mk {
-            if st.used[x] || st.user_rems[x] != st.opt_rems[pos] {
-                continue;
-            }
-            st.used[x] = true;
-            st.optional.push(Some(x));
-            rec_optional(st, pos + 1, x + 1, unknowns, visit);
-            st.optional.pop();
-            st.used[x] = false;
-            if st.stopped {
-                return;
-            }
-        }
-        // Unknown option.
-        let unknown_allowed = unknowns < st.gamma
-            && match st.mode {
-                EnumerationMode::Exhaustive => true,
-                EnumerationMode::Strict => st.subset_empty[pos],
-            };
-        if unknown_allowed {
-            st.optional.push(None);
-            rec_optional(st, pos + 1, start, unknowns + 1, visit);
-            st.optional.pop();
+    ) -> Self {
+        let user_rems: Vec<u64> = user.remainders(rv.p());
+        let subset_empty: Vec<bool> =
+            rv.optional().iter().map(|&r| !user_rems.contains(&r)).collect();
+        let mk = user_rems.len();
+        SearchSpace {
+            user_rems,
+            nec_rems: rv.necessary(),
+            opt_rems: rv.optional(),
+            subset_empty,
+            mode,
+            gamma: rv.gamma(),
+            mk,
         }
     }
 
-    fn rec_necessary(
-        st: &mut State<'_>,
-        pos: usize,
-        start: usize,
-        visit: &mut dyn FnMut(&CandidateAssignment) -> bool,
-    ) {
-        if st.stopped {
-            return;
-        }
-        if pos == st.nec_rems.len() {
-            rec_optional(st, 0, 0, 0, visit);
-            return;
-        }
-        for x in start..st.mk {
-            if st.used[x] || st.user_rems[x] != st.nec_rems[pos] {
-                continue;
-            }
-            st.used[x] = true;
-            st.necessary.push(x);
-            rec_necessary(st, pos + 1, x + 1, visit);
-            st.necessary.pop();
-            st.used[x] = false;
-            if st.stopped {
-                return;
-            }
+    /// Total number of positions (α + β + γ); every completed assignment
+    /// decides exactly this many.
+    pub(crate) fn depth(&self) -> usize {
+        self.nec_rems.len() + self.opt_rems.len()
+    }
+
+    /// The empty prefix.
+    pub(crate) fn root(&self) -> Cursor {
+        Cursor {
+            used: vec![false; self.mk],
+            necessary: Vec::with_capacity(self.nec_rems.len()),
+            optional: Vec::with_capacity(self.opt_rems.len()),
+            start: 0,
+            unknowns: 0,
         }
     }
 
-    rec_necessary(&mut st, 0, 0, visit);
+    /// Applies every legal move at the cursor's next position in canonical
+    /// order — ascending user-attribute index, then (optional positions
+    /// only) the unknown branch — invoking `f` on each extended cursor and
+    /// undoing the move afterwards. Returns `false` as soon as `f` does.
+    fn for_each_child(&self, cur: &mut Cursor, f: &mut dyn FnMut(&mut Cursor) -> bool) -> bool {
+        let pos = cur.filled();
+        debug_assert!(pos < self.depth());
+        let scan_start = cur.start;
+        let alpha = self.nec_rems.len();
+        if pos < alpha {
+            let want = self.nec_rems[pos];
+            for x in scan_start..self.mk {
+                if cur.used[x] || self.user_rems[x] != want {
+                    continue;
+                }
+                cur.used[x] = true;
+                cur.necessary.push(x);
+                // The optional block restarts its index scan (Eq. 8 holds
+                // per sorted block).
+                cur.start = if pos + 1 == alpha { 0 } else { x + 1 };
+                let go_on = f(cur);
+                cur.necessary.pop();
+                cur.used[x] = false;
+                cur.start = scan_start;
+                if !go_on {
+                    return false;
+                }
+            }
+        } else {
+            let opos = pos - alpha;
+            let want = self.opt_rems[opos];
+            for x in scan_start..self.mk {
+                if cur.used[x] || self.user_rems[x] != want {
+                    continue;
+                }
+                cur.used[x] = true;
+                cur.optional.push(Some(x));
+                cur.start = x + 1;
+                let go_on = f(cur);
+                cur.optional.pop();
+                cur.used[x] = false;
+                cur.start = scan_start;
+                if !go_on {
+                    return false;
+                }
+            }
+            let unknown_allowed = cur.unknowns < self.gamma
+                && match self.mode {
+                    EnumerationMode::Exhaustive => true,
+                    EnumerationMode::Strict => self.subset_empty[opos],
+                };
+            if unknown_allowed {
+                cur.optional.push(None);
+                cur.unknowns += 1;
+                // An unknown position does not consume an index: the next
+                // position scans from the same start.
+                let go_on = f(cur);
+                cur.unknowns -= 1;
+                cur.optional.pop();
+                if !go_on {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Depth-first visit of every completed assignment reachable from
+    /// `cur`, in canonical order. Each visit decrements `remaining`;
+    /// returns `false` once the budget is exhausted or the visitor aborts.
+    /// (Matching the historical cap semantics, the assignment that
+    /// exhausts the budget is still visited.)
+    pub(crate) fn visit_from(
+        &self,
+        cur: &mut Cursor,
+        remaining: &mut usize,
+        visit: &mut dyn FnMut(&Cursor) -> bool,
+    ) -> bool {
+        if cur.filled() == self.depth() {
+            *remaining = remaining.saturating_sub(1);
+            return visit(cur) && *remaining > 0;
+        }
+        self.for_each_child(cur, &mut |c| self.visit_from(c, remaining, visit))
+    }
+
+    /// Collects, in canonical order, every cursor with exactly the first
+    /// `depth` positions decided. Returns `None` when more than `limit`
+    /// prefixes exist (the caller falls back to a shallower depth).
+    ///
+    /// The set is *complete*: the subtrees below the returned prefixes
+    /// partition all assignments of the space.
+    pub(crate) fn prefixes_at_depth(&self, depth: usize, limit: usize) -> Option<Vec<Cursor>> {
+        debug_assert!(depth <= self.depth());
+        let mut out = Vec::new();
+        let mut cur = self.root();
+        if self.collect_prefixes(&mut cur, depth, limit, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn collect_prefixes(
+        &self,
+        cur: &mut Cursor,
+        depth: usize,
+        limit: usize,
+        out: &mut Vec<Cursor>,
+    ) -> bool {
+        if cur.filled() == depth {
+            if out.len() >= limit {
+                return false;
+            }
+            out.push(cur.clone());
+            return true;
+        }
+        self.for_each_child(cur, &mut |c| self.collect_prefixes(c, depth, limit, out))
+    }
 }
 
 #[cfg(test)]

@@ -3,11 +3,16 @@
 
 use msb_profile::attribute::Attribute;
 use msb_profile::entropy::EntropyModel;
-use msb_profile::hint::HintConstruction;
+use msb_profile::hint::{HintConstruction, HintMatrix};
+use msb_profile::matching::parallel::{
+    enumerate_assignments_par, enumerate_candidate_keys_with_stats_par, Parallelism,
+};
 use msb_profile::matching::{
-    enumerate_candidate_keys, has_candidate_assignment, EnumerationMode, MatchConfig,
+    enumerate_assignments, enumerate_candidate_keys, enumerate_candidate_keys_with_stats,
+    has_candidate_assignment, EnumerationMode, MatchConfig,
 };
 use msb_profile::profile::Profile;
+use msb_profile::remainder::RemainderVector;
 use msb_profile::request::RequestProfile;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -125,6 +130,74 @@ proptest! {
             p1.vector().profile_key(),
             p2.vector().profile_key()
         );
+    }
+
+    /// Differential: parallel enumeration (1, 2, 4, 8 threads) returns
+    /// exactly the sequential candidate-key set — same keys, same order,
+    /// same `_with_stats` counters, same truncation — and the parallel
+    /// assignment list is the sequential one, for random profiles and
+    /// remainder vectors in both enumeration modes.
+    #[test]
+    fn parallel_enumeration_identical_to_sequential(
+        alpha in 0usize..3,
+        opt_count in 1usize..5,
+        beta_idx in 0usize..4,
+        owned_mask in 0u32..256,
+        noise in 0usize..8,
+        p_idx in 0usize..3,
+        cap_idx in 0usize..3,
+    ) {
+        // Small moduli make remainder collisions (and thus non-trivially
+        // shaped search spaces) common.
+        let p = [2u64, 3, 11][p_idx];
+        let cap = [8usize, 100, 50_000][cap_idx];
+        let beta = (beta_idx % opt_count) + 1;
+        let request_attrs = attrs("r", alpha + opt_count);
+        let mut nec: Vec<_> = request_attrs[..alpha].iter().map(Attribute::hash).collect();
+        nec.sort_unstable();
+        let mut optional: Vec<_> = request_attrs[alpha..].iter().map(Attribute::hash).collect();
+        optional.sort_unstable();
+        let rv = RemainderVector::new(p, &nec, &optional, beta);
+        let gamma = opt_count - beta;
+        let hint = if gamma > 0 {
+            Some(HintMatrix::generate(
+                &optional,
+                beta,
+                HintConstruction::Cauchy,
+                &mut StdRng::seed_from_u64(owned_mask as u64),
+            ))
+        } else {
+            None
+        };
+
+        let mut owned: Vec<Attribute> = request_attrs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| owned_mask >> i & 1 == 1)
+            .map(|(_, a)| a.clone())
+            .collect();
+        owned.extend(attrs("noise", noise));
+        let user = Profile::from_attributes(owned);
+
+        for mode in [EnumerationMode::Strict, EnumerationMode::Exhaustive] {
+            let config = MatchConfig { mode, max_assignments: cap };
+            let (seq_keys, seq_stats) =
+                enumerate_candidate_keys_with_stats(user.vector(), &rv, hint.as_ref(), &config);
+            let seq_assignments = enumerate_assignments(user.vector(), &rv, &config);
+            for threads in [1usize, 2, 4, 8] {
+                let par = Parallelism::new(threads);
+                let (par_keys, par_stats) = enumerate_candidate_keys_with_stats_par(
+                    user.vector(), &rv, hint.as_ref(), &config, par,
+                );
+                prop_assert_eq!(&par_keys, &seq_keys, "keys differ: {} threads, {:?}", threads, mode);
+                prop_assert_eq!(par_stats, seq_stats, "stats differ: {} threads, {:?}", threads, mode);
+                let par_assignments = enumerate_assignments_par(user.vector(), &rv, &config, par);
+                prop_assert_eq!(
+                    &par_assignments, &seq_assignments,
+                    "assignments differ: {} threads, {:?}", threads, mode
+                );
+            }
+        }
     }
 
     /// Sealing is deterministic in the key but randomized in the hint

@@ -79,7 +79,8 @@ pub mod prelude {
     pub use msb_core::channel::{GroupChannel, Role, SecureChannel};
     pub use msb_core::package::{Reply, RequestPackage};
     pub use msb_core::protocol::{
-        ConfirmedMatch, Initiator, ProtocolConfig, ProtocolKind, Responder, ResponderOutcome,
+        ConfirmedMatch, Initiator, Parallelism, ProtocolConfig, ProtocolKind, Responder,
+        ResponderOutcome,
     };
     pub use msb_core::vicinity::{create_vicinity_request, vicinity_responder};
     pub use msb_lattice::{LatticeConfig, VicinityRegion};

@@ -1,0 +1,151 @@
+//! Simulator determinism guards for the parallel responder path.
+//!
+//! The event queue orders by `(time, sequence)` and all randomness flows
+//! from one seeded RNG, so a run is a pure function of `(seed,
+//! SimConfig, apps)`. Responder parallelism must not perturb that: the
+//! parallel enumeration is bit-identical to the sequential one and draws
+//! no randomness, so the same seed and the same `SimConfig` must produce
+//! identical `Metrics` — and identical confirmed matches — for every
+//! thread count, with batch delivery on or off.
+
+use sealed_bottle::core::protocol::Parallelism;
+use sealed_bottle::net::sim::Metrics;
+use sealed_bottle::prelude::*;
+
+fn attr(c: &str, v: &str) -> Attribute {
+    Attribute::new(c, v)
+}
+
+fn request() -> RequestProfile {
+    RequestProfile::new(
+        vec![attr("craft", "glassblowing")],
+        vec![attr("i", "sand"), attr("i", "fire"), attr("i", "breath")],
+        2,
+    )
+    .unwrap()
+}
+
+fn matching_profile() -> Profile {
+    Profile::from_attributes(vec![
+        attr("craft", "glassblowing"),
+        attr("i", "sand"),
+        attr("i", "fire"),
+    ])
+}
+
+fn noise(i: usize) -> Profile {
+    Profile::from_attributes(vec![attr("hobby", &format!("h{i}")), attr("town", &format!("t{i}"))])
+}
+
+/// A lossy 4×4 grid with two matching users several hops out.
+fn run(parallelism: Parallelism, batch_delivery: bool) -> (Metrics, u64, Vec<ConfirmedMatch>) {
+    let mut config = ProtocolConfig::new(ProtocolKind::P2, 11);
+    config.parallelism = parallelism;
+    let sim_config = SimConfig { loss_rate: 0.02, batch_delivery, ..SimConfig::default() };
+    let mut sim = Simulator::new(sim_config, 0xD57E);
+    sim.add_node((0.0, 0.0), FriendingApp::initiator(noise(0), request(), config.clone()));
+    for i in 0..16 {
+        let pos = ((i % 4) as f64 * 35.0, (i / 4) as f64 * 35.0 + 35.0);
+        sim.add_node(pos, FriendingApp::participant(noise(i + 1), config.clone()));
+    }
+    sim.add_node((35.0, 175.0), FriendingApp::participant(matching_profile(), config.clone()));
+    sim.add_node((105.0, 175.0), FriendingApp::participant(matching_profile(), config.clone()));
+    sim.start();
+    sim.run();
+    let matches = sim.app(NodeId::new(0)).matches().to_vec();
+    (*sim.metrics(), sim.now_us(), matches)
+}
+
+/// Same seed + same `SimConfig` ⇒ identical `Metrics` (and matches, and
+/// final clock) regardless of responder parallelism.
+#[test]
+fn metrics_independent_of_responder_parallelism() {
+    for batch_delivery in [false, true] {
+        let reference = run(Parallelism::SEQUENTIAL, batch_delivery);
+        assert!(!reference.2.is_empty(), "the matching users must be found");
+        for threads in [2usize, 4, 8] {
+            let other = run(Parallelism::new(threads), batch_delivery);
+            assert_eq!(other, reference, "batch={batch_delivery} threads={threads}: run diverged");
+        }
+    }
+}
+
+/// Batch delivery may regroup same-instant deliveries (changing jitter
+/// draw order on ties) but must not change who gets matched.
+#[test]
+fn batch_delivery_preserves_match_decisions() {
+    let collect = |batch_delivery: bool| -> Vec<u32> {
+        let mut config = ProtocolConfig::new(ProtocolKind::P1, 11);
+        config.parallelism = Parallelism::new(4);
+        let sim_config = SimConfig { batch_delivery, ..SimConfig::default() };
+        let mut sim = Simulator::new(sim_config, 9);
+        sim.add_node((0.0, 0.0), FriendingApp::initiator(noise(0), request(), config.clone()));
+        for i in 1..5 {
+            sim.add_node(
+                (i as f64 * 40.0, 0.0),
+                FriendingApp::participant(noise(i), config.clone()),
+            );
+        }
+        sim.add_node((5.0 * 40.0, 0.0), FriendingApp::participant(matching_profile(), config));
+        sim.start();
+        sim.run();
+        let mut ids: Vec<u32> =
+            sim.app(NodeId::new(0)).matches().iter().map(|m| m.responder).collect();
+        ids.sort_unstable();
+        ids
+    };
+    let unbatched = collect(false);
+    assert_eq!(unbatched, vec![5]);
+    assert_eq!(collect(true), unbatched);
+}
+
+/// A same-instant burst of requests from distinct initiators exercises
+/// the batched responder path (`Responder::handle_batch` behind
+/// `FriendingApp::on_batch`): the app-visible results — events, gambled
+/// sessions — must be identical to unbatched delivery and independent of
+/// thread count. (Single node on purpose: with in-range neighbours, a
+/// chunk mixing relays and replies reorders the sim RNG's jitter draws
+/// relative to unbatched delivery, so byte equality across the
+/// `batch_delivery` flag only holds action-free; cross-flag decision
+/// equality is covered above.)
+#[test]
+fn burst_batch_equals_one_at_a_time() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let run = |batch_delivery: bool, parallelism: Parallelism| {
+        let mut config = ProtocolConfig::new(ProtocolKind::P2, 11);
+        config.parallelism = parallelism;
+        let sim_config = SimConfig { batch_delivery, ..SimConfig::default() };
+        let mut sim = Simulator::new(sim_config, 4);
+        let node =
+            sim.add_node((0.0, 0.0), FriendingApp::participant(matching_profile(), config.clone()));
+        let mut rng = StdRng::seed_from_u64(8);
+        for i in 0..5u32 {
+            // Distinct initiator ids: the burst must not trip the
+            // per-initiator rate guard.
+            let (_, pkg) = Initiator::create(&request(), 100 + i, &config, 0, &mut rng);
+            let mut payload = vec![0x01]; // TAG_REQUEST
+            payload.extend_from_slice(&pkg.encode());
+            sim.inject(node, NodeId::new(7), payload);
+        }
+        sim.run();
+        let app = sim.app(node);
+        let sessions: Vec<_> = app.sessions().iter().map(|s| (s.x, s.y)).collect();
+        (app.events.clone(), sessions)
+    };
+
+    let reference = run(false, Parallelism::SEQUENTIAL);
+    assert!(
+        reference.0.iter().any(|e| matches!(e, AppEvent::ReplySent { .. })),
+        "burst must produce replies: {:?}",
+        reference.0
+    );
+    for (batch_delivery, threads) in [(false, 4), (true, 1), (true, 4), (true, 8)] {
+        let other = run(batch_delivery, Parallelism::new(threads));
+        assert_eq!(
+            other, reference,
+            "batch={batch_delivery} threads={threads}: burst handling diverged"
+        );
+    }
+}

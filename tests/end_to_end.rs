@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sealed_bottle::core::protocol::ResponderOutcome;
+use sealed_bottle::core::protocol::{Parallelism, ResponderOutcome};
 use sealed_bottle::net::mobility::{Bounds, RandomWaypoint};
 use sealed_bottle::prelude::*;
 
@@ -185,6 +185,90 @@ fn vicinity_search_over_network() {
         }
     }
     assert_eq!(searcher.matches().len(), 1);
+}
+
+/// Differential: a batched, multi-threaded responder chunk produces the
+/// same match decisions and byte-identical wire replies as the existing
+/// one-at-a-time single-threaded run — for all three protocols.
+#[test]
+fn batched_parallel_responder_matches_sequential_run() {
+    for kind in [ProtocolKind::P1, ProtocolKind::P2, ProtocolKind::P3] {
+        let mut seq_config = ProtocolConfig::new(kind, 11);
+        seq_config.parallelism = Parallelism::SEQUENTIAL;
+        let mut par_config = ProtocolConfig::new(kind, 11);
+        par_config.parallelism = Parallelism::new(4);
+
+        // A chunk of requests from distinct initiators: half match the
+        // responder's profile, half don't.
+        let mut pkg_rng = StdRng::seed_from_u64(31);
+        let mut initiators = Vec::new();
+        let mut packages = Vec::new();
+        for i in 0..6usize {
+            let req = if i % 2 == 0 {
+                request()
+            } else {
+                RequestProfile::new(
+                    vec![attr("guild", &format!("other-{i}"))],
+                    vec![attr("i", "maps"), attr("i", "ink"), attr("i", "paper")],
+                    2,
+                )
+                .unwrap()
+            };
+            let (ini, pkg) = Initiator::create(&req, 10 + i as u32, &seq_config, 0, &mut pkg_rng);
+            initiators.push(ini);
+            packages.push(pkg);
+        }
+
+        let seq_responder = Responder::new(1, matching_profile(), &seq_config);
+        let par_responder = Responder::new(1, matching_profile(), &par_config);
+        let mut seq_rng = StdRng::seed_from_u64(77);
+        let mut par_rng = StdRng::seed_from_u64(77);
+        let seq: Vec<ResponderOutcome> =
+            packages.iter().map(|p| seq_responder.handle(p, 1_000, &mut seq_rng)).collect();
+        let par = par_responder.handle_batch(&packages, 1_000, &mut par_rng);
+
+        assert_eq!(seq.len(), par.len());
+        let mut replies = 0usize;
+        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+            match (a, b) {
+                (
+                    ResponderOutcome::Reply { reply: ra, sessions: sa, verified: va, stats: ta },
+                    ResponderOutcome::Reply { reply: rb, sessions: sb, verified: vb, stats: tb },
+                ) => {
+                    replies += 1;
+                    assert_eq!(ra.encode(), rb.encode(), "{kind:?}: wire bytes differ at {i}");
+                    assert_eq!(va, vb, "{kind:?}: verified flag differs at {i}");
+                    assert_eq!(ta, tb, "{kind:?}: enumeration stats differ at {i}");
+                    assert_eq!(sa.len(), sb.len());
+                    for (x, y) in sa.iter().zip(sb) {
+                        assert_eq!(x.x, y.x);
+                        assert_eq!(x.y, y.y);
+                        assert_eq!(x.recovered, y.recovered);
+                    }
+                }
+                (ResponderOutcome::NotCandidate, ResponderOutcome::NotCandidate)
+                | (ResponderOutcome::NoVerifiedMatch, ResponderOutcome::NoVerifiedMatch)
+                | (ResponderOutcome::Expired, ResponderOutcome::Expired) => {}
+                _ => panic!("{kind:?}: outcome shape differs at {i}: {a:?} vs {b:?}"),
+            }
+        }
+        assert!(replies >= 3, "{kind:?}: the matching requests must draw replies");
+
+        // Identical match decisions at every initiator.
+        for (i, ini) in initiators.into_iter().enumerate() {
+            if let (
+                ResponderOutcome::Reply { reply: ra, .. },
+                ResponderOutcome::Reply { reply: rb, .. },
+            ) = (&seq[i], &par[i])
+            {
+                let mut seq_ini = ini.clone();
+                let mut par_ini = ini;
+                let confirmed_seq = seq_ini.process_reply(ra, 2_000);
+                let confirmed_par = par_ini.process_reply(rb, 2_000);
+                assert_eq!(confirmed_seq, confirmed_par, "{kind:?}: decision differs at {i}");
+            }
+        }
+    }
 }
 
 /// The full pipeline on dataset-generated profiles: a requester built

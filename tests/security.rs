@@ -178,6 +178,114 @@ fn reply_replay_across_requests_fails() {
     assert_eq!(second.reject_log().wrong_request, 1);
 }
 
+/// The §IV-A timing-oracle argument rests on `msb_crypto::ct::eq` doing
+/// data-independent work. The parallel responder path moves the tag and
+/// confirmation checks onto worker threads, so the property is asserted
+/// *from worker threads*: (a) correctness at every mismatch position,
+/// and (b) no early exit — a first-byte mismatch takes about as long as
+/// a last-byte mismatch on 64 KiB inputs, where a short-circuiting
+/// comparison would be orders of magnitude faster.
+#[test]
+fn constant_time_compare_holds_on_worker_threads() {
+    use std::time::Instant;
+    const LEN: usize = 1 << 16;
+    let base = vec![0xa5u8; LEN];
+    let mut diff_first = base.clone();
+    diff_first[0] ^= 0x80;
+    let mut diff_last = base.clone();
+    diff_last[LEN - 1] ^= 0x80;
+
+    let median_ns = |other: &[u8], base: &[u8]| -> u128 {
+        let mut samples: Vec<u128> = (0..31)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..8 {
+                    std::hint::black_box(msb_crypto::ct::eq(
+                        std::hint::black_box(base),
+                        std::hint::black_box(other),
+                    ));
+                }
+                t.elapsed().as_nanos()
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(|| {
+                    // Correctness from a worker thread.
+                    assert!(msb_crypto::ct::eq(&base, &base));
+                    assert!(!msb_crypto::ct::eq(&base, &diff_first));
+                    assert!(!msb_crypto::ct::eq(&base, &diff_last));
+                    // Warm up, then compare medians. The bound is very
+                    // generous (8×) to survive noisy CI machines; an
+                    // early-exit memcmp differs by ~4 orders of magnitude
+                    // at this input size.
+                    let _ = median_ns(&diff_last, &base);
+                    let early = median_ns(&diff_first, &base);
+                    let late = median_ns(&diff_last, &base);
+                    assert!(
+                        early.saturating_mul(8) >= late,
+                        "early-exit timing oracle: first-byte {early} ns vs last-byte {late} ns"
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("timing worker panicked");
+        }
+    });
+}
+
+/// The parallel Protocol-1 trial path (candidate keys tried across
+/// worker threads) must be observationally identical to the sequential
+/// loop — same outcome shape and same wire bytes — so enabling
+/// parallelism introduces no new oracle for an adversary timing or
+/// inspecting replies. Exercised on a collision-heavy modulus so the
+/// responder holds many candidate keys, both for a below-threshold user
+/// (all trials fail) and a matching user (one succeeds).
+#[test]
+fn parallel_p1_trials_byte_identical_to_sequential() {
+    use sealed_bottle::core::protocol::Parallelism;
+    let mut rng = StdRng::seed_from_u64(12);
+    let words = vocab(8);
+    let mut seq_config = ProtocolConfig::new(ProtocolKind::P1, 5); // p=5: many collisions
+    seq_config.parallelism = Parallelism::SEQUENTIAL;
+    let mut par_config = seq_config.clone();
+    par_config.parallelism = Parallelism::new(8);
+
+    let (_, pkg) = Initiator::create(&request_from(&words), 0, &seq_config, 0, &mut rng);
+
+    let mut weak_attrs = vec![words[0].clone(), words[1].clone()];
+    weak_attrs.extend((0..20).map(|i| Attribute::new("noise", format!("n{i}"))));
+    let weak = Profile::from_attributes(weak_attrs);
+
+    for profile in [matching_profile(&words), weak] {
+        let seq_responder = Responder::new(3, profile.clone(), &seq_config);
+        let par_responder = Responder::new(3, profile, &par_config);
+        let mut seq_rng = StdRng::seed_from_u64(99);
+        let mut par_rng = StdRng::seed_from_u64(99);
+        let seq = seq_responder.handle(&pkg, 100, &mut seq_rng);
+        let par = par_responder.handle(&pkg, 100, &mut par_rng);
+        match (seq, par) {
+            (
+                ResponderOutcome::Reply { reply: ra, verified: va, stats: ta, .. },
+                ResponderOutcome::Reply { reply: rb, verified: vb, stats: tb, .. },
+            ) => {
+                assert_eq!(ra.encode(), rb.encode(), "wire bytes must not depend on threading");
+                assert_eq!(va, vb);
+                assert_eq!(ta, tb);
+            }
+            (ResponderOutcome::NoVerifiedMatch, ResponderOutcome::NoVerifiedMatch)
+            | (ResponderOutcome::NotCandidate, ResponderOutcome::NotCandidate) => {}
+            (a, b) => panic!("outcome shape diverged: {a:?} vs {b:?}"),
+        }
+    }
+}
+
 /// DoS via request floods is contained by the per-sender rate guard
 /// (paper §II-B), while legitimate traffic flows.
 #[test]
