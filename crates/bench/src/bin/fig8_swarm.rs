@@ -1,0 +1,152 @@
+//! Figure 8 (extension) — simulator scalability: friending swarms at
+//! 1k / 5k / 10k nodes, each size executed under both the hex-grid
+//! spatial index and the naive O(n²) scan (the speedup baseline). Both
+//! modes are bit-identical, so the comparison is pure engine cost —
+//! asserted per size before anything is printed.
+//!
+//! Each run executes the full protocol end to end
+//! ([`msb_bench::swarm`]): the initiator floods its request from the
+//! center of a constant-density area (~11 neighbors per node), 1% of
+//! nodes match, candidates gamble keys and reply by reverse-path
+//! unicast, the initiator confirms. Reported per run: wall-clock,
+//! messages (broadcasts / deliveries / unicast hops), match count with
+//! latency percentiles, and the index-efficiency observable
+//! `cells/query`.
+//!
+//! Regenerate with `cargo run -p msb-bench --release --bin fig8_swarm`;
+//! `--json` emits `BENCH_BASELINE.json` rows instead of the table.
+
+use msb_bench::swarm::build_uniform_swarm;
+use msb_bench::{fmt_ms, print_table, time_once};
+use msb_core::app::SwarmSummary;
+use msb_net::sim::{Metrics, SpatialMode};
+
+const SIZES: [usize; 3] = [1_000, 5_000, 10_000];
+const SEED: u64 = 0xF16_8;
+
+struct RunResult {
+    mode: SpatialMode,
+    nodes: usize,
+    wall_ms: f64,
+    metrics: Metrics,
+    summary: SwarmSummary,
+}
+
+fn run(n: usize, mode: SpatialMode) -> RunResult {
+    let mut sim = build_uniform_swarm(n, mode, SEED, 255);
+    let (_, wall_ms) = time_once(|| {
+        sim.start();
+        sim.run();
+    });
+    RunResult {
+        mode,
+        nodes: n,
+        wall_ms,
+        metrics: *sim.metrics(),
+        summary: SwarmSummary::collect(&sim),
+    }
+}
+
+fn mode_name(mode: SpatialMode) -> &'static str {
+    match mode {
+        SpatialMode::HexIndex => "indexed",
+        SpatialMode::NaiveScan => "naive",
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let indexed: Vec<RunResult> = SIZES.iter().map(|&n| run(n, SpatialMode::HexIndex)).collect();
+    let naive: Vec<RunResult> = SIZES.iter().map(|&n| run(n, SpatialMode::NaiveScan)).collect();
+
+    // Both modes are bit-identical (the differential suites prove it);
+    // assert the transport metrics agree so a future divergence cannot
+    // silently invalidate the speedup comparison.
+    for (i, nv) in indexed.iter().zip(&naive) {
+        assert_eq!(
+            Metrics { cells_scanned: 0, ..i.metrics },
+            nv.metrics,
+            "n={}: modes diverged — differential contract broken",
+            i.nodes
+        );
+        assert_eq!(i.summary, nv.summary, "n={}: app outcomes diverged", i.nodes);
+    }
+
+    let results = indexed.iter().chain(&naive);
+    if json {
+        for r in results {
+            let s = &r.summary;
+            println!(
+                "{{\"bench\": \"fig8_swarm\", \"mode\": \"{}\", \"nodes\": {}, \
+                 \"wall_ms\": {:.1}, \"broadcasts\": {}, \"delivered\": {}, \
+                 \"unicast_hops\": {}, \"neighbor_queries\": {}, \"cells_scanned\": {}, \
+                 \"matches\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}}}",
+                mode_name(r.mode),
+                r.nodes,
+                r.wall_ms,
+                r.metrics.broadcasts,
+                r.metrics.delivered,
+                r.metrics.unicast_hops,
+                r.metrics.neighbor_queries,
+                r.metrics.cells_scanned,
+                s.matches,
+                s.latency_percentile_us(0.5).unwrap_or(0),
+                s.latency_percentile_us(0.9).unwrap_or(0),
+                s.latency_percentile_us(0.99).unwrap_or(0),
+            );
+        }
+    } else {
+        let rows: Vec<Vec<String>> = results
+            .map(|r| {
+                let s = &r.summary;
+                let cells_per_query = if r.metrics.neighbor_queries > 0 {
+                    r.metrics.cells_scanned as f64 / r.metrics.neighbor_queries as f64
+                } else {
+                    0.0
+                };
+                vec![
+                    format!("{} ({})", r.nodes, mode_name(r.mode)),
+                    fmt_ms(r.wall_ms),
+                    format!("{}", r.metrics.broadcasts),
+                    format!("{}", r.metrics.delivered),
+                    format!("{}", r.metrics.unicast_hops),
+                    format!("{}", s.matches),
+                    format!(
+                        "{} / {} / {}",
+                        s.latency_percentile_us(0.5).unwrap_or(0),
+                        s.latency_percentile_us(0.9).unwrap_or(0),
+                        s.latency_percentile_us(0.99).unwrap_or(0),
+                    ),
+                    if r.mode == SpatialMode::HexIndex {
+                        format!("{cells_per_query:.1}")
+                    } else {
+                        "n/a".into()
+                    },
+                ]
+            })
+            .collect();
+        print_table(
+            "Fig. 8 (ext) — friending swarm scalability (1% matching, ~11 neighbors/node)",
+            &[
+                "Swarm",
+                "Wall (ms)",
+                "Broadcasts",
+                "Delivered",
+                "Unicast hops",
+                "Matches",
+                "Latency p50/p90/p99 (us)",
+                "Cells/query",
+            ],
+            &rows,
+        );
+        for (i, nv) in indexed.iter().zip(&naive) {
+            println!(
+                "speedup @ {}: {:.1}x (naive {} → indexed {})",
+                i.nodes,
+                nv.wall_ms / i.wall_ms,
+                fmt_ms(nv.wall_ms),
+                fmt_ms(i.wall_ms),
+            );
+        }
+    }
+}

@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod swarm;
+
 use msb_baselines::cost::OpCostTable;
 use std::time::Instant;
 

@@ -1,0 +1,138 @@
+//! Shared swarm-scenario construction.
+//!
+//! The scalability bench (`fig8_swarm`), the Table VII swarm extension,
+//! the `swarm` example, and the root swarm tests all execute "the same
+//! scenario at different scales": node 0 initiates from a known
+//! position, one node in [`MATCHING_EVERY`] owns a matching profile, the
+//! rest are noise. Defining the construction once keeps those
+//! same-scenario claims true by construction — and keeps the
+//! differential naive-vs-indexed comparisons meaningful, since both
+//! sides build byte-identical swarms.
+
+use msb_core::app::FriendingApp;
+use msb_core::protocol::{ProtocolConfig, ProtocolKind};
+use msb_dataset::placement;
+use msb_net::sim::{SimConfig, Simulator, SpatialMode};
+use msb_profile::{Attribute, Profile, RequestProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Square meters of area per node in the uniform layout: π·50²/700 ≈ 11
+/// expected neighbors at the default 50 m radio range — dense enough for
+/// a giant connected component, sparse enough that floods need many
+/// hops.
+pub const AREA_PER_NODE: f64 = 700.0;
+
+/// One matching user per this many nodes (~1%, mirroring Table VII's one
+/// matching user per 100).
+pub const MATCHING_EVERY: usize = 100;
+
+fn attr(c: &str, v: &str) -> Attribute {
+    Attribute::new(c, v)
+}
+
+/// The scenario's request: one required tag, three optional, β = 2.
+pub fn lighthouse_request() -> RequestProfile {
+    RequestProfile::new(
+        vec![attr("team", "lighthouse")],
+        vec![attr("i", "jazz"), attr("i", "go"), attr("i", "tea")],
+        2,
+    )
+    .expect("valid request")
+}
+
+/// A profile satisfying [`lighthouse_request`].
+pub fn lighthouse_matching() -> Profile {
+    Profile::from_attributes(vec![attr("team", "lighthouse"), attr("i", "jazz"), attr("i", "go")])
+}
+
+/// Per-node filler profiles that never match any request in this module.
+pub fn noise_profile(i: usize) -> Profile {
+    Profile::from_attributes(vec![attr("hobby", &format!("n{i}")), attr("city", &format!("c{i}"))])
+}
+
+/// Uniform positions over a constant-density square ([`AREA_PER_NODE`])
+/// with slot 0 — the initiator — pinned to the center so its flood can
+/// reach the whole area.
+pub fn uniform_center_positions(n: usize, seed: u64) -> Vec<(f64, f64)> {
+    let side = (n as f64 * AREA_PER_NODE).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut positions = placement::uniform(n, side, side, &mut rng);
+    positions[0] = (side / 2.0, side / 2.0);
+    positions
+}
+
+/// Builds a friending swarm over `positions`: node 0 (at `positions[0]`)
+/// initiates `request` under Protocol 1 (p = 11, the given flood TTL);
+/// every [`MATCHING_EVERY`]-th other node owns `matching`, the rest
+/// `noise(i)`.
+///
+/// # Panics
+///
+/// Panics if `positions` is empty.
+pub fn build_swarm(
+    positions: Vec<(f64, f64)>,
+    mode: SpatialMode,
+    sim_seed: u64,
+    ttl: u8,
+    request: RequestProfile,
+    matching: Profile,
+    noise: impl Fn(usize) -> Profile,
+) -> Simulator<FriendingApp> {
+    let mut config = ProtocolConfig::new(ProtocolKind::P1, 11);
+    config.ttl = ttl;
+    let mut sim = Simulator::new(SimConfig { spatial: mode, ..SimConfig::default() }, sim_seed);
+    let mut slots = positions.into_iter();
+    let origin = slots.next().expect("a swarm needs at least the initiator");
+    sim.add_node(origin, FriendingApp::initiator(noise(0), request, config.clone()));
+    sim.add_nodes(slots.enumerate().map(|(i, pos)| {
+        let idx = i + 1;
+        let profile = if idx % MATCHING_EVERY == 0 { matching.clone() } else { noise(idx) };
+        (pos, FriendingApp::participant(profile, config.clone()))
+    }));
+    sim
+}
+
+/// The standard scalability swarm: [`lighthouse_request`] over
+/// [`uniform_center_positions`], placement seeded with
+/// `sim_seed ^ n` so each size draws an independent layout.
+pub fn build_uniform_swarm(
+    n: usize,
+    mode: SpatialMode,
+    sim_seed: u64,
+    ttl: u8,
+) -> Simulator<FriendingApp> {
+    build_swarm(
+        uniform_center_positions(n, sim_seed ^ n as u64),
+        mode,
+        sim_seed,
+        ttl,
+        lighthouse_request(),
+        lighthouse_matching(),
+        noise_profile,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_center_pins_initiator() {
+        let pos = uniform_center_positions(400, 3);
+        let side = (400.0 * AREA_PER_NODE).sqrt();
+        assert_eq!(pos[0], (side / 2.0, side / 2.0));
+        assert_eq!(pos.len(), 400);
+    }
+
+    #[test]
+    fn swarm_finds_matches_end_to_end() {
+        let mut sim = build_uniform_swarm(300, SpatialMode::HexIndex, 3, 200);
+        sim.start();
+        sim.run();
+        let matches = sim.app(msb_net::sim::NodeId::new(0)).matches();
+        assert!(!matches.is_empty(), "the scenario must produce matches");
+        // Matching slots are exactly the MATCHING_EVERY multiples.
+        assert!(matches.iter().all(|m| m.responder as usize % MATCHING_EVERY == 0));
+    }
+}

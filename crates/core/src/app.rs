@@ -306,6 +306,68 @@ impl FriendingApp {
     }
 }
 
+/// Swarm-wide aggregation of [`FriendingApp`] outcomes — the metrics the
+/// scalability benches and swarm examples report. Collected once after a
+/// run by walking every node's event log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwarmSummary {
+    /// Nodes in the simulation.
+    pub nodes: usize,
+    /// Requests broadcast by initiators.
+    pub requests_sent: u64,
+    /// Relay forwards across the whole swarm.
+    pub relays: u64,
+    /// Nodes that passed the fast check and gambled candidate keys.
+    pub candidates: u64,
+    /// Replies transmitted back toward initiators.
+    pub replies: u64,
+    /// Matches confirmed by initiators.
+    pub matches: u64,
+    /// Senders dropped by the per-initiator rate guard.
+    pub rate_limited: u64,
+    /// Confirmation times of every confirmed match, ascending, in
+    /// microseconds since the simulation start (initiators broadcast at
+    /// t = 0, so these are end-to-end match latencies).
+    pub match_latencies_us: Vec<u64>,
+}
+
+impl SwarmSummary {
+    /// Walks every node of a finished simulation.
+    pub fn collect(sim: &msb_net::sim::Simulator<FriendingApp>) -> Self {
+        let mut out = SwarmSummary { nodes: sim.node_count(), ..SwarmSummary::default() };
+        for i in 0..sim.node_count() {
+            for event in &sim.app(NodeId::new(i as u32)).events {
+                match event {
+                    AppEvent::RequestSent { .. } => out.requests_sent += 1,
+                    AppEvent::Relayed { .. } => out.relays += 1,
+                    AppEvent::BecameCandidate { .. } => out.candidates += 1,
+                    AppEvent::ReplySent { .. } => out.replies += 1,
+                    AppEvent::MatchConfirmed { at_us, .. } => {
+                        out.matches += 1;
+                        out.match_latencies_us.push(*at_us);
+                    }
+                    AppEvent::RateLimited { .. } => out.rate_limited += 1,
+                    AppEvent::ReplyRejected { .. } | AppEvent::DecodeFailed { .. } => {}
+                }
+            }
+        }
+        out.match_latencies_us.sort_unstable();
+        out
+    }
+
+    /// The `p`-th percentile (0.0–1.0, nearest-rank) of match latency,
+    /// or `None` when nothing matched.
+    pub fn latency_percentile_us(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in 0..=1");
+        if self.match_latencies_us.is_empty() {
+            return None;
+        }
+        let rank = ((p * self.match_latencies_us.len() as f64).ceil() as usize)
+            .clamp(1, self.match_latencies_us.len());
+        Some(self.match_latencies_us[rank - 1])
+    }
+}
+
 impl NodeApp for FriendingApp {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         if let Some(request) = self.pending_request.take() {
@@ -549,6 +611,22 @@ mod tests {
         let limited =
             app.events.iter().filter(|e| matches!(e, AppEvent::RateLimited { from: 42 })).count();
         assert_eq!(limited, 7, "3 allowed, 7 rate-limited: {:?}", app.events);
+    }
+
+    #[test]
+    fn swarm_summary_aggregates_events_and_percentiles() {
+        let mut sim = line_sim(ProtocolKind::P1, 4);
+        sim.start();
+        sim.run();
+        let summary = SwarmSummary::collect(&sim);
+        assert_eq!(summary.nodes, 5);
+        assert_eq!(summary.requests_sent, 1);
+        assert_eq!(summary.matches, 1);
+        assert_eq!(summary.candidates, 1);
+        assert!(summary.relays >= 3, "relays forwarded the flood: {summary:?}");
+        assert_eq!(summary.match_latencies_us.len(), 1);
+        assert_eq!(summary.latency_percentile_us(0.5), summary.latency_percentile_us(1.0));
+        assert_eq!(SwarmSummary::default().latency_percentile_us(0.99), None);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! CDF, attribute histogram, candidate proportions, key-set sizes)
 //! depends only on these marginals.
 //!
+//! [`placement`] supplies the *spatial* side of swarm scenarios —
+//! uniform and Zipf-clustered node layouts feeding the simulator's bulk
+//! node APIs.
+//!
 //! # Example
 //!
 //! ```
@@ -26,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod placement;
 pub mod stats;
 pub mod weibo;
 pub mod zipf;

@@ -53,14 +53,19 @@ impl FloodState {
         if expires_us <= now_us {
             return FloodDecision::Expired;
         }
-        if self.seen.contains_key(&id) {
-            return FloodDecision::Duplicate;
-        }
-        self.seen.insert(id, now_us);
-        if ttl == 0 {
-            FloodDecision::Absorb
-        } else {
-            FloodDecision::Relay
+        // One hash lookup for the lookup-or-record, not two: in a dense
+        // swarm a node classifies the same id once per in-range neighbor,
+        // and the duplicate path is the hot one.
+        match self.seen.entry(id) {
+            std::collections::hash_map::Entry::Occupied(_) => FloodDecision::Duplicate,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(now_us);
+                if ttl == 0 {
+                    FloodDecision::Absorb
+                } else {
+                    FloodDecision::Relay
+                }
+            }
         }
     }
 

@@ -23,13 +23,13 @@ use std::hash::Hash;
 /// assert!(g.allow(7, 1_000_001));  // window slid
 /// ```
 #[derive(Debug, Clone)]
-pub struct RateGuard<K: Eq + Hash + Clone> {
+pub struct RateGuard<K: Eq + Hash> {
     window_us: u64,
     max_in_window: usize,
     history: HashMap<K, Vec<u64>>,
 }
 
-impl<K: Eq + Hash + Clone> RateGuard<K> {
+impl<K: Eq + Hash> RateGuard<K> {
     /// Creates a guard allowing `max_in_window` events per `window_us`.
     ///
     /// # Panics
@@ -62,7 +62,11 @@ impl<K: Eq + Hash + Clone> RateGuard<K> {
             .unwrap_or(0)
     }
 
-    /// Drops senders with no in-window events.
+    /// Drops senders with no in-window events. Long-running swarm nodes
+    /// hear from every initiator whose flood reaches them, so call this
+    /// periodically (e.g. on a housekeeping timer) to keep the table
+    /// proportional to *active* senders rather than all senders ever
+    /// seen.
     pub fn compact(&mut self, now_us: u64) {
         let window = self.window_us;
         self.history.retain(|_, v| {

@@ -87,6 +87,14 @@ impl RandomWaypoint {
         self.nodes.iter().map(|n| n.position).collect()
     }
 
+    /// Allocation-free variant of [`RandomWaypoint::positions`] for the
+    /// per-tick `advance → set_positions` loop at swarm scale: clears
+    /// `out` and refills it, so one buffer serves every tick.
+    pub fn positions_into(&self, out: &mut Vec<(f64, f64)>) {
+        out.clear();
+        out.extend(self.nodes.iter().map(|n| n.position));
+    }
+
     /// Advances every node by `dt_s` seconds.
     pub fn advance(&mut self, dt_s: f64) {
         for i in 0..self.nodes.len() {

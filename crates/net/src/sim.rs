@@ -4,6 +4,7 @@
 //! jitter, loss) flows from one seeded RNG, making runs reproducible
 //! bit-for-bit.
 
+use crate::spatial::SpatialIndex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -31,18 +32,47 @@ impl std::fmt::Display for NodeId {
     }
 }
 
-/// Radio and timing parameters.
+/// How the simulator answers "which nodes are within radio range?".
+///
+/// Both modes are *bit-identical*: candidates survive the same distance
+/// comparison in the same (ascending node id) order and draw the same RNG
+/// stream, so a run is a pure function of `(seed, SimConfig, apps)`
+/// regardless of mode — the differential test suites pin this down. The
+/// naive scan exists as the oracle for those tests and as the baseline
+/// for speedup measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpatialMode {
+    /// Hex-grid bucket index ([`crate::spatial::SpatialIndex`]): query
+    /// cost proportional to local density, not swarm size. The default.
+    #[default]
+    HexIndex,
+    /// Linear scan over all nodes — O(n) per broadcast and per BFS
+    /// visit, the pre-index reference behaviour.
+    NaiveScan,
+}
+
+/// Radio, timing, and engine parameters.
+///
+/// Every field participates in determinism: two runs with equal seeds,
+/// equal configs, and equal apps produce identical event streams and
+/// [`Metrics`]. Fields that change only *how fast* the engine answers
+/// queries ([`SimConfig::spatial`], [`SimConfig::cell_d`]) do not change
+/// the stream at all — only [`Metrics::cells_scanned`] reflects them.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
-    /// Radio range in meters: broadcasts reach nodes within this distance.
+    /// Radio range in meters: broadcasts reach nodes within this distance
+    /// (inclusive), and two nodes within it are connectivity-graph
+    /// neighbors for unicast routing.
     pub radio_range: f64,
     /// Fixed per-transmission latency in microseconds.
     pub base_latency_us: u64,
     /// Additional latency per meter of distance, in microseconds.
     pub per_meter_latency_us: f64,
-    /// Uniform jitter added to each transmission, in microseconds.
+    /// Uniform jitter added to each transmission, in microseconds. Each
+    /// in-range delivery draws one jitter sample from the shared RNG.
     pub jitter_us: u64,
-    /// Probability that any single transmission is lost.
+    /// Probability that any single transmission is lost. Each scheduled
+    /// transmission draws one loss sample when nonzero.
     pub loss_rate: f64,
     /// Coalesce same-instant deliveries to one node into a single
     /// [`NodeApp::on_batch`] call, letting applications process message
@@ -50,6 +80,13 @@ pub struct SimConfig {
     /// time. Off by default: the unbatched event loop is the historical
     /// reference behaviour, bit-for-bit.
     pub batch_delivery: bool,
+    /// Neighbor-query engine; see [`SpatialMode`].
+    pub spatial: SpatialMode,
+    /// Hex cell scale for [`SpatialMode::HexIndex`], in meters. `None`
+    /// (the default) uses [`SimConfig::radio_range`], the sweet spot of
+    /// the cell-size heuristic (see [`crate::spatial`] module docs).
+    /// Ignored under [`SpatialMode::NaiveScan`].
+    pub cell_d: Option<f64>,
 }
 
 impl Default for SimConfig {
@@ -61,6 +98,8 @@ impl Default for SimConfig {
             jitter_us: 200,
             loss_rate: 0.0,
             batch_delivery: false,
+            spatial: SpatialMode::HexIndex,
+            cell_d: None,
         }
     }
 }
@@ -159,6 +198,18 @@ pub struct Metrics {
     pub unroutable: u64,
     /// Total payload bytes put on the air (once per transmission).
     pub payload_bytes: u64,
+    /// Neighbor range queries answered: one per broadcast plus one per
+    /// node visited by [`Simulator::shortest_path`] /
+    /// [`Simulator::connected_components`] BFS. Identical across
+    /// [`SpatialMode`]s (part of the differential oracle).
+    pub neighbor_queries: u64,
+    /// Hex cells examined to answer those queries — the index-efficiency
+    /// observable: `cells_scanned / neighbor_queries` stays ≈ constant
+    /// (19 measured at the default cell size) however large the swarm
+    /// grows.
+    /// Always 0 under [`SpatialMode::NaiveScan`], which scans nodes, not
+    /// cells; differential comparisons must mask this one field.
+    pub cells_scanned: u64,
 }
 
 #[derive(Debug)]
@@ -196,7 +247,8 @@ struct NodeEntry<A> {
     app: A,
 }
 
-/// The simulator: owns nodes, the event queue, and the clock.
+/// The simulator: owns nodes, the event queue, the clock, and the
+/// spatial index answering range queries.
 pub struct Simulator<A: NodeApp> {
     nodes: Vec<NodeEntry<A>>,
     queue: BinaryHeap<Reverse<Event>>,
@@ -205,11 +257,22 @@ pub struct Simulator<A: NodeApp> {
     config: SimConfig,
     rng: StdRng,
     metrics: Metrics,
+    /// `Some` under [`SpatialMode::HexIndex`], kept in lockstep with node
+    /// positions by [`Simulator::add_node`] / [`Simulator::set_position`].
+    index: Option<SpatialIndex>,
+    /// Scratch buffer for index candidate lists, reused across queries.
+    cand_buf: Vec<u32>,
 }
 
 impl<A: NodeApp> Simulator<A> {
     /// Creates a simulator with the given config and RNG seed.
     pub fn new(config: SimConfig, seed: u64) -> Self {
+        let index = match config.spatial {
+            SpatialMode::HexIndex => {
+                Some(SpatialIndex::new(config.cell_d.unwrap_or(config.radio_range)))
+            }
+            SpatialMode::NaiveScan => None,
+        };
         Simulator {
             nodes: Vec::new(),
             queue: BinaryHeap::new(),
@@ -218,6 +281,8 @@ impl<A: NodeApp> Simulator<A> {
             config,
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::default(),
+            index,
+            cand_buf: Vec::new(),
         }
     }
 
@@ -225,7 +290,21 @@ impl<A: NodeApp> Simulator<A> {
     pub fn add_node(&mut self, position: (f64, f64), app: A) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(NodeEntry { position, app });
+        if let Some(index) = &mut self.index {
+            index.push(position);
+        }
         id
+    }
+
+    /// Adds many nodes at once (bulk swarm construction), returning their
+    /// ids in insertion order.
+    pub fn add_nodes(&mut self, nodes: impl IntoIterator<Item = ((f64, f64), A)>) -> Vec<NodeId> {
+        let iter = nodes.into_iter();
+        let mut ids = Vec::with_capacity(iter.size_hint().0);
+        for (position, app) in iter {
+            ids.push(self.add_node(position, app));
+        }
+        ids
     }
 
     /// Number of nodes.
@@ -258,9 +337,26 @@ impl<A: NodeApp> Simulator<A> {
         self.nodes[id.index()].position
     }
 
-    /// Moves a node (mobility models drive this).
+    /// Moves a node (mobility models drive this), keeping the spatial
+    /// index in sync.
     pub fn set_position(&mut self, id: NodeId, position: (f64, f64)) {
         self.nodes[id.index()].position = position;
+        if let Some(index) = &mut self.index {
+            index.update(id.0, position);
+        }
+    }
+
+    /// Bulk position update, index-aligned with node ids — the mobility
+    /// tick: `model.advance(dt); sim.set_positions(&model.positions())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one position per node is supplied.
+    pub fn set_positions(&mut self, positions: &[(f64, f64)]) {
+        assert_eq!(positions.len(), self.nodes.len(), "one position per node");
+        for (i, &position) in positions.iter().enumerate() {
+            self.set_position(NodeId(i as u32), position);
+        }
     }
 
     /// Calls `on_start` on every node (in id order).
@@ -363,19 +459,49 @@ impl<A: NodeApp> Simulator<A> {
         }
     }
 
+    /// One neighbor range query around node `cur`: invokes `f(i, pos_i)`
+    /// for every node that *may* be within radio range, in ascending id
+    /// order. Under [`SpatialMode::HexIndex`] only nodes in nearby cells
+    /// are offered; under [`SpatialMode::NaiveScan`] every node is. The
+    /// caller applies the exact `distance <= range` filter — candidates
+    /// surviving it are therefore identical (same ids, same order) in
+    /// both modes, which is the bit-identity the differential oracle
+    /// proves.
+    fn for_each_candidate(&mut self, cur: usize, mut f: impl FnMut(usize, (f64, f64))) {
+        self.metrics.neighbor_queries += 1;
+        match &mut self.index {
+            Some(index) => {
+                let center = self.nodes[cur].position;
+                let range = self.config.radio_range;
+                let mut cand = std::mem::take(&mut self.cand_buf);
+                self.metrics.cells_scanned += index.candidates_into(center, range, &mut cand);
+                for &i in &cand {
+                    f(i as usize, self.nodes[i as usize].position);
+                }
+                self.cand_buf = cand;
+            }
+            None => {
+                for (i, n) in self.nodes.iter().enumerate() {
+                    f(i, n.position);
+                }
+            }
+        }
+    }
+
     fn do_broadcast(&mut self, from: NodeId, payload: Vec<u8>) {
         self.metrics.broadcasts += 1;
         self.metrics.payload_bytes += payload.len() as u64;
         let src = self.nodes[from.index()].position;
         let range = self.config.radio_range;
-        let targets: Vec<(NodeId, f64)> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != from.index())
-            .map(|(i, n)| (NodeId(i as u32), distance(src, n.position)))
-            .filter(|&(_, d)| d <= range)
-            .collect();
+        let mut targets: Vec<(NodeId, f64)> = Vec::new();
+        self.for_each_candidate(from.index(), |i, pos| {
+            if i != from.index() {
+                let d = distance(src, pos);
+                if d <= range {
+                    targets.push((NodeId(i as u32), d));
+                }
+            }
+        });
         for (to, dist) in targets {
             if self.roll_loss() {
                 self.metrics.lost += 1;
@@ -432,8 +558,12 @@ impl<A: NodeApp> Simulator<A> {
         self.queue.push(Reverse(ev));
     }
 
-    /// BFS shortest path over the current connectivity graph.
-    fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    /// BFS shortest path over the current connectivity graph (nodes
+    /// within radio range are neighbors) — the route unicasts follow.
+    /// Neighbor discovery goes through the spatial index, so a lookup
+    /// visits each reachable node once and scans only its nearby cells,
+    /// instead of probing all O(n²) node pairs.
+    pub fn shortest_path(&mut self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
         let n = self.nodes.len();
         let range = self.config.radio_range;
         let mut prev: Vec<Option<usize>> = vec![None; n];
@@ -453,20 +583,21 @@ impl<A: NodeApp> Simulator<A> {
                 return Some(path);
             }
             let cur_pos = self.nodes[cur].position;
-            for (i, other) in self.nodes.iter().enumerate() {
-                if !visited[i] && distance(cur_pos, other.position) <= range {
+            self.for_each_candidate(cur, |i, pos| {
+                if !visited[i] && distance(cur_pos, pos) <= range {
                     visited[i] = true;
                     prev[i] = Some(cur);
                     queue.push_back(i);
                 }
-            }
+            });
         }
         None
     }
 
     /// Connected components of the current connectivity graph (diagnostic
-    /// for partitioned topologies).
-    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+    /// for partitioned topologies), via the same indexed BFS as
+    /// [`Simulator::shortest_path`].
+    pub fn connected_components(&mut self) -> Vec<Vec<NodeId>> {
         let n = self.nodes.len();
         let range = self.config.radio_range;
         let mut visited = vec![false; n];
@@ -482,12 +613,12 @@ impl<A: NodeApp> Simulator<A> {
             while let Some(cur) = queue.pop_front() {
                 comp.push(NodeId(cur as u32));
                 let cur_pos = self.nodes[cur].position;
-                for (i, other) in self.nodes.iter().enumerate() {
-                    if !visited[i] && distance(cur_pos, other.position) <= range {
+                self.for_each_candidate(cur, |i, pos| {
+                    if !visited[i] && distance(cur_pos, pos) <= range {
                         visited[i] = true;
                         queue.push_back(i);
                     }
-                }
+                });
             }
             comp.sort_unstable();
             components.push(comp);

@@ -1,0 +1,288 @@
+//! Differential oracle: the hex-grid spatial index against the naive
+//! linear scan.
+//!
+//! The refactor's contract is *bit identity*: with the same seed and
+//! config, [`SpatialMode::HexIndex`] and [`SpatialMode::NaiveScan`] must
+//! produce the same delivery recipients in the same event order at the
+//! same timestamps, the same routes, the same components, and the same
+//! [`Metrics`] — except [`Metrics::cells_scanned`], which measures index
+//! work and is definitionally 0 for the naive scan. These tests pin that
+//! contract with property tests over random positions, ranges, and
+//! lattice scales (including nodes exactly on cell boundaries and
+//! exactly at radio range) and with full-simulation trace comparisons
+//! under mobility.
+
+use msb_net::mobility::{Bounds, RandomWaypoint};
+use msb_net::sim::{Metrics, NodeApp, NodeCtx, NodeId, SimConfig, Simulator, SpatialMode};
+use msb_net::spatial::SpatialIndex;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn distance(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// The naive oracle: every node id within `range` of `center`, ascending.
+fn naive_in_range(positions: &[(f64, f64)], center: (f64, f64), range: f64) -> Vec<u32> {
+    positions
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| distance(p, center) <= range)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// The indexed answer: candidates from the cell cover, exact-filtered.
+fn indexed_in_range(
+    index: &mut SpatialIndex,
+    positions: &[(f64, f64)],
+    center: (f64, f64),
+    range: f64,
+) -> Vec<u32> {
+    let mut cand = Vec::new();
+    index.candidates_into(center, range, &mut cand);
+    cand.retain(|&i| distance(positions[i as usize], center) <= range);
+    cand
+}
+
+/// Positions stressing every boundary: uniform scatter, nodes pinned to
+/// exact lattice points and cell edge midpoints of the *index* lattice,
+/// and nodes at exactly `range` from the query center.
+fn boundary_positions(
+    seed: u64,
+    n: usize,
+    cell_d: f64,
+    center: (f64, f64),
+    range: f64,
+) -> Vec<(f64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let sqrt3 = 3f64.sqrt();
+    for i in 0..n {
+        let p = match i % 4 {
+            // Scatter.
+            0 => (rng.gen_range(-300.0..300.0), rng.gen_range(-300.0..300.0)),
+            // Exact lattice points (cell centers).
+            1 => {
+                let u1 = rng.gen_range(-10i64..10) as f64;
+                let u2 = rng.gen_range(-10i64..10) as f64;
+                (u1 * cell_d + u2 * cell_d / 2.0, u2 * sqrt3 / 2.0 * cell_d)
+            }
+            // Midpoints between two lattice points: exactly on the
+            // Voronoi edge, where snapping ties break by search order.
+            2 => {
+                let u1 = rng.gen_range(-10i64..10) as f64;
+                let u2 = rng.gen_range(-10i64..10) as f64;
+                (u1 * cell_d + u2 * cell_d / 2.0 + cell_d / 2.0, u2 * sqrt3 / 2.0 * cell_d)
+            }
+            // Exactly at radio range from the query center.
+            _ => {
+                let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                (center.0 + range * theta.cos(), center.1 + range * theta.sin())
+            }
+        };
+        out.push(p);
+    }
+    out
+}
+
+proptest! {
+    /// Indexed and naive range queries agree — same node set, same
+    /// ascending order — for random populations, query centers, radio
+    /// ranges, and lattice scales, with adversarial boundary placements.
+    #[test]
+    fn indexed_query_equals_naive_scan(
+        seed in any::<u64>(),
+        n in 1usize..120,
+        scale_idx in 0usize..5,
+        range_idx in 0usize..6,
+        cx in -100i32..100,
+        cy in -100i32..100,
+    ) {
+        let cell_scale = [3.0f64, 10.0, 25.0, 50.0, 120.0][scale_idx];
+        let range = [0.0f64, 1.0, 10.0, 50.0, 75.0, 200.0][range_idx];
+        let center = (cx as f64 * 1.37, cy as f64 * 0.91);
+        let positions = boundary_positions(seed, n, cell_scale, center, range);
+        let mut index = SpatialIndex::new(cell_scale);
+        for &p in &positions {
+            index.push(p);
+        }
+        let indexed = indexed_in_range(&mut index, &positions, center, range);
+        let naive = naive_in_range(&positions, center, range);
+        prop_assert_eq!(indexed, naive, "cell_d={} range={} center={:?}", cell_scale, range, center);
+    }
+
+    /// The agreement survives mobility: after random incremental updates
+    /// (including moves across cell boundaries and back), queries from
+    /// every node's own position still match the oracle.
+    #[test]
+    fn indexed_query_equals_naive_after_updates(
+        seed in any::<u64>(),
+        n in 2usize..60,
+        moves in 1usize..80,
+        scale_idx in 0usize..3,
+        range_idx in 0usize..3,
+    ) {
+        let cell_scale = [5.0f64, 20.0, 60.0][scale_idx];
+        let range = [15.0f64, 50.0, 90.0][range_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut positions = boundary_positions(seed ^ 0xA5, n, cell_scale, (0.0, 0.0), range);
+        let mut index = SpatialIndex::new(cell_scale);
+        for &p in &positions {
+            index.push(p);
+        }
+        for _ in 0..moves {
+            let id = rng.gen_range(0..n);
+            let p = (rng.gen_range(-250.0..250.0), rng.gen_range(-250.0..250.0));
+            positions[id] = p;
+            index.update(id as u32, p);
+        }
+        for (i, &p) in positions.iter().enumerate() {
+            let indexed = indexed_in_range(&mut index, &positions, p, range);
+            let naive = naive_in_range(&positions, p, range);
+            prop_assert_eq!(indexed, naive, "query from node {} at {:?}", i, p);
+        }
+    }
+}
+
+/// Records every delivery with full ordering information.
+struct TraceApp {
+    /// (now_us, from, payload) per delivery, in processing order.
+    trace: Vec<(u64, NodeId, Vec<u8>)>,
+    /// Gossip depth: how many times a heard message is re-broadcast.
+    chattiness: usize,
+}
+
+impl NodeApp for TraceApp {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Several seeds talk at t=0 so floods collide and interleave.
+        if ctx.node_id().index() % 5 == 0 {
+            ctx.broadcast(vec![ctx.node_id().index() as u8]);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, payload: &[u8]) {
+        self.trace.push((ctx.now_us(), from, payload.to_vec()));
+        if payload.len() < self.chattiness {
+            let mut p = payload.to_vec();
+            p.push(ctx.node_id().index() as u8);
+            ctx.broadcast(p);
+        } else if payload.len() == self.chattiness {
+            // Tail: unicast back to the flood origin, exercising
+            // shortest-path routing through the index. The origin itself
+            // only records the echo (a self-unicast would ping-pong
+            // forever at the same instant).
+            let origin = NodeId::new(payload[0] as u32);
+            if origin != ctx.node_id() {
+                ctx.unicast(origin, payload.to_vec());
+            }
+        }
+    }
+}
+
+/// Runs a gossiping swarm with mobility ticks between phases and returns
+/// everything observable: per-node traces, metrics, and the final clock.
+fn run_trace(
+    mode: SpatialMode,
+    seed: u64,
+    n: usize,
+) -> (Vec<Vec<(u64, NodeId, Vec<u8>)>>, Metrics, u64) {
+    let config = SimConfig {
+        loss_rate: 0.05,
+        spatial: mode,
+        cell_d: Some(35.0), // deliberately != radio_range: identity must not depend on the heuristic
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(config, seed);
+    let mut mobility = RandomWaypoint::new(
+        n,
+        Bounds { width: 220.0, height: 220.0 },
+        1.0,
+        8.0,
+        0.2,
+        seed ^ 0x5eed,
+    );
+    let placed: Vec<((f64, f64), TraceApp)> = mobility
+        .positions()
+        .into_iter()
+        .map(|p| (p, TraceApp { trace: Vec::new(), chattiness: 3 }))
+        .collect();
+    sim.add_nodes(placed);
+    sim.start();
+    // Interleave event processing with mobility: run a phase, move
+    // everyone (incremental index updates), poke the swarm again.
+    let mut buf = Vec::new();
+    for phase in 0..3u64 {
+        sim.run_until((phase + 1) * 40_000);
+        mobility.advance(5.0);
+        mobility.positions_into(&mut buf);
+        sim.set_positions(&buf);
+        let poke = NodeId::new((phase as u32 * 7) % n as u32);
+        sim.inject(poke, poke, vec![poke.index() as u8]);
+    }
+    sim.run();
+    let traces =
+        (0..n).map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).trace)).collect();
+    (traces, *sim.metrics(), sim.now_us())
+}
+
+/// Full-simulation differential: identical traces (recipients, order,
+/// timestamps, payloads), identical metrics modulo `cells_scanned`, and
+/// an identical final clock across spatial modes, under loss, jitter,
+/// mobility, and mid-run injection.
+#[test]
+fn simulation_trace_bit_identical_across_modes() {
+    for seed in [1u64, 0xBEEF, 42424242] {
+        let (t_idx, m_idx, clock_idx) = run_trace(SpatialMode::HexIndex, seed, 24);
+        let (t_naive, m_naive, clock_naive) = run_trace(SpatialMode::NaiveScan, seed, 24);
+        assert_eq!(t_idx, t_naive, "seed {seed}: delivery traces diverged");
+        assert_eq!(clock_idx, clock_naive, "seed {seed}: final clock diverged");
+        assert_eq!(
+            Metrics { cells_scanned: 0, ..m_idx },
+            m_naive,
+            "seed {seed}: transport metrics diverged"
+        );
+        assert_eq!(m_naive.cells_scanned, 0, "naive scan must not report cell work");
+        assert!(m_idx.cells_scanned > 0, "indexed run must report cell work");
+        assert_eq!(
+            m_idx.neighbor_queries, m_naive.neighbor_queries,
+            "seed {seed}: query counts must agree across modes"
+        );
+    }
+}
+
+/// Satellite regression: `shortest_path` and `connected_components` reuse
+/// the index and must pin identical outputs on a seeded random topology.
+#[test]
+fn paths_and_components_identical_on_seeded_topology() {
+    struct Inert;
+    impl NodeApp for Inert {
+        fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+    }
+    let build = |mode: SpatialMode| {
+        let config = SimConfig { spatial: mode, ..SimConfig::default() };
+        let mut sim = Simulator::new(config, 7);
+        let mut rng = StdRng::seed_from_u64(0x70_70);
+        // Clustered topology with several disconnected islands.
+        for cluster in 0..6 {
+            let (cx, cy) = (cluster as f64 * 180.0, (cluster % 2) as f64 * 160.0);
+            for _ in 0..12 {
+                let p = (cx + rng.gen_range(-45.0..45.0), cy + rng.gen_range(-45.0..45.0));
+                sim.add_node(p, Inert);
+            }
+        }
+        sim
+    };
+    let mut indexed = build(SpatialMode::HexIndex);
+    let mut naive = build(SpatialMode::NaiveScan);
+    assert_eq!(indexed.connected_components(), naive.connected_components());
+    for (from, to) in [(0u32, 71u32), (3, 3), (12, 60), (5, 11), (70, 1)] {
+        assert_eq!(
+            indexed.shortest_path(NodeId::new(from), NodeId::new(to)),
+            naive.shortest_path(NodeId::new(from), NodeId::new(to)),
+            "path {from}->{to} diverged"
+        );
+    }
+    // The BFS work is observable and identical in query count.
+    assert_eq!(indexed.metrics().neighbor_queries, naive.metrics().neighbor_queries);
+}

@@ -75,7 +75,7 @@ pub use msb_profile as profile;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use msb_core::app::{AppEvent, FriendingApp};
+    pub use msb_core::app::{AppEvent, FriendingApp, SwarmSummary};
     pub use msb_core::channel::{GroupChannel, Role, SecureChannel};
     pub use msb_core::package::{Reply, RequestPackage};
     pub use msb_core::protocol::{
@@ -84,7 +84,8 @@ pub mod prelude {
     };
     pub use msb_core::vicinity::{create_vicinity_request, vicinity_responder};
     pub use msb_lattice::{LatticeConfig, VicinityRegion};
-    pub use msb_net::sim::{NodeApp, NodeCtx, NodeId, SimConfig, Simulator};
+    pub use msb_net::sim::{NodeApp, NodeCtx, NodeId, SimConfig, Simulator, SpatialMode};
+    pub use msb_net::spatial::SpatialIndex;
     pub use msb_profile::{
         Attribute, Profile, ProfileKey, ProfileVector, RequestProfile, RequestVector,
     };

@@ -1,0 +1,93 @@
+//! Swarm-scale end-to-end runs over the spatially-indexed simulator.
+//!
+//! Two layers of assurance:
+//!
+//! 1. an application-level differential oracle — the full friending flow
+//!    (flooding, fast check, candidate keys, replies, confirmations) over
+//!    a few hundred nodes must be *bit-identical* between the hex-grid
+//!    index and the naive linear scan: same per-node event logs, same
+//!    matches, same metrics (modulo `cells_scanned`, which measures index
+//!    work), same final clock;
+//! 2. an `#[ignore]`d release-mode smoke test (run explicitly in CI)
+//!    proving a 5 000-node swarm completes in bounded time with matches
+//!    confirmed and index efficiency holding.
+
+use msb_bench::swarm::build_uniform_swarm;
+use sealed_bottle::net::sim::Metrics;
+use sealed_bottle::prelude::*;
+use std::time::Instant;
+
+/// The shared scalability scenario ([`msb_bench::swarm`]) at a 200-hop
+/// flood TTL so the request spans the whole constant-density area.
+fn build_swarm(n: usize, mode: SpatialMode, seed: u64) -> Simulator<FriendingApp> {
+    build_uniform_swarm(n, mode, seed, 200)
+}
+
+fn run_swarm(
+    n: usize,
+    mode: SpatialMode,
+    seed: u64,
+) -> (Vec<Vec<AppEvent>>, Vec<ConfirmedMatch>, Metrics, u64) {
+    let mut sim = build_swarm(n, mode, seed);
+    sim.start();
+    sim.run();
+    let events = (0..n).map(|i| sim.app(NodeId::new(i as u32)).events.clone()).collect::<Vec<_>>();
+    let matches = sim.app(NodeId::new(0)).matches().to_vec();
+    (events, matches, *sim.metrics(), sim.now_us())
+}
+
+/// The friending application, end to end, is bit-identical across
+/// spatial modes.
+#[test]
+fn friending_swarm_identical_across_spatial_modes() {
+    let n = 300;
+    for seed in [3u64, 0xACE] {
+        let (ev_i, matches_i, m_i, clock_i) = run_swarm(n, SpatialMode::HexIndex, seed);
+        let (ev_n, matches_n, m_n, clock_n) = run_swarm(n, SpatialMode::NaiveScan, seed);
+        assert!(!matches_i.is_empty(), "seed {seed}: the swarm must produce matches");
+        assert_eq!(ev_i, ev_n, "seed {seed}: per-node event logs diverged");
+        assert_eq!(matches_i, matches_n, "seed {seed}: confirmed matches diverged");
+        assert_eq!(clock_i, clock_n, "seed {seed}: final clock diverged");
+        assert_eq!(
+            Metrics { cells_scanned: 0, ..m_i },
+            m_n,
+            "seed {seed}: transport metrics diverged"
+        );
+        assert!(m_i.cells_scanned > 0);
+    }
+}
+
+/// Large-swarm release-mode smoke: 5 000 nodes, full friending flow,
+/// bounded runtime. `#[ignore]`d so plain `cargo test` stays fast; CI
+/// runs it via `cargo test --release --test swarm_smoke -- --ignored`.
+#[test]
+#[ignore = "release-mode large-swarm smoke, run explicitly (CI does)"]
+fn swarm_5k_completes_in_bounded_time() {
+    let started = Instant::now();
+    let mut sim = build_swarm(5_000, SpatialMode::HexIndex, 77);
+    sim.start();
+    sim.run();
+    let elapsed = started.elapsed();
+    let summary = SwarmSummary::collect(&sim);
+    let metrics = sim.metrics();
+    assert!(summary.matches > 0, "5k swarm found no matches: {summary:?}");
+    assert!(summary.relays > 1_000, "flood must spread swarm-wide: {summary:?}");
+    // Index efficiency: cells per query is a density constant, not a
+    // function of swarm size (the naive scan would touch 5 000 nodes per
+    // query here).
+    let cells_per_query = metrics.cells_scanned as f64 / metrics.neighbor_queries as f64;
+    assert!(
+        cells_per_query < 40.0,
+        "index degenerated: {cells_per_query:.1} cells/query, {metrics:?}"
+    );
+    // Generous wall-clock bound: catches an accidental return to O(n²)
+    // (which takes minutes at this scale) without flaking on slow CI.
+    assert!(elapsed.as_secs() < 180, "5k swarm took {elapsed:?}");
+    println!(
+        "5k swarm: wall {elapsed:?}, {} matches (p50 {:?} us), {} broadcasts, {:.1} cells/query",
+        summary.matches,
+        summary.latency_percentile_us(0.5),
+        metrics.broadcasts,
+        cells_per_query,
+    );
+}
