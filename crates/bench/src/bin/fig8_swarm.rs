@@ -22,7 +22,7 @@ use msb_core::app::SwarmSummary;
 use msb_net::sim::{Metrics, SpatialMode};
 
 const SIZES: [usize; 3] = [1_000, 5_000, 10_000];
-const SEED: u64 = 0xF16_8;
+const SEED: u64 = 0xF168;
 
 struct RunResult {
     mode: SpatialMode,

@@ -1,0 +1,139 @@
+//! `msb-wire` codec throughput and per-protocol frame sizes.
+//!
+//! Measures encode and strict decode of every message kind at the
+//! shapes the evaluation actually produces (Table III's scenario
+//! parameters for the request packages), and reports the exact frame
+//! sizes the simulator's byte metrics are built from. `--json` emits
+//! the rows appended to `BENCH_BASELINE.json`.
+//!
+//! Regenerate with `cargo run -p msb-bench --bin table2_wire --release
+//! [-- --json]`.
+
+use msb_bench::{print_table, time_stats};
+use msb_core::package::{Reply, RequestPackage};
+use msb_core::protocol::{Initiator, ProtocolConfig, ProtocolKind};
+use msb_dataset::weibo::{WeiboConfig, WeiboDataset};
+use msb_profile::hint::HintConstruction;
+use msb_profile::{Attribute, RequestProfile};
+use msb_wire::Message;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Row {
+    name: &'static str,
+    frame_bytes: usize,
+    encode_ns: f64,
+    decode_ns: f64,
+}
+
+fn bench_message<M: Message>(name: &'static str, msg: &M, iters: usize) -> Row {
+    let encoded = msg.encode();
+    assert_eq!(encoded.len(), msg.frame_len(), "{name}: encoded_len out of sync");
+    let encode_ns = time_stats(iters / 10 + 1, iters, || {
+        std::hint::black_box(msg.encode());
+    })
+    .mean_ms
+        * 1e6;
+    let decode_ns = time_stats(iters / 10 + 1, iters, || {
+        std::hint::black_box(M::decode(&encoded).expect("canonical frame decodes"));
+    })
+    .mean_ms
+        * 1e6;
+    Row { name, frame_bytes: encoded.len(), encode_ns, decode_ns }
+}
+
+fn mib_per_s(bytes: usize, ns: f64) -> f64 {
+    (bytes as f64 / (1u64 << 20) as f64) / (ns * 1e-9)
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut rng = StdRng::seed_from_u64(0x317E);
+
+    // Table III shapes: m_t = 6 attributes, p = 11.
+    let six_tags = |prefix: &str| -> Vec<Attribute> {
+        (0..6).map(|i| Attribute::new("tag", format!("{prefix}{i}"))).collect()
+    };
+    let exact = RequestProfile::exact(six_tags("e")).unwrap();
+    let fuzzy = {
+        let mut attrs = six_tags("f").into_iter();
+        let necessary = vec![attrs.next().unwrap()];
+        RequestProfile::new(necessary, attrs.collect(), 3).unwrap() // β=3, γ=2
+    };
+
+    let mk_pkg = |kind: ProtocolKind,
+                  req: &RequestProfile,
+                  hint: HintConstruction,
+                  rng: &mut StdRng|
+     -> RequestPackage {
+        let mut config = ProtocolConfig::new(kind, 11);
+        config.hint_construction = hint;
+        Initiator::create(req, 7, &config, 0, rng).1
+    };
+
+    let p1 = mk_pkg(ProtocolKind::P1, &exact, HintConstruction::Cauchy, &mut rng);
+    let p2_cauchy = mk_pkg(ProtocolKind::P2, &fuzzy, HintConstruction::Cauchy, &mut rng);
+    let p2_random = mk_pkg(ProtocolKind::P2, &fuzzy, HintConstruction::Random, &mut rng);
+    let p3 = mk_pkg(ProtocolKind::P3, &fuzzy, HintConstruction::Cauchy, &mut rng);
+
+    let reply_1 = Reply { request_id: [7; 32], responder: 3, acks: vec![vec![0xAB; 56]] };
+    let reply_8 = Reply { request_id: [7; 32], responder: 3, acks: vec![vec![0xAB; 56]; 8] };
+
+    let population = WeiboDataset::generate(&WeiboConfig { users: 2_000, ..Default::default() }, 1);
+    let user = population.users()[0].clone();
+
+    let rows = [
+        bench_message("request/P1 exact (mt=6)", &p1, 20_000),
+        bench_message("request/P2 fuzzy Cauchy (β=3,γ=2)", &p2_cauchy, 20_000),
+        bench_message("request/P2 fuzzy Random (β=3,γ=2)", &p2_random, 20_000),
+        bench_message("request/P3 fuzzy Cauchy (β=3,γ=2)", &p3, 20_000),
+        bench_message("reply/1 ack", &reply_1, 50_000),
+        bench_message("reply/8 acks", &reply_8, 50_000),
+        bench_message("dataset/user", &user, 50_000),
+        bench_message("dataset/population 2k users", &population, 50),
+    ];
+
+    if json {
+        println!("[");
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            println!(
+                "  {{\"message\": \"{}\", \"frame_bytes\": {}, \"encode_ns\": {:.0}, \
+                 \"decode_ns\": {:.0}, \"encode_mib_s\": {:.1}, \"decode_mib_s\": {:.1}}}{}",
+                r.name,
+                r.frame_bytes,
+                r.encode_ns,
+                r.decode_ns,
+                mib_per_s(r.frame_bytes, r.encode_ns),
+                mib_per_s(r.frame_bytes, r.decode_ns),
+                comma
+            );
+        }
+        println!("]");
+        return;
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{} B", r.frame_bytes),
+                format!("{:.0} ns", r.encode_ns),
+                format!("{:.1}", mib_per_s(r.frame_bytes, r.encode_ns)),
+                format!("{:.0} ns", r.decode_ns),
+                format!("{:.1}", mib_per_s(r.frame_bytes, r.decode_ns)),
+            ]
+        })
+        .collect();
+    print_table(
+        "msb-wire codec — frame sizes and throughput (p=11, mt=6)",
+        &["Message", "Frame", "Encode", "MiB/s", "Decode", "MiB/s"],
+        &table,
+    );
+    println!(
+        "\nFrame sizes are exact (`frame_len()` computes them without encoding);\n\
+         the simulator's in-memory delivery accounts bytes from the same numbers\n\
+         the encoded mode measures — see tests/wire_differential.rs."
+    );
+}

@@ -114,7 +114,14 @@ fn main() {
         std::hint::black_box(responder.handle(&package, 100, &mut r));
     });
 
-    let our_comm_bytes = package.wire_size() + 56 + 38; // package + one ack reply frame
+    // Package broadcast plus one honest single-ack reply, both sized by
+    // the canonical codec (measured frames, not an estimate).
+    let honest_reply = msb_core::package::Reply {
+        request_id: package.request_id(),
+        responder: 1,
+        acks: vec![vec![0u8; 56]],
+    };
+    let our_comm_bytes = package.wire_size() + honest_reply.wire_size();
 
     // ---- Baselines, executed for real on one pair and scaled. ----
     let client: Vec<u64> = (0..6).collect();

@@ -133,6 +133,6 @@ mod tests {
         let matches = sim.app(msb_net::sim::NodeId::new(0)).matches();
         assert!(!matches.is_empty(), "the scenario must produce matches");
         // Matching slots are exactly the MATCHING_EVERY multiples.
-        assert!(matches.iter().all(|m| m.responder as usize % MATCHING_EVERY == 0));
+        assert!(matches.iter().all(|m| (m.responder as usize).is_multiple_of(MATCHING_EVERY)));
     }
 }

@@ -7,6 +7,16 @@
 //! with a configurable per-key computation delay, which is what lets the
 //! initiator's response-time window expose dictionary attackers — and
 //! reply by (reverse-path) unicast.
+//!
+//! Traffic representation follows the simulation's
+//! [`msb_net::sim::SimConfig::delivery`] switch: under
+//! [`DeliveryMode::InMemory`] (the default) message structs ride the
+//! event queue unserialized, accounted at their exact frame length;
+//! under [`DeliveryMode::EncodedFrames`] every message is encoded into
+//! its canonical [`msb_wire`] frame at the sender and strictly decoded
+//! at each receiver, so the byte metrics *measure* real frames. The two
+//! modes produce identical recipients, event order, match results and
+//! byte counts — `tests/wire_differential.rs` pins that down.
 
 use crate::package::{DecodeError, Reply, RequestPackage};
 use crate::protocol::{
@@ -14,15 +24,66 @@ use crate::protocol::{
 };
 use msb_net::flood::{FloodDecision, FloodState};
 use msb_net::guard::RateGuard;
-use msb_net::sim::{NodeApp, NodeCtx, NodeId};
+use msb_net::payload::Payload;
+use msb_net::sim::{DeliveryMode, NodeApp, NodeCtx, NodeId};
 use msb_profile::entropy::EntropyModel;
 use msb_profile::profile::Profile;
 use msb_profile::request::RequestProfile;
+use msb_wire::{peek_kind, FrameKind, Message};
+use std::borrow::Cow;
 use std::collections::HashMap;
 
-/// Message framing tags.
-const TAG_REQUEST: u8 = 0x01;
-const TAG_REPLY: u8 = 0x02;
+/// An application message, as it rides the event queue under
+/// [`DeliveryMode::InMemory`]. Its wire shape is the corresponding
+/// [`msb_wire`] frame; [`AppMsg::frame_len`] is exact without encoding.
+#[derive(Debug, Clone)]
+enum AppMsg {
+    Request(RequestPackage),
+    Reply(Reply),
+}
+
+impl AppMsg {
+    fn kind(&self) -> FrameKind {
+        match self {
+            AppMsg::Request(_) => FrameKind::Request,
+            AppMsg::Reply(_) => FrameKind::Reply,
+        }
+    }
+
+    fn frame_len(&self) -> usize {
+        match self {
+            AppMsg::Request(p) => p.frame_len(),
+            AppMsg::Reply(r) => r.frame_len(),
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            AppMsg::Request(p) => p.encode(),
+            AppMsg::Reply(r) => r.encode(),
+        }
+    }
+
+    /// Builds the payload representation `delivery` asks for.
+    fn into_payload(self, delivery: DeliveryMode) -> Payload {
+        match delivery {
+            DeliveryMode::InMemory => {
+                let wire_len = self.frame_len();
+                Payload::mem(self, wire_len)
+            }
+            DeliveryMode::EncodedFrames => Payload::frame(self.encode()),
+        }
+    }
+}
+
+/// Classifies a payload without decoding its body: the in-memory kind,
+/// or the envelope kind of an encoded frame.
+fn payload_kind(payload: &Payload) -> Option<FrameKind> {
+    if let Some(msg) = payload.downcast_ref::<AppMsg>() {
+        return Some(msg.kind());
+    }
+    payload.as_bytes().and_then(|b| peek_kind(b).ok())
+}
 
 /// Things that happened at a node, for inspection by tests, examples and
 /// the evaluation harness.
@@ -71,7 +132,7 @@ pub enum AppEvent {
     },
     /// A malformed message was discarded.
     DecodeFailed {
-        /// Decoder diagnosis.
+        /// Decoder diagnosis (with the failing offset).
         error: DecodeError,
     },
 }
@@ -166,23 +227,32 @@ impl FriendingApp {
         self.responder.as_ref().expect("just built")
     }
 
-    /// Admission control for one incoming request: decode, own-echo drop,
-    /// flood classification, per-initiator rate guard. Draws no
-    /// randomness, so running it for a whole chunk before any responder
-    /// work (the batched path) leaves the RNG stream identical to the
+    /// Borrows an in-memory request or strictly decodes an encoded one;
+    /// logs (and swallows) decode failures.
+    fn parse_request<'a>(&mut self, payload: &'a Payload) -> Option<Cow<'a, RequestPackage>> {
+        if let Some(AppMsg::Request(pkg)) = payload.downcast_ref::<AppMsg>() {
+            return Some(Cow::Borrowed(pkg));
+        }
+        let bytes = payload.as_bytes()?;
+        match RequestPackage::decode(bytes) {
+            Ok(pkg) => Some(Cow::Owned(pkg)),
+            Err(error) => {
+                self.events.push(AppEvent::DecodeFailed { error });
+                None
+            }
+        }
+    }
+
+    /// Admission control for one incoming request: own-echo drop, flood
+    /// classification, per-initiator rate guard. Draws no randomness, so
+    /// running it for a whole chunk before any responder work (the
+    /// batched path) leaves the RNG stream identical to the
     /// one-at-a-time path.
     fn admit_request(
         &mut self,
         ctx: &mut NodeCtx<'_>,
-        bytes: &[u8],
-    ) -> Option<(RequestPackage, FloodDecision)> {
-        let package = match RequestPackage::decode(bytes) {
-            Ok(p) => p,
-            Err(error) => {
-                self.events.push(AppEvent::DecodeFailed { error });
-                return None;
-            }
-        };
+        package: &RequestPackage,
+    ) -> Option<FloodDecision> {
         let my_id = ctx.node_id().index() as u32;
         if package.initiator == my_id {
             return None; // own flood echo
@@ -199,7 +269,7 @@ impl FriendingApp {
             self.events.push(AppEvent::RateLimited { from: package.initiator });
             return None;
         }
-        Some((package, decision))
+        Some(decision)
     }
 
     /// Post-responder bookkeeping for one request: candidate events, the
@@ -229,28 +299,25 @@ impl FriendingApp {
         if decision == FloodDecision::Relay && !verified_match {
             let mut fwd = package.clone();
             fwd.ttl -= 1;
-            let encoded = fwd.encode();
-            let mut payload = Vec::with_capacity(1 + encoded.len());
-            payload.push(TAG_REQUEST);
-            payload.extend_from_slice(&encoded);
+            let payload = AppMsg::Request(fwd).into_payload(ctx.delivery());
             ctx.broadcast(payload);
             self.events.push(AppEvent::Relayed { request_id });
         }
     }
 
-    fn handle_request(&mut self, ctx: &mut NodeCtx<'_>, bytes: &[u8]) {
-        let Some((package, decision)) = self.admit_request(ctx, bytes) else {
+    fn handle_request(&mut self, ctx: &mut NodeCtx<'_>, package: &RequestPackage) {
+        let Some(decision) = self.admit_request(ctx, package) else {
             return;
         };
         let my_id = ctx.node_id().index() as u32;
         let now = ctx.now_us();
-        let outcome = self.responder(my_id).handle(&package, now, ctx.rng());
-        self.complete_request(ctx, &package, decision, outcome);
+        let outcome = self.responder(my_id).handle(package, now, ctx.rng());
+        self.complete_request(ctx, package, decision, outcome);
     }
 
-    /// Batched request handling: admit the whole chunk, run the cached
-    /// responder over it in one [`Responder::handle_batch`] call, then
-    /// complete each request in order.
+    /// Batched request handling: parse and admit the whole chunk, run
+    /// the cached responder over it in one [`Responder::handle_batch`]
+    /// call, then complete each request in order.
     ///
     /// Within the responder pass, randomness is drawn in package order,
     /// exactly like consecutive [`Responder::handle`] calls (that
@@ -264,11 +331,14 @@ impl FriendingApp {
     /// unbatched run of the same seed when a chunk mixes relays with
     /// later responder draws; `tests/determinism.rs` compares like with
     /// like and checks decisions, not bytes, across the flag.
-    fn handle_request_run(&mut self, ctx: &mut NodeCtx<'_>, msgs: &[(NodeId, Vec<u8>)]) {
-        let mut packages = Vec::with_capacity(msgs.len());
+    fn handle_request_run(&mut self, ctx: &mut NodeCtx<'_>, msgs: &[(NodeId, Payload)]) {
+        let mut packages: Vec<Cow<'_, RequestPackage>> = Vec::with_capacity(msgs.len());
         let mut decisions = Vec::with_capacity(msgs.len());
         for (_, payload) in msgs {
-            if let Some((package, decision)) = self.admit_request(ctx, &payload[1..]) {
+            let Some(package) = self.parse_request(payload) else {
+                continue;
+            };
+            if let Some(decision) = self.admit_request(ctx, &package) {
                 packages.push(package);
                 decisions.push(decision);
             }
@@ -284,18 +354,11 @@ impl FriendingApp {
         }
     }
 
-    fn handle_reply(&mut self, ctx: &mut NodeCtx<'_>, bytes: &[u8]) {
-        let reply = match Reply::decode(bytes) {
-            Ok(r) => r,
-            Err(error) => {
-                self.events.push(AppEvent::DecodeFailed { error });
-                return;
-            }
-        };
+    fn handle_reply(&mut self, ctx: &mut NodeCtx<'_>, reply: &Reply) {
         let Some(initiator) = self.initiator.as_mut() else {
             return; // replies are only meaningful to the initiator
         };
-        let confirmed = initiator.process_reply(&reply, ctx.now_us());
+        let confirmed = initiator.process_reply(reply, ctx.now_us());
         if confirmed.is_empty() {
             self.events.push(AppEvent::ReplyRejected { responder: reply.responder });
         }
@@ -376,22 +439,37 @@ impl NodeApp for FriendingApp {
                 Initiator::create(&request, my_id, &self.config, ctx.now_us(), ctx.rng());
             let request_id = initiator.request_id();
             self.initiator = Some(initiator);
-            let mut payload = Vec::with_capacity(256);
-            payload.push(TAG_REQUEST);
-            payload.extend_from_slice(&package.encode());
+            let payload = AppMsg::Request(package).into_payload(ctx.delivery());
             ctx.broadcast(payload);
             self.events.push(AppEvent::RequestSent { request_id });
         }
     }
 
-    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, _from: NodeId, payload: &[u8]) {
-        let Some((&tag, rest)) = payload.split_first() else {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, _from: NodeId, payload: &Payload) {
+        if let Some(msg) = payload.downcast_ref::<AppMsg>() {
+            // Zero-copy: handle straight out of the shared message.
+            match msg {
+                AppMsg::Request(pkg) => self.handle_request(ctx, pkg),
+                AppMsg::Reply(reply) => self.handle_reply(ctx, reply),
+            }
             return;
+        }
+        let Some(bytes) = payload.as_bytes() else {
+            return; // a foreign in-memory payload is not our traffic
         };
-        match tag {
-            TAG_REQUEST => self.handle_request(ctx, rest),
-            TAG_REPLY => self.handle_reply(ctx, rest),
-            _ => {}
+        match peek_kind(bytes) {
+            Ok(FrameKind::Request) => {
+                if let Some(pkg) = self.parse_request(payload) {
+                    let pkg = pkg.into_owned();
+                    self.handle_request(ctx, &pkg);
+                }
+            }
+            Ok(FrameKind::Reply) => match Reply::decode(bytes) {
+                Ok(reply) => self.handle_reply(ctx, &reply),
+                Err(error) => self.events.push(AppEvent::DecodeFailed { error }),
+            },
+            Ok(_) => {} // a valid frame of an unrelated kind: ignore
+            Err(error) => self.events.push(AppEvent::DecodeFailed { error }),
         }
     }
 
@@ -399,17 +477,20 @@ impl NodeApp for FriendingApp {
     /// same-instant requests go through the batched responder path in one
     /// [`Responder::handle_batch`] call; everything else falls back to
     /// per-message handling in arrival order.
-    fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, batch: &[(NodeId, Vec<u8>)]) {
+    fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, batch: &[(NodeId, Payload)]) {
         let mut i = 0;
         while i < batch.len() {
             let (from, payload) = &batch[i];
-            if payload.first() == Some(&TAG_REQUEST) {
+            if payload_kind(payload) == Some(FrameKind::Request) {
                 let mut j = i + 1;
-                while j < batch.len() && batch[j].1.first() == Some(&TAG_REQUEST) {
+                while j < batch.len() && payload_kind(&batch[j].1) == Some(FrameKind::Request) {
                     j += 1;
                 }
                 if j - i == 1 {
-                    self.handle_request(ctx, &payload[1..]);
+                    if let Some(pkg) = self.parse_request(payload) {
+                        let pkg = pkg.into_owned();
+                        self.handle_request(ctx, &pkg);
+                    }
                 } else {
                     self.handle_request_run(ctx, &batch[i..j]);
                 }
@@ -425,9 +506,7 @@ impl NodeApp for FriendingApp {
         if let Some((initiator_node, reply)) = self.pending_replies.remove(&token) {
             let request_id = reply.request_id;
             let acks = reply.acks.len();
-            let mut payload = Vec::with_capacity(64);
-            payload.push(TAG_REPLY);
-            payload.extend_from_slice(&reply.encode());
+            let payload = AppMsg::Reply(reply).into_payload(ctx.delivery());
             ctx.unicast(NodeId::new(initiator_node), payload);
             self.events.push(AppEvent::ReplySent { request_id, acks });
         }
@@ -472,7 +551,15 @@ mod tests {
     /// Line topology: initiator at one end, target at the other, relays
     /// between — forces multi-hop flooding and reverse-path replies.
     fn line_sim(kind: ProtocolKind, hops: usize) -> Simulator<FriendingApp> {
-        let mut sim = Simulator::new(SimConfig::default(), 99);
+        line_sim_with(kind, hops, SimConfig::default())
+    }
+
+    fn line_sim_with(
+        kind: ProtocolKind,
+        hops: usize,
+        sim_config: SimConfig,
+    ) -> Simulator<FriendingApp> {
+        let mut sim = Simulator::new(sim_config, 99);
         sim.add_node(
             (0.0, 0.0),
             FriendingApp::initiator(noise_profile(100), request(), config(kind)),
@@ -514,6 +601,28 @@ mod tests {
             sim.run();
             let initiator = sim.app(msb_net::sim::NodeId::new(0));
             assert_eq!(initiator.matches().len(), 1, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn multihop_friending_over_encoded_frames() {
+        // The full flow again, but with every message encoded into its
+        // canonical frame and decoded at each hop.
+        let sim_config =
+            SimConfig { delivery: DeliveryMode::EncodedFrames, ..SimConfig::default() };
+        let mut sim = line_sim_with(ProtocolKind::P1, 4, sim_config);
+        sim.start();
+        sim.run();
+        let initiator = sim.app(msb_net::sim::NodeId::new(0));
+        assert_eq!(initiator.matches().len(), 1, "events: {:?}", initiator.events);
+        assert_eq!(initiator.matches()[0].responder, 4);
+        for i in 0..5 {
+            let app = sim.app(msb_net::sim::NodeId::new(i));
+            assert!(
+                !app.events.iter().any(|e| matches!(e, AppEvent::DecodeFailed { .. })),
+                "node {i} failed to decode a canonical frame: {:?}",
+                app.events
+            );
         }
     }
 
@@ -573,38 +682,13 @@ mod tests {
         // An initiator hammering requests gets rate limited by peers.
         let cfg = config(ProtocolKind::P1);
         let mut sim = Simulator::new(SimConfig::default(), 5);
-        struct Spammer {
-            config: ProtocolConfig,
-        }
-        impl NodeApp for Spammer {
-            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
-                for _ in 0..10 {
-                    let (_, pkg) = Initiator::create(
-                        &request(),
-                        ctx.node_id().index() as u32,
-                        &self.config,
-                        ctx.now_us(),
-                        ctx.rng(),
-                    );
-                    let mut payload = vec![TAG_REQUEST];
-                    payload.extend_from_slice(&pkg.encode());
-                    ctx.broadcast(payload);
-                }
-            }
-            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
-        }
-        // Can't mix app types in one simulator; spam through injection
-        // instead: node 1 is a FriendingApp, node 0 injects packages.
-        let _ = Spammer { config: cfg.clone() };
         sim.add_node((0.0, 0.0), FriendingApp::participant(noise_profile(0), cfg.clone()));
         let victim = msb_net::sim::NodeId::new(0);
         let mut r = rand::rngs::StdRng::seed_from_u64(1);
         use rand::SeedableRng;
         for _ in 0..10 {
             let (_, pkg) = Initiator::create(&request(), 42, &cfg, 0, &mut r);
-            let mut payload = vec![TAG_REQUEST];
-            payload.extend_from_slice(&pkg.encode());
-            sim.inject(victim, msb_net::sim::NodeId::new(0), payload);
+            sim.inject(victim, msb_net::sim::NodeId::new(0), pkg.encode());
         }
         sim.run();
         let app = sim.app(victim);
@@ -648,8 +732,29 @@ mod tests {
         let cfg = config(ProtocolKind::P1);
         let mut sim = Simulator::new(SimConfig::default(), 5);
         let id = sim.add_node((0.0, 0.0), FriendingApp::participant(noise_profile(0), cfg));
-        sim.inject(id, msb_net::sim::NodeId::new(0), vec![TAG_REQUEST, 1, 2, 3]);
+        // A frame-shaped prefix with a corrupt body…
+        let (_, pkg) = {
+            use rand::SeedableRng;
+            Initiator::create(
+                &request(),
+                9,
+                &config(ProtocolKind::P1),
+                0,
+                &mut rand::rngs::StdRng::seed_from_u64(2),
+            )
+        };
+        let mut bytes = pkg.encode();
+        bytes.truncate(bytes.len() - 5);
+        sim.inject(id, msb_net::sim::NodeId::new(0), bytes);
+        // …and plain garbage.
+        sim.inject(id, msb_net::sim::NodeId::new(0), vec![1u8, 2, 3]);
         sim.run();
-        assert!(matches!(sim.app(id).events[0], AppEvent::DecodeFailed { .. }));
+        let failures = sim
+            .app(id)
+            .events
+            .iter()
+            .filter(|e| matches!(e, AppEvent::DecodeFailed { .. }))
+            .count();
+        assert_eq!(failures, 2, "events: {:?}", sim.app(id).events);
     }
 }

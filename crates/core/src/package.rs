@@ -1,21 +1,25 @@
-//! Wire formats: the request package and the reply.
+//! The protocol messages and their canonical wire format.
 //!
 //! A request package (paper Fig. 1) carries the encrypted message, the
 //! remainder vector and (for fuzzy requests) the hint matrix — and
 //! nothing else derived from the request profile. The request vector and
-//! the profile key never leave the initiator.
+//! the profile key never leave the initiator. The reply carries the
+//! acknowledgement set back to the initiator and doubles as the match
+//! confirmation (Protocol 1 verifies *before* replying; Protocols 2/3
+//! let the initiator confirm by decrypting an acknowledgement).
+//!
+//! Both messages are [`msb_wire::Message`]s: they travel inside the
+//! versioned `MSBW` frame envelope and are encoded/decoded by the shared
+//! [`msb_wire`] engine — strictly (trailing garbage is rejected with the
+//! failing offset) and without copying the input. See `docs/WIRE.md`
+//! for the byte-level layouts.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use msb_bignum::linalg::Matrix;
-use msb_bignum::BigUint;
 use msb_crypto::sha256::Sha256;
-use msb_profile::hint::{HintConstruction, HintMatrix};
+use msb_profile::hint::HintMatrix;
 use msb_profile::remainder::RemainderVector;
+use msb_wire::{Message, Reader, WireDecode, WireEncode, Writer};
 
-/// Field-element width on the wire (Goldilocks-448 → 56 bytes).
-const FIELD_BYTES: usize = 56;
-/// Wire magic (versioned).
-const MAGIC: &[u8; 4] = b"MSB1";
+pub use msb_wire::{DecodeError, FrameKind};
 
 /// Protocol discriminant carried in the package (public by design: the
 /// responder must know whether a confirmation tag is present).
@@ -23,28 +27,10 @@ pub(crate) const KIND_P1: u8 = 1;
 pub(crate) const KIND_P2: u8 = 2;
 pub(crate) const KIND_P3: u8 = 3;
 
-/// Errors decoding wire data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DecodeError {
-    /// Wrong magic bytes or version.
-    BadMagic,
-    /// Message ended prematurely.
-    Truncated,
-    /// A field held an invalid value.
-    Invalid(&'static str),
-}
-
-impl std::fmt::Display for DecodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DecodeError::BadMagic => write!(f, "bad magic or unsupported version"),
-            DecodeError::Truncated => write!(f, "message truncated"),
-            DecodeError::Invalid(what) => write!(f, "invalid field: {what}"),
-        }
-    }
-}
-
-impl std::error::Error for DecodeError {}
+/// Offset of the TTL byte inside an encoded request frame (envelope,
+/// then `kind(1) ‖ initiator(4)`). Fixed by the wire format; lets
+/// [`RequestPackage::request_id`] zero the TTL without re-encoding.
+const TTL_FRAME_OFFSET: usize = msb_wire::FRAME_HEADER_LEN + 1 + 4;
 
 /// The broadcast request package.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,163 +54,107 @@ pub struct RequestPackage {
     pub ciphertext: Vec<u8>,
 }
 
-impl RequestPackage {
-    /// The request id: the hash of the serialized package with TTL
-    /// zeroed, so the id is stable across relay hops. Used for flood
-    /// de-duplication and to bind replies to requests.
-    pub fn request_id(&self) -> [u8; 32] {
-        let mut clone = self.clone();
-        clone.ttl = 0;
-        Sha256::digest(&clone.encode())
+impl WireEncode for RequestPackage {
+    fn encoded_len(&self) -> usize {
+        1 + 4
+            + 1
+            + 8
+            + self.remainder.encoded_len()
+            + 16
+            + 2
+            + self.ciphertext.len()
+            + self.hint.as_ref().map_or(1, WireEncode::encoded_len)
     }
 
-    /// Serializes the package.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(128 + 4 * self.remainder.len());
-        buf.put_slice(MAGIC);
-        buf.put_u8(self.kind);
-        buf.put_u32(self.initiator);
-        buf.put_u8(self.ttl);
-        buf.put_u64(self.expires_us);
-        buf.put_u64(self.remainder.p());
-        buf.put_u16(self.remainder.alpha() as u16);
-        buf.put_u16(self.remainder.optional().len() as u16);
-        buf.put_u16(self.remainder.beta() as u16);
-        for &r in self.remainder.necessary() {
-            buf.put_u32(r as u32);
-        }
-        for &r in self.remainder.optional() {
-            buf.put_u32(r as u32);
-        }
-        buf.put_slice(&self.nonce);
-        buf.put_u16(self.ciphertext.len() as u16);
-        buf.put_slice(&self.ciphertext);
+    fn encode_into(&self, w: &mut Writer) {
+        w.u8(self.kind);
+        w.u32(self.initiator);
+        w.u8(self.ttl);
+        w.u64(self.expires_us);
+        self.remainder.encode_into(w);
+        w.bytes(&self.nonce);
+        assert!(self.ciphertext.len() <= u16::MAX as usize, "ciphertext too long for u16 length");
+        w.u16(self.ciphertext.len() as u16);
+        w.bytes(&self.ciphertext);
         match &self.hint {
-            None => buf.put_u8(0),
-            Some(h) => {
-                let tag = match h.construction() {
-                    HintConstruction::Cauchy => 1,
-                    HintConstruction::Random => 2,
-                };
-                buf.put_u8(tag);
-                for b in h.b() {
-                    buf.put_slice(&b.to_be_bytes_padded(FIELD_BYTES));
-                }
-                if h.construction() == HintConstruction::Random {
-                    let c = h.constraint_matrix();
-                    for i in 0..h.gamma() {
-                        for j in 0..h.beta() {
-                            let v = c.at(i, h.gamma() + j);
-                            buf.put_slice(&v.to_be_bytes_padded(FIELD_BYTES));
-                        }
-                    }
-                }
-            }
+            None => w.u8(0),
+            Some(h) => h.encode_into(w),
         }
-        buf.to_vec()
+    }
+}
+
+impl WireDecode for RequestPackage {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let kind_at = r.offset();
+        let kind = r.u8()?;
+        if !(KIND_P1..=KIND_P3).contains(&kind) {
+            return Err(r.invalid(kind_at, "protocol kind"));
+        }
+        let initiator = r.u32()?;
+        let ttl = r.u8()?;
+        let expires_us = r.u64()?;
+        let remainder = RemainderVector::decode_from(r)?;
+        let nonce: [u8; 16] = r.array()?;
+        let ct_len = r.u16()? as usize;
+        let ciphertext = r.take(ct_len)?.to_vec();
+
+        // The hint section must agree with the remainder vector: absent
+        // exactly for perfect-match requests (γ = 0), and carrying the
+        // same (γ, β) shape otherwise.
+        let hint_at = r.offset();
+        let gamma = remainder.gamma();
+        let hint = if r.peek_u8()? == 0 {
+            r.u8()?;
+            if gamma != 0 {
+                return Err(r.invalid(hint_at, "missing hint for fuzzy request"));
+            }
+            None
+        } else {
+            if gamma == 0 {
+                return Err(r.invalid(hint_at, "hint on perfect-match request"));
+            }
+            // Shape-checked decode: the hint's claimed (γ, β) must equal
+            // the remainder vector's *before* any element is read or the
+            // constraint matrix is constructed, so inconsistent or
+            // oversized dimension claims cost O(1) to reject.
+            Some(msb_profile::wire::decode_hint_with_shape(r, gamma, remainder.beta())?)
+        };
+        Ok(RequestPackage { kind, initiator, ttl, expires_us, remainder, hint, nonce, ciphertext })
+    }
+}
+
+impl Message for RequestPackage {
+    const KIND: FrameKind = FrameKind::Request;
+}
+
+impl RequestPackage {
+    /// The request id: the hash of the encoded frame with TTL zeroed, so
+    /// the id is stable across relay hops. Used for flood de-duplication
+    /// and to bind replies to requests.
+    pub fn request_id(&self) -> [u8; 32] {
+        let mut bytes = Message::encode(self);
+        bytes[TTL_FRAME_OFFSET] = 0;
+        Sha256::digest(&bytes)
     }
 
-    /// Deserializes a package.
+    /// Encodes the package as a framed wire message.
+    pub fn encode(&self) -> Vec<u8> {
+        Message::encode(self)
+    }
+
+    /// Decodes a framed package, strictly.
     ///
     /// # Errors
     ///
-    /// Returns a [`DecodeError`] on malformed input; decoding is total
-    /// (no panics) for arbitrary bytes.
+    /// Returns a [`DecodeError`] locating the failure on malformed
+    /// input; decoding is total (no panics) for arbitrary bytes.
     pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
-        let mut buf = Bytes::copy_from_slice(data);
-        let mut take = |n: usize| -> Result<Bytes, DecodeError> {
-            if buf.remaining() < n {
-                return Err(DecodeError::Truncated);
-            }
-            Ok(buf.split_to(n))
-        };
-        let magic = take(4)?;
-        if magic.as_ref() != MAGIC {
-            return Err(DecodeError::BadMagic);
-        }
-        let kind = take(1)?.get_u8();
-        if !(KIND_P1..=KIND_P3).contains(&kind) {
-            return Err(DecodeError::Invalid("kind"));
-        }
-        let initiator = take(4)?.get_u32();
-        let ttl = take(1)?.get_u8();
-        let expires_us = take(8)?.get_u64();
-        let p = take(8)?.get_u64();
-        if p < 2 {
-            return Err(DecodeError::Invalid("modulus"));
-        }
-        let alpha = take(2)?.get_u16() as usize;
-        let opt_len = take(2)?.get_u16() as usize;
-        let beta = take(2)?.get_u16() as usize;
-        if alpha + opt_len == 0 || beta > opt_len {
-            return Err(DecodeError::Invalid("shape"));
-        }
-        let mut necessary = Vec::with_capacity(alpha);
-        for _ in 0..alpha {
-            let r = take(4)?.get_u32() as u64;
-            if r >= p {
-                return Err(DecodeError::Invalid("remainder"));
-            }
-            necessary.push(r);
-        }
-        let mut optional = Vec::with_capacity(opt_len);
-        for _ in 0..opt_len {
-            let r = take(4)?.get_u32() as u64;
-            if r >= p {
-                return Err(DecodeError::Invalid("remainder"));
-            }
-            optional.push(r);
-        }
-        let remainder = RemainderVector::from_remainders(p, necessary, optional, beta);
-        let gamma = remainder.gamma();
-
-        let mut nonce = [0u8; 16];
-        nonce.copy_from_slice(&take(16)?);
-        let ct_len = take(2)?.get_u16() as usize;
-        let ciphertext = take(ct_len)?.to_vec();
-
-        let hint_tag = take(1)?.get_u8();
-        let hint = match hint_tag {
-            0 => {
-                if gamma != 0 {
-                    return Err(DecodeError::Invalid("missing hint for fuzzy request"));
-                }
-                None
-            }
-            1 | 2 => {
-                if gamma == 0 {
-                    return Err(DecodeError::Invalid("hint on perfect-match request"));
-                }
-                let mut b = Vec::with_capacity(gamma);
-                for _ in 0..gamma {
-                    b.push(BigUint::from_be_bytes(&take(FIELD_BYTES)?));
-                }
-                let construction =
-                    if hint_tag == 1 { HintConstruction::Cauchy } else { HintConstruction::Random };
-                let r_block = if hint_tag == 2 {
-                    let mut m = Matrix::zeros(gamma, beta);
-                    for i in 0..gamma {
-                        for j in 0..beta {
-                            *m.at_mut(i, j) = BigUint::from_be_bytes(&take(FIELD_BYTES)?);
-                        }
-                    }
-                    Some(m)
-                } else {
-                    None
-                };
-                Some(HintMatrix::from_parts(beta, construction, r_block, b))
-            }
-            _ => return Err(DecodeError::Invalid("hint tag")),
-        };
-        if buf.has_remaining() {
-            return Err(DecodeError::Invalid("trailing bytes"));
-        }
-        Ok(RequestPackage { kind, initiator, ttl, expires_us, remainder, hint, nonce, ciphertext })
+        Message::decode(data)
     }
 
-    /// Total serialized size in bytes.
+    /// Total serialized frame size in bytes (computed, not encoded).
     pub fn wire_size(&self) -> usize {
-        self.encode().len()
+        self.frame_len()
     }
 }
 
@@ -240,55 +170,60 @@ pub struct Reply {
     pub acks: Vec<Vec<u8>>,
 }
 
-impl Reply {
-    /// Serializes the reply.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(64 + self.acks.iter().map(Vec::len).sum::<usize>());
-        buf.put_slice(b"MSBR");
-        buf.put_slice(&self.request_id);
-        buf.put_u32(self.responder);
-        buf.put_u16(self.acks.len() as u16);
-        for ack in &self.acks {
-            buf.put_u16(ack.len() as u16);
-            buf.put_slice(ack);
-        }
-        buf.to_vec()
+impl WireEncode for Reply {
+    fn encoded_len(&self) -> usize {
+        32 + 4 + 2 + self.acks.iter().map(|a| 2 + a.len()).sum::<usize>()
     }
 
-    /// Deserializes a reply.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`DecodeError`] on malformed input.
-    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
-        let mut buf = Bytes::copy_from_slice(data);
-        let mut take = |n: usize| -> Result<Bytes, DecodeError> {
-            if buf.remaining() < n {
-                return Err(DecodeError::Truncated);
-            }
-            Ok(buf.split_to(n))
-        };
-        if take(4)?.as_ref() != b"MSBR" {
-            return Err(DecodeError::BadMagic);
+    fn encode_into(&self, w: &mut Writer) {
+        w.bytes(&self.request_id);
+        w.u32(self.responder);
+        assert!(self.acks.len() <= u16::MAX as usize, "too many acknowledgements");
+        w.u16(self.acks.len() as u16);
+        for ack in &self.acks {
+            assert!(ack.len() <= u16::MAX as usize, "acknowledgement too long");
+            w.u16(ack.len() as u16);
+            w.bytes(ack);
         }
-        let mut request_id = [0u8; 32];
-        request_id.copy_from_slice(&take(32)?);
-        let responder = take(4)?.get_u32();
-        let count = take(2)?.get_u16() as usize;
-        let mut acks = Vec::with_capacity(count);
+    }
+}
+
+impl WireDecode for Reply {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let request_id: [u8; 32] = r.array()?;
+        let responder = r.u32()?;
+        let count = r.u16()? as usize;
+        let mut acks = Vec::with_capacity(count.min(1024));
         for _ in 0..count {
-            let len = take(2)?.get_u16() as usize;
-            acks.push(take(len)?.to_vec());
-        }
-        if buf.has_remaining() {
-            return Err(DecodeError::Invalid("trailing bytes"));
+            let len = r.u16()? as usize;
+            acks.push(r.take(len)?.to_vec());
         }
         Ok(Reply { request_id, responder, acks })
     }
+}
 
-    /// Total serialized size in bytes.
+impl Message for Reply {
+    const KIND: FrameKind = FrameKind::Reply;
+}
+
+impl Reply {
+    /// Encodes the reply as a framed wire message.
+    pub fn encode(&self) -> Vec<u8> {
+        Message::encode(self)
+    }
+
+    /// Decodes a framed reply, strictly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] locating the failure on malformed input.
+    pub fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+        Message::decode(data)
+    }
+
+    /// Total serialized frame size in bytes (computed, not encoded).
     pub fn wire_size(&self) -> usize {
-        self.encode().len()
+        self.frame_len()
     }
 }
 
@@ -340,6 +275,14 @@ mod tests {
     }
 
     #[test]
+    fn wire_size_is_exact() {
+        for fuzzy in [false, true] {
+            let pkg = sample_package(KIND_P3, fuzzy);
+            assert_eq!(pkg.wire_size(), pkg.encode().len(), "fuzzy={fuzzy}");
+        }
+    }
+
+    #[test]
     fn request_id_stable_across_ttl() {
         let mut pkg = sample_package(KIND_P1, true);
         let id1 = pkg.request_id();
@@ -350,30 +293,91 @@ mod tests {
     }
 
     #[test]
+    fn ttl_frame_offset_is_the_ttl_byte() {
+        let pkg = sample_package(KIND_P1, true);
+        assert_eq!(pkg.encode()[TTL_FRAME_OFFSET], pkg.ttl);
+    }
+
+    #[test]
     fn decode_rejects_garbage() {
+        assert_eq!(RequestPackage::decode(b"no"), Err(DecodeError::Truncated { offset: 0 }));
         assert_eq!(RequestPackage::decode(b"nope"), Err(DecodeError::BadMagic));
-        assert_eq!(RequestPackage::decode(b"no"), Err(DecodeError::Truncated));
         assert_eq!(RequestPackage::decode(b"XXXX_________________"), Err(DecodeError::BadMagic));
         let pkg = sample_package(KIND_P1, true);
         let mut bytes = pkg.encode();
         bytes.truncate(bytes.len() - 3);
-        assert_eq!(RequestPackage::decode(&bytes), Err(DecodeError::Truncated));
+        assert_eq!(
+            RequestPackage::decode(&bytes),
+            Err(DecodeError::Truncated { offset: bytes.len() })
+        );
     }
 
     #[test]
-    fn decode_rejects_trailing_bytes() {
+    fn decode_rejects_trailing_bytes_with_offset() {
         let pkg = sample_package(KIND_P1, false);
         let mut bytes = pkg.encode();
+        let valid_len = bytes.len();
         bytes.push(0);
-        assert_eq!(RequestPackage::decode(&bytes), Err(DecodeError::Invalid("trailing bytes")));
+        assert_eq!(
+            RequestPackage::decode(&bytes),
+            Err(DecodeError::Trailing { offset: valid_len })
+        );
     }
 
     #[test]
-    fn decode_rejects_bad_kind() {
+    fn decode_rejects_bad_kinds() {
         let pkg = sample_package(KIND_P1, false);
-        let mut bytes = pkg.encode();
-        bytes[4] = 9; // kind byte
-        assert_eq!(RequestPackage::decode(&bytes), Err(DecodeError::Invalid("kind")));
+        let bytes = pkg.encode();
+
+        // Envelope kind byte.
+        let mut bad = bytes.clone();
+        bad[5] = 0x77;
+        assert_eq!(RequestPackage::decode(&bad), Err(DecodeError::UnknownKind(0x77)));
+
+        // A valid Reply frame is not a request.
+        let mut wrong = bytes.clone();
+        wrong[5] = FrameKind::Reply as u8;
+        assert_eq!(
+            RequestPackage::decode(&wrong),
+            Err(DecodeError::WrongKind { expected: FrameKind::Request, found: FrameKind::Reply })
+        );
+
+        // Protocol kind inside the body (first payload byte).
+        let mut bad = bytes.clone();
+        bad[msb_wire::FRAME_HEADER_LEN] = 9;
+        assert_eq!(
+            RequestPackage::decode(&bad),
+            Err(DecodeError::Invalid { offset: msb_wire::FRAME_HEADER_LEN, what: "protocol kind" })
+        );
+
+        // Unsupported envelope version.
+        let mut bad = bytes.clone();
+        bad[4] = 2;
+        assert_eq!(RequestPackage::decode(&bad), Err(DecodeError::UnsupportedVersion(2)));
+    }
+
+    #[test]
+    fn decode_enforces_hint_consistency() {
+        // Fuzzy request without its hint.
+        let fuzzy = sample_package(KIND_P2, true);
+        let mut stripped = fuzzy.clone();
+        stripped.hint = None;
+        // Encode manually: the normal encoder would write tag 0.
+        let bytes = stripped.encode();
+        assert!(matches!(
+            RequestPackage::decode(&bytes),
+            Err(DecodeError::Invalid { what: "missing hint for fuzzy request", .. })
+        ));
+
+        // Perfect-match request carrying a hint.
+        let exact = sample_package(KIND_P1, false);
+        let mut adorned = exact.clone();
+        adorned.hint = fuzzy.hint.clone();
+        let bytes = adorned.encode();
+        assert!(matches!(
+            RequestPackage::decode(&bytes),
+            Err(DecodeError::Invalid { what: "hint on perfect-match request", .. })
+        ));
     }
 
     #[test]
@@ -395,12 +399,22 @@ mod tests {
             Reply { request_id: [3u8; 32], responder: 42, acks: vec![vec![1, 2, 3], vec![4; 56]] };
         let decoded = Reply::decode(&reply.encode()).unwrap();
         assert_eq!(decoded, reply);
+        assert_eq!(reply.wire_size(), reply.encode().len());
     }
 
     #[test]
     fn reply_empty_acks() {
         let reply = Reply { request_id: [0u8; 32], responder: 0, acks: vec![] };
         assert_eq!(Reply::decode(&reply.encode()).unwrap(), reply);
+    }
+
+    #[test]
+    fn reply_rejects_trailing_bytes() {
+        let reply = Reply { request_id: [1u8; 32], responder: 9, acks: vec![vec![7; 10]] };
+        let mut bytes = reply.encode();
+        let valid_len = bytes.len();
+        bytes.extend_from_slice(b"junk");
+        assert_eq!(Reply::decode(&bytes), Err(DecodeError::Trailing { offset: valid_len }));
     }
 
     #[test]

@@ -597,13 +597,21 @@ impl Responder {
     /// wire bytes. Batching amortises the responder's fixed per-request
     /// setup in the application layer (one responder serves the whole
     /// chunk) and is the unit the parallel enumeration path works on.
-    pub fn handle_batch<R: Rng + ?Sized>(
+    ///
+    /// Generic over anything borrowable as a package so callers can
+    /// hand over owned packages, references, or the `Cow`s the
+    /// application layer's mixed borrowed/decoded batches produce.
+    pub fn handle_batch<P, R>(
         &self,
-        packages: &[RequestPackage],
+        packages: &[P],
         now_us: u64,
         rng: &mut R,
-    ) -> Vec<ResponderOutcome> {
-        packages.iter().map(|package| self.handle(package, now_us, rng)).collect()
+    ) -> Vec<ResponderOutcome>
+    where
+        P: std::borrow::Borrow<RequestPackage>,
+        R: Rng + ?Sized,
+    {
+        packages.iter().map(|package| self.handle(package.borrow(), now_us, rng)).collect()
     }
 
     /// The attributes a candidate key would gamble: the user's own

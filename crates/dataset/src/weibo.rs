@@ -1,17 +1,23 @@
 //! The synthetic Weibo population generator.
+//!
+//! Populations are persistable: [`WeiboConfig`], [`WeiboUser`] and
+//! [`WeiboDataset`] carry canonical [`msb_wire`] encodings (users and
+//! whole datasets are framed [`Message`]s), so a generated population
+//! can be written to disk and reloaded bit-identically — the same codec
+//! every protocol message uses, not a parallel serde path.
 
 use crate::zipf::Zipf;
 use msb_profile::attribute::Attribute;
 use msb_profile::entropy::EntropyModel;
 use msb_profile::profile::Profile;
+use msb_wire::{DecodeError, FrameKind, Message, Reader, WireDecode, WireEncode, Writer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Generation parameters, defaulting to the published Tencent Weibo
 /// marginals (scaled population).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeiboConfig {
     /// Number of users to generate (the paper's dump has 2.32 M; the
     /// evaluation subsets are tens of thousands).
@@ -63,7 +69,7 @@ impl WeiboConfig {
 }
 
 /// One synthetic user.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WeiboUser {
     /// Stable user id.
     pub id: u32,
@@ -113,7 +119,7 @@ impl WeiboUser {
 }
 
 /// A generated population.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeiboDataset {
     config: WeiboConfig,
     users: Vec<WeiboUser>,
@@ -148,6 +154,12 @@ impl WeiboDataset {
             })
             .collect();
         WeiboDataset { config: config.clone(), users }
+    }
+
+    /// Assembles a dataset from already-built parts (loading persisted
+    /// populations, carving sub-populations).
+    pub fn from_parts(config: WeiboConfig, users: Vec<WeiboUser>) -> Self {
+        WeiboDataset { config, users }
     }
 
     /// The generated users.
@@ -199,6 +211,171 @@ impl WeiboDataset {
         }
         model
     }
+}
+
+/// Writes an `f64` as its IEEE-754 bit pattern (big-endian u64).
+fn put_f64(w: &mut Writer, v: f64) {
+    w.u64(v.to_bits());
+}
+
+/// Reads an `f64`, rejecting NaN/infinities (no generated marginal is
+/// ever non-finite, so a non-finite value can only be corruption).
+fn take_f64(r: &mut Reader<'_>) -> Result<f64, DecodeError> {
+    let at = r.offset();
+    let v = f64::from_bits(r.u64()?);
+    if !v.is_finite() {
+        return Err(r.invalid(at, "non-finite float"));
+    }
+    Ok(v)
+}
+
+/// Reads a sorted-unique id block (`u32 count` then `count` u64 ids).
+fn take_id_block(r: &mut Reader<'_>, what: &'static str) -> Result<Vec<u64>, DecodeError> {
+    let count = r.u32()? as usize;
+    let mut ids = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let at = r.offset();
+        let id = r.u64()?;
+        if let Some(&last) = ids.last() {
+            if id <= last {
+                return Err(r.invalid(at, what));
+            }
+        }
+        ids.push(id);
+    }
+    Ok(ids)
+}
+
+impl WireEncode for WeiboConfig {
+    fn encoded_len(&self) -> usize {
+        9 * 8
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        w.u64(self.users as u64);
+        w.u64(self.tag_vocabulary);
+        w.u64(self.keyword_vocabulary);
+        put_f64(w, self.zipf_exponent);
+        w.u64(self.min_tags as u64);
+        put_f64(w, self.mean_tags);
+        w.u64(self.max_tags as u64);
+        put_f64(w, self.mean_keywords);
+        w.u64(self.max_keywords as u64);
+    }
+}
+
+impl WireDecode for WeiboConfig {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let start = r.offset();
+        let users = r.u64()? as usize;
+        let tag_vocabulary = r.u64()?;
+        let keyword_vocabulary = r.u64()?;
+        let zipf_exponent = take_f64(r)?;
+        let min_tags = r.u64()? as usize;
+        let mean_tags = take_f64(r)?;
+        let max_tags = r.u64()? as usize;
+        let mean_keywords = take_f64(r)?;
+        let max_keywords = r.u64()? as usize;
+        // Reject configurations [`WeiboDataset::generate`] would assert
+        // on, so a decoded config is always generatable.
+        if tag_vocabulary == 0 || keyword_vocabulary == 0 {
+            return Err(r.invalid(start, "empty vocabulary"));
+        }
+        if zipf_exponent <= 0.0 {
+            return Err(r.invalid(start, "non-positive Zipf exponent"));
+        }
+        let min_eff = min_tags.max(1) as f64;
+        if max_tags < min_tags.max(1) || mean_tags < min_eff || mean_tags > max_tags as f64 {
+            return Err(r.invalid(start, "tag count marginals inconsistent"));
+        }
+        if max_keywords < 1 || mean_keywords < 1.0 || mean_keywords > max_keywords as f64 {
+            return Err(r.invalid(start, "keyword count marginals inconsistent"));
+        }
+        Ok(WeiboConfig {
+            users,
+            tag_vocabulary,
+            keyword_vocabulary,
+            zipf_exponent,
+            min_tags,
+            mean_tags,
+            max_tags,
+            mean_keywords,
+            max_keywords,
+        })
+    }
+}
+
+impl WireEncode for WeiboUser {
+    fn encoded_len(&self) -> usize {
+        4 + 2 + 1 + 4 + 8 * self.tags.len() + 4 + 8 * self.keywords.len()
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        w.u32(self.id);
+        w.u16(self.birth_year);
+        w.u8(self.female as u8);
+        w.u32(self.tags.len() as u32);
+        for &t in &self.tags {
+            w.u64(t);
+        }
+        w.u32(self.keywords.len() as u32);
+        for &k in &self.keywords {
+            w.u64(k);
+        }
+    }
+}
+
+impl WireDecode for WeiboUser {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let id = r.u32()?;
+        let birth_year = r.u16()?;
+        let female_at = r.offset();
+        let female = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(r.invalid(female_at, "gender flag not 0/1")),
+        };
+        let tags = take_id_block(r, "tag ids not strictly increasing")?;
+        let keywords = take_id_block(r, "keyword ids not strictly increasing")?;
+        Ok(WeiboUser { id, birth_year, female, tags, keywords })
+    }
+}
+
+impl Message for WeiboUser {
+    const KIND: FrameKind = FrameKind::WeiboUser;
+}
+
+impl WireEncode for WeiboDataset {
+    fn encoded_len(&self) -> usize {
+        self.config.encoded_len()
+            + 4
+            + self.users.iter().map(WireEncode::encoded_len).sum::<usize>()
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        self.config.encode_into(w);
+        assert!(self.users.len() <= u32::MAX as usize, "too many users for u32 count");
+        w.u32(self.users.len() as u32);
+        for u in &self.users {
+            u.encode_into(w);
+        }
+    }
+}
+
+impl WireDecode for WeiboDataset {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let config = WeiboConfig::decode_from(r)?;
+        let count = r.u32()? as usize;
+        let mut users = Vec::with_capacity(count.min(65536));
+        for _ in 0..count {
+            users.push(WeiboUser::decode_from(r)?);
+        }
+        Ok(WeiboDataset { config, users })
+    }
+}
+
+impl Message for WeiboDataset {
+    const KIND: FrameKind = FrameKind::WeiboDataset;
 }
 
 /// Truncated-geometric attribute-count distribution `P(k) ∝ q^k`,
@@ -371,6 +548,76 @@ mod tests {
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| cd.sample(&mut rng)).sum::<usize>() as f64 / n as f64;
         assert!((mean - 6.0).abs() < 0.3, "calibrated mean {mean}");
+    }
+
+    #[test]
+    fn user_wire_roundtrip() {
+        let d = dataset();
+        for u in d.users().iter().take(50) {
+            let frame = Message::encode(u);
+            assert_eq!(frame.len(), u.frame_len());
+            assert_eq!(&WeiboUser::decode(&frame).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn dataset_wire_roundtrip_is_bit_identical() {
+        let d = WeiboDataset::generate(&WeiboConfig { users: 200, ..WeiboConfig::default() }, 11);
+        let frame = Message::encode(&d);
+        assert_eq!(frame.len(), d.frame_len());
+        let back = WeiboDataset::decode(&frame).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(Message::encode(&back), frame, "re-encoding must be bit-identical");
+    }
+
+    #[test]
+    fn user_decode_rejects_unsorted_and_bad_gender() {
+        let u = dataset().users()[0].clone();
+        let mut body = u.encode_body();
+        // Gender flag.
+        body[6] = 3;
+        assert!(matches!(
+            WeiboUser::decode_body(&body),
+            Err(DecodeError::Invalid { offset: 6, what: "gender flag not 0/1" })
+        ));
+        // Swap the first two tag ids (they are strictly increasing).
+        let mut body = u.encode_body();
+        assert!(u.tags.len() >= 2, "seed user has several tags");
+        let a = 11; // id(4) + year(2) + flag(1) + count(4)
+        let (x, y) = (body[a..a + 8].to_vec(), body[a + 8..a + 16].to_vec());
+        body[a..a + 8].copy_from_slice(&y);
+        body[a + 8..a + 16].copy_from_slice(&x);
+        assert!(matches!(
+            WeiboUser::decode_body(&body),
+            Err(DecodeError::Invalid { what: "tag ids not strictly increasing", .. })
+        ));
+    }
+
+    #[test]
+    fn config_decode_rejects_ungeneratable_marginals() {
+        let cfg = WeiboConfig::default();
+        let good = cfg.encode_body();
+        assert_eq!(WeiboConfig::decode_body(&good).unwrap(), cfg);
+
+        // mean_tags above max_tags.
+        let mut bad = good.clone();
+        bad[40..48].copy_from_slice(&999.0f64.to_bits().to_be_bytes());
+        assert!(matches!(
+            WeiboConfig::decode_body(&bad),
+            Err(DecodeError::Invalid { what: "tag count marginals inconsistent", .. })
+        ));
+
+        // Non-finite Zipf exponent.
+        let mut bad = good.clone();
+        bad[24..32].copy_from_slice(&f64::NAN.to_bits().to_be_bytes());
+        assert!(matches!(
+            WeiboConfig::decode_body(&bad),
+            Err(DecodeError::Invalid { what: "non-finite float", .. })
+        ));
+
+        // A decoded config must generate without panicking.
+        let decoded = WeiboConfig::decode_body(&good).unwrap();
+        let _ = WeiboDataset::generate(&WeiboConfig { users: 10, ..decoded }, 1);
     }
 
     #[test]

@@ -29,8 +29,13 @@
 //!             ctx.broadcast(b"ping".to_vec());
 //!         }
 //!     }
-//!     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, _from: msb_net::sim::NodeId, payload: &[u8]) {
-//!         if payload == b"ping" {
+//!     fn on_message(
+//!         &mut self,
+//!         ctx: &mut NodeCtx<'_>,
+//!         _from: msb_net::sim::NodeId,
+//!         payload: &msb_net::Payload,
+//!     ) {
+//!         if payload.as_bytes() == Some(b"ping") {
 //!             ctx.unicast(msb_net::sim::NodeId::new(0), b"pong".to_vec());
 //!         }
 //!     }
@@ -50,8 +55,10 @@
 pub mod flood;
 pub mod guard;
 pub mod mobility;
+pub mod payload;
 pub mod sim;
 pub mod spatial;
 
-pub use sim::{Metrics, NodeApp, NodeCtx, NodeId, SimConfig, Simulator, SpatialMode};
+pub use payload::Payload;
+pub use sim::{DeliveryMode, Metrics, NodeApp, NodeCtx, NodeId, SimConfig, Simulator, SpatialMode};
 pub use spatial::SpatialIndex;

@@ -1,0 +1,131 @@
+//! What a simulated transmission carries.
+//!
+//! The simulator is payload-agnostic: applications hand it a
+//! [`Payload`], it delivers that payload to every receiver and accounts
+//! [`crate::sim::Metrics::payload_bytes`] from [`Payload::wire_len`].
+//! Two representations exist, selected by the application (typically
+//! from [`crate::sim::SimConfig::delivery`]):
+//!
+//! * **Encoded** ([`Payload::frame`]) — real wire bytes. Receivers
+//!   decode them; the byte metric *measures* the buffer. Cloning for a
+//!   broadcast fan-out is zero-copy ([`bytes::Bytes`] is
+//!   reference-counted).
+//! * **In-memory** ([`Payload::mem`]) — the message struct itself rides
+//!   the event queue (no serialization anywhere), tagged with its exact
+//!   encoded length so byte metrics agree with the encoded mode to the
+//!   byte. This is the fast path and the differential oracle the
+//!   encoded mode is tested against.
+
+use bytes::Bytes;
+use std::any::Any;
+use std::sync::Arc;
+
+/// A message in flight — encoded frame bytes or a shared in-memory
+/// message. Cloning is O(1) for both representations.
+#[derive(Clone)]
+pub struct Payload(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Frame(Bytes),
+    Mem { msg: Arc<dyn Any + Send + Sync>, wire_len: usize },
+}
+
+impl Payload {
+    /// An encoded payload: these bytes are what travels.
+    pub fn frame(bytes: impl Into<Bytes>) -> Self {
+        Payload(Repr::Frame(bytes.into()))
+    }
+
+    /// An in-memory payload: `msg` travels unserialized, accounted as
+    /// `wire_len` bytes (the exact length its encoding would have).
+    pub fn mem<T: Any + Send + Sync>(msg: T, wire_len: usize) -> Self {
+        Payload(Repr::Mem { msg: Arc::new(msg), wire_len })
+    }
+
+    /// The number of bytes this payload occupies on the (simulated)
+    /// air: the buffer length for frames, the declared exact encoded
+    /// length for in-memory messages.
+    pub fn wire_len(&self) -> usize {
+        match &self.0 {
+            Repr::Frame(b) => b.len(),
+            Repr::Mem { wire_len, .. } => *wire_len,
+        }
+    }
+
+    /// The encoded bytes, when this payload is a frame.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match &self.0 {
+            Repr::Frame(b) => Some(b),
+            Repr::Mem { .. } => None,
+        }
+    }
+
+    /// The in-memory message, when this payload is one of type `T`.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        match &self.0 {
+            Repr::Frame(_) => None,
+            Repr::Mem { msg, .. } => msg.downcast_ref::<T>(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Repr::Frame(b) => write!(f, "Payload::Frame({} B)", b.len()),
+            Repr::Mem { wire_len, .. } => write!(f, "Payload::Mem({wire_len} B)"),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload::frame(v)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload::frame(Bytes::copy_from_slice(v))
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(b: Bytes) -> Self {
+        Payload::frame(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_payload_measures_bytes() {
+        let p = Payload::from(vec![0u8; 37]);
+        assert_eq!(p.wire_len(), 37);
+        assert_eq!(p.as_bytes().map(<[u8]>::len), Some(37));
+        assert!(p.downcast_ref::<Vec<u8>>().is_none());
+    }
+
+    #[test]
+    fn mem_payload_declares_bytes() {
+        #[derive(Debug, PartialEq)]
+        struct Msg(u32);
+        let p = Payload::mem(Msg(7), 123);
+        assert_eq!(p.wire_len(), 123);
+        assert!(p.as_bytes().is_none());
+        assert_eq!(p.downcast_ref::<Msg>(), Some(&Msg(7)));
+        assert!(p.downcast_ref::<String>().is_none());
+    }
+
+    #[test]
+    fn clone_shares_the_message() {
+        let p = Payload::mem(vec![1u8, 2, 3], 3);
+        let q = p.clone();
+        let a: *const Vec<u8> = p.downcast_ref::<Vec<u8>>().unwrap();
+        let b: *const Vec<u8> = q.downcast_ref::<Vec<u8>>().unwrap();
+        assert_eq!(a, b, "clones must share one allocation");
+    }
+}

@@ -4,6 +4,7 @@
 //! jitter, loss) flows from one seeded RNG, making runs reproducible
 //! bit-for-bit.
 
+use crate::payload::Payload;
 use crate::spatial::SpatialIndex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,13 +52,36 @@ pub enum SpatialMode {
     NaiveScan,
 }
 
+/// How applications should put messages on the air.
+///
+/// The simulator itself transports any [`Payload`]; this switch tells
+/// payload-aware applications (e.g. `msb_core::app::FriendingApp`)
+/// which representation to construct. Both modes are proven to produce
+/// identical recipients, event order, match results *and byte metrics*
+/// (in-memory payloads declare their exact encoded length) — the
+/// in-memory mode is the oracle the codec path is differentially tested
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// Message structs ride the event queue unserialized (shared, not
+    /// copied); byte metrics use each message's exact computed frame
+    /// length. The default: no codec work on the hot path.
+    #[default]
+    InMemory,
+    /// Every message is encoded into its canonical `msb-wire` frame at
+    /// the sender and decoded at each receiver; byte metrics measure
+    /// the actual frames.
+    EncodedFrames,
+}
+
 /// Radio, timing, and engine parameters.
 ///
 /// Every field participates in determinism: two runs with equal seeds,
 /// equal configs, and equal apps produce identical event streams and
 /// [`Metrics`]. Fields that change only *how fast* the engine answers
-/// queries ([`SimConfig::spatial`], [`SimConfig::cell_d`]) do not change
-/// the stream at all — only [`Metrics::cells_scanned`] reflects them.
+/// queries ([`SimConfig::spatial`], [`SimConfig::cell_d`],
+/// [`SimConfig::delivery`]) do not change the stream at all — only
+/// [`Metrics::cells_scanned`] reflects them.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Radio range in meters: broadcasts reach nodes within this distance
@@ -87,6 +111,9 @@ pub struct SimConfig {
     /// the cell-size heuristic (see [`crate::spatial`] module docs).
     /// Ignored under [`SpatialMode::NaiveScan`].
     pub cell_d: Option<f64>,
+    /// Message representation payload-aware applications should send;
+    /// see [`DeliveryMode`].
+    pub delivery: DeliveryMode,
 }
 
 impl Default for SimConfig {
@@ -100,6 +127,7 @@ impl Default for SimConfig {
             batch_delivery: false,
             spatial: SpatialMode::HexIndex,
             cell_d: None,
+            delivery: DeliveryMode::InMemory,
         }
     }
 }
@@ -109,7 +137,7 @@ pub trait NodeApp {
     /// Called once when the simulation starts.
     fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
     /// Called for every delivered message.
-    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, payload: &[u8]);
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, payload: &Payload);
     /// Called for timers set through [`NodeCtx::set_timer`].
     fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
     /// Called instead of [`NodeApp::on_message`] when
@@ -117,7 +145,7 @@ pub trait NodeApp {
     /// this node at the same instant. The default forwards each message
     /// in arrival order, so enabling batching changes nothing for apps
     /// that don't override this.
-    fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, batch: &[(NodeId, Vec<u8>)]) {
+    fn on_batch(&mut self, ctx: &mut NodeCtx<'_>, batch: &[(NodeId, Payload)]) {
         for (from, payload) in batch {
             self.on_message(ctx, *from, payload);
         }
@@ -127,8 +155,8 @@ pub trait NodeApp {
 /// What a node may do while handling an event.
 #[derive(Debug)]
 enum Action {
-    Broadcast(Vec<u8>),
-    Unicast(NodeId, Vec<u8>),
+    Broadcast(Payload),
+    Unicast(NodeId, Payload),
     Timer(u64, u64), // delay_us, token
 }
 
@@ -138,6 +166,7 @@ pub struct NodeCtx<'a> {
     id: NodeId,
     now_us: u64,
     position: (f64, f64),
+    delivery: DeliveryMode,
     rng: &'a mut StdRng,
     actions: Vec<Action>,
 }
@@ -158,21 +187,27 @@ impl NodeCtx<'_> {
         self.position
     }
 
+    /// The message representation this simulation asks applications to
+    /// send ([`SimConfig::delivery`]).
+    pub fn delivery(&self) -> DeliveryMode {
+        self.delivery
+    }
+
     /// Shared deterministic randomness.
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
 
     /// Queues a broadcast to every node in radio range.
-    pub fn broadcast(&mut self, payload: Vec<u8>) {
-        self.actions.push(Action::Broadcast(payload));
+    pub fn broadcast(&mut self, payload: impl Into<Payload>) {
+        self.actions.push(Action::Broadcast(payload.into()));
     }
 
     /// Queues a unicast. Delivered directly when in range, otherwise
     /// relayed along the shortest connectivity path (modelling the
     /// reverse route a reply follows); each hop counts as a transmission.
-    pub fn unicast(&mut self, to: NodeId, payload: Vec<u8>) {
-        self.actions.push(Action::Unicast(to, payload));
+    pub fn unicast(&mut self, to: NodeId, payload: impl Into<Payload>) {
+        self.actions.push(Action::Unicast(to, payload.into()));
     }
 
     /// Schedules [`NodeApp::on_timer`] after `delay_us`.
@@ -221,7 +256,7 @@ struct Event {
 
 #[derive(Debug)]
 enum EventKind {
-    Deliver { to: NodeId, from: NodeId, payload: Vec<u8> },
+    Deliver { to: NodeId, from: NodeId, payload: Payload },
     Timer { node: NodeId, token: u64 },
 }
 
@@ -414,8 +449,8 @@ impl<A: NodeApp> Simulator<A> {
         &mut self,
         to: NodeId,
         from: NodeId,
-        payload: Vec<u8>,
-    ) -> Vec<(NodeId, Vec<u8>)> {
+        payload: Payload,
+    ) -> Vec<(NodeId, Payload)> {
         let mut batch = vec![(from, payload)];
         while let Some(Reverse(next)) = self.queue.peek() {
             let same = next.at_us == self.now_us
@@ -434,15 +469,21 @@ impl<A: NodeApp> Simulator<A> {
     }
 
     /// Injects a message from "outside" the network (tests, harnesses).
-    pub fn inject(&mut self, to: NodeId, from: NodeId, payload: Vec<u8>) {
+    pub fn inject(&mut self, to: NodeId, from: NodeId, payload: impl Into<Payload>) {
         let at = self.now_us;
-        self.push_event(at, EventKind::Deliver { to, from, payload });
+        self.push_event(at, EventKind::Deliver { to, from, payload: payload.into() });
     }
 
     fn with_ctx(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut NodeCtx<'_>)) {
         let position = self.nodes[id.index()].position;
-        let mut ctx =
-            NodeCtx { id, now_us: self.now_us, position, rng: &mut self.rng, actions: Vec::new() };
+        let mut ctx = NodeCtx {
+            id,
+            now_us: self.now_us,
+            position,
+            delivery: self.config.delivery,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
         // Split borrow: the app lives in self.nodes, ctx borrows self.rng.
         let entry = &mut self.nodes[id.index()];
         f(&mut entry.app, &mut ctx);
@@ -488,9 +529,9 @@ impl<A: NodeApp> Simulator<A> {
         }
     }
 
-    fn do_broadcast(&mut self, from: NodeId, payload: Vec<u8>) {
+    fn do_broadcast(&mut self, from: NodeId, payload: Payload) {
         self.metrics.broadcasts += 1;
-        self.metrics.payload_bytes += payload.len() as u64;
+        self.metrics.payload_bytes += payload.wire_len() as u64;
         let src = self.nodes[from.index()].position;
         let range = self.config.radio_range;
         let mut targets: Vec<(NodeId, f64)> = Vec::new();
@@ -512,7 +553,7 @@ impl<A: NodeApp> Simulator<A> {
         }
     }
 
-    fn do_unicast(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) {
+    fn do_unicast(&mut self, from: NodeId, to: NodeId, payload: Payload) {
         self.metrics.unicasts += 1;
         if from == to {
             let at = self.now_us;
@@ -529,7 +570,7 @@ impl<A: NodeApp> Simulator<A> {
             let d =
                 distance(self.nodes[hop[0].index()].position, self.nodes[hop[1].index()].position);
             self.metrics.unicast_hops += 1;
-            self.metrics.payload_bytes += payload.len() as u64;
+            self.metrics.payload_bytes += payload.wire_len() as u64;
             if self.roll_loss() {
                 self.metrics.lost += 1;
                 return;
@@ -659,8 +700,8 @@ mod tests {
     }
 
     impl NodeApp for Recorder {
-        fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, from: NodeId, payload: &[u8]) {
-            self.heard.push((from, payload.to_vec()));
+        fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, from: NodeId, payload: &Payload) {
+            self.heard.push((from, payload.as_bytes().expect("test payloads are bytes").to_vec()));
         }
         fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, token: u64) {
             self.timers.push(token);
@@ -684,7 +725,7 @@ mod tests {
                     ctx.broadcast(b"hello".to_vec());
                 }
             }
-            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &Payload) {}
         }
         let mut sim = Simulator::new(SimConfig::default(), 1);
         sim.add_node((0.0, 0.0), Caster);
@@ -705,7 +746,7 @@ mod tests {
                     ctx.unicast(self.0, b"reply".to_vec());
                 }
             }
-            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &Payload) {}
         }
         let dst = NodeId::new(3);
         let mut sim = Simulator::new(SimConfig::default(), 1);
@@ -728,7 +769,7 @@ mod tests {
                     ctx.unicast(NodeId::new(1), b"x".to_vec());
                 }
             }
-            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &Payload) {}
         }
         let mut sim = Simulator::new(SimConfig::default(), 1);
         sim.add_node((0.0, 0.0), Fire);
@@ -747,7 +788,7 @@ mod tests {
                 ctx.set_timer(2000, 2);
                 ctx.set_timer(1000, 1);
             }
-            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &Payload) {}
             fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
                 // Record ordering through time.
                 assert!(ctx.now_us() >= 1000);
@@ -771,9 +812,10 @@ mod tests {
                 fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
                     ctx.broadcast(vec![ctx.node_id().index() as u8]);
                 }
-                fn on_message(&mut self, ctx: &mut NodeCtx<'_>, _: NodeId, payload: &[u8]) {
-                    if payload.len() < 3 {
-                        let mut p = payload.to_vec();
+                fn on_message(&mut self, ctx: &mut NodeCtx<'_>, _: NodeId, payload: &Payload) {
+                    let bytes = payload.as_bytes().expect("test payloads are bytes");
+                    if bytes.len() < 3 {
+                        let mut p = bytes.to_vec();
                         p.push(ctx.node_id().index() as u8);
                         ctx.broadcast(p);
                     }
@@ -796,7 +838,7 @@ mod tests {
             fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
                 ctx.broadcast(b"gone".to_vec());
             }
-            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &Payload) {
                 panic!("nothing should arrive");
             }
         }
@@ -826,7 +868,7 @@ mod tests {
             fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
                 ctx.set_timer(10_000, 1);
             }
-            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &Payload) {}
             fn on_timer(&mut self, _: &mut NodeCtx<'_>, _: u64) {
                 panic!("timer beyond deadline must not fire");
             }
@@ -844,10 +886,10 @@ mod tests {
             batches: Vec<usize>,
         }
         impl NodeApp for BatchRecorder {
-            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &Payload) {
                 panic!("batch mode must route through on_batch");
             }
-            fn on_batch(&mut self, _: &mut NodeCtx<'_>, batch: &[(NodeId, Vec<u8>)]) {
+            fn on_batch(&mut self, _: &mut NodeCtx<'_>, batch: &[(NodeId, Payload)]) {
                 self.batches.push(batch.len());
             }
         }
@@ -888,7 +930,7 @@ mod tests {
                     ctx.broadcast(vec![0u8; 100]);
                 }
             }
-            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &Payload) {}
         }
         let mut sim = Simulator::new(SimConfig::default(), 1);
         sim.add_node((0.0, 0.0), Caster);

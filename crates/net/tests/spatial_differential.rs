@@ -147,9 +147,12 @@ proptest! {
 }
 
 /// Records every delivery with full ordering information.
+/// One delivery record: (now_us, from, payload).
+type TraceEntry = (u64, NodeId, Vec<u8>);
+
 struct TraceApp {
-    /// (now_us, from, payload) per delivery, in processing order.
-    trace: Vec<(u64, NodeId, Vec<u8>)>,
+    /// One [`TraceEntry`] per delivery, in processing order.
+    trace: Vec<TraceEntry>,
     /// Gossip depth: how many times a heard message is re-broadcast.
     chattiness: usize,
 }
@@ -157,11 +160,12 @@ struct TraceApp {
 impl NodeApp for TraceApp {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         // Several seeds talk at t=0 so floods collide and interleave.
-        if ctx.node_id().index() % 5 == 0 {
+        if ctx.node_id().index().is_multiple_of(5) {
             ctx.broadcast(vec![ctx.node_id().index() as u8]);
         }
     }
-    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, payload: &[u8]) {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, payload: &msb_net::Payload) {
+        let payload = payload.as_bytes().expect("test payloads are bytes");
         self.trace.push((ctx.now_us(), from, payload.to_vec()));
         if payload.len() < self.chattiness {
             let mut p = payload.to_vec();
@@ -182,11 +186,7 @@ impl NodeApp for TraceApp {
 
 /// Runs a gossiping swarm with mobility ticks between phases and returns
 /// everything observable: per-node traces, metrics, and the final clock.
-fn run_trace(
-    mode: SpatialMode,
-    seed: u64,
-    n: usize,
-) -> (Vec<Vec<(u64, NodeId, Vec<u8>)>>, Metrics, u64) {
+fn run_trace(mode: SpatialMode, seed: u64, n: usize) -> (Vec<Vec<TraceEntry>>, Metrics, u64) {
     let config = SimConfig {
         loss_rate: 0.05,
         spatial: mode,
@@ -257,7 +257,7 @@ fn simulation_trace_bit_identical_across_modes() {
 fn paths_and_components_identical_on_seeded_topology() {
     struct Inert;
     impl NodeApp for Inert {
-        fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &[u8]) {}
+        fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &msb_net::Payload) {}
     }
     let build = |mode: SpatialMode| {
         let config = SimConfig { spatial: mode, ..SimConfig::default() };

@@ -73,6 +73,7 @@ pub mod normalize;
 pub mod profile;
 pub mod remainder;
 pub mod request;
+pub mod wire;
 
 pub use attribute::{Attribute, AttributeHash};
 pub use profile::{Profile, ProfileKey, ProfileVector};

@@ -1,0 +1,682 @@
+//! The canonical, versioned wire codec for every Sealed-Bottle protocol
+//! message.
+//!
+//! Every message that crosses a link — request packages, replies, and
+//! persisted dataset records — is encoded by one engine:
+//!
+//! * [`WireEncode`] / [`WireDecode`] — body-level codec traits. Nested
+//!   structures (remainder vectors, hint matrices, dataset users)
+//!   implement these and compose.
+//! * [`Message`] — the subset of wire types that travel as standalone
+//!   frames. Each carries a [`FrameKind`] discriminant and gains
+//!   [`Message::encode`] / [`Message::decode`], which wrap the body in
+//!   the versioned envelope below.
+//! * [`Reader`] / [`Writer`] — the shared cursor primitives. [`Reader`]
+//!   borrows the input (no intermediate copies — decoding a frame held
+//!   in a [`bytes::Bytes`] never clones the buffer) and reports the
+//!   exact byte offset of any failure through [`DecodeError`].
+//!
+//! # The frame envelope
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  "MSBW"
+//!      4     1  version (currently 1)
+//!      5     1  kind    (FrameKind discriminant)
+//!      6     4  payload length, big-endian u32
+//!     10     n  payload (message body)
+//! ```
+//!
+//! Decoding is **strict**: unknown versions and kinds are rejected, the
+//! declared payload length must match the input exactly, and every
+//! message body must consume its payload to the last byte — trailing
+//! garbage after a valid frame is an error carrying the offset where it
+//! starts. See `docs/WIRE.md` for the per-message body layouts.
+//!
+//! All integers are big-endian. The format has no self-describing or
+//! reflective features on purpose: the codec is the schema, and the
+//! golden fixtures under `tests/fixtures/` pin it byte-for-byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bytes::Bytes;
+
+/// The frame magic: "MSBW" (Message-in-a-Sealed-Bottle Wire).
+pub const MAGIC: [u8; 4] = *b"MSBW";
+
+/// The current (and only) envelope version.
+pub const VERSION: u8 = 1;
+
+/// Size of the frame envelope preceding every message payload.
+pub const FRAME_HEADER_LEN: usize = 10;
+
+/// Message discriminants carried in the frame envelope.
+///
+/// Values are part of the wire format; never reuse or renumber them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A broadcast request package (Protocols 1–3).
+    Request = 0x01,
+    /// A unicast reply/confirmation (the acknowledgement set).
+    Reply = 0x02,
+    /// One persisted synthetic Weibo user record.
+    WeiboUser = 0x10,
+    /// A whole persisted Weibo dataset (config + users).
+    WeiboDataset = 0x11,
+}
+
+impl FrameKind {
+    /// Parses a kind byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0x01 => Some(FrameKind::Request),
+            0x02 => Some(FrameKind::Reply),
+            0x10 => Some(FrameKind::WeiboUser),
+            0x11 => Some(FrameKind::WeiboDataset),
+            _ => None,
+        }
+    }
+}
+
+/// Errors decoding wire data. Offset-bearing variants report the
+/// absolute byte position (within the buffer handed to the decoder)
+/// where decoding failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input does not start with the frame magic.
+    BadMagic,
+    /// The envelope version is not [`VERSION`].
+    UnsupportedVersion(u8),
+    /// The kind byte names no known [`FrameKind`].
+    UnknownKind(u8),
+    /// The frame decoded fine but holds a different message kind than
+    /// the caller asked for.
+    WrongKind {
+        /// The kind the caller expected.
+        expected: FrameKind,
+        /// The kind found in the envelope.
+        found: FrameKind,
+    },
+    /// The input ended before the field starting at `offset` could be
+    /// read.
+    Truncated {
+        /// Where the unreadable field starts.
+        offset: usize,
+    },
+    /// Bytes remain after a complete, valid message.
+    Trailing {
+        /// Where the trailing garbage starts.
+        offset: usize,
+    },
+    /// A field held an invalid value.
+    Invalid {
+        /// Where the offending field starts.
+        offset: usize,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+}
+
+impl DecodeError {
+    /// Shifts offset-bearing variants by `base` — used when a body
+    /// decoder's relative offsets are reported against the whole frame.
+    #[must_use]
+    pub fn at_offset(self, base: usize) -> Self {
+        match self {
+            DecodeError::Truncated { offset } => DecodeError::Truncated { offset: offset + base },
+            DecodeError::Trailing { offset } => DecodeError::Trailing { offset: offset + base },
+            DecodeError::Invalid { offset, what } => {
+                DecodeError::Invalid { offset: offset + base, what }
+            }
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad frame magic"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            DecodeError::WrongKind { expected, found } => {
+                write!(f, "expected a {expected:?} frame, found {found:?}")
+            }
+            DecodeError::Truncated { offset } => write!(f, "input truncated at offset {offset}"),
+            DecodeError::Trailing { offset } => {
+                write!(f, "trailing bytes after a valid message at offset {offset}")
+            }
+            DecodeError::Invalid { offset, what } => {
+                write!(f, "invalid field at offset {offset}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A borrowing, offset-tracking read cursor. Never copies the input.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// The current absolute offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Borrows the next `n` bytes and advances past them.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] at the current offset when fewer than
+    /// `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { offset: self.pos });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a fixed-size byte array.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] when fewer than `N` bytes remain.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        Ok(self.take(N)?.try_into().expect("take returned N bytes"))
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] when fewer than 2 bytes remain.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_be_bytes(self.array()?))
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.array()?))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.array()?))
+    }
+
+    /// Reads the next byte without consuming it.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] at end of input.
+    pub fn peek_u8(&self) -> Result<u8, DecodeError> {
+        if self.remaining() == 0 {
+            return Err(DecodeError::Truncated { offset: self.pos });
+        }
+        Ok(self.data[self.pos])
+    }
+
+    /// An [`DecodeError::Invalid`] anchored at `start` (typically the
+    /// offset saved before reading the offending field).
+    pub fn invalid(&self, start: usize, what: &'static str) -> DecodeError {
+        DecodeError::Invalid { offset: start, what }
+    }
+
+    /// Strict end-of-input check.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Trailing`] at the current offset when bytes remain.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() > 0 {
+            return Err(DecodeError::Trailing { offset: self.pos });
+        }
+        Ok(())
+    }
+}
+
+/// An append-only write cursor; the counterpart of [`Reader`].
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// An empty writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+/// Types with a canonical body encoding.
+pub trait WireEncode {
+    /// The exact encoded body length in bytes, computed without
+    /// encoding. [`WireEncode::encode_body`] asserts this is truthful,
+    /// and the simulator's in-memory delivery mode uses it to account
+    /// wire bytes without serializing.
+    fn encoded_len(&self) -> usize;
+
+    /// Appends the canonical body encoding to `w`.
+    fn encode_into(&self, w: &mut Writer);
+
+    /// The canonical body encoding.
+    fn encode_body(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(self.encoded_len());
+        self.encode_into(&mut w);
+        debug_assert_eq!(w.len(), self.encoded_len(), "encoded_len out of sync with encode_into");
+        w.into_vec()
+    }
+}
+
+/// Types decodable from their canonical body encoding.
+pub trait WireDecode: Sized {
+    /// Decodes one value from the reader, leaving it positioned after
+    /// the value (composable: callers may decode further fields).
+    ///
+    /// # Errors
+    ///
+    /// A [`DecodeError`] locating the failure; decoding is total (no
+    /// panics) for arbitrary input.
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Decodes a standalone body, requiring the input to be consumed
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// A [`DecodeError`]; [`DecodeError::Trailing`] when input remains
+    /// after a valid value.
+    fn decode_body(data: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(data);
+        let v = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// A wire message that travels as a standalone frame.
+pub trait Message: WireEncode + WireDecode {
+    /// The envelope discriminant for this message type.
+    const KIND: FrameKind;
+
+    /// Exact total frame size (envelope + body) without encoding.
+    fn frame_len(&self) -> usize {
+        FRAME_HEADER_LEN + self.encoded_len()
+    }
+
+    /// Encodes the full frame: envelope followed by the body.
+    fn encode(&self) -> Vec<u8> {
+        let body_len = self.encoded_len();
+        let mut w = Writer::with_capacity(FRAME_HEADER_LEN + body_len);
+        w.bytes(&MAGIC);
+        w.u8(VERSION);
+        w.u8(Self::KIND as u8);
+        w.u32(u32::try_from(body_len).expect("message body exceeds u32::MAX bytes"));
+        self.encode_into(&mut w);
+        debug_assert_eq!(w.len(), FRAME_HEADER_LEN + body_len, "encoded_len out of sync");
+        w.into_vec()
+    }
+
+    /// Decodes a full frame of this kind, strictly.
+    ///
+    /// # Errors
+    ///
+    /// Any envelope error ([`DecodeError::BadMagic`],
+    /// [`DecodeError::UnsupportedVersion`], [`DecodeError::UnknownKind`],
+    /// [`DecodeError::WrongKind`], length mismatches) or body error,
+    /// with offsets reported against `data`.
+    fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+        let (kind, payload) = split_frame(data)?;
+        if kind != Self::KIND {
+            return Err(DecodeError::WrongKind { expected: Self::KIND, found: kind });
+        }
+        Self::decode_body(payload).map_err(|e| e.at_offset(FRAME_HEADER_LEN))
+    }
+}
+
+/// Validates the envelope of `data` and returns its kind and payload
+/// slice (zero-copy).
+///
+/// Strictness: the declared payload length must match the input exactly
+/// — a short input is [`DecodeError::Truncated`] (at the input's end),
+/// excess input is [`DecodeError::Trailing`] (at the first surplus
+/// byte).
+///
+/// # Errors
+///
+/// Envelope-level [`DecodeError`]s only; the payload is not parsed.
+pub fn split_frame(data: &[u8]) -> Result<(FrameKind, &[u8]), DecodeError> {
+    let mut r = Reader::new(data);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let kind_byte = r.u8()?;
+    let kind = FrameKind::from_u8(kind_byte).ok_or(DecodeError::UnknownKind(kind_byte))?;
+    let declared = r.u32()? as usize;
+    if r.remaining() < declared {
+        return Err(DecodeError::Truncated { offset: data.len() });
+    }
+    if r.remaining() > declared {
+        return Err(DecodeError::Trailing { offset: FRAME_HEADER_LEN + declared });
+    }
+    Ok((kind, r.take(declared)?))
+}
+
+/// Reads just enough of the envelope to classify a frame (magic,
+/// version, kind) without validating its length or payload — the
+/// dispatch primitive for message handlers.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`], [`DecodeError::BadMagic`],
+/// [`DecodeError::UnsupportedVersion`] or [`DecodeError::UnknownKind`].
+pub fn peek_kind(data: &[u8]) -> Result<FrameKind, DecodeError> {
+    let mut r = Reader::new(data);
+    if r.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let kind_byte = r.u8()?;
+    FrameKind::from_u8(kind_byte).ok_or(DecodeError::UnknownKind(kind_byte))
+}
+
+/// A validated frame view over shared bytes: the header fields plus a
+/// zero-copy handle on the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The message kind from the envelope.
+    pub kind: FrameKind,
+    /// The payload, sharing `bytes`' allocation.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Parses the envelope of `bytes` and returns a view whose payload
+    /// shares the input allocation (no copy).
+    ///
+    /// # Errors
+    ///
+    /// The same envelope errors as [`split_frame`].
+    pub fn parse(bytes: &Bytes) -> Result<Frame, DecodeError> {
+        let (kind, payload) = split_frame(bytes)?;
+        debug_assert_eq!(payload.len(), bytes.len() - FRAME_HEADER_LEN);
+        Ok(Frame { kind, payload: bytes.slice(FRAME_HEADER_LEN..) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy message for engine-level tests.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Ping {
+        seq: u64,
+        note: Vec<u8>,
+    }
+
+    impl WireEncode for Ping {
+        fn encoded_len(&self) -> usize {
+            8 + 2 + self.note.len()
+        }
+        fn encode_into(&self, w: &mut Writer) {
+            w.u64(self.seq);
+            w.u16(self.note.len() as u16);
+            w.bytes(&self.note);
+        }
+    }
+
+    impl WireDecode for Ping {
+        fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let seq = r.u64()?;
+            let n = r.u16()? as usize;
+            let note = r.take(n)?.to_vec();
+            Ok(Ping { seq, note })
+        }
+    }
+
+    impl Message for Ping {
+        // Test-only: reuse a real discriminant.
+        const KIND: FrameKind = FrameKind::Request;
+    }
+
+    fn ping() -> Ping {
+        Ping { seq: 7, note: b"hello".to_vec() }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let p = ping();
+        let frame = p.encode();
+        assert_eq!(frame.len(), p.frame_len());
+        assert_eq!(&frame[..4], b"MSBW");
+        assert_eq!(frame[4], VERSION);
+        assert_eq!(frame[5], FrameKind::Request as u8);
+        assert_eq!(Ping::decode(&frame).unwrap(), p);
+    }
+
+    #[test]
+    fn envelope_rejections_carry_positions() {
+        let p = ping();
+        let frame = p.encode();
+
+        assert_eq!(Ping::decode(b"no"), Err(DecodeError::Truncated { offset: 0 }));
+        assert_eq!(Ping::decode(b"nope"), Err(DecodeError::BadMagic));
+        assert_eq!(Ping::decode(b"XXXXXXXXXXXX"), Err(DecodeError::BadMagic));
+
+        let mut wrong_version = frame.clone();
+        wrong_version[4] = 9;
+        assert_eq!(Ping::decode(&wrong_version), Err(DecodeError::UnsupportedVersion(9)));
+
+        let mut unknown_kind = frame.clone();
+        unknown_kind[5] = 0xEE;
+        assert_eq!(Ping::decode(&unknown_kind), Err(DecodeError::UnknownKind(0xEE)));
+
+        let mut wrong_kind = frame.clone();
+        wrong_kind[5] = FrameKind::Reply as u8;
+        assert_eq!(
+            Ping::decode(&wrong_kind),
+            Err(DecodeError::WrongKind { expected: FrameKind::Request, found: FrameKind::Reply })
+        );
+
+        let mut truncated = frame.clone();
+        truncated.pop();
+        assert_eq!(
+            Ping::decode(&truncated),
+            Err(DecodeError::Truncated { offset: truncated.len() })
+        );
+
+        let mut trailing = frame.clone();
+        trailing.push(0);
+        assert_eq!(Ping::decode(&trailing), Err(DecodeError::Trailing { offset: frame.len() }));
+    }
+
+    #[test]
+    fn body_error_offsets_are_frame_absolute() {
+        // A body whose declared note length exceeds the payload: the
+        // inner Truncated offset must be reported against the frame.
+        let mut w = Writer::new();
+        w.bytes(&MAGIC);
+        w.u8(VERSION);
+        w.u8(FrameKind::Request as u8);
+        w.u32(10); // payload: seq(8) + note_len(2), note truncated away
+        w.u64(1);
+        w.u16(5); // claims 5 note bytes, none present
+        let bytes = w.into_vec();
+        assert_eq!(
+            Ping::decode(&bytes),
+            Err(DecodeError::Truncated { offset: FRAME_HEADER_LEN + 10 })
+        );
+    }
+
+    #[test]
+    fn body_trailing_rejected() {
+        // Envelope length consistent, but the body does not consume the
+        // whole payload.
+        let p = ping();
+        let mut body = p.encode_body();
+        body.push(0xAA);
+        let mut w = Writer::new();
+        w.bytes(&MAGIC);
+        w.u8(VERSION);
+        w.u8(FrameKind::Request as u8);
+        w.u32(body.len() as u32);
+        w.bytes(&body);
+        let bytes = w.into_vec();
+        let expect = FRAME_HEADER_LEN + p.encoded_len();
+        assert_eq!(Ping::decode(&bytes), Err(DecodeError::Trailing { offset: expect }));
+    }
+
+    #[test]
+    fn peek_kind_reads_header_only() {
+        let frame = ping().encode();
+        assert_eq!(peek_kind(&frame), Ok(FrameKind::Request));
+        // Truncated payload is fine for peeking…
+        assert_eq!(peek_kind(&frame[..6]), Ok(FrameKind::Request));
+        // …but a truncated header is not.
+        assert_eq!(peek_kind(&frame[..5]), Err(DecodeError::Truncated { offset: 5 }));
+    }
+
+    #[test]
+    fn frame_parse_is_zero_copy() {
+        let p = ping();
+        let bytes = Bytes::from(p.encode());
+        let frame = Frame::parse(&bytes).unwrap();
+        assert_eq!(frame.kind, FrameKind::Request);
+        assert_eq!(frame.payload.len(), p.encoded_len());
+        assert_eq!(Ping::decode_body(&frame.payload).unwrap(), p);
+    }
+
+    #[test]
+    fn reader_reports_offsets() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u16().unwrap(), 0x0102);
+        assert_eq!(r.offset(), 2);
+        assert_eq!(r.u16(), Err(DecodeError::Truncated { offset: 2 }));
+        assert_eq!(r.u8().unwrap(), 3);
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn writer_reader_all_widths() {
+        let mut w = Writer::new();
+        w.u8(0xab);
+        w.u16(0x1234);
+        w.u32(0xdead_beef);
+        w.u64(0x0102_0304_0506_0708);
+        w.bytes(b"tail");
+        let v = w.into_vec();
+        let mut r = Reader::new(&v);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(r.take(4).unwrap(), b"tail");
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn decode_error_display_mentions_offset() {
+        let e = DecodeError::Invalid { offset: 17, what: "kind" };
+        assert!(e.to_string().contains("17"));
+        assert!(DecodeError::Trailing { offset: 3 }.to_string().contains("3"));
+    }
+
+    #[test]
+    fn at_offset_shifts_only_positional_variants() {
+        assert_eq!(
+            DecodeError::Truncated { offset: 2 }.at_offset(10),
+            DecodeError::Truncated { offset: 12 }
+        );
+        assert_eq!(DecodeError::BadMagic.at_offset(10), DecodeError::BadMagic);
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`core`] | `msb-core` | Protocols 1/2/3, secure channels, vicinity search, adversaries |
 //! | [`baselines`] | `msb-baselines` | Paillier, FNP'04, FC'10, FindU-style PSI-CA, dot product |
 //! | [`dataset`] | `msb-dataset` | synthetic Tencent-Weibo population |
+//! | [`wire`] | `msb-wire` | the canonical versioned frame codec every message uses |
 //!
 //! # Quickstart
 //!
@@ -72,6 +73,7 @@ pub use msb_dataset as dataset;
 pub use msb_lattice as lattice;
 pub use msb_net as net;
 pub use msb_profile as profile;
+pub use msb_wire as wire;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -84,9 +86,13 @@ pub mod prelude {
     };
     pub use msb_core::vicinity::{create_vicinity_request, vicinity_responder};
     pub use msb_lattice::{LatticeConfig, VicinityRegion};
-    pub use msb_net::sim::{NodeApp, NodeCtx, NodeId, SimConfig, Simulator, SpatialMode};
+    pub use msb_net::payload::Payload;
+    pub use msb_net::sim::{
+        DeliveryMode, NodeApp, NodeCtx, NodeId, SimConfig, Simulator, SpatialMode,
+    };
     pub use msb_net::spatial::SpatialIndex;
     pub use msb_profile::{
         Attribute, Profile, ProfileKey, ProfileVector, RequestProfile, RequestVector,
     };
+    pub use msb_wire::{DecodeError, FrameKind, Message, WireDecode, WireEncode};
 }

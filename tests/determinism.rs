@@ -125,9 +125,7 @@ fn burst_batch_equals_one_at_a_time() {
             // Distinct initiator ids: the burst must not trip the
             // per-initiator rate guard.
             let (_, pkg) = Initiator::create(&request(), 100 + i, &config, 0, &mut rng);
-            let mut payload = vec![0x01]; // TAG_REQUEST
-            payload.extend_from_slice(&pkg.encode());
-            sim.inject(node, NodeId::new(7), payload);
+            sim.inject(node, NodeId::new(7), pkg.encode());
         }
         sim.run();
         let app = sim.app(node);

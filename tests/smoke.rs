@@ -60,14 +60,13 @@ fn protocol1_roundtrip_with_fixed_seed() {
         Profile::from_attributes(vec![Attribute::new("interest", "charts")]),
         &config,
     );
-    match stranger.handle(&package, 1_000, &mut rng) {
-        ResponderOutcome::Reply { reply, .. } => {
-            assert!(
-                initiator.process_reply(&reply, 2_000).is_empty(),
-                "stranger reply must not confirm"
-            );
-        }
-        _ => {} // dropping the request is equally fine
+    // Dropping the request outright is equally fine; only a confirmable
+    // reply would be a break.
+    if let ResponderOutcome::Reply { reply, .. } = stranger.handle(&package, 1_000, &mut rng) {
+        assert!(
+            initiator.process_reply(&reply, 2_000).is_empty(),
+            "stranger reply must not confirm"
+        );
     }
 }
 

@@ -1,0 +1,125 @@
+//! Shared deterministic message constructions for the wire-format test
+//! suites (golden fixtures, fuzz). Everything here is built from
+//! *literal* values — no RNG, no hashing — so the expected structs (and
+//! therefore the golden bytes) cannot drift when unrelated generation
+//! code changes.
+
+use sealed_bottle::bignum::linalg::Matrix;
+use sealed_bottle::bignum::BigUint;
+use sealed_bottle::core::package::{Reply, RequestPackage};
+use sealed_bottle::dataset::weibo::{WeiboConfig, WeiboDataset, WeiboUser};
+use sealed_bottle::profile::hint::{HintConstruction, HintMatrix};
+use sealed_bottle::profile::remainder::RemainderVector;
+use sealed_bottle::wire::Message;
+
+fn fe(seed: u64) -> BigUint {
+    // A small, trivially canonical field element.
+    BigUint::from_limbs(vec![seed])
+}
+
+/// Protocol 1, perfect match: no hint section.
+pub fn request_p1_exact() -> RequestPackage {
+    RequestPackage {
+        kind: 1,
+        initiator: 7,
+        ttl: 8,
+        expires_us: 60_000_000,
+        remainder: RemainderVector::from_remainders(11, vec![3, 7], vec![], 0),
+        hint: None,
+        nonce: *b"0123456789abcdef",
+        ciphertext: (0..48).collect(),
+    }
+}
+
+/// Protocol 2, fuzzy with the default Cauchy hint (R not transmitted).
+pub fn request_p2_cauchy() -> RequestPackage {
+    RequestPackage {
+        kind: 2,
+        initiator: 0xDEAD_BEEF,
+        ttl: 3,
+        expires_us: u64::MAX,
+        remainder: RemainderVector::from_remainders(23, vec![5], vec![1, 8, 13, 21], 3),
+        hint: Some(HintMatrix::from_parts(3, HintConstruction::Cauchy, None, vec![fe(99)])),
+        nonce: [0xA5; 16],
+        ciphertext: vec![0x42; 32],
+    }
+}
+
+/// Protocol 3, fuzzy with the paper's literal Random construction
+/// (γ×β R block on the wire).
+pub fn request_p3_random() -> RequestPackage {
+    let gamma = 2;
+    let beta = 2;
+    let r_block = Matrix::from_rows(vec![vec![fe(2), fe(3)], vec![fe(5), fe(7)]]);
+    RequestPackage {
+        kind: 3,
+        initiator: 1,
+        ttl: 1,
+        expires_us: 1_234_567,
+        remainder: RemainderVector::from_remainders(11, vec![], vec![2, 4, 6, 8], beta),
+        hint: Some(HintMatrix::from_parts(
+            beta,
+            HintConstruction::Random,
+            Some(r_block),
+            vec![fe(11), fe(13)],
+        )),
+        nonce: [0; 16],
+        ciphertext: vec![0xFF; 32],
+    }
+    .tap_assert_gamma(gamma)
+}
+
+/// A reply with two acknowledgements of the honest 56-byte shape.
+pub fn reply_two_acks() -> Reply {
+    Reply {
+        request_id: *b"request-id-request-id-request-id",
+        responder: 42,
+        acks: vec![(0..56).collect(), (100..156).collect()],
+    }
+}
+
+/// A literal dataset user.
+pub fn weibo_user() -> WeiboUser {
+    WeiboUser {
+        id: 31_337,
+        birth_year: 1990,
+        female: true,
+        tags: vec![3, 17, 560_000],
+        keywords: vec![1, 2, 9, 713_000],
+    }
+}
+
+/// A tiny literal dataset (config + two users).
+pub fn weibo_dataset() -> WeiboDataset {
+    WeiboDataset::from_parts(
+        WeiboConfig { users: 2, ..WeiboConfig::default() },
+        vec![
+            weibo_user(),
+            WeiboUser { id: 2, birth_year: 2001, female: false, tags: vec![6], keywords: vec![] },
+        ],
+    )
+}
+
+/// Every framed message kind, with its fixture name and encoded frame.
+pub fn all_fixtures() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("request_p1_exact", request_p1_exact().encode()),
+        ("request_p2_cauchy", request_p2_cauchy().encode()),
+        ("request_p3_random", request_p3_random().encode()),
+        ("reply_two_acks", Message::encode(&reply_two_acks())),
+        ("weibo_user", Message::encode(&weibo_user())),
+        ("weibo_dataset", Message::encode(&weibo_dataset())),
+    ]
+}
+
+trait TapAssertGamma {
+    fn tap_assert_gamma(self, gamma: usize) -> Self;
+}
+
+impl TapAssertGamma for RequestPackage {
+    fn tap_assert_gamma(self, gamma: usize) -> Self {
+        assert_eq!(self.remainder.gamma(), gamma, "fixture shape drifted");
+        assert_eq!(self.hint.as_ref().map(HintMatrix::gamma), Some(gamma));
+        self
+    }
+}

@@ -1,0 +1,116 @@
+//! No-panic fuzz tests for the wire codec: decoding arbitrary bytes,
+//! bit-flipped frames, and truncated frames must always return a
+//! `DecodeError` (or a valid message), never panic — for every message
+//! kind. Strictness is fuzzed too: trailing garbage after a valid frame
+//! and any truncation of one are always rejected.
+
+mod wire_common;
+
+use proptest::prelude::*;
+use sealed_bottle::core::package::{Reply, RequestPackage};
+use sealed_bottle::dataset::weibo::{WeiboDataset, WeiboUser};
+use sealed_bottle::wire::{peek_kind, split_frame, Message};
+
+/// Runs every decoder in the workspace over `bytes`; the test passes as
+/// long as none of them panics.
+fn decode_all(bytes: &[u8]) {
+    let _ = peek_kind(bytes);
+    let _ = split_frame(bytes);
+    let _ = RequestPackage::decode(bytes);
+    let _ = Reply::decode(bytes);
+    let _ = WeiboUser::decode(bytes);
+    let _ = WeiboDataset::decode(bytes);
+}
+
+/// Asserts that every decoder rejects `bytes`.
+fn assert_all_reject(bytes: &[u8], context: &str) {
+    assert!(RequestPackage::decode(bytes).is_err(), "request accepted {context}");
+    assert!(Reply::decode(bytes).is_err(), "reply accepted {context}");
+    assert!(WeiboUser::decode(bytes).is_err(), "user accepted {context}");
+    assert!(WeiboDataset::decode(bytes).is_err(), "dataset accepted {context}");
+}
+
+/// Deterministic exhaustive sweep: for every message kind, every
+/// single-byte 0xFF flip decodes without panicking, and every proper
+/// prefix is rejected by every decoder.
+#[test]
+fn exhaustive_flips_and_truncations() {
+    for (name, bytes) in wire_common::all_fixtures() {
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0xFF;
+            decode_all(&m);
+        }
+        for cut in 0..bytes.len() {
+            decode_all(&bytes[..cut]);
+            assert_all_reject(&bytes[..cut], &format!("({name} truncated to {cut})"));
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary byte soup never panics any decoder.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+        decode_all(&data);
+    }
+
+    /// A well-formed envelope over an arbitrary payload never panics —
+    /// this drives the body decoders (not just the envelope check) with
+    /// garbage of a consistent declared length.
+    #[test]
+    fn arbitrary_payload_behind_valid_envelope_never_panics(
+        kind_choice in any::<prop::sample::Index>(),
+        data in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let kinds = [0x01u8, 0x02, 0x10, 0x11];
+        let mut frame = b"MSBW".to_vec();
+        frame.push(1); // version
+        frame.push(kinds[kind_choice.index(kinds.len())]);
+        frame.extend_from_slice(&(data.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&data);
+        decode_all(&frame);
+    }
+
+    /// Single-bit mutations of valid frames never panic.
+    #[test]
+    fn bit_flips_never_panic(
+        which in any::<prop::sample::Index>(),
+        byte in any::<prop::sample::Index>(),
+        bit in any::<prop::sample::Index>(),
+    ) {
+        let fixtures = wire_common::all_fixtures();
+        let (_, bytes) = &fixtures[which.index(fixtures.len())];
+        let mut flipped = bytes.clone();
+        let i = byte.index(flipped.len());
+        flipped[i] ^= 1 << bit.index(8);
+        decode_all(&flipped);
+    }
+
+    /// Trailing garbage after any valid frame is rejected by every
+    /// decoder (the strict-framing guarantee).
+    #[test]
+    fn trailing_garbage_always_rejected(
+        which in any::<prop::sample::Index>(),
+        tail in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let fixtures = wire_common::all_fixtures();
+        let (name, bytes) = &fixtures[which.index(fixtures.len())];
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&tail);
+        assert_all_reject(&extended, &format!("({name} + {} trailing bytes)", tail.len()));
+    }
+
+    /// Random truncations of any valid frame are rejected by every
+    /// decoder.
+    #[test]
+    fn truncations_always_rejected(
+        which in any::<prop::sample::Index>(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let fixtures = wire_common::all_fixtures();
+        let (name, bytes) = &fixtures[which.index(fixtures.len())];
+        let cut = cut.index(bytes.len()); // strictly shorter than the frame
+        assert_all_reject(&bytes[..cut], &format!("({name} truncated to {cut})"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Golden wire-format regression tests.
+//!
+//! The canonical encoding of every message kind is pinned byte-for-byte
+//! by hex fixtures under `tests/fixtures/`. Any change to the frame
+//! envelope or a message body layout fails here loudly; intentional
+//! format changes must bump [`sealed_bottle::wire::VERSION`] and
+//! regenerate the fixtures with
+//!
+//! ```text
+//! MSB_REGEN_FIXTURES=1 cargo test --test wire_golden
+//! ```
+
+mod wire_common;
+
+use sealed_bottle::core::package::{Reply, RequestPackage};
+use sealed_bottle::dataset::weibo::{WeiboDataset, WeiboUser};
+use sealed_bottle::wire::{peek_kind, FrameKind, Message, FRAME_HEADER_LEN, MAGIC, VERSION};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(format!("{name}.hex"))
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2 + bytes.len() / 32 + 1);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && i % 32 == 0 {
+            s.push('\n');
+        }
+        s.push_str(&format!("{b:02x}"));
+    }
+    s.push('\n');
+    s
+}
+
+fn from_hex(text: &str) -> Vec<u8> {
+    let compact: String = text.chars().filter(|c| c.is_ascii_hexdigit()).collect();
+    assert!(compact.len().is_multiple_of(2), "odd hex digit count");
+    (0..compact.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&compact[i..i + 2], 16).expect("hex"))
+        .collect()
+}
+
+fn load_or_regen(name: &str, encoded: &[u8]) -> Vec<u8> {
+    let path = fixture_path(name);
+    if std::env::var_os("MSB_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, to_hex(encoded)).expect("write fixture");
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {path:?} ({e}); regenerate with \
+             MSB_REGEN_FIXTURES=1 cargo test --test wire_golden"
+        )
+    });
+    from_hex(&text)
+}
+
+/// Every fixture matches the current encoder bit-for-bit.
+#[test]
+fn encodings_match_golden_fixtures() {
+    for (name, encoded) in wire_common::all_fixtures() {
+        let golden = load_or_regen(name, &encoded);
+        assert_eq!(
+            encoded, golden,
+            "{name}: wire format drifted from the committed fixture \
+             (intentional changes must bump the wire VERSION and regenerate)"
+        );
+    }
+}
+
+/// Every fixture decodes back to the expected message and re-encodes to
+/// the identical bytes.
+#[test]
+fn fixtures_roundtrip_bit_identically() {
+    let golden = |name: &str, encoded: &[u8]| load_or_regen(name, encoded);
+
+    let p1 = wire_common::request_p1_exact();
+    let bytes = golden("request_p1_exact", &p1.encode());
+    let decoded = RequestPackage::decode(&bytes).unwrap();
+    assert_eq!(decoded, p1);
+    assert_eq!(decoded.encode(), bytes);
+
+    let p2 = wire_common::request_p2_cauchy();
+    let bytes = golden("request_p2_cauchy", &p2.encode());
+    let decoded = RequestPackage::decode(&bytes).unwrap();
+    assert_eq!(decoded, p2);
+    assert_eq!(decoded.encode(), bytes);
+
+    let p3 = wire_common::request_p3_random();
+    let bytes = golden("request_p3_random", &p3.encode());
+    let decoded = RequestPackage::decode(&bytes).unwrap();
+    assert_eq!(decoded, p3);
+    assert_eq!(decoded.encode(), bytes);
+
+    let reply = wire_common::reply_two_acks();
+    let bytes = golden("reply_two_acks", &Message::encode(&reply));
+    let decoded = Reply::decode(&bytes).unwrap();
+    assert_eq!(decoded, reply);
+    assert_eq!(Message::encode(&decoded), bytes);
+
+    let user = wire_common::weibo_user();
+    let bytes = golden("weibo_user", &Message::encode(&user));
+    let decoded = WeiboUser::decode(&bytes).unwrap();
+    assert_eq!(decoded, user);
+    assert_eq!(Message::encode(&decoded), bytes);
+
+    let dataset = wire_common::weibo_dataset();
+    let bytes = golden("weibo_dataset", &Message::encode(&dataset));
+    let decoded = WeiboDataset::decode(&bytes).unwrap();
+    assert_eq!(decoded, dataset);
+    assert_eq!(Message::encode(&decoded), bytes);
+}
+
+/// The envelope of every fixture is the documented 10-byte header.
+#[test]
+fn fixture_envelopes_are_canonical() {
+    let expected_kinds = [
+        FrameKind::Request,
+        FrameKind::Request,
+        FrameKind::Request,
+        FrameKind::Reply,
+        FrameKind::WeiboUser,
+        FrameKind::WeiboDataset,
+    ];
+    for ((name, encoded), kind) in wire_common::all_fixtures().into_iter().zip(expected_kinds) {
+        assert_eq!(&encoded[..4], &MAGIC, "{name}: magic");
+        assert_eq!(encoded[4], VERSION, "{name}: version");
+        assert_eq!(encoded[5], kind as u8, "{name}: kind byte");
+        let declared = u32::from_be_bytes(encoded[6..10].try_into().unwrap()) as usize;
+        assert_eq!(declared, encoded.len() - FRAME_HEADER_LEN, "{name}: length field");
+        assert_eq!(peek_kind(&encoded), Ok(kind), "{name}: peek");
+    }
+}

@@ -2,40 +2,82 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the small slice of the `bytes` API it actually uses:
-//! big-endian `get_*`/`put_*` cursors over owned byte buffers. The
-//! semantics mirror `bytes` 1.x for that subset; anything the workspace
-//! does not call is simply absent.
+//! big-endian `get_*`/`put_*` cursors over byte buffers. The semantics
+//! mirror `bytes` 1.x for that subset; anything the workspace does not
+//! call is simply absent.
+//!
+//! Like upstream, [`Bytes`] is a reference-counted view: `clone`,
+//! `split_to` and `slice` share the underlying allocation instead of
+//! copying it. The simulator's broadcast fan-out and the `msb-wire`
+//! frame splitter rely on this being O(1).
 
 #![forbid(unsafe_code)]
 
-use std::ops::Deref;
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
 
-/// An owned, cheaply splittable read cursor over a byte buffer.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// An owned, cheaply cloneable and sliceable view into shared bytes.
+///
+/// Cloning, [`Bytes::split_to`] and [`Bytes::slice`] are zero-copy: they
+/// produce new views over the same reference-counted allocation.
+#[derive(Debug, Clone, Default)]
 pub struct Bytes {
-    data: Vec<u8>,
-    pos: usize,
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
-    /// Creates a buffer by copying `data`.
+    /// Creates a buffer by copying `data` (one allocation; every view
+    /// derived from it afterwards is zero-copy).
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.to_vec(), pos: 0 }
+        Self::from(data.to_vec())
     }
 
-    /// Splits off and returns the first `n` remaining bytes.
+    /// Splits off and returns the first `n` remaining bytes; both views
+    /// share the allocation.
     ///
     /// Panics if fewer than `n` bytes remain, like `bytes::Bytes::split_to`.
     pub fn split_to(&mut self, n: usize) -> Bytes {
         assert!(n <= self.remaining(), "split_to out of bounds");
-        let head = Bytes { data: self.data[self.pos..self.pos + n].to_vec(), pos: 0 };
-        self.pos += n;
+        let head = Bytes { data: Arc::clone(&self.data), start: self.start, end: self.start + n };
+        self.start += n;
         head
+    }
+
+    /// A zero-copy sub-view of the remaining bytes.
+    ///
+    /// Panics when the range is out of bounds or inverted, like
+    /// `bytes::Bytes::slice`.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&i) => i,
+            std::ops::Bound::Excluded(&i) => i + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&i) => i + 1,
+            std::ops::Bound::Excluded(&i) => i,
+            std::ops::Bound::Unbounded => len,
+        };
+        assert!(lo <= hi && hi <= len, "slice out of bounds");
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
     }
 
     /// The remaining bytes as a slice.
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.pos..]
+        &self.data[self.start..self.end]
     }
 }
 
@@ -54,9 +96,24 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data, pos: 0 }
+        let end = data.len();
+        Bytes { data: Arc::from(data), start: 0, end }
     }
 }
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
 
 /// A growable write buffer.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -75,9 +132,9 @@ impl BytesMut {
         Self::default()
     }
 
-    /// Freezes the buffer into an immutable `Bytes`.
+    /// Freezes the buffer into an immutable `Bytes` (no copy).
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data, pos: 0 }
+        Bytes::from(self.data)
     }
 }
 
@@ -139,14 +196,14 @@ pub trait Buf {
 
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
-        self.data.len() - self.pos
+        self.len()
     }
     fn chunk(&self) -> &[u8] {
         self.as_slice()
     }
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.remaining(), "advance out of bounds");
-        self.pos += cnt;
+        self.start += cnt;
     }
 }
 
@@ -216,5 +273,42 @@ mod tests {
         assert_eq!(&head[..], &[1, 2]);
         assert_eq!(b.remaining(), 3);
         assert_eq!(&b[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn clone_and_slice_share_allocation() {
+        let b = Bytes::from(vec![0u8; 64]);
+        let c = b.clone();
+        let s = b.slice(8..24);
+        // All three views point into one allocation.
+        assert!(Arc::ptr_eq(&b.data, &c.data));
+        assert!(Arc::ptr_eq(&b.data, &s.data));
+        assert_eq!(s.len(), 16);
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(&b.slice(1..3)[..], &[2, 3]);
+        assert_eq!(&b.slice(..)[..], &[1, 2, 3, 4]);
+        assert_eq!(&b.slice(2..)[..], &[3, 4]);
+        assert_eq!(&b.slice(..=2)[..], &[1, 2, 3]);
+        // A view of a view stays anchored correctly.
+        let inner = b.slice(1..).slice(1..);
+        assert_eq!(&inner[..], &[3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_past_end_panics() {
+        let b = Bytes::from(vec![1u8, 2]);
+        let _ = b.slice(0..3);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::copy_from_slice(&[0, 1, 2, 3]).slice(1..);
+        assert_eq!(a, b);
     }
 }
