@@ -40,9 +40,7 @@ fn swarm_row(n: usize) -> Vec<String> {
     };
     let mut sim = swarm::build_swarm(
         swarm::uniform_center_positions(n, n as u64),
-        SpatialMode::HexIndex,
-        0x7AB7,
-        255,
+        &swarm::SwarmParams::new(0x7AB7, 255).with_spatial(SpatialMode::HexIndex),
         request,
         matching,
         noise,

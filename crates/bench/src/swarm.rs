@@ -1,18 +1,30 @@
 //! Shared swarm-scenario construction.
 //!
-//! The scalability bench (`fig8_swarm`), the Table VII swarm extension,
-//! the `swarm` example, and the root swarm tests all execute "the same
-//! scenario at different scales": node 0 initiates from a known
-//! position, one node in [`MATCHING_EVERY`] owns a matching profile, the
-//! rest are noise. Defining the construction once keeps those
-//! same-scenario claims true by construction — and keeps the
-//! differential naive-vs-indexed comparisons meaningful, since both
-//! sides build byte-identical swarms.
+//! The scalability benches (`fig8_swarm`, `fig9_churn`), the Table VII
+//! swarm extension, the `swarm` example, and the root swarm/churn tests
+//! all execute "the same scenario at different scales": node 0
+//! initiates from a known position, one node in [`MATCHING_EVERY`] owns
+//! a matching profile, the rest are noise. Defining the construction
+//! once keeps those same-scenario claims true by construction — and
+//! keeps the differential comparisons (naive vs indexed spatial mode,
+//! heap vs calendar scheduler) meaningful, since all sides build
+//! byte-identical swarms.
+//!
+//! Two scenario families live here:
+//!
+//! * the **static swarm** ([`build_swarm`] / [`build_uniform_swarm`]) —
+//!   one flood over a connected constant-density area;
+//! * the **churn swarm** ([`ChurnSpec`], [`build_churn_swarm`],
+//!   [`drive_churn`]) — initially-partitioned islands
+//!   ([`msb_dataset::placement::islands`]) under [`RandomWaypoint`]
+//!   mobility, with periodic re-flooding carrying the request across
+//!   the gaps (knobs documented in `docs/SIM.md`).
 
-use msb_core::app::FriendingApp;
+use msb_core::app::{FriendingApp, RefloodPolicy};
 use msb_core::protocol::{ProtocolConfig, ProtocolKind};
 use msb_dataset::placement;
-use msb_net::sim::{SimConfig, Simulator, SpatialMode};
+use msb_net::mobility::{Bounds, RandomWaypoint};
+use msb_net::sim::{DeliveryMode, SchedulerMode, SimConfig, Simulator, SpatialMode};
 use msb_profile::{Attribute, Profile, RequestProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,9 +74,44 @@ pub fn uniform_center_positions(n: usize, seed: u64) -> Vec<(f64, f64)> {
     positions
 }
 
+/// Everything that parameterizes a swarm beyond its positions and
+/// profiles: the simulator config (spatial mode, scheduler, delivery,
+/// batching), seeds, flood TTL, request validity, and the optional
+/// re-flood policy. One struct so every scenario family threads the
+/// same knobs through the one builder.
+#[derive(Debug, Clone)]
+pub struct SwarmParams {
+    /// Simulator configuration (engine switches included).
+    pub sim: SimConfig,
+    /// Seed of the simulator's shared RNG.
+    pub sim_seed: u64,
+    /// Flood TTL carried by the request.
+    pub ttl: u8,
+    /// Request validity override in microseconds (`None` keeps the
+    /// [`ProtocolConfig`] default of 60 s). Re-flooding stops at this
+    /// deadline, so churn scenarios set it to their duration.
+    pub validity_us: Option<u64>,
+    /// Attach periodic re-flooding to every node.
+    pub reflood: Option<RefloodPolicy>,
+}
+
+impl SwarmParams {
+    /// Defaults: default [`SimConfig`], no validity override, no
+    /// re-flooding.
+    pub fn new(sim_seed: u64, ttl: u8) -> Self {
+        SwarmParams { sim: SimConfig::default(), sim_seed, ttl, validity_us: None, reflood: None }
+    }
+
+    /// Selects the spatial engine (the fig8 naive-vs-indexed axis).
+    pub fn with_spatial(mut self, mode: SpatialMode) -> Self {
+        self.sim.spatial = mode;
+        self
+    }
+}
+
 /// Builds a friending swarm over `positions`: node 0 (at `positions[0]`)
-/// initiates `request` under Protocol 1 (p = 11, the given flood TTL);
-/// every [`MATCHING_EVERY`]-th other node owns `matching`, the rest
+/// initiates `request` under Protocol 1 (p = 11); every
+/// [`MATCHING_EVERY`]-th other node owns `matching`, the rest
 /// `noise(i)`.
 ///
 /// # Panics
@@ -72,23 +119,28 @@ pub fn uniform_center_positions(n: usize, seed: u64) -> Vec<(f64, f64)> {
 /// Panics if `positions` is empty.
 pub fn build_swarm(
     positions: Vec<(f64, f64)>,
-    mode: SpatialMode,
-    sim_seed: u64,
-    ttl: u8,
+    params: &SwarmParams,
     request: RequestProfile,
     matching: Profile,
     noise: impl Fn(usize) -> Profile,
 ) -> Simulator<FriendingApp> {
     let mut config = ProtocolConfig::new(ProtocolKind::P1, 11);
-    config.ttl = ttl;
-    let mut sim = Simulator::new(SimConfig { spatial: mode, ..SimConfig::default() }, sim_seed);
+    config.ttl = params.ttl;
+    if let Some(validity_us) = params.validity_us {
+        config.validity_us = validity_us;
+    }
+    let with_reflood = |app: FriendingApp| match params.reflood {
+        Some(policy) => app.with_reflood(policy),
+        None => app,
+    };
+    let mut sim = Simulator::new(params.sim, params.sim_seed);
     let mut slots = positions.into_iter();
     let origin = slots.next().expect("a swarm needs at least the initiator");
-    sim.add_node(origin, FriendingApp::initiator(noise(0), request, config.clone()));
+    sim.add_node(origin, with_reflood(FriendingApp::initiator(noise(0), request, config.clone())));
     sim.add_nodes(slots.enumerate().map(|(i, pos)| {
         let idx = i + 1;
         let profile = if idx % MATCHING_EVERY == 0 { matching.clone() } else { noise(idx) };
-        (pos, FriendingApp::participant(profile, config.clone()))
+        (pos, with_reflood(FriendingApp::participant(profile, config.clone())))
     }));
     sim
 }
@@ -104,13 +156,122 @@ pub fn build_uniform_swarm(
 ) -> Simulator<FriendingApp> {
     build_swarm(
         uniform_center_positions(n, sim_seed ^ n as u64),
-        mode,
-        sim_seed,
-        ttl,
+        &SwarmParams::new(sim_seed, ttl).with_spatial(mode),
         lighthouse_request(),
         lighthouse_matching(),
         noise_profile,
     )
+}
+
+/// Parameters of the churn scenario family: `nodes` spread over
+/// initially-partitioned islands, roaming under random-waypoint
+/// mobility while every node re-floods the requests it carries. The
+/// [`ChurnSpec::standard`] values are the `fig9_churn` /
+/// `churn_smoke` scenario; `docs/SIM.md` documents each knob.
+#[derive(Debug, Clone)]
+pub struct ChurnSpec {
+    /// Swarm size.
+    pub nodes: usize,
+    /// Island count. Deliberately coprime with [`MATCHING_EVERY`] in
+    /// the standard spec so matching users land on *every* island
+    /// (round-robin assignment) and cross-island matches exist.
+    pub islands: usize,
+    /// Rim-to-rim island separation in meters — wider than the radio
+    /// range, so the initial connectivity graph is partitioned.
+    pub gap_m: f64,
+    /// Scenario length in simulated seconds; also the request
+    /// validity, so re-flooding stops exactly at the horizon.
+    pub duration_s: u64,
+    /// Mobility tick: the event queue runs to the tick boundary, then
+    /// every position updates ([`RandomWaypoint::advance`] +
+    /// [`Simulator::set_positions`]).
+    pub tick_s: f64,
+    /// The re-flood policy every node runs.
+    pub reflood: RefloodPolicy,
+    /// Waypoint speed range in m/s.
+    pub speed_m_s: (f64, f64),
+    /// Waypoint pause in seconds.
+    pub pause_s: f64,
+    /// Master seed (placement, mobility, and simulator RNGs derive
+    /// from it).
+    pub seed: u64,
+    /// Event engine under test — the fig9 heap-vs-calendar axis.
+    pub scheduler: SchedulerMode,
+    /// Message representation ([`SimConfig::delivery`]).
+    pub delivery: DeliveryMode,
+}
+
+impl ChurnSpec {
+    /// The standard churn scenario at `nodes` size: 3 islands 120 m
+    /// apart, 40 simulated seconds, vehicular speeds (8–25 m/s),
+    /// re-flood every 5 s capped to the 8 nearest neighbors.
+    pub fn standard(nodes: usize, scheduler: SchedulerMode) -> Self {
+        ChurnSpec {
+            nodes,
+            islands: 3,
+            gap_m: 120.0,
+            duration_s: 40,
+            tick_s: 1.0,
+            reflood: RefloodPolicy::every(5_000_000).with_fanout_cap(8),
+            speed_m_s: (8.0, 25.0),
+            pause_s: 1.0,
+            seed: 0xF169,
+            scheduler,
+            delivery: DeliveryMode::InMemory,
+        }
+    }
+}
+
+/// Builds the churn swarm and its mobility model, both starting from
+/// the same island placement.
+pub fn build_churn_swarm(spec: &ChurnSpec) -> (Simulator<FriendingApp>, RandomWaypoint) {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ spec.nodes as u64);
+    let (positions, layout) =
+        placement::islands(spec.nodes, spec.islands, AREA_PER_NODE, spec.gap_m, &mut rng);
+    let mobility = RandomWaypoint::from_positions(
+        positions.clone(),
+        Bounds { width: layout.side, height: layout.side },
+        spec.speed_m_s.0,
+        spec.speed_m_s.1,
+        spec.pause_s,
+        spec.seed ^ 0x5eed,
+    );
+    let params = SwarmParams {
+        sim: SimConfig {
+            scheduler: spec.scheduler,
+            delivery: spec.delivery,
+            ..SimConfig::default()
+        },
+        sim_seed: spec.seed,
+        ttl: 255,
+        validity_us: Some(spec.duration_s * 1_000_000),
+        reflood: Some(spec.reflood),
+    };
+    let sim =
+        build_swarm(positions, &params, lighthouse_request(), lighthouse_matching(), noise_profile);
+    (sim, mobility)
+}
+
+/// Drives a churn run to completion: alternates event processing with
+/// mobility ticks for the scenario duration, then drains the remaining
+/// events (replies in flight; re-flood timers stop at the validity
+/// horizon). One reused position buffer serves every tick — no
+/// per-tick allocation even at 50k nodes.
+pub fn drive_churn(
+    sim: &mut Simulator<FriendingApp>,
+    mobility: &mut RandomWaypoint,
+    spec: &ChurnSpec,
+) {
+    sim.start();
+    let ticks = (spec.duration_s as f64 / spec.tick_s).ceil() as u64;
+    let mut buf = Vec::new();
+    for tick in 1..=ticks {
+        sim.run_until((tick as f64 * spec.tick_s * 1e6) as u64);
+        mobility.advance(spec.tick_s);
+        mobility.positions_into(&mut buf);
+        sim.set_positions(&buf);
+    }
+    sim.run();
 }
 
 #[cfg(test)]
@@ -134,5 +295,24 @@ mod tests {
         assert!(!matches.is_empty(), "the scenario must produce matches");
         // Matching slots are exactly the MATCHING_EVERY multiples.
         assert!(matches.iter().all(|m| (m.responder as usize).is_multiple_of(MATCHING_EVERY)));
+    }
+
+    #[test]
+    fn churn_scenario_bridges_islands_through_mobility() {
+        use msb_core::app::SwarmSummary;
+        // Small but real: 600 nodes on 3 islands. The initial flood can
+        // only reach island 0 (the gap exceeds the radio range);
+        // every cross-island match is re-flooding's doing.
+        let spec = ChurnSpec::standard(600, SchedulerMode::Calendar);
+        let (mut sim, mut mobility) = build_churn_swarm(&spec);
+        drive_churn(&mut sim, &mut mobility, &spec);
+        let summary = SwarmSummary::collect(&sim);
+        assert!(summary.refloods > 0, "re-flooding must fire: {summary:?}");
+        let matches = sim.app(msb_net::sim::NodeId::new(0)).matches();
+        assert!(!matches.is_empty(), "churn swarm must confirm matches: {summary:?}");
+        let cross_island =
+            matches.iter().filter(|m| !(m.responder as usize).is_multiple_of(spec.islands)).count();
+        assert!(cross_island > 0, "mobility + re-flooding must reach other islands: {matches:?}");
+        assert!(sim.metrics().peak_queue_len > 0);
     }
 }

@@ -85,6 +85,62 @@ fn payload_kind(payload: &Payload) -> Option<FrameKind> {
     payload.as_bytes().and_then(|b| peek_kind(b).ok())
 }
 
+/// Periodic re-broadcast of carried requests — the mobility-driven
+/// re-flooding policy (the paper's "spread by relays until … expiration
+/// time" under churn).
+///
+/// A static flood reaches only the initiator's connected component at
+/// t = 0. With a policy attached, every node that *relays* a request
+/// (and the initiator itself) keeps the forwarded package and
+/// re-broadcasts it every [`RefloodPolicy::period_us`] until the
+/// package expires, so nodes that mobility carries into range later
+/// still receive it; duplicate suppression makes re-floods cheap for
+/// everyone who already processed the request. Driven by the
+/// simulator's recurring timers
+/// ([`msb_net::sim::NodeCtx::set_recurring_timer`]); see `docs/SIM.md`
+/// for the scenario knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefloodPolicy {
+    /// Distance between consecutive re-broadcasts of a carried
+    /// package, in microseconds. Must be nonzero.
+    pub period_us: u64,
+    /// When set, each re-broadcast reaches only the `k` nearest
+    /// in-range neighbors
+    /// ([`msb_net::sim::NodeCtx::broadcast_k_nearest`]) instead of
+    /// everyone in range — bounding re-flood traffic in dense crowds.
+    pub fanout_cap: Option<usize>,
+}
+
+impl RefloodPolicy {
+    /// Uncapped re-flooding every `period_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_us` is zero.
+    pub fn every(period_us: u64) -> Self {
+        assert!(period_us > 0, "a re-flood period must be nonzero");
+        RefloodPolicy { period_us, fanout_cap: None }
+    }
+
+    /// Caps each re-broadcast to the `k` nearest in-range neighbors.
+    pub fn with_fanout_cap(mut self, k: usize) -> Self {
+        self.fanout_cap = Some(k);
+        self
+    }
+}
+
+/// A request this node keeps re-broadcasting while its re-flood timer
+/// recurs. The payload is built once at arm time and the id
+/// precomputed — re-encoding the frame (or re-hashing it) every period
+/// would be wasted work, since [`Payload`] clones are O(1)
+/// reference-count bumps either way.
+#[derive(Debug)]
+struct CarriedRequest {
+    payload: Payload,
+    request_id: [u8; 32],
+    expires_us: u64,
+}
+
 /// Things that happened at a node, for inspection by tests, examples and
 /// the evaluation harness.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,6 +181,12 @@ pub enum AppEvent {
         /// Responder node id.
         responder: u32,
     },
+    /// A carried request was periodically re-broadcast (see
+    /// [`RefloodPolicy`]).
+    Reflooded {
+        /// The flood id of the request.
+        request_id: [u8; 32],
+    },
     /// A sender exceeded the request-frequency limit.
     RateLimited {
         /// Offending initiator id.
@@ -152,6 +214,11 @@ pub struct FriendingApp {
     flood: FloodState,
     guard: RateGuard<u32>,
     pending_replies: HashMap<u64, (u32, Reply)>,
+    /// Requests kept for periodic re-broadcast, keyed by the recurring
+    /// timer token that re-fires them. Empty unless a [`RefloodPolicy`]
+    /// is attached.
+    carried: HashMap<u64, CarriedRequest>,
+    reflood: Option<RefloodPolicy>,
     next_token: u64,
     per_key_cost_us: u64,
     entropy: Option<(EntropyModel, f64)>,
@@ -173,6 +240,8 @@ impl FriendingApp {
             // Default: at most 3 requests per initiator per 10 s.
             guard: RateGuard::new(10_000_000, 3),
             pending_replies: HashMap::new(),
+            carried: HashMap::new(),
+            reflood: None,
             next_token: 0,
             per_key_cost_us: 7_000, // paper: ~7 ms per candidate key on a phone
             entropy: None,
@@ -197,6 +266,15 @@ impl FriendingApp {
     /// Overrides the modelled per-candidate-key computation cost.
     pub fn with_per_key_cost(mut self, cost_us: u64) -> Self {
         self.per_key_cost_us = cost_us;
+        self
+    }
+
+    /// Attaches a re-flooding policy: this node keeps re-broadcasting
+    /// its own request (initiators) and every request it relays, each
+    /// on a recurring timer, until the request expires. See
+    /// [`RefloodPolicy`].
+    pub fn with_reflood(mut self, policy: RefloodPolicy) -> Self {
+        self.reflood = Some(policy);
         self
     }
 
@@ -299,9 +377,70 @@ impl FriendingApp {
         if decision == FloodDecision::Relay && !verified_match {
             let mut fwd = package.clone();
             fwd.ttl -= 1;
+            self.arm_reflood(ctx, &fwd, request_id);
             let payload = AppMsg::Request(fwd).into_payload(ctx.delivery());
             ctx.broadcast(payload);
             self.events.push(AppEvent::Relayed { request_id });
+        }
+    }
+
+    /// Starts the periodic re-broadcast of `package` when a
+    /// [`RefloodPolicy`] is attached and at least one firing fits
+    /// before the package expires. The recurring timer stops itself at
+    /// the expiry deadline, so re-flooding never keeps a finite
+    /// simulation alive.
+    fn arm_reflood(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        package: &RequestPackage,
+        request_id: [u8; 32],
+    ) {
+        let Some(policy) = self.reflood else {
+            return;
+        };
+        // Fire strictly before the expiry instant: a re-broadcast *at*
+        // expiry would be classified Expired by every receiver.
+        let until = package.expires_us.saturating_sub(1);
+        if ctx.now_us().saturating_add(policy.period_us) > until {
+            return; // expires before the first re-broadcast could land
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        self.carried.insert(
+            token,
+            CarriedRequest {
+                payload: AppMsg::Request(package.clone()).into_payload(ctx.delivery()),
+                request_id,
+                expires_us: package.expires_us,
+            },
+        );
+        ctx.set_recurring_timer(policy.period_us, policy.period_us, until, token);
+    }
+
+    /// One firing of a re-flood timer: re-broadcast the carried
+    /// payload (fan-out-capped when the policy says so) and drop it
+    /// once no further firing can land before expiry.
+    fn fire_reflood(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        let Some(carried) = self.carried.get(&token) else {
+            return;
+        };
+        let policy = self.reflood.expect("carried requests exist only under a policy");
+        let now = ctx.now_us();
+        if carried.expires_us <= now {
+            self.carried.remove(&token);
+            return;
+        }
+        let request_id = carried.request_id;
+        let payload = carried.payload.clone();
+        match policy.fanout_cap {
+            Some(k) => ctx.broadcast_k_nearest(k, payload),
+            None => ctx.broadcast(payload),
+        }
+        self.events.push(AppEvent::Reflooded { request_id });
+        // The recurring timer stops past `expires_us - 1`; free the
+        // carried copy as soon as this was the last firing.
+        if now.saturating_add(policy.period_us) > carried.expires_us.saturating_sub(1) {
+            self.carried.remove(&token);
         }
     }
 
@@ -380,6 +519,8 @@ pub struct SwarmSummary {
     pub requests_sent: u64,
     /// Relay forwards across the whole swarm.
     pub relays: u64,
+    /// Periodic re-broadcasts of carried requests ([`RefloodPolicy`]).
+    pub refloods: u64,
     /// Nodes that passed the fast check and gambled candidate keys.
     pub candidates: u64,
     /// Replies transmitted back toward initiators.
@@ -403,6 +544,7 @@ impl SwarmSummary {
                 match event {
                     AppEvent::RequestSent { .. } => out.requests_sent += 1,
                     AppEvent::Relayed { .. } => out.relays += 1,
+                    AppEvent::Reflooded { .. } => out.refloods += 1,
                     AppEvent::BecameCandidate { .. } => out.candidates += 1,
                     AppEvent::ReplySent { .. } => out.replies += 1,
                     AppEvent::MatchConfirmed { at_us, .. } => {
@@ -439,6 +581,7 @@ impl NodeApp for FriendingApp {
                 Initiator::create(&request, my_id, &self.config, ctx.now_us(), ctx.rng());
             let request_id = initiator.request_id();
             self.initiator = Some(initiator);
+            self.arm_reflood(ctx, &package, request_id);
             let payload = AppMsg::Request(package).into_payload(ctx.delivery());
             ctx.broadcast(payload);
             self.events.push(AppEvent::RequestSent { request_id });
@@ -509,7 +652,11 @@ impl NodeApp for FriendingApp {
             let payload = AppMsg::Reply(reply).into_payload(ctx.delivery());
             ctx.unicast(NodeId::new(initiator_node), payload);
             self.events.push(AppEvent::ReplySent { request_id, acks });
+            return;
         }
+        // Not a reply token: a recurring re-flood firing (tokens are
+        // drawn from one counter, so the namespaces never collide).
+        self.fire_reflood(ctx, token);
     }
 }
 
@@ -711,6 +858,108 @@ mod tests {
         assert_eq!(summary.match_latencies_us.len(), 1);
         assert_eq!(summary.latency_percentile_us(0.5), summary.latency_percentile_us(1.0));
         assert_eq!(SwarmSummary::default().latency_percentile_us(0.99), None);
+    }
+
+    #[test]
+    fn reflood_reaches_a_node_that_moves_into_range() {
+        // The matching user starts out of range of everyone; without
+        // re-flooding the initial broadcast misses it forever. Mid-run
+        // it moves next to the initiator, and the next periodic
+        // re-broadcast completes the match.
+        let policy = RefloodPolicy::every(2_000_000);
+        let mut sim = Simulator::new(SimConfig::default(), 42);
+        let initiator = sim.add_node(
+            (0.0, 0.0),
+            FriendingApp::initiator(noise_profile(0), request(), config(ProtocolKind::P1))
+                .with_reflood(policy),
+        );
+        let wanderer = sim.add_node(
+            (500.0, 0.0), // far outside the 50 m radio range
+            FriendingApp::participant(matching_profile(), config(ProtocolKind::P1)),
+        );
+        sim.start();
+        sim.run_until(1_000_000);
+        assert!(sim.app(initiator).matches().is_empty(), "nothing reachable yet");
+        sim.set_position(wanderer, (30.0, 0.0)); // mobility brings it close
+        sim.run();
+        assert_eq!(sim.app(initiator).matches().len(), 1, "re-flood found the wanderer");
+        let refloods = sim
+            .app(initiator)
+            .events
+            .iter()
+            .filter(|e| matches!(e, AppEvent::Reflooded { .. }))
+            .count();
+        assert!(refloods >= 1, "events: {:?}", sim.app(initiator).events);
+    }
+
+    #[test]
+    fn reflood_stops_at_expiry_and_run_terminates() {
+        let mut cfg = config(ProtocolKind::P1);
+        cfg.validity_us = 10_000_000;
+        let policy = RefloodPolicy::every(3_000_000);
+        let mut sim = Simulator::new(SimConfig::default(), 7);
+        let id = sim.add_node(
+            (0.0, 0.0),
+            FriendingApp::initiator(noise_profile(0), request(), cfg).with_reflood(policy),
+        );
+        sim.add_node(
+            (40.0, 0.0),
+            FriendingApp::participant(noise_profile(1), config(ProtocolKind::P1)),
+        );
+        sim.start();
+        sim.run(); // must drain: the recurring timer is expiry-bounded
+        let refloods =
+            sim.app(id).events.iter().filter(|e| matches!(e, AppEvent::Reflooded { .. })).count();
+        // Firings at 3 s, 6 s, 9 s — never at or past the 10 s expiry.
+        assert_eq!(refloods, 3, "events: {:?}", sim.app(id).events);
+        assert!(sim.now_us() < 10_000_000 + 1_000_000);
+    }
+
+    #[test]
+    fn reflood_fanout_cap_limits_recipients() {
+        // 6 in-range participants; the cap says each re-broadcast may
+        // reach only 2. The initial (uncapped) flood still reaches all.
+        let policy = RefloodPolicy::every(2_000_000).with_fanout_cap(2);
+        let mut cfg = config(ProtocolKind::P1);
+        cfg.validity_us = 5_000_000;
+        let mut sim = Simulator::new(SimConfig::default(), 9);
+        sim.add_node(
+            (0.0, 0.0),
+            FriendingApp::initiator(noise_profile(0), request(), cfg.clone()).with_reflood(policy),
+        );
+        for i in 1..7 {
+            sim.add_node(
+                (i as f64 * 5.0, 0.0),
+                FriendingApp::participant(noise_profile(i), cfg.clone()),
+            );
+        }
+        sim.start();
+        let before = sim.metrics().delivered;
+        sim.run_until(1_000_000);
+        let initial_flood = sim.metrics().delivered - before;
+        sim.run();
+        // Two re-flood firings (2 s, 4 s) × 2 recipients each; relays
+        // have nothing new to carry (duplicates are not relayed), so
+        // the delta over the initial flood is exactly the capped traffic.
+        let refire_traffic = sim.metrics().delivered - before - initial_flood;
+        assert_eq!(refire_traffic, 4, "metrics: {:?}", sim.metrics());
+    }
+
+    #[test]
+    fn swarm_summary_counts_refloods() {
+        let policy = RefloodPolicy::every(2_000_000);
+        let mut cfg = config(ProtocolKind::P1);
+        cfg.validity_us = 5_000_000;
+        let mut sim = Simulator::new(SimConfig::default(), 11);
+        sim.add_node(
+            (0.0, 0.0),
+            FriendingApp::initiator(noise_profile(0), request(), cfg.clone()).with_reflood(policy),
+        );
+        sim.add_node((40.0, 0.0), FriendingApp::participant(noise_profile(1), cfg));
+        sim.start();
+        sim.run();
+        let summary = SwarmSummary::collect(&sim);
+        assert_eq!(summary.refloods, 2, "firings at 2 s and 4 s: {summary:?}");
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Node placement samplers for swarm scenarios.
 //!
-//! The simulator needs initial positions for thousands of nodes. Two
+//! The simulator needs initial positions for thousands of nodes. Three
 //! layouts cover the evaluation's needs: a uniform scatter (the MANET
-//! literature's default, constant expected density) and a Zipf-clustered
+//! literature's default, constant expected density), a Zipf-clustered
 //! layout modelling real crowds — a few dense hotspots (malls, campus
 //! quads) holding most of the population, a heavy tail of sparse cells —
 //! using the same [`Zipf`] popularity law the profile generator uses for
-//! tags.
+//! tags, and an [`islands`] layout of equal, well-separated discs whose
+//! initial connectivity graph is partitioned: the churn scenarios start
+//! there so that only mobility plus re-flooding can carry a request
+//! across the gaps (see `docs/SIM.md`).
 //!
 //! All samplers are pure functions of their RNG, so placements are
 //! reproducible from a seed and composable with the simulator's own
@@ -68,6 +71,82 @@ pub fn zipf_clustered<R: Rng + ?Sized>(
             (x, y)
         })
         .collect()
+}
+
+/// Geometry of an [`islands`] layout, so scenario builders, mobility
+/// bounds, and tests agree on the same arena without re-deriving it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IslandLayout {
+    /// Islands per side of the square grid.
+    pub grid: usize,
+    /// Radius of each island disc, in meters.
+    pub radius: f64,
+    /// Arena width = height, in meters.
+    pub side: f64,
+    /// Center-to-center spacing of adjacent islands, in meters.
+    pub pitch: f64,
+}
+
+impl IslandLayout {
+    /// Computes the layout for `n` nodes over `islands` discs at
+    /// `area_per_node` m² of disc area per node (constant density —
+    /// what keeps broadcast fan-out independent of swarm size), with
+    /// `gap` meters of empty space between adjacent disc rims.
+    ///
+    /// Islands sit on the smallest square grid that holds them, so the
+    /// arena side is `grid · (2·radius + gap)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= islands >= 1`, `area_per_node` is positive
+    /// and finite, and `gap` is non-negative and finite.
+    pub fn compute(n: usize, islands: usize, area_per_node: f64, gap: f64) -> Self {
+        assert!(islands >= 1, "need at least one island");
+        assert!(n >= islands, "need at least one node per island");
+        assert!(area_per_node > 0.0 && area_per_node.is_finite(), "density must be positive");
+        assert!(gap >= 0.0 && gap.is_finite(), "gap must be non-negative");
+        let per_island = n.div_ceil(islands);
+        let radius = (per_island as f64 * area_per_node / std::f64::consts::PI).sqrt();
+        let grid = (islands as f64).sqrt().ceil() as usize;
+        let pitch = 2.0 * radius + gap;
+        IslandLayout { grid, radius, side: grid as f64 * pitch, pitch }
+    }
+
+    /// Center of island `i` (row-major on the grid).
+    pub fn center(&self, i: usize) -> (f64, f64) {
+        let (col, row) = (i % self.grid, i / self.grid);
+        ((col as f64 + 0.5) * self.pitch, (row as f64 + 0.5) * self.pitch)
+    }
+}
+
+/// Positions for `n` nodes split round-robin across `layout`-geometry
+/// islands (node `i` lives on island `i % islands`), each placed
+/// uniformly inside its island's disc. With a positive gap wider than
+/// the radio range, the initial connectivity graph has (at least) one
+/// component per island — the starting point of the churn scenarios,
+/// where mobility plus re-flooding must bridge the gaps.
+///
+/// # Panics
+///
+/// Panics on the same inputs [`IslandLayout::compute`] rejects.
+pub fn islands<R: Rng + ?Sized>(
+    n: usize,
+    islands: usize,
+    area_per_node: f64,
+    gap: f64,
+    rng: &mut R,
+) -> (Vec<(f64, f64)>, IslandLayout) {
+    let layout = IslandLayout::compute(n, islands, area_per_node, gap);
+    let positions = (0..n)
+        .map(|i| {
+            let c = layout.center(i % islands);
+            // Uniform in the disc: r = R·√u keeps area density flat.
+            let r = layout.radius * rng.gen_range(0.0..1.0f64).sqrt();
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            (c.0 + r * theta.cos(), c.1 + r * theta.sin())
+        })
+        .collect();
+    (positions, layout)
 }
 
 #[cfg(test)]
@@ -139,5 +218,55 @@ mod tests {
     fn zero_area_rejected() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = uniform(1, 0.0, 10.0, &mut rng);
+    }
+
+    #[test]
+    fn islands_are_partitioned_by_the_gap() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gap = 120.0;
+        let (pts, layout) = islands(800, 4, 700.0, gap, &mut rng);
+        assert_eq!(pts.len(), 800);
+        assert_eq!(layout.grid, 2);
+        // Every node is inside its island's disc, and nodes of
+        // different islands are at least `gap` apart — farther than any
+        // plausible radio range, so the initial graph is partitioned.
+        for (i, &p) in pts.iter().enumerate() {
+            let c = layout.center(i % 4);
+            let d = ((p.0 - c.0).powi(2) + (p.1 - c.1).powi(2)).sqrt();
+            assert!(d <= layout.radius + 1e-9, "node {i} left its island: {d}");
+            assert!(p.0 >= 0.0 && p.0 <= layout.side && p.1 >= 0.0 && p.1 <= layout.side);
+        }
+        for (i, &p) in pts.iter().enumerate().step_by(97) {
+            for (j, &q) in pts.iter().enumerate().step_by(89) {
+                if i % 4 != j % 4 {
+                    let d = ((p.0 - q.0).powi(2) + (p.1 - q.1).powi(2)).sqrt();
+                    assert!(d >= gap - 1e-9, "cross-island pair {i},{j} only {d} m apart");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn islands_deterministic_and_balanced() {
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let (a, la) = islands(100, 3, 500.0, 50.0, &mut r1);
+        let (b, lb) = islands(100, 3, 500.0, 50.0, &mut r2);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        // Round-robin assignment: island populations differ by <= 1.
+        let mut counts = [0usize; 3];
+        for i in 0..100 {
+            counts[i % 3] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node per island")]
+    fn more_islands_than_nodes_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = islands(2, 5, 100.0, 10.0, &mut rng);
     }
 }

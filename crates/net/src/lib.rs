@@ -15,7 +15,13 @@
 //! hexagonal lattice the paper uses for vicinity privacy, scaling swarms
 //! to 10k+ nodes; the pre-index linear scan survives as
 //! [`sim::SpatialMode::NaiveScan`], the differential oracle both modes
-//! are proven bit-identical against.
+//! are proven bit-identical against. The event queue itself is
+//! pluggable the same way ([`sched`], selected by
+//! [`sim::SimConfig::scheduler`]): a hierarchical calendar queue with
+//! O(1)-amortized operations for the bounded-horizon bulk of the
+//! traffic, with the original binary heap kept as the bit-identical
+//! oracle — the full engine contract (ordering, tie-breaking,
+//! recurring events, re-flood scenarios) lives in `docs/SIM.md`.
 //!
 //! # Example
 //!
@@ -56,9 +62,11 @@ pub mod flood;
 pub mod guard;
 pub mod mobility;
 pub mod payload;
+pub mod sched;
 pub mod sim;
 pub mod spatial;
 
 pub use payload::Payload;
+pub use sched::{CalendarScheduler, HeapScheduler, Recurrence, Scheduler, SchedulerMode};
 pub use sim::{DeliveryMode, Metrics, NodeApp, NodeCtx, NodeId, SimConfig, Simulator, SpatialMode};
 pub use spatial::SpatialIndex;

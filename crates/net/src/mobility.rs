@@ -67,6 +67,55 @@ impl RandomWaypoint {
         RandomWaypoint { bounds, min_speed, max_speed, pause_s, rng, nodes }
     }
 
+    /// Creates a model whose nodes start at the given positions (e.g. a
+    /// `msb_dataset::placement` layout — the churn scenarios start on
+    /// partitioned islands) and then roam the whole rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`RandomWaypoint::new`], or
+    /// if any start position lies outside the bounds.
+    pub fn from_positions(
+        positions: Vec<(f64, f64)>,
+        bounds: Bounds,
+        min_speed: f64,
+        max_speed: f64,
+        pause_s: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(bounds.width > 0.0 && bounds.height > 0.0, "bounds must be positive");
+        assert!(min_speed > 0.0 && min_speed <= max_speed, "need 0 < min_speed <= max_speed");
+        assert!(
+            positions.iter().all(
+                |p| (0.0..=bounds.width).contains(&p.0) && (0.0..=bounds.height).contains(&p.1)
+            ),
+            "start positions must lie inside the bounds"
+        );
+        let rng = StdRng::seed_from_u64(seed);
+        Self::with_rng(positions, bounds, min_speed, max_speed, pause_s, rng)
+    }
+
+    /// Tail of [`RandomWaypoint::from_positions`]: draws each node's
+    /// first leg.
+    fn with_rng(
+        positions: Vec<(f64, f64)>,
+        bounds: Bounds,
+        min_speed: f64,
+        max_speed: f64,
+        pause_s: f64,
+        mut rng: StdRng,
+    ) -> Self {
+        let nodes = positions
+            .into_iter()
+            .map(|position| {
+                let target = (rng.gen_range(0.0..bounds.width), rng.gen_range(0.0..bounds.height));
+                let speed = rng.gen_range(min_speed..=max_speed);
+                WaypointNode { position, target, speed, pause_left: 0.0 }
+            })
+            .collect();
+        RandomWaypoint { bounds, min_speed, max_speed, pause_s, rng, nodes }
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -204,5 +253,36 @@ mod tests {
     #[should_panic(expected = "min_speed")]
     fn bad_speeds_rejected() {
         let _ = RandomWaypoint::new(1, Bounds { width: 10.0, height: 10.0 }, 0.0, 1.0, 0.0, 1);
+    }
+
+    #[test]
+    fn from_positions_starts_where_told_then_roams() {
+        let starts = vec![(1.0, 2.0), (50.0, 50.0), (99.0, 0.5)];
+        let mut m = RandomWaypoint::from_positions(
+            starts.clone(),
+            Bounds { width: 100.0, height: 100.0 },
+            1.0,
+            3.0,
+            0.0,
+            9,
+        );
+        assert_eq!(m.positions(), starts);
+        m.advance(5.0);
+        let after = m.positions();
+        assert_ne!(after, starts, "nodes must leave their start positions");
+        assert!(after.iter().all(|p| (0.0..=100.0).contains(&p.0) && (0.0..=100.0).contains(&p.1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the bounds")]
+    fn out_of_bounds_start_rejected() {
+        let _ = RandomWaypoint::from_positions(
+            vec![(200.0, 0.0)],
+            Bounds { width: 100.0, height: 100.0 },
+            1.0,
+            2.0,
+            0.0,
+            1,
+        );
     }
 }

@@ -1,0 +1,690 @@
+//! Pluggable event schedulers for the simulator.
+//!
+//! The simulator's hot loop is `schedule` / `pop` on a priority queue of
+//! timestamped events. This module abstracts that queue behind the
+//! [`Scheduler`] trait and ships two implementations selected by
+//! [`SchedulerMode`] (see `docs/SIM.md` for the full engine contract):
+//!
+//! * [`HeapScheduler`] — the classic `BinaryHeap` engine. O(log n) per
+//!   operation with n the *total* queue depth, including far-future
+//!   entries (recurring re-flood timers, long deadlines) that every
+//!   near-term delivery must sift past. Kept as the differential oracle
+//!   and speedup baseline, exactly like
+//!   [`SpatialMode::NaiveScan`](crate::sim::SpatialMode::NaiveScan).
+//! * [`CalendarScheduler`] — a hierarchical calendar (bucket) queue
+//!   tuned to the simulator's bounded-horizon event distribution:
+//!   almost every event lands within a few milliseconds of *now*
+//!   (radio latency, jitter, per-key computation delays), while a
+//!   minority (re-flood periods, expiry deadlines) sits seconds out.
+//!   Near-term events go into a ring of fixed-width time buckets
+//!   (insert and extract O(1) amortized, located via an occupancy
+//!   bitmap); far-future events wait in an overflow heap and migrate
+//!   into the ring when the clock approaches them, so they are touched
+//!   O(log overflow) times *total* instead of taxing every operation.
+//!
+//! # Ordering contract
+//!
+//! Both schedulers are *bit-identical*: events pop in ascending
+//! `(at_us, seq)` order, where `seq` is a global sequence number
+//! assigned at [`Scheduler::schedule`] time — same-instant events pop
+//! in FIFO schedule order. Recurring entries
+//! ([`Scheduler::schedule_recurring`]) re-arm at pop time, drawing the
+//! next sequence number *before* anything the popped event's handler
+//! schedules. A simulation run is therefore a pure function of
+//! `(seed, config, apps)` regardless of [`SchedulerMode`]; the
+//! differential suites (`tests/sched_differential.rs`, the root churn
+//! tests) pin this down at the event, trace, and application levels.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which event engine the simulator runs on. See the module docs.
+///
+/// Both modes produce bit-identical runs; only wall-clock and
+/// [`Metrics::events_scheduled`](crate::sim::Metrics::events_scheduled) /
+/// [`Metrics::peak_queue_len`](crate::sim::Metrics::peak_queue_len)
+/// observability (identical across modes by construction) distinguish
+/// them externally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Hierarchical calendar queue ([`CalendarScheduler`]):
+    /// O(1)-amortized insert/extract for the bounded-horizon bulk of
+    /// the traffic. The default.
+    #[default]
+    Calendar,
+    /// Binary heap ([`HeapScheduler`]) — the pre-refactor reference
+    /// engine, kept as the differential oracle and speedup baseline.
+    BinaryHeap,
+}
+
+/// Re-arming rule for a recurring scheduled item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recurrence {
+    /// Distance between consecutive firings, in microseconds.
+    /// Must be nonzero (a zero period would re-fire at the same
+    /// instant forever and the queue would never drain).
+    pub period_us: u64,
+    /// Last instant (inclusive) a firing may be scheduled at. The
+    /// entry stops re-arming once `at + period > until_us`, which is
+    /// what lets [`Simulator::run`](crate::sim::Simulator::run) drain
+    /// a queue containing recurring events.
+    pub until_us: u64,
+}
+
+impl Recurrence {
+    /// Creates a recurrence rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_us` is zero.
+    pub fn new(period_us: u64, until_us: u64) -> Self {
+        assert!(period_us > 0, "a recurrence period must be nonzero");
+        Recurrence { period_us, until_us }
+    }
+}
+
+/// A priority queue of timestamped items with FIFO tie-breaking and
+/// optional recurrence — the simulator's event engine.
+///
+/// Implementations must satisfy the ordering contract in the module
+/// docs; everything observable (pop order, sequence assignment, the
+/// [`Scheduler::events_scheduled`] / [`Scheduler::peak_len`] counters)
+/// is identical across conforming implementations.
+pub trait Scheduler<T: Clone> {
+    /// Enqueues `item` to pop at `at_us`, assigning the next sequence
+    /// number.
+    fn schedule(&mut self, at_us: u64, item: T);
+
+    /// Enqueues `item` to first pop at `at_us` and then re-arm every
+    /// `recur.period_us` while the next firing is `<= recur.until_us`.
+    /// Each firing (including re-arms) counts toward
+    /// [`Scheduler::events_scheduled`].
+    fn schedule_recurring(&mut self, at_us: u64, recur: Recurrence, item: T);
+
+    /// The earliest pending `(at_us, item)` without removing it, or
+    /// `None` when empty. Takes `&mut self` because locating the
+    /// minimum may reorganize internal storage (calendar refill).
+    fn peek(&mut self) -> Option<(u64, &T)>;
+
+    /// Removes and returns the earliest pending `(at_us, item)`;
+    /// recurring entries re-arm their next firing first (drawing the
+    /// next sequence number before anything the caller schedules).
+    fn pop(&mut self) -> Option<(u64, T)>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever enqueued (schedule calls plus recurrence
+    /// re-arms) — the queue-pressure counter behind
+    /// [`Metrics::events_scheduled`](crate::sim::Metrics::events_scheduled).
+    fn events_scheduled(&self) -> u64;
+
+    /// High-water mark of [`Scheduler::len`] over the queue's lifetime.
+    fn peak_len(&self) -> usize;
+}
+
+/// One queue entry. Ordered by `(at_us, seq)`; the item does not
+/// participate in comparisons.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at_us: u64,
+    seq: u64,
+    recur: Option<Recurrence>,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+/// Shared sequence/statistics bookkeeping, identical across engines so
+/// the counters are comparable bit-for-bit.
+#[derive(Debug, Clone, Copy, Default)]
+struct Stats {
+    next_seq: u64,
+    scheduled: u64,
+    peak: usize,
+}
+
+impl Stats {
+    /// Draws the next sequence number and accounts one enqueued event
+    /// at the given post-insert queue length.
+    fn on_insert(&mut self, len_after: usize) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.peak = self.peak.max(len_after);
+        seq
+    }
+}
+
+/// The binary-heap engine: `BinaryHeap<Reverse<Entry>>`, exactly the
+/// structure the simulator used before the scheduler refactor. The
+/// differential oracle.
+#[derive(Debug, Clone)]
+pub struct HeapScheduler<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    stats: Stats,
+}
+
+impl<T> Default for HeapScheduler<T> {
+    fn default() -> Self {
+        HeapScheduler { heap: BinaryHeap::new(), stats: Stats::default() }
+    }
+}
+
+impl<T> HeapScheduler<T> {
+    /// Creates an empty heap scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn insert(&mut self, at_us: u64, recur: Option<Recurrence>, item: T) {
+        let seq = self.stats.on_insert(self.heap.len() + 1);
+        self.heap.push(Reverse(Entry { at_us, seq, recur, item }));
+    }
+}
+
+impl<T: Clone> Scheduler<T> for HeapScheduler<T> {
+    fn schedule(&mut self, at_us: u64, item: T) {
+        self.insert(at_us, None, item);
+    }
+
+    fn schedule_recurring(&mut self, at_us: u64, recur: Recurrence, item: T) {
+        self.insert(at_us, Some(recur), item);
+    }
+
+    fn peek(&mut self) -> Option<(u64, &T)> {
+        self.heap.peek().map(|Reverse(e)| (e.at_us, &e.item))
+    }
+
+    fn pop(&mut self) -> Option<(u64, T)> {
+        let Reverse(e) = self.heap.pop()?;
+        if let Some(recur) = e.recur {
+            let next = e.at_us + recur.period_us;
+            if next <= recur.until_us {
+                self.insert(next, Some(recur), e.item.clone());
+            }
+        }
+        Some((e.at_us, e.item))
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn events_scheduled(&self) -> u64 {
+        self.stats.scheduled
+    }
+
+    fn peak_len(&self) -> usize {
+        self.stats.peak
+    }
+}
+
+/// Microseconds covered by one calendar bucket. Deliberately fine:
+/// the simulator's in-flight deliveries concentrate inside the radio
+/// horizon (base latency + jitter, under a millisecond), so at swarm
+/// scale tens of thousands of events share that window — wide buckets
+/// would pile them into one slot and the per-bucket sort would
+/// degenerate toward a global sort. At 4 µs a 50k-deep in-flight set
+/// spreads to a few hundred entries per bucket: the lazy sort costs a
+/// handful of comparisons per event on contiguous memory, and inserts
+/// stay `Vec::push`.
+const BUCKET_WIDTH_US: u64 = 4;
+
+/// Buckets in the ring; with [`BUCKET_WIDTH_US`] the ring covers
+/// ~33 ms of simulated time — enough for every latency/jitter draw and
+/// the modelled per-key computation timers, while second-scale entries
+/// (re-flood periods, expiry deadlines) go to the overflow heap. Must
+/// be a multiple of 64 (the occupancy bitmap is a `u64` array).
+const RING_SLOTS: usize = 8192;
+
+/// The hierarchical calendar-queue engine. See the module docs for the
+/// design; in short: a ring of [`RING_SLOTS`] buckets of
+/// [`BUCKET_WIDTH_US`] each holds the near future (located through an
+/// occupancy bitmap), a `BinaryHeap` overflow holds everything beyond
+/// the ring's window, and the bucket at the current epoch is kept
+/// sorted for in-order popping.
+#[derive(Debug, Clone)]
+pub struct CalendarScheduler<T> {
+    /// Ring of future buckets; each non-empty slot holds entries of
+    /// exactly one absolute epoch, in insertion order (sorted lazily
+    /// when the slot becomes current).
+    slots: Vec<Vec<Entry<T>>>,
+    /// One bit per slot: set iff the slot is non-empty. `u64` words so
+    /// the next occupied slot is found by word scan + trailing_zeros.
+    occupied: Vec<u64>,
+    /// Entries of the current epoch, sorted *descending* by
+    /// `(at_us, seq)` so popping the minimum is `Vec::pop`.
+    cur: Vec<Entry<T>>,
+    /// Absolute epoch (`at_us / BUCKET_WIDTH_US`) the drain cursor is
+    /// at; the ring window is `[cur_epoch, cur_epoch + RING_SLOTS)`.
+    cur_epoch: u64,
+    /// Entries across all ring slots (excluding `cur`).
+    ring_len: usize,
+    /// Events beyond the ring window, keyed like the heap engine.
+    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    len: usize,
+    stats: Stats,
+}
+
+impl<T> Default for CalendarScheduler<T> {
+    fn default() -> Self {
+        CalendarScheduler {
+            slots: (0..RING_SLOTS).map(|_| Vec::new()).collect(),
+            occupied: vec![0u64; RING_SLOTS / 64],
+            cur: Vec::new(),
+            cur_epoch: 0,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            stats: Stats::default(),
+        }
+    }
+}
+
+impl<T> CalendarScheduler<T> {
+    /// Creates an empty calendar scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn epoch(at_us: u64) -> u64 {
+        at_us / BUCKET_WIDTH_US
+    }
+
+    fn mark(&mut self, slot: usize) {
+        self.occupied[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    fn unmark(&mut self, slot: usize) {
+        self.occupied[slot / 64] &= !(1u64 << (slot % 64));
+    }
+
+    fn insert(&mut self, at_us: u64, recur: Option<Recurrence>, item: T) {
+        self.len += 1;
+        let seq = self.stats.on_insert(self.len);
+        let entry = Entry { at_us, seq, recur, item };
+        let epoch = Self::epoch(at_us);
+        if epoch <= self.cur_epoch {
+            // Lands at (or before — possible right after a `run_until`
+            // fast-forward) the epoch being drained: merge into the
+            // sorted current block. `partition_point` finds the spot
+            // that keeps the descending (at, seq) order, so a
+            // same-instant insert pops after everything already queued
+            // at that instant (FIFO).
+            let key = (entry.at_us, entry.seq);
+            let pos = self.cur.partition_point(|e| (e.at_us, e.seq) > key);
+            self.cur.insert(pos, entry);
+        } else if epoch < self.cur_epoch + RING_SLOTS as u64 {
+            let slot = (epoch % RING_SLOTS as u64) as usize;
+            self.slots[slot].push(entry);
+            self.ring_len += 1;
+            self.mark(slot);
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+    }
+
+    /// First occupied ring slot strictly after `cur_epoch` (in epoch
+    /// order, which equals circular slot order from the cursor), as an
+    /// absolute epoch.
+    fn next_ring_epoch(&self) -> Option<u64> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        let n = RING_SLOTS as u64;
+        let start = ((self.cur_epoch + 1) % n) as usize;
+        // Scan the bitmap from `start`, wrapping once around the ring.
+        let mut dist = 0u64; // circular distance - 1 of the word scan start
+        let mut idx = start;
+        while dist < n {
+            let word_idx = idx / 64;
+            let bit = idx % 64;
+            let word = self.occupied[word_idx] >> bit;
+            if word != 0 {
+                let hop = word.trailing_zeros() as u64;
+                if dist + hop < n {
+                    let slot = (idx as u64 + hop) % n;
+                    // Slot order equals epoch order inside one window.
+                    let delta = (slot + n - (self.cur_epoch + 1) % n) % n + 1;
+                    return Some(self.cur_epoch + delta);
+                }
+                return None;
+            }
+            let hop = 64 - bit as u64;
+            dist += hop;
+            idx = (idx + hop as usize) % RING_SLOTS;
+        }
+        None
+    }
+
+    /// Refills `cur` from the earliest non-empty epoch across ring and
+    /// overflow. No-op when nothing is pending.
+    fn refill(&mut self) {
+        debug_assert!(self.cur.is_empty());
+        let ring_epoch = self.next_ring_epoch();
+        let over_epoch = self.overflow.peek().map(|Reverse(e)| Self::epoch(e.at_us));
+        let target = match (ring_epoch, over_epoch) {
+            (Some(r), Some(o)) => r.min(o),
+            (Some(r), None) => r,
+            (None, Some(o)) => o,
+            (None, None) => return,
+        };
+        self.cur_epoch = target;
+        if ring_epoch == Some(target) {
+            let slot = (target % RING_SLOTS as u64) as usize;
+            self.cur = std::mem::take(&mut self.slots[slot]);
+            self.ring_len -= self.cur.len();
+            self.unmark(slot);
+        }
+        // Overflow entries whose epoch the cursor has reached join the
+        // same block (the ring may hold the same epoch when entries
+        // were inserted after the window slid over it).
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            if Self::epoch(e.at_us) != target {
+                break;
+            }
+            let Some(Reverse(e)) = self.overflow.pop() else { unreachable!() };
+            self.cur.push(e);
+        }
+        self.cur.sort_unstable_by_key(|e| Reverse((e.at_us, e.seq)));
+    }
+}
+
+impl<T: Clone> Scheduler<T> for CalendarScheduler<T> {
+    fn schedule(&mut self, at_us: u64, item: T) {
+        self.insert(at_us, None, item);
+    }
+
+    fn schedule_recurring(&mut self, at_us: u64, recur: Recurrence, item: T) {
+        self.insert(at_us, Some(recur), item);
+    }
+
+    fn peek(&mut self) -> Option<(u64, &T)> {
+        if self.cur.is_empty() {
+            self.refill();
+        }
+        self.cur.last().map(|e| (e.at_us, &e.item))
+    }
+
+    fn pop(&mut self) -> Option<(u64, T)> {
+        if self.cur.is_empty() {
+            self.refill();
+        }
+        let e = self.cur.pop()?;
+        self.len -= 1;
+        if let Some(recur) = e.recur {
+            let next = e.at_us + recur.period_us;
+            if next <= recur.until_us {
+                self.insert(next, Some(recur), e.item.clone());
+            }
+        }
+        Some((e.at_us, e.item))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn events_scheduled(&self) -> u64 {
+        self.stats.scheduled
+    }
+
+    fn peak_len(&self) -> usize {
+        self.stats.peak
+    }
+}
+
+/// A [`Scheduler`] chosen at runtime by [`SchedulerMode`] — what the
+/// simulator embeds (enum dispatch keeps the hot path free of virtual
+/// calls while staying pluggable through the trait).
+#[derive(Debug, Clone)]
+pub enum AnyScheduler<T> {
+    /// The binary-heap oracle engine.
+    Heap(HeapScheduler<T>),
+    /// The calendar-queue engine.
+    Calendar(CalendarScheduler<T>),
+}
+
+impl<T> AnyScheduler<T> {
+    /// Creates the engine `mode` selects.
+    pub fn for_mode(mode: SchedulerMode) -> Self {
+        match mode {
+            SchedulerMode::BinaryHeap => AnyScheduler::Heap(HeapScheduler::new()),
+            SchedulerMode::Calendar => AnyScheduler::Calendar(CalendarScheduler::new()),
+        }
+    }
+}
+
+impl<T: Clone> Scheduler<T> for AnyScheduler<T> {
+    fn schedule(&mut self, at_us: u64, item: T) {
+        match self {
+            AnyScheduler::Heap(s) => s.schedule(at_us, item),
+            AnyScheduler::Calendar(s) => s.schedule(at_us, item),
+        }
+    }
+
+    fn schedule_recurring(&mut self, at_us: u64, recur: Recurrence, item: T) {
+        match self {
+            AnyScheduler::Heap(s) => s.schedule_recurring(at_us, recur, item),
+            AnyScheduler::Calendar(s) => s.schedule_recurring(at_us, recur, item),
+        }
+    }
+
+    fn peek(&mut self) -> Option<(u64, &T)> {
+        match self {
+            AnyScheduler::Heap(s) => s.peek(),
+            AnyScheduler::Calendar(s) => s.peek(),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, T)> {
+        match self {
+            AnyScheduler::Heap(s) => s.pop(),
+            AnyScheduler::Calendar(s) => s.pop(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AnyScheduler::Heap(s) => s.len(),
+            AnyScheduler::Calendar(s) => s.len(),
+        }
+    }
+
+    fn events_scheduled(&self) -> u64 {
+        match self {
+            AnyScheduler::Heap(s) => s.events_scheduled(),
+            AnyScheduler::Calendar(s) => s.events_scheduled(),
+        }
+    }
+
+    fn peak_len(&self) -> usize {
+        match self {
+            AnyScheduler::Heap(s) => s.peak_len(),
+            AnyScheduler::Calendar(s) => s.peak_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<S: Scheduler<u32>>(s: &mut S) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        while let Some(ev) = s.pop() {
+            out.push(ev);
+        }
+        out
+    }
+
+    fn both() -> [AnyScheduler<u32>; 2] {
+        [
+            AnyScheduler::for_mode(SchedulerMode::BinaryHeap),
+            AnyScheduler::for_mode(SchedulerMode::Calendar),
+        ]
+    }
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        for mut s in both() {
+            s.schedule(500, 1);
+            s.schedule(100, 2);
+            s.schedule(500, 3); // same instant as item 1 → FIFO after it
+            s.schedule(0, 4);
+            assert_eq!(drain(&mut s), vec![(0, 4), (100, 2), (500, 1), (500, 3)]);
+        }
+    }
+
+    #[test]
+    fn far_future_and_near_events_interleave_correctly() {
+        for mut s in both() {
+            // Far beyond the calendar ring window (~33 ms).
+            s.schedule(10_000_000, 1);
+            s.schedule(300, 2);
+            s.schedule(9_999_999, 3);
+            s.schedule(BUCKET_WIDTH_US * RING_SLOTS as u64 * 3, 4);
+            let order = drain(&mut s);
+            assert_eq!(
+                order,
+                vec![
+                    (300, 2),
+                    (BUCKET_WIDTH_US * RING_SLOTS as u64 * 3, 4),
+                    (9_999_999, 3),
+                    (10_000_000, 1)
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn mid_drain_insertion_lands_in_order() {
+        for mut s in both() {
+            s.schedule(100, 1);
+            s.schedule(200, 2);
+            assert_eq!(s.pop(), Some((100, 1)));
+            // Insert at the *current* instant and between pending ones.
+            s.schedule(100, 3);
+            s.schedule(150, 4);
+            assert_eq!(drain(&mut s), vec![(100, 3), (150, 4), (200, 2)]);
+        }
+    }
+
+    #[test]
+    fn recurring_fires_every_period_until_deadline() {
+        for mut s in both() {
+            s.schedule_recurring(1_000, Recurrence::new(1_000, 3_500), 7);
+            assert_eq!(drain(&mut s), vec![(1_000, 7), (2_000, 7), (3_000, 7)]);
+            assert_eq!(s.events_scheduled(), 3, "each firing is accounted");
+        }
+    }
+
+    #[test]
+    fn recurring_rearm_draws_seq_before_later_schedules() {
+        // The re-arm happens inside pop, so a same-period one-shot
+        // scheduled *after* the pop queues behind the re-armed firing.
+        for mut s in both() {
+            s.schedule_recurring(100, Recurrence::new(100, 250), 1);
+            assert_eq!(s.pop(), Some((100, 1)));
+            s.schedule(200, 2);
+            assert_eq!(drain(&mut s), vec![(200, 1), (200, 2)]);
+        }
+    }
+
+    #[test]
+    fn len_and_peak_track_depth() {
+        for mut s in both() {
+            assert!(s.is_empty());
+            s.schedule(10, 1);
+            s.schedule(20_000_000, 2); // overflow territory for the calendar
+            s.schedule(30, 3);
+            assert_eq!(s.len(), 3);
+            assert_eq!(s.peak_len(), 3);
+            let _ = s.pop();
+            let _ = s.pop();
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.peak_len(), 3, "peak is a high-water mark");
+            assert_eq!(s.events_scheduled(), 3);
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop_without_consuming() {
+        for mut s in both() {
+            assert_eq!(s.peek(), None);
+            s.schedule(40, 9);
+            s.schedule(5, 8);
+            assert_eq!(s.peek(), Some((5, &8)));
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.pop(), Some((5, 8)));
+            assert_eq!(s.peek(), Some((40, &9)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_period_recurrence_rejected() {
+        let _ = Recurrence::new(0, 100);
+    }
+
+    /// A quick deterministic shuffle of mixed horizons: both engines
+    /// must agree event for event (the heavyweight randomized version
+    /// lives in `tests/sched_differential.rs`).
+    #[test]
+    fn engines_agree_on_a_mixed_stream() {
+        fn drive(s: &mut AnyScheduler<u32>) -> Vec<(u64, u32)> {
+            let mut x = 0x243F_6A88_85A3_08D3u64; // deterministic xorshift
+            let mut now = 0;
+            let mut log = Vec::new();
+            for i in 0..500u32 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let delay = match x % 5 {
+                    0 => 0,                      // same-instant tie
+                    1 => x % 700,                // radio horizon
+                    2 => 5_000 + x % 2_000,      // computation timer
+                    3 => 2_000_000 + x % 50_000, // beyond the ring window
+                    _ => x % 50,
+                };
+                s.schedule(now + delay, i);
+                if x.is_multiple_of(3) {
+                    if let Some((at, item)) = s.pop() {
+                        now = at;
+                        log.push((at, item));
+                    }
+                }
+            }
+            while let Some(ev) = s.pop() {
+                log.push(ev);
+            }
+            log
+        }
+        let mut heap = AnyScheduler::for_mode(SchedulerMode::BinaryHeap);
+        let mut cal = AnyScheduler::for_mode(SchedulerMode::Calendar);
+        assert_eq!(drive(&mut heap), drive(&mut cal));
+        assert_eq!(heap.events_scheduled(), cal.events_scheduled());
+        assert_eq!(heap.peak_len(), cal.peak_len());
+    }
+}

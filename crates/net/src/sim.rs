@@ -2,14 +2,18 @@
 //!
 //! Time is measured in integer microseconds. All randomness (latency
 //! jitter, loss) flows from one seeded RNG, making runs reproducible
-//! bit-for-bit.
+//! bit-for-bit. Events are ordered by `(timestamp, sequence)` — FIFO
+//! among same-instant events — by a pluggable [`crate::sched`] engine
+//! selected through [`SimConfig::scheduler`]; see `docs/SIM.md` for the
+//! full event-engine contract.
 
 use crate::payload::Payload;
+use crate::sched::{AnyScheduler, Scheduler};
 use crate::spatial::SpatialIndex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+
+pub use crate::sched::{Recurrence, SchedulerMode};
 
 /// Identifier of a node in the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -104,6 +108,10 @@ pub struct SimConfig {
     /// time. Off by default: the unbatched event loop is the historical
     /// reference behaviour, bit-for-bit.
     pub batch_delivery: bool,
+    /// Event-queue engine; see [`SchedulerMode`]. Like
+    /// [`SimConfig::spatial`], this changes only how fast the engine
+    /// runs, never the event stream — both modes are bit-identical.
+    pub scheduler: SchedulerMode,
     /// Neighbor-query engine; see [`SpatialMode`].
     pub spatial: SpatialMode,
     /// Hex cell scale for [`SpatialMode::HexIndex`], in meters. `None`
@@ -125,6 +133,7 @@ impl Default for SimConfig {
             jitter_us: 200,
             loss_rate: 0.0,
             batch_delivery: false,
+            scheduler: SchedulerMode::Calendar,
             spatial: SpatialMode::HexIndex,
             cell_d: None,
             delivery: DeliveryMode::InMemory,
@@ -156,8 +165,10 @@ pub trait NodeApp {
 #[derive(Debug)]
 enum Action {
     Broadcast(Payload),
+    BroadcastK(usize, Payload),
     Unicast(NodeId, Payload),
-    Timer(u64, u64), // delay_us, token
+    Timer(u64, u64),                      // delay_us, token
+    RecurringTimer(u64, Recurrence, u64), // delay_us, recurrence, token
 }
 
 /// Handle given to application callbacks.
@@ -203,6 +214,15 @@ impl NodeCtx<'_> {
         self.actions.push(Action::Broadcast(payload.into()));
     }
 
+    /// Queues a fan-out-capped broadcast: the transmission reaches only
+    /// the `k` nearest other nodes in radio range (ties at equal
+    /// distance break toward the smaller id), modelling a gossip
+    /// push to a bounded neighbor set — the re-flood policy's cap.
+    /// `k = 0` transmits to nobody but still counts as a broadcast.
+    pub fn broadcast_k_nearest(&mut self, k: usize, payload: impl Into<Payload>) {
+        self.actions.push(Action::BroadcastK(k, payload.into()));
+    }
+
     /// Queues a unicast. Delivered directly when in range, otherwise
     /// relayed along the shortest connectivity path (modelling the
     /// reverse route a reply follows); each hop counts as a transmission.
@@ -213,6 +233,29 @@ impl NodeCtx<'_> {
     /// Schedules [`NodeApp::on_timer`] after `delay_us`.
     pub fn set_timer(&mut self, delay_us: u64, token: u64) {
         self.actions.push(Action::Timer(delay_us, token));
+    }
+
+    /// Schedules a recurring [`NodeApp::on_timer`]: first fires after
+    /// `delay_us`, then every `period_us` for as long as the next
+    /// firing lands at or before `until_us` (so a run with recurring
+    /// timers still drains — see [`crate::sched::Recurrence`]). Every
+    /// firing delivers the same `token`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_us` is zero.
+    pub fn set_recurring_timer(
+        &mut self,
+        delay_us: u64,
+        period_us: u64,
+        until_us: u64,
+        token: u64,
+    ) {
+        self.actions.push(Action::RecurringTimer(
+            delay_us,
+            Recurrence::new(period_us, until_us),
+            token,
+        ));
     }
 }
 
@@ -245,36 +288,22 @@ pub struct Metrics {
     /// Always 0 under [`SpatialMode::NaiveScan`], which scans nodes, not
     /// cells; differential comparisons must mask this one field.
     pub cells_scanned: u64,
+    /// Events ever enqueued: every delivery, timer firing, and
+    /// recurrence re-arm. Identical across [`SchedulerMode`]s (part of
+    /// the differential oracle) — the queue-pressure observable the
+    /// churn benches report.
+    pub events_scheduled: u64,
+    /// High-water mark of the pending-event queue over the run, also
+    /// identical across [`SchedulerMode`]s.
+    pub peak_queue_len: u64,
 }
 
-#[derive(Debug)]
-struct Event {
-    at_us: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-#[derive(Debug)]
+/// What rides the event queue. Cloneable so recurring entries can
+/// re-arm (payload clones are O(1) — `Payload` is reference-counted).
+#[derive(Debug, Clone)]
 enum EventKind {
     Deliver { to: NodeId, from: NodeId, payload: Payload },
     Timer { node: NodeId, token: u64 },
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at_us == other.at_us && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
-    }
 }
 
 struct NodeEntry<A> {
@@ -286,9 +315,10 @@ struct NodeEntry<A> {
 /// spatial index answering range queries.
 pub struct Simulator<A: NodeApp> {
     nodes: Vec<NodeEntry<A>>,
-    queue: BinaryHeap<Reverse<Event>>,
+    /// The event engine ([`SimConfig::scheduler`]); assigns the global
+    /// `(timestamp, sequence)` order every run is defined by.
+    queue: AnyScheduler<EventKind>,
     now_us: u64,
-    seq: u64,
     config: SimConfig,
     rng: StdRng,
     metrics: Metrics,
@@ -310,9 +340,8 @@ impl<A: NodeApp> Simulator<A> {
         };
         Simulator {
             nodes: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: AnyScheduler::for_mode(config.scheduler),
             now_us: 0,
-            seq: 0,
             config,
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::default(),
@@ -409,8 +438,8 @@ impl<A: NodeApp> Simulator<A> {
 
     /// Runs until the queue drains or the clock passes `deadline_us`.
     pub fn run_until(&mut self, deadline_us: u64) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at_us > deadline_us {
+        while let Some((at_us, _)) = self.queue.peek() {
+            if at_us > deadline_us {
                 break;
             }
             self.step();
@@ -420,11 +449,13 @@ impl<A: NodeApp> Simulator<A> {
 
     /// Processes one event; returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((at_us, kind)) = self.queue.pop() else {
             return false;
         };
-        self.now_us = ev.at_us;
-        match ev.kind {
+        // A recurring entry may have re-armed inside the pop.
+        self.note_queue();
+        self.now_us = at_us;
+        match kind {
             EventKind::Deliver { to, from, payload } => {
                 if self.config.batch_delivery {
                     let batch = self.drain_batch(to, from, payload);
@@ -452,15 +483,18 @@ impl<A: NodeApp> Simulator<A> {
         payload: Payload,
     ) -> Vec<(NodeId, Payload)> {
         let mut batch = vec![(from, payload)];
-        while let Some(Reverse(next)) = self.queue.peek() {
-            let same = next.at_us == self.now_us
-                && matches!(&next.kind, EventKind::Deliver { to: t, .. } if *t == to);
+        loop {
+            let same = match self.queue.peek() {
+                Some((at_us, kind)) => {
+                    at_us == self.now_us
+                        && matches!(kind, EventKind::Deliver { to: t, .. } if *t == to)
+                }
+                None => false,
+            };
             if !same {
                 break;
             }
-            let Some(Reverse(Event { kind: EventKind::Deliver { from, payload, .. }, .. })) =
-                self.queue.pop()
-            else {
+            let Some((_, EventKind::Deliver { from, payload, .. })) = self.queue.pop() else {
                 unreachable!("peeked a same-instant delivery");
             };
             batch.push((from, payload));
@@ -491,10 +525,16 @@ impl<A: NodeApp> Simulator<A> {
         for action in actions {
             match action {
                 Action::Broadcast(payload) => self.do_broadcast(id, payload),
+                Action::BroadcastK(k, payload) => self.do_broadcast_k(id, k, payload),
                 Action::Unicast(to, payload) => self.do_unicast(id, to, payload),
                 Action::Timer(delay, token) => {
                     let at = self.now_us + delay;
                     self.push_event(at, EventKind::Timer { node: id, token });
+                }
+                Action::RecurringTimer(delay, recur, token) => {
+                    let at = self.now_us + delay;
+                    self.queue.schedule_recurring(at, recur, EventKind::Timer { node: id, token });
+                    self.note_queue();
                 }
             }
         }
@@ -553,6 +593,68 @@ impl<A: NodeApp> Simulator<A> {
         }
     }
 
+    /// One fan-out-capped broadcast ([`NodeCtx::broadcast_k_nearest`]):
+    /// transmits to the `k` nearest other nodes within radio range.
+    /// Under [`SpatialMode::HexIndex`] the set comes from
+    /// [`SpatialIndex::k_nearest_into`]; under
+    /// [`SpatialMode::NaiveScan`] from a full scan ranked the same way
+    /// — both select identical targets (ascending `(distance, id)`,
+    /// self excluded) and deliver in ascending id order with identical
+    /// RNG draws, which the scheduler/spatial differential suites pin.
+    fn do_broadcast_k(&mut self, from: NodeId, k: usize, payload: Payload) {
+        self.metrics.broadcasts += 1;
+        self.metrics.payload_bytes += payload.wire_len() as u64;
+        self.metrics.neighbor_queries += 1;
+        let src = self.nodes[from.index()].position;
+        let range = self.config.radio_range;
+        let mut cand = std::mem::take(&mut self.cand_buf);
+        match &mut self.index {
+            Some(index) => {
+                // k + 1 slots so the querying node (distance 0) never
+                // crowds out a real neighbor.
+                let nodes = &self.nodes;
+                self.metrics.cells_scanned += index.k_nearest_into(
+                    src,
+                    k + 1,
+                    range,
+                    |i| nodes[i as usize].position,
+                    &mut cand,
+                );
+                cand.retain(|&i| i != from.index() as u32);
+                cand.truncate(k);
+            }
+            None => {
+                let mut ranked: Vec<(f64, u32)> = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != from.index())
+                    .map(|(i, n)| (distance(src, n.position), i as u32))
+                    .filter(|&(d, _)| d <= range)
+                    .collect();
+                ranked.sort_unstable_by(|a, b| {
+                    a.partial_cmp(b).expect("distances are finite, never NaN")
+                });
+                ranked.truncate(k);
+                cand.clear();
+                cand.extend(ranked.into_iter().map(|(_, i)| i));
+            }
+        }
+        // Deliver in ascending id order, like a full broadcast.
+        cand.sort_unstable();
+        for &i in &cand {
+            let to = NodeId(i);
+            let dist = distance(src, self.nodes[i as usize].position);
+            if self.roll_loss() {
+                self.metrics.lost += 1;
+                continue;
+            }
+            let at = self.now_us + self.latency(dist);
+            self.push_event(at, EventKind::Deliver { to, from, payload: payload.clone() });
+        }
+        self.cand_buf = cand;
+    }
+
     fn do_unicast(&mut self, from: NodeId, to: NodeId, payload: Payload) {
         self.metrics.unicasts += 1;
         if from == to {
@@ -594,9 +696,16 @@ impl<A: NodeApp> Simulator<A> {
     }
 
     fn push_event(&mut self, at_us: u64, kind: EventKind) {
-        let ev = Event { at_us, seq: self.seq, kind };
-        self.seq += 1;
-        self.queue.push(Reverse(ev));
+        self.queue.schedule(at_us, kind);
+        self.note_queue();
+    }
+
+    /// Mirrors the scheduler's queue-pressure counters into [`Metrics`].
+    /// Both counters are engine-independent by construction (same event
+    /// stream → same counts), so differential comparisons need no mask.
+    fn note_queue(&mut self) {
+        self.metrics.events_scheduled = self.queue.events_scheduled();
+        self.metrics.peak_queue_len = self.queue.peak_len() as u64;
     }
 
     /// BFS shortest path over the current connectivity graph (nodes
@@ -919,6 +1028,96 @@ mod tests {
             sim.app(id).heard.clone()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn recurring_timer_fires_until_deadline_and_drains() {
+        struct Periodic;
+        impl NodeApp for Periodic {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_recurring_timer(1_000, 1_000, 3_500, 9);
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &Payload) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+                assert_eq!(token, 9);
+                assert!(ctx.now_us().is_multiple_of(1_000));
+            }
+        }
+        for mode in [SchedulerMode::Calendar, SchedulerMode::BinaryHeap] {
+            let config = SimConfig { scheduler: mode, ..SimConfig::default() };
+            let mut sim = Simulator::new(config, 1);
+            sim.add_node((0.0, 0.0), Periodic);
+            sim.start();
+            sim.run(); // terminates: recurrence stops past 3 500 us
+            assert_eq!(sim.now_us(), 3_000, "{mode:?}");
+            assert_eq!(sim.metrics().events_scheduled, 3, "{mode:?}: 1 schedule + 2 re-arms");
+        }
+    }
+
+    #[test]
+    fn broadcast_k_nearest_caps_fanout_to_closest() {
+        struct Caster;
+        impl NodeApp for Caster {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                if ctx.node_id().index() == 0 {
+                    ctx.broadcast_k_nearest(2, b"gossip".to_vec());
+                }
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &Payload) {}
+        }
+        let run = |spatial: SpatialMode| {
+            let config = SimConfig { spatial, ..SimConfig::default() };
+            let mut sim = Simulator::new(config, 1);
+            sim.add_node((0.0, 0.0), Caster); // sender
+            sim.add_node((10.0, 0.0), Caster); // nearest
+            sim.add_node((20.0, 0.0), Caster); // second nearest
+            sim.add_node((30.0, 0.0), Caster); // in range but capped away
+            sim.add_node((80.0, 0.0), Caster); // out of range anyway
+            sim.start();
+            sim.run();
+            *sim.metrics()
+        };
+        let indexed = run(SpatialMode::HexIndex);
+        let naive = run(SpatialMode::NaiveScan);
+        assert_eq!(indexed.broadcasts, 1);
+        assert_eq!(indexed.delivered, 2, "fan-out capped at k = 2");
+        assert_eq!(Metrics { cells_scanned: 0, ..indexed }, naive, "spatial modes diverged");
+    }
+
+    #[test]
+    fn scheduler_modes_produce_identical_runs() {
+        // The gossiping scenario from `deterministic_runs`, swept across
+        // engines: final clock and full metrics must agree (the
+        // heavyweight version lives in tests/sched_differential.rs).
+        fn run_once(mode: SchedulerMode) -> (u64, Metrics) {
+            let config = SimConfig { loss_rate: 0.3, scheduler: mode, ..SimConfig::default() };
+            let mut sim = Simulator::new(config, 1234);
+            struct Chatty;
+            impl NodeApp for Chatty {
+                fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                    ctx.broadcast(vec![ctx.node_id().index() as u8]);
+                }
+                fn on_message(&mut self, ctx: &mut NodeCtx<'_>, _: NodeId, payload: &Payload) {
+                    let bytes = payload.as_bytes().expect("test payloads are bytes");
+                    if bytes.len() < 3 {
+                        let mut p = bytes.to_vec();
+                        p.push(ctx.node_id().index() as u8);
+                        ctx.broadcast(p);
+                    }
+                }
+            }
+            for i in 0..10 {
+                sim.add_node(((i % 5) as f64 * 30.0, (i / 5) as f64 * 30.0), Chatty);
+            }
+            sim.start();
+            sim.run();
+            (sim.now_us(), *sim.metrics())
+        }
+        let calendar = run_once(SchedulerMode::Calendar);
+        let heap = run_once(SchedulerMode::BinaryHeap);
+        assert_eq!(calendar, heap);
+        assert!(calendar.1.events_scheduled > 0);
+        assert!(calendar.1.peak_queue_len > 0);
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub struct SpatialIndex {
     node_cell: Vec<LatticePoint>,
     /// Scratch buffer for the cell cover of the current query.
     cover: Vec<LatticePoint>,
+    /// Scratch buffers for [`SpatialIndex::k_nearest_into`].
+    knn_ids: Vec<u32>,
+    knn_ranked: Vec<(f64, u32)>,
 }
 
 impl SpatialIndex {
@@ -68,6 +71,8 @@ impl SpatialIndex {
             cells: HashMap::new(),
             node_cell: Vec::new(),
             cover: Vec::new(),
+            knn_ids: Vec::new(),
+            knn_ranked: Vec::new(),
         }
     }
 
@@ -145,6 +150,67 @@ impl SpatialIndex {
         // the global ascending id order the naive scan iterates in.
         out.sort_unstable();
         scanned
+    }
+
+    /// Fills `out` with the `k` nodes nearest to `center` among those
+    /// within `max_range` of it (fewer if fewer exist), ordered by
+    /// ascending `(distance, id)` — ties at equal distance break toward
+    /// the smaller id, which is what keeps the answer identical to a
+    /// sorted naive scan. `pos_of` supplies each candidate's exact
+    /// position (the index stores cells, not coordinates). Returns the
+    /// number of cells scanned.
+    ///
+    /// The search grows its cell-cover radius geometrically from one
+    /// cell scale until `k` in-radius nodes are found or `max_range` is
+    /// reached, so a query in a dense crowd touches only nearby cells —
+    /// this is the fan-out-capped re-flood query
+    /// ([`NodeCtx::broadcast_k_nearest`](crate::sim::NodeCtx::broadcast_k_nearest))
+    /// and the building block for directional-radio neighborhoods.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_range` is finite and non-negative.
+    pub fn k_nearest_into(
+        &mut self,
+        center: (f64, f64),
+        k: usize,
+        max_range: f64,
+        pos_of: impl Fn(u32) -> (f64, f64),
+        out: &mut Vec<u32>,
+    ) -> u64 {
+        assert!(max_range >= 0.0 && max_range.is_finite(), "max_range must be finite");
+        out.clear();
+        if k == 0 {
+            return 0;
+        }
+        let mut ids = std::mem::take(&mut self.knn_ids);
+        let mut ranked = std::mem::take(&mut self.knn_ranked);
+        let mut scanned = 0u64;
+        let mut r = self.lattice.d().min(max_range);
+        loop {
+            scanned += self.candidates_into(center, r, &mut ids);
+            ranked.clear();
+            for &i in &ids {
+                let p = pos_of(i);
+                let d = ((p.0 - center.0).powi(2) + (p.1 - center.1).powi(2)).sqrt();
+                if d <= r {
+                    ranked.push((d, i));
+                }
+            }
+            // At least k nodes lie within radius r, so the k nearest
+            // overall (within max_range) are all among `ranked`.
+            if ranked.len() >= k || r >= max_range {
+                ranked.sort_unstable_by(|a, b| {
+                    a.partial_cmp(b).expect("distances are finite, never NaN")
+                });
+                ranked.truncate(k);
+                out.extend(ranked.iter().map(|&(_, i)| i));
+                self.knn_ids = ids;
+                self.knn_ranked = ranked;
+                return scanned;
+            }
+            r = (r * 2.0).min(max_range);
+        }
     }
 }
 
@@ -247,6 +313,74 @@ mod tests {
         let scanned = idx.candidates_into((0.0, 0.0), 100.0, &mut cand);
         assert!(cand.is_empty());
         assert!(scanned > 0, "cells are scanned even when unoccupied");
+    }
+
+    /// The k-NN oracle: ascending `(distance, id)` over all nodes in
+    /// range, truncated to k.
+    fn naive_k_nearest(
+        positions: &[(f64, f64)],
+        center: (f64, f64),
+        k: usize,
+        max_range: f64,
+    ) -> Vec<u32> {
+        let mut ranked: Vec<(f64, u32)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (((p.0 - center.0).powi(2) + (p.1 - center.1).powi(2)).sqrt(), i as u32))
+            .filter(|&(d, _)| d <= max_range)
+            .collect();
+        ranked.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        ranked.truncate(k);
+        ranked.into_iter().map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn k_nearest_matches_naive_oracle() {
+        let mut idx = SpatialIndex::new(12.0);
+        let positions: Vec<(f64, f64)> =
+            (0..150).map(|i| ((i as f64 * 17.3) % 160.0, (i as f64 * 11.9) % 140.0)).collect();
+        for &p in &positions {
+            idx.push(p);
+        }
+        let mut out = Vec::new();
+        for &(center, k, max_range) in &[
+            ((80.0, 70.0), 5, 200.0),
+            ((0.0, 0.0), 1, 50.0),
+            ((80.0, 70.0), 12, 30.0), // range-bounded: fewer than k may exist
+            ((160.0, 140.0), 150, 300.0), // k >= population
+            ((40.0, 40.0), 7, 0.0),   // zero range
+        ] {
+            idx.k_nearest_into(center, k, max_range, |i| positions[i as usize], &mut out);
+            assert_eq!(
+                out,
+                naive_k_nearest(&positions, center, k, max_range),
+                "center {center:?} k {k} range {max_range}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_nearest_breaks_distance_ties_by_id() {
+        // Four nodes at the exact same distance: the cap must keep the
+        // smallest ids, deterministically.
+        let mut idx = SpatialIndex::new(10.0);
+        let positions = vec![(10.0, 0.0), (0.0, 10.0), (-10.0, 0.0), (0.0, -10.0), (50.0, 50.0)];
+        for &p in &positions {
+            idx.push(p);
+        }
+        let mut out = Vec::new();
+        idx.k_nearest_into((0.0, 0.0), 2, 100.0, |i| positions[i as usize], &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn k_nearest_zero_k_is_empty_and_free() {
+        let mut idx = SpatialIndex::new(10.0);
+        idx.push((0.0, 0.0));
+        let mut out = vec![9];
+        let scanned = idx.k_nearest_into((0.0, 0.0), 0, 50.0, |_| (0.0, 0.0), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(scanned, 0);
     }
 
     #[test]

@@ -113,6 +113,42 @@ proptest! {
         prop_assert_eq!(indexed, naive, "cell_d={} range={} center={:?}", cell_scale, range, center);
     }
 
+    /// `SpatialIndex::k_nearest_into` agrees with the naive oracle
+    /// (ascending `(distance, id)` over everything in range, truncated
+    /// to k) for random populations, centers, caps, and range bounds —
+    /// boundary placements included.
+    #[test]
+    fn indexed_k_nearest_equals_naive_ranking(
+        seed in any::<u64>(),
+        n in 1usize..120,
+        k in 0usize..140,
+        scale_idx in 0usize..5,
+        range_idx in 0usize..6,
+        cx in -100i32..100,
+        cy in -100i32..100,
+    ) {
+        let cell_scale = [3.0f64, 10.0, 25.0, 50.0, 120.0][scale_idx];
+        let range = [0.0f64, 1.0, 10.0, 50.0, 75.0, 200.0][range_idx];
+        let center = (cx as f64 * 1.37, cy as f64 * 0.91);
+        let positions = boundary_positions(seed, n, cell_scale, center, range);
+        let mut index = SpatialIndex::new(cell_scale);
+        for &p in &positions {
+            index.push(p);
+        }
+        let mut indexed = Vec::new();
+        index.k_nearest_into(center, k, range, |i| positions[i as usize], &mut indexed);
+        let mut ranked: Vec<(f64, u32)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (distance(p, center), i as u32))
+            .filter(|&(d, _)| d <= range)
+            .collect();
+        ranked.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        ranked.truncate(k);
+        let naive: Vec<u32> = ranked.into_iter().map(|(_, i)| i).collect();
+        prop_assert_eq!(indexed, naive, "cell_d={} range={} k={}", cell_scale, range, k);
+    }
+
     /// The agreement survives mobility: after random incremental updates
     /// (including moves across cell boundaries and back), queries from
     /// every node's own position still match the oracle.

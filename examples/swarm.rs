@@ -28,9 +28,7 @@ fn main() {
     // 64-hop TTL.
     let mut sim = build_swarm(
         positions,
-        SpatialMode::HexIndex,
-        7,
-        64,
+        &swarm::SwarmParams::new(7, 64).with_spatial(SpatialMode::HexIndex),
         swarm::lighthouse_request(),
         swarm::lighthouse_matching(),
         swarm::noise_profile,

@@ -77,7 +77,7 @@ pub use msb_wire as wire;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use msb_core::app::{AppEvent, FriendingApp, SwarmSummary};
+    pub use msb_core::app::{AppEvent, FriendingApp, RefloodPolicy, SwarmSummary};
     pub use msb_core::channel::{GroupChannel, Role, SecureChannel};
     pub use msb_core::package::{Reply, RequestPackage};
     pub use msb_core::protocol::{
@@ -88,7 +88,7 @@ pub mod prelude {
     pub use msb_lattice::{LatticeConfig, VicinityRegion};
     pub use msb_net::payload::Payload;
     pub use msb_net::sim::{
-        DeliveryMode, NodeApp, NodeCtx, NodeId, SimConfig, Simulator, SpatialMode,
+        DeliveryMode, NodeApp, NodeCtx, NodeId, SchedulerMode, SimConfig, Simulator, SpatialMode,
     };
     pub use msb_net::spatial::SpatialIndex;
     pub use msb_profile::{
