@@ -23,7 +23,7 @@
 use msb_bench::swarm::{build_churn_swarm, drive_churn, ChurnSpec};
 use msb_bench::{fmt_ms, print_table, time_once};
 use msb_core::app::SwarmSummary;
-use msb_net::sched::{AnyScheduler, Recurrence, Scheduler};
+use msb_net::sched::{AnyScheduler, EventKey, Recurrence, Scheduler};
 use msb_net::sim::{Metrics, SchedulerMode};
 
 const SIZES: [usize; 3] = [10_000, 25_000, 50_000];
@@ -77,6 +77,7 @@ fn engine_replay_ms(mode: SchedulerMode, resident: usize) -> f64 {
     for i in 0..resident {
         s.schedule_recurring(
             5_000_000 + (i as u64 % 100_000),
+            EventKey::new(i as u32, 0),
             Recurrence::new(5_000_000, u64::MAX / 2),
             i as u64,
         );
@@ -89,13 +90,16 @@ fn engine_replay_ms(mode: SchedulerMode, resident: usize) -> f64 {
         x ^= x << 17;
         x
     };
+    let mut emit = 1u64;
     for i in 0..2_000u64 {
-        s.schedule(xorshift() % 700, i);
+        s.schedule(xorshift() % 700, EventKey::new(0, emit), i);
+        emit += 1;
     }
     let (_, wall_ms) = time_once(|| {
         for _ in 0..ENGINE_EVENTS {
             let (now, _) = s.pop().expect("replay queue never drains");
-            s.schedule(now + xorshift() % 700, 0);
+            s.schedule(now + xorshift() % 700, EventKey::new(0, emit), 0);
+            emit += 1;
         }
     });
     wall_ms

@@ -24,7 +24,8 @@ use msb_core::app::{FriendingApp, RefloodPolicy};
 use msb_core::protocol::{ProtocolConfig, ProtocolKind};
 use msb_dataset::placement;
 use msb_net::mobility::{Bounds, RandomWaypoint};
-use msb_net::sim::{DeliveryMode, SchedulerMode, SimConfig, Simulator, SpatialMode};
+use msb_net::shard::ShardedSimulator;
+use msb_net::sim::{DeliveryMode, SchedulerMode, SimConfig, SimDriver, Simulator, SpatialMode};
 use msb_profile::{Attribute, Profile, RequestProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,10 +110,51 @@ impl SwarmParams {
     }
 }
 
-/// Builds a friending swarm over `positions`: node 0 (at `positions[0]`)
-/// initiates `request` under Protocol 1 (p = 11); every
-/// [`MATCHING_EVERY`]-th other node owns `matching`, the rest
-/// `noise(i)`.
+/// The per-node placement + application list of the standard swarm
+/// over `positions`: slot 0 is the initiator of `request` under
+/// Protocol 1 (p = 11); every [`MATCHING_EVERY`]-th other node owns
+/// `matching`, the rest `noise(i)`. Both engine builders feed from
+/// this one list, so a sharded swarm is byte-identical to its oracle
+/// by construction.
+///
+/// # Panics
+///
+/// Panics if `positions` is empty.
+fn swarm_apps(
+    positions: Vec<(f64, f64)>,
+    params: &SwarmParams,
+    request: RequestProfile,
+    matching: Profile,
+    noise: impl Fn(usize) -> Profile,
+) -> Vec<((f64, f64), FriendingApp)> {
+    assert!(!positions.is_empty(), "a swarm needs at least the initiator");
+    let mut config = ProtocolConfig::new(ProtocolKind::P1, 11);
+    config.ttl = params.ttl;
+    if let Some(validity_us) = params.validity_us {
+        config.validity_us = validity_us;
+    }
+    let with_reflood = |app: FriendingApp| match params.reflood {
+        Some(policy) => app.with_reflood(policy),
+        None => app,
+    };
+    positions
+        .into_iter()
+        .enumerate()
+        .map(|(idx, pos)| {
+            let app = if idx == 0 {
+                FriendingApp::initiator(noise(0), request.clone(), config.clone())
+            } else if idx % MATCHING_EVERY == 0 {
+                FriendingApp::participant(matching.clone(), config.clone())
+            } else {
+                FriendingApp::participant(noise(idx), config.clone())
+            };
+            (pos, with_reflood(app))
+        })
+        .collect()
+}
+
+/// Builds a friending swarm over `positions` on the single-threaded
+/// engine; see [`swarm_apps`] for the scenario shape.
 ///
 /// # Panics
 ///
@@ -124,24 +166,28 @@ pub fn build_swarm(
     matching: Profile,
     noise: impl Fn(usize) -> Profile,
 ) -> Simulator<FriendingApp> {
-    let mut config = ProtocolConfig::new(ProtocolKind::P1, 11);
-    config.ttl = params.ttl;
-    if let Some(validity_us) = params.validity_us {
-        config.validity_us = validity_us;
-    }
-    let with_reflood = |app: FriendingApp| match params.reflood {
-        Some(policy) => app.with_reflood(policy),
-        None => app,
-    };
     let mut sim = Simulator::new(params.sim, params.sim_seed);
-    let mut slots = positions.into_iter();
-    let origin = slots.next().expect("a swarm needs at least the initiator");
-    sim.add_node(origin, with_reflood(FriendingApp::initiator(noise(0), request, config.clone())));
-    sim.add_nodes(slots.enumerate().map(|(i, pos)| {
-        let idx = i + 1;
-        let profile = if idx % MATCHING_EVERY == 0 { matching.clone() } else { noise(idx) };
-        (pos, with_reflood(FriendingApp::participant(profile, config.clone())))
-    }));
+    sim.add_nodes(swarm_apps(positions, params, request, matching, noise));
+    sim
+}
+
+/// Builds the same friending swarm on the sharded engine
+/// ([`params.sim.shards`](SimConfig::shards) worker cores) — the exact
+/// node list [`build_swarm`] would build, so the two engines' outcomes
+/// are directly comparable.
+///
+/// # Panics
+///
+/// Panics if `positions` is empty.
+pub fn build_swarm_sharded(
+    positions: Vec<(f64, f64)>,
+    params: &SwarmParams,
+    request: RequestProfile,
+    matching: Profile,
+    noise: impl Fn(usize) -> Profile,
+) -> ShardedSimulator<FriendingApp> {
+    let mut sim = ShardedSimulator::new(params.sim, params.sim_seed);
+    sim.add_nodes(swarm_apps(positions, params, request, matching, noise));
     sim
 }
 
@@ -199,6 +245,10 @@ pub struct ChurnSpec {
     pub scheduler: SchedulerMode,
     /// Message representation ([`SimConfig::delivery`]).
     pub delivery: DeliveryMode,
+    /// Worker cores for the sharded engine ([`SimConfig::shards`]) —
+    /// the fig10 scaling axis. Ignored by [`build_churn_swarm`]; used
+    /// by [`build_churn_swarm_sharded`].
+    pub shards: usize,
 }
 
 impl ChurnSpec {
@@ -218,13 +268,22 @@ impl ChurnSpec {
             seed: 0xF169,
             scheduler,
             delivery: DeliveryMode::InMemory,
+            shards: 1,
         }
+    }
+
+    /// Selects the sharded engine's worker-core count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 }
 
-/// Builds the churn swarm and its mobility model, both starting from
-/// the same island placement.
-pub fn build_churn_swarm(spec: &ChurnSpec) -> (Simulator<FriendingApp>, RandomWaypoint) {
+/// The shared churn construction both engine builders feed from: the
+/// island placement, the mobility model seeded off it, and the swarm
+/// parameters (including [`ChurnSpec::shards`], which only the
+/// sharded engine reads).
+fn churn_setup(spec: &ChurnSpec) -> (Vec<(f64, f64)>, RandomWaypoint, SwarmParams) {
     let mut rng = StdRng::seed_from_u64(spec.seed ^ spec.nodes as u64);
     let (positions, layout) =
         placement::islands(spec.nodes, spec.islands, AREA_PER_NODE, spec.gap_m, &mut rng);
@@ -240,6 +299,7 @@ pub fn build_churn_swarm(spec: &ChurnSpec) -> (Simulator<FriendingApp>, RandomWa
         sim: SimConfig {
             scheduler: spec.scheduler,
             delivery: spec.delivery,
+            shards: spec.shards,
             ..SimConfig::default()
         },
         sim_seed: spec.seed,
@@ -247,21 +307,43 @@ pub fn build_churn_swarm(spec: &ChurnSpec) -> (Simulator<FriendingApp>, RandomWa
         validity_us: Some(spec.duration_s * 1_000_000),
         reflood: Some(spec.reflood),
     };
+    (positions, mobility, params)
+}
+
+/// Builds the churn swarm and its mobility model, both starting from
+/// the same island placement.
+pub fn build_churn_swarm(spec: &ChurnSpec) -> (Simulator<FriendingApp>, RandomWaypoint) {
+    let (positions, mobility, params) = churn_setup(spec);
     let sim =
         build_swarm(positions, &params, lighthouse_request(), lighthouse_matching(), noise_profile);
     (sim, mobility)
 }
 
-/// Drives a churn run to completion: alternates event processing with
-/// mobility ticks for the scenario duration, then drains the remaining
-/// events (replies in flight; re-flood timers stop at the validity
-/// horizon). One reused position buffer serves every tick — no
-/// per-tick allocation even at 50k nodes.
-pub fn drive_churn(
-    sim: &mut Simulator<FriendingApp>,
-    mobility: &mut RandomWaypoint,
+/// Builds the identical churn swarm on the sharded engine with
+/// [`ChurnSpec::shards`] worker cores. Same placement, same mobility,
+/// same apps — drive it with the same [`drive_churn`] and the outcome
+/// is bit-identical to [`build_churn_swarm`]'s (the shard differential
+/// suites and `fig10_shards` assert it).
+pub fn build_churn_swarm_sharded(
     spec: &ChurnSpec,
-) {
+) -> (ShardedSimulator<FriendingApp>, RandomWaypoint) {
+    let (positions, mobility, params) = churn_setup(spec);
+    let sim = build_swarm_sharded(
+        positions,
+        &params,
+        lighthouse_request(),
+        lighthouse_matching(),
+        noise_profile,
+    );
+    (sim, mobility)
+}
+
+/// Drives a churn run to completion on either engine: alternates event
+/// processing with mobility ticks for the scenario duration, then
+/// drains the remaining events (replies in flight; re-flood timers
+/// stop at the validity horizon). One reused position buffer serves
+/// every tick — no per-tick allocation even at 50k nodes.
+pub fn drive_churn(sim: &mut impl SimDriver, mobility: &mut RandomWaypoint, spec: &ChurnSpec) {
     sim.start();
     let ticks = (spec.duration_s as f64 / spec.tick_s).ceil() as u64;
     let mut buf = Vec::new();
@@ -314,5 +396,31 @@ mod tests {
             matches.iter().filter(|m| !(m.responder as usize).is_multiple_of(spec.islands)).count();
         assert!(cross_island > 0, "mobility + re-flooding must reach other islands: {matches:?}");
         assert!(sim.metrics().peak_queue_len > 0);
+    }
+
+    #[test]
+    fn sharded_churn_swarm_is_bit_identical_to_the_oracle() {
+        use msb_core::app::SwarmSummary;
+        let spec = ChurnSpec::standard(600, SchedulerMode::Calendar).with_shards(4);
+        let (mut oracle, mut mobility) = build_churn_swarm(&spec);
+        drive_churn(&mut oracle, &mut mobility, &spec);
+        let (mut sharded, mut mobility) = build_churn_swarm_sharded(&spec);
+        drive_churn(&mut sharded, &mut mobility, &spec);
+        assert_eq!(sharded.now_us(), oracle.now_us(), "final clocks diverged");
+        // peak_queue_len is per-queue depth, legitimately shard-count
+        // dependent — everything else must agree exactly.
+        assert_eq!(
+            sharded.metrics().without_queue_pressure(),
+            oracle.metrics().without_queue_pressure(),
+            "metrics diverged"
+        );
+        let summary = SwarmSummary::collect_sharded(&sharded);
+        assert_eq!(summary, SwarmSummary::collect(&oracle), "app outcomes diverged");
+        assert!(summary.matches > 0, "scenario must still produce matches");
+        assert!(
+            sharded.shard_node_counts().iter().filter(|&&c| c > 0).count() > 1,
+            "the island layout must actually span multiple shards: {:?}",
+            sharded.shard_node_counts()
+        );
     }
 }

@@ -536,11 +536,25 @@ pub struct SwarmSummary {
 }
 
 impl SwarmSummary {
-    /// Walks every node of a finished simulation.
+    /// Walks every node of a finished single-threaded simulation.
     pub fn collect(sim: &msb_net::sim::Simulator<FriendingApp>) -> Self {
-        let mut out = SwarmSummary { nodes: sim.node_count(), ..SwarmSummary::default() };
-        for i in 0..sim.node_count() {
-            for event in &sim.app(NodeId::new(i as u32)).events {
+        Self::from_apps(sim.node_count(), |i| sim.app(NodeId::new(i)))
+    }
+
+    /// Walks every node of a finished sharded simulation
+    /// ([`msb_net::shard::ShardedSimulator`]). The sharded engine is
+    /// bit-identical to the single-threaded oracle, so for the same
+    /// scenario this summary equals [`SwarmSummary::collect`]'s — the
+    /// shard differential suites assert exactly that.
+    pub fn collect_sharded(sim: &msb_net::shard::ShardedSimulator<FriendingApp>) -> Self {
+        Self::from_apps(sim.node_count(), |i| sim.app(NodeId::new(i)))
+    }
+
+    /// Engine-independent aggregation over each node's event log.
+    fn from_apps<'a>(nodes: usize, app: impl Fn(u32) -> &'a FriendingApp) -> Self {
+        let mut out = SwarmSummary { nodes, ..SwarmSummary::default() };
+        for i in 0..nodes {
+            for event in &app(i as u32).events {
                 match event {
                     AppEvent::RequestSent { .. } => out.requests_sent += 1,
                     AppEvent::Relayed { .. } => out.relays += 1,

@@ -7,8 +7,8 @@
 //! broadcast within range, (reverse-path) unicast across hops, message
 //! latency and loss, TTL-based flooding with duplicate suppression,
 //! per-sender rate limiting (the paper's DoS defence), and a
-//! random-waypoint mobility model. Everything is driven by a seeded RNG,
-//! so every run is reproducible.
+//! random-waypoint mobility model. All randomness flows from per-node
+//! RNG streams derived from one seed, so every run is reproducible.
 //!
 //! Range queries (who hears a broadcast, who is a BFS neighbor) are
 //! answered by a hex-grid [`spatial::SpatialIndex`] keyed on the same
@@ -22,6 +22,12 @@
 //! traffic, with the original binary heap kept as the bit-identical
 //! oracle — the full engine contract (ordering, tie-breaking,
 //! recurring events, re-flood scenarios) lives in `docs/SIM.md`.
+//!
+//! For multi-core scale, the whole engine shards spatially:
+//! [`shard::ShardedSimulator`] partitions the hex tiles across
+//! [`sim::SimConfig::shards`] worker cores synchronized by conservative
+//! lookahead, bit-identical to the single-threaded [`sim::Simulator`]
+//! at any shard count (the shard contract is `docs/SIM.md` §6).
 //!
 //! # Example
 //!
@@ -63,10 +69,18 @@ pub mod guard;
 pub mod mobility;
 pub mod payload;
 pub mod sched;
+pub mod shard;
 pub mod sim;
 pub mod spatial;
+mod topo;
 
 pub use payload::Payload;
-pub use sched::{CalendarScheduler, HeapScheduler, Recurrence, Scheduler, SchedulerMode};
-pub use sim::{DeliveryMode, Metrics, NodeApp, NodeCtx, NodeId, SimConfig, Simulator, SpatialMode};
+pub use sched::{
+    CalendarScheduler, EventKey, HeapScheduler, Recurrence, ScheduledEvent, Scheduler,
+    SchedulerMode,
+};
+pub use shard::ShardedSimulator;
+pub use sim::{
+    DeliveryMode, Metrics, NodeApp, NodeCtx, NodeId, SimConfig, SimDriver, Simulator, SpatialMode,
+};
 pub use spatial::SpatialIndex;

@@ -1,0 +1,828 @@
+//! Spatially-sharded parallel execution of the simulator.
+//!
+//! [`ShardedSimulator`] partitions the hex-grid tiles of the plane
+//! across [`SimConfig::shards`] engine cores — each with its **own**
+//! scheduler, spatial index replica, per-node RNG streams, and
+//! [`Metrics`] — and runs them on scoped worker threads under
+//! **conservative-lookahead synchronization**: the radio propagation
+//! delay ([`SimConfig::base_latency_us`]) lower-bounds the latency of
+//! every cross-shard event, so all shards can safely process the window
+//! `[t₀, t₀ + L)` in parallel (t₀ = the global earliest pending event,
+//! L = the lookahead) — any event one shard sends another lands at
+//! `≥ t₀ + L`, strictly beyond the window.
+//!
+//! The engine is **bit-identical to the single-threaded
+//! [`Simulator`]** at every shard count: same matches, same event
+//! totals, same final clock, same merged [`Metrics`] (modulo
+//! [`Metrics::peak_queue_len`], a per-queue high-water mark — see
+//! [`Metrics::without_queue_pressure`]). This follows from the
+//! refactored determinism contract (`docs/SIM.md` §1 and §6):
+//!
+//! * every event is keyed by *content* (`(source, emission counter)`),
+//!   so each node processes its own events in an order independent of
+//!   global queue interleaving;
+//! * randomness is *per-node*, drawn on the emitting node in its
+//!   processing order, so draws never depend on other nodes' schedules;
+//! * positions change only at quiesce points
+//!   ([`ShardedSimulator::set_positions`]), so every core's full
+//!   topology replica is exact and neighbor queries answer identically
+//!   to the oracle's.
+//!
+//! Mobility may carry a node onto a tile owned by a different shard;
+//! the quiesce-point rebalance then *hands off* the node — its
+//! application, RNG stream, emission counter, and every pending queue
+//! entry targeting it (via [`crate::sched::Scheduler::extract`] /
+//! [`crate::sched::Scheduler::transfer`], which preserve keys and do
+//! not recount [`Metrics::events_scheduled`]) — to the new owner.
+//!
+//! The single-threaded engine remains *the* differential oracle,
+//! exactly as [`crate::sim::SpatialMode::NaiveScan`] and
+//! [`crate::sim::SchedulerMode::BinaryHeap`] serve the spatial and
+//! scheduler layers; `crates/net/tests/shard_differential.rs` and the
+//! root `tests/shard_churn.rs` prove the bit-identity from tile-seam
+//! micro-scenarios up to full friending swarms.
+
+use crate::payload::Payload;
+use crate::sched::{AnyScheduler, EventKey, ScheduledEvent, Scheduler};
+use crate::sim::{
+    draw_latency, roll_loss, splitmix64, Action, EventKind, Metrics, NodeApp, NodeCtx, NodeId,
+    NodeState, SimConfig, SimDriver,
+};
+use crate::topo::{distance, Topology};
+use msb_lattice::LatticeConfig;
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+
+/// One engine core owning a subset of the nodes: its own event queue,
+/// its own metrics, a full topology replica, and the per-node state
+/// (app + RNG + emission counter) of every node it currently owns.
+struct ShardCore<A> {
+    shard: u32,
+    config: SimConfig,
+    /// Full position/index replica — exact, because positions change
+    /// only at quiesce points.
+    topo: Topology,
+    /// Full node → owning shard replica (for routing emissions).
+    owner: Vec<u32>,
+    /// State of the nodes this core owns, by raw node id.
+    states: HashMap<u32, NodeState<A>>,
+    queue: AnyScheduler<EventKind>,
+    now_us: u64,
+    metrics: Metrics,
+    /// Events emitted this window whose target another shard owns;
+    /// drained by the coordinator at the window barrier.
+    outbox: Vec<ScheduledEvent<EventKind>>,
+    targets_buf: Vec<(u32, f64)>,
+    knear_buf: Vec<u32>,
+}
+
+impl<A: NodeApp> ShardCore<A> {
+    fn new(shard: u32, config: SimConfig) -> Self {
+        ShardCore {
+            shard,
+            config,
+            topo: Topology::new(&config),
+            owner: Vec::new(),
+            states: HashMap::new(),
+            queue: AnyScheduler::for_mode(config.scheduler),
+            now_us: 0,
+            metrics: Metrics::default(),
+            outbox: Vec::new(),
+            targets_buf: Vec::new(),
+            knear_buf: Vec::new(),
+        }
+    }
+
+    /// Earliest pending local event, if any.
+    fn next_time(&mut self) -> Option<u64> {
+        self.queue.peek().map(|(at, _)| at)
+    }
+
+    /// Inserts cross-shard arrivals, counting them toward
+    /// `events_scheduled` — each event is counted exactly once
+    /// simulation-wide, at the core that enqueues it for processing.
+    fn ingest(&mut self, inbound: Vec<ScheduledEvent<EventKind>>) {
+        for ev in inbound {
+            debug_assert!(ev.recur.is_none(), "cross-shard events are never recurring");
+            self.queue.schedule(ev.at_us, ev.key, ev.item);
+        }
+        self.note_queue();
+    }
+
+    /// Re-homes an extracted entry during a node handoff (no recount).
+    fn transfer_in(&mut self, ev: ScheduledEvent<EventKind>) {
+        self.queue.transfer(ev);
+        self.note_queue();
+    }
+
+    /// Processes every local event with `at ≤ horizon`.
+    fn process_until(&mut self, horizon: u64) {
+        while let Some((at, _)) = self.queue.peek() {
+            if at > horizon {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        let Some((at_us, kind)) = self.queue.pop() else {
+            return false;
+        };
+        self.note_queue();
+        self.now_us = at_us;
+        match kind {
+            EventKind::Deliver { to, from, payload } => {
+                if self.config.batch_delivery {
+                    let batch = self.drain_batch(to, from, payload);
+                    self.metrics.delivered += batch.len() as u64;
+                    self.with_ctx(to, |app, ctx| app.on_batch(ctx, &batch));
+                } else {
+                    self.metrics.delivered += 1;
+                    self.with_ctx(to, |app, ctx| app.on_message(ctx, from, &payload));
+                }
+            }
+            EventKind::Timer { node, token } => {
+                self.with_ctx(node, |app, ctx| app.on_timer(ctx, token));
+            }
+        }
+        true
+    }
+
+    /// Same-instant same-destination coalescing over the *local* queue.
+    /// A shard queue holds only its own nodes' events, so runs that the
+    /// global queue interleaves with other shards' events may coalesce
+    /// into fewer, larger batches here — per-message order, RNG draws,
+    /// and all [`Metrics`] are unaffected (per-node randomness makes
+    /// grouping invisible); only the `on_batch` call granularity can
+    /// differ from the oracle's.
+    fn drain_batch(
+        &mut self,
+        to: NodeId,
+        from: NodeId,
+        payload: Payload,
+    ) -> Vec<(NodeId, Payload)> {
+        let mut batch = vec![(from, payload)];
+        loop {
+            let same = match self.queue.peek() {
+                Some((at_us, kind)) => {
+                    at_us == self.now_us
+                        && matches!(kind, EventKind::Deliver { to: t, .. } if *t == to)
+                }
+                None => false,
+            };
+            if !same {
+                break;
+            }
+            let Some((_, EventKind::Deliver { from, payload, .. })) = self.queue.pop() else {
+                unreachable!("peeked a same-instant delivery");
+            };
+            batch.push((from, payload));
+        }
+        batch
+    }
+
+    fn with_ctx(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut NodeCtx<'_>)) {
+        let position = self.topo.position(id.index());
+        let state = self.states.get_mut(&id.0).expect("event delivered to a non-owned node");
+        let mut ctx = NodeCtx {
+            id,
+            now_us: self.now_us,
+            position,
+            delivery: self.config.delivery,
+            rng: &mut state.rng,
+            actions: Vec::new(),
+        };
+        f(&mut state.app, &mut ctx);
+        let actions = ctx.actions;
+        for action in actions {
+            match action {
+                Action::Broadcast(payload) => self.do_broadcast(id, payload),
+                Action::BroadcastK(k, payload) => self.do_broadcast_k(id, k, payload),
+                Action::Unicast(to, payload) => self.do_unicast(id, to, payload),
+                Action::Timer(delay, token) => {
+                    let at = self.now_us + delay;
+                    let key = self.next_key(id);
+                    // A node's timers always target itself — local.
+                    self.push_local(at, key, EventKind::Timer { node: id, token });
+                }
+                Action::RecurringTimer(delay, recur, token) => {
+                    let at = self.now_us + delay;
+                    let key = self.next_key(id);
+                    self.queue.schedule_recurring(
+                        at,
+                        key,
+                        recur,
+                        EventKind::Timer { node: id, token },
+                    );
+                    self.note_queue();
+                }
+            }
+        }
+    }
+
+    fn next_key(&mut self, id: NodeId) -> EventKey {
+        self.states.get_mut(&id.0).expect("emitting node is owned").next_key(id.0)
+    }
+
+    /// Routes an emitted event: local target → own queue (counted),
+    /// remote target → outbox (counted by the receiving core at ingest).
+    fn route(&mut self, at_us: u64, key: EventKey, kind: EventKind) {
+        if self.owner[kind.target().index()] == self.shard {
+            self.push_local(at_us, key, kind);
+        } else {
+            self.outbox.push(ScheduledEvent { at_us, key, recur: None, item: kind });
+        }
+    }
+
+    fn push_local(&mut self, at_us: u64, key: EventKey, kind: EventKind) {
+        self.queue.schedule(at_us, key, kind);
+        self.note_queue();
+    }
+
+    fn note_queue(&mut self) {
+        self.metrics.events_scheduled = self.queue.events_scheduled();
+        self.metrics.peak_queue_len = self.queue.peak_len() as u64;
+    }
+
+    fn do_broadcast(&mut self, from: NodeId, payload: Payload) {
+        self.metrics.broadcasts += 1;
+        self.metrics.payload_bytes += payload.wire_len() as u64;
+        let mut targets = std::mem::take(&mut self.targets_buf);
+        self.topo.broadcast_targets(&mut self.metrics, from.index(), &mut targets);
+        for &(i, dist) in &targets {
+            let sender = self.states.get_mut(&from.0).expect("broadcasting node is owned");
+            if roll_loss(&self.config, &mut sender.rng) {
+                self.metrics.lost += 1;
+                continue;
+            }
+            let at = self.now_us + draw_latency(&self.config, dist, &mut sender.rng);
+            let key = sender.next_key(from.0);
+            self.route(
+                at,
+                key,
+                EventKind::Deliver { to: NodeId(i), from, payload: payload.clone() },
+            );
+        }
+        self.targets_buf = targets;
+    }
+
+    fn do_broadcast_k(&mut self, from: NodeId, k: usize, payload: Payload) {
+        self.metrics.broadcasts += 1;
+        self.metrics.payload_bytes += payload.wire_len() as u64;
+        let mut cand = std::mem::take(&mut self.knear_buf);
+        self.topo.k_nearest(&mut self.metrics, from.index(), k, &mut cand);
+        let src = self.topo.position(from.index());
+        for &i in &cand {
+            let dist = distance(src, self.topo.position(i as usize));
+            let sender = self.states.get_mut(&from.0).expect("broadcasting node is owned");
+            if roll_loss(&self.config, &mut sender.rng) {
+                self.metrics.lost += 1;
+                continue;
+            }
+            let at = self.now_us + draw_latency(&self.config, dist, &mut sender.rng);
+            let key = sender.next_key(from.0);
+            self.route(
+                at,
+                key,
+                EventKind::Deliver { to: NodeId(i), from, payload: payload.clone() },
+            );
+        }
+        self.knear_buf = cand;
+    }
+
+    fn do_unicast(&mut self, from: NodeId, to: NodeId, payload: Payload) {
+        self.metrics.unicasts += 1;
+        if from == to {
+            let at = self.now_us;
+            let key = self.next_key(from);
+            self.push_local(at, key, EventKind::Deliver { to, from, payload });
+            return;
+        }
+        let Some(path) = self.topo.shortest_path(&mut self.metrics, from.index(), to.index())
+        else {
+            self.metrics.unroutable += 1;
+            return;
+        };
+        let mut at = self.now_us;
+        for hop in path.windows(2) {
+            let d =
+                distance(self.topo.position(hop[0] as usize), self.topo.position(hop[1] as usize));
+            self.metrics.unicast_hops += 1;
+            self.metrics.payload_bytes += payload.wire_len() as u64;
+            let sender = self.states.get_mut(&from.0).expect("unicasting node is owned");
+            if roll_loss(&self.config, &mut sender.rng) {
+                self.metrics.lost += 1;
+                return;
+            }
+            at += draw_latency(&self.config, d, &mut sender.rng);
+        }
+        let key = self.next_key(from);
+        self.route(at, key, EventKind::Deliver { to, from, payload });
+    }
+}
+
+/// Window command sent to a worker; `Exit` ends the worker loop.
+enum Cmd {
+    /// Ingest `inbound`, process every local event `≤ horizon`, reply.
+    Window {
+        horizon: u64,
+        inbound: Vec<ScheduledEvent<EventKind>>,
+    },
+    /// Ingest only (the post-deadline flush); no reply.
+    Ingest {
+        inbound: Vec<ScheduledEvent<EventKind>>,
+    },
+    Exit,
+}
+
+/// Worker → coordinator barrier message after a window.
+struct Reply {
+    shard: usize,
+    next: Option<u64>,
+    now: u64,
+    outbox: Vec<ScheduledEvent<EventKind>>,
+}
+
+/// The sharded parallel engine: coordinator over per-shard cores. See
+/// the module docs for the synchronization and determinism contract;
+/// the public surface mirrors [`Simulator`] so harnesses drive either
+/// through [`SimDriver`].
+pub struct ShardedSimulator<A: NodeApp> {
+    config: SimConfig,
+    seed: u64,
+    tiles: LatticeConfig,
+    cores: Vec<ShardCore<A>>,
+    /// Node → owning shard (the coordinator's authoritative copy; each
+    /// core holds a replica for routing).
+    owner: Vec<u32>,
+    now_us: u64,
+    ext_seq: u64,
+}
+
+impl<A: NodeApp> ShardedSimulator<A> {
+    /// Creates a sharded simulator with `config.shards` cores (clamped
+    /// to at least 1) and the given RNG seed. The tile partition uses
+    /// the same hex lattice scale as the spatial index
+    /// ([`SimConfig::cell_d`], defaulting to the radio range).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.shards > 1` and `config.base_latency_us` is
+    /// zero — the base latency is the conservative lookahead; without
+    /// it no window has positive width and shards could not advance in
+    /// parallel.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        let shards = config.shards.max(1);
+        if shards > 1 {
+            assert!(
+                config.base_latency_us > 0,
+                "sharded execution needs base_latency_us > 0: it is the conservative lookahead \
+                 bounding cross-shard event latency"
+            );
+            assert!(
+                config.per_meter_latency_us >= 0.0,
+                "negative per-meter latency would break the lookahead bound"
+            );
+        }
+        let mut core_config = config;
+        core_config.shards = shards;
+        ShardedSimulator {
+            config: core_config,
+            seed,
+            tiles: LatticeConfig::new((0.0, 0.0), config.cell_d.unwrap_or(config.radio_range)),
+            cores: (0..shards).map(|i| ShardCore::new(i as u32, core_config)).collect(),
+            owner: Vec::new(),
+            now_us: 0,
+            ext_seq: 0,
+        }
+    }
+
+    /// Number of shards (cores).
+    pub fn shard_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The shard that owns the tile containing `position`.
+    fn tile_owner(&self, position: (f64, f64)) -> u32 {
+        let tile = self.tiles.snap(position);
+        let h = splitmix64(
+            splitmix64(tile.u1 as u64) ^ (tile.u2 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        (h % self.cores.len() as u64) as u32
+    }
+
+    /// Adds a node at `position`, returning its id. Every core's
+    /// topology replica learns the position; the owning core (by tile
+    /// hash) takes the node's state.
+    pub fn add_node(&mut self, position: (f64, f64), app: A) -> NodeId {
+        let id = NodeId(self.owner.len() as u32);
+        let shard = self.tile_owner(position);
+        self.owner.push(shard);
+        for core in &mut self.cores {
+            core.topo.push(position);
+            core.owner.push(shard);
+        }
+        self.cores[shard as usize].states.insert(id.0, NodeState::new(app, self.seed, id.0));
+        id
+    }
+
+    /// Adds many nodes at once, returning their ids in insertion order.
+    pub fn add_nodes(&mut self, nodes: impl IntoIterator<Item = ((f64, f64), A)>) -> Vec<NodeId> {
+        let iter = nodes.into_iter();
+        let mut ids = Vec::with_capacity(iter.size_hint().0);
+        for (position, app) in iter {
+            ids.push(self.add_node(position, app));
+        }
+        ids
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Current simulation time in microseconds — the max over shard
+    /// clocks, i.e. the instant of the last event processed anywhere.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Merged metrics over all shards, in ascending shard order
+    /// (associative, so the grouping is immaterial — see
+    /// [`Metrics::merge`]). All fields except
+    /// [`Metrics::peak_queue_len`] are bit-identical to the
+    /// single-threaded oracle's.
+    pub fn metrics(&self) -> Metrics {
+        self.cores.iter().fold(Metrics::default(), |acc, c| acc.merge(c.metrics))
+    }
+
+    /// Per-shard metrics, by shard index.
+    pub fn shard_metrics(&self) -> Vec<Metrics> {
+        self.cores.iter().map(|c| c.metrics).collect()
+    }
+
+    /// Per-shard owned-node counts, by shard index.
+    pub fn shard_node_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cores.len()];
+        for &shard in &self.owner {
+            counts[shard as usize] += 1;
+        }
+        counts
+    }
+
+    /// Borrow a node's application state (e.g. to inspect results).
+    pub fn app(&self, id: NodeId) -> &A {
+        let core = &self.cores[self.owner[id.index()] as usize];
+        &core.states.get(&(id.index() as u32)).expect("owner table is authoritative").app
+    }
+
+    /// Mutably borrow a node's application state.
+    pub fn app_mut(&mut self, id: NodeId) -> &mut A {
+        let core = &mut self.cores[self.owner[id.index()] as usize];
+        &mut core.states.get_mut(&(id.index() as u32)).expect("owner table is authoritative").app
+    }
+
+    /// A node's position.
+    pub fn position(&self, id: NodeId) -> (f64, f64) {
+        self.cores[0].topo.position(id.index())
+    }
+
+    /// Calls `on_start` on every node (in id order), then routes the
+    /// resulting cross-shard emissions.
+    pub fn start(&mut self) {
+        for i in 0..self.owner.len() {
+            let id = NodeId(i as u32);
+            let core = &mut self.cores[self.owner[i] as usize];
+            core.with_ctx(id, |app, ctx| app.on_start(ctx));
+        }
+        self.route_outboxes();
+    }
+
+    /// Injects a message from "outside" the network, carrying the
+    /// [`EventKey::EXTERNAL_SRC`] sentinel — lands directly on the
+    /// queue of the core owning `to`, like the oracle's `inject`.
+    pub fn inject(&mut self, to: NodeId, from: NodeId, payload: impl Into<Payload>) {
+        let at = self.now_us;
+        let key = EventKey::external(self.ext_seq);
+        self.ext_seq += 1;
+        let core = &mut self.cores[self.owner[to.index()] as usize];
+        core.push_local(at, key, EventKind::Deliver { to, from, payload: payload.into() });
+    }
+
+    /// Moves one node, replicating the position everywhere and handing
+    /// the node off if its tile now belongs to a different shard. Must
+    /// only be called at quiesce points (never mid-`run_until`).
+    pub fn set_position(&mut self, id: NodeId, position: (f64, f64)) {
+        for core in &mut self.cores {
+            core.topo.set_position(id.index(), position);
+        }
+        self.rehome(id.index());
+    }
+
+    /// Bulk position update at a quiesce point — the mobility tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly one position per node is supplied.
+    pub fn set_positions(&mut self, positions: &[(f64, f64)]) {
+        assert_eq!(positions.len(), self.owner.len(), "one position per node");
+        for core in &mut self.cores {
+            for (i, &position) in positions.iter().enumerate() {
+                core.topo.set_position(i, position);
+            }
+        }
+        self.rehome_all();
+    }
+
+    /// The batched re-homing pass behind [`Self::set_positions`]:
+    /// computes every node's new owner first, then performs all
+    /// handoffs with **one** queue scan per affected source core.
+    /// (The per-node [`Self::rehome`] scan is O(moved × queue depth)
+    /// per mobility tick — at swarm scale, with thousands of tile
+    /// crossings per tick, that serial scan dominates the entire run.)
+    /// Content-derived keys make the transfer order immaterial, so the
+    /// batch is bit-identical to re-homing node by node.
+    fn rehome_all(&mut self) {
+        if self.cores.len() == 1 {
+            return;
+        }
+        // (node, new owner) for exactly the nodes changing shards, in
+        // ascending node order.
+        let mut moves: Vec<(usize, u32)> = Vec::new();
+        for i in 0..self.owner.len() {
+            let new_owner = self.tile_owner(self.cores[0].topo.position(i));
+            if new_owner != self.owner[i] {
+                moves.push((i, new_owner));
+            }
+        }
+        if moves.is_empty() {
+            return;
+        }
+        let moving: HashSet<u32> = moves.iter().map(|&(i, _)| i as u32).collect();
+        let mut affected = vec![false; self.cores.len()];
+        for &(i, _) in &moves {
+            affected[self.owner[i] as usize] = true;
+        }
+        // One extract per source core that loses at least one node,
+        // pulling every departing node's pending entries key-intact.
+        let mut in_flight: Vec<ScheduledEvent<EventKind>> = Vec::new();
+        for (src, hit) in affected.into_iter().enumerate() {
+            if !hit {
+                continue;
+            }
+            let core = &mut self.cores[src];
+            in_flight.extend(
+                core.queue.extract(&mut |kind: &EventKind| moving.contains(&kind.target().0)),
+            );
+            core.note_queue();
+        }
+        for &(i, dst) in &moves {
+            let node = i as u32;
+            let state = self.cores[self.owner[i] as usize]
+                .states
+                .remove(&node)
+                .expect("owner table is authoritative");
+            self.cores[dst as usize].states.insert(node, state);
+            self.owner[i] = dst;
+            for core in &mut self.cores {
+                core.owner[i] = dst;
+            }
+        }
+        for ev in in_flight {
+            let dst = self.owner[ev.item.target().index()];
+            self.cores[dst as usize].transfer_in(ev);
+        }
+    }
+
+    /// Re-evaluates node `i`'s owning shard from its current tile and
+    /// performs the handoff when it changed: the node's state (app, RNG
+    /// stream, emission counter) moves wholesale, and every pending
+    /// queue entry targeting it is extracted key-intact and transferred
+    /// (uncounted) to the new owner.
+    fn rehome(&mut self, i: usize) {
+        let position = self.cores[0].topo.position(i);
+        let new_owner = self.tile_owner(position);
+        let old_owner = self.owner[i];
+        if new_owner == old_owner {
+            return;
+        }
+        let node = i as u32;
+        let state = self.cores[old_owner as usize]
+            .states
+            .remove(&node)
+            .expect("owner table is authoritative");
+        let moved = self.cores[old_owner as usize]
+            .queue
+            .extract(&mut |kind: &EventKind| kind.target().0 == node);
+        // `extract` changed the old core's depth; remirror its counters.
+        self.cores[old_owner as usize].note_queue();
+        let dst = &mut self.cores[new_owner as usize];
+        dst.states.insert(node, state);
+        for ev in moved {
+            dst.transfer_in(ev);
+        }
+        self.owner[i] = new_owner;
+        for core in &mut self.cores {
+            core.owner[i] = new_owner;
+        }
+    }
+
+    /// Routes every core's outbox to the destination cores' queues, in
+    /// ascending shard order (order is immaterial for the run — keys
+    /// are content-derived — but deterministic for the avoidance of
+    /// doubt).
+    fn route_outboxes(&mut self) {
+        for src in 0..self.cores.len() {
+            let outbox = std::mem::take(&mut self.cores[src].outbox);
+            for ev in outbox {
+                let dst = self.owner[ev.item.target().index()] as usize;
+                self.cores[dst].ingest(vec![ev]);
+            }
+        }
+    }
+
+    /// BFS shortest path over the current connectivity graph, answered
+    /// from shard 0's (exact) topology replica.
+    pub fn shortest_path(&mut self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        let core = &mut self.cores[0];
+        core.topo
+            .shortest_path(&mut core.metrics, from.index(), to.index())
+            .map(|path| path.into_iter().map(NodeId).collect())
+    }
+
+    /// Connected components of the current connectivity graph, answered
+    /// from shard 0's (exact) topology replica.
+    pub fn connected_components(&mut self) -> Vec<Vec<NodeId>> {
+        let core = &mut self.cores[0];
+        core.topo
+            .connected_components(&mut core.metrics)
+            .into_iter()
+            .map(|comp| comp.into_iter().map(NodeId).collect())
+            .collect()
+    }
+}
+
+impl<A: NodeApp + Send> ShardedSimulator<A> {
+    /// Runs until every queue drains.
+    pub fn run(&mut self) {
+        self.run_windows(None);
+    }
+
+    /// Runs until the queues drain or the clock passes `deadline_us`.
+    pub fn run_until(&mut self, deadline_us: u64) {
+        self.run_windows(Some(deadline_us));
+        self.now_us = self.now_us.max(deadline_us);
+    }
+
+    /// The conservative-lookahead window loop. Each iteration:
+    ///
+    /// 1. t₀ = the globally earliest pending event (local queues and
+    ///    in-flight cross-shard envelopes);
+    /// 2. horizon = `min(deadline, t₀ + L − 1)` with
+    ///    L = `base_latency_us` — every cross-shard event emitted while
+    ///    processing `≤ horizon` lands at `≥ t₀ + L > horizon`, so no
+    ///    shard can receive an event inside a window it already passed;
+    /// 3. all shards ingest their inbound envelopes and process their
+    ///    window **in parallel**;
+    /// 4. barrier: outboxes route to destination shards for the next
+    ///    window.
+    ///
+    /// With one shard the core runs inline — no threads, no channels.
+    fn run_windows(&mut self, deadline: Option<u64>) {
+        let n = self.cores.len();
+        if n == 1 {
+            let core = &mut self.cores[0];
+            while let Some((at, _)) = core.queue.peek() {
+                if deadline.is_some_and(|d| at > d) {
+                    break;
+                }
+                core.step();
+            }
+            debug_assert!(core.outbox.is_empty(), "a lone shard owns every node");
+            self.now_us = self.now_us.max(core.now_us);
+            return;
+        }
+        let lookahead = self.config.base_latency_us;
+        let mut nexts: Vec<Option<u64>> =
+            self.cores.iter_mut().map(|core| core.next_time()).collect();
+        let mut nows: Vec<u64> = self.cores.iter().map(|core| core.now_us).collect();
+        // In-flight cross-shard envelopes, per destination shard.
+        let mut pending: Vec<Vec<ScheduledEvent<EventKind>>> = (0..n).map(|_| Vec::new()).collect();
+        let owner = &self.owner;
+        std::thread::scope(|s| {
+            let (reply_tx, reply_rx): (SyncSender<Reply>, Receiver<Reply>) = sync_channel(n);
+            let mut cmd_txs: Vec<SyncSender<Cmd>> = Vec::with_capacity(n);
+            for (shard, core) in self.cores.iter_mut().enumerate() {
+                let (tx, rx) = sync_channel::<Cmd>(2);
+                cmd_txs.push(tx);
+                let reply_tx = reply_tx.clone();
+                s.spawn(move || {
+                    while let Ok(cmd) = rx.recv() {
+                        match cmd {
+                            Cmd::Window { horizon, inbound } => {
+                                core.ingest(inbound);
+                                core.process_until(horizon);
+                                let reply = Reply {
+                                    shard,
+                                    next: core.next_time(),
+                                    now: core.now_us,
+                                    outbox: std::mem::take(&mut core.outbox),
+                                };
+                                if reply_tx.send(reply).is_err() {
+                                    break;
+                                }
+                            }
+                            Cmd::Ingest { inbound } => core.ingest(inbound),
+                            Cmd::Exit => break,
+                        }
+                    }
+                });
+            }
+            loop {
+                // 1. The global floor over local queues and envelopes.
+                let mut t0: Option<u64> = None;
+                for i in 0..n {
+                    for t in nexts[i].into_iter().chain(pending[i].iter().map(|e| e.at_us)) {
+                        t0 = Some(t0.map_or(t, |cur: u64| cur.min(t)));
+                    }
+                }
+                let Some(t0) = t0 else { break };
+                if deadline.is_some_and(|d| t0 > d) {
+                    break;
+                }
+                // 2. The conservative window.
+                let mut horizon = t0 + lookahead - 1;
+                if let Some(d) = deadline {
+                    horizon = horizon.min(d);
+                }
+                // 3. Parallel window execution.
+                for (i, tx) in cmd_txs.iter().enumerate() {
+                    let inbound = std::mem::take(&mut pending[i]);
+                    tx.send(Cmd::Window { horizon, inbound }).expect("worker alive");
+                }
+                // 4. Barrier: collect every reply, then route outboxes
+                // in ascending shard order.
+                let mut replies: Vec<Option<Reply>> = (0..n).map(|_| None).collect();
+                for _ in 0..n {
+                    let reply = reply_rx.recv().expect("worker alive");
+                    let shard = reply.shard;
+                    replies[shard] = Some(reply);
+                }
+                for slot in &mut replies {
+                    let reply = slot.take().expect("one reply per shard");
+                    nexts[reply.shard] = reply.next;
+                    nows[reply.shard] = reply.now;
+                    for ev in reply.outbox {
+                        pending[owner[ev.item.target().index()] as usize].push(ev);
+                    }
+                }
+            }
+            // Post-deadline flush: surviving envelopes all land beyond
+            // the deadline (the lookahead guarantees it); park them on
+            // their destination queues for the next run call.
+            for (i, tx) in cmd_txs.iter().enumerate() {
+                let inbound = std::mem::take(&mut pending[i]);
+                if !inbound.is_empty() {
+                    debug_assert!(deadline.is_some(), "a full run drains every envelope");
+                    tx.send(Cmd::Ingest { inbound }).expect("worker alive");
+                }
+                tx.send(Cmd::Exit).expect("worker alive");
+            }
+        });
+        self.now_us = self.now_us.max(nows.iter().copied().max().unwrap_or(0));
+    }
+}
+
+impl<A: NodeApp + Send> SimDriver for ShardedSimulator<A> {
+    fn start(&mut self) {
+        ShardedSimulator::start(self);
+    }
+
+    fn run(&mut self) {
+        ShardedSimulator::run(self);
+    }
+
+    fn run_until(&mut self, deadline_us: u64) {
+        ShardedSimulator::run_until(self, deadline_us);
+    }
+
+    fn set_positions(&mut self, positions: &[(f64, f64)]) {
+        ShardedSimulator::set_positions(self, positions);
+    }
+
+    fn now_us(&self) -> u64 {
+        ShardedSimulator::now_us(self)
+    }
+}
+
+impl<A: NodeApp> std::fmt::Debug for ShardedSimulator<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSimulator")
+            .field("shards", &self.cores.len())
+            .field("nodes", &self.owner.len())
+            .field("now_us", &self.now_us)
+            .field("metrics", &self.metrics())
+            .finish()
+    }
+}

@@ -1,15 +1,23 @@
 //! The discrete-event simulation engine.
 //!
-//! Time is measured in integer microseconds. All randomness (latency
-//! jitter, loss) flows from one seeded RNG, making runs reproducible
-//! bit-for-bit. Events are ordered by `(timestamp, sequence)` — FIFO
-//! among same-instant events — by a pluggable [`crate::sched`] engine
-//! selected through [`SimConfig::scheduler`]; see `docs/SIM.md` for the
-//! full event-engine contract.
+//! Time is measured in integer microseconds. Every event carries a
+//! **content-derived** key `(at_us, EventKey)` — the emitting node and
+//! that node's private emission counter — and the engine processes
+//! events in strictly ascending key order (see [`crate::sched`]).
+//! Randomness (latency jitter, loss) flows from *per-node* RNG streams
+//! derived from the simulation seed, drawn on the emitting node in
+//! event-processing order. Both choices make a run a pure function of
+//! `(seed, SimConfig, apps)` that is independent of *which engine
+//! executes it*: the pluggable scheduler ([`SimConfig::scheduler`]),
+//! the spatial index ([`SimConfig::spatial`]), and — new — the
+//! spatially-sharded parallel engine ([`crate::shard::ShardedSimulator`],
+//! [`SimConfig::shards`]) all reproduce the identical stream
+//! bit-for-bit. See `docs/SIM.md` for the full event-engine and shard
+//! contracts.
 
 use crate::payload::Payload;
-use crate::sched::{AnyScheduler, Scheduler};
-use crate::spatial::SpatialIndex;
+use crate::sched::{AnyScheduler, EventKey, Scheduler};
+use crate::topo::{distance, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -17,7 +25,7 @@ pub use crate::sched::{Recurrence, SchedulerMode};
 
 /// Identifier of a node in the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(u32);
+pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
     /// Creates an id from a raw index.
@@ -84,23 +92,30 @@ pub enum DeliveryMode {
 /// equal configs, and equal apps produce identical event streams and
 /// [`Metrics`]. Fields that change only *how fast* the engine answers
 /// queries ([`SimConfig::spatial`], [`SimConfig::cell_d`],
-/// [`SimConfig::delivery`]) do not change the stream at all — only
-/// [`Metrics::cells_scanned`] reflects them.
+/// [`SimConfig::delivery`], [`SimConfig::shards`]) do not change the
+/// stream at all — only [`Metrics::cells_scanned`] (spatial mode) and
+/// [`Metrics::peak_queue_len`] (shard count) reflect them.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Radio range in meters: broadcasts reach nodes within this distance
     /// (inclusive), and two nodes within it are connectivity-graph
     /// neighbors for unicast routing.
     pub radio_range: f64,
-    /// Fixed per-transmission latency in microseconds.
+    /// Fixed per-transmission latency in microseconds. Under sharded
+    /// execution this is also the conservative lookahead: every
+    /// cross-shard event lands at least this far in the future, which is
+    /// what lets shards advance in parallel (must be nonzero when
+    /// `shards > 1`).
     pub base_latency_us: u64,
     /// Additional latency per meter of distance, in microseconds.
     pub per_meter_latency_us: f64,
     /// Uniform jitter added to each transmission, in microseconds. Each
-    /// in-range delivery draws one jitter sample from the shared RNG.
+    /// in-range delivery draws one jitter sample from the *sender's* RNG
+    /// stream.
     pub jitter_us: u64,
     /// Probability that any single transmission is lost. Each scheduled
-    /// transmission draws one loss sample when nonzero.
+    /// transmission draws one loss sample (from the sender's stream)
+    /// when nonzero.
     pub loss_rate: f64,
     /// Coalesce same-instant deliveries to one node into a single
     /// [`NodeApp::on_batch`] call, letting applications process message
@@ -117,11 +132,19 @@ pub struct SimConfig {
     /// Hex cell scale for [`SpatialMode::HexIndex`], in meters. `None`
     /// (the default) uses [`SimConfig::radio_range`], the sweet spot of
     /// the cell-size heuristic (see [`crate::spatial`] module docs).
-    /// Ignored under [`SpatialMode::NaiveScan`].
+    /// Ignored under [`SpatialMode::NaiveScan`]. Also the tile scale the
+    /// sharded engine partitions the plane by.
     pub cell_d: Option<f64>,
     /// Message representation payload-aware applications should send;
     /// see [`DeliveryMode`].
     pub delivery: DeliveryMode,
+    /// Worker shards for [`crate::shard::ShardedSimulator`]: the hex
+    /// tiles of the plane are partitioned across this many engine cores
+    /// running in parallel under conservative-lookahead sync. `1` (the
+    /// default) runs the core inline without threads. The
+    /// single-threaded [`Simulator`] ignores this field — it is *the*
+    /// oracle any shard count is proven bit-identical to.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -137,6 +160,7 @@ impl Default for SimConfig {
             spatial: SpatialMode::HexIndex,
             cell_d: None,
             delivery: DeliveryMode::InMemory,
+            shards: 1,
         }
     }
 }
@@ -163,7 +187,7 @@ pub trait NodeApp {
 
 /// What a node may do while handling an event.
 #[derive(Debug)]
-enum Action {
+pub(crate) enum Action {
     Broadcast(Payload),
     BroadcastK(usize, Payload),
     Unicast(NodeId, Payload),
@@ -174,12 +198,12 @@ enum Action {
 /// Handle given to application callbacks.
 #[derive(Debug)]
 pub struct NodeCtx<'a> {
-    id: NodeId,
-    now_us: u64,
-    position: (f64, f64),
-    delivery: DeliveryMode,
-    rng: &'a mut StdRng,
-    actions: Vec<Action>,
+    pub(crate) id: NodeId,
+    pub(crate) now_us: u64,
+    pub(crate) position: (f64, f64),
+    pub(crate) delivery: DeliveryMode,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) actions: Vec<Action>,
 }
 
 impl NodeCtx<'_> {
@@ -204,7 +228,10 @@ impl NodeCtx<'_> {
         self.delivery
     }
 
-    /// Shared deterministic randomness.
+    /// This node's private deterministic RNG stream, derived from the
+    /// simulation seed and the node id — independent of every other
+    /// node's stream, so the draws a node makes are a pure function of
+    /// the events *it* processes, whatever engine (or shard) runs it.
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
@@ -289,74 +316,195 @@ pub struct Metrics {
     /// cells; differential comparisons must mask this one field.
     pub cells_scanned: u64,
     /// Events ever enqueued: every delivery, timer firing, and
-    /// recurrence re-arm. Identical across [`SchedulerMode`]s (part of
-    /// the differential oracle) — the queue-pressure observable the
-    /// churn benches report.
+    /// recurrence re-arm, each counted exactly once however many times
+    /// a shard handoff moves it. Identical across [`SchedulerMode`]s
+    /// *and shard counts* (part of the differential oracle) — the
+    /// queue-pressure observable the churn benches report.
     pub events_scheduled: u64,
-    /// High-water mark of the pending-event queue over the run, also
-    /// identical across [`SchedulerMode`]s.
+    /// High-water mark of the pending-event queue over the run.
+    /// Identical across [`SchedulerMode`]s; under sharded execution it
+    /// merges as the **max over per-shard peaks**, which genuinely
+    /// depends on how nodes split across shards — differential
+    /// comparisons across shard counts must mask this one field
+    /// ([`Metrics::without_queue_pressure`]).
     pub peak_queue_len: u64,
+}
+
+impl Metrics {
+    /// Combines two metric sets: counters add; [`Metrics::peak_queue_len`]
+    /// — a high-water mark, not a count — takes the max.
+    ///
+    /// The operation is associative and commutative, so folding any
+    /// partition of a run's shards in any grouping yields the same
+    /// total; the sharded engine relies on this to report one
+    /// engine-independent [`Metrics`] from per-shard cores (it still
+    /// merges in ascending shard order, for the avoidance of doubt).
+    #[must_use]
+    pub fn merge(self, other: Metrics) -> Metrics {
+        Metrics {
+            broadcasts: self.broadcasts + other.broadcasts,
+            unicasts: self.unicasts + other.unicasts,
+            unicast_hops: self.unicast_hops + other.unicast_hops,
+            delivered: self.delivered + other.delivered,
+            lost: self.lost + other.lost,
+            unroutable: self.unroutable + other.unroutable,
+            payload_bytes: self.payload_bytes + other.payload_bytes,
+            neighbor_queries: self.neighbor_queries + other.neighbor_queries,
+            cells_scanned: self.cells_scanned + other.cells_scanned,
+            events_scheduled: self.events_scheduled + other.events_scheduled,
+            peak_queue_len: self.peak_queue_len.max(other.peak_queue_len),
+        }
+    }
+
+    /// This metric set with [`Metrics::peak_queue_len`] masked to zero —
+    /// the comparison form for differentials across *shard counts*,
+    /// where the queue high-water mark legitimately differs (each shard
+    /// queue holds only its own nodes' events). Every other field is
+    /// shard-count-independent and stays comparable unmasked.
+    #[must_use]
+    pub fn without_queue_pressure(self) -> Metrics {
+        Metrics { peak_queue_len: 0, ..self }
+    }
 }
 
 /// What rides the event queue. Cloneable so recurring entries can
 /// re-arm (payload clones are O(1) — `Payload` is reference-counted).
 #[derive(Debug, Clone)]
-enum EventKind {
+pub(crate) enum EventKind {
     Deliver { to: NodeId, from: NodeId, payload: Payload },
     Timer { node: NodeId, token: u64 },
 }
 
-struct NodeEntry<A> {
-    position: (f64, f64),
-    app: A,
+impl EventKind {
+    /// The node an event is destined for — the routing key shards
+    /// partition the queue by.
+    pub(crate) fn target(&self) -> NodeId {
+        match self {
+            EventKind::Deliver { to, .. } => *to,
+            EventKind::Timer { node, .. } => *node,
+        }
+    }
 }
 
-/// The simulator: owns nodes, the event queue, the clock, and the
-/// spatial index answering range queries.
+/// The per-node simulation state an engine owns: the application, the
+/// node's private RNG stream, and its emission counter (the source of
+/// its [`EventKey`]s). Under sharding this whole record migrates with
+/// the node.
+pub(crate) struct NodeState<A> {
+    pub(crate) app: A,
+    pub(crate) rng: StdRng,
+    pub(crate) emit: u64,
+}
+
+impl<A> NodeState<A> {
+    pub(crate) fn new(app: A, seed: u64, node: u32) -> Self {
+        NodeState { app, rng: StdRng::seed_from_u64(node_rng_seed(seed, node)), emit: 0 }
+    }
+
+    /// The next emission key for this node (consumes one emission).
+    pub(crate) fn next_key(&mut self, node: u32) -> EventKey {
+        let key = EventKey::new(node, self.emit);
+        self.emit += 1;
+        key
+    }
+}
+
+/// SplitMix64 finalizer — the shared bit-mixer behind per-node RNG
+/// seeding and shard tile hashing.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of node `node`'s private RNG stream under simulation seed
+/// `seed`. **Every engine must use this exact derivation** — it is part
+/// of the determinism contract the sharded differentials prove.
+pub(crate) fn node_rng_seed(seed: u64, node: u32) -> u64 {
+    splitmix64(seed ^ splitmix64(u64::from(node)))
+}
+
+/// One transmission latency draw **from the sender's stream**: base +
+/// distance term + uniform jitter.
+pub(crate) fn draw_latency(config: &SimConfig, dist: f64, rng: &mut StdRng) -> u64 {
+    let jitter = if config.jitter_us > 0 { rng.gen_range(0..=config.jitter_us) } else { 0 };
+    config.base_latency_us + (dist * config.per_meter_latency_us) as u64 + jitter
+}
+
+/// One loss draw **from the sender's stream**. Rolled before the
+/// latency draw; a lost transmission draws no latency and consumes no
+/// emission key.
+pub(crate) fn roll_loss(config: &SimConfig, rng: &mut StdRng) -> bool {
+    config.loss_rate > 0.0 && rng.gen_bool(config.loss_rate.min(1.0))
+}
+
+/// The driving surface shared by the single-threaded [`Simulator`] and
+/// the sharded [`crate::shard::ShardedSimulator`]: scenario harnesses
+/// (e.g. `msb_bench::swarm::drive_churn`) are generic over it, so the
+/// same mobility loop runs against either engine.
+pub trait SimDriver {
+    /// Calls `on_start` on every node (in id order).
+    fn start(&mut self);
+    /// Runs until the event queue drains.
+    fn run(&mut self);
+    /// Runs until the queue drains or the clock passes `deadline_us`.
+    fn run_until(&mut self, deadline_us: u64);
+    /// Bulk position update, index-aligned with node ids — the mobility
+    /// tick. Must only be called at quiesce points (between `run_until`
+    /// windows), which is what keeps sharded position replicas exact.
+    fn set_positions(&mut self, positions: &[(f64, f64)]);
+    /// Current simulation time in microseconds.
+    fn now_us(&self) -> u64;
+}
+
+/// The single-threaded simulator: owns nodes, the event queue, the
+/// clock, and the spatial topology answering range queries. This is
+/// the reference engine — the bit-identity oracle the sharded
+/// [`crate::shard::ShardedSimulator`] is differentially proven
+/// against, exactly as [`SpatialMode::NaiveScan`] and
+/// [`SchedulerMode::BinaryHeap`] serve the spatial and scheduler
+/// layers.
 pub struct Simulator<A: NodeApp> {
-    nodes: Vec<NodeEntry<A>>,
-    /// The event engine ([`SimConfig::scheduler`]); assigns the global
-    /// `(timestamp, sequence)` order every run is defined by.
+    nodes: Vec<NodeState<A>>,
+    topo: Topology,
+    /// The event engine ([`SimConfig::scheduler`]); orders the run by
+    /// `(timestamp, content key)`.
     queue: AnyScheduler<EventKind>,
     now_us: u64,
     config: SimConfig,
-    rng: StdRng,
+    seed: u64,
     metrics: Metrics,
-    /// `Some` under [`SpatialMode::HexIndex`], kept in lockstep with node
-    /// positions by [`Simulator::add_node`] / [`Simulator::set_position`].
-    index: Option<SpatialIndex>,
-    /// Scratch buffer for index candidate lists, reused across queries.
-    cand_buf: Vec<u32>,
+    /// External-injection emission counter ([`Simulator::inject`]).
+    ext_seq: u64,
+    /// Scratch for broadcast target lists, reused across events.
+    targets_buf: Vec<(u32, f64)>,
+    /// Scratch for fan-out-capped target lists.
+    knear_buf: Vec<u32>,
 }
 
 impl<A: NodeApp> Simulator<A> {
     /// Creates a simulator with the given config and RNG seed.
     pub fn new(config: SimConfig, seed: u64) -> Self {
-        let index = match config.spatial {
-            SpatialMode::HexIndex => {
-                Some(SpatialIndex::new(config.cell_d.unwrap_or(config.radio_range)))
-            }
-            SpatialMode::NaiveScan => None,
-        };
         Simulator {
             nodes: Vec::new(),
+            topo: Topology::new(&config),
             queue: AnyScheduler::for_mode(config.scheduler),
             now_us: 0,
             config,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
             metrics: Metrics::default(),
-            index,
-            cand_buf: Vec::new(),
+            ext_seq: 0,
+            targets_buf: Vec::new(),
+            knear_buf: Vec::new(),
         }
     }
 
     /// Adds a node at `position`, returning its id.
     pub fn add_node(&mut self, position: (f64, f64), app: A) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeEntry { position, app });
-        if let Some(index) = &mut self.index {
-            index.push(position);
-        }
+        self.nodes.push(NodeState::new(app, self.seed, id.0));
+        self.topo.push(position);
         id
     }
 
@@ -398,16 +546,13 @@ impl<A: NodeApp> Simulator<A> {
 
     /// A node's position.
     pub fn position(&self, id: NodeId) -> (f64, f64) {
-        self.nodes[id.index()].position
+        self.topo.position(id.index())
     }
 
     /// Moves a node (mobility models drive this), keeping the spatial
     /// index in sync.
     pub fn set_position(&mut self, id: NodeId, position: (f64, f64)) {
-        self.nodes[id.index()].position = position;
-        if let Some(index) = &mut self.index {
-            index.update(id.0, position);
-        }
+        self.topo.set_position(id.index(), position);
     }
 
     /// Bulk position update, index-aligned with node ids — the mobility
@@ -419,7 +564,7 @@ impl<A: NodeApp> Simulator<A> {
     pub fn set_positions(&mut self, positions: &[(f64, f64)]) {
         assert_eq!(positions.len(), self.nodes.len(), "one position per node");
         for (i, &position) in positions.iter().enumerate() {
-            self.set_position(NodeId(i as u32), position);
+            self.topo.set_position(i, position);
         }
     }
 
@@ -475,7 +620,7 @@ impl<A: NodeApp> Simulator<A> {
 
     /// Pops the run of queued deliveries that share this event's instant
     /// and destination. Only *consecutive* queue entries are coalesced,
-    /// preserving the global (time, sequence) processing order exactly.
+    /// preserving the global (time, key) processing order exactly.
     fn drain_batch(
         &mut self,
         to: NodeId,
@@ -503,24 +648,27 @@ impl<A: NodeApp> Simulator<A> {
     }
 
     /// Injects a message from "outside" the network (tests, harnesses).
+    /// Injections carry the [`EventKey::EXTERNAL_SRC`] sentinel source,
+    /// ordering them after node-emitted events at the same instant.
     pub fn inject(&mut self, to: NodeId, from: NodeId, payload: impl Into<Payload>) {
         let at = self.now_us;
-        self.push_event(at, EventKind::Deliver { to, from, payload: payload.into() });
+        let key = EventKey::external(self.ext_seq);
+        self.ext_seq += 1;
+        self.push_event(at, key, EventKind::Deliver { to, from, payload: payload.into() });
     }
 
     fn with_ctx(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut NodeCtx<'_>)) {
-        let position = self.nodes[id.index()].position;
+        let position = self.topo.position(id.index());
+        let NodeState { app, rng, .. } = &mut self.nodes[id.index()];
         let mut ctx = NodeCtx {
             id,
             now_us: self.now_us,
             position,
             delivery: self.config.delivery,
-            rng: &mut self.rng,
+            rng,
             actions: Vec::new(),
         };
-        // Split borrow: the app lives in self.nodes, ctx borrows self.rng.
-        let entry = &mut self.nodes[id.index()];
-        f(&mut entry.app, &mut ctx);
+        f(app, &mut ctx);
         let actions = ctx.actions;
         for action in actions {
             match action {
@@ -529,41 +677,19 @@ impl<A: NodeApp> Simulator<A> {
                 Action::Unicast(to, payload) => self.do_unicast(id, to, payload),
                 Action::Timer(delay, token) => {
                     let at = self.now_us + delay;
-                    self.push_event(at, EventKind::Timer { node: id, token });
+                    let key = self.nodes[id.index()].next_key(id.0);
+                    self.push_event(at, key, EventKind::Timer { node: id, token });
                 }
                 Action::RecurringTimer(delay, recur, token) => {
                     let at = self.now_us + delay;
-                    self.queue.schedule_recurring(at, recur, EventKind::Timer { node: id, token });
+                    let key = self.nodes[id.index()].next_key(id.0);
+                    self.queue.schedule_recurring(
+                        at,
+                        key,
+                        recur,
+                        EventKind::Timer { node: id, token },
+                    );
                     self.note_queue();
-                }
-            }
-        }
-    }
-
-    /// One neighbor range query around node `cur`: invokes `f(i, pos_i)`
-    /// for every node that *may* be within radio range, in ascending id
-    /// order. Under [`SpatialMode::HexIndex`] only nodes in nearby cells
-    /// are offered; under [`SpatialMode::NaiveScan`] every node is. The
-    /// caller applies the exact `distance <= range` filter — candidates
-    /// surviving it are therefore identical (same ids, same order) in
-    /// both modes, which is the bit-identity the differential oracle
-    /// proves.
-    fn for_each_candidate(&mut self, cur: usize, mut f: impl FnMut(usize, (f64, f64))) {
-        self.metrics.neighbor_queries += 1;
-        match &mut self.index {
-            Some(index) => {
-                let center = self.nodes[cur].position;
-                let range = self.config.radio_range;
-                let mut cand = std::mem::take(&mut self.cand_buf);
-                self.metrics.cells_scanned += index.candidates_into(center, range, &mut cand);
-                for &i in &cand {
-                    f(i as usize, self.nodes[i as usize].position);
-                }
-                self.cand_buf = cand;
-            }
-            None => {
-                for (i, n) in self.nodes.iter().enumerate() {
-                    f(i, n.position);
                 }
             }
         }
@@ -572,97 +698,64 @@ impl<A: NodeApp> Simulator<A> {
     fn do_broadcast(&mut self, from: NodeId, payload: Payload) {
         self.metrics.broadcasts += 1;
         self.metrics.payload_bytes += payload.wire_len() as u64;
-        let src = self.nodes[from.index()].position;
-        let range = self.config.radio_range;
-        let mut targets: Vec<(NodeId, f64)> = Vec::new();
-        self.for_each_candidate(from.index(), |i, pos| {
-            if i != from.index() {
-                let d = distance(src, pos);
-                if d <= range {
-                    targets.push((NodeId(i as u32), d));
-                }
-            }
-        });
-        for (to, dist) in targets {
-            if self.roll_loss() {
+        let mut targets = std::mem::take(&mut self.targets_buf);
+        self.topo.broadcast_targets(&mut self.metrics, from.index(), &mut targets);
+        for &(i, dist) in &targets {
+            let sender = &mut self.nodes[from.index()];
+            if roll_loss(&self.config, &mut sender.rng) {
                 self.metrics.lost += 1;
                 continue;
             }
-            let at = self.now_us + self.latency(dist);
-            self.push_event(at, EventKind::Deliver { to, from, payload: payload.clone() });
+            let at = self.now_us + draw_latency(&self.config, dist, &mut sender.rng);
+            let key = sender.next_key(from.0);
+            self.push_event(
+                at,
+                key,
+                EventKind::Deliver { to: NodeId(i), from, payload: payload.clone() },
+            );
         }
+        self.targets_buf = targets;
     }
 
     /// One fan-out-capped broadcast ([`NodeCtx::broadcast_k_nearest`]):
-    /// transmits to the `k` nearest other nodes within radio range.
-    /// Under [`SpatialMode::HexIndex`] the set comes from
-    /// [`SpatialIndex::k_nearest_into`]; under
-    /// [`SpatialMode::NaiveScan`] from a full scan ranked the same way
-    /// — both select identical targets (ascending `(distance, id)`,
-    /// self excluded) and deliver in ascending id order with identical
-    /// RNG draws, which the scheduler/spatial differential suites pin.
+    /// transmits to the `k` nearest other nodes within radio range (see
+    /// [`Topology::k_nearest`] for the spatial-mode equivalence),
+    /// delivering in ascending id order with the same per-target RNG
+    /// draws as a full broadcast.
     fn do_broadcast_k(&mut self, from: NodeId, k: usize, payload: Payload) {
         self.metrics.broadcasts += 1;
         self.metrics.payload_bytes += payload.wire_len() as u64;
-        self.metrics.neighbor_queries += 1;
-        let src = self.nodes[from.index()].position;
-        let range = self.config.radio_range;
-        let mut cand = std::mem::take(&mut self.cand_buf);
-        match &mut self.index {
-            Some(index) => {
-                // k + 1 slots so the querying node (distance 0) never
-                // crowds out a real neighbor.
-                let nodes = &self.nodes;
-                self.metrics.cells_scanned += index.k_nearest_into(
-                    src,
-                    k + 1,
-                    range,
-                    |i| nodes[i as usize].position,
-                    &mut cand,
-                );
-                cand.retain(|&i| i != from.index() as u32);
-                cand.truncate(k);
-            }
-            None => {
-                let mut ranked: Vec<(f64, u32)> = self
-                    .nodes
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != from.index())
-                    .map(|(i, n)| (distance(src, n.position), i as u32))
-                    .filter(|&(d, _)| d <= range)
-                    .collect();
-                ranked.sort_unstable_by(|a, b| {
-                    a.partial_cmp(b).expect("distances are finite, never NaN")
-                });
-                ranked.truncate(k);
-                cand.clear();
-                cand.extend(ranked.into_iter().map(|(_, i)| i));
-            }
-        }
-        // Deliver in ascending id order, like a full broadcast.
-        cand.sort_unstable();
+        let mut cand = std::mem::take(&mut self.knear_buf);
+        self.topo.k_nearest(&mut self.metrics, from.index(), k, &mut cand);
+        let src = self.topo.position(from.index());
         for &i in &cand {
-            let to = NodeId(i);
-            let dist = distance(src, self.nodes[i as usize].position);
-            if self.roll_loss() {
+            let dist = distance(src, self.topo.position(i as usize));
+            let sender = &mut self.nodes[from.index()];
+            if roll_loss(&self.config, &mut sender.rng) {
                 self.metrics.lost += 1;
                 continue;
             }
-            let at = self.now_us + self.latency(dist);
-            self.push_event(at, EventKind::Deliver { to, from, payload: payload.clone() });
+            let at = self.now_us + draw_latency(&self.config, dist, &mut sender.rng);
+            let key = sender.next_key(from.0);
+            self.push_event(
+                at,
+                key,
+                EventKind::Deliver { to: NodeId(i), from, payload: payload.clone() },
+            );
         }
-        self.cand_buf = cand;
+        self.knear_buf = cand;
     }
 
     fn do_unicast(&mut self, from: NodeId, to: NodeId, payload: Payload) {
         self.metrics.unicasts += 1;
         if from == to {
             let at = self.now_us;
-            self.push_event(at, EventKind::Deliver { to, from, payload });
+            let key = self.nodes[from.index()].next_key(from.0);
+            self.push_event(at, key, EventKind::Deliver { to, from, payload });
             return;
         }
-        let Some(path) = self.shortest_path(from, to) else {
+        let Some(path) = self.topo.shortest_path(&mut self.metrics, from.index(), to.index())
+        else {
             self.metrics.unroutable += 1;
             return;
         };
@@ -670,33 +763,22 @@ impl<A: NodeApp> Simulator<A> {
         let mut at = self.now_us;
         for hop in path.windows(2) {
             let d =
-                distance(self.nodes[hop[0].index()].position, self.nodes[hop[1].index()].position);
+                distance(self.topo.position(hop[0] as usize), self.topo.position(hop[1] as usize));
             self.metrics.unicast_hops += 1;
             self.metrics.payload_bytes += payload.wire_len() as u64;
-            if self.roll_loss() {
+            let sender = &mut self.nodes[from.index()];
+            if roll_loss(&self.config, &mut sender.rng) {
                 self.metrics.lost += 1;
                 return;
             }
-            at += self.latency(d);
+            at += draw_latency(&self.config, d, &mut sender.rng);
         }
-        self.push_event(at, EventKind::Deliver { to, from, payload });
+        let key = self.nodes[from.index()].next_key(from.0);
+        self.push_event(at, key, EventKind::Deliver { to, from, payload });
     }
 
-    fn latency(&mut self, dist: f64) -> u64 {
-        let jitter = if self.config.jitter_us > 0 {
-            self.rng.gen_range(0..=self.config.jitter_us)
-        } else {
-            0
-        };
-        self.config.base_latency_us + (dist * self.config.per_meter_latency_us) as u64 + jitter
-    }
-
-    fn roll_loss(&mut self) -> bool {
-        self.config.loss_rate > 0.0 && self.rng.gen_bool(self.config.loss_rate.min(1.0))
-    }
-
-    fn push_event(&mut self, at_us: u64, kind: EventKind) {
-        self.queue.schedule(at_us, kind);
+    fn push_event(&mut self, at_us: u64, key: EventKey, kind: EventKind) {
+        self.queue.schedule(at_us, key, kind);
         self.note_queue();
     }
 
@@ -710,70 +792,44 @@ impl<A: NodeApp> Simulator<A> {
 
     /// BFS shortest path over the current connectivity graph (nodes
     /// within radio range are neighbors) — the route unicasts follow.
-    /// Neighbor discovery goes through the spatial index, so a lookup
-    /// visits each reachable node once and scans only its nearby cells,
-    /// instead of probing all O(n²) node pairs.
+    /// See [`Topology::shortest_path`].
     pub fn shortest_path(&mut self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
-        let n = self.nodes.len();
-        let range = self.config.radio_range;
-        let mut prev: Vec<Option<usize>> = vec![None; n];
-        let mut visited = vec![false; n];
-        let mut queue = std::collections::VecDeque::new();
-        visited[from.index()] = true;
-        queue.push_back(from.index());
-        while let Some(cur) = queue.pop_front() {
-            if cur == to.index() {
-                let mut path = vec![to];
-                let mut node = to.index();
-                while let Some(p) = prev[node] {
-                    path.push(NodeId(p as u32));
-                    node = p;
-                }
-                path.reverse();
-                return Some(path);
-            }
-            let cur_pos = self.nodes[cur].position;
-            self.for_each_candidate(cur, |i, pos| {
-                if !visited[i] && distance(cur_pos, pos) <= range {
-                    visited[i] = true;
-                    prev[i] = Some(cur);
-                    queue.push_back(i);
-                }
-            });
-        }
-        None
+        self.topo
+            .shortest_path(&mut self.metrics, from.index(), to.index())
+            .map(|path| path.into_iter().map(NodeId).collect())
     }
 
     /// Connected components of the current connectivity graph (diagnostic
     /// for partitioned topologies), via the same indexed BFS as
     /// [`Simulator::shortest_path`].
     pub fn connected_components(&mut self) -> Vec<Vec<NodeId>> {
-        let n = self.nodes.len();
-        let range = self.config.radio_range;
-        let mut visited = vec![false; n];
-        let mut components = Vec::new();
-        for start in 0..n {
-            if visited[start] {
-                continue;
-            }
-            let mut comp = Vec::new();
-            let mut queue = std::collections::VecDeque::new();
-            visited[start] = true;
-            queue.push_back(start);
-            while let Some(cur) = queue.pop_front() {
-                comp.push(NodeId(cur as u32));
-                let cur_pos = self.nodes[cur].position;
-                self.for_each_candidate(cur, |i, pos| {
-                    if !visited[i] && distance(cur_pos, pos) <= range {
-                        visited[i] = true;
-                        queue.push_back(i);
-                    }
-                });
-            }
-            comp.sort_unstable();
-            components.push(comp);
-        }
-        components
+        self.topo
+            .connected_components(&mut self.metrics)
+            .into_iter()
+            .map(|comp| comp.into_iter().map(NodeId).collect())
+            .collect()
+    }
+}
+
+impl<A: NodeApp> SimDriver for Simulator<A> {
+    fn start(&mut self) {
+        Simulator::start(self);
+    }
+
+    fn run(&mut self) {
+        Simulator::run(self);
+    }
+
+    fn run_until(&mut self, deadline_us: u64) {
+        Simulator::run_until(self, deadline_us);
+    }
+
+    fn set_positions(&mut self, positions: &[(f64, f64)]) {
+        Simulator::set_positions(self, positions);
+    }
+
+    fn now_us(&self) -> u64 {
+        Simulator::now_us(self)
     }
 }
 
@@ -786,10 +842,6 @@ impl<A: NodeApp> std::fmt::Debug for Simulator<A> {
             .field("metrics", &self.metrics)
             .finish()
     }
-}
-
-fn distance(a: (f64, f64), b: (f64, f64)) -> f64 {
-    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
 }
 
 #[cfg(test)]
@@ -912,6 +964,29 @@ mod tests {
     }
 
     #[test]
+    fn same_instant_ties_break_by_source_then_emission() {
+        // Two nodes each set two zero-delay timers; node 1's run on_start
+        // *after* node 0's, but insertion order is irrelevant: the pop
+        // order is source-major, emission-minor. The recorder observes it
+        // through the tokens (10·node + set_timer call index).
+        let mut sim = Simulator::new(SimConfig::default(), 1);
+        for _ in 0..2 {
+            sim.add_node((0.0, 0.0), Recorder::new());
+        }
+        for node in [1u32, 0] {
+            // Interleave insertions against id order on purpose.
+            for call in 0..2u64 {
+                let id = NodeId::new(node);
+                sim.with_ctx(id, |_, ctx| ctx.set_timer(0, u64::from(node) * 10 + call));
+            }
+        }
+        while sim.step() {}
+        assert_eq!(sim.app(NodeId::new(0)).timers, vec![0, 1]);
+        assert_eq!(sim.app(NodeId::new(1)).timers, vec![10, 11]);
+        assert_eq!(sim.now_us(), 0);
+    }
+
+    #[test]
     fn deterministic_runs() {
         fn run_once() -> (u64, Metrics) {
             let mut sim =
@@ -1031,6 +1106,28 @@ mod tests {
     }
 
     #[test]
+    fn injections_order_after_node_events_at_the_same_instant() {
+        // An injected message at t=0 carries the external sentinel key,
+        // so a node-emitted timer at the same instant fires first.
+        struct TimerThenHear;
+        impl NodeApp for TimerThenHear {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(0, 42);
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &Payload) {}
+        }
+        let mut sim = Simulator::new(SimConfig::default(), 1);
+        let id = sim.add_node((0.0, 0.0), TimerThenHear);
+        sim.inject(id, NodeId::new(9), b"ext".to_vec());
+        sim.start();
+        // First event must be the timer (node source 0 < EXTERNAL_SRC).
+        assert!(sim.step());
+        assert_eq!(sim.metrics().delivered, 0, "timer fires before the injection");
+        assert!(sim.step());
+        assert_eq!(sim.metrics().delivered, 1);
+    }
+
+    #[test]
     fn recurring_timer_fires_until_deadline_and_drains() {
         struct Periodic;
         impl NodeApp for Periodic {
@@ -1139,5 +1236,29 @@ mod tests {
         sim.run();
         // One broadcast transmission of 100 bytes (not per receiver).
         assert_eq!(sim.metrics().payload_bytes, 100);
+    }
+
+    #[test]
+    fn metrics_merge_sums_counters_and_maxes_peak() {
+        let a = Metrics {
+            broadcasts: 1,
+            unicasts: 2,
+            unicast_hops: 3,
+            delivered: 4,
+            lost: 5,
+            unroutable: 6,
+            payload_bytes: 7,
+            neighbor_queries: 8,
+            cells_scanned: 9,
+            events_scheduled: 10,
+            peak_queue_len: 11,
+        };
+        let b = Metrics { peak_queue_len: 3, delivered: 40, ..Metrics::default() };
+        let m = a.merge(b);
+        assert_eq!(m.delivered, 44);
+        assert_eq!(m.broadcasts, 1);
+        assert_eq!(m.peak_queue_len, 11, "peak merges as max, not sum");
+        assert_eq!(a.merge(Metrics::default()), a, "default is the identity");
+        assert_eq!(a.merge(b), b.merge(a), "merge commutes");
     }
 }

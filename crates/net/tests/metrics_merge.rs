@@ -1,0 +1,106 @@
+//! Algebra of [`Metrics::merge`] — the operation the sharded engine's
+//! shard-count independence rests on.
+//!
+//! `ShardedSimulator::metrics()` folds per-shard metrics with `merge`
+//! in ascending shard order. For the fold to be shard-count
+//! independent the operation must be a commutative monoid: associative,
+//! commutative, with `Metrics::default()` as identity. Every counter
+//! merges by sum; `peak_queue_len` merges by max (per-queue depth —
+//! masked out of cross-shard-count comparisons via
+//! [`Metrics::without_queue_pressure`]). These properties are pinned
+//! here so a future field added with, say, an average or a last-wins
+//! merge breaks loudly.
+
+use msb_net::sim::Metrics;
+use proptest::prelude::*;
+
+/// Expands one `u64` seed into a fully-populated arbitrary `Metrics`
+/// (the vendored proptest shim has no struct strategies; splitmix64
+/// expansion stands in).
+fn arb_metrics(seed: u64) -> Metrics {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        // Bounded so repeated sums cannot overflow u64.
+        (z ^ (z >> 31)) % (1 << 40)
+    };
+    Metrics {
+        broadcasts: next(),
+        unicasts: next(),
+        unicast_hops: next(),
+        delivered: next(),
+        lost: next(),
+        unroutable: next(),
+        payload_bytes: next(),
+        neighbor_queries: next(),
+        cells_scanned: next(),
+        events_scheduled: next(),
+        peak_queue_len: next(),
+    }
+}
+
+proptest! {
+    /// `merge` is associative: any shard-tree shape folds to the same
+    /// total.
+    #[test]
+    fn merge_is_associative(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (arb_metrics(a), arb_metrics(b), arb_metrics(c));
+        prop_assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+    }
+
+    /// `merge` is commutative: shard enumeration order is irrelevant.
+    #[test]
+    fn merge_is_commutative(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (arb_metrics(a), arb_metrics(b));
+        prop_assert_eq!(a.merge(b), b.merge(a));
+    }
+
+    /// `Metrics::default()` is the identity — an idle shard contributes
+    /// nothing.
+    #[test]
+    fn default_is_identity(a in any::<u64>()) {
+        let a = arb_metrics(a);
+        prop_assert_eq!(a.merge(Metrics::default()), a);
+        prop_assert_eq!(Metrics::default().merge(a), a);
+    }
+
+    /// Every counter sums; `peak_queue_len` maxes. A sum-merged peak
+    /// would silently overstate queue pressure at higher shard counts.
+    #[test]
+    fn counters_sum_and_peak_maxes(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (arb_metrics(a), arb_metrics(b));
+        let m = a.merge(b);
+        prop_assert_eq!(m.broadcasts, a.broadcasts + b.broadcasts);
+        prop_assert_eq!(m.unicasts, a.unicasts + b.unicasts);
+        prop_assert_eq!(m.unicast_hops, a.unicast_hops + b.unicast_hops);
+        prop_assert_eq!(m.delivered, a.delivered + b.delivered);
+        prop_assert_eq!(m.lost, a.lost + b.lost);
+        prop_assert_eq!(m.unroutable, a.unroutable + b.unroutable);
+        prop_assert_eq!(m.payload_bytes, a.payload_bytes + b.payload_bytes);
+        prop_assert_eq!(m.neighbor_queries, a.neighbor_queries + b.neighbor_queries);
+        prop_assert_eq!(m.cells_scanned, a.cells_scanned + b.cells_scanned);
+        prop_assert_eq!(m.events_scheduled, a.events_scheduled + b.events_scheduled);
+        prop_assert_eq!(m.peak_queue_len, a.peak_queue_len.max(b.peak_queue_len));
+    }
+
+    /// The mask zeroes exactly the non-mergeable observable and is
+    /// itself merge-compatible: masking then merging equals merging
+    /// then masking on every summed field.
+    #[test]
+    fn queue_pressure_mask_commutes_with_merge(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (arb_metrics(a), arb_metrics(b));
+        let masked_then_merged = a.without_queue_pressure().merge(b.without_queue_pressure());
+        let merged_then_masked = a.merge(b).without_queue_pressure();
+        prop_assert_eq!(masked_then_merged, merged_then_masked);
+        prop_assert_eq!(merged_then_masked.peak_queue_len, 0);
+        // Nothing else is touched by the mask.
+        let unmasked = a.merge(b);
+        prop_assert_eq!(
+            Metrics { peak_queue_len: unmasked.peak_queue_len, ..merged_then_masked },
+            unmasked
+        );
+    }
+}

@@ -4,9 +4,9 @@
 //! The event engine's contract is *bit identity* (see `docs/SIM.md`):
 //! with the same inputs, [`SchedulerMode::Calendar`] and
 //! [`SchedulerMode::BinaryHeap`] must pop the same events at the same
-//! timestamps in the same FIFO-tie order, re-arm recurring entries
-//! identically, and report the same `events_scheduled` /
-//! `peak_queue_len` counters. These tests pin the contract at two
+//! timestamps in the same content-key `(src, emit)` tie order, re-arm
+//! recurring entries identically, and report the same
+//! `events_scheduled` / `peak_queue_len` counters. These tests pin the contract at two
 //! levels, mirroring `spatial_differential.rs`:
 //!
 //! 1. the raw [`Scheduler`] API, property-tested over random event
@@ -21,7 +21,7 @@
 //! `tests/churn_smoke.rs`.
 
 use msb_net::mobility::{Bounds, RandomWaypoint};
-use msb_net::sched::{AnyScheduler, Recurrence, Scheduler, SchedulerMode};
+use msb_net::sched::{AnyScheduler, EventKey, Recurrence, Scheduler, SchedulerMode};
 use msb_net::sim::{Metrics, NodeApp, NodeCtx, NodeId, SimConfig, Simulator};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -77,11 +77,20 @@ fn drive(mode: SchedulerMode, ops: &[Op]) -> (Vec<(u64, u32)>, usize, u64, usize
     let mut log = Vec::new();
     let mut now = 0u64;
     for (i, op) in ops.iter().enumerate() {
+        // Content keys the way the simulator mints them: a handful of
+        // source streams, each with strictly increasing emission
+        // counters (`i` is unique across the script).
+        let key = EventKey::new((i % 3) as u32, i as u64);
         match *op {
-            Op::Schedule { delay } => s.schedule(now + delay, i as u32),
+            Op::Schedule { delay } => s.schedule(now + delay, key, i as u32),
             Op::Recurring { delay, period, horizon } => {
                 let first = now + delay;
-                s.schedule_recurring(first, Recurrence::new(period, first + horizon), i as u32);
+                s.schedule_recurring(
+                    first,
+                    key,
+                    Recurrence::new(period, first + horizon),
+                    i as u32,
+                );
             }
             Op::Pop => {
                 if let Some((at, item)) = s.pop() {
@@ -118,21 +127,33 @@ proptest! {
         prop_assert!(heap.0.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
-    /// Same-instant events pop in schedule order (FIFO) in both
-    /// engines, whatever bucket boundaries the instant straddles.
+    /// Same-instant events pop in ascending content-key `(src, emit)`
+    /// order in both engines — independent of insertion order, whatever
+    /// bucket boundaries the instant straddles.
     #[test]
-    fn same_instant_events_pop_fifo(
+    fn same_instant_events_pop_in_key_order(
         at in 0u64..5_000_000,
         n in 2usize..40,
+        shuffle_seed in any::<u64>(),
     ) {
+        // Build n distinct keys across a few source streams, then
+        // insert them in a seed-driven shuffled order.
+        let mut keys: Vec<EventKey> =
+            (0..n).map(|i| EventKey::new((i % 4) as u32, (i / 4) as u64)).collect();
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        for i in (1..keys.len()).rev() {
+            keys.swap(i, rng.gen_range(0..=i));
+        }
+        let mut expect = keys.clone();
+        expect.sort();
         for mode in [SchedulerMode::BinaryHeap, SchedulerMode::Calendar] {
-            let mut s: AnyScheduler<u32> = AnyScheduler::for_mode(mode);
-            for i in 0..n {
-                s.schedule(at, i as u32);
+            let mut s: AnyScheduler<EventKey> = AnyScheduler::for_mode(mode);
+            for &key in &keys {
+                s.schedule(at, key, key);
             }
-            let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|(_, i)| i)).collect();
-            let expect: Vec<u32> = (0..n as u32).collect();
-            prop_assert_eq!(order, expect, "mode {:?} at {}", mode, at);
+            let order: Vec<EventKey> =
+                std::iter::from_fn(|| s.pop().map(|(_, k)| k)).collect();
+            prop_assert_eq!(&order, &expect, "mode {:?} at {}", mode, at);
         }
     }
 }

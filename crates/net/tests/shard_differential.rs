@@ -1,0 +1,372 @@
+//! Differential oracle: the spatially-sharded engine against the
+//! single-threaded simulator.
+//!
+//! The shard contract is *bit identity* (see `docs/SIM.md` §6): for
+//! any shard count, [`ShardedSimulator`] must deliver the same
+//! messages at the same instants in the same order, fire the same
+//! timers, merge to the same [`Metrics`] (modulo `peak_queue_len`,
+//! which is per-queue depth and therefore legitimately shard-count
+//! dependent), and stop at the same final clock as [`Simulator`]. The
+//! suite attacks the seams where the conservative-lookahead design
+//! could leak nondeterminism:
+//!
+//! * broadcast radii straddling tiles owned by different shards (every
+//!   hop is a cross-shard envelope);
+//! * mid-run [`ShardedSimulator::inject`] into a node homed on a
+//!   remote shard;
+//! * mobility handoffs — a node with live recurring timers re-homed
+//!   across shards at a quiesce point, its queued events in tow;
+//! * same-instant ties between events processed by different shards;
+//! * random traces over node count × seed × shard count, property
+//!   tested.
+
+use msb_net::mobility::{Bounds, RandomWaypoint};
+use msb_net::shard::ShardedSimulator;
+use msb_net::sim::{Metrics, NodeApp, NodeCtx, NodeId, SimConfig, SimDriver, Simulator};
+use proptest::prelude::*;
+
+/// One delivery record: (now_us, from, payload).
+type TraceEntry = (u64, NodeId, Vec<u8>);
+
+/// A gossiping app exercising every engine-visible feature: plain
+/// broadcasts, fan-out-capped broadcasts, unicasts back to the origin,
+/// one-shot timers, and recurring timers (the re-flood shape). Every
+/// observable lands in per-node logs the differential compares.
+struct TraceApp {
+    trace: Vec<TraceEntry>,
+    timer_log: Vec<(u64, u64)>,
+}
+
+impl TraceApp {
+    fn new() -> Self {
+        TraceApp { trace: Vec::new(), timer_log: Vec::new() }
+    }
+}
+
+impl NodeApp for TraceApp {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let idx = ctx.node_id().index();
+        if idx.is_multiple_of(4) {
+            ctx.broadcast(vec![idx as u8]);
+            ctx.set_recurring_timer(25_000, 25_000, 120_000, idx as u64);
+        }
+        if idx.is_multiple_of(5) {
+            ctx.set_timer(40_000, 1_000 + idx as u64);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: NodeId, payload: &msb_net::Payload) {
+        let payload = payload.as_bytes().expect("test payloads are bytes");
+        self.trace.push((ctx.now_us(), from, payload.to_vec()));
+        if payload.len() < 3 {
+            let mut p = payload.to_vec();
+            p.push(ctx.node_id().index() as u8);
+            ctx.broadcast_k_nearest(4, p);
+        } else if payload.len() == 3 {
+            let origin = NodeId::new(payload[0] as u32);
+            if origin != ctx.node_id() {
+                ctx.unicast(origin, payload.to_vec());
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        self.timer_log.push((ctx.now_us(), token));
+        if token < 1_000 {
+            ctx.broadcast_k_nearest(3, vec![token as u8]);
+        }
+    }
+}
+
+/// Per-node delivery traces, per-node timer logs, masked metrics
+/// (`peak_queue_len` zeroed — per-queue depth is the one legitimately
+/// shard-dependent observable), final clock.
+type Outcome = (Vec<Vec<TraceEntry>>, Vec<Vec<(u64, u64)>>, Metrics, u64);
+
+fn config(shards: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        loss_rate: 0.05,
+        batch_delivery: seed.is_multiple_of(2), // sweep batching too
+        shards,
+        ..SimConfig::default()
+    }
+}
+
+/// Runs the trace scenario on one engine; `shards == 0` selects the
+/// single-threaded oracle, otherwise the sharded engine at that count.
+/// The phase loop is duplicated per engine because `inject` is
+/// inherent, not on [`SimDriver`] — everything else is shared code.
+fn run_trace(shards: usize, seed: u64, n: usize) -> Outcome {
+    let mut mobility = RandomWaypoint::new(
+        n,
+        Bounds { width: 260.0, height: 260.0 },
+        1.0,
+        9.0,
+        0.2,
+        seed ^ 0x5eed,
+    );
+    let placed: Vec<((f64, f64), TraceApp)> =
+        mobility.positions().into_iter().map(|p| (p, TraceApp::new())).collect();
+
+    if shards == 0 {
+        let mut sim = Simulator::new(config(1, seed), seed);
+        sim.add_nodes(placed);
+        sim.start();
+        let mut buf = Vec::new();
+        for phase in 0..3u64 {
+            sim.run_until((phase + 1) * 40_000);
+            mobility.advance(5.0);
+            mobility.positions_into(&mut buf);
+            sim.set_positions(&buf);
+            let poke = NodeId::new((phase as u32 * 7) % n as u32);
+            sim.inject(poke, poke, vec![poke.index() as u8]);
+        }
+        sim.run();
+        let traces =
+            (0..n).map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).trace)).collect();
+        let timers = (0..n)
+            .map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).timer_log))
+            .collect();
+        (traces, timers, sim.metrics().without_queue_pressure(), sim.now_us())
+    } else {
+        let mut sim = ShardedSimulator::new(config(shards, seed), seed);
+        sim.add_nodes(placed);
+        sim.start();
+        let mut buf = Vec::new();
+        for phase in 0..3u64 {
+            sim.run_until((phase + 1) * 40_000);
+            mobility.advance(5.0);
+            mobility.positions_into(&mut buf);
+            sim.set_positions(&buf);
+            let poke = NodeId::new((phase as u32 * 7) % n as u32);
+            sim.inject(poke, poke, vec![poke.index() as u8]);
+        }
+        sim.run();
+        let traces =
+            (0..n).map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).trace)).collect();
+        let timers = (0..n)
+            .map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).timer_log))
+            .collect();
+        (traces, timers, sim.metrics().without_queue_pressure(), sim.now_us())
+    }
+}
+
+/// The headline differential: full mobility traces with mid-run remote
+/// injection, across shard counts and seeds (sweeping batching via the
+/// seed's parity). Every observable must match the oracle exactly.
+#[test]
+fn sharded_traces_bit_identical_to_oracle() {
+    for seed in [1u64, 0xBEEF, 42424242] {
+        let oracle = run_trace(0, seed, 28);
+        for shards in [2usize, 4, 8] {
+            let sharded = run_trace(shards, seed, 28);
+            assert_eq!(sharded.0, oracle.0, "seed {seed} shards {shards}: traces diverged");
+            assert_eq!(sharded.1, oracle.1, "seed {seed} shards {shards}: timer logs diverged");
+            assert_eq!(sharded.2, oracle.2, "seed {seed} shards {shards}: metrics diverged");
+            assert_eq!(sharded.3, oracle.3, "seed {seed} shards {shards}: final clock diverged");
+        }
+        assert!(
+            oracle.0.iter().any(|t| !t.is_empty()),
+            "seed {seed}: the scenario must actually deliver messages"
+        );
+    }
+}
+
+/// A chain of nodes spaced under the radio range marches across many
+/// hex tiles, so consecutive hops keep landing on different shards:
+/// every broadcast is a cross-shard envelope and the flood order is
+/// fully exposed to the lookahead windows.
+#[test]
+fn tile_straddling_chain_floods_identically() {
+    let n = 24usize;
+    // 30 m spacing at 50 m range: each node hears its immediate
+    // neighbors only; the chain spans ~700 m — many tiles.
+    let positions: Vec<(f64, f64)> = (0..n).map(|i| (30.0 * i as f64, 25.0)).collect();
+    let run = |shards: usize| {
+        let cfg = SimConfig { loss_rate: 0.0, shards, ..SimConfig::default() };
+        if shards == 1 {
+            let mut sim = Simulator::new(cfg, 9);
+            sim.add_nodes(positions.iter().map(|&p| (p, TraceApp::new())));
+            sim.start();
+            sim.run();
+            let traces: Vec<Vec<TraceEntry>> = (0..n)
+                .map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).trace))
+                .collect();
+            (traces, sim.metrics().without_queue_pressure(), sim.now_us())
+        } else {
+            let mut sim = ShardedSimulator::new(cfg, 9);
+            sim.add_nodes(positions.iter().map(|&p| (p, TraceApp::new())));
+            assert!(
+                sim.shard_node_counts().iter().filter(|&&c| c > 0).count() > 1,
+                "the chain must span multiple shards: {:?}",
+                sim.shard_node_counts()
+            );
+            sim.start();
+            sim.run();
+            let traces: Vec<Vec<TraceEntry>> = (0..n)
+                .map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).trace))
+                .collect();
+            (traces, sim.metrics().without_queue_pressure(), sim.now_us())
+        }
+    };
+    let oracle = run(1);
+    for shards in [2usize, 4, 8] {
+        assert_eq!(run(shards), oracle, "shards {shards} diverged on the tile-straddling chain");
+    }
+    assert!(oracle.0.iter().all(|t| !t.is_empty()), "the flood must reach the whole chain");
+}
+
+/// A node carrying a live recurring timer is re-homed across shards at
+/// a quiesce point: its queued events must move with it and keep
+/// firing exactly as the oracle's do.
+#[test]
+fn handoff_carries_queued_timers_across_shards() {
+    struct Ticker {
+        log: Vec<(u64, u64)>,
+    }
+    impl NodeApp for Ticker {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            if ctx.node_id().index() == 0 {
+                // Fires every 10 ms across every handoff below.
+                ctx.set_recurring_timer(10_000, 10_000, 400_000, 7);
+                // Plus a far-future one-shot that must survive re-homing.
+                ctx.set_timer(350_000, 99);
+            }
+        }
+        fn on_message(&mut self, _: &mut NodeCtx<'_>, _: NodeId, _: &msb_net::Payload) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+            self.log.push((ctx.now_us(), token));
+            ctx.broadcast(vec![token as u8]);
+        }
+    }
+    // Node 0 walks 600 m in 60 m steps — through many tiles — while
+    // three bystanders listen from fixed posts along the way.
+    let walk: Vec<(f64, f64)> = (0..6).map(|i| (i as f64 * 120.0, 40.0)).collect();
+    let posts = [(100.0, 60.0), (300.0, 60.0), (500.0, 60.0)];
+    let run = |shards: usize| {
+        let cfg = SimConfig { loss_rate: 0.0, shards, ..SimConfig::default() };
+        let drive = |sim: &mut dyn SimDriver| {
+            sim.start();
+            for (step, &pos) in walk.iter().enumerate() {
+                sim.run_until(60_000 * (step as u64 + 1));
+                let mut positions = vec![pos];
+                positions.extend(posts);
+                sim.set_positions(&positions);
+            }
+            sim.run();
+        };
+        if shards == 1 {
+            let mut sim = Simulator::new(cfg, 11);
+            sim.add_node(walk[0], Ticker { log: Vec::new() });
+            for &p in &posts {
+                sim.add_node(p, Ticker { log: Vec::new() });
+            }
+            drive(&mut sim);
+            (
+                std::mem::take(&mut sim.app_mut(NodeId::new(0)).log),
+                sim.metrics().without_queue_pressure(),
+                sim.now_us(),
+            )
+        } else {
+            let mut sim = ShardedSimulator::new(cfg, 11);
+            sim.add_node(walk[0], Ticker { log: Vec::new() });
+            for &p in &posts {
+                sim.add_node(p, Ticker { log: Vec::new() });
+            }
+            drive(&mut sim);
+            (
+                std::mem::take(&mut sim.app_mut(NodeId::new(0)).log),
+                sim.metrics().without_queue_pressure(),
+                sim.now_us(),
+            )
+        }
+    };
+    let oracle = run(1);
+    // 40 recurring firings + the far-future one-shot, all preserved
+    // across every re-homing.
+    assert_eq!(oracle.0.len(), 41, "oracle timer count: {:?}", oracle.0.len());
+    for shards in [2usize, 4, 8] {
+        assert_eq!(run(shards), oracle, "shards {shards}: handoff broke the timer stream");
+    }
+}
+
+/// `inject` into a node homed on a remote shard, while the run is hot:
+/// the external event must land at the same instant and order as the
+/// oracle's (external keys sort after node events at the same instant).
+#[test]
+fn remote_injection_lands_identically() {
+    let n = 12usize;
+    let positions: Vec<(f64, f64)> = (0..n).map(|i| (40.0 * i as f64, 10.0)).collect();
+    let run = |shards: usize| {
+        let cfg = SimConfig { loss_rate: 0.0, shards, ..SimConfig::default() };
+        if shards == 1 {
+            let mut sim = Simulator::new(cfg, 13);
+            sim.add_nodes(positions.iter().map(|&p| (p, TraceApp::new())));
+            sim.start();
+            sim.run_until(20_000);
+            for i in 0..n {
+                sim.inject(NodeId::new(i as u32), NodeId::new(0), vec![i as u8]);
+            }
+            sim.run();
+            let traces: Vec<Vec<TraceEntry>> = (0..n)
+                .map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).trace))
+                .collect();
+            (traces, sim.metrics().without_queue_pressure(), sim.now_us())
+        } else {
+            let mut sim = ShardedSimulator::new(cfg, 13);
+            sim.add_nodes(positions.iter().map(|&p| (p, TraceApp::new())));
+            sim.start();
+            sim.run_until(20_000);
+            for i in 0..n {
+                sim.inject(NodeId::new(i as u32), NodeId::new(0), vec![i as u8]);
+            }
+            sim.run();
+            let traces: Vec<Vec<TraceEntry>> = (0..n)
+                .map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).trace))
+                .collect();
+            (traces, sim.metrics().without_queue_pressure(), sim.now_us())
+        }
+    };
+    let oracle = run(1);
+    assert!(oracle.0.iter().any(|t| !t.is_empty()));
+    for shards in [2usize, 3, 4, 8] {
+        assert_eq!(run(shards), oracle, "shards {shards}: remote injection diverged");
+    }
+}
+
+/// More worker cores than nodes: shards beyond the population stay idle
+/// without perturbing anything.
+#[test]
+fn more_shards_than_nodes_is_harmless() {
+    let positions = [(0.0, 0.0), (30.0, 0.0), (60.0, 0.0)];
+    let oracle = {
+        let mut sim = Simulator::new(SimConfig::default(), 5);
+        sim.add_nodes(positions.iter().map(|&p| (p, TraceApp::new())));
+        sim.start();
+        sim.run();
+        (sim.metrics().without_queue_pressure(), sim.now_us())
+    };
+    let mut sim = ShardedSimulator::new(SimConfig { shards: 8, ..SimConfig::default() }, 5);
+    sim.add_nodes(positions.iter().map(|&p| (p, TraceApp::new())));
+    sim.start();
+    sim.run();
+    assert_eq!((sim.metrics().without_queue_pressure(), sim.now_us()), oracle);
+}
+
+proptest! {
+    /// Random scenarios over population × seed × shard count: the
+    /// sharded engine is the oracle's bit-identical twin everywhere,
+    /// not just on the hand-picked seams above.
+    #[test]
+    fn random_scenarios_match_the_oracle(
+        seed in any::<u64>(),
+        n in 6usize..30,
+        shard_sel in 0usize..3,
+    ) {
+        let shards = [2usize, 4, 8][shard_sel];
+        let oracle = run_trace(0, seed, n);
+        let sharded = run_trace(shards, seed, n);
+        prop_assert_eq!(&sharded.0, &oracle.0, "traces diverged: seed {} n {} shards {}", seed, n, shards);
+        prop_assert_eq!(&sharded.1, &oracle.1, "timer logs diverged: seed {} n {} shards {}", seed, n, shards);
+        prop_assert_eq!(sharded.2, oracle.2, "metrics diverged: seed {} n {} shards {}", seed, n, shards);
+        prop_assert_eq!(sharded.3, oracle.3, "clock diverged: seed {} n {} shards {}", seed, n, shards);
+    }
+}

@@ -1,9 +1,9 @@
 //! Deterministic parallel candidate enumeration.
 //!
 //! Shards the canonical backtracking walk of [`super::SearchSpace`]
-//! across `std::thread::scope` workers with a *static* partition of the
-//! assignment space (no work stealing, no rayon — the build environment
-//! has no crates.io access and the determinism argument is simpler):
+//! across `std::thread::scope` workers pulling from a shared work
+//! queue (a single atomic claim counter — no rayon, the build
+//! environment has no crates.io access):
 //!
 //! 1. **Split.** Collect every prefix cursor at the shallowest depth that
 //!    yields at least [`PREFIXES_PER_THREAD`] prefixes per worker (or the
@@ -23,10 +23,15 @@
 //!    and [`MatchStats`] are bit-identical to the sequential API for
 //!    every thread count.
 //!
-//! Prefixes are assigned to workers round-robin (worker `w` takes prefix
-//! indices `w, w+T, w+2T, …`), which spreads the skewed subtree sizes of
-//! real profiles without affecting the merge order (results are indexed
-//! by prefix, not by worker).
+//! Prefixes are claimed dynamically: every worker pulls the next
+//! unclaimed prefix index from a shared atomic counter, so a worker
+//! stuck in one huge subtree never idles its siblings — the skewed
+//! subtree sizes of real profiles self-balance, unlike the static
+//! round-robin partition this replaced. Which worker computes which
+//! prefix is scheduling-dependent, but it *cannot* affect the output:
+//! results are merged into slots indexed by prefix, not by worker, so
+//! output, ordering and [`MatchStats`] stay bit-identical to the
+//! sequential API for every thread count and every interleaving.
 
 use super::{
     complete_assignment, enumerate_assignments, enumerate_candidate_keys_with_stats,
@@ -35,6 +40,7 @@ use super::{
 use crate::hint::HintMatrix;
 use crate::profile::ProfileVector;
 use crate::remainder::RemainderVector;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Target number of prefixes per worker; more prefixes smooth out skew
@@ -92,9 +98,13 @@ impl Default for Parallelism {
     }
 }
 
-/// Maps `f` over `0..n` across `threads` scoped workers with a static
-/// round-robin partition, returning results in index order. With one
-/// worker (or `n <= 1`) it runs inline on the caller's thread.
+/// Maps `f` over `0..n` across `threads` scoped workers pulling
+/// indices from a shared work queue (one atomic claim counter),
+/// returning results in index order. Each worker loops claiming the
+/// next unclaimed index until the queue is exhausted, so skewed
+/// per-index costs self-balance instead of serializing on the
+/// unluckiest worker. With one worker (or `n <= 1`) it runs inline on
+/// the caller's thread.
 ///
 /// Panics in `f` propagate to the caller.
 pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
@@ -107,15 +117,21 @@ where
         return (0..n).map(f).collect();
     }
     let f = &f;
+    // The work queue: claiming an index is one fetch_add. Relaxed
+    // suffices — the only cross-thread handoff that must be ordered is
+    // the results, and `scope`'s join synchronizes those.
+    let next = &AtomicUsize::new(0);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|w| {
+            .map(|_| {
                 s.spawn(move || {
                     let mut out = Vec::new();
-                    let mut i = w;
-                    while i < n {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
                         out.push((i, f(i)));
-                        i += workers;
                     }
                     out
                 })
@@ -127,7 +143,7 @@ where
                 slots[i] = Some(v);
             }
         }
-        slots.into_iter().map(|s| s.expect("round-robin covers every index")).collect()
+        slots.into_iter().map(|s| s.expect("the claim counter covers every index")).collect()
     })
 }
 

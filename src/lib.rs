@@ -87,8 +87,10 @@ pub mod prelude {
     pub use msb_core::vicinity::{create_vicinity_request, vicinity_responder};
     pub use msb_lattice::{LatticeConfig, VicinityRegion};
     pub use msb_net::payload::Payload;
+    pub use msb_net::shard::ShardedSimulator;
     pub use msb_net::sim::{
-        DeliveryMode, NodeApp, NodeCtx, NodeId, SchedulerMode, SimConfig, Simulator, SpatialMode,
+        DeliveryMode, NodeApp, NodeCtx, NodeId, SchedulerMode, SimConfig, SimDriver, Simulator,
+        SpatialMode,
     };
     pub use msb_net::spatial::SpatialIndex;
     pub use msb_profile::{

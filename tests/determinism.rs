@@ -1,7 +1,8 @@
 //! Simulator determinism guards for the parallel responder path.
 //!
-//! The event queue orders by `(time, sequence)` and all randomness flows
-//! from one seeded RNG, so a run is a pure function of `(seed,
+//! The event queue orders by `(time, (source, emission))` content keys
+//! and all randomness flows from per-node RNG streams derived from one
+//! seed (`docs/SIM.md` §1), so a run is a pure function of `(seed,
 //! SimConfig, apps)`. Responder parallelism must not perturb that: the
 //! parallel enumeration is bit-identical to the sequential one and draws
 //! no randomness, so the same seed and the same `SimConfig` must produce
@@ -70,8 +71,8 @@ fn metrics_independent_of_responder_parallelism() {
     }
 }
 
-/// Batch delivery may regroup same-instant deliveries (changing jitter
-/// draw order on ties) but must not change who gets matched.
+/// Batch delivery may regroup same-instant deliveries into coarser
+/// `on_batch` calls but must not change who gets matched.
 #[test]
 fn batch_delivery_preserves_match_decisions() {
     let collect = |batch_delivery: bool| -> Vec<u32> {
@@ -103,11 +104,12 @@ fn batch_delivery_preserves_match_decisions() {
 /// the batched responder path (`Responder::handle_batch` behind
 /// `FriendingApp::on_batch`): the app-visible results — events, gambled
 /// sessions — must be identical to unbatched delivery and independent of
-/// thread count. (Single node on purpose: with in-range neighbours, a
-/// chunk mixing relays and replies reorders the sim RNG's jitter draws
-/// relative to unbatched delivery, so byte equality across the
-/// `batch_delivery` flag only holds action-free; cross-flag decision
-/// equality is covered above.)
+/// thread count. (Single node on purpose: batching only changes how
+/// same-instant deliveries are grouped into `on_batch` calls, never the
+/// per-message order or any RNG draw — per-node streams make grouping
+/// invisible — so a lone responder pins exact byte equality across the
+/// `batch_delivery` flag; cross-flag decision equality with neighbours
+/// is covered above.)
 #[test]
 fn burst_batch_equals_one_at_a_time() {
     use rand::rngs::StdRng;

@@ -1,0 +1,219 @@
+//! Churn-scenario runs over the spatially-sharded engine.
+//!
+//! The sharded complement of `churn_smoke.rs`, completing the shard
+//! differential story (`crates/net/tests/shard_differential.rs` covers
+//! the trace level):
+//!
+//! 1. an application-level differential — the full friending flow with
+//!    re-flooding under mobility must be *bit-identical* between the
+//!    single-threaded oracle and [`ShardedSimulator`] at 2/4/8 worker
+//!    cores, across every protocol (P1/P2/P3) ×
+//!    `InMemory`/`EncodedFrames` transport: same per-node event logs,
+//!    same matches, same metrics (masking only `peak_queue_len`, the
+//!    per-queue depth that legitimately varies with shard count), same
+//!    final clock;
+//! 2. a mid-scale churn differential over the shared island scenario
+//!    ([`msb_bench::swarm::ChurnSpec`]) across shard counts;
+//! 3. an `#[ignore]`d release-mode smoke test (run explicitly in CI)
+//!    proving a 25 000-node churn swarm completes at `shards = 4` with
+//!    the exact outcome of `shards = 1`.
+
+use msb_bench::swarm::{build_churn_swarm, build_churn_swarm_sharded, drive_churn, ChurnSpec};
+use sealed_bottle::core::app::RefloodPolicy;
+use sealed_bottle::core::protocol::Parallelism;
+use sealed_bottle::net::mobility::{Bounds, RandomWaypoint};
+use sealed_bottle::net::sim::{Metrics, SchedulerMode};
+use sealed_bottle::prelude::*;
+use std::time::Instant;
+
+fn attr(c: &str, v: &str) -> Attribute {
+    Attribute::new(c, v)
+}
+
+fn request() -> RequestProfile {
+    RequestProfile::new(
+        vec![attr("guild", "mapmakers")],
+        vec![attr("i", "ink"), attr("i", "vellum"), attr("i", "stars")],
+        2,
+    )
+    .unwrap()
+}
+
+fn matching_profile() -> Profile {
+    Profile::from_attributes(vec![attr("guild", "mapmakers"), attr("i", "ink"), attr("i", "stars")])
+}
+
+fn noise(i: usize) -> Profile {
+    Profile::from_attributes(vec![attr("hobby", &format!("h{i}")), attr("town", &format!("t{i}"))])
+}
+
+#[derive(PartialEq, Debug)]
+struct RunResult {
+    /// `peak_queue_len` masked: per-queue depth is the one observable
+    /// that legitimately depends on how many queues there are.
+    metrics: Metrics,
+    final_clock_us: u64,
+    matches: Vec<ConfirmedMatch>,
+    events: Vec<Vec<AppEvent>>,
+}
+
+/// The `churn_smoke` scenario — a lossy 4×4 grid under random-waypoint
+/// churn with re-flooding, two matching users starting out of radio
+/// reach — swept across shard counts instead of scheduler modes.
+/// `shards == 1` runs the single-threaded oracle.
+fn run(shards: usize, kind: ProtocolKind, delivery: DeliveryMode) -> RunResult {
+    let mut config = ProtocolConfig::new(kind, 11);
+    config.parallelism = Parallelism::SEQUENTIAL;
+    config.validity_us = 5_000_000;
+    let sim_config = SimConfig { loss_rate: 0.02, delivery, shards, ..SimConfig::default() };
+    let reflood = RefloodPolicy::every(400_000).with_fanout_cap(3);
+    let mut positions: Vec<(f64, f64)> = vec![(0.0, 0.0)];
+    let mut apps =
+        vec![FriendingApp::initiator(noise(0), request(), config.clone()).with_reflood(reflood)];
+    for i in 0..16 {
+        positions.push(((i % 4) as f64 * 35.0, (i / 4) as f64 * 35.0 + 35.0));
+        apps.push(FriendingApp::participant(noise(i + 1), config.clone()).with_reflood(reflood));
+    }
+    for &pos in &[(165.0, 40.0), (165.0, 160.0)] {
+        positions.push(pos);
+        apps.push(
+            FriendingApp::participant(matching_profile(), config.clone()).with_reflood(reflood),
+        );
+    }
+    let mut mobility = RandomWaypoint::from_positions(
+        positions.clone(),
+        Bounds { width: 260.0, height: 200.0 },
+        6.0,
+        20.0,
+        0.5,
+        0x5eed,
+    );
+    let nodes = positions.iter().copied().zip(apps);
+
+    let drive = |sim: &mut dyn SimDriver, mobility: &mut RandomWaypoint| {
+        sim.start();
+        let mut buf = Vec::new();
+        for tick in 1..=20u64 {
+            sim.run_until(tick * 250_000);
+            mobility.advance(0.25);
+            mobility.positions_into(&mut buf);
+            sim.set_positions(&buf);
+        }
+        sim.run();
+    };
+
+    if shards == 1 {
+        let mut sim = Simulator::new(sim_config, 0xC0DEC);
+        sim.add_nodes(nodes);
+        drive(&mut sim, &mut mobility);
+        RunResult {
+            metrics: sim.metrics().without_queue_pressure(),
+            final_clock_us: sim.now_us(),
+            matches: sim.app(NodeId::new(0)).matches().to_vec(),
+            events: (0..sim.node_count())
+                .map(|i| sim.app(NodeId::new(i as u32)).events.clone())
+                .collect(),
+        }
+    } else {
+        let mut sim = ShardedSimulator::new(sim_config, 0xC0DEC);
+        sim.add_nodes(nodes);
+        drive(&mut sim, &mut mobility);
+        RunResult {
+            metrics: sim.metrics().without_queue_pressure(),
+            final_clock_us: sim.now_us(),
+            matches: sim.app(NodeId::new(0)).matches().to_vec(),
+            events: (0..sim.node_count())
+                .map(|i| sim.app(NodeId::new(i as u32)).events.clone())
+                .collect(),
+        }
+    }
+}
+
+/// The sharded engine matches the single-threaded oracle across every
+/// protocol × transport × shard-count combination.
+#[test]
+fn sharded_matches_oracle_across_protocols_and_delivery() {
+    for kind in [ProtocolKind::P1, ProtocolKind::P2, ProtocolKind::P3] {
+        for delivery in [DeliveryMode::InMemory, DeliveryMode::EncodedFrames] {
+            let oracle = run(1, kind, delivery);
+            assert!(
+                !oracle.matches.is_empty(),
+                "{kind:?} {delivery:?}: churn scenario must produce matches"
+            );
+            assert!(
+                oracle.events.iter().flatten().any(|e| matches!(e, AppEvent::Reflooded { .. })),
+                "{kind:?} {delivery:?}: re-flooding must fire"
+            );
+            for shards in [2usize, 4, 8] {
+                let sharded = run(shards, kind, delivery);
+                assert_eq!(
+                    sharded, oracle,
+                    "{kind:?} {delivery:?} shards={shards}: sharded run diverged from oracle"
+                );
+            }
+        }
+    }
+}
+
+/// The shared island scenario agrees across shard counts at test
+/// scale: same summary, same masked metrics, same confirmed matches,
+/// same final clock.
+#[test]
+fn island_churn_identical_across_shard_counts() {
+    let oracle = {
+        let spec = ChurnSpec::standard(500, SchedulerMode::Calendar);
+        let (mut sim, mut mobility) = build_churn_swarm(&spec);
+        drive_churn(&mut sim, &mut mobility, &spec);
+        let matches = sim.app(NodeId::new(0)).matches().to_vec();
+        (SwarmSummary::collect(&sim), sim.metrics().without_queue_pressure(), sim.now_us(), matches)
+    };
+    assert!(oracle.0.refloods > 0, "re-flooding must fire: {:?}", oracle.0);
+    assert!(!oracle.3.is_empty(), "churn swarm must confirm matches");
+    for shards in [2usize, 4, 8] {
+        let spec = ChurnSpec::standard(500, SchedulerMode::Calendar).with_shards(shards);
+        let (mut sim, mut mobility) = build_churn_swarm_sharded(&spec);
+        drive_churn(&mut sim, &mut mobility, &spec);
+        let matches = sim.app(NodeId::new(0)).matches().to_vec();
+        let sharded = (
+            SwarmSummary::collect_sharded(&sim),
+            sim.metrics().without_queue_pressure(),
+            sim.now_us(),
+            matches,
+        );
+        assert_eq!(sharded, oracle, "island churn diverged at shards={shards}");
+    }
+}
+
+/// Large-swarm release-mode churn smoke on the sharded engine: 25 000
+/// nodes on partitioned islands at `shards = 4`, encoded frames,
+/// asserted identical to the `shards = 1` run of the same spec.
+/// `#[ignore]`d so plain `cargo test` stays fast; CI runs it via
+/// `cargo test --release -q --test shard_churn -- --ignored`.
+#[test]
+#[ignore = "release-mode large-swarm sharded churn smoke, run explicitly (CI does)"]
+fn sharded_churn_25k_matches_single_shard() {
+    let collect = |shards: usize| {
+        let mut spec = ChurnSpec::standard(25_000, SchedulerMode::Calendar).with_shards(shards);
+        spec.delivery = DeliveryMode::EncodedFrames;
+        let started = Instant::now();
+        let (mut sim, mut mobility) = build_churn_swarm_sharded(&spec);
+        drive_churn(&mut sim, &mut mobility, &spec);
+        let elapsed = started.elapsed();
+        let summary = SwarmSummary::collect_sharded(&sim);
+        let matches = sim.app(NodeId::new(0)).matches().to_vec();
+        println!(
+            "25k churn @ shards={shards}: wall {elapsed:?}, {} matches, {} refloods, \
+             per-shard nodes {:?}",
+            summary.matches,
+            summary.refloods,
+            sim.shard_node_counts(),
+        );
+        assert!(elapsed.as_secs() < 600, "25k sharded churn took {elapsed:?}");
+        (summary, sim.metrics().without_queue_pressure(), sim.now_us(), matches)
+    };
+    let single = collect(1);
+    let sharded = collect(4);
+    assert_eq!(sharded, single, "25k churn diverged between shards=1 and shards=4");
+    assert!(single.0.matches > 0, "25k churn swarm found no matches: {:?}", single.0);
+    assert!(single.0.refloods > 10_000, "re-flooding must run swarm-wide: {:?}", single.0);
+}
