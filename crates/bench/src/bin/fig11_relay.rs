@@ -1,0 +1,187 @@
+//! Figure 11 (extension) — relay-server throughput over loopback TCP:
+//! a sender deposits sealed bottles of increasing payload size through
+//! [`msb_server::RelayServer`], a receiver drains them with batched
+//! fetches, and both directions are timed end-to-end (socket writes,
+//! MSBW reframing, services routing, inbox storage — the full stack).
+//! A final row floods past the rate guard to price the shedding path:
+//! rejected deposits should cost less than admitted ones.
+//!
+//! Regenerate with
+//! `cargo run -p msb-bench --release --bin fig11_relay`; `--json`
+//! emits `BENCH_BASELINE.json` rows instead of the table. `--frames
+//! 500` shrinks the per-size run (the default suits CI; wall-clock on
+//! loopback is dominated by syscalls, so absolute numbers vary by
+//! host while the admitted-vs-shed ratio is the stable observable).
+
+use msb_bench::{fmt_ms, print_table, time_once};
+use msb_server::{AckCode, RelayClient, RelayServer, ServerConfig, BROADCAST};
+use msb_wire::{FrameKind, FRAME_HEADER_LEN, MAGIC, VERSION};
+
+const PAYLOAD_SIZES: [usize; 4] = [64, 1024, 8192, 16384];
+const FRAMES: usize = 2000;
+
+/// A sealed bottle for the relay: a valid Request envelope over
+/// `payload` filler bytes (the relay never opens it).
+fn bottle(payload: usize) -> Vec<u8> {
+    let mut f = Vec::with_capacity(FRAME_HEADER_LEN + payload);
+    f.extend_from_slice(&MAGIC);
+    f.push(VERSION);
+    f.push(FrameKind::Request as u8);
+    f.extend_from_slice(&(payload as u32).to_be_bytes());
+    f.extend(std::iter::repeat_n(0xB0, payload));
+    f
+}
+
+struct RunResult {
+    payload: usize,
+    frames: usize,
+    deposit_ms: f64,
+    fetch_ms: f64,
+    batches: usize,
+    bytes: u64,
+}
+
+fn run_throughput(payload: usize, frames: usize) -> RunResult {
+    let config = ServerConfig {
+        guard_max_in_window: frames + 1,
+        max_per_recipient: frames,
+        ..ServerConfig::default()
+    };
+    let mut server = RelayServer::spawn(config).expect("spawn relay");
+    let mut sender = RelayClient::connect(server.addr()).expect("connect sender");
+    let mut receiver = RelayClient::connect(server.addr()).expect("connect receiver");
+    assert_eq!(sender.hello(0).expect("hello").code, AckCode::Ok);
+    assert_eq!(receiver.hello(1).expect("hello").code, AckCode::Ok);
+
+    let frame = bottle(payload);
+    let bytes = (frame.len() * frames) as u64;
+
+    let (_, deposit_ms) = time_once(|| {
+        for _ in 0..frames {
+            let ack = sender.deposit(1, frame.clone()).expect("deposit");
+            assert_eq!(ack.code, AckCode::Ok, "deposit shed unexpectedly");
+        }
+    });
+
+    let mut got = 0usize;
+    let mut batches = 0usize;
+    let (_, fetch_ms) = time_once(|| {
+        while got < frames {
+            let batch = receiver.fetch(0).expect("fetch");
+            assert!(!batch.is_empty(), "inbox drained early: {got}/{frames}");
+            got += batch.len();
+            batches += 1;
+        }
+    });
+    assert_eq!(got, frames, "delivered count mismatch");
+
+    let stats = server.stats();
+    assert_eq!(stats.deposits_accepted, frames as u64);
+    assert_eq!(stats.messages_delivered, frames as u64);
+    assert_eq!(stats.inbox_depth, 0);
+    server.shutdown();
+
+    RunResult { payload, frames, deposit_ms, fetch_ms, batches, bytes }
+}
+
+/// Floods one sender far past the guard budget and times the whole
+/// burst; returns (admitted, shed, wall_ms).
+fn run_flood(frames: usize) -> (u64, u64, f64) {
+    let config = ServerConfig { guard_max_in_window: frames / 10, ..ServerConfig::default() };
+    let admitted_budget = config.guard_max_in_window as u64;
+    let mut server = RelayServer::spawn(config).expect("spawn relay");
+    let mut sender = RelayClient::connect(server.addr()).expect("connect sender");
+    let mut receiver = RelayClient::connect(server.addr()).expect("connect receiver");
+    assert_eq!(sender.hello(0).expect("hello").code, AckCode::Ok);
+    assert_eq!(receiver.hello(1).expect("hello").code, AckCode::Ok);
+
+    let frame = bottle(64);
+    let (_, wall_ms) = time_once(|| {
+        for _ in 0..frames {
+            let ack = sender.deposit(BROADCAST, frame.clone()).expect("deposit");
+            assert!(matches!(ack.code, AckCode::Ok | AckCode::RateLimited));
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.deposits_accepted, admitted_budget);
+    assert_eq!(stats.rejected_rate, frames as u64 - admitted_budget);
+    server.shutdown();
+    (stats.deposits_accepted, stats.rejected_rate, wall_ms)
+}
+
+fn parse_frames(args: &[String]) -> Option<usize> {
+    args.iter()
+        .position(|a| a == "--frames")
+        .map(|i| args.get(i + 1).and_then(|s| s.parse().ok()).expect("--frames takes a count"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let frames = parse_frames(&args).unwrap_or(FRAMES);
+
+    let results: Vec<RunResult> =
+        PAYLOAD_SIZES.iter().map(|&p| run_throughput(p, frames)).collect();
+    let (admitted, shed, flood_ms) = run_flood(frames);
+
+    let rate = |n: usize, ms: f64| if ms > 0.0 { n as f64 / ms * 1000.0 } else { f64::NAN };
+    let mbps = |bytes: u64, ms: f64| {
+        if ms > 0.0 {
+            bytes as f64 / (1024.0 * 1024.0) / ms * 1000.0
+        } else {
+            f64::NAN
+        }
+    };
+
+    if json {
+        for r in &results {
+            println!(
+                "{{\"bench\": \"fig11_relay\", \"payload\": {}, \"frames\": {}, \
+                 \"deposit_ms\": {:.1}, \"fetch_ms\": {:.1}, \"fetch_batches\": {}, \
+                 \"deposits_per_s\": {:.0}, \"fetch_mib_per_s\": {:.1}}}",
+                r.payload,
+                r.frames,
+                r.deposit_ms,
+                r.fetch_ms,
+                r.batches,
+                rate(r.frames, r.deposit_ms),
+                mbps(r.bytes, r.fetch_ms),
+            );
+        }
+        println!(
+            "{{\"bench\": \"fig11_relay\", \"mode\": \"flood\", \"frames\": {frames}, \
+             \"admitted\": {admitted}, \"shed\": {shed}, \"wall_ms\": {flood_ms:.1}}}"
+        );
+    } else {
+        let mut rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{} B", r.payload),
+                    format!("{}", r.frames),
+                    fmt_ms(r.deposit_ms),
+                    format!("{:.0}/s", rate(r.frames, r.deposit_ms)),
+                    fmt_ms(r.fetch_ms),
+                    format!("{} batches, {:.1} MiB/s", r.batches, mbps(r.bytes, r.fetch_ms)),
+                ]
+            })
+            .collect();
+        rows.push(vec![
+            "flood".into(),
+            format!("{frames}"),
+            fmt_ms(flood_ms),
+            format!("{:.0}/s", rate(frames, flood_ms)),
+            "-".into(),
+            format!("{admitted} admitted, {shed} shed"),
+        ]);
+        print_table(
+            "Fig. 11 (ext) — relay server over loopback TCP (deposit + batched fetch)",
+            &["Bottle", "Frames", "Deposit", "Rate", "Fetch", "Drain"],
+            &rows,
+        );
+        println!(
+            "flood row: one sender past the rate guard — shed deposits are acked \
+             RateLimited without touching the inbox"
+        );
+    }
+}

@@ -552,9 +552,18 @@ impl SwarmSummary {
 
     /// Engine-independent aggregation over each node's event log.
     fn from_apps<'a>(nodes: usize, app: impl Fn(u32) -> &'a FriendingApp) -> Self {
-        let mut out = SwarmSummary { nodes, ..SwarmSummary::default() };
-        for i in 0..nodes {
-            for event in &app(i as u32).events {
+        Self::from_event_logs((0..nodes).map(|i| app(i as u32)))
+    }
+
+    /// Aggregates apps hosted outside a simulator — e.g. driven through
+    /// [`msb_net::harness::AppHarness`] over real sockets. For the same
+    /// scenario this must equal the simulator-collected summary; the
+    /// `msb-server` loopback parity suite asserts exactly that.
+    pub fn from_event_logs<'a>(apps: impl IntoIterator<Item = &'a FriendingApp>) -> Self {
+        let mut out = SwarmSummary::default();
+        for app in apps {
+            out.nodes += 1;
+            for event in &app.events {
                 match event {
                     AppEvent::RequestSent { .. } => out.requests_sent += 1,
                     AppEvent::Relayed { .. } => out.relays += 1,

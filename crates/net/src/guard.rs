@@ -44,9 +44,15 @@ impl<K: Eq + Hash> RateGuard<K> {
     /// within policy. Rejected events are *not* recorded (an attacker
     /// cannot extend their own penalty).
     pub fn allow(&mut self, sender: K, now_us: u64) -> bool {
+        // Subtraction form: `t + window` would overflow u64 for
+        // timestamps near u64::MAX (e.g. wall-clock-derived micros fed
+        // in by a server). `saturating_sub` keeps events from the
+        // "future" (t > now_us, possible across clock adjustments)
+        // counted as in-window, matching the additive form's behaviour
+        // everywhere the addition doesn't wrap.
         let window = self.window_us;
         let entry = self.history.entry(sender).or_default();
-        entry.retain(|&t| t + window > now_us);
+        entry.retain(|&t| now_us.saturating_sub(t) < window);
         if entry.len() >= self.max_in_window {
             return false;
         }
@@ -58,7 +64,7 @@ impl<K: Eq + Hash> RateGuard<K> {
     pub fn pressure(&self, sender: &K, now_us: u64) -> usize {
         self.history
             .get(sender)
-            .map(|v| v.iter().filter(|&&t| t + self.window_us > now_us).count())
+            .map(|v| v.iter().filter(|&&t| now_us.saturating_sub(t) < self.window_us).count())
             .unwrap_or(0)
     }
 
@@ -70,7 +76,7 @@ impl<K: Eq + Hash> RateGuard<K> {
     pub fn compact(&mut self, now_us: u64) {
         let window = self.window_us;
         self.history.retain(|_, v| {
-            v.retain(|&t| t + window > now_us);
+            v.retain(|&t| now_us.saturating_sub(t) < window);
             !v.is_empty()
         });
     }
@@ -78,6 +84,16 @@ impl<K: Eq + Hash> RateGuard<K> {
     /// Number of tracked senders.
     pub fn tracked_senders(&self) -> usize {
         self.history.len()
+    }
+
+    /// The sliding window length in microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// The per-sender event budget within one window.
+    pub fn max_in_window(&self) -> usize {
+        self.max_in_window
     }
 }
 
@@ -138,5 +154,35 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_budget_rejected() {
         let _: RateGuard<u32> = RateGuard::new(100, 0);
+    }
+
+    #[test]
+    fn timestamps_near_u64_max_do_not_overflow() {
+        // Regression: the additive form `t + window > now_us` wrapped
+        // for large t, so an event recorded at u64::MAX - 10 vanished
+        // from its own window and the limiter waved the flood through.
+        let hi = u64::MAX - 10;
+        let mut g: RateGuard<u32> = RateGuard::new(1000, 1);
+        assert!(g.allow(1, hi));
+        assert!(!g.allow(1, hi + 5), "event at u64::MAX - 10 must still be in-window");
+        assert_eq!(g.pressure(&1, hi + 5), 1);
+        assert_eq!(g.pressure(&1, u64::MAX), 1);
+
+        // compact must keep the live event too.
+        g.compact(hi + 5);
+        assert_eq!(g.tracked_senders(), 1);
+
+        // And an event from the "future" (clock steps backwards between
+        // calls) still counts, as it did in the non-overflowing range.
+        let mut g: RateGuard<u32> = RateGuard::new(1000, 1);
+        assert!(g.allow(1, 5000));
+        assert!(!g.allow(1, 4500));
+    }
+
+    #[test]
+    fn policy_accessors_echo_config() {
+        let g: RateGuard<u32> = RateGuard::new(2_000_000, 16);
+        assert_eq!(g.window_us(), 2_000_000);
+        assert_eq!(g.max_in_window(), 16);
     }
 }

@@ -66,6 +66,7 @@
 
 pub mod flood;
 pub mod guard;
+pub mod harness;
 pub mod mobility;
 pub mod payload;
 pub mod sched;
@@ -74,6 +75,7 @@ pub mod sim;
 pub mod spatial;
 mod topo;
 
+pub use harness::{AppAction, AppHarness};
 pub use payload::Payload;
 pub use sched::{
     CalendarScheduler, EventKey, HeapScheduler, Recurrence, ScheduledEvent, Scheduler,

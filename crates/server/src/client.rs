@@ -1,0 +1,160 @@
+//! The matching blocking client: one TCP connection, strict
+//! request/response lockstep (every call writes one frame and reads
+//! exactly one response frame through its own bounded
+//! [`FrameStream`]).
+//!
+//! ```no_run
+//! use msb_server::{RelayClient, RelayServer, ServerConfig, BROADCAST};
+//!
+//! let server = RelayServer::spawn(ServerConfig::default())?;
+//! let mut client = RelayClient::connect(server.addr())?;
+//! client.hello(7)?;
+//! // deposit / fetch sealed bottles…
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use bytes::Bytes;
+use msb_wire::stream::FrameStream;
+use msb_wire::{peek_kind, FrameKind, Message};
+
+use crate::metrics::StatsSnapshot;
+use crate::proto::{Ack, Delivered, Deposit, Fetch, Hello, InboxBatch, StatsReq};
+
+/// A blocking relay client. See the [module docs](self).
+#[derive(Debug)]
+pub struct RelayClient {
+    stream: TcpStream,
+    frames: FrameStream,
+}
+
+impl RelayClient {
+    /// Connects with the default frame bound
+    /// ([`ServerConfig::default`](crate::ServerConfig)'s
+    /// `max_frame_len`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Self::connect_bounded(addr, crate::ServerConfig::default().max_frame_len)
+    }
+
+    /// Connects with an explicit receive-side frame bound (match the
+    /// server's configured `max_frame_len`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_bounded(addr: SocketAddr, max_frame_len: usize) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(RelayClient { stream, frames: FrameStream::new(max_frame_len) })
+    }
+
+    /// Identifies this connection as `client`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a non-[`Ack`] response.
+    pub fn hello(&mut self, client: u32) -> std::io::Result<Ack> {
+        self.send(&Hello { client }.encode())?;
+        self.read_ack()
+    }
+
+    /// Deposits `frame` (a complete MSBW frame) for `to` — use
+    /// [`BROADCAST`](crate::proto::BROADCAST) to reach every
+    /// registered client except this one.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a non-[`Ack`] response.
+    pub fn deposit(&mut self, to: u32, frame: impl Into<Bytes>) -> std::io::Result<Ack> {
+        self.send(&Deposit { to, frame: frame.into() }.encode())?;
+        self.read_ack()
+    }
+
+    /// Drains up to `max` pending bottles (0 = as many as fit one
+    /// response frame).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, an [`Ack`]-signalled rejection (e.g. fetching
+    /// before [`RelayClient::hello`]), or a malformed response.
+    pub fn fetch(&mut self, max: u16) -> std::io::Result<Vec<Delivered>> {
+        self.send(&Fetch { max }.encode())?;
+        let frame = self.read_frame()?;
+        match peek_kind(&frame) {
+            Ok(FrameKind::RelayInbox) => {
+                InboxBatch::decode(&frame).map(|b| b.messages).map_err(into_io)
+            }
+            Ok(FrameKind::RelayAck) => {
+                let ack = Ack::decode(&frame).map_err(into_io)?;
+                Err(std::io::Error::other(format!("fetch rejected: {:?}", ack.code)))
+            }
+            _ => Err(std::io::Error::other("unexpected response to fetch")),
+        }
+    }
+
+    /// Queries the health/stats endpoint.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a malformed response.
+    pub fn stats(&mut self) -> std::io::Result<StatsSnapshot> {
+        self.send(&StatsReq.encode())?;
+        let frame = self.read_frame()?;
+        StatsSnapshot::decode(&frame).map_err(into_io)
+    }
+
+    /// Writes raw bytes to the server — the hostile-input path the
+    /// hardening suite uses; a well-behaved client never needs it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.send(bytes)
+    }
+
+    /// Reads one response frame — paired with [`RelayClient::send_raw`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a reframing error.
+    pub fn read_response(&mut self) -> std::io::Result<Bytes> {
+        self.read_frame()
+    }
+
+    fn send(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    fn read_ack(&mut self) -> std::io::Result<Ack> {
+        let frame = self.read_frame()?;
+        Ack::decode(&frame).map_err(into_io)
+    }
+
+    fn read_frame(&mut self) -> std::io::Result<Bytes> {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(frame) = self.frames.next_frame().map_err(into_io)? {
+                return Ok(frame);
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                ));
+            }
+            self.frames.push(&buf[..n]).map_err(into_io)?;
+        }
+    }
+}
+
+fn into_io(e: msb_wire::DecodeError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}

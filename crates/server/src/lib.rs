@@ -1,0 +1,94 @@
+//! The sealed-bottle relay server: friending beyond radio contact.
+//!
+//! The paper's protocols run over opportunistic short-range radio; its
+//! DoS defence ("restricting the frequency of relay and reply requests
+//! from the same user", §II-B) and the evaluation's scale both point at
+//! infrastructure. This crate is that infrastructure: a TCP service
+//! that relays [MSBW-framed](msb_wire) sealed bottles between clients
+//! that are never online — or in range — at the same time.
+//!
+//! The server never opens a bottle. Request and reply frames pass
+//! through exactly as encoded by the sender; all the server learns is
+//! routing metadata (who deposits, for whom, how often) — the same
+//! exposure the paper grants any relay node.
+//!
+//! # Layering
+//!
+//! Four layers, each a module (`docs/SERVER.md` has the full tour):
+//!
+//! - **gateway** ([`gateway`]): TCP accept loop and per-connection
+//!   read loops. Reframes the byte stream with
+//!   [`msb_wire::stream::FrameStream`], so a declared frame length is
+//!   bounded by [`ServerConfig::max_frame_len`] *before* any payload
+//!   is buffered.
+//! - **services** ([`service`]): routes each frame — hello, deposit,
+//!   fetch, stats — enforcing registration, the per-sender
+//!   [`msb_net::guard::RateGuard`], and the inner-frame routing policy
+//!   (request frames may broadcast; reply frames must name their
+//!   initiator).
+//! - **storage** ([`storage`]): the store-and-forward [`storage::Inbox`] —
+//!   per-recipient TTL-stamped queues that let a bottle outlive the
+//!   depositor's connection.
+//! - **workers** ([`worker`]): the background cleanup thread that
+//!   purges expired bottles on an interval.
+//!
+//! A matching blocking [`client::RelayClient`] lives here too, and the
+//! simulator stays the oracle: the loopback parity suite drives real
+//! `FriendingApp` nodes through [`msb_net::harness::AppHarness`] over
+//! sockets and asserts the same matches and payload byte counts as the
+//! `EncodedFrames` simulator run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod gateway;
+pub mod metrics;
+pub mod proto;
+pub mod service;
+pub mod storage;
+pub mod worker;
+
+pub use client::RelayClient;
+pub use gateway::RelayServer;
+pub use metrics::StatsSnapshot;
+pub use proto::{Ack, AckCode, Delivered, Deposit, Fetch, Hello, InboxBatch, StatsReq, BROADCAST};
+
+/// Server tuning knobs. The defaults suit the loopback suites; a real
+/// deployment mainly raises `max_per_recipient` and the guard budget.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Largest acceptable total frame size (envelope + payload) on any
+    /// connection. A header declaring more is rejected before any
+    /// payload is buffered ([`msb_wire::DecodeError::FrameTooLarge`]).
+    pub max_frame_len: usize,
+    /// How long a deposited bottle stays fetchable, in microseconds —
+    /// mirrors the paper's request validity period `T` (the protocol
+    /// default is 60 s).
+    pub inbox_ttl_us: u64,
+    /// How often the cleanup worker purges expired bottles.
+    pub cleanup_interval_ms: u64,
+    /// Sliding window of the per-sender deposit guard, in microseconds.
+    pub guard_window_us: u64,
+    /// Deposits allowed per sender per window.
+    pub guard_max_in_window: usize,
+    /// Pending-bottle cap per recipient queue; deposits beyond it are
+    /// dropped (and counted) rather than growing without bound.
+    pub max_per_recipient: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame_len: 64 * 1024,
+            inbox_ttl_us: 60_000_000,
+            cleanup_interval_ms: 50,
+            // The paper's guard is 3 per 10 s per *radio* neighborhood;
+            // a server fronts many interactions per user, so the
+            // default budget is wider while keeping the same window.
+            guard_window_us: 10_000_000,
+            guard_max_in_window: 32,
+            max_per_recipient: 1024,
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Health and telemetry: lock-free counters incremented on the hot
+//! path, snapshotted into a wire message on demand — the relay's
+//! health/stats endpoint ([`crate::proto::StatsReq`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use msb_wire::{DecodeError, FrameKind, Message, Reader, WireDecode, WireEncode, Writer};
+
+/// Shared counters, one instance per server, updated with relaxed
+/// atomics (monotonic counters; no ordering between them matters).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Complete frames read off all connections.
+    pub frames_in: AtomicU64,
+    /// Response frames written to all connections.
+    pub frames_out: AtomicU64,
+    /// Deposits accepted into at least one inbox queue.
+    pub deposits_accepted: AtomicU64,
+    /// Deposits dropped by the per-sender rate guard.
+    pub rejected_rate: AtomicU64,
+    /// Frames rejected for declaring a length above `max_frame_len`.
+    pub rejected_oversize: AtomicU64,
+    /// Frames rejected as malformed (bad envelope, bad body, policy).
+    pub rejected_malformed: AtomicU64,
+    /// Bottles handed to fetching clients.
+    pub messages_delivered: AtomicU64,
+    /// Bottles purged after outliving the inbox TTL.
+    pub inbox_expired: AtomicU64,
+}
+
+impl ServerStats {
+    /// Adds one to a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Freezes the counters into a reply, attaching the storage gauges
+    /// the counters can't know (current depth, registered population).
+    pub fn snapshot(&self, inbox_depth: u64, registered_clients: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            deposits_accepted: self.deposits_accepted.load(Ordering::Relaxed),
+            rejected_rate: self.rejected_rate.load(Ordering::Relaxed),
+            rejected_oversize: self.rejected_oversize.load(Ordering::Relaxed),
+            rejected_malformed: self.rejected_malformed.load(Ordering::Relaxed),
+            messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
+            inbox_expired: self.inbox_expired.load(Ordering::Relaxed),
+            inbox_depth,
+            registered_clients,
+        }
+    }
+}
+
+/// The health/stats endpoint's reply ([`FrameKind::RelayStats`]): every
+/// counter plus the storage gauges, as one flat wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Complete frames read off all connections.
+    pub frames_in: u64,
+    /// Response frames written to all connections.
+    pub frames_out: u64,
+    /// Deposits accepted into at least one inbox queue.
+    pub deposits_accepted: u64,
+    /// Deposits dropped by the per-sender rate guard.
+    pub rejected_rate: u64,
+    /// Frames rejected for declaring a length above `max_frame_len`.
+    pub rejected_oversize: u64,
+    /// Frames rejected as malformed (bad envelope, bad body, policy).
+    pub rejected_malformed: u64,
+    /// Bottles handed to fetching clients.
+    pub messages_delivered: u64,
+    /// Bottles purged after outliving the inbox TTL.
+    pub inbox_expired: u64,
+    /// Bottles currently queued across all recipients.
+    pub inbox_depth: u64,
+    /// Clients that have said [`Hello`](crate::proto::Hello).
+    pub registered_clients: u64,
+}
+
+impl WireEncode for StatsSnapshot {
+    fn encoded_len(&self) -> usize {
+        8 * 10
+    }
+    fn encode_into(&self, w: &mut Writer) {
+        w.u64(self.frames_in);
+        w.u64(self.frames_out);
+        w.u64(self.deposits_accepted);
+        w.u64(self.rejected_rate);
+        w.u64(self.rejected_oversize);
+        w.u64(self.rejected_malformed);
+        w.u64(self.messages_delivered);
+        w.u64(self.inbox_expired);
+        w.u64(self.inbox_depth);
+        w.u64(self.registered_clients);
+    }
+}
+
+impl WireDecode for StatsSnapshot {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(StatsSnapshot {
+            frames_in: r.u64()?,
+            frames_out: r.u64()?,
+            deposits_accepted: r.u64()?,
+            rejected_rate: r.u64()?,
+            rejected_oversize: r.u64()?,
+            rejected_malformed: r.u64()?,
+            messages_delivered: r.u64()?,
+            inbox_expired: r.u64()?,
+            inbox_depth: r.u64()?,
+            registered_clients: r.u64()?,
+        })
+    }
+}
+
+impl Message for StatsSnapshot {
+    const KIND: FrameKind = FrameKind::RelayStats;
+}

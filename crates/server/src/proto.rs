@@ -1,0 +1,248 @@
+//! The relay control-plane messages (frame kinds `0x20`–`0x26`).
+//!
+//! Sealed bottles themselves — request and reply frames — are opaque to
+//! the relay: they travel *inside* a [`Deposit`], which adds the one
+//! thing the bottle deliberately omits: who the relay should hold it
+//! for. Everything here is an [`msb_wire::Message`], so the same strict
+//! envelope, golden-fixture, and fuzz machinery covers the control
+//! plane (`tests/wire_golden.rs` at the workspace root).
+
+use bytes::Bytes;
+use msb_wire::{DecodeError, FrameKind, Message, Reader, WireDecode, WireEncode, Writer};
+
+/// The pseudo-recipient meaning "every registered client except the
+/// sender" — how a flooded request frame reaches the whole population.
+pub const BROADCAST: u32 = u32::MAX;
+
+/// A client identifying itself. First frame on every connection; the
+/// claimed id keys the rate guard and the inbox.
+///
+/// (The reproduction trusts the claim, like the simulator trusts its
+/// node ids; an authenticating handshake would slot in here.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The claimed client id. Must not be [`BROADCAST`].
+    pub client: u32,
+}
+
+impl WireEncode for Hello {
+    fn encoded_len(&self) -> usize {
+        4
+    }
+    fn encode_into(&self, w: &mut Writer) {
+        w.u32(self.client);
+    }
+}
+
+impl WireDecode for Hello {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Hello { client: r.u32()? })
+    }
+}
+
+impl Message for Hello {
+    const KIND: FrameKind = FrameKind::RelayHello;
+}
+
+/// A sealed bottle handed to the relay for `to`'s inbox (or for every
+/// registered client when `to` is [`BROADCAST`]). `frame` is a complete
+/// MSBW frame — the relay validates its envelope kind but never decodes
+/// its body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deposit {
+    /// Recipient id, or [`BROADCAST`].
+    pub to: u32,
+    /// The carried frame, envelope and all.
+    pub frame: Bytes,
+}
+
+impl WireEncode for Deposit {
+    fn encoded_len(&self) -> usize {
+        4 + 4 + self.frame.len()
+    }
+    fn encode_into(&self, w: &mut Writer) {
+        w.u32(self.to);
+        w.u32(self.frame.len() as u32);
+        w.bytes(&self.frame);
+    }
+}
+
+impl WireDecode for Deposit {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let to = r.u32()?;
+        let len = r.u32()? as usize;
+        let frame = Bytes::copy_from_slice(r.take(len)?);
+        Ok(Deposit { to, frame })
+    }
+}
+
+impl Message for Deposit {
+    const KIND: FrameKind = FrameKind::RelayDeposit;
+}
+
+/// A poll of the caller's inbox: drain up to `max` pending bottles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fetch {
+    /// Maximum bottles to drain in this fetch (0 means "no limit").
+    pub max: u16,
+}
+
+impl WireEncode for Fetch {
+    fn encoded_len(&self) -> usize {
+        2
+    }
+    fn encode_into(&self, w: &mut Writer) {
+        w.u16(self.max);
+    }
+}
+
+impl WireDecode for Fetch {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Fetch { max: r.u16()? })
+    }
+}
+
+impl Message for Fetch {
+    const KIND: FrameKind = FrameKind::RelayFetch;
+}
+
+/// One delivered bottle: who deposited it, and the frame itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered {
+    /// The depositing client.
+    pub from: u32,
+    /// The carried frame, exactly as deposited.
+    pub frame: Bytes,
+}
+
+/// The bottles drained by a [`Fetch`], oldest first.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InboxBatch {
+    /// Drained bottles in deposit order.
+    pub messages: Vec<Delivered>,
+}
+
+impl WireEncode for InboxBatch {
+    fn encoded_len(&self) -> usize {
+        2 + self.messages.iter().map(|m| 4 + 4 + m.frame.len()).sum::<usize>()
+    }
+    fn encode_into(&self, w: &mut Writer) {
+        w.u16(self.messages.len() as u16);
+        for m in &self.messages {
+            w.u32(m.from);
+            w.u32(m.frame.len() as u32);
+            w.bytes(&m.frame);
+        }
+    }
+}
+
+impl WireDecode for InboxBatch {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let count = r.u16()? as usize;
+        let mut messages = Vec::with_capacity(count.min(256));
+        for _ in 0..count {
+            let from = r.u32()?;
+            let len = r.u32()? as usize;
+            let frame = Bytes::copy_from_slice(r.take(len)?);
+            messages.push(Delivered { from, frame });
+        }
+        Ok(InboxBatch { messages })
+    }
+}
+
+impl Message for InboxBatch {
+    const KIND: FrameKind = FrameKind::RelayInbox;
+}
+
+/// Per-request status codes carried by [`Ack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum AckCode {
+    /// Accepted.
+    Ok = 0,
+    /// Dropped by the per-sender rate guard (the paper's DoS defence).
+    RateLimited = 1,
+    /// Rejected by policy (bad recipient, bad inner frame, queue full).
+    Rejected = 2,
+    /// The connection has not identified itself with a [`Hello`].
+    NotRegistered = 3,
+}
+
+impl AckCode {
+    /// Parses a status byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(AckCode::Ok),
+            1 => Some(AckCode::RateLimited),
+            2 => Some(AckCode::Rejected),
+            3 => Some(AckCode::NotRegistered),
+            _ => None,
+        }
+    }
+}
+
+/// The relay's answer to a [`Hello`] or [`Deposit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// What happened.
+    pub code: AckCode,
+    /// Code-specific detail: for an accepted deposit, the number of
+    /// inbox copies queued (fan-out of a broadcast); otherwise 0.
+    pub info: u32,
+}
+
+impl Ack {
+    /// An accepting ack carrying `info`.
+    pub fn ok(info: u32) -> Self {
+        Ack { code: AckCode::Ok, info }
+    }
+
+    /// A rejecting ack with the given code.
+    pub fn err(code: AckCode) -> Self {
+        Ack { code, info: 0 }
+    }
+}
+
+impl WireEncode for Ack {
+    fn encoded_len(&self) -> usize {
+        1 + 4
+    }
+    fn encode_into(&self, w: &mut Writer) {
+        w.u8(self.code as u8);
+        w.u32(self.info);
+    }
+}
+
+impl WireDecode for Ack {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let start = r.offset();
+        let raw = r.u8()?;
+        let code = AckCode::from_u8(raw).ok_or_else(|| r.invalid(start, "ack status code"))?;
+        Ok(Ack { code, info: r.u32()? })
+    }
+}
+
+impl Message for Ack {
+    const KIND: FrameKind = FrameKind::RelayAck;
+}
+
+/// A health/stats query (empty body).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReq;
+
+impl WireEncode for StatsReq {
+    fn encoded_len(&self) -> usize {
+        0
+    }
+    fn encode_into(&self, _w: &mut Writer) {}
+}
+
+impl WireDecode for StatsReq {
+    fn decode_from(_r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(StatsReq)
+    }
+}
+
+impl Message for StatsReq {
+    const KIND: FrameKind = FrameKind::RelayStatsReq;
+}

@@ -1,0 +1,35 @@
+//! Background workers. One for now: the inbox cleanup thread, which
+//! purges expired bottles (and compacts the rate guard) every
+//! [`cleanup_interval_ms`](crate::ServerConfig::cleanup_interval_ms),
+//! keeping the message repo proportional to *live* traffic however
+//! long the server runs.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::gateway::Shared;
+
+/// Spawns the cleanup thread; it exits promptly (within ~10 ms) once
+/// the shared shutdown flag is set.
+pub(crate) fn spawn_cleanup(shared: Arc<Shared>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let interval = Duration::from_millis(shared.cleanup_interval_ms.max(1));
+        let slice = Duration::from_millis(10).min(interval);
+        let mut slept = Duration::ZERO;
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // Sleep in short slices so shutdown never waits a whole
+            // cleanup interval.
+            std::thread::sleep(slice);
+            slept += slice;
+            if slept >= interval {
+                slept = Duration::ZERO;
+                shared.services.purge_expired(shared.now_us());
+            }
+        }
+    })
+}

@@ -1,0 +1,189 @@
+//! Hostile-input hardening over real sockets: each of the three
+//! attack shapes named by the acceptance criteria — an oversized
+//! declared frame length, a mid-frame disconnect, and a per-sender
+//! flood — must be rejected (or shrugged off) without a panic or an
+//! unbounded allocation, and the server must keep serving well-behaved
+//! clients afterwards. A fourth test drives the TTL cleanup worker
+//! end-to-end.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use msb_server::{Ack, AckCode, RelayClient, RelayServer, ServerConfig, StatsSnapshot, BROADCAST};
+use msb_wire::{FrameKind, Message, FRAME_HEADER_LEN, MAGIC, VERSION};
+
+/// A minimal, valid, empty-payload MSBW frame of the given kind — the
+/// smallest thing the services layer will accept as a sealed bottle.
+fn bare_frame(kind: FrameKind) -> Vec<u8> {
+    let mut f = Vec::with_capacity(FRAME_HEADER_LEN);
+    f.extend_from_slice(&MAGIC);
+    f.push(VERSION);
+    f.push(kind as u8);
+    f.extend_from_slice(&0u32.to_be_bytes());
+    f
+}
+
+/// A frame header whose declared payload length is `declared` — the
+/// body never follows, because the point is that the server must
+/// reject it from the header alone.
+fn header_declaring(declared: u32) -> Vec<u8> {
+    let mut f = bare_frame(FrameKind::Request);
+    let len_at = FRAME_HEADER_LEN - 4;
+    f[len_at..].copy_from_slice(&declared.to_be_bytes());
+    f
+}
+
+/// The server must still be fully functional: a fresh client can
+/// register, deposit to itself via broadcast-partner, and fetch.
+fn assert_server_alive(server: &RelayServer, a: u32, b: u32) {
+    let mut alice = RelayClient::connect(server.addr()).expect("connect");
+    let mut bob = RelayClient::connect(server.addr()).expect("connect");
+    assert_eq!(alice.hello(a).expect("hello").code, AckCode::Ok);
+    assert_eq!(bob.hello(b).expect("hello").code, AckCode::Ok);
+    let ack = alice.deposit(b, bare_frame(FrameKind::Request)).expect("deposit");
+    assert_eq!(ack.code, AckCode::Ok);
+    let got = bob.fetch(0).expect("fetch");
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].from, a);
+}
+
+#[test]
+fn oversized_declared_length_is_rejected_from_the_header_alone() {
+    let mut server = RelayServer::spawn(ServerConfig::default()).expect("spawn");
+    let max = ServerConfig::default().max_frame_len;
+
+    let mut client = RelayClient::connect(server.addr()).expect("connect");
+    assert_eq!(client.hello(99).expect("hello").code, AckCode::Ok);
+
+    // Declare a ~4 GiB payload. The server must answer with a
+    // rejecting Ack from the ten header bytes — it never waits for
+    // (or allocates) the declared body.
+    client.send_raw(&header_declaring(u32::MAX - 16)).expect("send header");
+    let resp = client.read_response().expect("rejecting ack");
+    let ack = Ack::decode(&resp).expect("ack frame");
+    assert_eq!(ack.code, AckCode::Rejected);
+
+    // The offending connection is then closed: the next read hits EOF.
+    let err = client.read_response().expect_err("connection must be closed");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+
+    // ...the reject is visible on the stats endpoint, and the server
+    // keeps serving everyone else.
+    let stats: StatsSnapshot = server.stats();
+    assert_eq!(stats.rejected_oversize, 1);
+    assert!(stats.rejected_oversize + stats.rejected_rate + stats.rejected_malformed == 1);
+    assert!(max > FRAME_HEADER_LEN);
+    assert_server_alive(&server, 1, 2);
+    server.shutdown();
+}
+
+#[test]
+fn garbage_bytes_are_rejected_at_the_first_bad_byte() {
+    let mut server = RelayServer::spawn(ServerConfig::default()).expect("spawn");
+    let mut client = RelayClient::connect(server.addr()).expect("connect");
+
+    client.send_raw(b"GET / HTTP/1.1\r\n\r\n").expect("send garbage");
+    let resp = client.read_response().expect("rejecting ack");
+    assert_eq!(Ack::decode(&resp).expect("ack").code, AckCode::Rejected);
+
+    assert_eq!(server.stats().rejected_malformed, 1);
+    assert_server_alive(&server, 3, 4);
+    server.shutdown();
+}
+
+#[test]
+fn mid_frame_disconnect_leaves_the_server_healthy() {
+    let mut server = RelayServer::spawn(ServerConfig::default()).expect("spawn");
+
+    // Send a valid header declaring 64 bytes, deliver only 5 of them,
+    // then vanish.
+    {
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut partial = bare_frame(FrameKind::Request);
+        let len_at = FRAME_HEADER_LEN - 4;
+        partial[len_at..].copy_from_slice(&64u32.to_be_bytes());
+        partial.extend_from_slice(&[0xAB; 5]);
+        stream.write_all(&partial).expect("send partial frame");
+        stream.flush().expect("flush");
+        // Dropping the stream closes the socket mid-frame.
+    }
+
+    // Give the connection thread a moment to observe the EOF, then
+    // confirm: no reject counted (an EOF owes nobody anything), and
+    // the server still serves.
+    std::thread::sleep(Duration::from_millis(100));
+    let stats = server.stats();
+    assert_eq!(stats.rejected_oversize + stats.rejected_rate + stats.rejected_malformed, 0);
+    assert_eq!(stats.deposits_accepted, 0);
+    assert_server_alive(&server, 5, 6);
+    server.shutdown();
+}
+
+#[test]
+fn per_sender_flood_is_rate_limited_with_exact_accounting() {
+    // A tight guard so the test floods cheaply: 4 deposits per window.
+    let config = ServerConfig { guard_max_in_window: 4, ..ServerConfig::default() };
+    let mut server = RelayServer::spawn(config).expect("spawn");
+
+    let mut sender = RelayClient::connect(server.addr()).expect("connect");
+    let mut receiver = RelayClient::connect(server.addr()).expect("connect");
+    assert_eq!(sender.hello(10).expect("hello").code, AckCode::Ok);
+    assert_eq!(receiver.hello(11).expect("hello").code, AckCode::Ok);
+
+    let mut ok = 0u64;
+    let mut limited = 0u64;
+    for _ in 0..10 {
+        let ack = sender.deposit(11, bare_frame(FrameKind::Request)).expect("deposit");
+        match ack.code {
+            AckCode::Ok => ok += 1,
+            AckCode::RateLimited => limited += 1,
+            other => panic!("unexpected ack under flood: {other:?}"),
+        }
+    }
+    // Exact split: the first 4 pass, the remaining 6 are shed — and
+    // the shed deposits never reach the inbox.
+    assert_eq!((ok, limited), (4, 6));
+    let stats = server.stats();
+    assert_eq!(stats.rejected_rate, 6);
+    assert_eq!(stats.deposits_accepted, 4);
+    assert_eq!(stats.inbox_depth, 4);
+
+    // The victim of the flood still gets exactly the admitted copies.
+    assert_eq!(receiver.fetch(0).expect("fetch").len(), 4);
+
+    // A different sender is not penalised by the flooder's budget.
+    let mut other = RelayClient::connect(server.addr()).expect("connect");
+    assert_eq!(other.hello(12).expect("hello").code, AckCode::Ok);
+    let ack = other.deposit(BROADCAST, bare_frame(FrameKind::Request)).expect("deposit");
+    assert_eq!(ack.code, AckCode::Ok);
+    server.shutdown();
+}
+
+#[test]
+fn expired_bottles_are_purged_by_the_cleanup_worker() {
+    // Messages live 5 ms; the worker sweeps every few ms.
+    let config =
+        ServerConfig { inbox_ttl_us: 5_000, cleanup_interval_ms: 2, ..ServerConfig::default() };
+    let mut server = RelayServer::spawn(config).expect("spawn");
+
+    let mut sender = RelayClient::connect(server.addr()).expect("connect");
+    let mut receiver = RelayClient::connect(server.addr()).expect("connect");
+    assert_eq!(sender.hello(20).expect("hello").code, AckCode::Ok);
+    assert_eq!(receiver.hello(21).expect("hello").code, AckCode::Ok);
+
+    assert_eq!(
+        sender.deposit(21, bare_frame(FrameKind::Request)).expect("deposit").code,
+        AckCode::Ok
+    );
+    assert_eq!(server.stats().inbox_depth, 1);
+
+    // Outlive the TTL by a wide margin, then confirm the worker (not a
+    // fetch) removed the bottle.
+    std::thread::sleep(Duration::from_millis(100));
+    let stats = server.stats();
+    assert_eq!(stats.inbox_depth, 0, "cleanup worker purged the expired bottle");
+    assert_eq!(stats.inbox_expired, 1);
+    assert_eq!(receiver.fetch(0).expect("fetch").len(), 0);
+    server.shutdown();
+}

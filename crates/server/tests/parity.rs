@@ -1,0 +1,257 @@
+//! The oracle-parity contract: a seeded `FriendingApp` scenario driven
+//! through the relay server over real loopback TCP must produce the
+//! same outcomes — the full `SwarmSummary`, the confirmed responder
+//! set, and the payload byte count — as the same scenario inside the
+//! simulator's `EncodedFrames` mode.
+//!
+//! The two runs share everything that matters: the apps are built
+//! identically, the per-node RNG streams are the same derivation
+//! (`AppHarness` reuses the simulator's), and the driver below replays
+//! the simulator's timing model (uniform latency `L`, ties processed
+//! in ascending node id order — the simulator's `(src, emit)` event
+//! ordering for this topology). What differs is the transport: every
+//! transmission becomes a real `Deposit` over a socket and every
+//! delivery a real `Fetch`, so any server-side reordering, loss,
+//! corruption, or double-delivery breaks the equality.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use msb_core::app::{FriendingApp, SwarmSummary};
+use msb_core::protocol::{ProtocolConfig, ProtocolKind};
+use msb_net::harness::{AppAction, AppHarness};
+use msb_net::sim::{DeliveryMode, NodeId, SimConfig, Simulator};
+use msb_net::Payload;
+use msb_profile::{Attribute, Profile, RequestProfile};
+use msb_server::{RelayClient, RelayServer, ServerConfig, BROADCAST};
+
+const SEED: u64 = 20130708;
+/// Uniform per-transmission latency (the parity config zeroes the
+/// distance term and jitter, so every hop costs exactly this).
+const L: u64 = 500;
+const NODES: usize = 5;
+
+fn interest(name: &str) -> Attribute {
+    Attribute::new("interest", name)
+}
+
+/// The scenario: one initiator (node 0) looking for salsa plus two of
+/// {jazz, sushi, poetry}; nodes 1 and 2 match, node 3 passes only the
+/// fast check, node 4 isn't even a candidate. All five sit in one
+/// radio clique.
+fn build_apps() -> Vec<FriendingApp> {
+    let config = ProtocolConfig::new(ProtocolKind::P2, 11);
+    let request = RequestProfile::new(
+        vec![interest("salsa")],
+        vec![interest("jazz"), interest("sushi"), interest("poetry")],
+        2,
+    )
+    .expect("static request profile");
+    let initiator_profile = Profile::from_attributes(vec![interest("salsa"), interest("jazz")]);
+    vec![
+        FriendingApp::initiator(initiator_profile, request, config.clone()),
+        FriendingApp::participant(
+            Profile::from_attributes(vec![interest("salsa"), interest("jazz"), interest("poetry")]),
+            config.clone(),
+        ),
+        FriendingApp::participant(
+            Profile::from_attributes(vec![interest("salsa"), interest("jazz"), interest("sushi")]),
+            config.clone(),
+        ),
+        FriendingApp::participant(
+            Profile::from_attributes(vec![interest("salsa"), interest("chess")]),
+            config.clone(),
+        ),
+        FriendingApp::participant(
+            Profile::from_attributes(vec![interest("chess"), interest("go")]),
+            config,
+        ),
+    ]
+}
+
+fn position(i: usize) -> (f64, f64) {
+    (i as f64 * 10.0, 0.0) // 40 m end to end: everyone hears everyone
+}
+
+/// The simulator half: the oracle.
+fn run_simulator() -> (SwarmSummary, u64, Vec<u32>) {
+    let config = SimConfig {
+        per_meter_latency_us: 0.0,
+        jitter_us: 0,
+        delivery: DeliveryMode::EncodedFrames,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(config, SEED);
+    for (i, app) in build_apps().into_iter().enumerate() {
+        sim.add_node(position(i), app);
+    }
+    sim.start();
+    sim.run();
+    let summary = SwarmSummary::collect(&sim);
+    let mut matched: Vec<u32> =
+        sim.app(NodeId::new(0)).matches().iter().map(|m| m.responder).collect();
+    matched.sort_unstable();
+    (summary, sim.metrics().payload_bytes, matched)
+}
+
+/// The server half: the same apps behind `AppHarness`, every
+/// transmission a deposit, every delivery a fetch, over loopback TCP.
+fn run_server() -> (SwarmSummary, u64, Vec<u32>) {
+    let mut server = RelayServer::spawn(ServerConfig::default()).expect("bind loopback");
+    let mut clients: Vec<RelayClient> = (0..NODES)
+        .map(|i| {
+            let mut c = RelayClient::connect(server.addr()).expect("connect");
+            assert_eq!(c.hello(i as u32).expect("hello").code, msb_server::AckCode::Ok);
+            c
+        })
+        .collect();
+    let mut harnesses: Vec<AppHarness<FriendingApp>> = build_apps()
+        .into_iter()
+        .enumerate()
+        .map(|(i, app)| {
+            let mut h =
+                AppHarness::new(NodeId::new(i as u32), app, SEED, DeliveryMode::EncodedFrames);
+            h.set_position(position(i));
+            h
+        })
+        .collect();
+
+    // Virtual arrivals: (at_us, seq, recipient). seq preserves dispatch
+    // order, which the uniform latency turns into arrival order — the
+    // simulator's (src, emit) tie-break for this topology.
+    let mut arrivals: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut sent_bytes = 0u64;
+
+    // One closure-free dispatch helper: route one node's actions at
+    // time `t` through the server and schedule their arrivals.
+    fn dispatch(
+        node: usize,
+        t: u64,
+        actions: Vec<AppAction>,
+        clients: &mut [RelayClient],
+        arrivals: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+        seq: &mut u64,
+        sent_bytes: &mut u64,
+    ) {
+        for action in actions {
+            match action {
+                AppAction::Broadcast(payload) => {
+                    let bytes = payload.as_bytes().expect("EncodedFrames payload").to_vec();
+                    *sent_bytes += bytes.len() as u64;
+                    let ack = clients[node].deposit(BROADCAST, bytes).expect("deposit");
+                    assert_eq!(ack.code, msb_server::AckCode::Ok);
+                    assert_eq!(ack.info as usize, NODES - 1, "broadcast fan-out");
+                    for r in 0..NODES {
+                        if r != node {
+                            arrivals.push(Reverse((t + L, *seq, r)));
+                            *seq += 1;
+                        }
+                    }
+                }
+                AppAction::Unicast { to, payload } => {
+                    let bytes = payload.as_bytes().expect("EncodedFrames payload").to_vec();
+                    *sent_bytes += bytes.len() as u64;
+                    let ack = clients[node].deposit(to.index() as u32, bytes).expect("deposit");
+                    assert_eq!(ack.code, msb_server::AckCode::Ok);
+                    arrivals.push(Reverse((t + L, *seq, to.index())));
+                    *seq += 1;
+                }
+                AppAction::BroadcastK { .. } => {
+                    panic!("scenario has no re-flood policy; BroadcastK is unexpected")
+                }
+            }
+        }
+    }
+
+    // t = 0: every node starts, in id order (the simulator's order).
+    for (i, h) in harnesses.iter_mut().enumerate() {
+        let actions = h.start(0);
+        dispatch(i, 0, actions, &mut clients, &mut arrivals, &mut seq, &mut sent_bytes);
+    }
+
+    // The event loop: earliest of (next arrival, next timer); ties
+    // between node timers break toward the smaller id. The scenario's
+    // constants (L = 500, per-key cost 7 ms) make arrival/timer ties
+    // impossible, mirroring the simulator run exactly.
+    loop {
+        let next_arrival = arrivals.peek().map(|Reverse((at, s, r))| (*at, *s, *r));
+        let next_timer =
+            (0..NODES).filter_map(|i| harnesses[i].next_timer_at().map(|at| (at, i))).min();
+        match (next_arrival, next_timer) {
+            (None, None) => break,
+            (arrival, timer) => {
+                let take_arrival = match (arrival, timer) {
+                    (Some((aa, _, _)), Some((ta, _))) => {
+                        assert_ne!(aa, ta, "scenario constants must avoid arrival/timer ties");
+                        aa < ta
+                    }
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
+                if take_arrival {
+                    let Reverse((at, _, to)) = arrivals.pop().expect("peeked");
+                    let fetched = clients[to].fetch(1).expect("fetch");
+                    assert_eq!(fetched.len(), 1, "one bottle per scheduled arrival");
+                    let msg = &fetched[0];
+                    let payload = Payload::frame(msg.frame.clone());
+                    let actions = harnesses[to].deliver(NodeId::new(msg.from), &payload, at);
+                    dispatch(
+                        to,
+                        at,
+                        actions,
+                        &mut clients,
+                        &mut arrivals,
+                        &mut seq,
+                        &mut sent_bytes,
+                    );
+                } else {
+                    let (at, node) = next_timer.expect("chose timer");
+                    let actions = harnesses[node].fire_timers_until(at);
+                    dispatch(
+                        node,
+                        at,
+                        actions,
+                        &mut clients,
+                        &mut arrivals,
+                        &mut seq,
+                        &mut sent_bytes,
+                    );
+                }
+            }
+        }
+    }
+
+    let summary = SwarmSummary::from_event_logs(harnesses.iter().map(|h| h.app()));
+    let mut matched: Vec<u32> = harnesses[0].app().matches().iter().map(|m| m.responder).collect();
+    matched.sort_unstable();
+
+    // The server's own books must balance: every deposited copy was
+    // fetched exactly once (seq counts scheduled arrivals == delivered
+    // copies), nothing was rejected, nothing was left behind.
+    let stats = server.stats();
+    assert_eq!(stats.inbox_depth, 0, "every bottle was fetched");
+    assert_eq!(stats.messages_delivered, seq, "one delivery per scheduled arrival");
+    assert_eq!(stats.rejected_rate + stats.rejected_oversize + stats.rejected_malformed, 0);
+    assert_eq!(stats.registered_clients, NODES as u64);
+
+    server.shutdown();
+    (summary, sent_bytes, matched)
+}
+
+#[test]
+fn loopback_run_matches_simulator_oracle() {
+    let (sim_summary, sim_bytes, sim_matches) = run_simulator();
+
+    // Sanity: the scenario actually exercises the protocol.
+    assert_eq!(sim_summary.matches, 2, "nodes 1 and 2 must match");
+    assert!(sim_summary.relays >= 1);
+    assert!(sim_bytes > 0);
+
+    let (srv_summary, srv_bytes, srv_matches) = run_server();
+
+    // The contract: identical outcomes, including per-match latencies.
+    assert_eq!(srv_summary, sim_summary, "SwarmSummary must be bit-identical");
+    assert_eq!(srv_matches, sim_matches, "same responders confirmed");
+    assert_eq!(srv_bytes, sim_bytes, "payload byte counts must agree");
+}

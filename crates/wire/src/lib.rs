@@ -40,6 +40,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod stream;
+
 use bytes::Bytes;
 
 /// The frame magic: "MSBW" (Message-in-a-Sealed-Bottle Wire).
@@ -65,6 +67,20 @@ pub enum FrameKind {
     WeiboUser = 0x10,
     /// A whole persisted Weibo dataset (config + users).
     WeiboDataset = 0x11,
+    /// Relay service: a client identifying itself (`msb-server`).
+    RelayHello = 0x20,
+    /// Relay service: a sealed bottle deposited for a recipient's inbox.
+    RelayDeposit = 0x21,
+    /// Relay service: a poll of the caller's store-and-forward inbox.
+    RelayFetch = 0x22,
+    /// Relay service: the pending messages drained by a fetch.
+    RelayInbox = 0x23,
+    /// Relay service: the per-request accept/reject status.
+    RelayAck = 0x24,
+    /// Relay service: a health/stats query.
+    RelayStatsReq = 0x25,
+    /// Relay service: the health/stats snapshot.
+    RelayStats = 0x26,
 }
 
 impl FrameKind {
@@ -75,6 +91,13 @@ impl FrameKind {
             0x02 => Some(FrameKind::Reply),
             0x10 => Some(FrameKind::WeiboUser),
             0x11 => Some(FrameKind::WeiboDataset),
+            0x20 => Some(FrameKind::RelayHello),
+            0x21 => Some(FrameKind::RelayDeposit),
+            0x22 => Some(FrameKind::RelayFetch),
+            0x23 => Some(FrameKind::RelayInbox),
+            0x24 => Some(FrameKind::RelayAck),
+            0x25 => Some(FrameKind::RelayStatsReq),
+            0x26 => Some(FrameKind::RelayStats),
             _ => None,
         }
     }
@@ -117,6 +140,16 @@ pub enum DecodeError {
         /// What was wrong with it.
         what: &'static str,
     },
+    /// The envelope declared a payload longer than the receiver's
+    /// configured bound ([`stream::FrameStream`]'s `max_frame_len`).
+    /// Raised from the header alone, *before* any payload is buffered —
+    /// a hostile length costs the receiver nothing.
+    FrameTooLarge {
+        /// The total frame size the header declared (envelope + payload).
+        declared: usize,
+        /// The receiver's configured maximum frame size.
+        max: usize,
+    },
 }
 
 impl DecodeError {
@@ -151,11 +184,43 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Invalid { offset, what } => {
                 write!(f, "invalid field at offset {offset}: {what}")
             }
+            DecodeError::FrameTooLarge { declared, max } => {
+                write!(f, "declared frame length {declared} exceeds the {max}-byte bound")
+            }
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// Errors encoding wire data.
+///
+/// The encoders themselves are infallible for every message a protocol
+/// state machine can construct (lengths are statically bounded well
+/// below the envelope's `u32` payload field); only a *composed* message
+/// — e.g. a server batching arbitrary client data — can outgrow the
+/// envelope, and [`Message::try_encode`] reports that instead of
+/// aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The message body does not fit the envelope's u32 length field.
+    BodyTooLarge {
+        /// The body length that overflowed the field.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::BodyTooLarge { len } => {
+                write!(f, "message body of {len} bytes exceeds the u32 envelope length field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
 
 /// A borrowing, offset-tracking read cursor. Never copies the input.
 #[derive(Debug)]
@@ -386,16 +451,39 @@ pub trait Message: WireEncode + WireDecode {
     }
 
     /// Encodes the full frame: envelope followed by the body.
+    ///
+    /// The infallible path for statically-bounded protocol messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body exceeds `u32::MAX` bytes — impossible for the
+    /// protocol message types, whose field lengths are bounded far
+    /// below it. Services composing messages from untrusted or unbounded
+    /// data must use [`Message::try_encode`] instead.
     fn encode(&self) -> Vec<u8> {
+        self.try_encode().expect("message body exceeds u32::MAX bytes")
+    }
+
+    /// Encodes the full frame, reporting an oversized body instead of
+    /// panicking — the server-side path, where a composed message must
+    /// never be able to abort the process.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::BodyTooLarge`] when the body does not fit the
+    /// envelope's u32 payload-length field.
+    fn try_encode(&self) -> Result<Vec<u8>, EncodeError> {
         let body_len = self.encoded_len();
+        let declared =
+            u32::try_from(body_len).map_err(|_| EncodeError::BodyTooLarge { len: body_len })?;
         let mut w = Writer::with_capacity(FRAME_HEADER_LEN + body_len);
         w.bytes(&MAGIC);
         w.u8(VERSION);
         w.u8(Self::KIND as u8);
-        w.u32(u32::try_from(body_len).expect("message body exceeds u32::MAX bytes"));
+        w.u32(declared);
         self.encode_into(&mut w);
         debug_assert_eq!(w.len(), FRAME_HEADER_LEN + body_len, "encoded_len out of sync");
-        w.into_vec()
+        Ok(w.into_vec())
     }
 
     /// Decodes a full frame of this kind, strictly.
@@ -614,6 +702,38 @@ mod tests {
         let bytes = w.into_vec();
         let expect = FRAME_HEADER_LEN + p.encoded_len();
         assert_eq!(Ping::decode(&bytes), Err(DecodeError::Trailing { offset: expect }));
+    }
+
+    #[test]
+    fn try_encode_matches_encode_and_reports_oversize() {
+        let p = ping();
+        assert_eq!(p.try_encode().unwrap(), p.encode());
+
+        // A message whose body cannot fit the u32 length field: lie in
+        // encoded_len. try_encode must fail before encode_into runs.
+        struct Bloated;
+        impl WireEncode for Bloated {
+            fn encoded_len(&self) -> usize {
+                u32::MAX as usize + 1
+            }
+            fn encode_into(&self, _w: &mut Writer) {
+                unreachable!("oversize must be rejected before the body is written");
+            }
+        }
+        impl WireDecode for Bloated {
+            fn decode_from(_r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                unreachable!()
+            }
+        }
+        impl Message for Bloated {
+            const KIND: FrameKind = FrameKind::Request;
+        }
+        assert_eq!(
+            Bloated.try_encode(),
+            Err(EncodeError::BodyTooLarge { len: u32::MAX as usize + 1 })
+        );
+        let msg = EncodeError::BodyTooLarge { len: 5 }.to_string();
+        assert!(msg.contains("5 bytes"), "unhelpful message: {msg}");
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Incremental reframing of an MSBW byte stream.
+//!
+//! TCP delivers bytes, not frames: a single `read` can return half a
+//! frame, three frames, or a frame boundary split anywhere — including
+//! mid-magic. [`FrameStream`] turns that arbitrary chunking back into
+//! the strict frames the rest of the crate decodes, while holding two
+//! guarantees a network-facing receiver needs:
+//!
+//! 1. **Bounded allocation.** The buffer only ever holds bytes that
+//!    were actually received, and a frame whose header declares a
+//!    total length above the configured `max_frame_len` is rejected
+//!    with [`DecodeError::FrameTooLarge`] the moment the 10-byte
+//!    header is complete — *before* any payload is buffered. A hostile
+//!    peer cannot make the receiver reserve memory by declaring a
+//!    length.
+//! 2. **Eager envelope validation.** Magic, version, and kind are
+//!    checked as soon as their bytes arrive (a wrong magic byte is
+//!    detected from the very first byte), so garbage on the wire is
+//!    caught immediately rather than after `max_frame_len` bytes of
+//!    buffering.
+//!
+//! Every error is **connection-fatal**: once `push` or `next_frame`
+//! returns `Err`, the stream position is no longer trustworthy
+//! (resynchronizing inside a binary stream would let an attacker craft
+//! frame-in-frame payloads). Drop the stream — and the connection —
+//! and let the peer reconnect. The byte-level contract is specified in
+//! `docs/WIRE.md` §9.
+//!
+//! ```
+//! use msb_wire::stream::FrameStream;
+//!
+//! // A 10-byte header declaring a 2-byte payload, split awkwardly.
+//! let frame = [b'M', b'S', b'B', b'W', 1, 0x01, 0, 0, 0, 2, 0xAA, 0xBB];
+//! let mut s = FrameStream::new(1024);
+//! s.push(&frame[..7]).unwrap();
+//! assert!(s.next_frame().unwrap().is_none()); // header incomplete
+//! s.push(&frame[7..]).unwrap();
+//! let out = s.next_frame().unwrap().unwrap();
+//! assert_eq!(&out[..], &frame[..]);
+//! ```
+
+use bytes::Bytes;
+
+use crate::{DecodeError, FrameKind, FRAME_HEADER_LEN, MAGIC, VERSION};
+
+/// Reassembles strict MSBW frames from arbitrarily-chunked stream
+/// input. See the [module docs](self) for the allocation and
+/// error-handling contract.
+#[derive(Debug)]
+pub struct FrameStream {
+    /// Received-but-unconsumed bytes. `buf[start..]` is live; the
+    /// consumed prefix is compacted away on the next `push`.
+    buf: Vec<u8>,
+    start: usize,
+    max_frame_len: usize,
+}
+
+impl FrameStream {
+    /// Creates a reframer that rejects any frame whose *total* size
+    /// (envelope plus payload) exceeds `max_frame_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_frame_len < FRAME_HEADER_LEN` — such a bound
+    /// would reject every frame, including empty-payload ones, which
+    /// is never an intentional configuration.
+    pub fn new(max_frame_len: usize) -> Self {
+        assert!(
+            max_frame_len >= FRAME_HEADER_LEN,
+            "max_frame_len {max_frame_len} cannot hold even an empty frame ({FRAME_HEADER_LEN} bytes)"
+        );
+        FrameStream { buf: Vec::new(), start: 0, max_frame_len }
+    }
+
+    /// The configured total-frame-size bound.
+    pub fn max_frame_len(&self) -> usize {
+        self.max_frame_len
+    }
+
+    /// Bytes received but not yet returned as a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Appends a chunk read from the stream and validates as much of
+    /// the pending frame's envelope as has arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadMagic`], [`DecodeError::UnsupportedVersion`]
+    /// or [`DecodeError::UnknownKind`] when the pending envelope bytes
+    /// are invalid, and [`DecodeError::FrameTooLarge`] when a complete
+    /// header declares a frame above the bound. All errors are
+    /// connection-fatal; discard the stream.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<(), DecodeError> {
+        // Compact the consumed prefix before growing, so the buffer's
+        // high-water mark tracks max_frame_len + one read, not the
+        // total bytes ever received.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+        self.check_pending_envelope()
+    }
+
+    /// Extracts the next complete frame, if one is buffered.
+    ///
+    /// The returned [`Bytes`] is the full frame — envelope and payload
+    /// — ready for [`Frame::parse`](crate::Frame::parse) or a typed
+    /// [`Message::decode`](crate::Message::decode). `Ok(None)` means
+    /// more input is needed.
+    ///
+    /// # Errors
+    ///
+    /// The same envelope errors as [`push`](Self::push) — re-checked
+    /// here so that after popping one frame, a hostile header already
+    /// sitting behind it is rejected without waiting for more input.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, DecodeError> {
+        self.check_pending_envelope()?;
+        let avail = &self.buf[self.start..];
+        if avail.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let payload_len = u32::from_be_bytes([avail[6], avail[7], avail[8], avail[9]]) as usize;
+        let total = FRAME_HEADER_LEN + payload_len;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let frame = Bytes::copy_from_slice(&avail[..total]);
+        self.start += total;
+        Ok(Some(frame))
+    }
+
+    /// Validates whatever prefix of the pending frame's envelope has
+    /// arrived: magic byte-by-byte, then version, kind, and finally
+    /// the declared length against `max_frame_len`.
+    fn check_pending_envelope(&self) -> Result<(), DecodeError> {
+        let avail = &self.buf[self.start..];
+        let magic_have = avail.len().min(MAGIC.len());
+        if avail[..magic_have] != MAGIC[..magic_have] {
+            return Err(DecodeError::BadMagic);
+        }
+        if avail.len() >= 5 && avail[4] != VERSION {
+            return Err(DecodeError::UnsupportedVersion(avail[4]));
+        }
+        if avail.len() >= 6 && FrameKind::from_u8(avail[5]).is_none() {
+            return Err(DecodeError::UnknownKind(avail[5]));
+        }
+        if avail.len() >= FRAME_HEADER_LEN {
+            let payload_len = u32::from_be_bytes([avail[6], avail[7], avail[8], avail[9]]) as usize;
+            let declared = FRAME_HEADER_LEN + payload_len;
+            if declared > self.max_frame_len {
+                return Err(DecodeError::FrameTooLarge { declared, max: self.max_frame_len });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+        let mut v = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        v.extend_from_slice(&MAGIC);
+        v.push(VERSION);
+        v.push(kind);
+        v.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        v.extend_from_slice(payload);
+        v
+    }
+
+    #[test]
+    fn whole_frame_roundtrips() {
+        let f = frame(0x01, b"hello");
+        let mut s = FrameStream::new(1024);
+        s.push(&f).unwrap();
+        assert_eq!(&s.next_frame().unwrap().unwrap()[..], &f[..]);
+        assert_eq!(s.next_frame().unwrap(), None);
+        assert_eq!(s.buffered(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_and_coalesced() {
+        let frames = [frame(0x01, b"a"), frame(0x02, b""), frame(0x10, &[7; 300])];
+        let stream: Vec<u8> = frames.concat();
+
+        // One byte per push.
+        let mut s = FrameStream::new(1024);
+        let mut out = Vec::new();
+        for &b in &stream {
+            s.push(&[b]).unwrap();
+            while let Some(f) = s.next_frame().unwrap() {
+                out.push(f.to_vec());
+            }
+        }
+        assert_eq!(out, frames.to_vec());
+
+        // All frames in one push.
+        let mut s = FrameStream::new(1024);
+        s.push(&stream).unwrap();
+        let mut out = Vec::new();
+        while let Some(f) = s.next_frame().unwrap() {
+            out.push(f.to_vec());
+        }
+        assert_eq!(out, frames.to_vec());
+        assert_eq!(s.buffered(), 0);
+    }
+
+    #[test]
+    fn hostile_declared_length_rejected_before_buffering() {
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&MAGIC);
+        hdr.push(VERSION);
+        hdr.push(0x01);
+        hdr.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut s = FrameStream::new(4096);
+        assert_eq!(
+            s.push(&hdr),
+            Err(DecodeError::FrameTooLarge {
+                declared: FRAME_HEADER_LEN + u32::MAX as usize,
+                max: 4096,
+            })
+        );
+        // Only the 10 header bytes were ever buffered — the declared
+        // length reserved nothing.
+        assert!(s.buf.capacity() < 4096, "capacity {} not bounded", s.buf.capacity());
+    }
+
+    #[test]
+    fn hostile_length_behind_a_valid_frame() {
+        let good = frame(0x01, b"ok");
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&MAGIC);
+        bad.push(VERSION);
+        bad.push(0x01);
+        bad.extend_from_slice(&0x0001_0000u32.to_be_bytes());
+        let mut s = FrameStream::new(64);
+        // push sees only the good frame's header first — fine — but
+        // after popping it, the hostile header is pending.
+        let mut both = good.clone();
+        both.extend_from_slice(&bad);
+        s.push(&both).unwrap();
+        assert_eq!(&s.next_frame().unwrap().unwrap()[..], &good[..]);
+        assert_eq!(
+            s.next_frame(),
+            Err(DecodeError::FrameTooLarge { declared: FRAME_HEADER_LEN + 0x0001_0000, max: 64 })
+        );
+    }
+
+    #[test]
+    fn garbage_magic_detected_from_first_byte() {
+        let mut s = FrameStream::new(1024);
+        assert_eq!(s.push(b"X"), Err(DecodeError::BadMagic));
+
+        let mut s = FrameStream::new(1024);
+        s.push(b"MS").unwrap(); // valid prefix so far
+        assert_eq!(s.push(b"BX"), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_and_kind_detected_eagerly() {
+        let mut s = FrameStream::new(1024);
+        s.push(&MAGIC).unwrap();
+        assert_eq!(s.push(&[9]), Err(DecodeError::UnsupportedVersion(9)));
+
+        let mut s = FrameStream::new(1024);
+        s.push(&MAGIC).unwrap();
+        s.push(&[VERSION]).unwrap();
+        assert_eq!(s.push(&[0xEE]), Err(DecodeError::UnknownKind(0xEE)));
+    }
+
+    #[test]
+    fn exact_bound_is_accepted() {
+        let f = frame(0x01, &[1; 22]); // total = 32
+        let mut s = FrameStream::new(32);
+        s.push(&f).unwrap();
+        assert_eq!(&s.next_frame().unwrap().unwrap()[..], &f[..]);
+
+        let f = frame(0x01, &[1; 23]); // total = 33
+        let mut s = FrameStream::new(32);
+        assert_eq!(s.push(&f), Err(DecodeError::FrameTooLarge { declared: 33, max: 32 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold even an empty frame")]
+    fn bound_below_header_len_panics() {
+        let _ = FrameStream::new(FRAME_HEADER_LEN - 1);
+    }
+
+    #[test]
+    fn consumed_prefix_is_compacted() {
+        let f = frame(0x01, &[0; 100]);
+        let mut s = FrameStream::new(256);
+        for _ in 0..50 {
+            s.push(&f).unwrap();
+            assert!(s.next_frame().unwrap().is_some());
+        }
+        // 50 frames of 110 bytes passed through; the buffer never held
+        // more than ~one frame at a time.
+        assert!(s.buf.capacity() < 4 * f.len(), "capacity {} grew unboundedly", s.buf.capacity());
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests for the stream reframer ([`msb_wire::stream`]):
+//! however a frame sequence is cut into TCP-ish chunks — at every byte
+//! boundary, coalesced, or anywhere in between — the reframer must
+//! yield exactly the original frames; and however hostile the input,
+//! it must fail fast with a bounded buffer.
+
+use bytes::Bytes;
+use msb_wire::stream::FrameStream;
+use msb_wire::{DecodeError, FrameKind, FRAME_HEADER_LEN, MAGIC, VERSION};
+use proptest::prelude::*;
+
+const KINDS: [FrameKind; 11] = [
+    FrameKind::Request,
+    FrameKind::Reply,
+    FrameKind::WeiboUser,
+    FrameKind::WeiboDataset,
+    FrameKind::RelayHello,
+    FrameKind::RelayDeposit,
+    FrameKind::RelayFetch,
+    FrameKind::RelayInbox,
+    FrameKind::RelayAck,
+    FrameKind::RelayStatsReq,
+    FrameKind::RelayStats,
+];
+
+const MAX: usize = 4096;
+
+fn frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    f.extend_from_slice(&MAGIC);
+    f.push(VERSION);
+    f.push(kind as u8);
+    f.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+/// Pairs each payload with a kind draw: (frames as independent byte
+/// vectors, their concatenation).
+fn build(payloads: &[Vec<u8>], kinds: &[prop::sample::Index]) -> (Vec<Vec<u8>>, Vec<u8>) {
+    let encoded: Vec<Vec<u8>> = payloads
+        .iter()
+        .zip(kinds.iter().cycle())
+        .map(|(payload, kind)| frame(KINDS[kind.index(KINDS.len())], payload))
+        .collect();
+    let wire: Vec<u8> = encoded.iter().flatten().copied().collect();
+    (encoded, wire)
+}
+
+fn drain(stream: &mut FrameStream) -> Vec<Bytes> {
+    let mut out = Vec::new();
+    while let Some(f) = stream.next_frame().expect("well-formed input") {
+        out.push(f);
+    }
+    out
+}
+
+proptest! {
+    /// Cut the byte stream at arbitrary positions: the reframed
+    /// sequence equals the original regardless of chunking.
+    #[test]
+    fn arbitrary_cuts_reassemble_exactly(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..6),
+        kinds in proptest::collection::vec(any::<prop::sample::Index>(), 1..2),
+        cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        let (encoded, wire) = build(&payloads, &kinds);
+        let mut cut_points: Vec<usize> = cuts.iter().map(|c| c.index(wire.len())).collect();
+        cut_points.sort_unstable();
+        cut_points.dedup();
+
+        let mut stream = FrameStream::new(MAX);
+        let mut got = Vec::new();
+        let mut prev = 0;
+        for &cut in &cut_points {
+            stream.push(&wire[prev..cut]).expect("valid prefix");
+            got.extend(drain(&mut stream));
+            prev = cut;
+        }
+        stream.push(&wire[prev..]).expect("valid tail");
+        got.extend(drain(&mut stream));
+
+        prop_assert_eq!(got.len(), encoded.len());
+        for (g, e) in got.iter().zip(&encoded) {
+            prop_assert_eq!(g.as_ref(), e.as_slice());
+        }
+        prop_assert_eq!(stream.buffered(), 0);
+    }
+
+    /// The worst chunking of all — one byte at a time — exercises
+    /// every split boundary in every frame.
+    #[test]
+    fn byte_at_a_time_reassembles_exactly(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..60), 1..4),
+        kinds in proptest::collection::vec(any::<prop::sample::Index>(), 2..3),
+    ) {
+        let (encoded, wire) = build(&payloads, &kinds);
+        let mut stream = FrameStream::new(MAX);
+        let mut got = Vec::new();
+        for byte in &wire {
+            stream.push(std::slice::from_ref(byte)).expect("valid byte");
+            got.extend(drain(&mut stream));
+        }
+        prop_assert_eq!(got.len(), encoded.len());
+        for (g, e) in got.iter().zip(&encoded) {
+            prop_assert_eq!(g.as_ref(), e.as_slice());
+        }
+    }
+
+    /// Everything in one push coalesces to the same result.
+    #[test]
+    fn coalesced_push_reassembles_exactly(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..6),
+        kinds in proptest::collection::vec(any::<prop::sample::Index>(), 3..4),
+    ) {
+        let (encoded, wire) = build(&payloads, &kinds);
+        let mut stream = FrameStream::new(MAX);
+        stream.push(&wire).expect("valid stream");
+        let got = drain(&mut stream);
+        prop_assert_eq!(got.len(), encoded.len());
+        for (g, e) in got.iter().zip(&encoded) {
+            prop_assert_eq!(g.as_ref(), e.as_slice());
+        }
+    }
+
+    /// A stream that stops mid-frame yields every complete frame and
+    /// holds exactly the residual bytes — no error, no invention.
+    #[test]
+    fn truncated_tail_retains_partial_frame(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..100), 1..5),
+        kinds in proptest::collection::vec(any::<prop::sample::Index>(), 1..2),
+        keep in any::<prop::sample::Index>(),
+    ) {
+        let (encoded, wire) = build(&payloads, &kinds);
+        let last_len = encoded.last().expect("at least one frame").len();
+        let body = wire.len() - last_len;
+        // Keep a strict prefix of the final frame.
+        let cut = body + keep.index(last_len);
+
+        let mut stream = FrameStream::new(MAX);
+        stream.push(&wire[..cut]).expect("valid prefix");
+        let got = drain(&mut stream);
+        prop_assert_eq!(got.len(), encoded.len() - 1);
+        prop_assert_eq!(stream.buffered(), cut - body);
+    }
+
+    /// Garbage that deviates from the envelope is rejected at the
+    /// first bad byte — pushing a frame's worth of noise never
+    /// silently buffers.
+    #[test]
+    fn garbage_prefix_is_rejected_eagerly(
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // Force the first byte off the magic so the input is
+        // unambiguously garbage.
+        let mut garbage = garbage;
+        if garbage[0] == MAGIC[0] {
+            garbage[0] ^= 0xFF;
+        }
+        let mut stream = FrameStream::new(MAX);
+        let err = stream.push(&garbage).expect_err("garbage must be rejected");
+        prop_assert!(matches!(err, DecodeError::BadMagic | DecodeError::Invalid { .. }));
+    }
+
+    /// A hostile declared length is rejected from the ten header bytes
+    /// alone, and the buffer never grows toward the declared size.
+    #[test]
+    fn hostile_declared_length_never_allocates(
+        declared in (MAX as u32 + 1)..u32::MAX,
+        kind in any::<prop::sample::Index>(),
+    ) {
+        let mut header = frame(KINDS[kind.index(KINDS.len())], &[]);
+        let len_at = FRAME_HEADER_LEN - 4;
+        header[len_at..FRAME_HEADER_LEN].copy_from_slice(&declared.to_be_bytes());
+
+        let mut stream = FrameStream::new(MAX);
+        let err = stream.push(&header[..FRAME_HEADER_LEN]).expect_err("must reject from header");
+        prop_assert!(matches!(
+            err,
+            DecodeError::FrameTooLarge { declared: d, max }
+                if d == declared as usize + FRAME_HEADER_LEN && max == MAX
+        ));
+        // The buffer holds at most the bytes we pushed — nothing was
+        // pre-reserved for the declared body.
+        prop_assert!(stream.buffered() <= FRAME_HEADER_LEN);
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`baselines`] | `msb-baselines` | Paillier, FNP'04, FC'10, FindU-style PSI-CA, dot product |
 //! | [`dataset`] | `msb-dataset` | synthetic Tencent-Weibo population |
 //! | [`wire`] | `msb-wire` | the canonical versioned frame codec every message uses |
+//! | [`server`] | `msb-server` | the TCP relay: MSBW gateway, store-and-forward inbox, rate guard |
 //!
 //! # Quickstart
 //!
@@ -73,6 +74,7 @@ pub use msb_dataset as dataset;
 pub use msb_lattice as lattice;
 pub use msb_net as net;
 pub use msb_profile as profile;
+pub use msb_server as server;
 pub use msb_wire as wire;
 
 /// The most commonly used items, for glob import.
@@ -96,5 +98,6 @@ pub mod prelude {
     pub use msb_profile::{
         Attribute, Profile, ProfileKey, ProfileVector, RequestProfile, RequestVector,
     };
+    pub use msb_server::{RelayClient, RelayServer, ServerConfig};
     pub use msb_wire::{DecodeError, FrameKind, Message, WireDecode, WireEncode};
 }

@@ -4,12 +4,16 @@
 //! therefore the golden bytes) cannot drift when unrelated generation
 //! code changes.
 
+use bytes::Bytes;
 use sealed_bottle::bignum::linalg::Matrix;
 use sealed_bottle::bignum::BigUint;
 use sealed_bottle::core::package::{Reply, RequestPackage};
 use sealed_bottle::dataset::weibo::{WeiboConfig, WeiboDataset, WeiboUser};
 use sealed_bottle::profile::hint::{HintConstruction, HintMatrix};
 use sealed_bottle::profile::remainder::RemainderVector;
+use sealed_bottle::server::{
+    Ack, AckCode, Delivered, Deposit, Fetch, Hello, InboxBatch, StatsReq, StatsSnapshot,
+};
 use sealed_bottle::wire::Message;
 
 fn fe(seed: u64) -> BigUint {
@@ -100,6 +104,55 @@ pub fn weibo_dataset() -> WeiboDataset {
     )
 }
 
+/// A relay registration for a literal client id.
+pub fn relay_hello() -> Hello {
+    Hello { client: 7 }
+}
+
+/// A unicast deposit carrying a literal (not itself decodable) inner
+/// frame — the relay treats the bottle as opaque bytes.
+pub fn relay_deposit() -> Deposit {
+    Deposit { to: 0xDEAD_BEEF, frame: Bytes::from((0u8..24).collect::<Vec<u8>>()) }
+}
+
+/// A bounded fetch.
+pub fn relay_fetch() -> Fetch {
+    Fetch { max: 3 }
+}
+
+/// An inbox batch with two delivered bottles from distinct senders.
+pub fn relay_inbox() -> InboxBatch {
+    InboxBatch {
+        messages: vec![
+            Delivered { from: 1, frame: Bytes::from(vec![0x42; 16]) },
+            Delivered { from: 0xFFFF_FFFE, frame: Bytes::from((200u8..248).collect::<Vec<u8>>()) },
+        ],
+    }
+}
+
+/// A rejecting acknowledgement (the error arm exercises the status
+/// byte).
+pub fn relay_ack() -> Ack {
+    Ack { code: AckCode::RateLimited, info: 99 }
+}
+
+/// A stats snapshot with ten distinct literal gauges so any field
+/// reordering breaks the fixture.
+pub fn relay_stats() -> StatsSnapshot {
+    StatsSnapshot {
+        frames_in: 1,
+        frames_out: 2,
+        deposits_accepted: 3,
+        rejected_rate: 4,
+        rejected_oversize: 5,
+        rejected_malformed: 6,
+        messages_delivered: 7,
+        inbox_expired: 8,
+        inbox_depth: 9,
+        registered_clients: 10,
+    }
+}
+
 /// Every framed message kind, with its fixture name and encoded frame.
 pub fn all_fixtures() -> Vec<(&'static str, Vec<u8>)> {
     vec![
@@ -109,6 +162,13 @@ pub fn all_fixtures() -> Vec<(&'static str, Vec<u8>)> {
         ("reply_two_acks", Message::encode(&reply_two_acks())),
         ("weibo_user", Message::encode(&weibo_user())),
         ("weibo_dataset", Message::encode(&weibo_dataset())),
+        ("relay_hello", Message::encode(&relay_hello())),
+        ("relay_deposit", Message::encode(&relay_deposit())),
+        ("relay_fetch", Message::encode(&relay_fetch())),
+        ("relay_inbox", Message::encode(&relay_inbox())),
+        ("relay_ack", Message::encode(&relay_ack())),
+        ("relay_stats_req", Message::encode(&StatsReq)),
+        ("relay_stats", Message::encode(&relay_stats())),
     ]
 }
 

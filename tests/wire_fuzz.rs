@@ -9,6 +9,7 @@ mod wire_common;
 use proptest::prelude::*;
 use sealed_bottle::core::package::{Reply, RequestPackage};
 use sealed_bottle::dataset::weibo::{WeiboDataset, WeiboUser};
+use sealed_bottle::server::{Ack, Deposit, Fetch, Hello, InboxBatch, StatsReq, StatsSnapshot};
 use sealed_bottle::wire::{peek_kind, split_frame, Message};
 
 /// Runs every decoder in the workspace over `bytes`; the test passes as
@@ -20,6 +21,13 @@ fn decode_all(bytes: &[u8]) {
     let _ = Reply::decode(bytes);
     let _ = WeiboUser::decode(bytes);
     let _ = WeiboDataset::decode(bytes);
+    let _ = Hello::decode(bytes);
+    let _ = Deposit::decode(bytes);
+    let _ = Fetch::decode(bytes);
+    let _ = InboxBatch::decode(bytes);
+    let _ = Ack::decode(bytes);
+    let _ = StatsReq::decode(bytes);
+    let _ = StatsSnapshot::decode(bytes);
 }
 
 /// Asserts that every decoder rejects `bytes`.
@@ -28,6 +36,13 @@ fn assert_all_reject(bytes: &[u8], context: &str) {
     assert!(Reply::decode(bytes).is_err(), "reply accepted {context}");
     assert!(WeiboUser::decode(bytes).is_err(), "user accepted {context}");
     assert!(WeiboDataset::decode(bytes).is_err(), "dataset accepted {context}");
+    assert!(Hello::decode(bytes).is_err(), "hello accepted {context}");
+    assert!(Deposit::decode(bytes).is_err(), "deposit accepted {context}");
+    assert!(Fetch::decode(bytes).is_err(), "fetch accepted {context}");
+    assert!(InboxBatch::decode(bytes).is_err(), "inbox accepted {context}");
+    assert!(Ack::decode(bytes).is_err(), "ack accepted {context}");
+    assert!(StatsReq::decode(bytes).is_err(), "stats-req accepted {context}");
+    assert!(StatsSnapshot::decode(bytes).is_err(), "stats accepted {context}");
 }
 
 /// Deterministic exhaustive sweep: for every message kind, every
@@ -63,7 +78,7 @@ proptest! {
         kind_choice in any::<prop::sample::Index>(),
         data in proptest::collection::vec(any::<u8>(), 0..400),
     ) {
-        let kinds = [0x01u8, 0x02, 0x10, 0x11];
+        let kinds = [0x01u8, 0x02, 0x10, 0x11, 0x20, 0x21, 0x22, 0x23, 0x24, 0x25, 0x26];
         let mut frame = b"MSBW".to_vec();
         frame.push(1); // version
         frame.push(kinds[kind_choice.index(kinds.len())]);

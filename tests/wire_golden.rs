@@ -14,6 +14,7 @@ mod wire_common;
 
 use sealed_bottle::core::package::{Reply, RequestPackage};
 use sealed_bottle::dataset::weibo::{WeiboDataset, WeiboUser};
+use sealed_bottle::server::{Ack, Deposit, Fetch, Hello, InboxBatch, StatsReq, StatsSnapshot};
 use sealed_bottle::wire::{peek_kind, FrameKind, Message, FRAME_HEADER_LEN, MAGIC, VERSION};
 use std::path::PathBuf;
 
@@ -111,6 +112,47 @@ fn fixtures_roundtrip_bit_identically() {
     let decoded = WeiboDataset::decode(&bytes).unwrap();
     assert_eq!(decoded, dataset);
     assert_eq!(Message::encode(&decoded), bytes);
+
+    let hello = wire_common::relay_hello();
+    let bytes = golden("relay_hello", &Message::encode(&hello));
+    let decoded = Hello::decode(&bytes).unwrap();
+    assert_eq!(decoded, hello);
+    assert_eq!(Message::encode(&decoded), bytes);
+
+    let deposit = wire_common::relay_deposit();
+    let bytes = golden("relay_deposit", &Message::encode(&deposit));
+    let decoded = Deposit::decode(&bytes).unwrap();
+    assert_eq!(decoded, deposit);
+    assert_eq!(Message::encode(&decoded), bytes);
+
+    let fetch = wire_common::relay_fetch();
+    let bytes = golden("relay_fetch", &Message::encode(&fetch));
+    let decoded = Fetch::decode(&bytes).unwrap();
+    assert_eq!(decoded, fetch);
+    assert_eq!(Message::encode(&decoded), bytes);
+
+    let inbox = wire_common::relay_inbox();
+    let bytes = golden("relay_inbox", &Message::encode(&inbox));
+    let decoded = InboxBatch::decode(&bytes).unwrap();
+    assert_eq!(decoded, inbox);
+    assert_eq!(Message::encode(&decoded), bytes);
+
+    let ack = wire_common::relay_ack();
+    let bytes = golden("relay_ack", &Message::encode(&ack));
+    let decoded = Ack::decode(&bytes).unwrap();
+    assert_eq!(decoded, ack);
+    assert_eq!(Message::encode(&decoded), bytes);
+
+    let bytes = golden("relay_stats_req", &Message::encode(&StatsReq));
+    let decoded = StatsReq::decode(&bytes).unwrap();
+    assert_eq!(decoded, StatsReq);
+    assert_eq!(Message::encode(&decoded), bytes);
+
+    let stats = wire_common::relay_stats();
+    let bytes = golden("relay_stats", &Message::encode(&stats));
+    let decoded = StatsSnapshot::decode(&bytes).unwrap();
+    assert_eq!(decoded, stats);
+    assert_eq!(Message::encode(&decoded), bytes);
 }
 
 /// The envelope of every fixture is the documented 10-byte header.
@@ -123,8 +165,17 @@ fn fixture_envelopes_are_canonical() {
         FrameKind::Reply,
         FrameKind::WeiboUser,
         FrameKind::WeiboDataset,
+        FrameKind::RelayHello,
+        FrameKind::RelayDeposit,
+        FrameKind::RelayFetch,
+        FrameKind::RelayInbox,
+        FrameKind::RelayAck,
+        FrameKind::RelayStatsReq,
+        FrameKind::RelayStats,
     ];
-    for ((name, encoded), kind) in wire_common::all_fixtures().into_iter().zip(expected_kinds) {
+    let fixtures = wire_common::all_fixtures();
+    assert_eq!(fixtures.len(), expected_kinds.len(), "fixture/kind lists out of sync");
+    for ((name, encoded), kind) in fixtures.into_iter().zip(expected_kinds) {
         assert_eq!(&encoded[..4], &MAGIC, "{name}: magic");
         assert_eq!(encoded[4], VERSION, "{name}: version");
         assert_eq!(encoded[5], kind as u8, "{name}: kind byte");
