@@ -15,6 +15,7 @@
 
 use crate::package::{Reply, RequestPackage};
 use crate::protocol::{make_ack, open_ack, open_message, ProtocolKind};
+use msb_crypto::aes::CipherBackend;
 use msb_profile::attribute::{Attribute, AttributeHash};
 use msb_profile::matching::{enumerate_candidate_keys, EnumerationMode, MatchConfig};
 use msb_profile::profile::ProfileVector;
@@ -117,8 +118,12 @@ impl DictionaryAttacker {
             return DictionaryAttackOutcome::NotCovered;
         }
         if kind == ProtocolKind::P1 {
+            // An attacker has no key material of its own to protect, so the
+            // env-selected backend (tables included) is always fair game.
+            let backend = CipherBackend::from_env();
             for key in &keys {
-                if let Some(x) = open_message(&key.key, kind, &pkg.nonce, &pkg.ciphertext) {
+                if let Some(x) = open_message(&key.key, kind, &pkg.nonce, &pkg.ciphertext, backend)
+                {
                     let mut attributes = Vec::new();
                     let mut unnamed = 0usize;
                     for h in &key.recovered {
@@ -153,12 +158,13 @@ impl DictionaryAttacker {
         let keys =
             enumerate_candidate_keys(&self.vector, &pkg.remainder, pkg.hint.as_ref(), &self.config);
         let mut unmasked = Vec::new();
+        let backend = CipherBackend::from_env();
         for key in &keys {
-            let Some(x) = open_message(&key.key, kind, &pkg.nonce, &pkg.ciphertext) else {
+            let Some(x) = open_message(&key.key, kind, &pkg.nonce, &pkg.ciphertext, backend) else {
                 continue;
             };
             for ack in &reply.acks {
-                if open_ack(&x, ack).is_some() {
+                if open_ack(&x, ack, backend).is_some() {
                     let attrs: Vec<Attribute> = key
                         .used_indices
                         .iter()
@@ -197,7 +203,7 @@ impl CheatingResponder {
                 rng.fill(&mut guess_x);
                 let mut y = [0u8; 32];
                 rng.fill(&mut y);
-                make_ack(&guess_x, &y, rng)
+                make_ack(&guess_x, &y, CipherBackend::from_env(), rng)
             })
             .collect();
         Reply { request_id, responder: self.id, acks }

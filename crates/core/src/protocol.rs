@@ -18,7 +18,7 @@
 
 use crate::channel::{GroupChannel, Role, SecureChannel};
 use crate::package::{Reply, RequestPackage, KIND_P1, KIND_P2, KIND_P3};
-use msb_crypto::aes::Aes256;
+use msb_crypto::aes::{Aes256, CipherBackend};
 use msb_crypto::modes::Ctr;
 use msb_profile::attribute::{Attribute, AttributeHash};
 use msb_profile::entropy::{select_within_budget, EntropyModel};
@@ -92,6 +92,11 @@ pub struct ProtocolConfig {
     /// (Protocol 1) key trials. The parallel path is bit-identical to the
     /// sequential one; the default honours `MSB_THREADS`.
     pub parallelism: Parallelism,
+    /// AES backend for sealing/opening bottles and acknowledgements.
+    /// Both backends produce identical wire bytes; the S-box oracle is
+    /// the default, `MSB_AES_BACKEND=table` opts into T-tables (see
+    /// `docs/CRYPTO.md` for when that is safe).
+    pub cipher_backend: CipherBackend,
 }
 
 impl ProtocolConfig {
@@ -108,6 +113,7 @@ impl ProtocolConfig {
             match_config: MatchConfig::default(),
             hint_construction: HintConstruction::Cauchy,
             parallelism: Parallelism::default(),
+            cipher_backend: CipherBackend::from_env(),
         }
     }
 }
@@ -117,6 +123,7 @@ pub(crate) fn seal_message<R: Rng + ?Sized>(
     key: &ProfileKey,
     kind: ProtocolKind,
     x: &[u8; 32],
+    backend: CipherBackend,
     rng: &mut R,
 ) -> ([u8; 16], Vec<u8>) {
     let mut nonce = [0u8; 16];
@@ -126,18 +133,20 @@ pub(crate) fn seal_message<R: Rng + ?Sized>(
         pt.extend_from_slice(&CONFIRMATION);
     }
     pt.extend_from_slice(x);
-    let cipher = Aes256::new(key.as_bytes());
+    let cipher = Aes256::with_backend(key.as_bytes(), backend);
     Ctr::new(&cipher, nonce).apply_keystream(&mut pt);
     (nonce, pt)
 }
 
-/// Attempts to open a sealed message with a candidate key.
+/// Attempts to open a sealed message with a pre-scheduled cipher: the
+/// key-trial loops expand each candidate's key schedule exactly once and
+/// reuse it across every trial block of the ciphertext.
 ///
 /// Protocol 1: `Some(x)` only when the confirmation verifies. Protocols
 /// 2/3: always yields the decrypted candidate `x` (there is nothing to
 /// verify — by design).
-pub(crate) fn open_message(
-    key: &ProfileKey,
+pub(crate) fn open_message_with(
+    cipher: &Aes256,
     kind: ProtocolKind,
     nonce: &[u8; 16],
     ciphertext: &[u8],
@@ -150,8 +159,7 @@ pub(crate) fn open_message(
         return None;
     }
     let mut pt = ciphertext.to_vec();
-    let cipher = Aes256::new(key.as_bytes());
-    Ctr::new(&cipher, *nonce).apply_keystream(&mut pt);
+    Ctr::new(cipher, *nonce).apply_keystream(&mut pt);
     match kind {
         ProtocolKind::P1 => {
             if !msb_crypto::ct::eq(&pt[..16], &CONFIRMATION) {
@@ -163,14 +171,31 @@ pub(crate) fn open_message(
     }
 }
 
+/// [`open_message_with`] for a candidate [`ProfileKey`], expanding the
+/// schedule on the given backend.
+pub(crate) fn open_message(
+    key: &ProfileKey,
+    kind: ProtocolKind,
+    nonce: &[u8; 16],
+    ciphertext: &[u8],
+    backend: CipherBackend,
+) -> Option<[u8; 32]> {
+    open_message_with(&Aes256::with_backend(key.as_bytes(), backend), kind, nonce, ciphertext)
+}
+
 /// Builds one acknowledgement `nonce ‖ E_{x}(ack ‖ y)`.
-pub(crate) fn make_ack<R: Rng + ?Sized>(x: &[u8; 32], y: &[u8; 32], rng: &mut R) -> Vec<u8> {
+pub(crate) fn make_ack<R: Rng + ?Sized>(
+    x: &[u8; 32],
+    y: &[u8; 32],
+    backend: CipherBackend,
+    rng: &mut R,
+) -> Vec<u8> {
     let mut nonce = [0u8; 16];
     rng.fill(&mut nonce);
     let mut pt = Vec::with_capacity(40);
     pt.extend_from_slice(&ACK_TAG);
     pt.extend_from_slice(y);
-    let cipher = Aes256::new(x);
+    let cipher = Aes256::with_backend(x, backend);
     Ctr::new(&cipher, nonce).apply_keystream(&mut pt);
     let mut out = Vec::with_capacity(56);
     out.extend_from_slice(&nonce);
@@ -180,13 +205,13 @@ pub(crate) fn make_ack<R: Rng + ?Sized>(x: &[u8; 32], y: &[u8; 32], rng: &mut R)
 
 /// Opens an acknowledgement with the true `x`; `Some(y)` iff the ack tag
 /// verifies — i.e. the responder really decrypted the bottle.
-pub(crate) fn open_ack(x: &[u8; 32], ack: &[u8]) -> Option<[u8; 32]> {
+pub(crate) fn open_ack(x: &[u8; 32], ack: &[u8], backend: CipherBackend) -> Option<[u8; 32]> {
     if ack.len() != 56 {
         return None;
     }
     let nonce: [u8; 16] = ack[..16].try_into().expect("length checked");
     let mut pt = ack[16..].to_vec();
-    let cipher = Aes256::new(x);
+    let cipher = Aes256::with_backend(x, backend);
     Ctr::new(&cipher, nonce).apply_keystream(&mut pt);
     if !msb_crypto::ct::eq(&pt[..8], &ACK_TAG) {
         return None;
@@ -268,7 +293,7 @@ impl Initiator {
         let key = vector.profile_key();
         let mut x = [0u8; 32];
         rng.fill(&mut x);
-        let (nonce, ciphertext) = seal_message(&key, config.kind, &x, rng);
+        let (nonce, ciphertext) = seal_message(&key, config.kind, &x, config.cipher_backend, rng);
         let package = RequestPackage {
             kind: config.kind.wire(),
             initiator: initiator_id,
@@ -331,7 +356,7 @@ impl Initiator {
             return Vec::new();
         }
         for ack in &reply.acks {
-            if let Some(y) = open_ack(&self.x, ack) {
+            if let Some(y) = open_ack(&self.x, ack, self.config.cipher_backend) {
                 let m = ConfirmedMatch {
                     responder: reply.responder,
                     y,
@@ -496,9 +521,13 @@ impl Responder {
                 // always keeping the sequential result: the first
                 // verifying key in canonical key order.
                 let threads = self.config.parallelism.threads();
+                let backend = self.config.cipher_backend;
                 let hit: Option<(usize, [u8; 32])> = if threads == 1 || keys.len() < 2 * threads {
                     keys.iter().enumerate().find_map(|(i, key)| {
-                        open_message(&key.key, kind, &package.nonce, &package.ciphertext)
+                        // One schedule expansion per candidate, reused
+                        // across all trial blocks of the bottle.
+                        let cipher = Aes256::with_backend(key.key.as_bytes(), backend);
+                        open_message_with(&cipher, kind, &package.nonce, &package.ciphertext)
                             .map(|x| (i, x))
                     })
                 } else {
@@ -522,8 +551,12 @@ impl Responder {
                                     let mut i = w;
                                     while i < keys_ref.len() && i < best_ref.load(Ordering::Relaxed)
                                     {
-                                        if let Some(x) = open_message(
-                                            &keys_ref[i].key,
+                                        let cipher = Aes256::with_backend(
+                                            keys_ref[i].key.as_bytes(),
+                                            backend,
+                                        );
+                                        if let Some(x) = open_message_with(
+                                            &cipher,
                                             kind,
                                             &package.nonce,
                                             &package.ciphertext,
@@ -544,7 +577,7 @@ impl Responder {
                     })
                 };
                 if let Some((i, x)) = hit {
-                    let ack = make_ack(&x, &y, rng);
+                    let ack = make_ack(&x, &y, backend, rng);
                     let reply = Reply {
                         request_id: package.request_id(),
                         responder: self.id,
@@ -577,10 +610,12 @@ impl Responder {
                 }
                 let mut acks = Vec::with_capacity(selected.len());
                 let mut sessions = Vec::with_capacity(selected.len());
+                let backend = self.config.cipher_backend;
                 for key in selected {
-                    let x = open_message(&key.key, kind, &package.nonce, &package.ciphertext)
+                    let cipher = Aes256::with_backend(key.key.as_bytes(), backend);
+                    let x = open_message_with(&cipher, kind, &package.nonce, &package.ciphertext)
                         .expect("P2/P3 decryption is unconditional");
-                    acks.push(make_ack(&x, &y, rng));
+                    acks.push(make_ack(&x, &y, backend, rng));
                     sessions.push(SessionSecret { x, y, recovered: key.recovered.clone() });
                 }
                 let reply = Reply { request_id: package.request_id(), responder: self.id, acks };
@@ -841,7 +876,7 @@ mod tests {
         let reply = Reply {
             request_id: initiator.request_id(),
             responder: 9,
-            acks: vec![make_ack(&fake_x, &fake_y, &mut r)],
+            acks: vec![make_ack(&fake_x, &fake_y, CipherBackend::default(), &mut r)],
         };
         assert!(initiator.process_reply(&reply, 2_000).is_empty());
         assert_eq!(initiator.reject_log().no_valid_ack, 1);

@@ -4,16 +4,87 @@
 //! profile key, so [`Aes256`] is the workhorse; [`Aes128`] is provided for
 //! completeness and for the microbenchmarks of Table IV.
 //!
-//! This is a straightforward table-free implementation (S-box lookups only),
-//! prioritising auditability over raw throughput. Throughput is still in the
-//! hundreds of MB/s range in release builds, far more than the protocol
-//! needs (payloads are a few dozen bytes).
+//! Two implementation strategies are provided, selectable per cipher via
+//! [`CipherBackend`] (see `docs/CRYPTO.md` for the full matrix):
+//!
+//! * [`CipherBackend::Sbox`] — the original table-free path (256-byte
+//!   S-box lookups only, per-byte `MixColumns`). Slow but with a tiny,
+//!   cache-resident memory footprint; it is the **differential oracle**
+//!   and the default everywhere candidate keys are compared.
+//! * [`CipherBackend::Table`] — the classic 32-bit T-table formulation:
+//!   four 1 KiB encrypt tables (`TE0..TE3`) folding `SubBytes` +
+//!   `MixColumns` into one lookup per byte, and four 1 KiB inverse
+//!   tables (`TD0..TD3`) used with the FIPS 197 §5.3.5 *equivalent
+//!   inverse cipher*: `InvMixColumns` is applied once to the middle
+//!   round keys at schedule time, which makes decrypt structurally
+//!   symmetric to encrypt (and hence equally fast), instead of paying
+//!   per-byte GF(2^8) multiplications every block.
+//!
+//! The tradeoff is cache-timing: the 8 KiB of T-tables index on
+//! key-dependent bytes, so a co-located attacker who can prime/probe the
+//! cache can in principle recover key bytes (Bernstein 2005, Osvik et
+//! al. 2006). The S-box path touches only 256 bytes (typically 4 lines,
+//! usually all resident) and is kept as the conservative default; the
+//! table path is for bulk/throughput work where the key is not secret
+//! from the machine doing the work (benchmarks, the responder's trial
+//! decryptions of *candidate* keys derived from its own profile, server
+//! relay throughput). Both backends are proven byte-identical by
+//! differential tests and NIST known-answer vectors.
+
+use std::sync::OnceLock;
 
 /// AES block size in bytes.
 pub const BLOCK_LEN: usize = 16;
 
 /// One AES block.
 pub type Block = [u8; BLOCK_LEN];
+
+/// Which AES implementation strategy a cipher instance uses.
+///
+/// Both backends produce byte-identical ciphertext; they differ only in
+/// speed and memory-access pattern (see the module docs and
+/// `docs/CRYPTO.md` for the side-channel discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CipherBackend {
+    /// S-box-only reference implementation: 256-byte tables, per-byte
+    /// `MixColumns`. The differential oracle and the conservative
+    /// default.
+    #[default]
+    Sbox,
+    /// 32-bit T-tables (8 KiB) with the equivalent-inverse-cipher
+    /// decrypt schedule. ~2–3× faster, key-dependent cache access.
+    Table,
+}
+
+impl CipherBackend {
+    /// Parses a backend name: `"sbox"` / `"table"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "sbox" | "s-box" => Some(CipherBackend::Sbox),
+            "table" | "ttable" | "t-table" => Some(CipherBackend::Table),
+            _ => None,
+        }
+    }
+
+    /// Resolves the value of `MSB_AES_BACKEND` (unset, empty, or
+    /// unrecognised values fall back to the [`CipherBackend::Sbox`]
+    /// oracle). Pure helper so tests can cover the parsing without
+    /// touching the process environment.
+    pub fn from_env_value(value: Option<&str>) -> Self {
+        value.and_then(CipherBackend::parse).unwrap_or_default()
+    }
+
+    /// Reads `MSB_AES_BACKEND` once (cached), mirroring how
+    /// `MSB_THREADS` selects the matching parallelism. `sbox` (the
+    /// default when unset) keeps every path on the constant-footprint
+    /// oracle; `table` opts bulk paths into the T-table backend.
+    pub fn from_env() -> Self {
+        static BACKEND: OnceLock<CipherBackend> = OnceLock::new();
+        *BACKEND.get_or_init(|| {
+            CipherBackend::from_env_value(std::env::var("MSB_AES_BACKEND").ok().as_deref())
+        })
+    }
+}
 
 const SBOX: [u8; 256] = [
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
@@ -48,9 +119,11 @@ const RCON: [u8; 15] =
     [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d, 0x9a];
 
 /// Multiplication in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
-fn gmul(mut a: u8, mut b: u8) -> u8 {
+/// `const` so the T-tables below can be built at compile time.
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
     let mut p = 0u8;
-    for _ in 0..8 {
+    let mut i = 0;
+    while i < 8 {
         if b & 1 != 0 {
             p ^= a;
         }
@@ -60,16 +133,96 @@ fn gmul(mut a: u8, mut b: u8) -> u8 {
             a ^= 0x1b;
         }
         b >>= 1;
+        i += 1;
     }
     p
 }
 
+// ---------------------------------------------------------------------------
+// T-tables. Words pack a state column big-endian: row 0 in the top byte.
+//
+// TE_r[x] is the MixColumns contribution of S-box(x) sitting at row r of a
+// column: one lookup per state byte replaces SubBytes + MixColumns.
+// TD_r[x] is the same for InvMixColumns ∘ InvSubBytes, used by the
+// equivalent inverse cipher.
+// ---------------------------------------------------------------------------
+
+const fn te_word(s: u8, row: usize) -> u32 {
+    // MixColumns matrix rows, cycled so `row` names the input byte's row.
+    let (a, b, c, d) = (gmul(s, 2), s, s, gmul(s, 3));
+    match row {
+        0 => u32::from_be_bytes([a, b, c, d]),
+        1 => u32::from_be_bytes([d, a, b, c]),
+        2 => u32::from_be_bytes([c, d, a, b]),
+        _ => u32::from_be_bytes([b, c, d, a]),
+    }
+}
+
+const fn td_word(s: u8, row: usize) -> u32 {
+    let (a, b, c, d) = (gmul(s, 14), gmul(s, 9), gmul(s, 13), gmul(s, 11));
+    match row {
+        0 => u32::from_be_bytes([a, b, c, d]),
+        1 => u32::from_be_bytes([d, a, b, c]),
+        2 => u32::from_be_bytes([c, d, a, b]),
+        _ => u32::from_be_bytes([b, c, d, a]),
+    }
+}
+
+const fn build_te(row: usize) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = te_word(SBOX[i], row);
+        i += 1;
+    }
+    t
+}
+
+const fn build_td(row: usize) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = td_word(INV_SBOX[i], row);
+        i += 1;
+    }
+    t
+}
+
+const TE0: [u32; 256] = build_te(0);
+const TE1: [u32; 256] = build_te(1);
+const TE2: [u32; 256] = build_te(2);
+const TE3: [u32; 256] = build_te(3);
+
+const TD0: [u32; 256] = build_td(0);
+const TD1: [u32; 256] = build_td(1);
+const TD2: [u32; 256] = build_td(2);
+const TD3: [u32; 256] = build_td(3);
+
+/// `InvMixColumns` of a packed column word, via the TD/S-box identity
+/// `TD_r[SBOX[x]] = InvMixColumns contribution of x at row r` (the
+/// inverse S-box inside TD cancels against the forward S-box).
+fn inv_mix_word(w: u32) -> u32 {
+    let [a, b, c, d] = w.to_be_bytes();
+    TD0[SBOX[a as usize] as usize]
+        ^ TD1[SBOX[b as usize] as usize]
+        ^ TD2[SBOX[c as usize] as usize]
+        ^ TD3[SBOX[d as usize] as usize]
+}
+
 /// A key-scheduled AES cipher (generic over the number of rounds).
 ///
-/// Use [`Aes128::new`] or [`Aes256::new`] to construct one.
+/// Use [`Aes128::new`] or [`Aes256::new`] for the S-box oracle backend,
+/// or the `with_backend` constructors to select explicitly.
 #[derive(Debug, Clone)]
 pub struct AesCipher {
     round_keys: Vec<[u8; 16]>,
+    /// Word-form encrypt schedule; populated only for the Table backend.
+    enc_w: Vec<[u32; 4]>,
+    /// Equivalent-inverse decrypt schedule (FIPS 197 §5.3.5):
+    /// `dk[0] = ek[nr]`, `dk[i] = InvMixColumns(ek[nr-i])` for
+    /// `0 < i < nr`, `dk[nr] = ek[0]`. Populated only for Table.
+    dec_w: Vec<[u32; 4]>,
+    backend: CipherBackend,
 }
 
 /// AES-128: 10 rounds, 16-byte key.
@@ -82,16 +235,36 @@ pub struct Aes128(AesCipher);
 pub struct Aes256(AesCipher);
 
 impl Aes128 {
-    /// Expands a 128-bit key.
+    /// Expands a 128-bit key on the S-box oracle backend.
     pub fn new(key: &[u8; 16]) -> Self {
-        Aes128(AesCipher::expand(key, 4, 10))
+        Self::with_backend(key, CipherBackend::Sbox)
+    }
+
+    /// Expands a 128-bit key on the chosen backend.
+    pub fn with_backend(key: &[u8; 16], backend: CipherBackend) -> Self {
+        Aes128(AesCipher::expand(key, 4, 10, backend))
+    }
+
+    /// The backend this cipher was built with.
+    pub fn backend(&self) -> CipherBackend {
+        self.0.backend
     }
 }
 
 impl Aes256 {
-    /// Expands a 256-bit key.
+    /// Expands a 256-bit key on the S-box oracle backend.
     pub fn new(key: &[u8; 32]) -> Self {
-        Aes256(AesCipher::expand(key, 8, 14))
+        Self::with_backend(key, CipherBackend::Sbox)
+    }
+
+    /// Expands a 256-bit key on the chosen backend.
+    pub fn with_backend(key: &[u8; 32], backend: CipherBackend) -> Self {
+        Aes256(AesCipher::expand(key, 8, 14, backend))
+    }
+
+    /// The backend this cipher was built with.
+    pub fn backend(&self) -> CipherBackend {
+        self.0.backend
     }
 }
 
@@ -125,7 +298,7 @@ impl BlockCipher for Aes256 {
 impl AesCipher {
     /// FIPS 197 key expansion. `nk` is the key length in 32-bit words,
     /// `rounds` the number of rounds (10 for AES-128, 14 for AES-256).
-    fn expand(key: &[u8], nk: usize, rounds: usize) -> Self {
+    fn expand(key: &[u8], nk: usize, rounds: usize, backend: CipherBackend) -> Self {
         let total_words = 4 * (rounds + 1);
         let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
         for i in 0..nk {
@@ -147,7 +320,7 @@ impl AesCipher {
             let prev = w[i - nk];
             w.push([prev[0] ^ temp[0], prev[1] ^ temp[1], prev[2] ^ temp[2], prev[3] ^ temp[3]]);
         }
-        let round_keys = w
+        let round_keys: Vec<[u8; 16]> = w
             .chunks_exact(4)
             .map(|c| {
                 let mut rk = [0u8; 16];
@@ -157,7 +330,28 @@ impl AesCipher {
                 rk
             })
             .collect();
-        AesCipher { round_keys }
+
+        let (enc_w, dec_w) = match backend {
+            CipherBackend::Sbox => (Vec::new(), Vec::new()),
+            CipherBackend::Table => {
+                let enc_w: Vec<[u32; 4]> = round_keys.iter().map(pack_words).collect();
+                let nr = round_keys.len() - 1;
+                let mut dec_w = Vec::with_capacity(nr + 1);
+                dec_w.push(enc_w[nr]);
+                for i in 1..nr {
+                    let ek = enc_w[nr - i];
+                    dec_w.push([
+                        inv_mix_word(ek[0]),
+                        inv_mix_word(ek[1]),
+                        inv_mix_word(ek[2]),
+                        inv_mix_word(ek[3]),
+                    ]);
+                }
+                dec_w.push(enc_w[0]);
+                (enc_w, dec_w)
+            }
+        };
+        AesCipher { round_keys, enc_w, dec_w, backend }
     }
 
     fn rounds(&self) -> usize {
@@ -165,6 +359,20 @@ impl AesCipher {
     }
 
     fn encrypt_block(&self, state: &mut Block) {
+        match self.backend {
+            CipherBackend::Sbox => self.encrypt_block_sbox(state),
+            CipherBackend::Table => self.encrypt_block_table(state),
+        }
+    }
+
+    fn decrypt_block(&self, state: &mut Block) {
+        match self.backend {
+            CipherBackend::Sbox => self.decrypt_block_sbox(state),
+            CipherBackend::Table => self.decrypt_block_table(state),
+        }
+    }
+
+    fn encrypt_block_sbox(&self, state: &mut Block) {
         add_round_key(state, &self.round_keys[0]);
         let nr = self.rounds();
         for round in 1..nr {
@@ -178,7 +386,7 @@ impl AesCipher {
         add_round_key(state, &self.round_keys[nr]);
     }
 
-    fn decrypt_block(&self, state: &mut Block) {
+    fn decrypt_block_sbox(&self, state: &mut Block) {
         let nr = self.rounds();
         add_round_key(state, &self.round_keys[nr]);
         for round in (1..nr).rev() {
@@ -191,6 +399,123 @@ impl AesCipher {
         inv_sub_bytes(state);
         add_round_key(state, &self.round_keys[0]);
     }
+
+    fn encrypt_block_table(&self, state: &mut Block) {
+        let rk = &self.enc_w[..];
+        let nr = rk.len() - 1;
+        let [mut s0, mut s1, mut s2, mut s3] = load_words(state);
+        s0 ^= rk[0][0];
+        s1 ^= rk[0][1];
+        s2 ^= rk[0][2];
+        s3 ^= rk[0][3];
+        for r in rk.iter().take(nr).skip(1) {
+            let t0 = TE0[(s0 >> 24) as usize]
+                ^ TE1[(s1 >> 16) as usize & 0xff]
+                ^ TE2[(s2 >> 8) as usize & 0xff]
+                ^ TE3[s3 as usize & 0xff]
+                ^ r[0];
+            let t1 = TE0[(s1 >> 24) as usize]
+                ^ TE1[(s2 >> 16) as usize & 0xff]
+                ^ TE2[(s3 >> 8) as usize & 0xff]
+                ^ TE3[s0 as usize & 0xff]
+                ^ r[1];
+            let t2 = TE0[(s2 >> 24) as usize]
+                ^ TE1[(s3 >> 16) as usize & 0xff]
+                ^ TE2[(s0 >> 8) as usize & 0xff]
+                ^ TE3[s1 as usize & 0xff]
+                ^ r[2];
+            let t3 = TE0[(s3 >> 24) as usize]
+                ^ TE1[(s0 >> 16) as usize & 0xff]
+                ^ TE2[(s1 >> 8) as usize & 0xff]
+                ^ TE3[s2 as usize & 0xff]
+                ^ r[3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+        let last = rk[nr];
+        let t0 = sub_word_shifted(s0, s1, s2, s3) ^ last[0];
+        let t1 = sub_word_shifted(s1, s2, s3, s0) ^ last[1];
+        let t2 = sub_word_shifted(s2, s3, s0, s1) ^ last[2];
+        let t3 = sub_word_shifted(s3, s0, s1, s2) ^ last[3];
+        store_words(state, [t0, t1, t2, t3]);
+    }
+
+    /// Equivalent inverse cipher (FIPS 197 §5.3.5): same data flow as
+    /// encrypt, with TD tables, `InvShiftRows` byte selection, and the
+    /// pre-transformed `dec_w` schedule.
+    fn decrypt_block_table(&self, state: &mut Block) {
+        let rk = &self.dec_w[..];
+        let nr = rk.len() - 1;
+        let [mut s0, mut s1, mut s2, mut s3] = load_words(state);
+        s0 ^= rk[0][0];
+        s1 ^= rk[0][1];
+        s2 ^= rk[0][2];
+        s3 ^= rk[0][3];
+        for r in rk.iter().take(nr).skip(1) {
+            let t0 = TD0[(s0 >> 24) as usize]
+                ^ TD1[(s3 >> 16) as usize & 0xff]
+                ^ TD2[(s2 >> 8) as usize & 0xff]
+                ^ TD3[s1 as usize & 0xff]
+                ^ r[0];
+            let t1 = TD0[(s1 >> 24) as usize]
+                ^ TD1[(s0 >> 16) as usize & 0xff]
+                ^ TD2[(s3 >> 8) as usize & 0xff]
+                ^ TD3[s2 as usize & 0xff]
+                ^ r[1];
+            let t2 = TD0[(s2 >> 24) as usize]
+                ^ TD1[(s1 >> 16) as usize & 0xff]
+                ^ TD2[(s0 >> 8) as usize & 0xff]
+                ^ TD3[s3 as usize & 0xff]
+                ^ r[2];
+            let t3 = TD0[(s3 >> 24) as usize]
+                ^ TD1[(s2 >> 16) as usize & 0xff]
+                ^ TD2[(s1 >> 8) as usize & 0xff]
+                ^ TD3[s0 as usize & 0xff]
+                ^ r[3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
+        }
+        let last = rk[nr];
+        let t0 = inv_sub_word_shifted(s0, s3, s2, s1) ^ last[0];
+        let t1 = inv_sub_word_shifted(s1, s0, s3, s2) ^ last[1];
+        let t2 = inv_sub_word_shifted(s2, s1, s0, s3) ^ last[2];
+        let t3 = inv_sub_word_shifted(s3, s2, s1, s0) ^ last[3];
+        store_words(state, [t0, t1, t2, t3]);
+    }
+}
+
+fn pack_words(rk: &[u8; 16]) -> [u32; 4] {
+    core::array::from_fn(|i| {
+        u32::from_be_bytes([rk[4 * i], rk[4 * i + 1], rk[4 * i + 2], rk[4 * i + 3]])
+    })
+}
+
+fn load_words(block: &Block) -> [u32; 4] {
+    core::array::from_fn(|i| {
+        u32::from_be_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]])
+    })
+}
+
+fn store_words(block: &mut Block, words: [u32; 4]) {
+    for (i, w) in words.iter().enumerate() {
+        block[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+    }
+}
+
+/// Applies `SubBytes` to the four bytes of a final-round output column,
+/// taking row 0 from `a`, row 1 from `b`, row 2 from `c`, row 3 from `d`
+/// (the caller picks the `ShiftRows` sources).
+fn sub_word_shifted(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    (SBOX[(a >> 24) as usize] as u32) << 24
+        | (SBOX[(b >> 16) as usize & 0xff] as u32) << 16
+        | (SBOX[(c >> 8) as usize & 0xff] as u32) << 8
+        | SBOX[d as usize & 0xff] as u32
+}
+
+fn inv_sub_word_shifted(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    (INV_SBOX[(a >> 24) as usize] as u32) << 24
+        | (INV_SBOX[(b >> 16) as usize & 0xff] as u32) << 16
+        | (INV_SBOX[(c >> 8) as usize & 0xff] as u32) << 8
+        | INV_SBOX[d as usize & 0xff] as u32
 }
 
 // The state is stored column-major as in FIPS 197: byte index = 4*col + row.
@@ -256,33 +581,39 @@ fn inv_mix_columns(state: &mut Block) {
 mod tests {
     use super::*;
 
+    const BACKENDS: [CipherBackend; 2] = [CipherBackend::Sbox, CipherBackend::Table];
+
     fn parse(hex: &str) -> Vec<u8> {
         (0..hex.len()).step_by(2).map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap()).collect()
     }
 
     #[test]
-    fn fips197_appendix_c1_aes128() {
+    fn fips197_appendix_c1_aes128_both_backends() {
         let key: [u8; 16] = parse("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
-        let mut block: Block = parse("00112233445566778899aabbccddeeff").try_into().unwrap();
-        let cipher = Aes128::new(&key);
-        cipher.encrypt_block(&mut block);
-        assert_eq!(block.to_vec(), parse("69c4e0d86a7b0430d8cdb78070b4c55a"));
-        cipher.decrypt_block(&mut block);
-        assert_eq!(block.to_vec(), parse("00112233445566778899aabbccddeeff"));
+        for backend in BACKENDS {
+            let mut block: Block = parse("00112233445566778899aabbccddeeff").try_into().unwrap();
+            let cipher = Aes128::with_backend(&key, backend);
+            cipher.encrypt_block(&mut block);
+            assert_eq!(block.to_vec(), parse("69c4e0d86a7b0430d8cdb78070b4c55a"), "{backend:?}");
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block.to_vec(), parse("00112233445566778899aabbccddeeff"), "{backend:?}");
+        }
     }
 
     #[test]
-    fn fips197_appendix_c3_aes256() {
+    fn fips197_appendix_c3_aes256_both_backends() {
         let key: [u8; 32] =
             parse("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
                 .try_into()
                 .unwrap();
-        let mut block: Block = parse("00112233445566778899aabbccddeeff").try_into().unwrap();
-        let cipher = Aes256::new(&key);
-        cipher.encrypt_block(&mut block);
-        assert_eq!(block.to_vec(), parse("8ea2b7ca516745bfeafc49904b496089"));
-        cipher.decrypt_block(&mut block);
-        assert_eq!(block.to_vec(), parse("00112233445566778899aabbccddeeff"));
+        for backend in BACKENDS {
+            let mut block: Block = parse("00112233445566778899aabbccddeeff").try_into().unwrap();
+            let cipher = Aes256::with_backend(&key, backend);
+            cipher.encrypt_block(&mut block);
+            assert_eq!(block.to_vec(), parse("8ea2b7ca516745bfeafc49904b496089"), "{backend:?}");
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block.to_vec(), parse("00112233445566778899aabbccddeeff"), "{backend:?}");
+        }
     }
 
     #[test]
@@ -292,9 +623,102 @@ mod tests {
             parse("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
                 .try_into()
                 .unwrap();
-        let mut block: Block = parse("6bc1bee22e409f96e93d7e117393172a").try_into().unwrap();
-        Aes256::new(&key).encrypt_block(&mut block);
-        assert_eq!(block.to_vec(), parse("f3eed1bdb5d2a03c064b5a7e3db181f8"));
+        for backend in BACKENDS {
+            let mut block: Block = parse("6bc1bee22e409f96e93d7e117393172a").try_into().unwrap();
+            Aes256::with_backend(&key, backend).encrypt_block(&mut block);
+            assert_eq!(block.to_vec(), parse("f3eed1bdb5d2a03c064b5a7e3db181f8"), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn nist_cavp_gfsbox_vectors() {
+        // CAVP AESAVS GFSbox known-answer vectors (all-zero key).
+        let cases_128 = [
+            ("f34481ec3cc627bacd5dc3fb08f273e6", "0336763e966d92595a567cc9ce537f5e"),
+            ("9798c4640bad75c7c3227db910174e72", "a9a1631bf4996954ebc093957b234589"),
+            ("96ab5c2ff612d9dfaae8c31f30c42168", "ff4f8391a6a40ca5b25d23bedd44a597"),
+        ];
+        let cases_256 = [
+            ("014730f80ac625fe84f026c60bfd547d", "5c9d844ed46f9885085e5d6a4f94c7d7"),
+            ("0b24af36193ce4665f2825d7b4749c98", "a9ff75bd7cf6613d3731c77c3b6d0c04"),
+            ("761c1fe41a18acf20d241650611d90f1", "623a52fcea5d443e48d9181ab32c7421"),
+        ];
+        for backend in BACKENDS {
+            let c128 = Aes128::with_backend(&[0u8; 16], backend);
+            for (pt, ct) in cases_128 {
+                let mut block: Block = parse(pt).try_into().unwrap();
+                c128.encrypt_block(&mut block);
+                assert_eq!(block.to_vec(), parse(ct), "aes128 {backend:?} {pt}");
+                c128.decrypt_block(&mut block);
+                assert_eq!(block.to_vec(), parse(pt), "aes128 {backend:?} {pt}");
+            }
+            let c256 = Aes256::with_backend(&[0u8; 32], backend);
+            for (pt, ct) in cases_256 {
+                let mut block: Block = parse(pt).try_into().unwrap();
+                c256.encrypt_block(&mut block);
+                assert_eq!(block.to_vec(), parse(ct), "aes256 {backend:?} {pt}");
+                c256.decrypt_block(&mut block);
+                assert_eq!(block.to_vec(), parse(pt), "aes256 {backend:?} {pt}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_backend_matches_sbox_oracle() {
+        // Differential: random keys/blocks, encrypt and decrypt must be
+        // byte-identical across backends.
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..50 {
+            let mut key = [0u8; 32];
+            for b in key.iter_mut() {
+                *b = next() as u8;
+            }
+            let oracle = Aes256::new(&key);
+            let table = Aes256::with_backend(&key, CipherBackend::Table);
+            let mut key128 = [0u8; 16];
+            key128.copy_from_slice(&key[..16]);
+            let oracle128 = Aes128::new(&key128);
+            let table128 = Aes128::with_backend(&key128, CipherBackend::Table);
+            for _ in 0..8 {
+                let mut block = [0u8; 16];
+                for b in block.iter_mut() {
+                    *b = next() as u8;
+                }
+                let (mut a, mut b2) = (block, block);
+                oracle.encrypt_block(&mut a);
+                table.encrypt_block(&mut b2);
+                assert_eq!(a, b2);
+                oracle.decrypt_block(&mut a);
+                table.decrypt_block(&mut b2);
+                assert_eq!(a, b2);
+                assert_eq!(a, block);
+                let (mut a, mut b2) = (block, block);
+                oracle128.encrypt_block(&mut a);
+                table128.encrypt_block(&mut b2);
+                assert_eq!(a, b2);
+                oracle128.decrypt_block(&mut a);
+                table128.decrypt_block(&mut b2);
+                assert_eq!(a, b2);
+            }
+        }
+    }
+
+    #[test]
+    fn backend_selection_and_env_parsing() {
+        assert_eq!(CipherBackend::default(), CipherBackend::Sbox);
+        assert_eq!(Aes256::new(&[0u8; 32]).backend(), CipherBackend::Sbox);
+        assert_eq!(CipherBackend::from_env_value(None), CipherBackend::Sbox);
+        assert_eq!(CipherBackend::from_env_value(Some("")), CipherBackend::Sbox);
+        assert_eq!(CipherBackend::from_env_value(Some("nonsense")), CipherBackend::Sbox);
+        assert_eq!(CipherBackend::from_env_value(Some("table")), CipherBackend::Table);
+        assert_eq!(CipherBackend::from_env_value(Some("Table")), CipherBackend::Table);
+        assert_eq!(CipherBackend::from_env_value(Some("sbox")), CipherBackend::Sbox);
     }
 
     #[test]
@@ -311,17 +735,19 @@ mod tests {
         for b in key.iter_mut() {
             *b = next() as u8;
         }
-        let cipher = Aes256::new(&key);
-        for _ in 0..200 {
-            let mut block = [0u8; 16];
-            for b in block.iter_mut() {
-                *b = next() as u8;
+        for backend in BACKENDS {
+            let cipher = Aes256::with_backend(&key, backend);
+            for _ in 0..200 {
+                let mut block = [0u8; 16];
+                for b in block.iter_mut() {
+                    *b = next() as u8;
+                }
+                let orig = block;
+                cipher.encrypt_block(&mut block);
+                assert_ne!(block, orig);
+                cipher.decrypt_block(&mut block);
+                assert_eq!(block, orig);
             }
-            let orig = block;
-            cipher.encrypt_block(&mut block);
-            assert_ne!(block, orig);
-            cipher.decrypt_block(&mut block);
-            assert_eq!(block, orig);
         }
     }
 
@@ -340,6 +766,34 @@ mod tests {
         assert_eq!(gmul(0x57, 0x13), 0xfe);
         assert_eq!(gmul(0x01, 0xab), 0xab);
         assert_eq!(gmul(0x00, 0xff), 0x00);
+    }
+
+    #[test]
+    fn t_table_consistency_with_sbox_round() {
+        // TE0 folds SubBytes + MixColumns of a lone byte at row 0.
+        for x in 0..=255u8 {
+            let s = SBOX[x as usize];
+            let expect = u32::from_be_bytes([gmul(s, 2), s, s, gmul(s, 3)]);
+            assert_eq!(TE0[x as usize], expect);
+            // Rotation structure: TE1..TE3 are byte rotations of TE0.
+            assert_eq!(TE1[x as usize], TE0[x as usize].rotate_right(8));
+            assert_eq!(TE2[x as usize], TE0[x as usize].rotate_right(16));
+            assert_eq!(TE3[x as usize], TE0[x as usize].rotate_right(24));
+            assert_eq!(TD1[x as usize], TD0[x as usize].rotate_right(8));
+            assert_eq!(TD2[x as usize], TD0[x as usize].rotate_right(16));
+            assert_eq!(TD3[x as usize], TD0[x as usize].rotate_right(24));
+        }
+    }
+
+    #[test]
+    fn inv_mix_word_matches_bytewise_inv_mix_columns() {
+        let mut state: Block = core::array::from_fn(|i| (i * 31 + 7) as u8);
+        let words = load_words(&state);
+        inv_mix_columns(&mut state);
+        let expect = load_words(&state);
+        for (w, e) in words.iter().zip(expect.iter()) {
+            assert_eq!(inv_mix_word(*w), *e);
+        }
     }
 
     #[test]

@@ -16,10 +16,13 @@ use crate::sha256::{Digest, Sha256, BLOCK_LEN, DIGEST_LEN};
 /// assert!(HmacSha256::verify(b"key", b"message", &tag));
 /// assert!(!HmacSha256::verify(b"key", b"tampered", &tag));
 /// ```
+/// Both pads are absorbed at construction time and kept as SHA-256
+/// midstates, so cloning a keyed instance (as the HKDF expand loop does
+/// per output block) pays zero compressions for the key.
 #[derive(Debug, Clone)]
 pub struct HmacSha256 {
     inner: Sha256,
-    opad_key: [u8; BLOCK_LEN],
+    outer: Sha256,
 }
 
 impl HmacSha256 {
@@ -40,7 +43,9 @@ impl HmacSha256 {
         }
         let mut inner = Sha256::new();
         inner.update(&ipad);
-        HmacSha256 { inner, opad_key: opad }
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacSha256 { inner, outer }
     }
 
     /// Absorbs message bytes.
@@ -51,8 +56,7 @@ impl HmacSha256 {
     /// Finishes and returns the 32-byte tag.
     pub fn finalize(self) -> Digest {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad_key);
+        let mut outer = self.outer;
         outer.update(&inner_digest);
         outer.finalize()
     }

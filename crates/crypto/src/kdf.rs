@@ -24,8 +24,11 @@ pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
     let mut t: Vec<u8> = Vec::new();
     let mut counter = 1u8;
+    // Key the PRF once; each block clones the ipad/opad midstates
+    // instead of re-absorbing the key pads.
+    let keyed = HmacSha256::new(prk);
     while out.len() < len {
-        let mut h = HmacSha256::new(prk);
+        let mut h = keyed.clone();
         h.update(&t);
         h.update(info);
         h.update(&[counter]);

@@ -10,13 +10,21 @@
 //!
 //! # Modules
 //!
-//! * [`sha256`] — FIPS 180-4 SHA-256, incremental and one-shot.
-//! * [`aes`] — FIPS 197 AES-128/AES-256 block cipher (key schedule plus
-//!   single-block encrypt/decrypt).
+//! * [`sha256`] — FIPS 180-4 SHA-256, incremental and one-shot, with
+//!   midstate cloning and 4-way multi-buffer [`sha256::Sha256::digest_many`].
+//! * [`aes`] — FIPS 197 AES-128/AES-256 with two selectable backends
+//!   ([`aes::CipherBackend`]): the S-box differential oracle (default)
+//!   and a T-table backend with the equivalent-inverse-cipher decrypt
+//!   schedule.
 //! * [`modes`] — CTR and CBC (PKCS#7) modes of operation.
-//! * [`hmac`] — RFC 2104 HMAC-SHA256.
+//! * [`hmac`] — RFC 2104 HMAC-SHA256 (ipad/opad kept as midstates).
 //! * [`kdf`] — RFC 5869 HKDF-SHA256.
 //! * [`ct`] — constant-time byte-string comparison.
+//!
+//! The speed/side-channel tradeoffs of the fast paths (T-tables,
+//! midstate caching) are documented in `docs/CRYPTO.md` at the repo
+//! root; every fast path is pinned to its reference implementation by
+//! differential tests.
 //!
 //! # Example
 //!

@@ -42,12 +42,18 @@ impl<'c, C: BlockCipher> Ctr<'c, C> {
 
     /// XORs the keystream into `data` in place.
     pub fn apply_keystream(&mut self, data: &mut [u8]) {
-        for byte in data.iter_mut() {
+        let mut at = 0;
+        while at < data.len() {
             if self.used == BLOCK_LEN {
                 self.refill();
             }
-            *byte ^= self.keystream[self.used];
-            self.used += 1;
+            // XOR a whole run of the current keystream block at once.
+            let take = (BLOCK_LEN - self.used).min(data.len() - at);
+            for (byte, ks) in data[at..at + take].iter_mut().zip(&self.keystream[self.used..]) {
+                *byte ^= ks;
+            }
+            self.used += take;
+            at += take;
         }
     }
 

@@ -59,6 +59,8 @@ use crate::attribute::AttributeHash;
 use crate::hint::HintMatrix;
 use crate::profile::{ProfileKey, ProfileVector};
 use crate::remainder::RemainderVector;
+use msb_crypto::sha256::Sha256;
+use std::cell::RefCell;
 
 /// Which positions may be declared unknown during enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -232,11 +234,34 @@ pub(crate) fn complete_assignment(
         None => optional_partial.into_iter().collect(),
     }?;
 
-    let mut recovered: Vec<AttributeHash> =
-        a.necessary.iter().map(|&idx| user_hashes[idx]).collect();
+    let necessary: Vec<AttributeHash> = a.necessary.iter().map(|&idx| user_hashes[idx]).collect();
+    // Canonical order fills necessary positions outermost, so
+    // consecutive assignments share the necessary-block prefix: reuse
+    // its SHA-256 midstate instead of re-absorbing it per candidate.
+    // Pure caching — `from_midstate(midstate(p), s) == from_hashes(p ‖ s)`
+    // — so outputs are bit-identical at any thread count (each worker
+    // thread has its own cache).
+    let key = NECESSARY_MIDSTATE.with(|cell| {
+        let mut cached = cell.borrow_mut();
+        if cached.0 != necessary {
+            cached.1 = ProfileKey::midstate(&necessary);
+            cached.0.clear();
+            cached.0.extend_from_slice(&necessary);
+        }
+        ProfileKey::from_midstate(&cached.1, &optional_full)
+    });
+    let mut recovered = necessary;
     recovered.extend(optional_full);
-    let key = ProfileKey::from_hashes(&recovered);
+    debug_assert_eq!(key, ProfileKey::from_hashes(&recovered));
     Some(CandidateKey { key, recovered, used_indices: a.used_indices() })
+}
+
+thread_local! {
+    /// Last-seen necessary-block prefix and its hash midstate (see
+    /// [`complete_assignment`]). A fresh `Sha256` is the midstate of the
+    /// empty prefix, so the initial entry is already consistent.
+    static NECESSARY_MIDSTATE: RefCell<(Vec<AttributeHash>, Sha256)> =
+        RefCell::new((Vec::new(), Sha256::new()));
 }
 
 /// Core backtracking enumerator. Calls `visit` for each completed

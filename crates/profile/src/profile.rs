@@ -43,7 +43,7 @@ impl Profile {
     /// and used repetitively until the attributes are updated").
     pub fn from_attributes(attrs: impl IntoIterator<Item = Attribute>) -> Self {
         let attributes: BTreeSet<Attribute> = attrs.into_iter().collect();
-        let vector = ProfileVector::from_hashes(attributes.iter().map(Attribute::hash));
+        let vector = ProfileVector::from_hashes(Attribute::hash_many(attributes.iter()));
         Profile { attributes, vector }
     }
 
@@ -64,7 +64,7 @@ impl Profile {
     }
 
     fn rebuild(&mut self) {
-        self.vector = ProfileVector::from_hashes(self.attributes.iter().map(Attribute::hash));
+        self.vector = ProfileVector::from_hashes(Attribute::hash_many(self.attributes.iter()));
     }
 
     /// Number of attributes `m_k`.
@@ -168,8 +168,28 @@ pub struct ProfileKey([u8; 32]);
 impl ProfileKey {
     /// `H(h¹ ‖ h² ‖ … ‖ hᵐ)` over sorted hashes.
     pub fn from_hashes(hashes: &[AttributeHash]) -> Self {
+        Self::from_midstate(&Self::midstate(&[]), hashes)
+    }
+
+    /// A SHA-256 midstate that has absorbed `prefix`. The candidate
+    /// enumeration shares the necessary-block prefix across consecutive
+    /// assignments, so deriving keys via [`ProfileKey::from_midstate`]
+    /// skips re-hashing it (32 bytes per attribute, i.e. one saved
+    /// compression per two prefix hashes).
+    pub fn midstate(prefix: &[AttributeHash]) -> Sha256 {
         let mut h = Sha256::new();
-        for hash in hashes {
+        for hash in prefix {
+            h.update(hash.as_bytes());
+        }
+        h
+    }
+
+    /// Completes a key from a [`ProfileKey::midstate`] plus the
+    /// remaining hashes. Equals `from_hashes(prefix ‖ suffix)` exactly
+    /// (the midstate contract, pinned by differential tests).
+    pub fn from_midstate(midstate: &Sha256, suffix: &[AttributeHash]) -> Self {
+        let mut h = midstate.clone();
+        for hash in suffix {
             h.update(hash.as_bytes());
         }
         ProfileKey(h.finalize())
@@ -229,6 +249,24 @@ mod tests {
         let p = Profile::new();
         assert!(p.is_empty());
         assert_eq!(p.vector().profile_key().as_bytes(), &Sha256::digest(b""));
+    }
+
+    #[test]
+    fn midstate_key_equals_from_hashes_at_all_splits() {
+        let hashes: Vec<AttributeHash> = (0..7).map(|i| attr("t", &i.to_string()).hash()).collect();
+        let expect = ProfileKey::from_hashes(&hashes);
+        // Oracle: direct SHA-256 over the concatenation.
+        let mut h = Sha256::new();
+        for hash in &hashes {
+            h.update(hash.as_bytes());
+        }
+        assert_eq!(expect.as_bytes(), &h.finalize());
+        for cut in 0..=hashes.len() {
+            let mid = ProfileKey::midstate(&hashes[..cut]);
+            assert_eq!(ProfileKey::from_midstate(&mid, &hashes[cut..]), expect, "cut {cut}");
+            // The midstate is reusable (not consumed).
+            assert_eq!(ProfileKey::from_midstate(&mid, &hashes[cut..]), expect, "cut {cut} reuse");
+        }
     }
 
     #[test]

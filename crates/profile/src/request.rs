@@ -224,9 +224,14 @@ pub struct RequestVector {
 
 impl RequestVector {
     fn from_request(req: &RequestProfile) -> Self {
-        let mut necessary: Vec<AttributeHash> = req.necessary.iter().map(Attribute::hash).collect();
+        // Batch-hash both blocks in one pass (equal-length canonical
+        // forms compress four lanes at a time).
+        let hashes = Attribute::hash_many(req.necessary.iter().chain(req.optional.iter()));
+        let (mut necessary, mut optional) = {
+            let (n, o) = hashes.split_at(req.necessary.len());
+            (n.to_vec(), o.to_vec())
+        };
         necessary.sort_unstable();
-        let mut optional: Vec<AttributeHash> = req.optional.iter().map(Attribute::hash).collect();
         optional.sort_unstable();
         RequestVector { necessary, optional, beta: req.beta }
     }

@@ -47,6 +47,53 @@ proptest! {
         prop_assert_eq!(h.finalize(), Sha256::digest(&data));
     }
 
+    /// Midstate contract: cloning a hasher (or `finalize_suffix`) after
+    /// absorbing an arbitrary prefix, then finishing with an arbitrary
+    /// suffix, is byte-identical to one-shot hashing the concatenation —
+    /// for every prefix/suffix length, including block boundaries. This
+    /// is what lets the matching loop cache the necessary-block midstate
+    /// and pay one finalize per candidate instead of re-hashing the
+    /// prefix.
+    #[test]
+    fn sha256_midstate_equals_oneshot(
+        prefix in proptest::collection::vec(any::<u8>(), 0..300),
+        suffix in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut pre = Sha256::new();
+        pre.update(&prefix);
+        let full: Vec<u8> = [&prefix[..], &suffix].concat();
+        let oneshot = Sha256::digest(&full);
+        // Reusable midstate: finalize_suffix leaves `pre` untouched, so
+        // it can complete many candidates.
+        prop_assert_eq!(pre.finalize_suffix(&suffix), oneshot);
+        prop_assert_eq!(pre.finalize_suffix(&suffix), oneshot);
+        // Explicit clone path (what the benches time).
+        let mut h = pre.clone();
+        h.update(&suffix);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// Multi-buffer hashing: `digest_many` must agree with per-message
+    /// [`Sha256::digest`] for any mix of lengths — equal-length runs go
+    /// through the 4-way interleaved compressor, stragglers through the
+    /// scalar path, and the seams between the two must be invisible.
+    #[test]
+    fn sha256_digest_many_equals_serial(
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 0..12),
+        equalize in any::<bool>(),
+        len in 0usize..150,
+    ) {
+        let msgs = if equalize {
+            // Force equal lengths so the interleaved path is actually hit.
+            msgs.into_iter().map(|mut m| { m.resize(len, 0x5a); m }).collect::<Vec<_>>()
+        } else {
+            msgs
+        };
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let serial: Vec<_> = refs.iter().map(|m| Sha256::digest(m)).collect();
+        prop_assert_eq!(Sha256::digest_many(&refs), serial);
+    }
+
     #[test]
     fn hmac_verifies_and_rejects(key in proptest::collection::vec(any::<u8>(), 0..80), msg in proptest::collection::vec(any::<u8>(), 0..128), flip in any::<prop::sample::Index>()) {
         let tag = HmacSha256::mac(&key, &msg);
@@ -232,6 +279,73 @@ proptest! {
             _ => false,
         };
         prop_assert_eq!(confirmed, truth);
+    }
+
+    /// Backend × thread-count sweep: the responder's reply must be
+    /// byte-identical across the S-box oracle and the T-table backend at
+    /// 1/2/4/8 worker threads, for random profiles, protocols, and
+    /// moduli. One reference run (S-box, sequential) pins all fifteen
+    /// other combinations.
+    #[test]
+    fn reply_bit_identical_across_backends_and_threads(
+        owned_mask in 0u32..32,
+        beta in 1usize..4,
+        kind_idx in 0usize..3,
+        p_idx in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        use msb_crypto::aes::CipherBackend;
+        use sealed_bottle::core::protocol::Parallelism;
+
+        let kind = [ProtocolKind::P1, ProtocolKind::P2, ProtocolKind::P3][kind_idx];
+        let p = [7u64, 11][p_idx]; // small p forces collision-heavy trial loops
+        let attrs: Vec<Attribute> =
+            (0..5).map(|i| Attribute::new("t", format!("a{i}"))).collect();
+        let request = RequestProfile::threshold(attrs.clone(), beta).unwrap();
+        let owned: Vec<Attribute> = attrs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| owned_mask >> i & 1 == 1)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let user = Profile::from_attributes(owned);
+
+        let mut reference_config = ProtocolConfig::new(kind, p);
+        reference_config.cipher_backend = CipherBackend::Sbox;
+        reference_config.parallelism = Parallelism::SEQUENTIAL;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, pkg) = Initiator::create(&request, 0, &reference_config, 0, &mut rng);
+
+        let reference = Responder::new(1, user.clone(), &reference_config)
+            .handle(&pkg, 100, &mut StdRng::seed_from_u64(seed ^ 1));
+        for backend in [CipherBackend::Sbox, CipherBackend::Table] {
+            for threads in [1usize, 2, 4, 8] {
+                let mut config = reference_config.clone();
+                config.cipher_backend = backend;
+                config.parallelism = Parallelism::new(threads);
+                let outcome = Responder::new(1, user.clone(), &config)
+                    .handle(&pkg, 100, &mut StdRng::seed_from_u64(seed ^ 1));
+                match (&reference, &outcome) {
+                    (
+                        ResponderOutcome::Reply { reply: ra, verified: va, .. },
+                        ResponderOutcome::Reply { reply: rb, verified: vb, .. },
+                    ) => {
+                        prop_assert_eq!(
+                            ra.encode(), rb.encode(),
+                            "wire bytes diverged: backend {:?}, {} threads", backend, threads
+                        );
+                        prop_assert_eq!(va, vb);
+                    }
+                    (ResponderOutcome::NoVerifiedMatch, ResponderOutcome::NoVerifiedMatch)
+                    | (ResponderOutcome::NotCandidate, ResponderOutcome::NotCandidate) => {}
+                    (a, b) => {
+                        return Err(proptest::TestCaseError::fail(format!(
+                            "outcome shape diverged (backend {backend:?}, {threads} threads): {a:?} vs {b:?}"
+                        )));
+                    }
+                }
+            }
+        }
     }
 
     /// Channel integrity under arbitrary tampering.

@@ -286,6 +286,92 @@ fn parallel_p1_trials_byte_identical_to_sequential() {
     }
 }
 
+/// Backend policy for the key-trial paths (docs/CRYPTO.md): wherever
+/// candidate keys are compared — the Responder's Protocol-1 trial loop
+/// and the Initiator's ack check — the constant-memory S-box oracle
+/// must stay the default. The T-table backend (key-dependent cache
+/// access) is opt-in only, via `MSB_AES_BACKEND=table`, and is always
+/// fair game for adversary simulations (the attacker has no key
+/// material of its own to protect) and for bulk throughput paths the
+/// operator explicitly opts into.
+#[test]
+fn sbox_oracle_is_the_default_for_candidate_key_trials() {
+    use msb_crypto::aes::CipherBackend;
+
+    // The type-level default is the oracle…
+    assert_eq!(CipherBackend::default(), CipherBackend::Sbox);
+    // …and so is every unset/empty/unrecognised environment value. The
+    // pure helper mirrors exactly what `from_env` caches, so this also
+    // pins the parsing the CI backend sweep relies on.
+    for sbox in [None, Some(""), Some("0"), Some("fast"), Some("tables!")] {
+        assert_eq!(CipherBackend::from_env_value(sbox), CipherBackend::Sbox);
+    }
+    for (value, want) in [
+        ("sbox", CipherBackend::Sbox),
+        ("S-Box", CipherBackend::Sbox),
+        ("table", CipherBackend::Table),
+        ("T-Table", CipherBackend::Table),
+        ("TTABLE", CipherBackend::Table),
+    ] {
+        assert_eq!(CipherBackend::from_env_value(Some(value)), want);
+    }
+
+    // The trial paths take their backend from `ProtocolConfig`, which is
+    // seeded from the environment the same way `MSB_THREADS` seeds
+    // `parallelism` — never silently upgraded elsewhere.
+    let config = ProtocolConfig::new(ProtocolKind::P1, 11);
+    assert_eq!(config.cipher_backend, CipherBackend::from_env());
+}
+
+/// Sweeping the AES backend across the candidate-trial path must change
+/// nothing observable: same outcome shape, same verified set, same wire
+/// bytes, and a reply produced under one backend opens under the other.
+/// This is what makes the T-table opt-in safe to enable per deployment
+/// without re-validating the protocol.
+#[test]
+fn backend_sweep_trial_path_byte_identical() {
+    use msb_crypto::aes::CipherBackend;
+    let mut rng = StdRng::seed_from_u64(21);
+    let words = vocab(8);
+    let mut sbox_config = ProtocolConfig::new(ProtocolKind::P1, 5); // p=5: many candidates
+    sbox_config.cipher_backend = CipherBackend::Sbox;
+    let mut table_config = sbox_config.clone();
+    table_config.cipher_backend = CipherBackend::Table;
+
+    let (mut initiator, pkg) =
+        Initiator::create(&request_from(&words), 0, &sbox_config, 0, &mut rng);
+
+    let mut weak_attrs = vec![words[0].clone(), words[1].clone()];
+    weak_attrs.extend((0..20).map(|i| Attribute::new("noise", format!("n{i}"))));
+    let weak = Profile::from_attributes(weak_attrs);
+
+    for profile in [matching_profile(&words), weak] {
+        let sbox_responder = Responder::new(3, profile.clone(), &sbox_config);
+        let table_responder = Responder::new(3, profile, &table_config);
+        let mut sbox_rng = StdRng::seed_from_u64(77);
+        let mut table_rng = StdRng::seed_from_u64(77);
+        match (
+            sbox_responder.handle(&pkg, 100, &mut sbox_rng),
+            table_responder.handle(&pkg, 100, &mut table_rng),
+        ) {
+            (
+                ResponderOutcome::Reply { reply: ra, verified: va, stats: ta, .. },
+                ResponderOutcome::Reply { reply: rb, verified: vb, stats: tb, .. },
+            ) => {
+                assert_eq!(ra.encode(), rb.encode(), "wire bytes must not depend on backend");
+                assert_eq!(va, vb);
+                assert_eq!(ta, tb);
+                // The S-box initiator accepts the T-table responder's
+                // reply: the backends interoperate on the wire.
+                assert_eq!(initiator.process_reply(&rb, 1_000).len(), 1);
+            }
+            (ResponderOutcome::NoVerifiedMatch, ResponderOutcome::NoVerifiedMatch)
+            | (ResponderOutcome::NotCandidate, ResponderOutcome::NotCandidate) => {}
+            (a, b) => panic!("outcome shape diverged across backends: {a:?} vs {b:?}"),
+        }
+    }
+}
+
 /// DoS via request floods is contained by the per-sender rate guard
 /// (paper §II-B), while legitimate traffic flows.
 #[test]
