@@ -4,7 +4,10 @@
 //! fetches, and both directions are timed end-to-end (socket writes,
 //! MSBW reframing, services routing, inbox storage — the full stack).
 //! A final row floods past the rate guard to price the shedding path:
-//! rejected deposits should cost less than admitted ones.
+//! rejected deposits should cost less than admitted ones — and a
+//! poll-tax row prices an empty fetch (the cost every idle client pays
+//! per poll), measured from the server's own service-time histograms
+//! (`MetricsDump`), so the p50/p99 exclude the client and socket side.
 //!
 //! Regenerate with
 //! `cargo run -p msb-bench --release --bin fig11_relay`; `--json`
@@ -39,6 +42,15 @@ struct RunResult {
     fetch_ms: f64,
     batches: usize,
     bytes: u64,
+    /// Server-side deposit service time (µs): (p50, p99).
+    dep_svc_us: (u64, u64),
+    /// Server-side fetch service time (µs): (p50, p99).
+    fetch_svc_us: (u64, u64),
+}
+
+/// p50/p99 of a service-time histogram (0s when nothing was recorded).
+fn svc_pcts(h: &msb_telemetry::LogHistogram) -> (u64, u64) {
+    (h.percentile(0.50).unwrap_or(0), h.percentile(0.99).unwrap_or(0))
 }
 
 fn run_throughput(payload: usize, frames: usize) -> RunResult {
@@ -75,13 +87,42 @@ fn run_throughput(payload: usize, frames: usize) -> RunResult {
     });
     assert_eq!(got, frames, "delivered count mismatch");
 
-    let stats = server.stats();
-    assert_eq!(stats.deposits_accepted, frames as u64);
-    assert_eq!(stats.messages_delivered, frames as u64);
-    assert_eq!(stats.inbox_depth, 0);
+    let dump = server.metrics();
+    assert_eq!(dump.stats.deposits_accepted, frames as u64);
+    assert_eq!(dump.stats.messages_delivered, frames as u64);
+    assert_eq!(dump.stats.inbox_depth, 0);
+    assert_eq!(dump.deposit_service_us.count(), frames as u64);
     server.shutdown();
 
-    RunResult { payload, frames, deposit_ms, fetch_ms, batches, bytes }
+    RunResult {
+        payload,
+        frames,
+        deposit_ms,
+        fetch_ms,
+        batches,
+        bytes,
+        dep_svc_us: svc_pcts(&dump.deposit_service_us),
+        fetch_svc_us: svc_pcts(&dump.fetch_service_us),
+    }
+}
+
+/// The poll tax: an idle client polling an empty inbox. Returns the
+/// server-side (p50, p99) fetch service time in µs over `polls` polls,
+/// plus the end-to-end wall time.
+fn run_poll_tax(polls: usize) -> ((u64, u64), f64) {
+    let mut server = RelayServer::spawn(ServerConfig::default()).expect("spawn relay");
+    let mut client = RelayClient::connect(server.addr()).expect("connect");
+    assert_eq!(client.hello(0).expect("hello").code, AckCode::Ok);
+
+    let (_, wall_ms) = time_once(|| {
+        for _ in 0..polls {
+            assert!(client.fetch(0).expect("poll").is_empty(), "inbox not empty");
+        }
+    });
+    let dump = server.metrics();
+    assert_eq!(dump.fetch_service_us.count(), polls as u64);
+    server.shutdown();
+    (svc_pcts(&dump.fetch_service_us), wall_ms)
 }
 
 /// Floods one sender far past the guard budget and times the whole
@@ -123,6 +164,7 @@ fn main() {
     let results: Vec<RunResult> =
         PAYLOAD_SIZES.iter().map(|&p| run_throughput(p, frames)).collect();
     let (admitted, shed, flood_ms) = run_flood(frames);
+    let ((poll_p50, poll_p99), poll_ms) = run_poll_tax(frames);
 
     let rate = |n: usize, ms: f64| if ms > 0.0 { n as f64 / ms * 1000.0 } else { f64::NAN };
     let mbps = |bytes: u64, ms: f64| {
@@ -138,7 +180,9 @@ fn main() {
             println!(
                 "{{\"bench\": \"fig11_relay\", \"payload\": {}, \"frames\": {}, \
                  \"deposit_ms\": {:.1}, \"fetch_ms\": {:.1}, \"fetch_batches\": {}, \
-                 \"deposits_per_s\": {:.0}, \"fetch_mib_per_s\": {:.1}}}",
+                 \"deposits_per_s\": {:.0}, \"fetch_mib_per_s\": {:.1}, \
+                 \"deposit_svc_p50_us\": {}, \"deposit_svc_p99_us\": {}, \
+                 \"fetch_svc_p50_us\": {}, \"fetch_svc_p99_us\": {}}}",
                 r.payload,
                 r.frames,
                 r.deposit_ms,
@@ -146,11 +190,20 @@ fn main() {
                 r.batches,
                 rate(r.frames, r.deposit_ms),
                 mbps(r.bytes, r.fetch_ms),
+                r.dep_svc_us.0,
+                r.dep_svc_us.1,
+                r.fetch_svc_us.0,
+                r.fetch_svc_us.1,
             );
         }
         println!(
             "{{\"bench\": \"fig11_relay\", \"mode\": \"flood\", \"frames\": {frames}, \
              \"admitted\": {admitted}, \"shed\": {shed}, \"wall_ms\": {flood_ms:.1}}}"
+        );
+        println!(
+            "{{\"bench\": \"fig11_relay\", \"mode\": \"poll_tax\", \"polls\": {frames}, \
+             \"wall_ms\": {poll_ms:.1}, \"fetch_svc_p50_us\": {poll_p50}, \
+             \"fetch_svc_p99_us\": {poll_p99}}}"
         );
     } else {
         let mut rows: Vec<Vec<String>> = results
@@ -163,6 +216,8 @@ fn main() {
                     format!("{:.0}/s", rate(r.frames, r.deposit_ms)),
                     fmt_ms(r.fetch_ms),
                     format!("{} batches, {:.1} MiB/s", r.batches, mbps(r.bytes, r.fetch_ms)),
+                    format!("{}/{}", r.dep_svc_us.0, r.dep_svc_us.1),
+                    format!("{}/{}", r.fetch_svc_us.0, r.fetch_svc_us.1),
                 ]
             })
             .collect();
@@ -173,15 +228,41 @@ fn main() {
             format!("{:.0}/s", rate(frames, flood_ms)),
             "-".into(),
             format!("{admitted} admitted, {shed} shed"),
+            "-".into(),
+            "-".into(),
+        ]);
+        rows.push(vec![
+            "poll tax".into(),
+            format!("{frames}"),
+            "-".into(),
+            format!("{:.0}/s", rate(frames, poll_ms)),
+            fmt_ms(poll_ms),
+            "empty fetches".into(),
+            "-".into(),
+            format!("{poll_p50}/{poll_p99}"),
         ]);
         print_table(
             "Fig. 11 (ext) — relay server over loopback TCP (deposit + batched fetch)",
-            &["Bottle", "Frames", "Deposit", "Rate", "Fetch", "Drain"],
+            &[
+                "Bottle",
+                "Frames",
+                "Deposit",
+                "Rate",
+                "Fetch",
+                "Drain",
+                "dep µs p50/p99",
+                "fetch µs p50/p99",
+            ],
             &rows,
         );
         println!(
             "flood row: one sender past the rate guard — shed deposits are acked \
              RateLimited without touching the inbox"
+        );
+        println!(
+            "poll-tax row: an idle client polling an empty inbox; the µs columns are \
+             the server's own service-time histograms (MetricsDump), excluding the \
+             socket round-trip"
         );
     }
 }

@@ -15,7 +15,10 @@ pub mod swarm;
 use msb_baselines::cost::OpCostTable;
 use std::time::Instant;
 
-/// Mean/min/max of a timed operation, in milliseconds.
+/// Mean/min/max and nearest-rank percentiles of a timed operation, in
+/// milliseconds. The percentile ranks are the workspace's shared
+/// definition ([`msb_telemetry::nearest_rank`]), so a bench row's p99
+/// and a relay histogram's p99 mean the same thing.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeStats {
     /// Mean per-iteration time.
@@ -24,6 +27,12 @@ pub struct TimeStats {
     pub min_ms: f64,
     /// Slowest iteration.
     pub max_ms: f64,
+    /// Median iteration.
+    pub p50_ms: f64,
+    /// 95th-percentile iteration.
+    pub p95_ms: f64,
+    /// 99th-percentile iteration.
+    pub p99_ms: f64,
 }
 
 /// Times `f` over `iters` iterations after `warmup` unmeasured ones.
@@ -32,18 +41,28 @@ pub fn time_stats<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> TimeStat
     for _ in 0..warmup {
         f();
     }
-    let mut min = f64::INFINITY;
-    let mut max: f64 = 0.0;
+    let mut samples = Vec::with_capacity(iters);
     let mut total = 0.0;
     for _ in 0..iters {
         let start = Instant::now();
         f();
         let ms = start.elapsed().as_secs_f64() * 1e3;
-        min = min.min(ms);
-        max = max.max(ms);
         total += ms;
+        samples.push(ms);
     }
-    TimeStats { mean_ms: total / iters as f64, min_ms: min, max_ms: max }
+    samples.sort_by(f64::total_cmp);
+    let pct = |p: f64| {
+        let rank = msb_telemetry::nearest_rank(samples.len(), p).expect("iters > 0");
+        samples[rank - 1]
+    };
+    TimeStats {
+        mean_ms: total / iters as f64,
+        min_ms: samples[0],
+        max_ms: samples[iters - 1],
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+    }
 }
 
 /// Times one execution of `f` and returns (result, elapsed ms).
@@ -192,6 +211,8 @@ mod tests {
             std::hint::black_box((0..100).sum::<u64>());
         });
         assert!(s.min_ms <= s.mean_ms && s.mean_ms <= s.max_ms);
+        assert!(s.min_ms <= s.p50_ms && s.p50_ms <= s.p95_ms);
+        assert!(s.p95_ms <= s.p99_ms && s.p99_ms <= s.max_ms);
         assert!(s.min_ms >= 0.0);
     }
 

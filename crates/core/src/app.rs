@@ -584,15 +584,60 @@ impl SwarmSummary {
     }
 
     /// The `p`-th percentile (0.0–1.0, nearest-rank) of match latency,
-    /// or `None` when nothing matched.
+    /// or `None` when nothing matched. Defers to the workspace's one
+    /// percentile implementation ([`msb_telemetry::percentile_sorted`],
+    /// the same nearest rank the telemetry histograms use) — results
+    /// are unchanged from the historical inline computation.
     pub fn latency_percentile_us(&self, p: f64) -> Option<u64> {
         assert!((0.0..=1.0).contains(&p), "percentile must be in 0..=1");
-        if self.match_latencies_us.is_empty() {
-            return None;
+        msb_telemetry::percentile_sorted(&self.match_latencies_us, p)
+    }
+
+    /// The match-latency distribution as a telemetry histogram — the
+    /// log₂-bucketed form the relay and bench layers report. Percentile
+    /// *ranks* agree with [`SwarmSummary::latency_percentile_us`]; the
+    /// histogram resolves values to bucket upper bounds.
+    pub fn latency_histogram(&self) -> msb_telemetry::LogHistogram {
+        let mut h = msb_telemetry::LogHistogram::new();
+        for &v in &self.match_latencies_us {
+            h.record(v);
         }
-        let rank = ((p * self.match_latencies_us.len() as f64).ceil() as usize)
-            .clamp(1, self.match_latencies_us.len());
-        Some(self.match_latencies_us[rank - 1])
+        h
+    }
+}
+
+/// Bridges one node's [`AppEvent`] log into a telemetry
+/// [`msb_telemetry::Recorder`]: every protocol phase becomes a labelled
+/// counter (`app.phase.*`, label = node id), and match confirmations —
+/// the one event the log timestamps — additionally become
+/// [`msb_telemetry::TraceTag::ProtocolPhase`] trace instants
+/// (`a` = responder id). The log is already a pure function of the run,
+/// so the bridged telemetry is deterministic by construction; run it
+/// post-hoc over a finished simulation, or per window between
+/// `run_until` calls.
+pub fn trace_protocol_phases(node: u32, events: &[AppEvent], rec: &mut msb_telemetry::Recorder) {
+    for event in events {
+        let phase = match event {
+            AppEvent::RequestSent { .. } => "app.phase.request_sent",
+            AppEvent::Relayed { .. } => "app.phase.relayed",
+            AppEvent::Reflooded { .. } => "app.phase.reflooded",
+            AppEvent::BecameCandidate { .. } => "app.phase.candidate",
+            AppEvent::ReplySent { .. } => "app.phase.reply_sent",
+            AppEvent::MatchConfirmed { .. } => "app.phase.match_confirmed",
+            AppEvent::ReplyRejected { .. } => "app.phase.reply_rejected",
+            AppEvent::RateLimited { .. } => "app.phase.rate_limited",
+            AppEvent::DecodeFailed { .. } => "app.phase.decode_failed",
+        };
+        rec.incr(phase, node, 1);
+        if let AppEvent::MatchConfirmed { responder, at_us } = event {
+            rec.event(
+                msb_telemetry::TraceTag::ProtocolPhase,
+                node,
+                *at_us,
+                u64::from(*responder),
+                0,
+            );
+        }
     }
 }
 

@@ -27,6 +27,7 @@ pub struct RateGuard<K: Eq + Hash> {
     window_us: u64,
     max_in_window: usize,
     history: HashMap<K, Vec<u64>>,
+    sheds: u64,
 }
 
 impl<K: Eq + Hash> RateGuard<K> {
@@ -37,7 +38,7 @@ impl<K: Eq + Hash> RateGuard<K> {
     /// Panics if `max_in_window` is zero.
     pub fn new(window_us: u64, max_in_window: usize) -> Self {
         assert!(max_in_window > 0, "window must allow at least one event");
-        RateGuard { window_us, max_in_window, history: HashMap::new() }
+        RateGuard { window_us, max_in_window, history: HashMap::new(), sheds: 0 }
     }
 
     /// Records an event from `sender` at `now_us`; returns whether it is
@@ -54,6 +55,7 @@ impl<K: Eq + Hash> RateGuard<K> {
         let entry = self.history.entry(sender).or_default();
         entry.retain(|&t| now_us.saturating_sub(t) < window);
         if entry.len() >= self.max_in_window {
+            self.sheds += 1;
             return false;
         }
         entry.push(now_us);
@@ -94,6 +96,12 @@ impl<K: Eq + Hash> RateGuard<K> {
     /// The per-sender event budget within one window.
     pub fn max_in_window(&self) -> usize {
         self.max_in_window
+    }
+
+    /// Total events rejected by [`RateGuard::allow`] over this guard's
+    /// lifetime (never reset by `compact`).
+    pub fn sheds(&self) -> u64 {
+        self.sheds
     }
 }
 
@@ -184,5 +192,18 @@ mod tests {
         let g: RateGuard<u32> = RateGuard::new(2_000_000, 16);
         assert_eq!(g.window_us(), 2_000_000);
         assert_eq!(g.max_in_window(), 16);
+    }
+
+    #[test]
+    fn sheds_count_rejections_only() {
+        let mut g: RateGuard<u32> = RateGuard::new(1000, 1);
+        assert_eq!(g.sheds(), 0);
+        assert!(g.allow(1, 0));
+        assert!(!g.allow(1, 10));
+        assert!(!g.allow(1, 20));
+        assert!(g.allow(2, 20)); // other senders unaffected
+        assert_eq!(g.sheds(), 2);
+        g.compact(5000);
+        assert_eq!(g.sheds(), 2, "compact must not reset the lifetime counter");
     }
 }

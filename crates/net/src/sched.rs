@@ -728,6 +728,24 @@ impl<T> AnyScheduler<T> {
             SchedulerMode::Calendar => AnyScheduler::Calendar(CalendarScheduler::new()),
         }
     }
+
+    /// How many times the adaptive calendar width has rebuilt the ring
+    /// (0 for the heap engine, which never resizes).
+    pub fn resizes(&self) -> u64 {
+        match self {
+            AnyScheduler::Heap(_) => 0,
+            AnyScheduler::Calendar(s) => s.resizes(),
+        }
+    }
+
+    /// The calendar's current bucket width in microseconds (`None` for
+    /// the heap engine).
+    pub fn bucket_width_us(&self) -> Option<u64> {
+        match self {
+            AnyScheduler::Heap(_) => None,
+            AnyScheduler::Calendar(s) => Some(s.bucket_width_us()),
+        }
+    }
 }
 
 impl<T: Clone> Scheduler<T> for AnyScheduler<T> {

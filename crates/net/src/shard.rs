@@ -50,6 +50,7 @@ use crate::sim::{
 };
 use crate::topo::{distance, Topology};
 use msb_lattice::LatticeConfig;
+use msb_telemetry::{Recorder, TraceTag};
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
@@ -74,6 +75,15 @@ struct ShardCore<A> {
     outbox: Vec<ScheduledEvent<EventKind>>,
     targets_buf: Vec<(u32, f64)>,
     knear_buf: Vec<u32>,
+    /// Per-core observability sink (off by default). Owned by the core
+    /// so parallel windows record without any cross-thread contention;
+    /// the coordinator merges deterministically on demand
+    /// ([`ShardedSimulator::telemetry`]). Everything recorded is
+    /// derived from sim state — never wall clock — so traces are a
+    /// pure function of `(seed, config, apps)`.
+    telemetry: Recorder,
+    /// Calendar resizes already reported as trace events.
+    seen_resizes: u64,
 }
 
 impl<A: NodeApp> ShardCore<A> {
@@ -90,6 +100,8 @@ impl<A: NodeApp> ShardCore<A> {
             outbox: Vec::new(),
             targets_buf: Vec::new(),
             knear_buf: Vec::new(),
+            telemetry: Recorder::off(),
+            seen_resizes: 0,
         }
     }
 
@@ -102,6 +114,7 @@ impl<A: NodeApp> ShardCore<A> {
     /// `events_scheduled` — each event is counted exactly once
     /// simulation-wide, at the core that enqueues it for processing.
     fn ingest(&mut self, inbound: Vec<ScheduledEvent<EventKind>>) {
+        self.telemetry.incr("shard.ingested", self.shard, inbound.len() as u64);
         for ev in inbound {
             debug_assert!(ev.recur.is_none(), "cross-shard events are never recurring");
             self.queue.schedule(ev.at_us, ev.key, ev.item);
@@ -115,14 +128,18 @@ impl<A: NodeApp> ShardCore<A> {
         self.note_queue();
     }
 
-    /// Processes every local event with `at ≤ horizon`.
-    fn process_until(&mut self, horizon: u64) {
+    /// Processes every local event with `at ≤ horizon`; returns how
+    /// many events were popped (the window-span payload).
+    fn process_until(&mut self, horizon: u64) -> u64 {
+        let mut popped = 0u64;
         while let Some((at, _)) = self.queue.peek() {
             if at > horizon {
                 break;
             }
             self.step();
+            popped += 1;
         }
+        popped
     }
 
     fn step(&mut self) -> bool {
@@ -131,6 +148,16 @@ impl<A: NodeApp> ShardCore<A> {
         };
         self.note_queue();
         self.now_us = at_us;
+        if self.telemetry.is_on() {
+            self.telemetry.incr("shard.pops", self.shard, 1);
+            self.telemetry.gauge_max("shard.queue_depth", self.shard, self.queue.len() as u64);
+            let resizes = self.queue.resizes();
+            if resizes > self.seen_resizes {
+                self.seen_resizes = resizes;
+                let width = self.queue.bucket_width_us().unwrap_or(0);
+                self.telemetry.event(TraceTag::SchedResize, self.shard, at_us, resizes, width);
+            }
+        }
         match kind {
             EventKind::Deliver { to, from, payload } => {
                 if self.config.batch_delivery {
@@ -231,6 +258,7 @@ impl<A: NodeApp> ShardCore<A> {
         if self.owner[kind.target().index()] == self.shard {
             self.push_local(at_us, key, kind);
         } else {
+            self.telemetry.incr("shard.outbound", self.shard, 1);
             self.outbox.push(ScheduledEvent { at_us, key, recur: None, item: kind });
         }
     }
@@ -325,7 +353,9 @@ impl<A: NodeApp> ShardCore<A> {
 /// Window command sent to a worker; `Exit` ends the worker loop.
 enum Cmd {
     /// Ingest `inbound`, process every local event `≤ horizon`, reply.
+    /// `start` is t₀, the global window floor (telemetry span origin).
     Window {
+        start: u64,
         horizon: u64,
         inbound: Vec<ScheduledEvent<EventKind>>,
     },
@@ -358,6 +388,11 @@ pub struct ShardedSimulator<A: NodeApp> {
     owner: Vec<u32>,
     now_us: u64,
     ext_seq: u64,
+    /// Coordinator-side sink: quiesce/handoff events (recorded between
+    /// windows, on the coordinator thread). Worker-side series live in
+    /// each [`ShardCore::telemetry`]; [`ShardedSimulator::telemetry`]
+    /// merges the lot deterministically.
+    telemetry: Recorder,
 }
 
 impl<A: NodeApp> ShardedSimulator<A> {
@@ -395,7 +430,32 @@ impl<A: NodeApp> ShardedSimulator<A> {
             owner: Vec::new(),
             now_us: 0,
             ext_seq: 0,
+            telemetry: Recorder::off(),
         }
+    }
+
+    /// Turns telemetry on for the coordinator and every core, keeping
+    /// the most recent `trace_cap` trace events per core. Enabling
+    /// telemetry changes no simulated outcome — the differential suite
+    /// pins on-vs-off bit-identity at every shard count.
+    pub fn enable_telemetry(&mut self, trace_cap: usize) {
+        self.telemetry = Recorder::on(trace_cap);
+        for core in &mut self.cores {
+            core.telemetry = Recorder::on(trace_cap);
+        }
+    }
+
+    /// The merged telemetry view: per-core metric sets fold
+    /// commutatively (ascending shard order, grouping immaterial) and
+    /// traces merge sorted by `(at_us, actor)`, so the result is
+    /// deterministic for a given `(seed, config, apps, shards)` —
+    /// independent of worker-thread timing. Coordinator events
+    /// (quiesce, handoff) carry `actor == shard_count`.
+    pub fn telemetry(&self) -> Recorder {
+        let mut parts: Vec<Recorder> = Vec::with_capacity(self.cores.len() + 1);
+        parts.push(self.telemetry.clone());
+        parts.extend(self.cores.iter().map(|c| c.telemetry.clone()));
+        Recorder::merge_all(&parts)
     }
 
     /// Number of shards (cores).
@@ -577,6 +637,20 @@ impl<A: NodeApp> ShardedSimulator<A> {
             );
             core.note_queue();
         }
+        if self.telemetry.is_on() {
+            let coord = self.cores.len() as u32;
+            self.telemetry.event(
+                TraceTag::Quiesce,
+                coord,
+                self.now_us,
+                moves.len() as u64,
+                in_flight.len() as u64,
+            );
+            for &(i, dst) in &moves {
+                let from_to = (u64::from(self.owner[i]) << 32) | u64::from(dst);
+                self.telemetry.event(TraceTag::Handoff, coord, self.now_us, i as u64, from_to);
+            }
+        }
         for &(i, dst) in &moves {
             let node = i as u32;
             let state = self.cores[self.owner[i] as usize]
@@ -606,6 +680,11 @@ impl<A: NodeApp> ShardedSimulator<A> {
         let old_owner = self.owner[i];
         if new_owner == old_owner {
             return;
+        }
+        if self.telemetry.is_on() {
+            let coord = self.cores.len() as u32;
+            let from_to = (u64::from(old_owner) << 32) | u64::from(new_owner);
+            self.telemetry.event(TraceTag::Handoff, coord, self.now_us, i as u64, from_to);
         }
         let node = i as u32;
         let state = self.cores[old_owner as usize]
@@ -720,9 +799,28 @@ impl<A: NodeApp + Send> ShardedSimulator<A> {
                 s.spawn(move || {
                     while let Ok(cmd) = rx.recv() {
                         match cmd {
-                            Cmd::Window { horizon, inbound } => {
+                            Cmd::Window { start, horizon, inbound } => {
+                                let ingested = inbound.len() as u64;
                                 core.ingest(inbound);
-                                core.process_until(horizon);
+                                let popped = core.process_until(horizon);
+                                if core.telemetry.is_on() {
+                                    // Span stamped from sim time (the
+                                    // window bounds), not wall clock:
+                                    // deterministic by construction.
+                                    let tag = if popped == 0 {
+                                        TraceTag::Stall
+                                    } else {
+                                        TraceTag::Window
+                                    };
+                                    core.telemetry.span(
+                                        tag,
+                                        core.shard,
+                                        start,
+                                        horizon - start + 1,
+                                        popped,
+                                        ingested,
+                                    );
+                                }
                                 let reply = Reply {
                                     shard,
                                     next: core.next_time(),
@@ -759,7 +857,7 @@ impl<A: NodeApp + Send> ShardedSimulator<A> {
                 // 3. Parallel window execution.
                 for (i, tx) in cmd_txs.iter().enumerate() {
                     let inbound = std::mem::take(&mut pending[i]);
-                    tx.send(Cmd::Window { horizon, inbound }).expect("worker alive");
+                    tx.send(Cmd::Window { start: t0, horizon, inbound }).expect("worker alive");
                 }
                 // 4. Barrier: collect every reply, then route outboxes
                 // in ascending shard order.

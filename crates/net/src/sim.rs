@@ -18,6 +18,7 @@
 use crate::payload::Payload;
 use crate::sched::{AnyScheduler, EventKey, Scheduler};
 use crate::topo::{distance, Topology};
+use msb_telemetry::{Recorder, TraceTag};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -481,6 +482,15 @@ pub struct Simulator<A: NodeApp> {
     targets_buf: Vec<(u32, f64)>,
     /// Scratch for fan-out-capped target lists.
     knear_buf: Vec<u32>,
+    /// Observability sink — [`Recorder::off`] (a no-op) unless
+    /// [`Simulator::enable_telemetry`] was called. Everything recorded
+    /// here is derived from sim state (sim clock, queue lengths, pop
+    /// counts), never wall clock, so traces are deterministic — and
+    /// recording never feeds back into the run (the differential suite
+    /// pins on-vs-off bit-identity).
+    telemetry: Recorder,
+    /// Calendar resizes already reported as trace events.
+    seen_resizes: u64,
 }
 
 impl<A: NodeApp> Simulator<A> {
@@ -497,7 +507,22 @@ impl<A: NodeApp> Simulator<A> {
             ext_seq: 0,
             targets_buf: Vec::new(),
             knear_buf: Vec::new(),
+            telemetry: Recorder::off(),
+            seen_resizes: 0,
         }
+    }
+
+    /// Turns the telemetry sink on, keeping the most recent
+    /// `trace_cap` trace events. Enabling telemetry changes no
+    /// simulated outcome (same events, matches, RNG draws, and
+    /// [`Metrics`]) — it only records.
+    pub fn enable_telemetry(&mut self, trace_cap: usize) {
+        self.telemetry = Recorder::on(trace_cap);
+    }
+
+    /// The telemetry sink (empty and off by default).
+    pub fn telemetry(&self) -> &Recorder {
+        &self.telemetry
     }
 
     /// Adds a node at `position`, returning its id.
@@ -600,6 +625,16 @@ impl<A: NodeApp> Simulator<A> {
         // A recurring entry may have re-armed inside the pop.
         self.note_queue();
         self.now_us = at_us;
+        if self.telemetry.is_on() {
+            self.telemetry.incr("sim.pops", 0, 1);
+            self.telemetry.gauge_max("sim.queue_depth", 0, self.queue.len() as u64);
+            let resizes = self.queue.resizes();
+            if resizes > self.seen_resizes {
+                self.seen_resizes = resizes;
+                let width = self.queue.bucket_width_us().unwrap_or(0);
+                self.telemetry.event(TraceTag::SchedResize, 0, at_us, resizes, width);
+            }
+        }
         match kind {
             EventKind::Deliver { to, from, payload } => {
                 if self.config.batch_delivery {

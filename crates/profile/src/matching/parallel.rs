@@ -121,17 +121,34 @@ where
     // suffices — the only cross-thread handoff that must be ordered is
     // the results, and `scope`'s join synchronizes those.
     let next = &AtomicUsize::new(0);
+    // Per-worker claim counts and busy time go to the opt-in global
+    // registry. Which worker claims which index is scheduling-dependent
+    // (and busy time is wall clock), so these series are explicitly
+    // outside the determinism contract — they must never feed the
+    // deterministic sinks or the output merge (results are slotted by
+    // index, not worker).
+    let observe = msb_telemetry::global::enabled();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 s.spawn(move || {
                     let mut out = Vec::new();
+                    let mut claims = 0u64;
+                    let started = observe.then(std::time::Instant::now);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
+                        claims += 1;
                         out.push((i, f(i)));
+                    }
+                    if let Some(t0) = started {
+                        let busy_us = t0.elapsed().as_micros() as u64;
+                        msb_telemetry::global::with(|m| {
+                            m.incr("match.worker.claims", w as u32, claims);
+                            m.incr("match.worker.busy_us", w as u32, busy_us);
+                        });
                     }
                     out
                 })

@@ -20,8 +20,8 @@ use bytes::Bytes;
 use msb_wire::stream::FrameStream;
 use msb_wire::{peek_kind, FrameKind, Message};
 
-use crate::metrics::StatsSnapshot;
-use crate::proto::{Ack, Delivered, Deposit, Fetch, Hello, InboxBatch, StatsReq};
+use crate::metrics::{MetricsDump, StatsSnapshot};
+use crate::proto::{Ack, Delivered, Deposit, Fetch, Hello, InboxBatch, MetricsReq, StatsReq};
 
 /// A blocking relay client. See the [module docs](self).
 #[derive(Debug)]
@@ -107,6 +107,18 @@ impl RelayClient {
         self.send(&StatsReq.encode())?;
         let frame = self.read_frame()?;
         StatsSnapshot::decode(&frame).map_err(into_io)
+    }
+
+    /// Queries the metrics endpoint: the stats snapshot plus peak
+    /// gauges and per-op service-time histograms.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a malformed response.
+    pub fn metrics_dump(&mut self) -> std::io::Result<MetricsDump> {
+        self.send(&MetricsReq.encode())?;
+        let frame = self.read_frame()?;
+        MetricsDump::decode(&frame).map_err(into_io)
     }
 
     /// Writes raw bytes to the server — the hostile-input path the

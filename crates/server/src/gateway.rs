@@ -104,6 +104,25 @@ impl RelayServer {
         crate::metrics::StatsSnapshot::decode(&resp).expect("server encoded its own snapshot")
     }
 
+    /// A live metrics dump — the stats snapshot plus peak gauges and
+    /// per-op service-time histograms — read in-process (the wire
+    /// endpoint is [`MetricsReq`](crate::proto::MetricsReq)).
+    pub fn metrics(&self) -> crate::metrics::MetricsDump {
+        let mut conn = None;
+        let req = crate::proto::MetricsReq.encode();
+        let resp = self.shared.services.handle_frame(
+            &mut conn,
+            &bytes::Bytes::from(req),
+            self.shared.now_us(),
+        );
+        crate::metrics::MetricsDump::decode(&resp).expect("server encoded its own dump")
+    }
+
+    /// The current metrics as a Prometheus-style text exposition.
+    pub fn exposition(&self) -> String {
+        self.metrics().exposition()
+    }
+
     /// Stops the accept loop, every connection, and the cleanup
     /// worker, joining them all — after this returns, no server thread
     /// is running.

@@ -51,8 +51,10 @@ pub mod worker;
 
 pub use client::RelayClient;
 pub use gateway::RelayServer;
-pub use metrics::StatsSnapshot;
-pub use proto::{Ack, AckCode, Delivered, Deposit, Fetch, Hello, InboxBatch, StatsReq, BROADCAST};
+pub use metrics::{MetricsDump, StatsSnapshot};
+pub use proto::{
+    Ack, AckCode, Delivered, Deposit, Fetch, Hello, InboxBatch, MetricsReq, StatsReq, BROADCAST,
+};
 
 /// Server tuning knobs. The defaults suit the loopback suites; a real
 /// deployment mainly raises `max_per_recipient` and the guard budget.

@@ -1,4 +1,4 @@
-//! The relay control-plane messages (frame kinds `0x20`–`0x26`).
+//! The relay control-plane messages (frame kinds `0x20`–`0x28`).
 //!
 //! Sealed bottles themselves — request and reply frames — are opaque to
 //! the relay: they travel *inside* a [`Deposit`], which adds the one
@@ -245,4 +245,27 @@ impl WireDecode for StatsReq {
 
 impl Message for StatsReq {
     const KIND: FrameKind = FrameKind::RelayStatsReq;
+}
+
+/// A metrics query (empty body). Answered with a
+/// [`MetricsDump`](crate::metrics::MetricsDump): the stats snapshot
+/// plus peak gauges and per-op service-time histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsReq;
+
+impl WireEncode for MetricsReq {
+    fn encoded_len(&self) -> usize {
+        0
+    }
+    fn encode_into(&self, _w: &mut Writer) {}
+}
+
+impl WireDecode for MetricsReq {
+    fn decode_from(_r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(MetricsReq)
+    }
+}
+
+impl Message for MetricsReq {
+    const KIND: FrameKind = FrameKind::RelayMetricsReq;
 }

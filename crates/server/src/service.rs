@@ -69,11 +69,18 @@ impl Services {
     pub fn handle_frame(&self, client: &mut Option<u32>, frame: &Bytes, now_us: u64) -> Vec<u8> {
         match peek_kind(frame) {
             Ok(FrameKind::RelayHello) => self.on_hello(client, frame),
-            Ok(FrameKind::RelayDeposit) => self.on_deposit(*client, frame, now_us),
-            Ok(FrameKind::RelayFetch) => self.on_fetch(*client, frame, now_us),
+            Ok(FrameKind::RelayDeposit) => {
+                timed(&self.stats.deposit_service_us, || self.on_deposit(*client, frame, now_us))
+            }
+            Ok(FrameKind::RelayFetch) => {
+                timed(&self.stats.fetch_service_us, || self.on_fetch(*client, frame, now_us))
+            }
             Ok(FrameKind::RelayStatsReq) => self.on_stats(),
+            Ok(FrameKind::RelayMetricsReq) => self.on_metrics(),
             // The radio idiom: a bare request frame floods to everyone.
-            Ok(FrameKind::Request) => self.admit_deposit(*client, BROADCAST, frame.clone(), now_us),
+            Ok(FrameKind::Request) => timed(&self.stats.deposit_service_us, || {
+                self.admit_deposit(*client, BROADCAST, frame.clone(), now_us)
+            }),
             // A bare reply is unroutable: its destination (the
             // initiator) is exactly what the bottle hides. It must
             // arrive wrapped in a Deposit naming the recipient.
@@ -138,7 +145,9 @@ impl Services {
             drop(inbox);
             return self.reject_malformed();
         };
+        let depth = inbox.depth() as u64;
         drop(inbox);
+        self.stats.inbox_depth_peak.fetch_max(depth, Ordering::Relaxed);
         ServerStats::bump(&self.stats.deposits_accepted);
         encode_ack(Ack::ok(copies))
     }
@@ -186,11 +195,29 @@ impl Services {
     }
 
     fn on_stats(&self) -> Vec<u8> {
+        self.snapshot_now().encode()
+    }
+
+    fn on_metrics(&self) -> Vec<u8> {
+        crate::metrics::MetricsDump {
+            stats: self.snapshot_now(),
+            inbox_depth_peak: self.stats.inbox_depth_peak.load(Ordering::Relaxed),
+            deposit_service_us: self.stats.deposit_service_us.snapshot(),
+            fetch_service_us: self.stats.fetch_service_us.snapshot(),
+        }
+        .encode()
+    }
+
+    /// One consistent snapshot: counters, storage gauges, and the rate
+    /// guard's lifetime shed count (read from the guard itself, so it
+    /// survives [`RateGuard::compact`]).
+    fn snapshot_now(&self) -> crate::metrics::StatsSnapshot {
         let (depth, registered) = {
             let inbox = self.inbox.lock().unwrap();
             (inbox.depth() as u64, inbox.registered().len() as u64)
         };
-        self.stats.snapshot(depth, registered).encode()
+        let sheds = self.guard.lock().unwrap().sheds();
+        self.stats.snapshot(depth, registered, sheds)
     }
 
     /// Purges expired bottles (the cleanup worker's entry point);
@@ -207,6 +234,7 @@ impl Services {
     /// the oversize-declaration case (the hostile-length defence) from
     /// garbage.
     pub fn note_stream_error(&self, err: &msb_wire::DecodeError) {
+        ServerStats::bump(&self.stats.reframe_rejects);
         match err {
             msb_wire::DecodeError::FrameTooLarge { .. } => {
                 ServerStats::bump(&self.stats.rejected_oversize);
@@ -236,6 +264,16 @@ impl Services {
 
 fn encode_ack(ack: Ack) -> Vec<u8> {
     ack.encode()
+}
+
+/// Times one op into a service-time histogram. Wall clock is correct
+/// here: the relay is real infrastructure, not a simulated path — the
+/// determinism contract (`docs/TELEMETRY.md`) covers sim time only.
+fn timed(hist: &msb_telemetry::AtomicLogHistogram, op: impl FnOnce() -> Vec<u8>) -> Vec<u8> {
+    let t0 = std::time::Instant::now();
+    let out = op();
+    hist.record(t0.elapsed().as_micros() as u64);
+    out
 }
 
 #[cfg(test)]
@@ -409,6 +447,67 @@ mod tests {
         assert_eq!(snap.registered_clients, 2);
         assert_eq!(snap.inbox_depth, 1);
         assert_eq!(snap.deposits_accepted, 1);
+    }
+
+    #[test]
+    fn metrics_dump_reports_histograms_and_peaks() {
+        let config = ServerConfig { guard_max_in_window: 2, ..ServerConfig::default() };
+        let s = Services::new(config);
+        let mut a = None;
+        let mut b = None;
+        s.handle_frame(&mut a, &hello_frame(1), 0);
+        s.handle_frame(&mut b, &hello_frame(2), 0);
+        let dep = Bytes::from(Deposit { to: 2, frame: bare_frame(FrameKind::Request) }.encode());
+        for t in 0..3 {
+            s.handle_frame(&mut a, &dep, t);
+        }
+        s.handle_frame(&mut b, &Bytes::from(Fetch { max: 0 }.encode()), 10);
+
+        let resp = s.handle_frame(&mut a, &bare_frame(FrameKind::RelayMetricsReq), 20);
+        let dump = crate::metrics::MetricsDump::decode(&resp).unwrap();
+        // 3 deposit attempts timed (the shed one included), 1 fetch.
+        assert_eq!(dump.deposit_service_us.count(), 3);
+        assert_eq!(dump.fetch_service_us.count(), 1);
+        assert_eq!(dump.inbox_depth_peak, 2);
+        assert_eq!(dump.stats.guard_sheds, 1);
+        assert_eq!(dump.stats.rejected_rate, 1);
+        assert_eq!(dump.stats.deposits_accepted, 2);
+        // The exposition renders without panicking and carries the
+        // histogram totals.
+        let text = dump.exposition();
+        assert!(text.contains("msb_relay_deposit_service_us_count 3"));
+        assert!(text.contains("msb_relay_guard_sheds 1"));
+    }
+
+    #[test]
+    fn guard_sheds_survive_compaction() {
+        let config = ServerConfig { guard_max_in_window: 1, ..ServerConfig::default() };
+        let s = Services::new(config);
+        let mut a = None;
+        let mut b = None;
+        s.handle_frame(&mut a, &hello_frame(1), 0);
+        s.handle_frame(&mut b, &hello_frame(2), 0);
+        let dep = Bytes::from(Deposit { to: 2, frame: bare_frame(FrameKind::Request) }.encode());
+        s.handle_frame(&mut a, &dep, 0);
+        s.handle_frame(&mut a, &dep, 1); // shed
+                                         // Compaction (the cleanup worker's path) far past the window
+                                         // drops the sender's slot but must not lose the shed count.
+        s.purge_expired(u64::MAX / 2);
+        let resp = s.handle_frame(&mut a, &bare_frame(FrameKind::RelayStatsReq), u64::MAX / 2);
+        let snap = crate::metrics::StatsSnapshot::decode(&resp).unwrap();
+        assert_eq!(snap.guard_sheds, 1);
+        assert_eq!(snap.rejected_rate, 1);
+    }
+
+    #[test]
+    fn reframe_rejects_totals_stream_errors() {
+        let s = services();
+        s.note_stream_error(&msb_wire::DecodeError::FrameTooLarge { declared: 1 << 30, max: 64 });
+        s.note_stream_error(&msb_wire::DecodeError::Truncated { offset: 0 });
+        let snap = s.stats.snapshot(0, 0, 0);
+        assert_eq!(snap.reframe_rejects, 2);
+        assert_eq!(snap.rejected_oversize, 1);
+        assert_eq!(snap.rejected_malformed, 1);
     }
 
     #[test]

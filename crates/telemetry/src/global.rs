@@ -1,0 +1,76 @@
+//! Opt-in process-global [`MetricSet`] for call sites with no
+//! `Recorder` to thread through — today, the matching layer's
+//! work-queue workers (`msb_profile::matching::parallel`), whose
+//! per-worker claim counts and busy time depend on OS scheduling and
+//! therefore must stay **out** of the deterministic sinks.
+//!
+//! Disabled by default: [`with`] is a single relaxed atomic load and a
+//! branch until [`install`] is called, so uninstrumented runs (and
+//! every deterministic differential) see the status quo. Series
+//! recorded here are explicitly outside the determinism contract —
+//! wall-clock durations are allowed (see `docs/TELEMETRY.md`).
+
+use crate::recorder::MetricSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn cell() -> &'static Mutex<MetricSet> {
+    static CELL: OnceLock<Mutex<MetricSet>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(MetricSet::new()))
+}
+
+/// Turn the global registry on (idempotent). Returns whether it was
+/// previously off.
+pub fn install() -> bool {
+    !ENABLED.swap(true, Ordering::Relaxed)
+}
+
+/// Is the registry live?
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Run `f` against the registry if installed; no-op (one atomic load)
+/// otherwise.
+#[inline]
+pub fn with<F: FnOnce(&mut MetricSet)>(f: F) {
+    if ENABLED.load(Ordering::Relaxed) {
+        f(&mut cell().lock().expect("telemetry global poisoned"));
+    }
+}
+
+/// Clone the current contents, or `None` when not installed.
+pub fn snapshot() -> Option<MetricSet> {
+    enabled().then(|| cell().lock().expect("telemetry global poisoned").clone())
+}
+
+/// Clear accumulated series (the registry stays installed).
+pub fn reset() {
+    if enabled() {
+        *cell().lock().expect("telemetry global poisoned") = MetricSet::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_by_default_then_accumulates() {
+        // Single test in this module: install() flips process state,
+        // so the off-path assertion must run first.
+        let mut touched = false;
+        with(|_| touched = true);
+        assert!(!touched, "registry must be a no-op before install()");
+        assert!(snapshot().is_none());
+
+        install();
+        with(|m| m.incr("worker.claims", 3, 11));
+        let snap = snapshot().expect("installed");
+        assert_eq!(snap.counter("worker.claims", 3), 11);
+        reset();
+        assert_eq!(snapshot().unwrap().counter("worker.claims", 3), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Log₂-bucketed histograms and the workspace's one percentile
+//! implementation.
+//!
+//! Bucket layout: bucket 0 holds exactly the value 0; bucket `i` for
+//! `i ∈ 1..=64` holds values in `[2^(i-1), 2^i - 1]` (bucket 64's upper
+//! bound saturates at `u64::MAX`). A recorded value costs one
+//! `leading_zeros` and one array increment; `merge` is element-wise
+//! addition plus min/max folds, making the histogram a commutative
+//! monoid under `merge` with `new()` as identity — the same discipline
+//! as `msb_net::sim::Metrics::merge`, and proptested the same way.
+//!
+//! Percentile queries are **exact-count**: the rank is the classic
+//! nearest-rank `⌈p·n⌉` over the exact number of recorded samples, and
+//! only the *value* is resolved to the containing bucket's upper bound.
+//! [`percentile_sorted`] applies the identical rank to raw sorted
+//! samples, which is how `SwarmSummary` keeps bit-identical results
+//! after migrating here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Largest value the bucket holds (`u64::MAX` for the top bucket).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    debug_assert!(i < HIST_BUCKETS);
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Nearest-rank index (1-based) for percentile `p` over `n` samples:
+/// `⌈p·n⌉` clamped to `1..=n`. `None` when there are no samples.
+///
+/// This is the exact computation `SwarmSummary::latency_percentile_us`
+/// has always used; it lives here so the workspace has one percentile
+/// definition.
+#[inline]
+pub fn nearest_rank(n: usize, p: f64) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    Some(((p * n as f64).ceil() as usize).clamp(1, n))
+}
+
+/// Nearest-rank percentile over an already-sorted slice.
+#[inline]
+pub fn percentile_sorted(sorted: &[u64], p: f64) -> Option<u64> {
+    nearest_rank(sorted.len(), p).map(|rank| sorted[rank - 1])
+}
+
+/// A log₂-bucketed histogram: 65 exact bucket counts plus exact
+/// count/sum/min/max, mergeable as a commutative monoid.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// The empty histogram — the merge identity.
+    pub fn new() -> Self {
+        Self { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram in. Commutative and associative;
+    /// `new()` is the identity (proptested in `tests/prop.rs`).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Raw bucket counts (index by [`bucket_index`]).
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Exact-count nearest-rank percentile, resolved to the containing
+    /// bucket's upper bound (so p50/p90/p99 are upper bounds accurate
+    /// to a factor of 2, while the *rank* is exact).
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let rank = nearest_rank(self.count as usize, p)? as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                // Never report a bound above the recorded max (the top
+                // occupied bucket's range can overshoot it).
+                return Some(bucket_upper_bound(i).min(self.max));
+            }
+        }
+        None
+    }
+
+    /// Rebuild from exported parts (the relay's `MetricsDump` decode
+    /// path). `count` is derived from the buckets so the invariant
+    /// `count == Σ buckets` holds by construction.
+    pub fn from_parts(buckets: [u64; HIST_BUCKETS], sum: u64, min: u64, max: u64) -> Self {
+        let count = buckets.iter().fold(0u64, |a, &b| a.saturating_add(b));
+        let (min, max) = if count == 0 { (u64::MAX, 0) } else { (min, max) };
+        Self { buckets, count, sum, min, max }
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("p50", &self.percentile(0.50))
+            .field("p99", &self.percentile(0.99))
+            .finish()
+    }
+}
+
+/// Lock-free histogram for concurrent writers (the relay's gateway
+/// threads). All operations are `Relaxed`: the series are monotone
+/// counters whose cross-field skew under concurrent snapshot is
+/// bounded by in-flight operations, same contract as `ServerStats`.
+pub struct AtomicLogHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicLogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for AtomicLogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+impl AtomicLogHistogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Materialize a point-in-time [`LogHistogram`]. The count is
+    /// derived from the bucket reads, so the snapshot is internally
+    /// consistent even while writers race.
+    pub fn snapshot(&self) -> LogHistogram {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        LogHistogram::from_parts(
+            buckets,
+            self.sum.load(Ordering::Relaxed),
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            // Every bucket's upper bound maps back into the bucket.
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut h = LogHistogram::new();
+        assert!(h.percentile(0.5).is_none());
+        for v in [0u64, 1, 5, 100, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1206);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        // rank(p50, 6) = 3 → third sample (5) → bucket 3 upper bound 7.
+        assert_eq!(h.percentile(0.50), Some(7));
+        // rank(p99, 6) = 6 → 1000 → bucket 10 upper bound 1023, but
+        // clamped to the recorded max.
+        assert_eq!(h.percentile(0.99), Some(1000));
+    }
+
+    #[test]
+    fn percentile_matches_swarm_summary_rank() {
+        // Exactly the historical SwarmSummary computation.
+        let sorted = [10u64, 20, 30, 40, 50];
+        for (p, want) in [(0.0, 10), (0.5, 30), (0.9, 50), (1.0, 50)] {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            assert_eq!(percentile_sorted(&sorted, p), Some(sorted[rank - 1]));
+            assert_eq!(percentile_sorted(&sorted, p), Some(want));
+        }
+        assert_eq!(percentile_sorted(&[], 0.5), None);
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_sequential() {
+        let a = AtomicLogHistogram::new();
+        let mut h = LogHistogram::new();
+        for v in [3u64, 0, 7, 900, 42] {
+            a.record(v);
+            h.record(v);
+        }
+        assert_eq!(a.snapshot(), h);
+    }
+
+    #[test]
+    fn from_parts_derives_count() {
+        let mut h = LogHistogram::new();
+        h.record(9);
+        h.record(77);
+        let rebuilt =
+            LogHistogram::from_parts(*h.buckets(), h.sum(), h.min().unwrap(), h.max().unwrap());
+        assert_eq!(rebuilt, h);
+        let empty = LogHistogram::from_parts([0; HIST_BUCKETS], 0, 123, 456);
+        assert_eq!(empty, LogHistogram::new());
+    }
+}

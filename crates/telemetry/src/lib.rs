@@ -1,0 +1,53 @@
+//! # msb-telemetry — deterministic observability for the workspace
+//!
+//! The paper's evaluation is a measurement story (computation cost,
+//! communication cost, matching latency), and the reproduction's other
+//! crates each grew their own ad-hoc observables: `msb_net::sim::Metrics`
+//! is a flat counter struct, the relay's `ServerStats` is a bag of
+//! atomics, and `SwarmSummary` carried its own percentile code. This
+//! crate is the shared layer they all sit on:
+//!
+//! * [`LogHistogram`] / [`AtomicLogHistogram`] — log₂-bucketed latency
+//!   histograms with exact-count nearest-rank percentile queries and a
+//!   commutative [`LogHistogram::merge`] (the same monoid discipline as
+//!   `Metrics::merge`, proptested in `tests/prop.rs`).
+//! * [`MetricSet`] — labelled counters (add-merge), gauges (max-merge),
+//!   and histograms behind one mergeable value, keyed by
+//!   `(&'static str, u32)` so per-shard / per-worker series never
+//!   allocate on the hot path.
+//! * [`TraceBuffer`] — a bounded ring of typed [`TraceEvent`] spans
+//!   stamped from the **simulator clock** (never wall clock on sim
+//!   paths), exportable as JSONL or Chrome `trace_event` JSON for
+//!   flamegraph-style inspection of shard windows, handoffs, scheduler
+//!   behaviour, and protocol phases.
+//! * [`Recorder`] — the sink handed to instrumented code. The default
+//!   [`Recorder::off`] is a no-op sink: every method early-returns on a
+//!   single bool, so disabled runs compile and behave as the status
+//!   quo. The load-bearing invariant (proven by
+//!   `tests/telemetry_differential.rs` at the workspace root) is that
+//!   enabling it changes **no** oracle-verified byte.
+//! * [`percentile_sorted`] / [`nearest_rank`] — the one percentile
+//!   implementation in the workspace; `SwarmSummary` and the histogram
+//!   type both defer to it.
+//! * [`global`] — an opt-in process-wide [`MetricSet`] for call sites
+//!   that have no `Recorder` to thread (the matching layer's worker
+//!   threads). Wall-clock timing is allowed there because those series
+//!   are explicitly outside the determinism contract (see
+//!   `docs/TELEMETRY.md`).
+//!
+//! Determinism rules in one line: sim-path series are keyed off sim
+//! time and deterministic inputs only; anything wall-clock lives in
+//! [`global`] or in the relay (which is wall-clock by nature).
+
+mod hist;
+mod recorder;
+mod trace;
+
+pub mod global;
+
+pub use hist::{
+    bucket_index, bucket_upper_bound, nearest_rank, percentile_sorted, AtomicLogHistogram,
+    LogHistogram, HIST_BUCKETS,
+};
+pub use recorder::{MetricKey, MetricSet, Recorder};
+pub use trace::{merge_buffers, TraceBuffer, TraceEvent, TraceTag};

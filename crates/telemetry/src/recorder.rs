@@ -1,0 +1,241 @@
+//! [`MetricSet`] (the mergeable metric store) and [`Recorder`] (the
+//! sink instrumented code talks to).
+
+use crate::hist::LogHistogram;
+use crate::trace::{TraceBuffer, TraceEvent, TraceTag};
+use std::collections::BTreeMap;
+
+/// Metric series key: a static name plus a small integer label
+/// (shard id, worker id, 0 when unlabelled). Static-str keys mean a
+/// hot-path increment never allocates.
+pub type MetricKey = (&'static str, u32);
+
+/// Labelled counters (add-merge), gauges (max-merge), and log₂
+/// histograms (bucket-merge) in `BTreeMap`s, so iteration order — and
+/// therefore any rendered output — is deterministic.
+///
+/// `merge` is a commutative monoid with `MetricSet::new()` as
+/// identity, matching `msb_net::sim::Metrics::merge` (proptested in
+/// `tests/prop.rs`).
+#[derive(Clone, Default, PartialEq, Debug)]
+pub struct MetricSet {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, u64>,
+    hists: BTreeMap<MetricKey, LogHistogram>,
+}
+
+impl MetricSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn incr(&mut self, name: &'static str, label: u32, by: u64) {
+        *self.counters.entry((name, label)).or_insert(0) += by;
+    }
+
+    /// Raise a high-water-mark gauge (merge takes the max).
+    #[inline]
+    pub fn gauge_max(&mut self, name: &'static str, label: u32, v: u64) {
+        let g = self.gauges.entry((name, label)).or_insert(0);
+        *g = (*g).max(v);
+    }
+
+    #[inline]
+    pub fn record(&mut self, name: &'static str, label: u32, v: u64) {
+        self.hists.entry((name, label)).or_default().record(v);
+    }
+
+    pub fn counter(&self, name: &'static str, label: u32) -> u64 {
+        self.counters.get(&(name, label)).copied().unwrap_or(0)
+    }
+
+    /// Sum of a counter across all labels.
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        self.counters.iter().filter(|((n, _), _)| *n == name).map(|(_, v)| v).sum()
+    }
+
+    pub fn gauge(&self, name: &'static str, label: u32) -> u64 {
+        self.gauges.get(&(name, label)).copied().unwrap_or(0)
+    }
+
+    pub fn hist(&self, name: &'static str, label: u32) -> Option<&LogHistogram> {
+        self.hists.get(&(name, label))
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, &u64)> {
+        self.counters.iter()
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricKey, &u64)> {
+        self.gauges.iter()
+    }
+
+    pub fn hists(&self) -> impl Iterator<Item = (&MetricKey, &LogHistogram)> {
+        self.hists.iter()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Commutative fold: counters add, gauges max, histograms merge.
+    pub fn merge(&mut self, other: &Self) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.gauges {
+            let g = self.gauges.entry(k).or_insert(0);
+            *g = (*g).max(v);
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(*k).or_default().merge(h);
+        }
+    }
+}
+
+/// The sink instrumented code records into. [`Recorder::off`] (the
+/// default everywhere) is a no-op: every method checks one bool and
+/// returns, so disabled runs pay a branch per call site and nothing
+/// else — no allocation, no buffer, no trace.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Recorder {
+    on: bool,
+    set: MetricSet,
+    trace: TraceBuffer,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl Recorder {
+    /// The no-op sink (the default).
+    pub fn off() -> Self {
+        Self { on: false, set: MetricSet::new(), trace: TraceBuffer::with_capacity(0) }
+    }
+
+    /// An enabled sink whose trace ring keeps the most recent
+    /// `trace_cap` events.
+    pub fn on(trace_cap: usize) -> Self {
+        Self { on: true, set: MetricSet::new(), trace: TraceBuffer::with_capacity(trace_cap) }
+    }
+
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    #[inline]
+    pub fn incr(&mut self, name: &'static str, label: u32, by: u64) {
+        if self.on {
+            self.set.incr(name, label, by);
+        }
+    }
+
+    #[inline]
+    pub fn gauge_max(&mut self, name: &'static str, label: u32, v: u64) {
+        if self.on {
+            self.set.gauge_max(name, label, v);
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, name: &'static str, label: u32, v: u64) {
+        if self.on {
+            self.set.record(name, label, v);
+        }
+    }
+
+    /// Record a span `[at_us, at_us + dur_us)`.
+    #[inline]
+    pub fn span(&mut self, tag: TraceTag, actor: u32, at_us: u64, dur_us: u64, a: u64, b: u64) {
+        if self.on {
+            self.trace.push(TraceEvent { at_us, dur_us, actor, tag, a, b });
+        }
+    }
+
+    /// Record an instant event.
+    #[inline]
+    pub fn event(&mut self, tag: TraceTag, actor: u32, at_us: u64, a: u64, b: u64) {
+        self.span(tag, actor, at_us, 0, a, b);
+    }
+
+    pub fn metrics(&self) -> &MetricSet {
+        &self.set
+    }
+
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Merge per-shard recorders into one deterministic view: metric
+    /// sets fold commutatively, traces merge sorted by
+    /// `(at_us, actor)` via [`crate::merge_buffers`]. The result is
+    /// `on` iff any input was, with the largest input trace capacity.
+    pub fn merge_all(parts: &[Recorder]) -> Recorder {
+        let on = parts.iter().any(|r| r.on);
+        let cap = parts.iter().map(|r| r.trace.capacity()).max().unwrap_or(0);
+        let mut set = MetricSet::new();
+        for r in parts {
+            set.merge(&r.set);
+        }
+        let buffers: Vec<TraceBuffer> = parts.iter().map(|r| r.trace.clone()).collect();
+        let trace = crate::merge_buffers(&buffers, cap);
+        Recorder { on, set, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_stays_empty() {
+        let mut r = Recorder::off();
+        r.incr("x", 0, 5);
+        r.gauge_max("g", 1, 9);
+        r.record("h", 0, 100);
+        r.event(TraceTag::Quiesce, 0, 50, 1, 2);
+        assert!(!r.is_on());
+        assert!(r.metrics().is_empty());
+        assert!(r.trace().is_empty());
+        assert_eq!(r.trace().dropped(), 0);
+    }
+
+    #[test]
+    fn on_recorder_accumulates() {
+        let mut r = Recorder::on(16);
+        r.incr("pops", 2, 3);
+        r.incr("pops", 2, 4);
+        r.gauge_max("depth", 0, 5);
+        r.gauge_max("depth", 0, 3);
+        r.record("lat", 0, 1000);
+        r.span(TraceTag::Window, 1, 0, 500, 10, 0);
+        assert_eq!(r.metrics().counter("pops", 2), 7);
+        assert_eq!(r.metrics().gauge("depth", 0), 5);
+        assert_eq!(r.metrics().hist("lat", 0).unwrap().count(), 1);
+        assert_eq!(r.trace().len(), 1);
+    }
+
+    #[test]
+    fn merge_all_folds_shards() {
+        let mut a = Recorder::on(8);
+        let mut b = Recorder::on(8);
+        a.incr("pops", 0, 2);
+        b.incr("pops", 1, 3);
+        a.gauge_max("depth", 0, 4);
+        b.gauge_max("depth", 0, 9);
+        a.event(TraceTag::Window, 0, 100, 0, 0);
+        b.event(TraceTag::Window, 1, 50, 0, 0);
+        let ab = Recorder::merge_all(&[a.clone(), b.clone()]);
+        let ba = Recorder::merge_all(&[b, a]);
+        assert_eq!(ab.metrics(), ba.metrics());
+        assert_eq!(ab.trace(), ba.trace());
+        assert_eq!(ab.metrics().counter_total("pops"), 5);
+        assert_eq!(ab.metrics().gauge("depth", 0), 9);
+        assert_eq!(ab.trace().iter().next().unwrap().at_us, 50);
+    }
+}

@@ -1,0 +1,159 @@
+//! Monoid laws for [`LogHistogram::merge`] and [`MetricSet::merge`] —
+//! the same discipline `metrics_merge.rs` pins for
+//! `msb_net::sim::Metrics`, because the sharded engine folds per-shard
+//! telemetry in ascending shard order and the fold must be shard-count
+//! independent: associative, commutative, with the empty value as
+//! identity.
+//!
+//! Also pinned here: histogram percentile ranks agree with
+//! [`percentile_sorted`]'s nearest rank over the raw samples (the rank
+//! is exact; only the reported value is bucket-resolved), so the
+//! workspace keeps exactly one percentile definition.
+
+use msb_telemetry::{
+    bucket_index, bucket_upper_bound, nearest_rank, percentile_sorted, LogHistogram, MetricSet,
+};
+use proptest::prelude::*;
+
+/// splitmix64 — expands one seed into a value stream (the vendored
+/// proptest shim has no collection strategies).
+fn stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed;
+    move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// An arbitrary histogram: up to 64 samples spread across the full
+/// bucket range (shifted so small and huge values both occur).
+fn arb_hist(seed: u64) -> LogHistogram {
+    let mut next = stream(seed);
+    let mut h = LogHistogram::new();
+    let n = (next() % 65) as usize;
+    for _ in 0..n {
+        let raw = next();
+        h.record(raw >> (next() % 64));
+    }
+    h
+}
+
+/// An arbitrary metric set exercising all three series kinds across a
+/// few labels.
+fn arb_set(seed: u64) -> MetricSet {
+    let mut next = stream(seed);
+    let mut m = MetricSet::new();
+    let names: [&'static str; 3] = ["alpha", "beta", "gamma"];
+    let n = (next() % 24) as usize;
+    for _ in 0..n {
+        let name = names[(next() % 3) as usize];
+        let label = (next() % 4) as u32;
+        match next() % 3 {
+            // Bounded so repeated sums cannot overflow u64.
+            0 => m.incr(name, label, next() % (1 << 40)),
+            1 => m.gauge_max(name, label, next()),
+            _ => m.record(name, label, next() >> (next() % 64)),
+        }
+    }
+    m
+}
+
+fn merged_h(a: &LogHistogram, b: &LogHistogram) -> LogHistogram {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+fn merged_s(a: &MetricSet, b: &MetricSet) -> MetricSet {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn hist_merge_is_associative(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (arb_hist(a), arb_hist(b), arb_hist(c));
+        prop_assert_eq!(merged_h(&merged_h(&a, &b), &c), merged_h(&a, &merged_h(&b, &c)));
+    }
+
+    #[test]
+    fn hist_merge_is_commutative(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (arb_hist(a), arb_hist(b));
+        prop_assert_eq!(merged_h(&a, &b), merged_h(&b, &a));
+    }
+
+    #[test]
+    fn hist_empty_is_identity(a in any::<u64>()) {
+        let a = arb_hist(a);
+        prop_assert_eq!(merged_h(&a, &LogHistogram::new()), a.clone());
+        prop_assert_eq!(merged_h(&LogHistogram::new(), &a), a);
+    }
+
+    /// Merging equals recording both sample streams into one
+    /// histogram — the property that makes per-shard recording safe.
+    #[test]
+    fn hist_merge_equals_combined_recording(sa in any::<u64>(), sb in any::<u64>()) {
+        let mut next_a = stream(sa);
+        let mut next_b = stream(sb);
+        let (mut a, mut b, mut both) =
+            (LogHistogram::new(), LogHistogram::new(), LogHistogram::new());
+        for _ in 0..(sa % 40) {
+            let v = next_a() >> (next_a() % 64);
+            a.record(v);
+            both.record(v);
+        }
+        for _ in 0..(sb % 40) {
+            let v = next_b() >> (next_b() % 64);
+            b.record(v);
+            both.record(v);
+        }
+        prop_assert_eq!(merged_h(&a, &b), both);
+    }
+
+    /// The histogram's percentile uses the identical nearest rank as
+    /// the sorted-sample path, and its bucket-resolved answer brackets
+    /// the exact answer within one power of two.
+    #[test]
+    fn hist_percentile_brackets_exact(seed in any::<u64>(), pq in any::<u64>()) {
+        let mut next = stream(seed);
+        let n = (seed % 64) as usize + 1;
+        let mut samples: Vec<u64> = (0..n).map(|_| next() >> (next() % 64)).collect();
+        let mut h = LogHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let p = (pq % 101) as f64 / 100.0;
+        let exact = percentile_sorted(&samples, p).unwrap();
+        let bucketed = h.percentile(p).unwrap();
+        // Same rank, so the bucketed answer is the upper bound of the
+        // exact sample's bucket (clamped to the recorded max).
+        let rank = nearest_rank(n, p).unwrap();
+        prop_assert_eq!(samples[rank - 1], exact);
+        prop_assert_eq!(bucketed, bucket_upper_bound(bucket_index(exact)).min(h.max().unwrap()));
+        prop_assert!(bucketed >= exact);
+    }
+
+    #[test]
+    fn set_merge_is_associative(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (arb_set(a), arb_set(b), arb_set(c));
+        prop_assert_eq!(merged_s(&merged_s(&a, &b), &c), merged_s(&a, &merged_s(&b, &c)));
+    }
+
+    #[test]
+    fn set_merge_is_commutative(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (arb_set(a), arb_set(b));
+        prop_assert_eq!(merged_s(&a, &b), merged_s(&b, &a));
+    }
+
+    #[test]
+    fn set_empty_is_identity(a in any::<u64>()) {
+        let a = arb_set(a);
+        prop_assert_eq!(merged_s(&a, &MetricSet::new()), a.clone());
+        prop_assert_eq!(merged_s(&MetricSet::new(), &a), a);
+    }
+}

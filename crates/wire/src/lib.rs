@@ -81,6 +81,10 @@ pub enum FrameKind {
     RelayStatsReq = 0x25,
     /// Relay service: the health/stats snapshot.
     RelayStats = 0x26,
+    /// Relay service: the full telemetry dump (stats + histograms).
+    RelayMetricsDump = 0x27,
+    /// Relay service: a telemetry-dump query.
+    RelayMetricsReq = 0x28,
 }
 
 impl FrameKind {
@@ -98,6 +102,8 @@ impl FrameKind {
             0x24 => Some(FrameKind::RelayAck),
             0x25 => Some(FrameKind::RelayStatsReq),
             0x26 => Some(FrameKind::RelayStats),
+            0x27 => Some(FrameKind::RelayMetricsDump),
+            0x28 => Some(FrameKind::RelayMetricsReq),
             _ => None,
         }
     }

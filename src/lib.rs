@@ -75,6 +75,7 @@ pub use msb_lattice as lattice;
 pub use msb_net as net;
 pub use msb_profile as profile;
 pub use msb_server as server;
+pub use msb_telemetry as telemetry;
 pub use msb_wire as wire;
 
 /// The most commonly used items, for glob import.

@@ -1,0 +1,279 @@
+//! The telemetry determinism contract, proven differentially: enabling
+//! telemetry changes **no** oracle-verified byte.
+//!
+//! The matrix crosses protocol (P1/P2/P3) × shard count (1 = the
+//! single-threaded oracle, 4 = the parallel engine) × matching threads
+//! (1/4) × telemetry (off/on, with the process-global matching
+//! registry installed), and asserts the full observable outcome —
+//! per-node event logs, confirmed matches, masked metrics, final
+//! clock — is bit-identical in every cell. A second suite pins the
+//! telemetry *itself*: identical runs produce identical merged metric
+//! sets and trace buffers, independent of worker-thread timing.
+//!
+//! (The histogram/metric-set monoid proptests live next to the
+//! implementation in `crates/telemetry/tests/prop.rs`.)
+
+use msb_bench::swarm::{build_churn_swarm_sharded, drive_churn, ChurnSpec};
+use sealed_bottle::core::app::RefloodPolicy;
+use sealed_bottle::core::protocol::Parallelism;
+use sealed_bottle::net::mobility::{Bounds, RandomWaypoint};
+use sealed_bottle::net::sim::{Metrics, SchedulerMode};
+use sealed_bottle::prelude::*;
+use sealed_bottle::telemetry::{MetricSet, TraceEvent};
+
+fn attr(c: &str, v: &str) -> Attribute {
+    Attribute::new(c, v)
+}
+
+fn request() -> RequestProfile {
+    RequestProfile::new(
+        vec![attr("guild", "mapmakers")],
+        vec![attr("i", "ink"), attr("i", "vellum"), attr("i", "stars")],
+        2,
+    )
+    .unwrap()
+}
+
+fn matching_profile() -> Profile {
+    Profile::from_attributes(vec![attr("guild", "mapmakers"), attr("i", "ink"), attr("i", "stars")])
+}
+
+fn noise(i: usize) -> Profile {
+    Profile::from_attributes(vec![attr("hobby", &format!("h{i}")), attr("town", &format!("t{i}"))])
+}
+
+#[derive(PartialEq, Debug)]
+struct RunResult {
+    /// `peak_queue_len` masked: per-queue depth legitimately depends on
+    /// how many queues there are (same mask as the shard differential).
+    metrics: Metrics,
+    final_clock_us: u64,
+    matches: Vec<ConfirmedMatch>,
+    events: Vec<Vec<AppEvent>>,
+}
+
+/// The telemetry recorded by a run, in canonical merged form.
+#[derive(PartialEq, Debug)]
+struct Recorded {
+    metrics: MetricSet,
+    trace: Vec<TraceEvent>,
+}
+
+/// The `shard_churn` scenario — a lossy 4×4 grid under random-waypoint
+/// churn with re-flooding — parameterized over shards, matching
+/// threads, and the telemetry switch.
+fn run(
+    kind: ProtocolKind,
+    shards: usize,
+    threads: usize,
+    telemetry: bool,
+) -> (RunResult, Option<Recorded>) {
+    let mut config = ProtocolConfig::new(kind, 11);
+    config.parallelism =
+        if threads == 1 { Parallelism::SEQUENTIAL } else { Parallelism::new(threads) };
+    config.validity_us = 5_000_000;
+    let sim_config = SimConfig {
+        loss_rate: 0.02,
+        delivery: DeliveryMode::EncodedFrames,
+        shards,
+        ..SimConfig::default()
+    };
+    let reflood = RefloodPolicy::every(400_000).with_fanout_cap(3);
+    let mut positions: Vec<(f64, f64)> = vec![(0.0, 0.0)];
+    let mut apps =
+        vec![FriendingApp::initiator(noise(0), request(), config.clone()).with_reflood(reflood)];
+    for i in 0..16 {
+        positions.push(((i % 4) as f64 * 35.0, (i / 4) as f64 * 35.0 + 35.0));
+        apps.push(FriendingApp::participant(noise(i + 1), config.clone()).with_reflood(reflood));
+    }
+    for &pos in &[(165.0, 40.0), (165.0, 160.0)] {
+        positions.push(pos);
+        apps.push(
+            FriendingApp::participant(matching_profile(), config.clone()).with_reflood(reflood),
+        );
+    }
+    let mut mobility = RandomWaypoint::from_positions(
+        positions.clone(),
+        Bounds { width: 260.0, height: 200.0 },
+        6.0,
+        20.0,
+        0.5,
+        0x5eed,
+    );
+    let nodes = positions.iter().copied().zip(apps);
+
+    let drive = |sim: &mut dyn SimDriver, mobility: &mut RandomWaypoint| {
+        sim.start();
+        let mut buf = Vec::new();
+        for tick in 1..=20u64 {
+            sim.run_until(tick * 250_000);
+            mobility.advance(0.25);
+            mobility.positions_into(&mut buf);
+            sim.set_positions(&buf);
+        }
+        sim.run();
+    };
+
+    if shards == 1 {
+        let mut sim = Simulator::new(sim_config, 0xC0DEC);
+        sim.add_nodes(nodes);
+        if telemetry {
+            sim.enable_telemetry(4096);
+        }
+        drive(&mut sim, &mut mobility);
+        let recorded = telemetry.then(|| Recorded {
+            metrics: sim.telemetry().metrics().clone(),
+            trace: sim.telemetry().trace().iter().copied().collect(),
+        });
+        (
+            RunResult {
+                metrics: sim.metrics().without_queue_pressure(),
+                final_clock_us: sim.now_us(),
+                matches: sim.app(NodeId::new(0)).matches().to_vec(),
+                events: (0..sim.node_count())
+                    .map(|i| sim.app(NodeId::new(i as u32)).events.clone())
+                    .collect(),
+            },
+            recorded,
+        )
+    } else {
+        let mut sim = ShardedSimulator::new(sim_config, 0xC0DEC);
+        sim.add_nodes(nodes);
+        if telemetry {
+            sim.enable_telemetry(4096);
+        }
+        drive(&mut sim, &mut mobility);
+        let recorded = telemetry.then(|| {
+            let merged = sim.telemetry();
+            Recorded {
+                metrics: merged.metrics().clone(),
+                trace: merged.trace().iter().copied().collect(),
+            }
+        });
+        (
+            RunResult {
+                metrics: sim.metrics().without_queue_pressure(),
+                final_clock_us: sim.now_us(),
+                matches: sim.app(NodeId::new(0)).matches().to_vec(),
+                events: (0..sim.node_count())
+                    .map(|i| sim.app(NodeId::new(i as u32)).events.clone())
+                    .collect(),
+            },
+            recorded,
+        )
+    }
+}
+
+/// The load-bearing invariant: across every protocol × shard count ×
+/// matching-thread count, the run with telemetry enabled (and the
+/// process-global matching registry installed) produces byte-identical
+/// outcomes to the run with telemetry off.
+#[test]
+fn telemetry_on_vs_off_bit_identical() {
+    // Install the global matching registry once so the parallel
+    // matching workers actually record into it during the "on" runs —
+    // proving the scheduling-dependent series never leak into
+    // deterministic state.
+    sealed_bottle::telemetry::global::install();
+    for kind in [ProtocolKind::P1, ProtocolKind::P2, ProtocolKind::P3] {
+        for shards in [1usize, 4] {
+            for threads in [1usize, 4] {
+                let (off, none) = run(kind, shards, threads, false);
+                assert!(none.is_none());
+                let (on, recorded) = run(kind, shards, threads, true);
+                assert_eq!(
+                    on, off,
+                    "{kind:?} shards={shards} threads={threads}: \
+                     telemetry changed an oracle-verified byte"
+                );
+                let recorded = recorded.expect("telemetry was on");
+                assert!(
+                    recorded.metrics.counter_total("sim.pops") > 0
+                        || recorded.metrics.counter_total("shard.pops") > 0,
+                    "{kind:?} shards={shards}: telemetry recorded nothing"
+                );
+                if shards > 1 {
+                    assert!(
+                        !recorded.trace.is_empty(),
+                        "{kind:?} shards={shards}: no window/stall spans traced"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Telemetry itself is deterministic: two identical runs produce the
+/// same merged metric set and the same trace, event for event —
+/// independent of worker-thread timing in the sharded engine.
+#[test]
+fn telemetry_identical_across_repeat_runs() {
+    for shards in [1usize, 4] {
+        let (_, a) = run(ProtocolKind::P1, shards, 4, true);
+        let (_, b) = run(ProtocolKind::P1, shards, 4, true);
+        assert_eq!(
+            a.expect("on"),
+            b.expect("on"),
+            "shards={shards}: telemetry diverged between identical runs"
+        );
+    }
+}
+
+/// The protocol-phase tracer is a pure function of the event log: the
+/// counters agree with the log's contents and repeat deterministically.
+#[test]
+fn protocol_phase_trace_matches_event_log() {
+    use sealed_bottle::core::app::trace_protocol_phases;
+    let (oracle, _) = run(ProtocolKind::P1, 1, 1, false);
+    let mut rec = sealed_bottle::telemetry::Recorder::on(4096);
+    for (node, events) in oracle.events.iter().enumerate() {
+        trace_protocol_phases(node as u32, events, &mut rec);
+    }
+    let confirmed: u64 = oracle
+        .events
+        .iter()
+        .flatten()
+        .filter(|e| matches!(e, AppEvent::MatchConfirmed { .. }))
+        .count() as u64;
+    assert!(confirmed > 0, "scenario must confirm matches");
+    assert_eq!(rec.metrics().counter_total("app.phase.match_confirmed"), confirmed);
+    let sent: u64 = oracle
+        .events
+        .iter()
+        .flatten()
+        .filter(|e| matches!(e, AppEvent::RequestSent { .. }))
+        .count() as u64;
+    assert_eq!(rec.metrics().counter_total("app.phase.request_sent"), sent);
+    // Every MatchConfirmed got a ProtocolPhase trace instant.
+    assert_eq!(rec.trace().len(), confirmed as usize);
+}
+
+/// Release-mode large-swarm smoke: a 25 000-node churn swarm at
+/// `shards = 4` with telemetry on matches the telemetry-off run of the
+/// same spec exactly. `#[ignore]`d so plain `cargo test` stays fast;
+/// CI runs it via
+/// `cargo test --release -q --test telemetry_differential -- --ignored`.
+#[test]
+#[ignore = "release-mode large-swarm telemetry smoke, run explicitly (CI does)"]
+fn telemetry_25k_churn_smoke_identical() {
+    let collect = |telemetry: bool| {
+        let mut spec = ChurnSpec::standard(25_000, SchedulerMode::Calendar).with_shards(4);
+        spec.delivery = DeliveryMode::EncodedFrames;
+        let (mut sim, mut mobility) = build_churn_swarm_sharded(&spec);
+        if telemetry {
+            sim.enable_telemetry(1 << 16);
+        }
+        drive_churn(&mut sim, &mut mobility, &spec);
+        let summary = SwarmSummary::collect_sharded(&sim);
+        let matches = sim.app(NodeId::new(0)).matches().to_vec();
+        let recorded = telemetry.then(|| sim.telemetry());
+        (summary, sim.metrics().without_queue_pressure(), sim.now_us(), matches, recorded)
+    };
+    let (s_off, m_off, t_off, matches_off, none) = collect(false);
+    let (s_on, m_on, t_on, matches_on, recorded) = collect(true);
+    assert!(none.is_none());
+    assert_eq!((s_on, m_on, t_on, matches_on), (s_off, m_off, t_off, matches_off));
+    let recorded = recorded.expect("telemetry was on");
+    assert!(recorded.metrics().counter_total("shard.pops") > 0);
+    assert!(!recorded.trace().is_empty(), "windows must be traced at 25k scale");
+}

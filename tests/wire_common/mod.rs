@@ -12,8 +12,10 @@ use sealed_bottle::dataset::weibo::{WeiboConfig, WeiboDataset, WeiboUser};
 use sealed_bottle::profile::hint::{HintConstruction, HintMatrix};
 use sealed_bottle::profile::remainder::RemainderVector;
 use sealed_bottle::server::{
-    Ack, AckCode, Delivered, Deposit, Fetch, Hello, InboxBatch, StatsReq, StatsSnapshot,
+    Ack, AckCode, Delivered, Deposit, Fetch, Hello, InboxBatch, MetricsDump, MetricsReq, StatsReq,
+    StatsSnapshot,
 };
+use sealed_bottle::telemetry::LogHistogram;
 use sealed_bottle::wire::Message;
 
 fn fe(seed: u64) -> BigUint {
@@ -136,8 +138,8 @@ pub fn relay_ack() -> Ack {
     Ack { code: AckCode::RateLimited, info: 99 }
 }
 
-/// A stats snapshot with ten distinct literal gauges so any field
-/// reordering breaks the fixture.
+/// A stats snapshot with twelve distinct literal gauges so any field
+/// reordering breaks the fixture (v2: reframe_rejects + guard_sheds).
 pub fn relay_stats() -> StatsSnapshot {
     StatsSnapshot {
         frames_in: 1,
@@ -150,6 +152,25 @@ pub fn relay_stats() -> StatsSnapshot {
         inbox_expired: 8,
         inbox_depth: 9,
         registered_clients: 10,
+        reframe_rejects: 11,
+        guard_sheds: 12,
+    }
+}
+
+/// A metrics dump with literal service-time samples: the deposit
+/// histogram spans several buckets (including 0 and a shared bucket),
+/// the fetch histogram is empty — pinning the sparse encoding of both
+/// the occupied and the degenerate case.
+pub fn relay_metrics_dump() -> MetricsDump {
+    let mut dep = LogHistogram::new();
+    for v in [0u64, 3, 40, 41, 1000] {
+        dep.record(v);
+    }
+    MetricsDump {
+        stats: relay_stats(),
+        inbox_depth_peak: 13,
+        deposit_service_us: dep,
+        fetch_service_us: LogHistogram::new(),
     }
 }
 
@@ -169,6 +190,8 @@ pub fn all_fixtures() -> Vec<(&'static str, Vec<u8>)> {
         ("relay_ack", Message::encode(&relay_ack())),
         ("relay_stats_req", Message::encode(&StatsReq)),
         ("relay_stats", Message::encode(&relay_stats())),
+        ("relay_metrics_req", Message::encode(&MetricsReq)),
+        ("relay_metrics_dump", Message::encode(&relay_metrics_dump())),
     ]
 }
 

@@ -9,7 +9,9 @@ mod wire_common;
 use proptest::prelude::*;
 use sealed_bottle::core::package::{Reply, RequestPackage};
 use sealed_bottle::dataset::weibo::{WeiboDataset, WeiboUser};
-use sealed_bottle::server::{Ack, Deposit, Fetch, Hello, InboxBatch, StatsReq, StatsSnapshot};
+use sealed_bottle::server::{
+    Ack, Deposit, Fetch, Hello, InboxBatch, MetricsDump, MetricsReq, StatsReq, StatsSnapshot,
+};
 use sealed_bottle::wire::{peek_kind, split_frame, Message};
 
 /// Runs every decoder in the workspace over `bytes`; the test passes as
@@ -28,6 +30,8 @@ fn decode_all(bytes: &[u8]) {
     let _ = Ack::decode(bytes);
     let _ = StatsReq::decode(bytes);
     let _ = StatsSnapshot::decode(bytes);
+    let _ = MetricsReq::decode(bytes);
+    let _ = MetricsDump::decode(bytes);
 }
 
 /// Asserts that every decoder rejects `bytes`.
@@ -43,6 +47,8 @@ fn assert_all_reject(bytes: &[u8], context: &str) {
     assert!(Ack::decode(bytes).is_err(), "ack accepted {context}");
     assert!(StatsReq::decode(bytes).is_err(), "stats-req accepted {context}");
     assert!(StatsSnapshot::decode(bytes).is_err(), "stats accepted {context}");
+    assert!(MetricsReq::decode(bytes).is_err(), "metrics-req accepted {context}");
+    assert!(MetricsDump::decode(bytes).is_err(), "metrics dump accepted {context}");
 }
 
 /// Deterministic exhaustive sweep: for every message kind, every
@@ -78,7 +84,8 @@ proptest! {
         kind_choice in any::<prop::sample::Index>(),
         data in proptest::collection::vec(any::<u8>(), 0..400),
     ) {
-        let kinds = [0x01u8, 0x02, 0x10, 0x11, 0x20, 0x21, 0x22, 0x23, 0x24, 0x25, 0x26];
+        let kinds =
+            [0x01u8, 0x02, 0x10, 0x11, 0x20, 0x21, 0x22, 0x23, 0x24, 0x25, 0x26, 0x27, 0x28];
         let mut frame = b"MSBW".to_vec();
         frame.push(1); // version
         frame.push(kinds[kind_choice.index(kinds.len())]);

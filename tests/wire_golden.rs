@@ -14,7 +14,9 @@ mod wire_common;
 
 use sealed_bottle::core::package::{Reply, RequestPackage};
 use sealed_bottle::dataset::weibo::{WeiboDataset, WeiboUser};
-use sealed_bottle::server::{Ack, Deposit, Fetch, Hello, InboxBatch, StatsReq, StatsSnapshot};
+use sealed_bottle::server::{
+    Ack, Deposit, Fetch, Hello, InboxBatch, MetricsDump, MetricsReq, StatsReq, StatsSnapshot,
+};
 use sealed_bottle::wire::{peek_kind, FrameKind, Message, FRAME_HEADER_LEN, MAGIC, VERSION};
 use std::path::PathBuf;
 
@@ -153,6 +155,17 @@ fn fixtures_roundtrip_bit_identically() {
     let decoded = StatsSnapshot::decode(&bytes).unwrap();
     assert_eq!(decoded, stats);
     assert_eq!(Message::encode(&decoded), bytes);
+
+    let bytes = golden("relay_metrics_req", &Message::encode(&MetricsReq));
+    let decoded = MetricsReq::decode(&bytes).unwrap();
+    assert_eq!(decoded, MetricsReq);
+    assert_eq!(Message::encode(&decoded), bytes);
+
+    let dump = wire_common::relay_metrics_dump();
+    let bytes = golden("relay_metrics_dump", &Message::encode(&dump));
+    let decoded = MetricsDump::decode(&bytes).unwrap();
+    assert_eq!(decoded, dump);
+    assert_eq!(Message::encode(&decoded), bytes);
 }
 
 /// The envelope of every fixture is the documented 10-byte header.
@@ -172,6 +185,8 @@ fn fixture_envelopes_are_canonical() {
         FrameKind::RelayAck,
         FrameKind::RelayStatsReq,
         FrameKind::RelayStats,
+        FrameKind::RelayMetricsReq,
+        FrameKind::RelayMetricsDump,
     ];
     let fixtures = wire_common::all_fixtures();
     assert_eq!(fixtures.len(), expected_kinds.len(), "fixture/kind lists out of sync");
