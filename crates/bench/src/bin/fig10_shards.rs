@@ -12,16 +12,29 @@
 //! and re-broadcast carried requests every 5 s (fan-out capped to the
 //! 8 nearest) until the request expires at the 40 s horizon. Reported
 //! per run: wall-clock, total and per-shard event counts, per-shard
-//! node counts, messages, match count.
+//! node counts, messages, match count — and for sharded rows the
+//! memory story of the halo refactor: `bytes_per_node` (the largest
+//! shard's resident engine bytes — halo fragment + node-state arena —
+//! over the swarm size, which *drops* as shards are added because each
+//! core holds only its owned tiles plus a fringe), the shared global
+//! topology's bytes (held once, whatever the shard count), and the
+//! cross-shard envelope-batching counters (`batch.envelopes` over
+//! `batch.sends` = envelopes moved per coalesced transfer).
 //!
 //! Regenerate with
 //! `cargo run -p msb-bench --release --bin fig10_shards`; `--json`
 //! emits `BENCH_BASELINE.json` rows instead of the table. `--sizes
 //! 1000,5000` and `--shards 1,4` override the sweeps (the 200k default
-//! is slow on laptops). Wall-clock speedups need real cores: on a
-//! single-core container the sharded rows measure synchronization
-//! overhead, not parallelism — the determinism assertions are the
-//! point there.
+//! is slow on laptops), `--duration 5` shortens the scenario horizon,
+//! and `--no-oracle` skips the single-threaded reference run — the
+//! million-node row is
+//! `--sizes 1000000 --shards 8 --duration 5 --no-oracle`, which would
+//! otherwise pay for the oracle twice. Sharded rows run with telemetry
+//! enabled (that's where the batching counters live); telemetry is
+//! differentially proven not to change any simulated outcome.
+//! Wall-clock speedups need real cores: on a single-core container the
+//! sharded rows measure synchronization overhead, not parallelism —
+//! the determinism assertions are the point there.
 
 use msb_bench::swarm::{build_churn_swarm, build_churn_swarm_sharded, drive_churn, ChurnSpec};
 use msb_bench::{fmt_ms, print_table, time_once};
@@ -41,11 +54,27 @@ struct RunResult {
     metrics: Metrics,
     shard_events: Vec<u64>,
     shard_nodes: Vec<usize>,
+    /// Largest per-shard resident engine bytes (halo + arena); 0 for
+    /// the oracle, whose footprint is the one global topology.
+    resident_shard_max: u64,
+    /// Resident bytes of the shared global topology snapshot.
+    shared_topo_bytes: u64,
+    /// Total cross-shard envelopes moved / coalesced transfers made.
+    batch_envelopes: u64,
+    batch_sends: u64,
     summary: SwarmSummary,
 }
 
-fn run_oracle(n: usize) -> RunResult {
+fn spec_for(n: usize, duration_s: Option<u64>) -> ChurnSpec {
     let spec = ChurnSpec::standard(n, SchedulerMode::Calendar);
+    match duration_s {
+        Some(d) => spec.with_duration(d),
+        None => spec,
+    }
+}
+
+fn run_oracle(n: usize, duration_s: Option<u64>) -> RunResult {
+    let spec = spec_for(n, duration_s);
     let (mut sim, mut mobility) = build_churn_swarm(&spec);
     let (_, wall_ms) = time_once(|| drive_churn(&mut sim, &mut mobility, &spec));
     RunResult {
@@ -56,14 +85,20 @@ fn run_oracle(n: usize) -> RunResult {
         metrics: *sim.metrics(),
         shard_events: vec![sim.metrics().events_scheduled],
         shard_nodes: vec![n],
+        resident_shard_max: 0,
+        shared_topo_bytes: 0,
+        batch_envelopes: 0,
+        batch_sends: 0,
         summary: SwarmSummary::collect(&sim),
     }
 }
 
-fn run_sharded(n: usize, shards: usize) -> RunResult {
-    let spec = ChurnSpec::standard(n, SchedulerMode::Calendar).with_shards(shards);
+fn run_sharded(n: usize, shards: usize, duration_s: Option<u64>) -> RunResult {
+    let spec = spec_for(n, duration_s).with_shards(shards);
     let (mut sim, mut mobility) = build_churn_swarm_sharded(&spec);
+    sim.enable_telemetry(128);
     let (_, wall_ms) = time_once(|| drive_churn(&mut sim, &mut mobility, &spec));
+    let recorder = sim.telemetry();
     RunResult {
         nodes: n,
         shards: Some(shards),
@@ -72,6 +107,10 @@ fn run_sharded(n: usize, shards: usize) -> RunResult {
         metrics: sim.metrics(),
         shard_events: sim.shard_metrics().iter().map(|m| m.events_scheduled).collect(),
         shard_nodes: sim.shard_node_counts(),
+        resident_shard_max: sim.shard_resident_bytes().into_iter().max().unwrap_or(0),
+        shared_topo_bytes: sim.shared_topology_bytes(),
+        batch_envelopes: recorder.metrics().counter_total("batch.envelopes"),
+        batch_sends: recorder.metrics().counter_total("batch.sends"),
         summary: SwarmSummary::collect_sharded(&sim),
     }
 }
@@ -89,48 +128,63 @@ fn parse_list(args: &[String], flag: &str) -> Option<Vec<usize>> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
+    let no_oracle = args.iter().any(|a| a == "--no-oracle");
     let sizes = parse_list(&args, "--sizes").unwrap_or_else(|| SIZES.to_vec());
     let shard_counts = parse_list(&args, "--shards").unwrap_or_else(|| SHARDS.to_vec());
+    let duration_s = parse_list(&args, "--duration").map(|v| v[0] as u64);
 
     let mut results: Vec<RunResult> = Vec::new();
     for &n in &sizes {
-        let oracle = run_oracle(n);
+        let oracle = (!no_oracle).then(|| run_oracle(n, duration_s));
         for &s in &shard_counts {
-            let sharded = run_sharded(n, s);
-            // The shard contract (docs/SIM.md §6): every shard count is
-            // bit-identical to the single-threaded oracle. peak_queue_len
-            // is per-queue depth — the one legitimately shard-count-
-            // dependent observable — and is masked.
-            assert_eq!(
-                sharded.metrics.without_queue_pressure(),
-                oracle.metrics.without_queue_pressure(),
-                "n={n} shards={s}: metrics diverged — shard contract broken"
-            );
-            assert_eq!(
-                sharded.summary, oracle.summary,
-                "n={n} shards={s}: app outcomes diverged — shard contract broken"
-            );
-            assert_eq!(
-                sharded.clock_us, oracle.clock_us,
-                "n={n} shards={s}: final clocks diverged — shard contract broken"
-            );
-            assert!(sharded.summary.matches > 0, "n={n}: churn scenario produced no matches");
+            let sharded = run_sharded(n, s, duration_s);
+            if let Some(oracle) = &oracle {
+                // The shard contract (docs/SIM.md §6): every shard count
+                // is bit-identical to the single-threaded oracle.
+                // peak_queue_len is per-queue depth — the one
+                // legitimately shard-count-dependent observable — and is
+                // masked.
+                assert_eq!(
+                    sharded.metrics.without_queue_pressure(),
+                    oracle.metrics.without_queue_pressure(),
+                    "n={n} shards={s}: metrics diverged — shard contract broken"
+                );
+                assert_eq!(
+                    sharded.summary, oracle.summary,
+                    "n={n} shards={s}: app outcomes diverged — shard contract broken"
+                );
+                assert_eq!(
+                    sharded.clock_us, oracle.clock_us,
+                    "n={n} shards={s}: final clocks diverged — shard contract broken"
+                );
+            }
+            // A `--duration`-shortened horizon may legitimately end
+            // before any match confirms; only the standard 40 s
+            // scenario promises them.
+            if duration_s.is_none() {
+                assert!(sharded.summary.matches > 0, "n={n}: churn scenario produced no matches");
+            }
             results.push(sharded);
         }
-        results.push(oracle);
+        if let Some(oracle) = oracle {
+            results.push(oracle);
+        }
     }
 
     let engine_name = |r: &RunResult| match r.shards {
         None => "oracle".to_string(),
         Some(s) => format!("sharded x{s}"),
     };
+    let bytes_per_node = |r: &RunResult| r.resident_shard_max as f64 / r.nodes as f64;
     if json {
         for r in &results {
             let per_shard: Vec<String> = r.shard_events.iter().map(u64::to_string).collect();
             println!(
                 "{{\"bench\": \"fig10_shards\", \"engine\": \"{}\", \"shards\": {}, \
                  \"nodes\": {}, \"wall_ms\": {:.1}, \"events_scheduled\": {}, \
-                 \"shard_events\": [{}], \"delivered\": {}, \"matches\": {}}}",
+                 \"shard_events\": [{}], \"delivered\": {}, \"matches\": {}, \
+                 \"bytes_per_node\": {:.1}, \"resident_shard_max\": {}, \
+                 \"shared_topo_bytes\": {}, \"batch_envelopes\": {}, \"batch_sends\": {}}}",
                 engine_name(r),
                 r.shards.unwrap_or(1),
                 r.nodes,
@@ -139,30 +193,62 @@ fn main() {
                 per_shard.join(", "),
                 r.metrics.delivered,
                 r.summary.matches,
+                bytes_per_node(r),
+                r.resident_shard_max,
+                r.shared_topo_bytes,
+                r.batch_envelopes,
+                r.batch_sends,
             );
         }
     } else {
         let rows: Vec<Vec<String>> = results
             .iter()
             .map(|r| {
+                let batching = if r.batch_sends > 0 {
+                    format!(
+                        "{} env / {} sends ({:.0}x)",
+                        r.batch_envelopes,
+                        r.batch_sends,
+                        r.batch_envelopes as f64 / r.batch_sends as f64
+                    )
+                } else {
+                    "-".to_string()
+                };
                 vec![
                     format!("{} ({})", r.nodes, engine_name(r)),
                     fmt_ms(r.wall_ms),
                     format!("{}", r.metrics.events_scheduled),
-                    format!("{:?}", r.shard_events.iter().map(|&e| e / 1000).collect::<Vec<_>>()),
                     format!("{:?}", r.shard_nodes),
+                    if r.shards.is_some() {
+                        format!("{:.0}", bytes_per_node(r))
+                    } else {
+                        "-".to_string()
+                    },
+                    batching,
                     format!("{}", r.summary.matches),
                 ]
             })
             .collect();
         print_table(
             "Fig. 10 (ext) — sharded churn swarms (3 islands, 5 s re-flood, 40 s horizon)",
-            &["Swarm", "Wall (ms)", "Events", "Per-shard events (k)", "Per-shard nodes", "Matches"],
+            &[
+                "Swarm",
+                "Wall (ms)",
+                "Events",
+                "Per-shard nodes",
+                "B/node (max shard)",
+                "Envelope batching",
+                "Matches",
+            ],
             &rows,
         );
-        println!(
-            "every sharded row is asserted bit-identical to its oracle \
-             (metrics modulo peak_queue_len, matches, final clock)"
-        );
+        if no_oracle {
+            println!("oracle comparison skipped (--no-oracle)");
+        } else {
+            println!(
+                "every sharded row is asserted bit-identical to its oracle \
+                 (metrics modulo peak_queue_len, matches, final clock)"
+            );
+        }
     }
 }

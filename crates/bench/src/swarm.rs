@@ -249,6 +249,12 @@ pub struct ChurnSpec {
     /// the fig10 scaling axis. Ignored by [`build_churn_swarm`]; used
     /// by [`build_churn_swarm_sharded`].
     pub shards: usize,
+    /// Hex tiles per shard-partition region side
+    /// ([`SimConfig::region_tiles`]): larger regions give each shard a
+    /// contiguous neighborhood, shrinking its halo fringe relative to
+    /// its interior. Speed/memory only — outcomes are bit-identical at
+    /// any value.
+    pub region_tiles: usize,
 }
 
 impl ChurnSpec {
@@ -269,12 +275,21 @@ impl ChurnSpec {
             scheduler,
             delivery: DeliveryMode::InMemory,
             shards: 1,
+            region_tiles: 4,
         }
     }
 
     /// Selects the sharded engine's worker-core count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Overrides the scenario duration (and with it the request
+    /// validity) — short smokes at large sizes set this down from the
+    /// standard 40 s.
+    pub fn with_duration(mut self, duration_s: u64) -> Self {
+        self.duration_s = duration_s;
         self
     }
 }
@@ -300,6 +315,7 @@ fn churn_setup(spec: &ChurnSpec) -> (Vec<(f64, f64)>, RandomWaypoint, SwarmParam
             scheduler: spec.scheduler,
             delivery: spec.delivery,
             shards: spec.shards,
+            region_tiles: spec.region_tiles,
             ..SimConfig::default()
         },
         sim_seed: spec.seed,
@@ -349,8 +365,7 @@ pub fn drive_churn(sim: &mut impl SimDriver, mobility: &mut RandomWaypoint, spec
     let mut buf = Vec::new();
     for tick in 1..=ticks {
         sim.run_until((tick as f64 * spec.tick_s * 1e6) as u64);
-        mobility.advance(spec.tick_s);
-        mobility.positions_into(&mut buf);
+        mobility.advance_positions_into(spec.tick_s, &mut buf);
         sim.set_positions(&buf);
     }
     sim.run();

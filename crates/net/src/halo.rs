@@ -1,0 +1,324 @@
+//! Per-shard halo topology: exact positions for the tiles a shard owns
+//! plus the fringe of neighbor tiles its queries can reach.
+//!
+//! A shard core answers two hot queries while processing a window —
+//! broadcast targets and fan-out-capped k-nearest — and both only ever
+//! look within one radio range of a node the core *owns*. The halo is
+//! the minimal cell set that makes those answers exact: for each owned
+//! cell `c`, every cell of `cells_covering_into(center(c), R)`. That
+//! is precisely the cover [`SpatialIndex`](crate::spatial::SpatialIndex)
+//! scans for a query from *anywhere inside* `c` (the cover formula
+//! depends only on the query's snapped cell, and points inside `c`
+//! snap to `c`), so a query served from halo buckets gathers the
+//! identical candidate set — and, because the cover's size is pure
+//! geometry, reports the identical `cells_scanned` — as the oracle's
+//! global index. Positions change only at conservative-lookahead
+//! quiesce points (`docs/SIM.md` §6), which is when the coordinator
+//! refreshes halos, so halo contents are never stale mid-window.
+//!
+//! Unicast BFS routing and connected components still read the shared
+//! global topology: a route legitimately traverses the whole plane.
+//! What the halo removes is the per-core *replica* of that topology —
+//! per-shard resident bytes become O(owned tiles + fringe), not O(n).
+
+use crate::sim::{Metrics, SimConfig};
+use crate::topo::distance;
+use msb_lattice::{LatticeConfig, LatticePoint};
+use std::collections::HashMap;
+
+/// One node resident in a halo cell: its id and exact position.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HaloEntry {
+    pub(crate) id: u32,
+    pub(crate) x: f64,
+    pub(crate) y: f64,
+}
+
+/// A shard core's private topology fragment (owned tiles + fringe),
+/// rebuilt by the coordinator at every quiesce point.
+#[derive(Debug)]
+pub(crate) struct HaloIndex {
+    lattice: LatticeConfig,
+    radio_range: f64,
+    /// Cell → resident nodes, each bucket in ascending id order (the
+    /// refresh pushes nodes in id order).
+    cells: HashMap<LatticePoint, Vec<HaloEntry>>,
+    /// Scratch: the cell cover of the in-flight query.
+    cover: Vec<LatticePoint>,
+    /// Scratch: candidates gathered from covered buckets.
+    gather: Vec<HaloEntry>,
+    /// Scratch: `(distance, id)` ranking for k-nearest selection.
+    ranked: Vec<(f64, u32)>,
+}
+
+impl HaloIndex {
+    /// An empty halo over the same lattice the global
+    /// [`SpatialIndex`](crate::spatial::SpatialIndex) uses — same cell
+    /// scale, same origin, so covers and snaps agree bit-for-bit.
+    pub(crate) fn new(config: &SimConfig) -> Self {
+        HaloIndex {
+            lattice: LatticeConfig::new((0.0, 0.0), config.cell_d.unwrap_or(config.radio_range)),
+            radio_range: config.radio_range,
+            cells: HashMap::new(),
+            cover: Vec::new(),
+            gather: Vec::new(),
+            ranked: Vec::new(),
+        }
+    }
+
+    /// Starts a refresh: empties every bucket in place (capacity kept —
+    /// the common case repopulates the same cells).
+    pub(crate) fn begin_refresh(&mut self) {
+        for bucket in self.cells.values_mut() {
+            bucket.clear();
+        }
+    }
+
+    /// Adds one resident during a refresh. The coordinator pushes nodes
+    /// in ascending id order, which keeps every bucket id-sorted.
+    pub(crate) fn push(&mut self, cell: LatticePoint, id: u32, pos: (f64, f64)) {
+        self.cells.entry(cell).or_default().push(HaloEntry { id, x: pos.0, y: pos.1 });
+    }
+
+    /// Finishes a refresh: drops cells the halo no longer covers and
+    /// releases excess bucket capacity (the same hygiene as
+    /// [`SpatialIndex::compact`](crate::spatial::SpatialIndex::compact)),
+    /// so a core that migrated across the plane doesn't pin its old
+    /// neighborhood's allocation.
+    pub(crate) fn end_refresh(&mut self) {
+        self.cells.retain(|_, bucket| !bucket.is_empty());
+        for bucket in self.cells.values_mut() {
+            if bucket.capacity() >= 2 * bucket.len().max(4) {
+                bucket.shrink_to_fit();
+            }
+        }
+        if self.cells.capacity() >= 2 * self.cells.len().max(16) {
+            self.cells.shrink_to_fit();
+        }
+    }
+
+    /// Number of resident (non-empty) halo cells — the
+    /// `shard.halo.tiles` gauge.
+    pub(crate) fn tiles(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Estimated resident heap bytes (buckets at capacity plus map
+    /// entry overhead; scratch excluded). Deterministic — capacities
+    /// are a pure function of the refresh history — so safe for the
+    /// `shard.topo.resident_bytes` telemetry gauge.
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        let bucket_bytes: usize =
+            self.cells.values().map(|b| b.capacity() * std::mem::size_of::<HaloEntry>()).sum();
+        let entry = std::mem::size_of::<(LatticePoint, Vec<HaloEntry>)>();
+        (bucket_bytes + self.cells.len() * entry) as u64
+    }
+
+    /// Every other node within radio range of `src` (node `from`'s
+    /// position), with its distance, in ascending id order — byte-,
+    /// order-, and metrics-identical to
+    /// [`Topology::broadcast_targets`](crate::topo::Topology::broadcast_targets)
+    /// under the hex index, provided `src` lies in a cell this halo
+    /// covers (the refresh guarantees that for owned nodes).
+    pub(crate) fn broadcast_targets(
+        &mut self,
+        metrics: &mut Metrics,
+        from: u32,
+        src: (f64, f64),
+        out: &mut Vec<(u32, f64)>,
+    ) {
+        metrics.neighbor_queries += 1;
+        out.clear();
+        self.lattice.cells_covering_into(src, self.radio_range, &mut self.cover);
+        metrics.cells_scanned += self.cover.len() as u64;
+        self.gather.clear();
+        for cell in &self.cover {
+            if let Some(bucket) = self.cells.get(cell) {
+                self.gather.extend_from_slice(bucket);
+            }
+        }
+        // Buckets are id-sorted but arrive in cell order; restore the
+        // global ascending id order the oracle delivers in.
+        self.gather.sort_unstable_by_key(|e| e.id);
+        for e in &self.gather {
+            if e.id != from {
+                let d = distance(src, (e.x, e.y));
+                if d <= self.radio_range {
+                    out.push((e.id, d));
+                }
+            }
+        }
+    }
+
+    /// The `k` nearest other nodes within radio range of `src`, ties
+    /// breaking toward the smaller id, returned in ascending id order —
+    /// replicating [`Topology::k_nearest`](crate::topo::Topology::k_nearest)'s
+    /// indexed branch exactly: same geometric radius growth, same
+    /// per-iteration `cells_scanned`, same `(distance, id)` selection.
+    pub(crate) fn k_nearest(
+        &mut self,
+        metrics: &mut Metrics,
+        from: u32,
+        src: (f64, f64),
+        k: usize,
+        out: &mut Vec<u32>,
+    ) {
+        metrics.neighbor_queries += 1;
+        out.clear();
+        let max_range = self.radio_range;
+        // One extra slot so the querying node (distance 0) never crowds
+        // out a real neighbor — mirrors the oracle's `k + 1`.
+        let want = k + 1;
+        let mut scanned = 0u64;
+        let mut r = self.lattice.d().min(max_range);
+        loop {
+            self.lattice.cells_covering_into(src, r, &mut self.cover);
+            scanned += self.cover.len() as u64;
+            self.gather.clear();
+            for cell in &self.cover {
+                if let Some(bucket) = self.cells.get(cell) {
+                    self.gather.extend_from_slice(bucket);
+                }
+            }
+            self.ranked.clear();
+            for e in &self.gather {
+                let d = distance(src, (e.x, e.y));
+                if d <= r {
+                    self.ranked.push((d, e.id));
+                }
+            }
+            // At least `want` nodes within radius r: the nearest overall
+            // are all among `ranked` ((d, id) is a total order, so the
+            // gather order cannot matter).
+            if self.ranked.len() >= want || r >= max_range {
+                self.ranked.sort_unstable_by(|a, b| {
+                    a.partial_cmp(b).expect("distances are finite, never NaN")
+                });
+                self.ranked.truncate(want);
+                out.extend(self.ranked.iter().map(|&(_, i)| i));
+                break;
+            }
+            r = (r * 2.0).min(max_range);
+        }
+        metrics.cells_scanned += scanned;
+        out.retain(|&i| i != from);
+        out.truncate(k);
+        // Deliver in ascending id order, like a full broadcast.
+        out.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimConfig;
+    use crate::spatial::{SpatialIndex, SpatialScratch};
+
+    /// Build a halo holding *all* nodes (a full-plane halo) next to the
+    /// global index over the same population, and check both answer
+    /// every query identically — the unit-level kernel of the sharded
+    /// differential suites.
+    fn world(positions: &[(f64, f64)]) -> (HaloIndex, SpatialIndex, SimConfig) {
+        let config = SimConfig::default();
+        let mut halo = HaloIndex::new(&config);
+        let mut index = SpatialIndex::new(config.radio_range);
+        halo.begin_refresh();
+        for (i, &p) in positions.iter().enumerate() {
+            index.push(p);
+            halo.push(halo.lattice.snap(p), i as u32, p);
+        }
+        halo.end_refresh();
+        (halo, index, config)
+    }
+
+    fn scatter(n: usize) -> Vec<(f64, f64)> {
+        (0..n).map(|i| ((i as f64 * 37.3) % 400.0, (i as f64 * 23.9) % 350.0)).collect()
+    }
+
+    #[test]
+    fn broadcast_targets_match_the_global_index() {
+        let positions = scatter(300);
+        let (mut halo, index, config) = world(&positions);
+        let mut scratch = SpatialScratch::default();
+        let mut cand = Vec::new();
+        for from in [0u32, 17, 150, 299] {
+            let src = positions[from as usize];
+            let mut m_halo = Metrics::default();
+            let mut out_halo = Vec::new();
+            halo.broadcast_targets(&mut m_halo, from, src, &mut out_halo);
+            // The oracle path: covered candidates, exact filter.
+            let mut m_idx = Metrics::default();
+            m_idx.neighbor_queries += 1;
+            m_idx.cells_scanned +=
+                index.candidates_into(&mut scratch, src, config.radio_range, &mut cand);
+            let oracle: Vec<(u32, f64)> = cand
+                .iter()
+                .filter(|&&i| i != from)
+                .map(|&i| (i, distance(src, positions[i as usize])))
+                .filter(|&(_, d)| d <= config.radio_range)
+                .collect();
+            assert_eq!(out_halo, oracle, "from {from}");
+            assert_eq!(m_halo, m_idx, "from {from}: metrics diverged");
+            assert!(!out_halo.is_empty(), "scenario must exercise non-empty neighborhoods");
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_the_global_index() {
+        let positions = scatter(300);
+        let (mut halo, index, config) = world(&positions);
+        let mut scratch = SpatialScratch::default();
+        for from in [3u32, 77, 299] {
+            for k in [0usize, 1, 4, 50] {
+                let src = positions[from as usize];
+                let mut m_halo = Metrics::default();
+                let mut out_halo = Vec::new();
+                halo.k_nearest(&mut m_halo, from, src, k, &mut out_halo);
+                let mut m_idx = Metrics::default();
+                m_idx.neighbor_queries += 1;
+                let mut oracle = Vec::new();
+                m_idx.cells_scanned += index.k_nearest_into(
+                    &mut scratch,
+                    src,
+                    k + 1,
+                    config.radio_range,
+                    |i| positions[i as usize],
+                    &mut oracle,
+                );
+                oracle.retain(|&i| i != from);
+                oracle.truncate(k);
+                oracle.sort_unstable();
+                assert_eq!(out_halo, oracle, "from {from} k {k}");
+                assert_eq!(m_halo, m_idx, "from {from} k {k}: metrics diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_drops_stale_cells_and_releases_capacity() {
+        let config = SimConfig::default();
+        let mut halo = HaloIndex::new(&config);
+        halo.begin_refresh();
+        for i in 0..200u32 {
+            halo.push(halo.lattice.snap((0.0, 0.0)), i, (0.0, 0.0));
+        }
+        halo.end_refresh();
+        assert_eq!(halo.tiles(), 1);
+        let crowded = halo.resident_bytes();
+        // The whole neighborhood moves away: next refresh covers a
+        // distant cell with two residents.
+        halo.begin_refresh();
+        halo.push(halo.lattice.snap((5000.0, 5000.0)), 7, (5000.0, 5000.0));
+        halo.push(halo.lattice.snap((5000.0, 5000.0)), 9, (5000.0, 5000.0));
+        halo.end_refresh();
+        assert_eq!(halo.tiles(), 1);
+        assert!(
+            halo.resident_bytes() < crowded,
+            "stale crowd capacity must be released: {} >= {crowded}",
+            halo.resident_bytes()
+        );
+        let mut out = Vec::new();
+        halo.broadcast_targets(&mut Metrics::default(), 7, (5000.0, 5000.0), &mut out);
+        assert_eq!(out.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![9]);
+    }
+}

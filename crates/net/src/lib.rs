@@ -64,8 +64,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod flood;
 pub mod guard;
+mod halo;
 pub mod harness;
 pub mod mobility;
 pub mod payload;
@@ -85,4 +87,4 @@ pub use shard::ShardedSimulator;
 pub use sim::{
     DeliveryMode, Metrics, NodeApp, NodeCtx, NodeId, SimConfig, SimDriver, Simulator, SpatialMode,
 };
-pub use spatial::SpatialIndex;
+pub use spatial::{SpatialIndex, SpatialScratch};

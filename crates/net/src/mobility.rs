@@ -144,6 +144,17 @@ impl RandomWaypoint {
         out.extend(self.nodes.iter().map(|n| n.position));
     }
 
+    /// Advances every node by `dt_s` seconds and refills `out` with the
+    /// resulting positions — the per-tick call of the
+    /// `advance → set_positions` loop, exactly
+    /// [`RandomWaypoint::advance`] followed by
+    /// [`RandomWaypoint::positions_into`] against one reused buffer.
+    pub fn advance_positions_into(&mut self, dt_s: f64, out: &mut Vec<(f64, f64)>) {
+        self.advance(dt_s);
+        out.clear();
+        out.extend(self.nodes.iter().map(|n| n.position));
+    }
+
     /// Advances every node by `dt_s` seconds.
     pub fn advance(&mut self, dt_s: f64) {
         for i in 0..self.nodes.len() {
@@ -239,6 +250,20 @@ mod tests {
         m1.advance(7.3);
         m2.advance(7.3);
         assert_eq!(m1.positions(), m2.positions());
+    }
+
+    #[test]
+    fn fused_advance_matches_the_two_calls() {
+        let mut fused = model(12);
+        let mut split = model(12);
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        for _ in 0..5 {
+            fused.advance_positions_into(2.7, &mut got);
+            split.advance(2.7);
+            split.positions_into(&mut want);
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

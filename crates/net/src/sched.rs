@@ -233,6 +233,21 @@ pub trait Scheduler<T: Clone> {
     /// handoff primitive. Counters other than [`Scheduler::len`] are
     /// unaffected.
     fn extract(&mut self, pred: &mut dyn FnMut(&T) -> bool) -> Vec<ScheduledEvent<T>>;
+
+    /// Enqueues a whole batch — the coalesced cross-shard envelope
+    /// transfer. The batch is first sorted by its content sort key
+    /// `(at_us, key)`, so the insertion order a sender accumulated it
+    /// in is immaterial; each entry then counts toward
+    /// [`Scheduler::events_scheduled`] exactly like an individual
+    /// [`Scheduler::schedule`] call (a cross-shard event is *not*
+    /// scheduled at its source, so this is its single accounting).
+    fn schedule_all(&mut self, mut events: Vec<ScheduledEvent<T>>) {
+        events.sort_unstable();
+        for ev in events {
+            debug_assert!(ev.recur.is_none(), "recurring entries never cross shards");
+            self.schedule(ev.at_us, ev.key, ev.item);
+        }
+    }
 }
 
 /// Shared statistics bookkeeping, identical across engines so the

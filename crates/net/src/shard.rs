@@ -2,31 +2,53 @@
 //!
 //! [`ShardedSimulator`] partitions the hex-grid tiles of the plane
 //! across [`SimConfig::shards`] engine cores — each with its **own**
-//! scheduler, spatial index replica, per-node RNG streams, and
-//! [`Metrics`] — and runs them on scoped worker threads under
-//! **conservative-lookahead synchronization**: the radio propagation
-//! delay ([`SimConfig::base_latency_us`]) lower-bounds the latency of
-//! every cross-shard event, so all shards can safely process the window
+//! scheduler, per-node RNG streams, and [`Metrics`] — and runs them on
+//! scoped worker threads under **conservative-lookahead
+//! synchronization**: the radio propagation delay
+//! ([`SimConfig::base_latency_us`]) lower-bounds the latency of every
+//! cross-shard event, so all shards can safely process the window
 //! `[t₀, t₀ + L)` in parallel (t₀ = the global earliest pending event,
 //! L = the lookahead) — any event one shard sends another lands at
 //! `≥ t₀ + L`, strictly beyond the window.
 //!
-//! The engine is **bit-identical to the single-threaded
+//! # Memory model: one shared world, per-shard halos
+//!
+//! The coordinator owns **one** global [`Topology`] (positions + hex
+//! index). Positions change only at quiesce points, so worker cores
+//! borrow it read-only during windows for the queries that legitimately
+//! span the plane — unicast BFS routing and connected components. The
+//! hot neighborhood queries (broadcast targets, fan-out-capped
+//! k-nearest) are instead answered from each core's private
+//! [`HaloIndex`]: exact positions for the cells covering the tiles the
+//! core owns plus a one-radio-range fringe, rebuilt by the coordinator
+//! at every quiesce point. Per-shard resident topology is therefore
+//! O(owned tiles + fringe), not O(n) — the old full per-core replica is
+//! gone — and node state lives in a compact [`NodeArena`] whose
+//! footprint tracks the shard's peak population. Cross-shard envelopes
+//! are **batched**: a core accumulates one outbox per destination
+//! shard, the window barrier moves each batch as a single transfer, and
+//! the receiver bulk-sorts it by the existing `(at_us, key)` content
+//! order ([`crate::sched::Scheduler::schedule_all`]).
+//!
+//! The engine remains **bit-identical to the single-threaded
 //! [`Simulator`]** at every shard count: same matches, same event
 //! totals, same final clock, same merged [`Metrics`] (modulo
 //! [`Metrics::peak_queue_len`], a per-queue high-water mark — see
 //! [`Metrics::without_queue_pressure`]). This follows from the
-//! refactored determinism contract (`docs/SIM.md` §1 and §6):
+//! determinism contract (`docs/SIM.md` §1 and §6):
 //!
 //! * every event is keyed by *content* (`(source, emission counter)`),
 //!   so each node processes its own events in an order independent of
-//!   global queue interleaving;
+//!   global queue interleaving — and of how envelopes are batched;
 //! * randomness is *per-node*, drawn on the emitting node in its
 //!   processing order, so draws never depend on other nodes' schedules;
 //! * positions change only at quiesce points
-//!   ([`ShardedSimulator::set_positions`]), so every core's full
-//!   topology replica is exact and neighbor queries answer identically
-//!   to the oracle's.
+//!   ([`ShardedSimulator::set_positions`]), so the shared topology and
+//!   every halo are exact all window long, and a halo-served query
+//!   gathers the identical candidate set (same ids, same order, same
+//!   `cells_scanned`) as the oracle's global index — the cover a query
+//!   scans depends only on the querying node's cell, and the halo holds
+//!   every cell any owned cell's cover can reach (see [`crate::halo`]).
 //!
 //! Mobility may carry a node onto a tile owned by a different shard;
 //! the quiesce-point rebalance then *hands off* the node — its
@@ -42,39 +64,60 @@
 //! root `tests/shard_churn.rs` prove the bit-identity from tile-seam
 //! micro-scenarios up to full friending swarms.
 
+use crate::arena::NodeArena;
+use crate::halo::HaloIndex;
 use crate::payload::Payload;
 use crate::sched::{AnyScheduler, EventKey, ScheduledEvent, Scheduler};
 use crate::sim::{
     draw_latency, roll_loss, splitmix64, Action, EventKind, Metrics, NodeApp, NodeCtx, NodeId,
-    NodeState, SimConfig, SimDriver,
+    NodeState, SimConfig, SimDriver, SpatialMode,
 };
-use crate::topo::{distance, Topology};
-use msb_lattice::LatticeConfig;
+use crate::topo::{distance, TopoScratch, Topology};
+use msb_lattice::{LatticeConfig, LatticePoint};
 use msb_telemetry::{Recorder, TraceTag};
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
+/// The coordinator-owned world state a core borrows read-only for the
+/// duration of a window: the global topology (exact — positions change
+/// only at quiesce points) and the node → owning shard table (frozen
+/// during a window; handoffs happen only at quiesce points too).
+#[derive(Clone, Copy)]
+struct WorldRef<'a> {
+    topo: &'a Topology,
+    owner: &'a [u32],
+}
+
 /// One engine core owning a subset of the nodes: its own event queue,
-/// its own metrics, a full topology replica, and the per-node state
+/// its own metrics, its halo topology fragment, and the per-node state
 /// (app + RNG + emission counter) of every node it currently owns.
 struct ShardCore<A> {
     shard: u32,
     config: SimConfig,
-    /// Full position/index replica — exact, because positions change
-    /// only at quiesce points.
-    topo: Topology,
-    /// Full node → owning shard replica (for routing emissions).
-    owner: Vec<u32>,
-    /// State of the nodes this core owns, by raw node id.
-    states: HashMap<u32, NodeState<A>>,
+    /// Owned-tiles + fringe neighborhood index, `Some` under
+    /// [`SpatialMode::HexIndex`] with more than one shard. Refreshed by
+    /// the coordinator at quiesce points; serves broadcast/k-nearest.
+    /// `None` (naive scan, or a lone shard) routes those queries to
+    /// the shared global topology instead.
+    halo: Option<HaloIndex>,
+    /// State of the nodes this core owns, in arena slots.
+    states: NodeArena<NodeState<A>>,
     queue: AnyScheduler<EventKind>,
     now_us: u64,
     metrics: Metrics,
-    /// Events emitted this window whose target another shard owns;
-    /// drained by the coordinator at the window barrier.
-    outbox: Vec<ScheduledEvent<EventKind>>,
+    /// Events emitted this window whose target another shard owns, one
+    /// outbox per destination shard — each drained as a single
+    /// coalesced transfer at the window barrier.
+    outboxes: Vec<Vec<ScheduledEvent<EventKind>>>,
+    /// Bulk-sort inbound envelope batches on arrival (the default).
+    /// Off = schedule envelopes one by one in arrival order — the
+    /// reference behaviour the batched path is proven identical to.
+    batching: bool,
     targets_buf: Vec<(u32, f64)>,
     knear_buf: Vec<u32>,
+    /// Reusable buffers for queries against the shared global topology
+    /// (BFS routing, naive-scan broadcasts).
+    scratch: TopoScratch,
     /// Per-core observability sink (off by default). Owned by the core
     /// so parallel windows record without any cross-thread contention;
     /// the coordinator merges deterministically on demand
@@ -87,19 +130,22 @@ struct ShardCore<A> {
 }
 
 impl<A: NodeApp> ShardCore<A> {
-    fn new(shard: u32, config: SimConfig) -> Self {
+    fn new(shard: u32, config: SimConfig, shards: usize) -> Self {
+        let halo = (shards > 1 && config.spatial == SpatialMode::HexIndex)
+            .then(|| HaloIndex::new(&config));
         ShardCore {
             shard,
             config,
-            topo: Topology::new(&config),
-            owner: Vec::new(),
-            states: HashMap::new(),
+            halo,
+            states: NodeArena::default(),
             queue: AnyScheduler::for_mode(config.scheduler),
             now_us: 0,
             metrics: Metrics::default(),
-            outbox: Vec::new(),
+            outboxes: (0..shards).map(|_| Vec::new()).collect(),
+            batching: true,
             targets_buf: Vec::new(),
             knear_buf: Vec::new(),
+            scratch: TopoScratch::default(),
             telemetry: Recorder::off(),
             seen_resizes: 0,
         }
@@ -110,14 +156,25 @@ impl<A: NodeApp> ShardCore<A> {
         self.queue.peek().map(|(at, _)| at)
     }
 
-    /// Inserts cross-shard arrivals, counting them toward
-    /// `events_scheduled` — each event is counted exactly once
-    /// simulation-wide, at the core that enqueues it for processing.
+    /// Inserts one coalesced cross-shard envelope batch, counting the
+    /// events toward `events_scheduled` — each event is counted exactly
+    /// once simulation-wide, at the core that enqueues it for
+    /// processing. The `batch.envelopes` / `batch.sends` counters make
+    /// the coalescing ratio observable.
     fn ingest(&mut self, inbound: Vec<ScheduledEvent<EventKind>>) {
         self.telemetry.incr("shard.ingested", self.shard, inbound.len() as u64);
-        for ev in inbound {
-            debug_assert!(ev.recur.is_none(), "cross-shard events are never recurring");
-            self.queue.schedule(ev.at_us, ev.key, ev.item);
+        if self.batching {
+            if !inbound.is_empty() {
+                self.telemetry.incr("batch.envelopes", self.shard, inbound.len() as u64);
+                self.telemetry.incr("batch.sends", self.shard, 1);
+            }
+            // One bulk insert, sorted by content key on arrival.
+            self.queue.schedule_all(inbound);
+        } else {
+            for ev in inbound {
+                debug_assert!(ev.recur.is_none(), "cross-shard events are never recurring");
+                self.queue.schedule(ev.at_us, ev.key, ev.item);
+            }
         }
         self.note_queue();
     }
@@ -130,19 +187,19 @@ impl<A: NodeApp> ShardCore<A> {
 
     /// Processes every local event with `at ≤ horizon`; returns how
     /// many events were popped (the window-span payload).
-    fn process_until(&mut self, horizon: u64) -> u64 {
+    fn process_until(&mut self, world: WorldRef<'_>, horizon: u64) -> u64 {
         let mut popped = 0u64;
         while let Some((at, _)) = self.queue.peek() {
             if at > horizon {
                 break;
             }
-            self.step();
+            self.step(world);
             popped += 1;
         }
         popped
     }
 
-    fn step(&mut self) -> bool {
+    fn step(&mut self, world: WorldRef<'_>) -> bool {
         let Some((at_us, kind)) = self.queue.pop() else {
             return false;
         };
@@ -163,14 +220,14 @@ impl<A: NodeApp> ShardCore<A> {
                 if self.config.batch_delivery {
                     let batch = self.drain_batch(to, from, payload);
                     self.metrics.delivered += batch.len() as u64;
-                    self.with_ctx(to, |app, ctx| app.on_batch(ctx, &batch));
+                    self.with_ctx(world, to, |app, ctx| app.on_batch(ctx, &batch));
                 } else {
                     self.metrics.delivered += 1;
-                    self.with_ctx(to, |app, ctx| app.on_message(ctx, from, &payload));
+                    self.with_ctx(world, to, |app, ctx| app.on_message(ctx, from, &payload));
                 }
             }
             EventKind::Timer { node, token } => {
-                self.with_ctx(node, |app, ctx| app.on_timer(ctx, token));
+                self.with_ctx(world, node, |app, ctx| app.on_timer(ctx, token));
             }
         }
         true
@@ -209,9 +266,14 @@ impl<A: NodeApp> ShardCore<A> {
         batch
     }
 
-    fn with_ctx(&mut self, id: NodeId, f: impl FnOnce(&mut A, &mut NodeCtx<'_>)) {
-        let position = self.topo.position(id.index());
-        let state = self.states.get_mut(&id.0).expect("event delivered to a non-owned node");
+    fn with_ctx(
+        &mut self,
+        world: WorldRef<'_>,
+        id: NodeId,
+        f: impl FnOnce(&mut A, &mut NodeCtx<'_>),
+    ) {
+        let position = world.topo.position(id.index());
+        let state = self.states.get_mut(id.0).expect("event delivered to a non-owned node");
         let mut ctx = NodeCtx {
             id,
             now_us: self.now_us,
@@ -224,9 +286,9 @@ impl<A: NodeApp> ShardCore<A> {
         let actions = ctx.actions;
         for action in actions {
             match action {
-                Action::Broadcast(payload) => self.do_broadcast(id, payload),
-                Action::BroadcastK(k, payload) => self.do_broadcast_k(id, k, payload),
-                Action::Unicast(to, payload) => self.do_unicast(id, to, payload),
+                Action::Broadcast(payload) => self.do_broadcast(world, id, payload),
+                Action::BroadcastK(k, payload) => self.do_broadcast_k(world, id, k, payload),
+                Action::Unicast(to, payload) => self.do_unicast(world, id, to, payload),
                 Action::Timer(delay, token) => {
                     let at = self.now_us + delay;
                     let key = self.next_key(id);
@@ -249,17 +311,24 @@ impl<A: NodeApp> ShardCore<A> {
     }
 
     fn next_key(&mut self, id: NodeId) -> EventKey {
-        self.states.get_mut(&id.0).expect("emitting node is owned").next_key(id.0)
+        self.states.get_mut(id.0).expect("emitting node is owned").next_key(id.0)
     }
 
     /// Routes an emitted event: local target → own queue (counted),
-    /// remote target → outbox (counted by the receiving core at ingest).
-    fn route(&mut self, at_us: u64, key: EventKey, kind: EventKind) {
-        if self.owner[kind.target().index()] == self.shard {
+    /// remote target → that shard's outbox (counted by the receiving
+    /// core at ingest).
+    fn route(&mut self, world: WorldRef<'_>, at_us: u64, key: EventKey, kind: EventKind) {
+        let dst = world.owner[kind.target().index()];
+        if dst == self.shard {
             self.push_local(at_us, key, kind);
         } else {
             self.telemetry.incr("shard.outbound", self.shard, 1);
-            self.outbox.push(ScheduledEvent { at_us, key, recur: None, item: kind });
+            self.outboxes[dst as usize].push(ScheduledEvent {
+                at_us,
+                key,
+                recur: None,
+                item: kind,
+            });
         }
     }
 
@@ -273,13 +342,24 @@ impl<A: NodeApp> ShardCore<A> {
         self.metrics.peak_queue_len = self.queue.peak_len() as u64;
     }
 
-    fn do_broadcast(&mut self, from: NodeId, payload: Payload) {
+    fn do_broadcast(&mut self, world: WorldRef<'_>, from: NodeId, payload: Payload) {
         self.metrics.broadcasts += 1;
         self.metrics.payload_bytes += payload.wire_len() as u64;
         let mut targets = std::mem::take(&mut self.targets_buf);
-        self.topo.broadcast_targets(&mut self.metrics, from.index(), &mut targets);
+        match &mut self.halo {
+            Some(halo) => {
+                let src = world.topo.position(from.index());
+                halo.broadcast_targets(&mut self.metrics, from.0, src, &mut targets);
+            }
+            None => world.topo.broadcast_targets(
+                &mut self.scratch,
+                &mut self.metrics,
+                from.index(),
+                &mut targets,
+            ),
+        }
         for &(i, dist) in &targets {
-            let sender = self.states.get_mut(&from.0).expect("broadcasting node is owned");
+            let sender = self.states.get_mut(from.0).expect("broadcasting node is owned");
             if roll_loss(&self.config, &mut sender.rng) {
                 self.metrics.lost += 1;
                 continue;
@@ -287,6 +367,7 @@ impl<A: NodeApp> ShardCore<A> {
             let at = self.now_us + draw_latency(&self.config, dist, &mut sender.rng);
             let key = sender.next_key(from.0);
             self.route(
+                world,
                 at,
                 key,
                 EventKind::Deliver { to: NodeId(i), from, payload: payload.clone() },
@@ -295,15 +376,24 @@ impl<A: NodeApp> ShardCore<A> {
         self.targets_buf = targets;
     }
 
-    fn do_broadcast_k(&mut self, from: NodeId, k: usize, payload: Payload) {
+    fn do_broadcast_k(&mut self, world: WorldRef<'_>, from: NodeId, k: usize, payload: Payload) {
         self.metrics.broadcasts += 1;
         self.metrics.payload_bytes += payload.wire_len() as u64;
         let mut cand = std::mem::take(&mut self.knear_buf);
-        self.topo.k_nearest(&mut self.metrics, from.index(), k, &mut cand);
-        let src = self.topo.position(from.index());
+        let src = world.topo.position(from.index());
+        match &mut self.halo {
+            Some(halo) => halo.k_nearest(&mut self.metrics, from.0, src, k, &mut cand),
+            None => world.topo.k_nearest(
+                &mut self.scratch,
+                &mut self.metrics,
+                from.index(),
+                k,
+                &mut cand,
+            ),
+        }
         for &i in &cand {
-            let dist = distance(src, self.topo.position(i as usize));
-            let sender = self.states.get_mut(&from.0).expect("broadcasting node is owned");
+            let dist = distance(src, world.topo.position(i as usize));
+            let sender = self.states.get_mut(from.0).expect("broadcasting node is owned");
             if roll_loss(&self.config, &mut sender.rng) {
                 self.metrics.lost += 1;
                 continue;
@@ -311,6 +401,7 @@ impl<A: NodeApp> ShardCore<A> {
             let at = self.now_us + draw_latency(&self.config, dist, &mut sender.rng);
             let key = sender.next_key(from.0);
             self.route(
+                world,
                 at,
                 key,
                 EventKind::Deliver { to: NodeId(i), from, payload: payload.clone() },
@@ -319,7 +410,7 @@ impl<A: NodeApp> ShardCore<A> {
         self.knear_buf = cand;
     }
 
-    fn do_unicast(&mut self, from: NodeId, to: NodeId, payload: Payload) {
+    fn do_unicast(&mut self, world: WorldRef<'_>, from: NodeId, to: NodeId, payload: Payload) {
         self.metrics.unicasts += 1;
         if from == to {
             let at = self.now_us;
@@ -327,18 +418,26 @@ impl<A: NodeApp> ShardCore<A> {
             self.push_local(at, key, EventKind::Deliver { to, from, payload });
             return;
         }
-        let Some(path) = self.topo.shortest_path(&mut self.metrics, from.index(), to.index())
-        else {
+        // A route legitimately spans the whole plane, so BFS reads the
+        // shared global topology (read-only; this core's scratch).
+        let Some(path) = world.topo.shortest_path(
+            &mut self.scratch,
+            &mut self.metrics,
+            from.index(),
+            to.index(),
+        ) else {
             self.metrics.unroutable += 1;
             return;
         };
         let mut at = self.now_us;
         for hop in path.windows(2) {
-            let d =
-                distance(self.topo.position(hop[0] as usize), self.topo.position(hop[1] as usize));
+            let d = distance(
+                world.topo.position(hop[0] as usize),
+                world.topo.position(hop[1] as usize),
+            );
             self.metrics.unicast_hops += 1;
             self.metrics.payload_bytes += payload.wire_len() as u64;
-            let sender = self.states.get_mut(&from.0).expect("unicasting node is owned");
+            let sender = self.states.get_mut(from.0).expect("unicasting node is owned");
             if roll_loss(&self.config, &mut sender.rng) {
                 self.metrics.lost += 1;
                 return;
@@ -346,8 +445,24 @@ impl<A: NodeApp> ShardCore<A> {
             at += draw_latency(&self.config, d, &mut sender.rng);
         }
         let key = self.next_key(from);
-        self.route(at, key, EventKind::Deliver { to, from, payload });
+        self.route(world, at, key, EventKind::Deliver { to, from, payload });
     }
+
+    /// Drains every per-destination outbox for the window barrier.
+    fn take_outboxes(&mut self) -> Vec<Vec<ScheduledEvent<EventKind>>> {
+        self.outboxes.iter_mut().map(std::mem::take).collect()
+    }
+}
+
+/// The owning shard of a hex tile: tiles aggregate into
+/// `region_tiles × region_tiles` square regions (in lattice
+/// coordinates), and the region hashes to a shard. With
+/// `region_tiles == 1` this is exactly the historical per-tile hash.
+fn region_owner(region_tiles: i64, shards: u64, tile: LatticePoint) -> u32 {
+    let u1 = tile.u1.div_euclid(region_tiles);
+    let u2 = tile.u2.div_euclid(region_tiles);
+    let h = splitmix64(splitmix64(u1 as u64) ^ (u2 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (h % shards) as u32
 }
 
 /// Window command sent to a worker; `Exit` ends the worker loop.
@@ -371,21 +486,33 @@ struct Reply {
     shard: usize,
     next: Option<u64>,
     now: u64,
-    outbox: Vec<ScheduledEvent<EventKind>>,
+    /// Emitted cross-shard envelopes, already bucketed per destination
+    /// shard — the coordinator forwards each bucket as one batch.
+    outboxes: Vec<Vec<ScheduledEvent<EventKind>>>,
 }
 
 /// The sharded parallel engine: coordinator over per-shard cores. See
-/// the module docs for the synchronization and determinism contract;
-/// the public surface mirrors [`Simulator`] so harnesses drive either
-/// through [`SimDriver`].
+/// the module docs for the synchronization, memory, and determinism
+/// contract; the public surface mirrors [`Simulator`] so harnesses
+/// drive either through [`SimDriver`].
 pub struct ShardedSimulator<A: NodeApp> {
     config: SimConfig,
     seed: u64,
     tiles: LatticeConfig,
+    /// The one shared world topology (positions + hex index); workers
+    /// borrow it read-only during windows.
+    topo: Topology,
     cores: Vec<ShardCore<A>>,
-    /// Node → owning shard (the coordinator's authoritative copy; each
-    /// core holds a replica for routing).
+    /// Node → owning shard (the coordinator's authoritative table,
+    /// shared read-only with workers during windows).
     owner: Vec<u32>,
+    /// Cell → halo shard set, memoized: which shards need this cell in
+    /// their halo is pure geometry (cover of the cell's center at radio
+    /// range, mapped through the region hash), so it never invalidates.
+    halo_cache: HashMap<LatticePoint, Vec<u32>>,
+    /// Set whenever positions or membership changed; the next run/start
+    /// rebuilds every halo.
+    halo_dirty: bool,
     now_us: u64,
     ext_seq: u64,
     /// Coordinator-side sink: quiesce/handoff events (recorded between
@@ -399,7 +526,8 @@ impl<A: NodeApp> ShardedSimulator<A> {
     /// Creates a sharded simulator with `config.shards` cores (clamped
     /// to at least 1) and the given RNG seed. The tile partition uses
     /// the same hex lattice scale as the spatial index
-    /// ([`SimConfig::cell_d`], defaulting to the radio range).
+    /// ([`SimConfig::cell_d`], defaulting to the radio range),
+    /// aggregated into [`SimConfig::region_tiles`]-sized regions.
     ///
     /// # Panics
     ///
@@ -426,8 +554,11 @@ impl<A: NodeApp> ShardedSimulator<A> {
             config: core_config,
             seed,
             tiles: LatticeConfig::new((0.0, 0.0), config.cell_d.unwrap_or(config.radio_range)),
-            cores: (0..shards).map(|i| ShardCore::new(i as u32, core_config)).collect(),
+            topo: Topology::new(&core_config),
+            cores: (0..shards).map(|i| ShardCore::new(i as u32, core_config, shards)).collect(),
             owner: Vec::new(),
+            halo_cache: HashMap::new(),
+            halo_dirty: false,
             now_us: 0,
             ext_seq: 0,
             telemetry: Recorder::off(),
@@ -442,6 +573,17 @@ impl<A: NodeApp> ShardedSimulator<A> {
         self.telemetry = Recorder::on(trace_cap);
         for core in &mut self.cores {
             core.telemetry = Recorder::on(trace_cap);
+        }
+    }
+
+    /// Switches cross-shard envelope batching (default **on**): off,
+    /// inbound envelopes are scheduled one by one in arrival order —
+    /// the reference transfer path the batched bulk-sorted ingest is
+    /// differentially proven trace-identical to. Speed-only, like every
+    /// other engine switch.
+    pub fn set_envelope_batching(&mut self, on: bool) {
+        for core in &mut self.cores {
+            core.batching = on;
         }
     }
 
@@ -465,25 +607,20 @@ impl<A: NodeApp> ShardedSimulator<A> {
 
     /// The shard that owns the tile containing `position`.
     fn tile_owner(&self, position: (f64, f64)) -> u32 {
-        let tile = self.tiles.snap(position);
-        let h = splitmix64(
-            splitmix64(tile.u1 as u64) ^ (tile.u2 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        (h % self.cores.len() as u64) as u32
+        let region = self.config.region_tiles.max(1) as i64;
+        region_owner(region, self.cores.len() as u64, self.tiles.snap(position))
     }
 
-    /// Adds a node at `position`, returning its id. Every core's
-    /// topology replica learns the position; the owning core (by tile
-    /// hash) takes the node's state.
+    /// Adds a node at `position`, returning its id: the shared topology
+    /// learns the position, the owning core (by region hash) takes the
+    /// node's state.
     pub fn add_node(&mut self, position: (f64, f64), app: A) -> NodeId {
         let id = NodeId(self.owner.len() as u32);
         let shard = self.tile_owner(position);
         self.owner.push(shard);
-        for core in &mut self.cores {
-            core.topo.push(position);
-            core.owner.push(shard);
-        }
+        self.topo.push(position);
         self.cores[shard as usize].states.insert(id.0, NodeState::new(app, self.seed, id.0));
+        self.halo_dirty = true;
         id
     }
 
@@ -531,30 +668,51 @@ impl<A: NodeApp> ShardedSimulator<A> {
         counts
     }
 
+    /// Per-shard resident engine bytes, by shard index: the halo
+    /// topology fragment plus the node-state arena's slot storage —
+    /// the O(owned tiles + fringe) footprint the halo refactor bounds
+    /// (application-internal heap, e.g. message stores, is not
+    /// visible from here). Deterministic, length/capacity based.
+    pub fn shard_resident_bytes(&self) -> Vec<u64> {
+        self.cores
+            .iter()
+            .map(|c| c.halo.as_ref().map_or(0, |h| h.resident_bytes()) + c.states.resident_bytes())
+            .collect()
+    }
+
+    /// Resident bytes of the *shared* world topology (positions + hex
+    /// index) — held exactly once, whatever the shard count.
+    pub fn shared_topology_bytes(&self) -> u64 {
+        self.topo.resident_bytes()
+    }
+
     /// Borrow a node's application state (e.g. to inspect results).
     pub fn app(&self, id: NodeId) -> &A {
         let core = &self.cores[self.owner[id.index()] as usize];
-        &core.states.get(&(id.index() as u32)).expect("owner table is authoritative").app
+        &core.states.get(id.index() as u32).expect("owner table is authoritative").app
     }
 
     /// Mutably borrow a node's application state.
     pub fn app_mut(&mut self, id: NodeId) -> &mut A {
         let core = &mut self.cores[self.owner[id.index()] as usize];
-        &mut core.states.get_mut(&(id.index() as u32)).expect("owner table is authoritative").app
+        &mut core.states.get_mut(id.index() as u32).expect("owner table is authoritative").app
     }
 
     /// A node's position.
     pub fn position(&self, id: NodeId) -> (f64, f64) {
-        self.cores[0].topo.position(id.index())
+        self.topo.position(id.index())
     }
 
     /// Calls `on_start` on every node (in id order), then routes the
     /// resulting cross-shard emissions.
     pub fn start(&mut self) {
-        for i in 0..self.owner.len() {
+        self.refresh_halos();
+        let topo = &self.topo;
+        let owner: &[u32] = &self.owner;
+        for (i, &shard) in owner.iter().enumerate() {
             let id = NodeId(i as u32);
-            let core = &mut self.cores[self.owner[i] as usize];
-            core.with_ctx(id, |app, ctx| app.on_start(ctx));
+            let core = &mut self.cores[shard as usize];
+            core.with_ctx(WorldRef { topo, owner }, id, |app, ctx| app.on_start(ctx));
         }
         self.route_outboxes();
     }
@@ -570,13 +728,12 @@ impl<A: NodeApp> ShardedSimulator<A> {
         core.push_local(at, key, EventKind::Deliver { to, from, payload: payload.into() });
     }
 
-    /// Moves one node, replicating the position everywhere and handing
-    /// the node off if its tile now belongs to a different shard. Must
-    /// only be called at quiesce points (never mid-`run_until`).
+    /// Moves one node in the shared topology and hands it off if its
+    /// tile now belongs to a different shard. Must only be called at
+    /// quiesce points (never mid-`run_until`).
     pub fn set_position(&mut self, id: NodeId, position: (f64, f64)) {
-        for core in &mut self.cores {
-            core.topo.set_position(id.index(), position);
-        }
+        self.topo.set_position(id.index(), position);
+        self.halo_dirty = true;
         self.rehome(id.index());
     }
 
@@ -587,12 +744,79 @@ impl<A: NodeApp> ShardedSimulator<A> {
     /// Panics unless exactly one position per node is supplied.
     pub fn set_positions(&mut self, positions: &[(f64, f64)]) {
         assert_eq!(positions.len(), self.owner.len(), "one position per node");
-        for core in &mut self.cores {
-            for (i, &position) in positions.iter().enumerate() {
-                core.topo.set_position(i, position);
+        for (i, &position) in positions.iter().enumerate() {
+            self.topo.set_position(i, position);
+        }
+        // A quiesce point: release index capacity churn left behind
+        // (same hygiene, same spot, as the oracle engine).
+        self.topo.compact();
+        self.halo_dirty = true;
+        self.rehome_all();
+    }
+
+    /// Rebuilds every core's halo from the shared topology — called at
+    /// quiesce points, where positions and ownership are frozen. Each
+    /// node is pushed (in ascending id order, keeping halo buckets
+    /// sorted) into the halo of every shard whose owned cells' query
+    /// covers can reach the node's cell; that shard set is pure
+    /// geometry per cell and memoized in [`ShardedSimulator::halo_cache`].
+    /// Also records the per-shard residency gauges
+    /// (`shard.topo.resident_bytes`, `shard.halo.tiles`) — coordinator
+    /// side, cores idle, so the series are deterministic.
+    fn refresh_halos(&mut self) {
+        if !self.halo_dirty {
+            return;
+        }
+        self.halo_dirty = false;
+        if self.cores.iter().all(|c| c.halo.is_none()) {
+            return;
+        }
+        let topo = &self.topo;
+        let cores = &mut self.cores;
+        let halo_cache = &mut self.halo_cache;
+        let index = topo.index().expect("halos exist only under HexIndex");
+        let region = self.config.region_tiles.max(1) as i64;
+        let shards = cores.len() as u64;
+        let lattice = *index.lattice();
+        let radio = self.config.radio_range;
+        for core in cores.iter_mut() {
+            if let Some(halo) = &mut core.halo {
+                halo.begin_refresh();
             }
         }
-        self.rehome_all();
+        let mut cover: Vec<LatticePoint> = Vec::new();
+        for id in 0..topo.len() as u32 {
+            let cell = index.cell_of(id);
+            let pos = topo.position(id as usize);
+            let targets = halo_cache.entry(cell).or_insert_with(|| {
+                // Which shards can query into `cell`: the owners of
+                // every cell whose full-range cover reaches it. The
+                // cover relation is symmetric (it depends only on the
+                // cell-center distance), so this equals the cover *of*
+                // `cell`, mapped through the region hash.
+                lattice.cells_covering_into(lattice.point_xy(cell), radio, &mut cover);
+                let mut set: Vec<u32> =
+                    cover.iter().map(|&c| region_owner(region, shards, c)).collect();
+                set.sort_unstable();
+                set.dedup();
+                set
+            });
+            for &s in targets.iter() {
+                let halo = cores[s as usize].halo.as_mut().expect("all-or-none halos");
+                halo.push(cell, id, pos);
+            }
+        }
+        for core in cores.iter_mut() {
+            if let Some(halo) = &mut core.halo {
+                halo.end_refresh();
+                core.telemetry.gauge_max(
+                    "shard.topo.resident_bytes",
+                    core.shard,
+                    halo.resident_bytes(),
+                );
+                core.telemetry.gauge_max("shard.halo.tiles", core.shard, halo.tiles() as u64);
+            }
+        }
     }
 
     /// The batched re-homing pass behind [`Self::set_positions`]:
@@ -611,7 +835,7 @@ impl<A: NodeApp> ShardedSimulator<A> {
         // ascending node order.
         let mut moves: Vec<(usize, u32)> = Vec::new();
         for i in 0..self.owner.len() {
-            let new_owner = self.tile_owner(self.cores[0].topo.position(i));
+            let new_owner = self.tile_owner(self.topo.position(i));
             if new_owner != self.owner[i] {
                 moves.push((i, new_owner));
             }
@@ -653,20 +877,19 @@ impl<A: NodeApp> ShardedSimulator<A> {
         }
         for &(i, dst) in &moves {
             let node = i as u32;
-            let state = self.cores[self.owner[i] as usize]
-                .states
-                .remove(&node)
-                .expect("owner table is authoritative");
+            let state = self.cores[self.owner[i] as usize].states.remove(node);
             self.cores[dst as usize].states.insert(node, state);
             self.owner[i] = dst;
-            for core in &mut self.cores {
-                core.owner[i] = dst;
-            }
         }
         for ev in in_flight {
             let dst = self.owner[ev.item.target().index()];
             self.cores[dst as usize].transfer_in(ev);
         }
+        debug_assert_eq!(
+            self.cores.iter().map(|c| c.states.len()).sum::<usize>(),
+            self.owner.len(),
+            "every node owned exactly once"
+        );
     }
 
     /// Re-evaluates node `i`'s owning shard from its current tile and
@@ -675,7 +898,7 @@ impl<A: NodeApp> ShardedSimulator<A> {
     /// queue entry targeting it is extracted key-intact and transferred
     /// (uncounted) to the new owner.
     fn rehome(&mut self, i: usize) {
-        let position = self.cores[0].topo.position(i);
+        let position = self.topo.position(i);
         let new_owner = self.tile_owner(position);
         let old_owner = self.owner[i];
         if new_owner == old_owner {
@@ -687,10 +910,7 @@ impl<A: NodeApp> ShardedSimulator<A> {
             self.telemetry.event(TraceTag::Handoff, coord, self.now_us, i as u64, from_to);
         }
         let node = i as u32;
-        let state = self.cores[old_owner as usize]
-            .states
-            .remove(&node)
-            .expect("owner table is authoritative");
+        let state = self.cores[old_owner as usize].states.remove(node);
         let moved = self.cores[old_owner as usize]
             .queue
             .extract(&mut |kind: &EventKind| kind.target().0 == node);
@@ -702,40 +922,42 @@ impl<A: NodeApp> ShardedSimulator<A> {
             dst.transfer_in(ev);
         }
         self.owner[i] = new_owner;
-        for core in &mut self.cores {
-            core.owner[i] = new_owner;
-        }
     }
 
-    /// Routes every core's outbox to the destination cores' queues, in
-    /// ascending shard order (order is immaterial for the run — keys
-    /// are content-derived — but deterministic for the avoidance of
-    /// doubt).
+    /// Routes every core's per-destination outboxes, delivering each
+    /// destination **one** coalesced batch (gathered across source
+    /// cores in ascending shard order — order is immaterial for the
+    /// run, keys are content-derived, but deterministic for the
+    /// avoidance of doubt).
     fn route_outboxes(&mut self) {
-        for src in 0..self.cores.len() {
-            let outbox = std::mem::take(&mut self.cores[src].outbox);
-            for ev in outbox {
-                let dst = self.owner[ev.item.target().index()] as usize;
-                self.cores[dst].ingest(vec![ev]);
+        let n = self.cores.len();
+        for dst in 0..n {
+            let mut batch: Vec<ScheduledEvent<EventKind>> = Vec::new();
+            for src in 0..n {
+                batch.append(&mut self.cores[src].outboxes[dst]);
+            }
+            if !batch.is_empty() {
+                self.cores[dst].ingest(batch);
             }
         }
     }
 
     /// BFS shortest path over the current connectivity graph, answered
-    /// from shard 0's (exact) topology replica.
+    /// from the shared topology (accounted to shard 0's metrics, like
+    /// every coordinator-issued query).
     pub fn shortest_path(&mut self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
         let core = &mut self.cores[0];
-        core.topo
-            .shortest_path(&mut core.metrics, from.index(), to.index())
+        self.topo
+            .shortest_path(&mut core.scratch, &mut core.metrics, from.index(), to.index())
             .map(|path| path.into_iter().map(NodeId).collect())
     }
 
     /// Connected components of the current connectivity graph, answered
-    /// from shard 0's (exact) topology replica.
+    /// from the shared topology.
     pub fn connected_components(&mut self) -> Vec<Vec<NodeId>> {
         let core = &mut self.cores[0];
-        core.topo
-            .connected_components(&mut core.metrics)
+        self.topo
+            .connected_components(&mut core.scratch, &mut core.metrics)
             .into_iter()
             .map(|comp| comp.into_iter().map(NodeId).collect())
             .collect()
@@ -762,23 +984,29 @@ impl<A: NodeApp + Send> ShardedSimulator<A> {
     ///    L = `base_latency_us` — every cross-shard event emitted while
     ///    processing `≤ horizon` lands at `≥ t₀ + L > horizon`, so no
     ///    shard can receive an event inside a window it already passed;
-    /// 3. all shards ingest their inbound envelopes and process their
-    ///    window **in parallel**;
-    /// 4. barrier: outboxes route to destination shards for the next
-    ///    window.
+    /// 3. all shards ingest their inbound envelope batch and process
+    ///    their window **in parallel**, reading the shared topology and
+    ///    their private halos (both frozen until the next quiesce);
+    /// 4. barrier: per-destination outbox batches move to their
+    ///    destination shards for the next window — one transfer per
+    ///    (window, destination) pair.
     ///
     /// With one shard the core runs inline — no threads, no channels.
     fn run_windows(&mut self, deadline: Option<u64>) {
+        self.refresh_halos();
         let n = self.cores.len();
         if n == 1 {
+            let topo = &self.topo;
+            let owner: &[u32] = &self.owner;
+            let world = WorldRef { topo, owner };
             let core = &mut self.cores[0];
             while let Some((at, _)) = core.queue.peek() {
                 if deadline.is_some_and(|d| at > d) {
                     break;
                 }
-                core.step();
+                core.step(world);
             }
-            debug_assert!(core.outbox.is_empty(), "a lone shard owns every node");
+            debug_assert!(core.outboxes.iter().all(Vec::is_empty), "a lone shard owns every node");
             self.now_us = self.now_us.max(core.now_us);
             return;
         }
@@ -788,7 +1016,8 @@ impl<A: NodeApp + Send> ShardedSimulator<A> {
         let mut nows: Vec<u64> = self.cores.iter().map(|core| core.now_us).collect();
         // In-flight cross-shard envelopes, per destination shard.
         let mut pending: Vec<Vec<ScheduledEvent<EventKind>>> = (0..n).map(|_| Vec::new()).collect();
-        let owner = &self.owner;
+        let topo = &self.topo;
+        let owner: &[u32] = &self.owner;
         std::thread::scope(|s| {
             let (reply_tx, reply_rx): (SyncSender<Reply>, Receiver<Reply>) = sync_channel(n);
             let mut cmd_txs: Vec<SyncSender<Cmd>> = Vec::with_capacity(n);
@@ -797,12 +1026,13 @@ impl<A: NodeApp + Send> ShardedSimulator<A> {
                 cmd_txs.push(tx);
                 let reply_tx = reply_tx.clone();
                 s.spawn(move || {
+                    let world = WorldRef { topo, owner };
                     while let Ok(cmd) = rx.recv() {
                         match cmd {
                             Cmd::Window { start, horizon, inbound } => {
                                 let ingested = inbound.len() as u64;
                                 core.ingest(inbound);
-                                let popped = core.process_until(horizon);
+                                let popped = core.process_until(world, horizon);
                                 if core.telemetry.is_on() {
                                     // Span stamped from sim time (the
                                     // window bounds), not wall clock:
@@ -825,7 +1055,7 @@ impl<A: NodeApp + Send> ShardedSimulator<A> {
                                     shard,
                                     next: core.next_time(),
                                     now: core.now_us,
-                                    outbox: std::mem::take(&mut core.outbox),
+                                    outboxes: core.take_outboxes(),
                                 };
                                 if reply_tx.send(reply).is_err() {
                                     break;
@@ -859,8 +1089,10 @@ impl<A: NodeApp + Send> ShardedSimulator<A> {
                     let inbound = std::mem::take(&mut pending[i]);
                     tx.send(Cmd::Window { start: t0, horizon, inbound }).expect("worker alive");
                 }
-                // 4. Barrier: collect every reply, then route outboxes
-                // in ascending shard order.
+                // 4. Barrier: collect every reply, then append each
+                // pre-bucketed outbox batch in ascending shard order
+                // (ownership is frozen during a window, so the
+                // bucketing workers computed stays correct here).
                 let mut replies: Vec<Option<Reply>> = (0..n).map(|_| None).collect();
                 for _ in 0..n {
                     let reply = reply_rx.recv().expect("worker alive");
@@ -871,8 +1103,8 @@ impl<A: NodeApp + Send> ShardedSimulator<A> {
                     let reply = slot.take().expect("one reply per shard");
                     nexts[reply.shard] = reply.next;
                     nows[reply.shard] = reply.now;
-                    for ev in reply.outbox {
-                        pending[owner[ev.item.target().index()] as usize].push(ev);
+                    for (dst, mut batch) in reply.outboxes.into_iter().enumerate() {
+                        pending[dst].append(&mut batch);
                     }
                 }
             }

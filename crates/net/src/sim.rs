@@ -17,7 +17,7 @@
 
 use crate::payload::Payload;
 use crate::sched::{AnyScheduler, EventKey, Scheduler};
-use crate::topo::{distance, Topology};
+use crate::topo::{distance, TopoScratch, Topology};
 use msb_telemetry::{Recorder, TraceTag};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -146,6 +146,18 @@ pub struct SimConfig {
     /// single-threaded [`Simulator`] ignores this field — it is *the*
     /// oracle any shard count is proven bit-identical to.
     pub shards: usize,
+    /// Side length, in hex tiles, of the square tile *regions* the
+    /// sharded engine assigns to shards: ownership is hashed per
+    /// `region_tiles × region_tiles` block of tiles rather than per
+    /// tile. `1` (the default) reproduces the historical per-tile hash
+    /// exactly. Larger regions give each shard spatially contiguous
+    /// territory, which shrinks its halo fringe (neighbor tiles owned
+    /// by *other* shards) and therefore its resident topology memory —
+    /// the large-swarm configurations set 8–16. Another
+    /// speed/memory-only knob: the event stream is bit-identical at
+    /// any value (the differential suites sweep it). Ignored when
+    /// `shards == 1`.
+    pub region_tiles: usize,
 }
 
 impl Default for SimConfig {
@@ -162,6 +174,7 @@ impl Default for SimConfig {
             cell_d: None,
             delivery: DeliveryMode::InMemory,
             shards: 1,
+            region_tiles: 1,
         }
     }
 }
@@ -482,6 +495,8 @@ pub struct Simulator<A: NodeApp> {
     targets_buf: Vec<(u32, f64)>,
     /// Scratch for fan-out-capped target lists.
     knear_buf: Vec<u32>,
+    /// Reusable topology-query buffers (candidate lists, cell covers).
+    scratch: TopoScratch,
     /// Observability sink — [`Recorder::off`] (a no-op) unless
     /// [`Simulator::enable_telemetry`] was called. Everything recorded
     /// here is derived from sim state (sim clock, queue lengths, pop
@@ -507,6 +522,7 @@ impl<A: NodeApp> Simulator<A> {
             ext_seq: 0,
             targets_buf: Vec::new(),
             knear_buf: Vec::new(),
+            scratch: TopoScratch::default(),
             telemetry: Recorder::off(),
             seen_resizes: 0,
         }
@@ -591,6 +607,8 @@ impl<A: NodeApp> Simulator<A> {
         for (i, &position) in positions.iter().enumerate() {
             self.topo.set_position(i, position);
         }
+        // A quiesce point: release index capacity churn left behind.
+        self.topo.compact();
     }
 
     /// Calls `on_start` on every node (in id order).
@@ -734,7 +752,12 @@ impl<A: NodeApp> Simulator<A> {
         self.metrics.broadcasts += 1;
         self.metrics.payload_bytes += payload.wire_len() as u64;
         let mut targets = std::mem::take(&mut self.targets_buf);
-        self.topo.broadcast_targets(&mut self.metrics, from.index(), &mut targets);
+        self.topo.broadcast_targets(
+            &mut self.scratch,
+            &mut self.metrics,
+            from.index(),
+            &mut targets,
+        );
         for &(i, dist) in &targets {
             let sender = &mut self.nodes[from.index()];
             if roll_loss(&self.config, &mut sender.rng) {
@@ -761,7 +784,7 @@ impl<A: NodeApp> Simulator<A> {
         self.metrics.broadcasts += 1;
         self.metrics.payload_bytes += payload.wire_len() as u64;
         let mut cand = std::mem::take(&mut self.knear_buf);
-        self.topo.k_nearest(&mut self.metrics, from.index(), k, &mut cand);
+        self.topo.k_nearest(&mut self.scratch, &mut self.metrics, from.index(), k, &mut cand);
         let src = self.topo.position(from.index());
         for &i in &cand {
             let dist = distance(src, self.topo.position(i as usize));
@@ -789,7 +812,8 @@ impl<A: NodeApp> Simulator<A> {
             self.push_event(at, key, EventKind::Deliver { to, from, payload });
             return;
         }
-        let Some(path) = self.topo.shortest_path(&mut self.metrics, from.index(), to.index())
+        let Some(path) =
+            self.topo.shortest_path(&mut self.scratch, &mut self.metrics, from.index(), to.index())
         else {
             self.metrics.unroutable += 1;
             return;
@@ -830,7 +854,7 @@ impl<A: NodeApp> Simulator<A> {
     /// See [`Topology::shortest_path`].
     pub fn shortest_path(&mut self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
         self.topo
-            .shortest_path(&mut self.metrics, from.index(), to.index())
+            .shortest_path(&mut self.scratch, &mut self.metrics, from.index(), to.index())
             .map(|path| path.into_iter().map(NodeId).collect())
     }
 
@@ -839,7 +863,7 @@ impl<A: NodeApp> Simulator<A> {
     /// [`Simulator::shortest_path`].
     pub fn connected_components(&mut self) -> Vec<Vec<NodeId>> {
         self.topo
-            .connected_components(&mut self.metrics)
+            .connected_components(&mut self.scratch, &mut self.metrics)
             .into_iter()
             .map(|comp| comp.into_iter().map(NodeId).collect())
             .collect()

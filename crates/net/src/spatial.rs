@@ -34,9 +34,31 @@
 //! simulator *bit-identical* to the naive scan: same candidates surviving
 //! the same `distance(a, b) <= range` comparison, visited in the same
 //! order, drawing the same RNG stream.
+//!
+//! # Shared read-only queries
+//!
+//! Queries take `&self` plus an external [`SpatialScratch`], so one
+//! index can be borrowed immutably by many readers (the sharded
+//! engine's worker cores all answer BFS routing from the coordinator's
+//! single global index) while each reader reuses its own scratch
+//! buffers allocation-free.
 
 use msb_lattice::{LatticeConfig, LatticePoint};
 use std::collections::HashMap;
+
+/// Reusable query-side buffers for [`SpatialIndex`] range and k-NN
+/// queries. Owning the scratch *outside* the index is what lets queries
+/// take `&self`: the index itself never mutates during a query, so any
+/// number of readers can share one index, each with its own scratch.
+#[derive(Debug, Clone, Default)]
+pub struct SpatialScratch {
+    /// Cell cover of the current query.
+    cover: Vec<LatticePoint>,
+    /// Candidate ids for [`SpatialIndex::k_nearest_into`].
+    knn_ids: Vec<u32>,
+    /// Ranked `(distance, id)` pairs for k-NN selection.
+    knn_ranked: Vec<(f64, u32)>,
+}
 
 /// A bucket index mapping hexagonal cells to the nodes inside them.
 ///
@@ -50,11 +72,6 @@ pub struct SpatialIndex {
     cells: HashMap<LatticePoint, Vec<u32>>,
     /// Per node, the cell it currently occupies.
     node_cell: Vec<LatticePoint>,
-    /// Scratch buffer for the cell cover of the current query.
-    cover: Vec<LatticePoint>,
-    /// Scratch buffers for [`SpatialIndex::k_nearest_into`].
-    knn_ids: Vec<u32>,
-    knn_ranked: Vec<(f64, u32)>,
 }
 
 impl SpatialIndex {
@@ -70,9 +87,6 @@ impl SpatialIndex {
             lattice: LatticeConfig::new((0.0, 0.0), cell_d),
             cells: HashMap::new(),
             node_cell: Vec::new(),
-            cover: Vec::new(),
-            knn_ids: Vec::new(),
-            knn_ranked: Vec::new(),
         }
     }
 
@@ -96,6 +110,28 @@ impl SpatialIndex {
         self.cells.len()
     }
 
+    /// The cell node `id` currently occupies — the tile key the sharded
+    /// engine partitions and halos by, read straight from the index so
+    /// halo refresh never re-snaps positions.
+    pub fn cell_of(&self, id: u32) -> LatticePoint {
+        self.node_cell[id as usize]
+    }
+
+    /// Estimated resident heap bytes of the index: bucket storage
+    /// (capacity, not just length), the per-node cell table, and the
+    /// cell map's entry overhead. Computed from lengths and `Vec`
+    /// capacities only — both are deterministic functions of the
+    /// operation history, so the estimate is safe to expose through
+    /// deterministic telemetry.
+    pub fn resident_bytes(&self) -> u64 {
+        let bucket_bytes: usize =
+            self.cells.values().map(|b| b.capacity() * std::mem::size_of::<u32>()).sum::<usize>();
+        let entry = std::mem::size_of::<(LatticePoint, Vec<u32>)>();
+        (bucket_bytes
+            + self.cells.len() * entry
+            + self.node_cell.capacity() * std::mem::size_of::<LatticePoint>()) as u64
+    }
+
     /// Appends the next node (id `self.len()`) at `pos`.
     pub fn push(&mut self, pos: (f64, f64)) -> u32 {
         let id = self.node_cell.len() as u32;
@@ -109,7 +145,9 @@ impl SpatialIndex {
 
     /// Moves node `id` to `pos`, rebucketing it if it crossed a cell
     /// boundary. O(bucket size) worst case, O(1) amortized for the
-    /// common within-cell mobility tick.
+    /// common within-cell mobility tick. Emptied cells leave the map
+    /// (their bucket's capacity is released with it); buckets that only
+    /// *shrank* keep capacity until [`SpatialIndex::compact`].
     pub fn update(&mut self, id: u32, pos: (f64, f64)) {
         let new_cell = self.lattice.snap(pos);
         let old_cell = self.node_cell[id as usize];
@@ -128,6 +166,25 @@ impl SpatialIndex {
         bucket.insert(at, id);
     }
 
+    /// Releases excess bucket capacity left behind by bulk removals and
+    /// churn handoffs: any bucket whose capacity has drifted to at
+    /// least twice its population is shrunk to fit, and the cell map's
+    /// own table is shrunk when mostly empty. Long churn runs call this
+    /// at quiesce points so a transient crowd through one cell doesn't
+    /// pin its peak allocation for the rest of the run. Purely an
+    /// allocation matter: contents, query answers, and metrics are
+    /// untouched.
+    pub fn compact(&mut self) {
+        for bucket in self.cells.values_mut() {
+            if bucket.capacity() >= 2 * bucket.len().max(4) {
+                bucket.shrink_to_fit();
+            }
+        }
+        if self.cells.capacity() >= 2 * self.cells.len().max(16) {
+            self.cells.shrink_to_fit();
+        }
+    }
+
     /// Fills `out` with every node id whose position *may* be within
     /// `range` of `center` — a superset of the true answer, sorted
     /// ascending, never containing duplicates (each node lives in exactly
@@ -135,21 +192,24 @@ impl SpatialIndex {
     ///
     /// The caller applies the exact distance filter; see the module docs
     /// for why the filter stays out of the index.
-    pub fn candidates_into(&mut self, center: (f64, f64), range: f64, out: &mut Vec<u32>) -> u64 {
+    pub fn candidates_into(
+        &self,
+        scratch: &mut SpatialScratch,
+        center: (f64, f64),
+        range: f64,
+        out: &mut Vec<u32>,
+    ) -> u64 {
         out.clear();
-        let mut cover = std::mem::take(&mut self.cover);
-        self.lattice.cells_covering_into(center, range, &mut cover);
-        for cell in &cover {
+        self.lattice.cells_covering_into(center, range, &mut scratch.cover);
+        for cell in &scratch.cover {
             if let Some(bucket) = self.cells.get(cell) {
                 out.extend_from_slice(bucket);
             }
         }
-        let scanned = cover.len() as u64;
-        self.cover = cover;
         // Buckets are internally sorted but arrive in cell order; restore
         // the global ascending id order the naive scan iterates in.
         out.sort_unstable();
-        scanned
+        scratch.cover.len() as u64
     }
 
     /// Fills `out` with the `k` nodes nearest to `center` among those
@@ -171,7 +231,8 @@ impl SpatialIndex {
     ///
     /// Panics unless `max_range` is finite and non-negative.
     pub fn k_nearest_into(
-        &mut self,
+        &self,
+        scratch: &mut SpatialScratch,
         center: (f64, f64),
         k: usize,
         max_range: f64,
@@ -183,12 +244,12 @@ impl SpatialIndex {
         if k == 0 {
             return 0;
         }
-        let mut ids = std::mem::take(&mut self.knn_ids);
-        let mut ranked = std::mem::take(&mut self.knn_ranked);
+        let mut ids = std::mem::take(&mut scratch.knn_ids);
+        let mut ranked = std::mem::take(&mut scratch.knn_ranked);
         let mut scanned = 0u64;
         let mut r = self.lattice.d().min(max_range);
         loop {
-            scanned += self.candidates_into(center, r, &mut ids);
+            scanned += self.candidates_into(scratch, center, r, &mut ids);
             ranked.clear();
             for &i in &ids {
                 let p = pos_of(i);
@@ -205,8 +266,8 @@ impl SpatialIndex {
                 });
                 ranked.truncate(k);
                 out.extend(ranked.iter().map(|&(_, i)| i));
-                self.knn_ids = ids;
-                self.knn_ranked = ranked;
+                scratch.knn_ids = ids;
+                scratch.knn_ranked = ranked;
                 return scanned;
             }
             r = (r * 2.0).min(max_range);
@@ -228,13 +289,14 @@ mod tests {
     }
 
     fn filtered(
-        idx: &mut SpatialIndex,
+        idx: &SpatialIndex,
         positions: &[(f64, f64)],
         center: (f64, f64),
         range: f64,
     ) -> Vec<u32> {
+        let mut scratch = SpatialScratch::default();
         let mut cand = Vec::new();
-        idx.candidates_into(center, range, &mut cand);
+        idx.candidates_into(&mut scratch, center, range, &mut cand);
         cand.retain(|&i| {
             let p = positions[i as usize];
             ((p.0 - center.0).powi(2) + (p.1 - center.1).powi(2)).sqrt() <= range
@@ -251,7 +313,7 @@ mod tests {
             idx.push(p);
         }
         let mut cand = Vec::new();
-        idx.candidates_into((30.0, 30.0), 25.0, &mut cand);
+        idx.candidates_into(&mut SpatialScratch::default(), (30.0, 30.0), 25.0, &mut cand);
         assert!(cand.windows(2).all(|w| w[0] < w[1]), "sorted, no duplicates: {cand:?}");
     }
 
@@ -272,7 +334,7 @@ mod tests {
             &[((50.0, 50.0), 40.0), ((0.0, 0.0), 15.0), ((190.0, 170.0), 60.0), ((95.0, 85.0), 0.0)]
         {
             assert_eq!(
-                filtered(&mut idx, &positions, center, range),
+                filtered(&idx, &positions, center, range),
                 naive(&positions, center, range),
                 "center {center:?} range {range}"
             );
@@ -291,8 +353,8 @@ mod tests {
         idx.update(0, positions[0]);
         positions[2] = (2.0, 0.5);
         idx.update(2, positions[2]);
-        assert_eq!(filtered(&mut idx, &positions, (0.0, 0.0), 5.0), vec![1, 2]);
-        assert_eq!(filtered(&mut idx, &positions, (200.0, 200.0), 5.0), vec![0]);
+        assert_eq!(filtered(&idx, &positions, (0.0, 0.0), 5.0), vec![1, 2]);
+        assert_eq!(filtered(&idx, &positions, (200.0, 200.0), 5.0), vec![0]);
     }
 
     #[test]
@@ -302,17 +364,65 @@ mod tests {
         idx.update(0, (1.0, 1.0)); // same cell
         assert_eq!(idx.occupied_cells(), 1);
         let mut cand = Vec::new();
-        idx.candidates_into((0.0, 0.0), 10.0, &mut cand);
+        idx.candidates_into(&mut SpatialScratch::default(), (0.0, 0.0), 10.0, &mut cand);
         assert_eq!(cand, vec![0]);
     }
 
     #[test]
     fn empty_index_returns_nothing() {
-        let mut idx = SpatialIndex::new(10.0);
+        let idx = SpatialIndex::new(10.0);
         let mut cand = vec![7];
-        let scanned = idx.candidates_into((0.0, 0.0), 100.0, &mut cand);
+        let scanned =
+            idx.candidates_into(&mut SpatialScratch::default(), (0.0, 0.0), 100.0, &mut cand);
         assert!(cand.is_empty());
         assert!(scanned > 0, "cells are scanned even when unoccupied");
+    }
+
+    #[test]
+    fn cell_of_tracks_updates() {
+        let mut idx = SpatialIndex::new(10.0);
+        idx.push((0.0, 0.0));
+        let home = idx.cell_of(0);
+        assert_eq!(home, idx.lattice().snap((0.0, 0.0)));
+        idx.update(0, (100.0, 100.0));
+        assert_eq!(idx.cell_of(0), idx.lattice().snap((100.0, 100.0)));
+        assert_ne!(idx.cell_of(0), home);
+    }
+
+    #[test]
+    fn compact_releases_bulk_churn_capacity() {
+        // Crowd 200 transients plus one stayer into a cell, then march
+        // the crowd out: the stayer's bucket keeps one resident but
+        // pins the crowd's capacity until compact() shrinks it.
+        let mut idx = SpatialIndex::new(10.0);
+        idx.push((0.0, 0.0)); // the stayer, id 0
+        for _ in 0..200 {
+            idx.push((0.0, 0.0));
+        }
+        for id in 1..=200u32 {
+            idx.update(id, (500.0, 500.0));
+        }
+        let drained = idx.resident_bytes();
+        idx.compact();
+        let after = idx.resident_bytes();
+        assert!(
+            after < drained,
+            "compact must release the drained bucket's capacity: {after} >= {drained}"
+        );
+        // Queries still answer exactly.
+        let mut cand = Vec::new();
+        idx.candidates_into(&mut SpatialScratch::default(), (0.0, 0.0), 5.0, &mut cand);
+        assert_eq!(cand, vec![0]);
+    }
+
+    #[test]
+    fn resident_bytes_grows_with_population() {
+        let mut idx = SpatialIndex::new(10.0);
+        let empty = idx.resident_bytes();
+        for i in 0..100 {
+            idx.push((i as f64 * 7.0, 0.0));
+        }
+        assert!(idx.resident_bytes() > empty);
     }
 
     /// The k-NN oracle: ascending `(distance, id)` over all nodes in
@@ -342,6 +452,7 @@ mod tests {
         for &p in &positions {
             idx.push(p);
         }
+        let mut scratch = SpatialScratch::default();
         let mut out = Vec::new();
         for &(center, k, max_range) in &[
             ((80.0, 70.0), 5, 200.0),
@@ -350,7 +461,14 @@ mod tests {
             ((160.0, 140.0), 150, 300.0), // k >= population
             ((40.0, 40.0), 7, 0.0),   // zero range
         ] {
-            idx.k_nearest_into(center, k, max_range, |i| positions[i as usize], &mut out);
+            idx.k_nearest_into(
+                &mut scratch,
+                center,
+                k,
+                max_range,
+                |i| positions[i as usize],
+                &mut out,
+            );
             assert_eq!(
                 out,
                 naive_k_nearest(&positions, center, k, max_range),
@@ -369,7 +487,8 @@ mod tests {
             idx.push(p);
         }
         let mut out = Vec::new();
-        idx.k_nearest_into((0.0, 0.0), 2, 100.0, |i| positions[i as usize], &mut out);
+        let mut scratch = SpatialScratch::default();
+        idx.k_nearest_into(&mut scratch, (0.0, 0.0), 2, 100.0, |i| positions[i as usize], &mut out);
         assert_eq!(out, vec![0, 1]);
     }
 
@@ -378,7 +497,14 @@ mod tests {
         let mut idx = SpatialIndex::new(10.0);
         idx.push((0.0, 0.0));
         let mut out = vec![9];
-        let scanned = idx.k_nearest_into((0.0, 0.0), 0, 50.0, |_| (0.0, 0.0), &mut out);
+        let scanned = idx.k_nearest_into(
+            &mut SpatialScratch::default(),
+            (0.0, 0.0),
+            0,
+            50.0,
+            |_| (0.0, 0.0),
+            &mut out,
+        );
         assert!(out.is_empty());
         assert_eq!(scanned, 0);
     }
@@ -392,6 +518,6 @@ mod tests {
         for &p in &positions {
             idx.push(p);
         }
-        assert_eq!(filtered(&mut idx, &positions, (0.0, 0.0), 50.0), vec![0, 1]);
+        assert_eq!(filtered(&idx, &positions, (0.0, 0.0), 50.0), vec![0, 1]);
     }
 }

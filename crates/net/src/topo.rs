@@ -5,22 +5,36 @@
 //! and routing from.
 //!
 //! Factoring the geometry out is what makes the sharded engine's
-//! bit-identity cheap to maintain: a shard holds a *full replica* of
-//! this structure (positions change only at quiesce points, so the
-//! replicas are exact), and every neighbor query runs the very same
-//! code against the very same data as the oracle engine.
+//! bit-identity cheap to maintain: the coordinator owns **one** global
+//! `Topology` (positions change only at quiesce points, so sharing it
+//! read-only with the worker cores is exact), and every neighbor query
+//! runs the very same code against the very same data as the oracle
+//! engine. Queries therefore take `&self` plus an external
+//! [`TopoScratch`], so each reader — oracle, shard core, BFS on the
+//! coordinator — brings its own reusable buffers.
 
 use crate::sim::{Metrics, SimConfig, SpatialMode};
-use crate::spatial::SpatialIndex;
+use crate::spatial::{SpatialIndex, SpatialScratch};
 
 /// Euclidean distance between two positions.
 pub(crate) fn distance(a: (f64, f64), b: (f64, f64)) -> f64 {
     ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
 }
 
+/// Per-reader reusable buffers for [`Topology`] queries. Each engine
+/// (and each shard core) owns one, so a shared read-only `Topology`
+/// serves many readers allocation-free.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TopoScratch {
+    /// Candidate ids of the in-flight range query.
+    cand: Vec<u32>,
+    /// Index-side buffers (cell cover, k-NN ranking).
+    spatial: SpatialScratch,
+}
+
 /// The geometry every engine queries: one position per node (indexed
-/// by raw node id), the hex index when [`SpatialMode::HexIndex`] is
-/// selected, and the scratch buffer candidate lists are reused through.
+/// by raw node id) and the hex index when [`SpatialMode::HexIndex`] is
+/// selected.
 #[derive(Debug, Clone)]
 pub(crate) struct Topology {
     radio_range: f64,
@@ -28,7 +42,6 @@ pub(crate) struct Topology {
     /// `Some` under [`SpatialMode::HexIndex`], kept in lockstep with
     /// `positions` by [`Topology::push`] / [`Topology::set_position`].
     index: Option<SpatialIndex>,
-    cand_buf: Vec<u32>,
 }
 
 impl Topology {
@@ -39,12 +52,7 @@ impl Topology {
             }
             SpatialMode::NaiveScan => None,
         };
-        Topology {
-            radio_range: config.radio_range,
-            positions: Vec::new(),
-            index,
-            cand_buf: Vec::new(),
-        }
+        Topology { radio_range: config.radio_range, positions: Vec::new(), index }
     }
 
     pub(crate) fn push(&mut self, position: (f64, f64)) {
@@ -58,11 +66,38 @@ impl Topology {
         self.positions[i]
     }
 
+    pub(crate) fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The spatial index, when [`SpatialMode::HexIndex`] is active —
+    /// the sharded engine reads tile assignments (`cell_of`) and the
+    /// lattice geometry for halo construction from here.
+    pub(crate) fn index(&self) -> Option<&SpatialIndex> {
+        self.index.as_ref()
+    }
+
     pub(crate) fn set_position(&mut self, i: usize, position: (f64, f64)) {
         self.positions[i] = position;
         if let Some(index) = &mut self.index {
             index.update(i as u32, position);
         }
+    }
+
+    /// Releases excess index capacity left by churn (see
+    /// [`SpatialIndex::compact`]). No observable effect on queries.
+    pub(crate) fn compact(&mut self) {
+        if let Some(index) = &mut self.index {
+            index.compact();
+        }
+    }
+
+    /// Estimated resident heap bytes: the position table plus the
+    /// spatial index. Deterministic (length/capacity based), so safe
+    /// for telemetry gauges.
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        let positions = self.positions.capacity() * std::mem::size_of::<(f64, f64)>();
+        positions as u64 + self.index.as_ref().map_or(0, |i| i.resident_bytes())
     }
 
     /// One neighbor range query around node `cur`: invokes `f(i, pos_i)`
@@ -74,22 +109,24 @@ impl Topology {
     /// both modes, which is the bit-identity the differential oracle
     /// proves.
     pub(crate) fn for_each_candidate(
-        &mut self,
+        &self,
+        scratch: &mut TopoScratch,
         metrics: &mut Metrics,
         cur: usize,
         mut f: impl FnMut(usize, (f64, f64)),
     ) {
         metrics.neighbor_queries += 1;
-        match &mut self.index {
+        match &self.index {
             Some(index) => {
                 let center = self.positions[cur];
                 let range = self.radio_range;
-                let mut cand = std::mem::take(&mut self.cand_buf);
-                metrics.cells_scanned += index.candidates_into(center, range, &mut cand);
+                let mut cand = std::mem::take(&mut scratch.cand);
+                metrics.cells_scanned +=
+                    index.candidates_into(&mut scratch.spatial, center, range, &mut cand);
                 for &i in &cand {
                     f(i as usize, self.positions[i as usize]);
                 }
-                self.cand_buf = cand;
+                scratch.cand = cand;
             }
             None => {
                 for (i, &pos) in self.positions.iter().enumerate() {
@@ -102,7 +139,8 @@ impl Topology {
     /// Every other node within radio range of `from`, with its distance,
     /// in ascending id order — the broadcast target set.
     pub(crate) fn broadcast_targets(
-        &mut self,
+        &self,
+        scratch: &mut TopoScratch,
         metrics: &mut Metrics,
         from: usize,
         out: &mut Vec<(u32, f64)>,
@@ -110,7 +148,7 @@ impl Topology {
         out.clear();
         let src = self.positions[from];
         let range = self.radio_range;
-        self.for_each_candidate(metrics, from, |i, pos| {
+        self.for_each_candidate(scratch, metrics, from, |i, pos| {
             if i != from {
                 let d = distance(src, pos);
                 if d <= range {
@@ -128,7 +166,8 @@ impl Topology {
     /// from a full scan ranked the same way — both select identical
     /// targets, which the spatial differential suite pins.
     pub(crate) fn k_nearest(
-        &mut self,
+        &self,
+        scratch: &mut TopoScratch,
         metrics: &mut Metrics,
         from: usize,
         k: usize,
@@ -137,13 +176,19 @@ impl Topology {
         metrics.neighbor_queries += 1;
         let src = self.positions[from];
         let range = self.radio_range;
-        match &mut self.index {
+        match &self.index {
             Some(index) => {
                 // k + 1 slots so the querying node (distance 0) never
                 // crowds out a real neighbor.
                 let positions = &self.positions;
-                metrics.cells_scanned +=
-                    index.k_nearest_into(src, k + 1, range, |i| positions[i as usize], out);
+                metrics.cells_scanned += index.k_nearest_into(
+                    &mut scratch.spatial,
+                    src,
+                    k + 1,
+                    range,
+                    |i| positions[i as usize],
+                    out,
+                );
                 out.retain(|&i| i != from as u32);
                 out.truncate(k);
             }
@@ -174,7 +219,8 @@ impl Topology {
     /// visits each reachable node once and scans only its nearby cells,
     /// instead of probing all O(n²) node pairs.
     pub(crate) fn shortest_path(
-        &mut self,
+        &self,
+        scratch: &mut TopoScratch,
         metrics: &mut Metrics,
         from: usize,
         to: usize,
@@ -198,7 +244,7 @@ impl Topology {
                 return Some(path);
             }
             let cur_pos = self.positions[cur];
-            self.for_each_candidate(metrics, cur, |i, pos| {
+            self.for_each_candidate(scratch, metrics, cur, |i, pos| {
                 if !visited[i] && distance(cur_pos, pos) <= range {
                     visited[i] = true;
                     prev[i] = Some(cur);
@@ -212,7 +258,11 @@ impl Topology {
     /// Connected components of the current connectivity graph (diagnostic
     /// for partitioned topologies), via the same indexed BFS as
     /// [`Topology::shortest_path`].
-    pub(crate) fn connected_components(&mut self, metrics: &mut Metrics) -> Vec<Vec<u32>> {
+    pub(crate) fn connected_components(
+        &self,
+        scratch: &mut TopoScratch,
+        metrics: &mut Metrics,
+    ) -> Vec<Vec<u32>> {
         let n = self.positions.len();
         let range = self.radio_range;
         let mut visited = vec![false; n];
@@ -228,7 +278,7 @@ impl Topology {
             while let Some(cur) = queue.pop_front() {
                 comp.push(cur as u32);
                 let cur_pos = self.positions[cur];
-                self.for_each_candidate(metrics, cur, |i, pos| {
+                self.for_each_candidate(scratch, metrics, cur, |i, pos| {
                     if !visited[i] && distance(cur_pos, pos) <= range {
                         visited[i] = true;
                         queue.push_back(i);

@@ -95,6 +95,19 @@ fn config(shards: usize, seed: u64) -> SimConfig {
 /// The phase loop is duplicated per engine because `inject` is
 /// inherent, not on [`SimDriver`] — everything else is shared code.
 fn run_trace(shards: usize, seed: u64, n: usize) -> Outcome {
+    run_trace_opts(shards, seed, n, true, 1)
+}
+
+/// [`run_trace`] with the sharded engine's speed knobs exposed:
+/// envelope batching on/off and the shard-partition region size —
+/// both must be invisible in every observable.
+fn run_trace_opts(
+    shards: usize,
+    seed: u64,
+    n: usize,
+    batching: bool,
+    region_tiles: usize,
+) -> Outcome {
     let mut mobility = RandomWaypoint::new(
         n,
         Bounds { width: 260.0, height: 260.0 },
@@ -127,7 +140,10 @@ fn run_trace(shards: usize, seed: u64, n: usize) -> Outcome {
             .collect();
         (traces, timers, sim.metrics().without_queue_pressure(), sim.now_us())
     } else {
-        let mut sim = ShardedSimulator::new(config(shards, seed), seed);
+        let mut cfg = config(shards, seed);
+        cfg.region_tiles = region_tiles;
+        let mut sim = ShardedSimulator::new(cfg, seed);
+        sim.set_envelope_batching(batching);
         sim.add_nodes(placed);
         sim.start();
         let mut buf = Vec::new();
@@ -351,22 +367,113 @@ fn more_shards_than_nodes_is_harmless() {
     assert_eq!((sim.metrics().without_queue_pressure(), sim.now_us()), oracle);
 }
 
+/// Cross-shard envelope batching (one coalesced, bulk-sorted transfer
+/// per (window, destination) pair) against the unbatched reference
+/// path (per-envelope scheduling in arrival order): both must match
+/// each other — and the oracle — in every observable. Content-derived
+/// event keys make transfer grouping invisible; this pins it.
+#[test]
+fn envelope_batching_is_trace_invisible() {
+    for seed in [2u64, 0xABCD] {
+        for shards in [2usize, 4] {
+            let oracle = run_trace(0, seed, 24);
+            let batched = run_trace_opts(shards, seed, 24, true, 1);
+            let unbatched = run_trace_opts(shards, seed, 24, false, 1);
+            assert_eq!(
+                batched, unbatched,
+                "seed {seed} shards {shards}: batching changed an observable"
+            );
+            assert_eq!(batched, oracle, "seed {seed} shards {shards}: diverged from the oracle");
+        }
+    }
+}
+
+/// The seam scenario behind the halo-refresh proptest: a chain of
+/// nodes sitting just off a lattice seam, mirror-flipped across it
+/// (and crept along it) at every quiesce point, so each mobility tick
+/// re-snaps every node into a different tile — and, at small region
+/// sizes, onto a different shard, queued recurring timers in tow.
+/// Every flip forces a full halo rebuild *and* a mass handoff; the
+/// outcome must still be the oracle's, bit for bit.
+fn run_seam(shards: usize, seed: u64, n: usize, region_tiles: usize) -> Outcome {
+    let base: Vec<(f64, f64)> = (0..n).map(|i| (30.0 * i as f64, 24.0)).collect();
+    let phases: Vec<Vec<(f64, f64)>> = (1..=4u64)
+        .map(|phase| {
+            base.iter()
+                .map(|&(x, y)| (x + phase as f64 * 13.0, if phase % 2 == 1 { -y } else { y }))
+                .collect()
+        })
+        .collect();
+    let drive = |sim: &mut dyn SimDriver| {
+        sim.start();
+        for (i, positions) in phases.iter().enumerate() {
+            sim.run_until((i as u64 + 1) * 40_000);
+            sim.set_positions(positions);
+        }
+        sim.run();
+    };
+    if shards == 0 {
+        let mut sim = Simulator::new(config(1, seed), seed);
+        sim.add_nodes(base.iter().map(|&p| (p, TraceApp::new())));
+        drive(&mut sim);
+        let traces =
+            (0..n).map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).trace)).collect();
+        let timers = (0..n)
+            .map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).timer_log))
+            .collect();
+        (traces, timers, sim.metrics().without_queue_pressure(), sim.now_us())
+    } else {
+        let mut cfg = config(shards, seed);
+        cfg.region_tiles = region_tiles;
+        let mut sim = ShardedSimulator::new(cfg, seed);
+        sim.add_nodes(base.iter().map(|&p| (p, TraceApp::new())));
+        drive(&mut sim);
+        let traces =
+            (0..n).map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).trace)).collect();
+        let timers = (0..n)
+            .map(|i| std::mem::take(&mut sim.app_mut(NodeId::new(i as u32)).timer_log))
+            .collect();
+        (traces, timers, sim.metrics().without_queue_pressure(), sim.now_us())
+    }
+}
+
 proptest! {
-    /// Random scenarios over population × seed × shard count: the
-    /// sharded engine is the oracle's bit-identical twin everywhere,
-    /// not just on the hand-picked seams above.
+    /// Random scenarios over population × seed × shard count ×
+    /// partition-region size: the sharded engine is the oracle's
+    /// bit-identical twin everywhere, not just on the hand-picked
+    /// seams above.
     #[test]
     fn random_scenarios_match_the_oracle(
         seed in any::<u64>(),
         n in 6usize..30,
         shard_sel in 0usize..3,
+        region in 1usize..5,
     ) {
         let shards = [2usize, 4, 8][shard_sel];
         let oracle = run_trace(0, seed, n);
-        let sharded = run_trace(shards, seed, n);
+        let sharded = run_trace_opts(shards, seed, n, true, region);
         prop_assert_eq!(&sharded.0, &oracle.0, "traces diverged: seed {} n {} shards {}", seed, n, shards);
         prop_assert_eq!(&sharded.1, &oracle.1, "timer logs diverged: seed {} n {} shards {}", seed, n, shards);
         prop_assert_eq!(sharded.2, oracle.2, "metrics diverged: seed {} n {} shards {}", seed, n, shards);
         prop_assert_eq!(sharded.3, oracle.3, "clock diverged: seed {} n {} shards {}", seed, n, shards);
+    }
+
+    /// Halo refresh at tile seams: mirror-flip oscillation across a
+    /// lattice seam at every quiesce point (see [`run_seam`]), swept
+    /// over shard counts and region sizes.
+    #[test]
+    fn seam_oscillation_matches_the_oracle(
+        seed in any::<u64>(),
+        n in 6usize..24,
+        shard_sel in 0usize..3,
+        region in 1usize..6,
+    ) {
+        let shards = [2usize, 4, 8][shard_sel];
+        let oracle = run_seam(0, seed, n, 1);
+        let sharded = run_seam(shards, seed, n, region);
+        prop_assert_eq!(&sharded.0, &oracle.0, "traces diverged: seed {} n {} shards {} region {}", seed, n, shards, region);
+        prop_assert_eq!(&sharded.1, &oracle.1, "timer logs diverged: seed {} n {} shards {} region {}", seed, n, shards, region);
+        prop_assert_eq!(sharded.2, oracle.2, "metrics diverged: seed {} n {} shards {} region {}", seed, n, shards, region);
+        prop_assert_eq!(sharded.3, oracle.3, "clock diverged: seed {} n {} shards {} region {}", seed, n, shards, region);
     }
 }

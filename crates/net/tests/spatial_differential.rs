@@ -14,7 +14,7 @@
 
 use msb_net::mobility::{Bounds, RandomWaypoint};
 use msb_net::sim::{Metrics, NodeApp, NodeCtx, NodeId, SimConfig, Simulator, SpatialMode};
-use msb_net::spatial::SpatialIndex;
+use msb_net::spatial::{SpatialIndex, SpatialScratch};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,13 +35,13 @@ fn naive_in_range(positions: &[(f64, f64)], center: (f64, f64), range: f64) -> V
 
 /// The indexed answer: candidates from the cell cover, exact-filtered.
 fn indexed_in_range(
-    index: &mut SpatialIndex,
+    index: &SpatialIndex,
     positions: &[(f64, f64)],
     center: (f64, f64),
     range: f64,
 ) -> Vec<u32> {
     let mut cand = Vec::new();
-    index.candidates_into(center, range, &mut cand);
+    index.candidates_into(&mut SpatialScratch::default(), center, range, &mut cand);
     cand.retain(|&i| distance(positions[i as usize], center) <= range);
     cand
 }
@@ -108,7 +108,7 @@ proptest! {
         for &p in &positions {
             index.push(p);
         }
-        let indexed = indexed_in_range(&mut index, &positions, center, range);
+        let indexed = indexed_in_range(&index, &positions, center, range);
         let naive = naive_in_range(&positions, center, range);
         prop_assert_eq!(indexed, naive, "cell_d={} range={} center={:?}", cell_scale, range, center);
     }
@@ -136,7 +136,14 @@ proptest! {
             index.push(p);
         }
         let mut indexed = Vec::new();
-        index.k_nearest_into(center, k, range, |i| positions[i as usize], &mut indexed);
+        index.k_nearest_into(
+            &mut SpatialScratch::default(),
+            center,
+            k,
+            range,
+            |i| positions[i as usize],
+            &mut indexed,
+        );
         let mut ranked: Vec<(f64, u32)> = positions
             .iter()
             .enumerate()
@@ -175,7 +182,7 @@ proptest! {
             index.update(id as u32, p);
         }
         for (i, &p) in positions.iter().enumerate() {
-            let indexed = indexed_in_range(&mut index, &positions, p, range);
+            let indexed = indexed_in_range(&index, &positions, p, range);
             let naive = naive_in_range(&positions, p, range);
             prop_assert_eq!(indexed, naive, "query from node {} at {:?}", i, p);
         }
